@@ -1,0 +1,20 @@
+"""Benchmark A1 (ablation): priority model vs aggregate-FCFS model."""
+
+from repro.experiments import exp_a1_priority_vs_fcfs as a1
+
+
+def test_bench_a1_priority_vs_fcfs(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: a1.run(horizon=2500.0, n_replications=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("A1_priority_vs_fcfs", a1.render(result))
+    # Reproduction criteria: the aggregate model overestimates gold and
+    # underestimates bronze; the priority model stays accurate.
+    for load in {row[0] for row in result.rows}:
+        gold = [r for r in result.rows if r[0] == load and r[1] == "gold"][0]
+        bronze = [r for r in result.rows if r[0] == load and r[1] == "bronze"][0]
+        assert gold[4] > gold[2]
+        assert bronze[4] < bronze[2]
+    assert result.max_priority_error < 0.12

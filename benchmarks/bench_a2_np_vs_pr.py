@@ -1,0 +1,16 @@
+"""Benchmark A2 (ablation): non-preemptive vs preemptive-resume."""
+
+from repro.experiments import exp_a2_np_vs_pr as a2
+
+
+def test_bench_a2_np_vs_pr(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: a2.run(horizon=2500.0, n_replications=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("A2_np_vs_pr", a2.render(result))
+    # Reproduction criteria: preemption helps the top class; analytic
+    # formulas track both disciplines.
+    assert result.gold_improves_under_pr
+    assert result.max_rel_error < 0.12

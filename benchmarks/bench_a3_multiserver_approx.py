@@ -1,0 +1,16 @@
+"""Benchmark A3 (ablation): multi-server priority approximation error."""
+
+from repro.experiments import exp_a3_multiserver_approx as a3
+
+
+def test_bench_a3_multiserver_approx(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: a3.run(horizon=25000.0, n_replications=3),
+        rounds=1,
+        iterations=1,
+    )
+    record("A3_multiserver_approx", a3.render(result))
+    # Reproduction criteria: near-exact agreement in the common-mu case
+    # (the formula is exact there); bounded error for Bondi-Buzen.
+    assert result.max_exact_error < 0.08
+    assert result.max_approx_error < 0.25

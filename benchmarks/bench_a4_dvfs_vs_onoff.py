@@ -1,0 +1,18 @@
+"""Benchmark A4 (ablation): DVFS vs server on/off vs combined."""
+
+import numpy as np
+
+from repro.experiments import exp_a4_dvfs_vs_onoff as a4
+
+
+def test_bench_a4_dvfs_vs_onoff(benchmark, record):
+    result = benchmark.pedantic(lambda: a4.run(), rounds=1, iterations=1)
+    record("A4_dvfs_vs_onoff", a4.render(result))
+    # Reproduction criteria: the combined mechanism is never worse than
+    # either alone, and actually beats pure DVFS somewhere (at loose
+    # bounds it can switch whole servers off).
+    assert result.combined_never_worse
+    dvfs = result.series.columns["DVFS power (W)"]
+    both = result.series.columns["combined power (W)"]
+    ok = np.isfinite(dvfs) & np.isfinite(both)
+    assert np.any(both[ok] < dvfs[ok] - 1.0)

@@ -1,0 +1,16 @@
+"""Benchmark A6 (ablation): admission control vs open queueing."""
+
+from repro.experiments import exp_a6_admission_control as a6
+
+
+def test_bench_a6_admission_control(benchmark, record):
+    result = benchmark.pedantic(lambda: a6.run(), rounds=1, iterations=1)
+    record("A6_admission_control", a6.render(result))
+    # Reproduction criteria: the categorical crossover — the open queue
+    # diverges beyond capacity while the loss design's accepted delay
+    # is flat; simulated blocking tracks Erlang-B on both sides.
+    assert result.queueing_diverges
+    assert result.loss_delay_flat
+    for row in result.sim_rows:
+        assert abs(row[1] - row[2]) / row[1] < 0.06
+        assert abs(row[4] - row[3]) / row[3] < 0.05

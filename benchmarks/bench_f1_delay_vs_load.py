@@ -1,0 +1,18 @@
+"""Benchmark F1: per-class end-to-end delay vs offered load."""
+
+import numpy as np
+
+from repro.experiments import exp_f1_delay_vs_load as f1
+
+
+def test_bench_f1_delay_vs_load(benchmark, record):
+    result = benchmark(f1.run)
+    record("F1_delay_vs_load", f1.render(result))
+    cols = result.series.columns
+    # Reproduction criteria: monotone growth; priority ordering; bronze
+    # diverges first (its delay grows fastest near saturation).
+    assert np.all(np.diff(cols["mean (s)"]) > 0)
+    assert np.all(cols["T[gold] (s)"] < cols["T[bronze] (s)"])
+    growth_gold = cols["T[gold] (s)"][-1] / cols["T[gold] (s)"][0]
+    growth_bronze = cols["T[bronze] (s)"][-1] / cols["T[bronze] (s)"][0]
+    assert growth_bronze > 3.0 * growth_gold

@@ -1,0 +1,16 @@
+"""Benchmark F2: power / per-request energy / delay vs uniform speed."""
+
+import numpy as np
+
+from repro.experiments import exp_f2_energy_vs_speed as f2
+
+
+def test_bench_f2_energy_vs_speed(benchmark, record):
+    result = benchmark(f2.run)
+    record("F2_energy_vs_speed", f2.render(result))
+    for alpha, series in result.series_by_alpha.items():
+        # Reproduction criteria: power strictly increasing, delay
+        # strictly decreasing in speed — the trade-off exists at every
+        # DVFS exponent.
+        assert np.all(np.diff(series.columns["power (W)"]) > 0), alpha
+        assert np.all(np.diff(series.columns["mean delay (s)"]) < 0), alpha

@@ -1,0 +1,15 @@
+"""Benchmark F3: P1 optimal delay vs power budget frontier."""
+
+import numpy as np
+
+from repro.experiments import exp_f3_delay_opt_tradeoff as f3
+
+
+def test_bench_f3_delay_opt_tradeoff(benchmark, record):
+    result = benchmark.pedantic(lambda: f3.run(n_points=8), rounds=1, iterations=1)
+    record("F3_delay_opt_tradeoff", f3.render(result))
+    # Reproduction criteria: frontier decreasing in the budget and the
+    # optimizer dominating both budget-matched baselines.
+    opt = result.series.columns["optimal delay (s)"]
+    assert np.all(np.diff(opt) <= 1e-9)
+    assert result.optimal_dominates

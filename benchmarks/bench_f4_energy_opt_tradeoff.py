@@ -1,0 +1,15 @@
+"""Benchmark F4: P2a minimal power vs aggregate delay bound frontier."""
+
+import numpy as np
+
+from repro.experiments import exp_f4_energy_opt_tradeoff as f4
+
+
+def test_bench_f4_energy_opt_tradeoff(benchmark, record):
+    result = benchmark.pedantic(lambda: f4.run(n_points=8), rounds=1, iterations=1)
+    record("F4_energy_opt_tradeoff", f4.render(result))
+    opt = result.series.columns["optimal power (W)"]
+    # Reproduction criteria: power non-increasing as the bound loosens;
+    # optimizer no worse than the uniform baseline anywhere.
+    assert np.all(np.diff(opt) <= 1e-6)
+    assert result.optimal_dominates

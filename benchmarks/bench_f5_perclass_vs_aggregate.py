@@ -1,0 +1,16 @@
+"""Benchmark F5: the energy price of per-class SLA guarantees."""
+
+import numpy as np
+
+from repro.experiments import exp_f5_perclass_vs_aggregate as f5
+
+
+def test_bench_f5_perclass_vs_aggregate(benchmark, record):
+    result = benchmark.pedantic(lambda: f5.run(), rounds=1, iterations=1)
+    record("F5_perclass_vs_aggregate", f5.render(result))
+    powers = result.series.columns["P2b power (W)"]
+    # Reproduction criteria: per-class constraints never cheaper than
+    # the aggregate constraint, and tight gold bounds cost extra power.
+    assert result.per_class_at_least_aggregate
+    finite = powers[np.isfinite(powers)]
+    assert finite[-1] > finite.min() + 1e-6

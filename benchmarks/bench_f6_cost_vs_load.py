@@ -1,0 +1,15 @@
+"""Benchmark F6: minimum provisioning cost vs offered load."""
+
+import numpy as np
+
+from repro.experiments import exp_f6_cost_vs_load as f6
+
+
+def test_bench_f6_cost_vs_load(benchmark, record):
+    result = benchmark(f6.run)
+    record("F6_cost_vs_load", f6.render(result))
+    cost = result.series.columns["P3 cost"]
+    # Reproduction criteria: a non-decreasing cost staircase that never
+    # exceeds the uniform-headroom baseline.
+    assert np.all(np.diff(cost[np.isfinite(cost)]) >= 0)
+    assert result.optimizer_never_costlier

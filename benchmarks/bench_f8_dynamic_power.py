@@ -1,0 +1,14 @@
+"""Benchmark F8: dynamic vs static power management on a diurnal day."""
+
+from repro.experiments import exp_f8_dynamic_power as f8
+
+
+def test_bench_f8_dynamic_power(benchmark, record):
+    result = benchmark.pedantic(lambda: f8.run(), rounds=1, iterations=1)
+    record("F8_dynamic_power", f8.render(result))
+    # Reproduction criteria: the dynamic controller is fully compliant,
+    # saves real energy against the compliant static-peak policy, and
+    # the aggressive static-mean policy violates the bound at peak.
+    assert result.dynamic_fully_compliant
+    assert result.dynamic_saves_vs_peak > 0.05
+    assert result.static_mean_compliance < 1.0

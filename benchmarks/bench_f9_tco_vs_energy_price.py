@@ -1,0 +1,17 @@
+"""Benchmark F9: TCO-optimal allocation vs energy price."""
+
+import numpy as np
+
+from repro.experiments import exp_f9_tco_vs_energy_price as f9
+
+
+def test_bench_f9_tco_vs_energy_price(benchmark, record):
+    result = benchmark.pedantic(lambda: f9.run(), rounds=1, iterations=1)
+    record("F9_tco_vs_energy_price", f9.render(result))
+    # Reproduction criteria: anchored at the P3 optimum at zero price;
+    # hardware substitutes for energy as the price rises (servers up,
+    # speeds down, power down somewhere along the sweep).
+    assert result.anchored_at_p3
+    assert result.servers_monotone_in_price
+    power = result.series.columns["power (W)"]
+    assert power[-1] < power[0]

@@ -1,0 +1,81 @@
+"""Performance benchmarks of the library's hot kernels.
+
+Unlike the experiment benchmarks (one-shot pipelines), these use
+pytest-benchmark's repeated-round timing to track the cost of the
+operations a user pays for most often: an analytic cluster evaluation,
+one optimizer solve of each family, a simulation replication, and the
+Erlang-C recurrence at scale.
+"""
+
+import numpy as np
+
+from repro.core import minimize_cost, minimize_delay, minimize_energy
+from repro.core.delay import end_to_end_delays
+from repro.core.energy import average_power
+from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+from repro.queueing import erlang_c
+from repro.simulation import simulate
+
+
+def test_perf_analytic_evaluation(benchmark):
+    """One full analytic delay+power evaluation of the canonical cluster."""
+    cluster, workload = canonical_cluster(), canonical_workload()
+
+    def evaluate():
+        return end_to_end_delays(cluster, workload), average_power(cluster, workload)
+
+    delays, power = benchmark(evaluate)
+    assert delays.shape == (3,) and power > 0
+
+
+def test_perf_erlang_c_500_servers(benchmark):
+    """Erlang-C at 500 servers (the recurrence must stay O(c) and stable)."""
+    result = benchmark(erlang_c, 500, 480.0)
+    assert 0.0 < result < 1.0
+
+
+def test_perf_p1_solve(benchmark):
+    """One P1 solve (3 tiers, 3 classes, 3 starts)."""
+    cluster, workload = canonical_cluster(), canonical_workload()
+    budget = 0.9 * cluster.average_power(workload.arrival_rates)
+    result = benchmark.pedantic(
+        lambda: minimize_delay(cluster, workload, budget, n_starts=3),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.success
+
+
+def test_perf_p2b_solve(benchmark):
+    """One P2b solve (per-class bounds)."""
+    cluster, workload = canonical_cluster(), canonical_workload()
+    bounds = end_to_end_delays(cluster, workload) * 1.3
+    result = benchmark.pedantic(
+        lambda: minimize_energy(cluster, workload, class_delay_bounds=bounds, n_starts=3),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.success
+
+
+def test_perf_p3_solve(benchmark):
+    """One P3 solve (greedy + local search, speeds pinned)."""
+    cluster, workload, sla = canonical_cluster(), canonical_workload(), canonical_sla()
+    result = benchmark.pedantic(
+        lambda: minimize_cost(cluster, workload, sla, optimize_speeds=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.total_cost > 0
+
+
+def test_perf_simulation_replication(benchmark):
+    """One 500-time-unit replication of the canonical cluster
+    (~12k jobs through 3 priority tiers)."""
+    cluster, workload = canonical_cluster(), canonical_workload()
+    result = benchmark.pedantic(
+        lambda: simulate(cluster, workload, horizon=500.0, seed=99),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_completed.sum() > 1000

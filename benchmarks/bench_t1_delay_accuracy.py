@@ -1,0 +1,15 @@
+"""Benchmark T1: analytic vs simulated per-class end-to-end delay."""
+
+from repro.experiments import exp_t1_delay_accuracy as t1
+
+
+def test_bench_t1_delay_accuracy(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: t1.run(horizon=2500.0, n_replications=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("T1_delay_accuracy", t1.render(result))
+    # Reproduction criterion: the analytic delays track simulation
+    # within a few percent ("accurate").
+    assert result.max_rel_error < 0.12

@@ -1,0 +1,13 @@
+"""Benchmark T2: analytic vs simulated power and energy."""
+
+from repro.experiments import exp_t2_energy_accuracy as t2
+
+
+def test_bench_t2_energy_accuracy(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: t2.run(horizon=2500.0, n_replications=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("T2_energy_accuracy", t2.render(result))
+    assert result.max_rel_error < 0.10

@@ -1,0 +1,13 @@
+"""Benchmark T4: solver efficiency and optimality gaps."""
+
+from repro.experiments import exp_t4_solver_efficiency as t4
+
+
+def test_bench_t4_solver_efficiency(benchmark, record):
+    result = benchmark.pedantic(lambda: t4.run(), rounds=1, iterations=1)
+    record("T4_solver_efficiency", t4.render(result))
+    # Reproduction criteria: zero optimality gap wherever exhaustive
+    # search certifies, and sub-second P1/P2 solves ("efficient").
+    assert result.all_gaps_zero
+    assert result.p1_seconds < 5.0
+    assert result.p2b_seconds < 10.0

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's (reconstructed) tables
+or figures: it times the full experiment pipeline with
+pytest-benchmark, prints the rendered rows/series, and writes them to
+``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can point at fresh
+artifacts. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record():
+    """Write (and echo) a rendered experiment table."""
+
+    def _record(experiment_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

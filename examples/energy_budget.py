@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Power-capped operation: walking the delay/energy frontier (P1 + P2a).
+
+Scenario: the datacenter imposes a power cap that tightens during peak
+grid hours. For each cap the provider solves P1 to find the best
+achievable mean delay, and compares it against naive uniform speed
+scaling under the same cap. The dual view (P2a) answers the planning
+question "what does one more millisecond of promised latency cost in
+watts?".
+
+Run:  python examples/energy_budget.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.baselines import uniform_speed_for_budget
+from repro.core import mean_end_to_end_delay, minimize_delay, minimize_energy
+from repro.core.opt_common import stability_speed_bounds
+from repro.experiments.common import canonical_cluster, canonical_workload
+
+
+def main() -> None:
+    cluster = canonical_cluster()
+    workload = canonical_workload(1.2)  # a busy afternoon
+    lam = workload.arrival_rates
+
+    box = stability_speed_bounds(cluster, workload)
+    p_min = cluster.with_speeds([b[0] for b in box]).average_power(lam)
+    p_max = cluster.with_speeds([b[1] for b in box]).average_power(lam)
+
+    print(f"stable power range at this load: {p_min:.0f} .. {p_max:.0f} W\n")
+
+    rows = []
+    for frac in (0.05, 0.15, 0.40, 0.80):
+        cap = p_min + frac * (p_max - p_min)
+        p1 = minimize_delay(cluster, workload, power_budget=cap)
+        uni = uniform_speed_for_budget(cluster, workload, cap)
+        uni_delay = mean_end_to_end_delay(cluster.with_speeds(uni), workload)
+        gain = 100.0 * (1.0 - p1.fun / uni_delay)
+        rows.append(
+            [
+                f"{cap:.0f}",
+                np.round(p1.x, 3).tolist(),
+                round(p1.fun * 1e3, 2),
+                round(uni_delay * 1e3, 2),
+                f"{gain:.1f}%",
+            ]
+        )
+    print(
+        ascii_table(
+            ["cap (W)", "optimal speeds", "P1 delay (ms)", "uniform delay (ms)", "gain"],
+            rows,
+            title="P1: best mean delay under a power cap",
+        )
+    )
+
+    # The dual question: watts per promised millisecond.
+    print()
+    rows = []
+    base_delay = mean_end_to_end_delay(cluster, workload)
+    for factor in (1.1, 1.3, 1.6, 2.0):
+        bound = base_delay * factor
+        p2 = minimize_energy(cluster, workload, max_mean_delay=bound)
+        rows.append(
+            [
+                round(bound * 1e3, 2),
+                np.round(p2.x, 3).tolist(),
+                round(p2.meta["power"], 1),
+            ]
+        )
+    print(
+        ascii_table(
+            ["promised mean delay (ms)", "optimal speeds", "min power (W)"],
+            rows,
+            title="P2a: cheapest power meeting a latency promise",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

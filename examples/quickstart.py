@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Quickstart: model a priority cluster, read its delay/energy report,
+and run each of the paper's three optimizations once.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    SLA,
+    ClassSLA,
+    ClusterModel,
+    ClusterPerformanceModel,
+    CustomerClass,
+    PowerModel,
+    ServerSpec,
+    Tier,
+    Workload,
+    minimize_cost,
+    minimize_delay,
+    minimize_energy,
+)
+from repro.distributions import fit_two_moments
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Describe the cluster: three tiers of speed-scalable servers.
+    #    Demands are (mean work, SCV) pairs per class, highest priority
+    #    first; a demand of x work units takes x/s seconds at speed s.
+    # ------------------------------------------------------------------
+    node = ServerSpec(
+        power=PowerModel(idle=50.0, kappa=120.0, alpha=3.0),  # watts
+        min_speed=0.4,
+        max_speed=1.0,
+        cost=3.0,  # $ per server per charging period
+    )
+
+    def demands(means, scv):
+        return tuple(fit_two_moments(m, scv) for m in means)
+
+    cluster = ClusterModel(
+        [
+            Tier("web", demands((0.015, 0.020, 0.025), 1.0), node, servers=2),
+            Tier("app", demands((0.060, 0.080, 0.100), 2.0), node, servers=4),
+            Tier("db", demands((0.040, 0.050, 0.060), 1.5), node, servers=3),
+        ]
+    )
+
+    # Three priority classes: gold pays most, is served first everywhere.
+    workload = Workload(
+        [
+            CustomerClass("gold", arrival_rate=4.0),
+            CustomerClass("silver", arrival_rate=8.0),
+            CustomerClass("bronze", arrival_rate=12.0),
+        ]
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Abstract claim 1: average end-to-end delay and energy per class.
+    # ------------------------------------------------------------------
+    model = ClusterPerformanceModel(cluster, workload)
+    report = model.report()
+    print("per-class end-to-end delays (s):")
+    for name, delay, energy in zip(report.class_names, report.delays, report.energy_per_class):
+        print(f"  {name:<7} T = {delay:6.4f} s   E = {energy:6.2f} J/request")
+    print(f"mean delay: {report.mean_delay:.4f} s")
+    print(f"average power: {report.average_power:.1f} W")
+    print(f"tier utilizations: {np.round(report.utilizations, 3).tolist()}")
+
+    # ------------------------------------------------------------------
+    # 3. P1 — fastest cluster within a 10%-reduced power budget.
+    # ------------------------------------------------------------------
+    budget = 0.9 * report.average_power
+    p1 = minimize_delay(cluster, workload, power_budget=budget)
+    print(f"\nP1: min delay s.t. power <= {budget:.1f} W")
+    print(f"  optimal speeds: {np.round(p1.x, 3).tolist()}")
+    print(f"  mean delay {p1.fun:.4f} s at {p1.meta['power']:.1f} W")
+
+    # ------------------------------------------------------------------
+    # 4. P2b — cheapest energy meeting per-class delay bounds.
+    # ------------------------------------------------------------------
+    bounds = report.delays * 1.25
+    p2 = minimize_energy(cluster, workload, class_delay_bounds=bounds)
+    print(f"\nP2b: min power s.t. per-class delays <= {np.round(bounds, 3).tolist()}")
+    print(f"  optimal speeds: {np.round(p2.x, 3).tolist()}")
+    print(
+        f"  power {p2.meta['power']:.1f} W "
+        f"(was {report.average_power:.1f} W at full speed)"
+    )
+
+    # ------------------------------------------------------------------
+    # 5. P3 — cheapest server allocation honoring a priority SLA.
+    # ------------------------------------------------------------------
+    sla = SLA(
+        [
+            ClassSLA("gold", max_mean_delay=0.30, fee=1.00),
+            ClassSLA("silver", max_mean_delay=0.60, fee=0.40),
+            ClassSLA("bronze", max_mean_delay=1.20, fee=0.10),
+        ]
+    )
+    p3 = minimize_cost(cluster, workload, sla)
+    print("\nP3: min cost s.t. priority SLA")
+    print(f"  servers per tier: {p3.server_counts.tolist()}  (cost {p3.total_cost:g})")
+    print(f"  energy-optimal speeds: {np.round(p3.speeds, 3).tolist()}")
+    print(f"  achieved delays: {np.round(p3.delays, 3).tolist()}")
+    print(f"  average power: {p3.average_power:.1f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The offline build environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (which shell out to
+``bdist_wheel``) fail. Keeping a ``setup.py`` lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which needs no wheel. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

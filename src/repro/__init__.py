@@ -1,0 +1,62 @@
+"""repro — reproduction of *Power and Performance Management in
+Priority-Type Cluster Computing Systems* (Kaiqi Xiong, IPDPS 2011).
+
+The package models a multi-tier cluster serving multiple priority
+classes of customers, provides analytic formulas for per-class average
+end-to-end delay and energy consumption, constrained optimizers for the
+paper's three resource-management problems, and a from-scratch
+discrete-event simulator used to validate every analytic quantity.
+
+Top-level convenience re-exports cover the public API most users need;
+the subpackages hold the full surface:
+
+``repro.distributions``
+    Service-demand / interarrival distributions with exact moments.
+``repro.queueing``
+    Analytical queueing formulas (M/M/1, M/M/c, M/G/1, priority queues,
+    tandem networks).
+``repro.cluster``
+    Cluster model: tiers, server specs, DVFS power model, cost model.
+``repro.workload``
+    Customer classes and arrival processes.
+``repro.simulation``
+    Discrete-event simulator with energy metering.
+``repro.core``
+    The paper's contribution: delay/energy models and optimization
+    problems P1 (min delay s.t. energy), P2 (min energy s.t. delay)
+    and P3 (min cost s.t. per-class SLAs).
+``repro.baselines``
+    Baseline allocation policies and an exhaustive-search certifier.
+``repro.experiments``
+    Drivers regenerating every table/figure in EXPERIMENTS.md.
+"""
+
+from repro._version import __version__
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.core import (
+    SLA,
+    ClassSLA,
+    ClusterPerformanceModel,
+    DelayEnergyReport,
+    minimize_cost,
+    minimize_delay,
+    minimize_energy,
+)
+from repro.workload import CustomerClass, Workload
+
+__all__ = [
+    "__version__",
+    "ClusterModel",
+    "PowerModel",
+    "ServerSpec",
+    "Tier",
+    "CustomerClass",
+    "Workload",
+    "ClusterPerformanceModel",
+    "DelayEnergyReport",
+    "SLA",
+    "ClassSLA",
+    "minimize_delay",
+    "minimize_energy",
+    "minimize_cost",
+]

@@ -1,0 +1,27 @@
+"""Reporting and validation utilities.
+
+* ``tables``     — plain-text table rendering (the experiment harness
+                   prints the same rows a paper table would hold).
+* ``series``     — sweep containers with CSV export (one per figure).
+* ``validation`` — analytic-vs-simulation comparison records and error
+                   metrics, the backbone of experiments T1/T2/A1-A3.
+"""
+
+from repro.analysis.diagnostics import Finding, Severity, diagnose
+from repro.analysis.tables import ascii_table, format_value
+from repro.analysis.series import SweepSeries
+from repro.analysis.summary import build_summary
+from repro.analysis.validation import ValidationRow, ValidationReport, relative_error
+
+__all__ = [
+    "ascii_table",
+    "format_value",
+    "SweepSeries",
+    "build_summary",
+    "diagnose",
+    "Finding",
+    "Severity",
+    "ValidationRow",
+    "ValidationReport",
+    "relative_error",
+]

@@ -1,0 +1,171 @@
+"""Configuration diagnostics — the pre-flight checklist.
+
+``diagnose(cluster, workload)`` inspects a configuration the way an
+experienced capacity planner would and returns structured findings:
+saturated or near-saturated tiers, the bottleneck, extreme demand
+variability (where mean-based SLAs mislead), priority inversions
+(a high-priority class so heavy it starves everyone), DVFS ranges
+pinned at their limits, and idle-dominated power (where on/off beats
+DVFS). Each finding carries a severity and a human-readable message;
+none of them stops you — they explain the numbers you are about to
+get.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.exceptions import ModelValidationError
+from repro.workload.classes import Workload
+
+__all__ = ["Severity", "Finding", "diagnose"]
+
+
+class Severity(Enum):
+    """How much a finding matters."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic observation."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def diagnose(cluster: ClusterModel, workload: Workload) -> list[Finding]:
+    """Inspect a configuration and return findings, most severe first."""
+    if cluster.num_classes != workload.num_classes:
+        raise ModelValidationError(
+            f"cluster is parameterized for {cluster.num_classes} classes "
+            f"but workload has {workload.num_classes}"
+        )
+    findings: list[Finding] = []
+    lam = workload.arrival_rates
+    rho = cluster.utilizations(lam)
+
+    # --- stability / load balance -----------------------------------------
+    for tier, r in zip(cluster.tiers, rho):
+        if r >= 1.0:
+            findings.append(
+                Finding(
+                    Severity.CRITICAL,
+                    "saturated-tier",
+                    f"tier {tier.name!r} is saturated (rho = {r:.3f} >= 1): queues grow "
+                    "without bound; add servers, raise speed, or shed load",
+                )
+            )
+        elif r >= 0.9:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "near-saturation",
+                    f"tier {tier.name!r} runs at rho = {r:.3f}; delays scale like "
+                    "1/(1-rho), so small load increases will blow past any SLA",
+                )
+            )
+    stable = rho[rho < 1.0]
+    if stable.size == rho.size and rho.size > 1:
+        bottleneck = int(np.argmax(rho))
+        findings.append(
+            Finding(
+                Severity.INFO,
+                "bottleneck",
+                f"tier {cluster.tiers[bottleneck].name!r} is the bottleneck "
+                f"(rho = {rho[bottleneck]:.3f}); capacity added elsewhere will not help",
+            )
+        )
+        if rho.max() > 2.5 * max(rho.min(), 1e-12):
+            findings.append(
+                Finding(
+                    Severity.INFO,
+                    "load-imbalance",
+                    f"tier utilizations span {rho.min():.2f}..{rho.max():.2f}; "
+                    "per-tier speeds (P1/P2) or re-provisioning (P3) can rebalance",
+                )
+            )
+
+    # --- demand variability -------------------------------------------------
+    for tier in cluster.tiers:
+        for k, d in enumerate(tier.demands):
+            if d.scv > 10.0:
+                findings.append(
+                    Finding(
+                        Severity.WARNING,
+                        "extreme-variability",
+                        f"class {workload.names[k]!r} at tier {tier.name!r} has demand "
+                        f"SCV = {d.scv:.1f}; mean waits are dominated by rare huge jobs "
+                        "and percentile SLAs will be far above the mean",
+                    )
+                )
+
+    # --- priority inversion ---------------------------------------------------
+    if workload.num_classes > 1:
+        work_per_class = np.zeros(workload.num_classes)
+        for i, tier in enumerate(cluster.tiers):
+            means = np.array([d.mean for d in tier.demands])
+            work_per_class += cluster.visit_ratios[:, i] * lam * means
+        top_share = work_per_class[0] / work_per_class.sum()
+        if top_share > 0.5:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "priority-inversion",
+                    f"the highest-priority class carries {top_share:.0%} of the total "
+                    "work; under head-of-line priority every other class sees a nearly "
+                    "always-busy server — consider re-tiering the classes",
+                )
+            )
+
+    # --- DVFS posture ----------------------------------------------------------
+    for tier in cluster.tiers:
+        if tier.speed >= tier.spec.max_speed - 1e-9:
+            findings.append(
+                Finding(
+                    Severity.INFO,
+                    "speed-at-max",
+                    f"tier {tier.name!r} runs at its maximum speed; no delay headroom "
+                    "is left in DVFS — only provisioning can improve it",
+                )
+            )
+        elif tier.speed <= tier.spec.min_speed + 1e-9:
+            findings.append(
+                Finding(
+                    Severity.INFO,
+                    "speed-at-min",
+                    f"tier {tier.name!r} runs at its minimum speed; energy can only be "
+                    "reduced further by powering servers off",
+                )
+            )
+
+    # --- power structure -----------------------------------------------------------
+    idle_power = sum(t.servers * t.spec.power.idle for t in cluster.tiers)
+    try:
+        total_power = cluster.average_power(lam)
+    except ModelValidationError:  # pragma: no cover - defensive
+        total_power = float("nan")
+    if np.isfinite(total_power) and total_power > 0 and idle_power / total_power > 0.7:
+        findings.append(
+            Finding(
+                Severity.INFO,
+                "idle-dominated-power",
+                f"idle draw is {idle_power / total_power:.0%} of average power; DVFS has "
+                "little to attack — server on/off (consolidation) is the bigger lever",
+            )
+        )
+
+    order = {Severity.CRITICAL: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    findings.sort(key=lambda f: order[f.severity])
+    return findings

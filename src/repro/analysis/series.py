@@ -1,0 +1,75 @@
+"""Sweep-result containers — one per reproduced figure."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import ascii_table
+from repro.exceptions import ModelValidationError
+
+__all__ = ["SweepSeries"]
+
+
+@dataclass
+class SweepSeries:
+    """A parameter sweep: one x-axis, several named y-series.
+
+    Attributes
+    ----------
+    name:
+        Figure identifier (e.g. "F3: delay vs energy budget").
+    x_label:
+        Name of the swept parameter.
+    x:
+        Sweep points.
+    columns:
+        Mapping series-name → values (same length as ``x``).
+    """
+
+    name: str
+    x_label: str
+    x: np.ndarray
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        for key in list(self.columns):
+            col = np.asarray(self.columns[key], dtype=float)
+            if col.shape != self.x.shape:
+                raise ModelValidationError(
+                    f"series {key!r} has shape {col.shape}, x has {self.x.shape}"
+                )
+            self.columns[key] = col
+
+    def add(self, name: str, values) -> None:
+        """Attach another y-series."""
+        col = np.asarray(values, dtype=float)
+        if col.shape != self.x.shape:
+            raise ModelValidationError(f"series {name!r} has shape {col.shape}, x has {self.x.shape}")
+        self.columns[name] = col
+
+    def to_table(self, precision: int = 4) -> str:
+        """Render as an aligned text table (the 'figure')."""
+        headers = [self.x_label, *self.columns.keys()]
+        rows = [
+            [self.x[i], *(c[i] for c in self.columns.values())] for i in range(self.x.size)
+        ]
+        return ascii_table(headers, rows, title=self.name, precision=precision)
+
+    def to_csv(self) -> str:
+        """CSV text with the x column first."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow([self.x_label, *self.columns.keys()])
+        for i in range(self.x.size):
+            writer.writerow([self.x[i], *(c[i] for c in self.columns.values())])
+        return buf.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` to ``path``."""
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())

@@ -1,0 +1,59 @@
+"""Assemble per-experiment artifacts into one evaluation report.
+
+The benchmarks write each reproduced table to
+``benchmarks/results/<ID>_<slug>.txt``; :func:`build_summary` stitches
+them into a single Markdown document in registry order, so the whole
+evaluation can be read (or diffed between runs) as one file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.exceptions import ModelValidationError
+
+__all__ = ["build_summary"]
+
+
+def build_summary(results_dir: str) -> str:
+    """One Markdown report from a directory of rendered artifacts.
+
+    Parameters
+    ----------
+    results_dir:
+        Directory containing ``<ID>*.txt`` files (as written by the
+        benchmark harness or ``python -m repro run-all --out-dir``).
+
+    Raises
+    ------
+    ModelValidationError
+        If the directory has no artifacts at all.
+    """
+    from repro.experiments.registry import REGISTRY
+
+    root = pathlib.Path(results_dir)
+    if not root.is_dir():
+        raise ModelValidationError(f"{results_dir!r} is not a directory")
+
+    sections: list[str] = [
+        "# Reproduction evaluation report",
+        "",
+        f"Assembled from `{results_dir}`. One section per experiment, in",
+        "registry order; see EXPERIMENTS.md for the expected shapes.",
+    ]
+    found = 0
+    for exp in REGISTRY.values():
+        matches = sorted(root.glob(f"{exp.id}_*.txt")) or sorted(root.glob(f"{exp.id}.txt"))
+        if not matches:
+            sections.append(f"\n## {exp.id} — {exp.title}\n\n*(no artifact found)*")
+            continue
+        found += 1
+        body = matches[0].read_text().rstrip()
+        sections.append(f"\n## {exp.id} — {exp.title}\n\n```\n{body}\n```")
+    if found == 0:
+        raise ModelValidationError(
+            f"no experiment artifacts found under {results_dir!r}; run "
+            "`pytest benchmarks/ --benchmark-only` or `python -m repro run-all --out-dir ...` first"
+        )
+    sections.append(f"\n---\n{found}/{len(REGISTRY)} experiments present.")
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints each reproduced table/figure as text (the
+environment has no plotting stack); these helpers keep the output
+aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ascii_table", "format_value"]
+
+
+def format_value(v: Any, precision: int = 4) -> str:
+    """Human-friendly scalar formatting: floats to ``precision``
+    significant digits, NaN as '-', everything else via ``str``."""
+    if isinstance(v, (float, np.floating)):
+        if np.isnan(v):
+            return "-"
+        return f"{v:.{precision}g}"
+    if isinstance(v, (int, np.integer)):
+        return str(int(v))
+    return str(v)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Examples
+    --------
+    >>> print(ascii_table(["x", "y"], [[1, 2.0]], title="demo"))
+    demo
+    x | y
+    --+--
+    1 | 2
+    """
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

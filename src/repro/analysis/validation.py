@@ -1,0 +1,82 @@
+"""Analytic-vs-simulation validation records.
+
+Experiments T1/T2 and the A-series ablations all reduce to the same
+shape: a list of (quantity, analytic value, simulated value ± CI)
+rows with relative errors, rendered as a table and summarized by the
+worst error. These classes hold that shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import ascii_table
+
+__all__ = ["relative_error", "ValidationRow", "ValidationReport"]
+
+
+def relative_error(analytic: float, simulated: float) -> float:
+    """``|analytic − simulated| / |simulated|`` (NaN-safe).
+
+    The simulated value is the reference: the question the paper's
+    validation answers is "how far is the *formula* from reality".
+    """
+    if not (np.isfinite(analytic) and np.isfinite(simulated)) or simulated == 0.0:
+        return float("nan")
+    return abs(analytic - simulated) / abs(simulated)
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One compared quantity."""
+
+    label: str
+    analytic: float
+    simulated: float
+    ci: float = float("nan")
+
+    @property
+    def rel_error(self) -> float:
+        """Relative error of the analytic value vs simulation."""
+        return relative_error(self.analytic, self.simulated)
+
+    @property
+    def within_ci(self) -> bool:
+        """True when the analytic value lies inside the simulation CI."""
+        if not np.isfinite(self.ci):
+            return False
+        return abs(self.analytic - self.simulated) <= self.ci
+
+
+@dataclass
+class ValidationReport:
+    """A titled collection of validation rows."""
+
+    title: str
+    rows: list[ValidationRow] = field(default_factory=list)
+
+    def add(self, label: str, analytic: float, simulated: float, ci: float = float("nan")) -> None:
+        """Append one comparison."""
+        self.rows.append(ValidationRow(label, float(analytic), float(simulated), float(ci)))
+
+    @property
+    def max_rel_error(self) -> float:
+        """Worst relative error over the finite rows."""
+        errs = [r.rel_error for r in self.rows if np.isfinite(r.rel_error)]
+        return max(errs) if errs else float("nan")
+
+    @property
+    def mean_rel_error(self) -> float:
+        """Average relative error over the finite rows."""
+        errs = [r.rel_error for r in self.rows if np.isfinite(r.rel_error)]
+        return float(np.mean(errs)) if errs else float("nan")
+
+    def to_table(self, precision: int = 4) -> str:
+        """Render the full comparison as text."""
+        headers = ["quantity", "analytic", "simulated", "95% CI", "rel.err"]
+        body = [
+            [r.label, r.analytic, r.simulated, r.ci, r.rel_error] for r in self.rows
+        ]
+        return ascii_table(headers, body, title=self.title, precision=precision)

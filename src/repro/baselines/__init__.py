@@ -1,0 +1,31 @@
+"""Baseline policies and certifiers the optimizers are measured against.
+
+* ``uniform``      — a single shared speed for every tier, tuned by
+                     bisection to exhaust a power budget (P1 baseline)
+                     or to just meet a delay bound (P2 baseline).
+* ``proportional`` — per-tier speeds proportional to offered load.
+* ``single_class`` — the no-priority modelling baseline: all classes
+                     aggregated into one FCFS flow (ablation A1).
+* ``exhaustive``   — brute-force enumeration of P3 server allocations,
+                     certifying the greedy+local-search optimum on
+                     small instances (T3/T4).
+* ``onoff``        — server consolidation (power servers off instead of
+                     slowing them down), alone and combined with DVFS
+                     (ablation A4).
+"""
+
+from repro.baselines.uniform import uniform_speed_for_budget, uniform_speed_for_delay
+from repro.baselines.proportional import proportional_speed_for_budget
+from repro.baselines.single_class import aggregate_fcfs_delays
+from repro.baselines.exhaustive import exhaustive_cost_minimization
+from repro.baselines.onoff import min_power_onoff, min_power_onoff_with_dvfs
+
+__all__ = [
+    "uniform_speed_for_budget",
+    "uniform_speed_for_delay",
+    "proportional_speed_for_budget",
+    "aggregate_fcfs_delays",
+    "exhaustive_cost_minimization",
+    "min_power_onoff",
+    "min_power_onoff_with_dvfs",
+]

@@ -1,0 +1,74 @@
+"""Exhaustive enumeration of P3 server allocations.
+
+The certification baseline for T3/T4: enumerate every count vector in
+the box, keep the cheapest SLA-feasible one. Exponential in the number
+of tiers, so only run it on small instances — which is exactly its
+job: proving the greedy + local-search answer optimal there, and
+timing how much slower brute force is.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.feasibility import sla_feasibility
+from repro.core.sla import SLA
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.workload.classes import Workload
+
+__all__ = ["exhaustive_cost_minimization"]
+
+
+def exhaustive_cost_minimization(
+    cluster: ClusterModel,
+    workload: Workload,
+    sla: SLA,
+    max_servers_per_tier: int = 12,
+) -> tuple[np.ndarray, float, int]:
+    """Brute-force optimal P3 allocation (counts at maximum speeds).
+
+    Returns
+    -------
+    (counts, cost, n_evaluations)
+        The cheapest feasible count vector, its cost and how many
+        configurations were evaluated.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no configuration within the box meets the SLA.
+    ModelValidationError
+        If the search space exceeds 10^7 configurations (use the
+        greedy optimizer instead).
+    """
+    if max_servers_per_tier < 1:
+        raise ModelValidationError(f"max_servers_per_tier must be >= 1, got {max_servers_per_tier}")
+    space = max_servers_per_tier ** cluster.num_tiers
+    if space > 10_000_000:
+        raise ModelValidationError(
+            f"exhaustive search space {space} too large; reduce tiers or the per-tier cap"
+        )
+    at_max = cluster.with_speeds([t.spec.max_speed for t in cluster.tiers])
+    costs = np.array([t.spec.cost for t in at_max.tiers])
+
+    best_counts: np.ndarray | None = None
+    best_cost = np.inf
+    evals = 0
+    for combo in product(range(1, max_servers_per_tier + 1), repeat=cluster.num_tiers):
+        counts = np.array(combo, dtype=int)
+        cost = float(np.dot(counts, costs))
+        if cost >= best_cost:
+            continue  # cannot improve; skip the expensive evaluation
+        evals += 1
+        feasible, _ = sla_feasibility(at_max.with_servers(counts), workload, sla)
+        if feasible:
+            best_cost = cost
+            best_counts = counts
+    if best_counts is None:
+        raise InfeasibleProblemError(
+            f"no allocation with at most {max_servers_per_tier} servers per tier meets the SLA"
+        )
+    return best_counts, best_cost, evals

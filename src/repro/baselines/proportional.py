@@ -1,0 +1,64 @@
+"""Load-proportional speed baseline.
+
+Every tier targets the same utilization; the shared utilization target
+is tuned by bisection to exhaust a power budget. Smarter than the
+uniform dial (a lightly loaded tier is not forced to a high speed) but
+still blind to service-time variability and priority structure — the
+gap to the P1 optimum is what experiment F3 reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.opt_common import DEFAULT_RHO_CAP, stability_speed_bounds
+from repro.exceptions import InfeasibleProblemError
+from repro.optimize.scalar import bisect_threshold
+from repro.workload.classes import Workload
+
+__all__ = ["proportional_speed_for_budget"]
+
+
+def proportional_speed_for_budget(
+    cluster: ClusterModel,
+    workload: Workload,
+    power_budget: float,
+    rho_cap: float = DEFAULT_RHO_CAP,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Per-tier speeds ``s_i = R_i / (c_i ρ)`` at the smallest common
+    utilization ``ρ`` affordable within the power budget, clamped into
+    each tier's stable DVFS box.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the budget is below the minimum stable power.
+    """
+    bounds = stability_speed_bounds(cluster, workload, rho_cap)
+    lam = workload.arrival_rates
+    work = cluster.work_rates(lam)
+    counts = cluster.server_counts
+    lo = np.array([b[0] for b in bounds])
+    hi = np.array([b[1] for b in bounds])
+
+    def speeds_at(rho: float) -> np.ndarray:
+        return np.clip(work / (counts * rho), lo, hi)
+
+    def over_budget(rho: float) -> bool:
+        return cluster.with_speeds(speeds_at(rho)).average_power(lam) > power_budget
+
+    # Lower rho = faster servers = more power. rho_cap is the slowest
+    # stable setting; if that's over budget the problem is infeasible.
+    if over_budget(rho_cap):
+        raise InfeasibleProblemError(
+            f"power budget {power_budget:.6g} W is below the minimum stable power"
+        )
+    tiny = 1e-6
+    if not over_budget(tiny):
+        return speeds_at(tiny)
+    # Smallest utilization (fastest speeds) that still fits the budget:
+    # over_budget is monotone decreasing in rho, so find the threshold.
+    rho_star = bisect_threshold(lambda r: not over_budget(r), tiny, rho_cap, tol=tol)
+    return speeds_at(rho_star)

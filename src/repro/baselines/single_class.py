@@ -1,0 +1,46 @@
+"""No-priority modelling baseline: aggregate all classes into one flow.
+
+Before the paper's multi-class treatment, a provider would size the
+cluster from a single-class model: sum the arrival rates, mix the
+demand distributions, and compute one FCFS delay that every class is
+assumed to experience. Ablation A1 measures how wrong that is per
+class — the high-priority class's delay is grossly over-estimated and
+the low-priority class's grossly under-estimated, which is precisely
+the modelling gap the paper's priority formulas close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.exceptions import ModelValidationError
+from repro.queueing.networks import StationSpec, TandemNetwork
+from repro.workload.classes import Workload
+
+__all__ = ["aggregate_fcfs_delays"]
+
+
+def aggregate_fcfs_delays(cluster: ClusterModel, workload: Workload) -> np.ndarray:
+    """Per-class end-to-end delays predicted by the aggregate FCFS
+    model (identical for every class, modulo their own service times).
+
+    The aggregation replaces each tier's per-class service times by
+    their λ-weighted mixture and drops the priority discipline.
+    """
+    if cluster.num_classes != workload.num_classes:
+        raise ModelValidationError(
+            f"cluster is parameterized for {cluster.num_classes} classes "
+            f"but workload has {workload.num_classes}"
+        )
+    stations = [
+        StationSpec(
+            services=t.station_spec().services,
+            servers=t.servers,
+            discipline="fcfs",
+            name=t.name,
+        )
+        for t in cluster.tiers
+    ]
+    network = TandemNetwork(stations, visit_ratios=cluster.visit_ratios)
+    return network.end_to_end_delays(workload.arrival_rates)

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    The experiment registry: every reconstructed table/figure with its
+    ID and title.
+``run <ID> [--quick] [--out FILE]``
+    Execute one experiment and print (optionally save) its rendered
+    table. ``--quick`` uses the registry's fast parameters.
+``report [--load-factor F]``
+    Analytic delay/energy report of the canonical cluster under the
+    canonical workload — the fastest way to see claim-1 numbers.
+``solve {p1,p2,p3} [options]``
+    Run one of the paper's optimizers on the canonical instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power & performance management in priority-type clusters (IPDPS 2011 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment by ID")
+    run_p.add_argument("experiment_id", help="experiment ID, e.g. T1, F3, A4")
+    run_p.add_argument("--quick", action="store_true", help="use fast parameters")
+    run_p.add_argument("--out", help="also write the rendered table to this file")
+
+    all_p = sub.add_parser("run-all", help="run every experiment (quick parameters)")
+    all_p.add_argument("--out-dir", help="write each rendered table to <out-dir>/<ID>.txt")
+    all_p.add_argument(
+        "--full", action="store_true", help="use full parameters (slow; use the benchmarks instead)"
+    )
+
+    rep_p = sub.add_parser("report", help="analytic report of the canonical cluster")
+    rep_p.add_argument("--load-factor", type=float, default=1.0)
+
+    sum_p = sub.add_parser("summary", help="assemble experiment artifacts into one report")
+    sum_p.add_argument("--results-dir", default="benchmarks/results")
+    sum_p.add_argument("--out", help="write the Markdown report to this file")
+
+    diag_p = sub.add_parser("diagnose", help="pre-flight diagnostics of the canonical cluster")
+    diag_p.add_argument("--load-factor", type=float, default=1.0)
+
+    solve_p = sub.add_parser("solve", help="run a paper optimizer on the canonical instance")
+    solve_p.add_argument("problem", choices=["p1", "p2", "p3"])
+    solve_p.add_argument("--load-factor", type=float, default=1.0)
+    solve_p.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.9,
+        help="p1: power budget as a fraction of the full-speed power",
+    )
+    solve_p.add_argument(
+        "--delay-slack",
+        type=float,
+        default=1.25,
+        help="p2: per-class delay bounds as a multiple of the full-speed delays",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.analysis.tables import ascii_table
+    from repro.experiments.registry import REGISTRY
+
+    rows = [[e.id, e.title] for e in REGISTRY.values()]
+    print(ascii_table(["ID", "experiment"], rows, title="Reproducible experiments"))
+    print("\nrun one with: python -m repro run <ID> [--quick]")
+    return 0
+
+
+def _cmd_run(experiment_id: str, quick: bool, out: str | None) -> int:
+    from repro.experiments.registry import run_experiment
+
+    text = run_experiment(experiment_id, quick=quick)
+    print(text)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[written to {out}]")
+    return 0
+
+
+def _cmd_run_all(out_dir: str | None, full: bool) -> int:
+    import pathlib
+    import time
+
+    from repro.experiments.registry import REGISTRY
+
+    target = pathlib.Path(out_dir) if out_dir else None
+    if target:
+        target.mkdir(parents=True, exist_ok=True)
+    failures = []
+    for exp in REGISTRY.values():
+        t0 = time.perf_counter()
+        try:
+            text = exp.render(exp.run(quick=not full))
+        except Exception as exc:  # surface, keep going
+            failures.append(exp.id)
+            print(f"== {exp.id} FAILED: {exc}")
+            continue
+        dt = time.perf_counter() - t0
+        print(f"== {exp.id} ({dt:.1f}s)\n{text}\n")
+        if target:
+            (target / f"{exp.id}.txt").write_text(text + "\n")
+    if failures:
+        print(f"failed experiments: {failures}")
+        return 1
+    print(f"all {len(REGISTRY)} experiments completed")
+    return 0
+
+
+def _cmd_report(load_factor: float) -> int:
+    from repro.analysis.tables import ascii_table
+    from repro.core.perf_model import ClusterPerformanceModel
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    model = ClusterPerformanceModel(canonical_cluster(), canonical_workload(load_factor))
+    rep = model.report()
+    rows = [
+        [name, round(t, 4), round(e, 2)]
+        for name, t, e in zip(rep.class_names, rep.delays, rep.energy_per_class)
+    ]
+    print(
+        ascii_table(
+            ["class", "mean delay (s)", "energy (J/req)"],
+            rows,
+            title=f"Canonical cluster at load factor {load_factor:g}",
+        )
+    )
+    print(f"mean delay {rep.mean_delay:.4f} s | power {rep.average_power:.1f} W")
+    print(f"tier utilizations: {np.round(rep.utilizations, 3).tolist()}")
+    return 0
+
+
+def _cmd_solve(problem: str, load_factor: float, budget_fraction: float, delay_slack: float) -> int:
+    from repro.core import minimize_cost, minimize_delay, minimize_energy
+    from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+
+    cluster = canonical_cluster()
+    workload = canonical_workload(load_factor)
+    if problem == "p1":
+        full = cluster.average_power(workload.arrival_rates)
+        res = minimize_delay(cluster, workload, power_budget=budget_fraction * full)
+        print(f"P1 @ budget {budget_fraction:.0%} of {full:.1f} W:")
+        print(f"  speeds {np.round(res.x, 3).tolist()}")
+        print(f"  mean delay {res.fun:.4f} s at {res.meta['power']:.1f} W")
+    elif problem == "p2":
+        from repro.core.delay import end_to_end_delays
+
+        bounds = end_to_end_delays(cluster, workload) * delay_slack
+        res = minimize_energy(cluster, workload, class_delay_bounds=bounds)
+        print(f"P2b @ per-class bounds {np.round(bounds, 3).tolist()}:")
+        print(f"  speeds {np.round(res.x, 3).tolist()}")
+        print(f"  power {res.meta['power']:.1f} W")
+    else:
+        alloc = minimize_cost(cluster, workload, canonical_sla())
+        print("P3 @ canonical SLA:")
+        print(f"  servers {alloc.server_counts.tolist()} (cost {alloc.total_cost:g})")
+        print(f"  speeds {np.round(alloc.speeds, 3).tolist()}")
+        print(f"  delays {np.round(alloc.delays, 3).tolist()} | power {alloc.average_power:.1f} W")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment_id, args.quick, args.out)
+    if args.command == "run-all":
+        return _cmd_run_all(args.out_dir, args.full)
+    if args.command == "report":
+        return _cmd_report(args.load_factor)
+    if args.command == "diagnose":
+        from repro.analysis.diagnostics import diagnose
+        from repro.experiments.common import canonical_cluster, canonical_workload
+
+        findings = diagnose(canonical_cluster(), canonical_workload(args.load_factor))
+        if not findings:
+            print("no findings — configuration looks healthy")
+        for f in findings:
+            print(f"[{f.severity.value}] {f.code}: {f.message}")
+        return 0
+    if args.command == "summary":
+        from repro.analysis.summary import build_summary
+
+        text = build_summary(args.results_dir)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"[written to {args.out}]")
+        else:
+            print(text)
+        return 0
+    if args.command == "solve":
+        return _cmd_solve(args.problem, args.load_factor, args.budget_fraction, args.delay_slack)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Cluster model: tiers of speed-scalable servers with a power model.
+
+The provider's cluster is a tandem of *tiers* (load balancer,
+application servers, database, ...). Each tier has ``c`` identical
+servers, every server running at a normalized speed ``s`` chosen by the
+power manager within hardware bounds, drawing power according to a
+DVFS-style model (:class:`PowerModel`), and costing the provider a
+per-server price (:class:`ServerSpec`). Per-class service *demands*
+are expressed in work units; a demand of ``x`` units takes ``x / s``
+seconds on a speed-``s`` server.
+"""
+
+from repro.cluster.power import PowerModel
+from repro.cluster.server import ServerSpec
+from repro.cluster.tier import Tier
+from repro.cluster.model import ClusterModel
+from repro.cluster.speed_scaling import (
+    proportional_speeds,
+    uniform_speeds,
+    utilization_capped_speeds,
+)
+
+__all__ = [
+    "PowerModel",
+    "ServerSpec",
+    "Tier",
+    "ClusterModel",
+    "uniform_speeds",
+    "proportional_speeds",
+    "utilization_capped_speeds",
+]

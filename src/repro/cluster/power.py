@@ -1,0 +1,98 @@
+"""DVFS-style server power model.
+
+A server at normalized speed ``s`` (frequency relative to nominal)
+draws
+
+    P_busy(s) = P_idle + κ s^α        while serving a job,
+    P_idle                             while idle,
+
+the standard dynamic-voltage-frequency-scaling cube law (α ≈ 3 for
+CMOS, since dynamic power ∝ C V² f and V scales with f). Two derived
+quantities drive every energy formula in the library:
+
+* **Dynamic energy per unit of work** at speed ``s``: serving one work
+  unit takes ``1/s`` seconds at excess power ``κ s^α``, i.e.
+  ``e(s) = κ s^{α-1}`` — increasing in ``s`` for ``α > 1``, which is
+  what makes the delay/energy trade-off non-trivial.
+* **Average tier power** with work arrival rate ``R`` (work units per
+  second) on ``c`` servers:
+  ``P = c P_idle + R κ s^{α-1}``, because the expected number of busy
+  servers is ``R / s`` and each draws ``κ s^α`` above idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-server power curve ``P_busy(s) = idle + kappa * s**alpha``.
+
+    Attributes
+    ----------
+    idle:
+        Idle (static) power draw, watts; ``>= 0``.
+    kappa:
+        Dynamic power coefficient at ``s = 1``; ``> 0``.
+    alpha:
+        DVFS exponent, typically in ``[2, 3]``; must be ``> 1`` for the
+        energy/performance trade-off to exist.
+    """
+
+    idle: float
+    kappa: float
+    alpha: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.idle < 0.0 or not np.isfinite(self.idle):
+            raise ModelValidationError(f"idle power must be non-negative and finite, got {self.idle}")
+        if self.kappa <= 0.0 or not np.isfinite(self.kappa):
+            raise ModelValidationError(f"kappa must be positive and finite, got {self.kappa}")
+        if self.alpha <= 1.0 or not np.isfinite(self.alpha):
+            raise ModelValidationError(
+                f"alpha must exceed 1 (no speed/energy trade-off otherwise), got {self.alpha}"
+            )
+
+    def busy_power(self, speed: float | np.ndarray) -> float | np.ndarray:
+        """Power draw while serving at ``speed``: ``idle + κ s^α``."""
+        s = np.asarray(speed, dtype=float)
+        self._check_speed(s)
+        out = self.idle + self.kappa * s**self.alpha
+        return float(out) if out.ndim == 0 else out
+
+    def dynamic_energy_per_work(self, speed: float | np.ndarray) -> float | np.ndarray:
+        """Excess (above-idle) energy to process one work unit:
+        ``κ s^{α-1}``."""
+        s = np.asarray(speed, dtype=float)
+        self._check_speed(s)
+        out = self.kappa * s ** (self.alpha - 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def average_power(
+        self, speed: float, work_rate: float, servers: int
+    ) -> float:
+        """Mean power of a ``servers``-server tier at ``speed`` with
+        total work arrival rate ``work_rate`` (work units/second).
+
+        ``P = c · idle + work_rate · κ s^{α-1}``. Valid whenever the
+        tier is stable (``work_rate < c · speed``); the caller checks
+        stability.
+        """
+        self._check_speed(np.asarray(speed))
+        if work_rate < 0.0:
+            raise ModelValidationError(f"work rate must be non-negative, got {work_rate}")
+        if servers < 1:
+            raise ModelValidationError(f"server count must be >= 1, got {servers}")
+        return servers * self.idle + work_rate * self.kappa * speed ** (self.alpha - 1.0)
+
+    @staticmethod
+    def _check_speed(s: np.ndarray) -> None:
+        if np.any(s <= 0.0) or not np.all(np.isfinite(s)):
+            raise ModelValidationError(f"speed must be positive and finite, got {s}")

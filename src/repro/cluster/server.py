@@ -1,0 +1,50 @@
+"""Server hardware specification: power curve, speed range, price."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.power import PowerModel
+from repro.exceptions import ModelValidationError
+
+__all__ = ["ServerSpec"]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server model the provider can deploy at a tier.
+
+    Attributes
+    ----------
+    power:
+        The server's :class:`PowerModel`.
+    min_speed, max_speed:
+        DVFS range of normalized speeds, ``0 < min_speed <= max_speed``.
+    cost:
+        Provider's cost per server per charging period (the unit of the
+        P3 objective) — amortized hardware + hosting.
+    name:
+        Optional label for reports.
+    """
+
+    power: PowerModel
+    min_speed: float = 0.5
+    max_speed: float = 1.0
+    cost: float = 1.0
+    name: str = "server"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.power, PowerModel):
+            raise ModelValidationError(f"power must be a PowerModel, got {type(self.power).__name__}")
+        if not (0.0 < self.min_speed <= self.max_speed) or not np.isfinite(self.max_speed):
+            raise ModelValidationError(
+                f"need 0 < min_speed <= max_speed, got [{self.min_speed}, {self.max_speed}]"
+            )
+        if self.cost < 0.0 or not np.isfinite(self.cost):
+            raise ModelValidationError(f"server cost must be non-negative and finite, got {self.cost}")
+
+    def clamp_speed(self, speed: float) -> float:
+        """Project a requested speed into the hardware's DVFS range."""
+        return float(min(max(speed, self.min_speed), self.max_speed))

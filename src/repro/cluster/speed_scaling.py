@@ -1,0 +1,63 @@
+"""Static speed-scaling heuristics.
+
+These are the simple policies a provider might use *without* the
+paper's optimization machinery — they double as the baselines in the
+F3/F4 trade-off experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.exceptions import ModelValidationError
+
+__all__ = ["uniform_speeds", "proportional_speeds", "utilization_capped_speeds"]
+
+
+def uniform_speeds(cluster: ClusterModel, speed: float) -> np.ndarray:
+    """Every tier at the same speed, clamped into each tier's range."""
+    return np.array([t.spec.clamp_speed(speed) for t in cluster.tiers])
+
+
+def proportional_speeds(
+    cluster: ClusterModel, arrival_rates: Sequence[float], headroom: float = 1.5
+) -> np.ndarray:
+    """Speed proportional to the tier's offered work: each tier ``i``
+    targets ``s_i = headroom × R_i / c_i`` (utilization ``1/headroom``),
+    clamped into the DVFS range.
+
+    Parameters
+    ----------
+    headroom:
+        Capacity multiple over offered load, ``> 1``.
+    """
+    if headroom <= 1.0:
+        raise ModelValidationError(f"headroom must exceed 1, got {headroom}")
+    r = cluster.work_rates(arrival_rates)
+    raw = headroom * r / cluster.server_counts
+    return np.array([t.spec.clamp_speed(s) for t, s in zip(cluster.tiers, raw)])
+
+
+def utilization_capped_speeds(
+    cluster: ClusterModel, arrival_rates: Sequence[float], max_utilization: float = 0.9
+) -> np.ndarray:
+    """The *slowest* speeds keeping every tier at or below
+    ``max_utilization`` — the minimum-power static policy that is still
+    stable. Raises if even max speed cannot achieve the cap.
+    """
+    if not 0.0 < max_utilization < 1.0:
+        raise ModelValidationError(f"max_utilization must be in (0, 1), got {max_utilization}")
+    r = cluster.work_rates(arrival_rates)
+    required = r / (cluster.server_counts * max_utilization)
+    speeds = []
+    for t, s in zip(cluster.tiers, required):
+        if s > t.spec.max_speed + 1e-12:
+            raise ModelValidationError(
+                f"tier {t.name!r} cannot reach utilization {max_utilization} even at max speed "
+                f"(needs speed {s:.4g} > max {t.spec.max_speed})"
+            )
+        speeds.append(t.spec.clamp_speed(float(s)))
+    return np.array(speeds)

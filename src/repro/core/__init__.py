@@ -1,0 +1,87 @@
+"""The paper's primary contribution.
+
+* ``delay``      — per-class average end-to-end delay of the priority
+                   cluster (abstract claim 1, performance half).
+* ``energy``     — average power / per-request energy (claim 1, power
+                   half).
+* ``perf_model`` — :class:`ClusterPerformanceModel`, the combined OO
+                   facade over both.
+* ``opt_delay``  — P1: minimize mean end-to-end delay subject to an
+                   average power/energy budget (claim 2).
+* ``opt_energy`` — P2a/P2b: minimize average power subject to an
+                   aggregate or per-class delay bound (claim 3).
+* ``opt_cost``   — P3: minimize provider cost subject to per-class
+                   priority SLA guarantees (claim 4).
+* ``sla``        — SLA contract objects used by P2b/P3.
+"""
+
+from repro.core.delay import end_to_end_delays, mean_end_to_end_delay, per_tier_delays
+from repro.core.energy import (
+    average_power,
+    energy_per_request,
+    per_class_energy_per_request,
+)
+from repro.core.feasibility import sla_feasibility
+from repro.core.percentile import (
+    all_class_percentiles,
+    class_delay_percentile,
+    class_delay_survival,
+    hypoexponential_survival,
+    mg1_sojourn_variance,
+    mg1_wait_moments,
+)
+from repro.core.perf_model import ClusterPerformanceModel, DelayEnergyReport
+from repro.core.sla import SLA, ClassSLA
+from repro.core.opt_delay import minimize_delay
+from repro.core.opt_energy import minimize_energy, minimize_energy_robust
+from repro.core.opt_cost import CostAllocation, minimize_cost
+from repro.core.opt_tco import TCOAllocation, minimize_tco
+from repro.core.controller import (
+    EpochPlan,
+    ScheduleReport,
+    evaluate_schedule,
+    plan_speed_schedule,
+    static_plan,
+)
+from repro.core.forecast import (
+    blended_forecast,
+    ewma_forecast,
+    forecast_error,
+    seasonal_naive_forecast,
+)
+
+__all__ = [
+    "end_to_end_delays",
+    "mean_end_to_end_delay",
+    "per_tier_delays",
+    "average_power",
+    "energy_per_request",
+    "per_class_energy_per_request",
+    "ClusterPerformanceModel",
+    "DelayEnergyReport",
+    "SLA",
+    "ClassSLA",
+    "minimize_delay",
+    "minimize_energy",
+    "minimize_energy_robust",
+    "CostAllocation",
+    "minimize_cost",
+    "TCOAllocation",
+    "minimize_tco",
+    "EpochPlan",
+    "ScheduleReport",
+    "plan_speed_schedule",
+    "static_plan",
+    "evaluate_schedule",
+    "ewma_forecast",
+    "seasonal_naive_forecast",
+    "blended_forecast",
+    "forecast_error",
+    "sla_feasibility",
+    "all_class_percentiles",
+    "class_delay_percentile",
+    "class_delay_survival",
+    "hypoexponential_survival",
+    "mg1_wait_moments",
+    "mg1_sojourn_variance",
+]

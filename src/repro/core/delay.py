@@ -1,0 +1,57 @@
+"""Average end-to-end delay of multi-class priority clusters.
+
+Abstract claim 1 (performance half): "a development of computing an
+average end-to-end delay ... for multiple class customers". A class-k
+request's end-to-end delay is its total sojourn across the tandem of
+priority tiers:
+
+    T_k(s, c) = Σ_i v_{ik} · T_{ik},
+
+where ``T_{ik}`` comes from the sharpest applicable priority-queue
+formula (see :func:`repro.queueing.networks.station_delays`) with
+class-k service time ``D_{ik} / s_i`` at tier speed ``s_i``. The
+aggregate objective used in P1/P2a is the arrival-weighted mean
+
+    T̄ = Σ_k (λ_k / Λ) T_k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.exceptions import ModelValidationError
+from repro.queueing.networks import StationDelays
+from repro.workload.classes import Workload
+
+__all__ = ["end_to_end_delays", "mean_end_to_end_delay", "per_tier_delays"]
+
+
+def _check(cluster: ClusterModel, workload: Workload) -> None:
+    if cluster.num_classes != workload.num_classes:
+        raise ModelValidationError(
+            f"cluster is parameterized for {cluster.num_classes} classes "
+            f"but workload has {workload.num_classes}"
+        )
+
+
+def end_to_end_delays(cluster: ClusterModel, workload: Workload) -> np.ndarray:
+    """Per-class mean end-to-end delay ``T_k`` (highest priority first).
+
+    Raises :class:`UnstableSystemError` if any tier is saturated.
+    """
+    _check(cluster, workload)
+    return cluster.network().end_to_end_delays(workload.arrival_rates)
+
+
+def mean_end_to_end_delay(cluster: ClusterModel, workload: Workload) -> float:
+    """Arrival-weighted average end-to-end delay ``T̄`` over all classes."""
+    _check(cluster, workload)
+    return cluster.network().mean_delay(workload.arrival_rates)
+
+
+def per_tier_delays(cluster: ClusterModel, workload: Workload) -> list[StationDelays]:
+    """Per-tier, per-class delay decomposition (for reports and the
+    validation experiments)."""
+    _check(cluster, workload)
+    return cluster.network().per_station_delays(workload.arrival_rates)

@@ -1,0 +1,51 @@
+"""Shared SLA-feasibility evaluation (mean + percentile guarantees).
+
+Both the P3 greedy/local search and the exhaustive certifier judge
+candidate configurations through this one function, so "feasible"
+means the same thing everywhere: every class's *mean* end-to-end delay
+bound holds, and — when the SLA carries percentile guarantees — every
+class's approximate *percentile* delay bound holds too.
+
+The returned score drives the greedy search's gradient: it is 0
+exactly when feasible, sums *relative* violations otherwise, and jumps
+to a saturation-scaled 1e6 band when the configuration is not even
+stable (so the search first buys stability, then SLA slack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.delay import end_to_end_delays
+from repro.core.percentile import class_delay_percentile
+from repro.core.sla import SLA
+from repro.exceptions import UnstableSystemError
+from repro.workload.classes import Workload
+
+__all__ = ["sla_feasibility"]
+
+
+def sla_feasibility(
+    cluster: ClusterModel, workload: Workload, sla: SLA
+) -> tuple[bool, float]:
+    """Evaluate one configuration against an SLA.
+
+    Returns
+    -------
+    (feasible, score)
+        ``score <= 0`` iff feasible; otherwise the summed relative
+        violation over all mean and percentile guarantees (``1e6``-
+        scaled when unstable).
+    """
+    bounds = sla.delay_bounds(workload)
+    try:
+        delays = end_to_end_delays(cluster, workload)
+    except UnstableSystemError:
+        rho = cluster.utilizations(workload.arrival_rates)
+        return False, 1e6 * float(np.max(rho))
+    score = float(np.maximum(delays / bounds - 1.0, 0.0).sum())
+    for k, level, bound in sla.percentile_specs(workload):
+        tail = class_delay_percentile(cluster, workload, k, level)
+        score += max(tail / bound - 1.0, 0.0)
+    return score <= 0.0, score

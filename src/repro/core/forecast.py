@@ -1,0 +1,128 @@
+"""Rate forecasting for the epoch controller.
+
+The controller (:mod:`repro.core.controller`) consumes per-epoch rate
+forecasts; this module supplies the two classical baselines a provider
+would start from:
+
+* :func:`ewma_forecast` — exponentially weighted moving average over
+  the recent windows of the *same* day; reacts to trends, lags sharp
+  ramps.
+* :func:`seasonal_naive_forecast` — "tomorrow's 2 pm looks like
+  today's (or last week's) 2 pm"; the dominant signal for diurnal
+  loads, blind to day-over-day drift.
+* :func:`blended_forecast` — the convex combination of the two, the
+  standard practical compromise.
+
+All operate on the ``(num_windows, num_classes)`` rate arrays produced
+by :meth:`repro.workload.ArrivalTrace.windowed_rates`, and all support
+a multiplicative safety margin — the knob that trades energy for
+SLA compliance when forecasts run hot (cf. ``minimize_energy_robust``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+
+__all__ = ["ewma_forecast", "seasonal_naive_forecast", "blended_forecast", "forecast_error"]
+
+
+def _validate_history(history: np.ndarray) -> np.ndarray:
+    h = np.asarray(history, dtype=float)
+    if h.ndim != 2 or h.shape[0] == 0 or h.shape[1] == 0:
+        raise ModelValidationError(
+            f"history must be (num_windows, num_classes) with data, got shape {h.shape}"
+        )
+    if np.any(h < 0.0) or not np.all(np.isfinite(h)):
+        raise ModelValidationError("history rates must be finite and non-negative")
+    return h
+
+
+def ewma_forecast(
+    history: np.ndarray, alpha: float = 0.3, margin: float = 0.0
+) -> np.ndarray:
+    """One-step-ahead EWMA forecast per class.
+
+    Parameters
+    ----------
+    history:
+        Observed ``(num_windows, num_classes)`` rates, oldest first.
+    alpha:
+        Smoothing weight in ``(0, 1]`` — higher reacts faster.
+    margin:
+        Multiplicative safety margin ``>= 0`` applied to the forecast
+        (``0.1`` sizes for 10% above the prediction).
+    """
+    h = _validate_history(history)
+    if not 0.0 < alpha <= 1.0:
+        raise ModelValidationError(f"alpha must be in (0, 1], got {alpha}")
+    if margin < 0.0:
+        raise ModelValidationError(f"margin must be non-negative, got {margin}")
+    level = h[0].copy()
+    for row in h[1:]:
+        level = alpha * row + (1.0 - alpha) * level
+    return level * (1.0 + margin)
+
+
+def seasonal_naive_forecast(
+    history: np.ndarray, period: int, margin: float = 0.0
+) -> np.ndarray:
+    """Full next-period forecast: repeat the last observed period.
+
+    Returns ``(period, num_classes)`` — the rates one period ago,
+    window by window.
+
+    Raises
+    ------
+    ModelValidationError
+        If fewer than ``period`` windows of history exist.
+    """
+    h = _validate_history(history)
+    if period < 1:
+        raise ModelValidationError(f"period must be >= 1, got {period}")
+    if h.shape[0] < period:
+        raise ModelValidationError(
+            f"need at least {period} windows of history, have {h.shape[0]}"
+        )
+    if margin < 0.0:
+        raise ModelValidationError(f"margin must be non-negative, got {margin}")
+    return h[-period:] * (1.0 + margin)
+
+
+def blended_forecast(
+    history: np.ndarray,
+    period: int,
+    weight_seasonal: float = 0.7,
+    alpha: float = 0.3,
+    margin: float = 0.0,
+) -> np.ndarray:
+    """Convex blend of the seasonal-naive period forecast with the
+    (flat) EWMA level: ``w · seasonal + (1 − w) · ewma`` per window.
+
+    Returns ``(period, num_classes)``.
+    """
+    if not 0.0 <= weight_seasonal <= 1.0:
+        raise ModelValidationError(
+            f"weight_seasonal must be in [0, 1], got {weight_seasonal}"
+        )
+    seasonal = seasonal_naive_forecast(history, period)
+    level = ewma_forecast(history, alpha=alpha)
+    blend = weight_seasonal * seasonal + (1.0 - weight_seasonal) * level[None, :]
+    return blend * (1.0 + margin)
+
+
+def forecast_error(forecast: np.ndarray, actual: np.ndarray) -> float:
+    """Symmetric mean absolute percentage error (sMAPE, in [0, 2]).
+
+    The scale-free score used to compare forecasters on a trace.
+    """
+    f = np.asarray(forecast, dtype=float)
+    a = np.asarray(actual, dtype=float)
+    if f.shape != a.shape:
+        raise ModelValidationError(f"shape mismatch: forecast {f.shape} vs actual {a.shape}")
+    denom = np.abs(f) + np.abs(a)
+    mask = denom > 1e-12
+    if not mask.any():
+        return 0.0
+    return float(np.mean(2.0 * np.abs(f - a)[mask] / denom[mask]))

@@ -1,0 +1,48 @@
+"""Shared plumbing for the P1/P2/P3 optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.exceptions import InfeasibleProblemError
+from repro.workload.classes import Workload
+
+__all__ = ["stability_speed_bounds", "DEFAULT_RHO_CAP"]
+
+# Optimizers keep every tier at or below this utilization: the queueing
+# formulas are exact up to rho < 1, but the waits explode as 1/(1-rho)
+# so an optimum pinned at rho ~ 1 - 1e-9 is numerically meaningless and
+# operationally absurd. 0.98 leaves the interesting regime wide open.
+DEFAULT_RHO_CAP = 0.98
+
+
+def stability_speed_bounds(
+    cluster: ClusterModel, workload: Workload, rho_cap: float = DEFAULT_RHO_CAP
+) -> list[tuple[float, float]]:
+    """Per-tier speed box ``[lo_i, hi_i]`` combining the DVFS range with
+    the stability requirement ``ρ_i = R_i / (c_i s_i) <= rho_cap``.
+
+    The stability cut is *linear* in the speed, so folding it into the
+    box (rather than adding a nonlinear constraint) keeps the P1/P2
+    programs clean for SLSQP.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If some tier cannot reach ``rho_cap`` even at its maximum
+        speed — no speed assignment stabilizes the cluster.
+    """
+    work = cluster.work_rates(workload.arrival_rates)
+    bounds = []
+    for tier, r in zip(cluster.tiers, work):
+        lo_stab = float(r) / (tier.servers * rho_cap)
+        lo = max(tier.spec.min_speed, lo_stab)
+        hi = tier.spec.max_speed
+        if lo > hi + 1e-12:
+            raise InfeasibleProblemError(
+                f"tier {tier.name!r} needs speed >= {lo:.6g} to stay below utilization "
+                f"{rho_cap} but its maximum speed is {hi:.6g}; add servers or shed load"
+            )
+        bounds.append((min(lo, hi), hi))
+    return bounds

@@ -1,0 +1,214 @@
+"""P3 — minimize provider cost under per-class priority SLA guarantees.
+
+Abstract claim 4: "an approach for minimizing the total cost of cluster
+computing resources allocated to ensure multiple priority customer
+service guarantees". The decision is the vector of per-tier server
+counts ``c`` (integers), with speeds as a secondary lever:
+
+    minimize    Σ_i c_i · cost_i
+    subject to  T_k(c, s_max) <= D_k   for every class k
+                c_i in [c_i^min, c_i^max] integer,
+
+where ``c_i^min`` is the smallest count that can stabilize the tier at
+maximum speed. Feasibility is judged at maximum speeds (delays are
+non-increasing in every ``c_i`` and decreasing in speed, so if a count
+vector fails at ``s_max`` it fails everywhere).
+
+Search strategy (evaluated against exhaustive enumeration in T3/T4):
+
+1. start at the stability lower bound,
+2. greedily add the server with the best SLA-violation relief per
+   dollar until feasible,
+3. cost-descent local search (delete / swap) to squeeze the allocation,
+4. optionally re-run P2b on the final counts to pick the slowest —
+   cheapest to operate — speeds that still meet the SLA
+   (``optimize_speeds=True``), combining claim 4's provisioning with
+   claim 3's power management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.delay import end_to_end_delays
+from repro.core.feasibility import sla_feasibility
+from repro.core.opt_common import DEFAULT_RHO_CAP
+from repro.core.opt_energy import minimize_energy
+from repro.core.sla import SLA
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.optimize.integer import greedy_integer_allocation, integer_local_search
+from repro.workload.classes import Workload
+
+__all__ = ["CostAllocation", "minimize_cost"]
+
+
+@dataclass
+class CostAllocation:
+    """Result of the P3 cost minimization.
+
+    Attributes
+    ----------
+    cluster:
+        The final configuration (counts and, if requested, energy-
+        optimal speeds).
+    server_counts:
+        Optimal per-tier counts.
+    speeds:
+        Final per-tier speeds.
+    total_cost:
+        ``Σ_i c_i cost_i`` at the optimum.
+    delays:
+        Achieved per-class end-to-end delays.
+    average_power:
+        Average power of the final configuration.
+    n_evaluations:
+        SLA-feasibility evaluations spent by the integer search (the
+        T4 efficiency metric).
+    meta:
+        Extras (greedy iterate, bounds, the P2b result when speeds
+        were optimized).
+    """
+
+    cluster: ClusterModel
+    server_counts: np.ndarray
+    speeds: np.ndarray
+    total_cost: float
+    delays: np.ndarray
+    average_power: float
+    n_evaluations: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def minimize_cost(
+    cluster: ClusterModel,
+    workload: Workload,
+    sla: SLA,
+    max_servers_per_tier: int | None = 64,
+    optimize_speeds: bool = True,
+    rho_cap: float = DEFAULT_RHO_CAP,
+) -> CostAllocation:
+    """Solve P3: the cheapest server allocation meeting every class's
+    priority SLA.
+
+    Parameters
+    ----------
+    cluster:
+        Template configuration — tier specs, demands, disciplines and
+        visit ratios are kept; current counts/speeds are ignored.
+    workload:
+        Offered multi-class workload.
+    sla:
+        Per-class mean end-to-end delay guarantees.
+    max_servers_per_tier:
+        Upper search bound per tier (uniform). ``None`` lets the
+        search pick a bound by doubling until feasible.
+    optimize_speeds:
+        After fixing counts, run P2b to slow the tiers down to the
+        energy-minimal speeds that still meet the SLA.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no allocation within the bounds meets the SLA.
+    """
+    bounds_arr = sla.delay_bounds(workload)
+    lam = workload.arrival_rates
+    at_max_speed = cluster.with_speeds([t.spec.max_speed for t in cluster.tiers])
+    work = at_max_speed.work_rates(lam)
+
+    lower = np.array(
+        [
+            max(1, int(np.ceil(r / (t.spec.max_speed * rho_cap))))
+            for t, r in zip(at_max_speed.tiers, work)
+        ],
+        dtype=int,
+    )
+
+    if max_servers_per_tier is not None:
+        if max_servers_per_tier < 1:
+            raise ModelValidationError(
+                f"max_servers_per_tier must be >= 1, got {max_servers_per_tier}"
+            )
+        upper = np.maximum(lower, max_servers_per_tier)
+    else:
+        # Double a uniform headroom multiplier until the all-upper
+        # configuration is feasible (or give up at 4096x the lower bound).
+        mult = 2
+        while True:
+            upper = lower * mult + 4
+            if _feasible(at_max_speed, workload, sla, upper)[0]:
+                break
+            mult *= 2
+            if mult > 4096:
+                raise InfeasibleProblemError(
+                    "SLA cannot be met even with 4096x the stability-minimum servers; "
+                    "the bounds are below the zero-queueing service times"
+                )
+
+    evals = [0]
+
+    def evaluate(counts: np.ndarray) -> tuple[bool, float]:
+        evals[0] += 1
+        return _feasible(at_max_speed, workload, sla, counts)
+
+    def cost(counts: np.ndarray) -> float:
+        return float(
+            sum(int(c) * t.spec.cost for c, t in zip(counts, at_max_speed.tiers))
+        )
+
+    greedy = greedy_integer_allocation(evaluate, cost, lower, upper)
+    counts = integer_local_search(greedy, evaluate, cost, lower, upper)
+
+    final = at_max_speed.with_servers(counts)
+    meta: dict[str, Any] = {
+        "greedy_counts": greedy.copy(),
+        "lower_bounds": lower,
+        "upper_bounds": upper,
+    }
+
+    if optimize_speeds:
+        p2b = minimize_energy(
+            final, workload, class_delay_bounds=bounds_arr, rho_cap=rho_cap
+        )
+        if p2b.success:
+            tuned = p2b.meta["cluster"]
+            # P2b only enforces the mean bounds; a percentile guarantee
+            # could still break at the slower speeds — keep max speeds
+            # if it does.
+            if not sla.has_percentiles or sla_feasibility(tuned, workload, sla)[0]:
+                final = tuned
+                meta["speed_optimization"] = p2b
+            else:
+                meta["speed_optimization_rejected"] = "percentile guarantee binds at reduced speeds"
+        else:  # pragma: no cover - SLSQP failure fallback keeps max speeds
+            meta["speed_optimization_failed"] = p2b.message
+
+    delays = end_to_end_delays(final, workload)
+    return CostAllocation(
+        cluster=final,
+        server_counts=np.asarray(counts, dtype=int),
+        speeds=final.speeds,
+        total_cost=final.total_cost(),
+        delays=delays,
+        average_power=final.average_power(lam),
+        n_evaluations=evals[0],
+        meta=meta,
+    )
+
+
+def _feasible(
+    cluster_max_speed: ClusterModel,
+    workload: Workload,
+    sla: SLA,
+    counts: np.ndarray,
+) -> tuple[bool, float]:
+    """SLA feasibility (mean + percentile guarantees) of a count
+    vector at maximum speeds; see
+    :func:`repro.core.feasibility.sla_feasibility` for the score
+    semantics."""
+    candidate = cluster_max_speed.with_servers(np.maximum(np.asarray(counts, dtype=int), 1))
+    return sla_feasibility(candidate, workload, sla)

@@ -1,0 +1,102 @@
+"""P1 — minimize average end-to-end delay under an energy budget.
+
+Abstract claim 2: "optimizing the average end-to-end delay subject to
+the constraint of an average energy consumption". The decision is the
+vector of tier speeds ``s`` (server counts fixed); the program is
+
+    minimize    T̄(s)                       (mean end-to-end delay)
+    subject to  P(s) <= power_budget        (average power)
+                s_i in [max(s_min_i, stability_i), s_max_i].
+
+Delay is strictly decreasing and power strictly increasing in every
+``s_i`` (for ``α > 1``), so the budget binds at any interior optimum —
+the optimizer's job is to split the budget across tiers, and the
+answer is non-obvious because tiers differ in load, variability and
+power curves. Solved by multistart SLSQP; feasibility is certified
+up front by evaluating the power at the slowest stable speeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.delay import mean_end_to_end_delay
+from repro.core.opt_common import DEFAULT_RHO_CAP, stability_speed_bounds
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.optimize.constrained import Constraint, minimize_box_constrained
+from repro.optimize.result import OptimizationResult
+from repro.workload.classes import Workload
+
+__all__ = ["minimize_delay"]
+
+
+def minimize_delay(
+    cluster: ClusterModel,
+    workload: Workload,
+    power_budget: float,
+    n_starts: int = 5,
+    rho_cap: float = DEFAULT_RHO_CAP,
+) -> OptimizationResult:
+    """Solve P1: choose tier speeds minimizing mean end-to-end delay
+    within an average power budget.
+
+    Parameters
+    ----------
+    cluster:
+        Cluster configuration; server counts and disciplines are kept,
+        current speeds are ignored (they only seed one start).
+    workload:
+        The offered multi-class workload.
+    power_budget:
+        Upper bound on average cluster power (watts). A bound on
+        energy over a charging period divided by the period length is
+        exactly this number.
+    n_starts:
+        Multistart seeds for SLSQP.
+    rho_cap:
+        Per-tier utilization cap folded into the speed bounds.
+
+    Returns
+    -------
+    OptimizationResult
+        ``x`` is the optimal speed vector; ``meta["cluster"]`` holds
+        the re-configured :class:`ClusterModel` and
+        ``meta["power"]`` the achieved average power.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If even the slowest stable speeds exceed the budget, or no
+        stable speed assignment exists.
+    """
+    if power_budget <= 0.0 or not np.isfinite(power_budget):
+        raise ModelValidationError(f"power budget must be positive and finite, got {power_budget}")
+    bounds = stability_speed_bounds(cluster, workload, rho_cap)
+    lam = workload.arrival_rates
+
+    lo = np.array([b[0] for b in bounds])
+    min_power = cluster.with_speeds(lo).average_power(lam)
+    if min_power > power_budget:
+        raise InfeasibleProblemError(
+            f"power budget {power_budget:.6g} W is below the minimum stable power "
+            f"{min_power:.6g} W (slowest stable speeds {np.round(lo, 4).tolist()})"
+        )
+
+    def objective(s: np.ndarray) -> float:
+        return mean_end_to_end_delay(cluster.with_speeds(s), workload)
+
+    def power_slack(s: np.ndarray) -> float:
+        return power_budget - cluster.with_speeds(s).average_power(lam)
+
+    result = minimize_box_constrained(
+        objective,
+        bounds,
+        constraints=[Constraint(power_slack, name="power budget")],
+        n_starts=n_starts,
+    )
+    optimized = cluster.with_speeds(result.x)
+    result.meta["cluster"] = optimized
+    result.meta["power"] = optimized.average_power(lam)
+    result.meta["power_budget"] = power_budget
+    return result

@@ -1,0 +1,193 @@
+"""P2 — minimize average energy under end-to-end delay constraints.
+
+Abstract claim 3: "optimizing the average end-to-end energy consumption
+subject to the constraints of an average end-to-end delay for all class
+and each class customer requests respectively". Two variants over tier
+speeds ``s``:
+
+P2a (aggregate):
+    minimize  P(s)   subject to  T̄(s) <= max_mean_delay
+
+P2b (per-class):
+    minimize  P(s)   subject to  T_k(s) <= D_k  for every class k,
+
+with the same stability-adjusted speed box as P1. P2b is the SLA-aware
+variant: tight bounds on the high-priority classes cost extra energy
+that an aggregate-only bound would not require — experiment F5
+quantifies exactly that gap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.delay import end_to_end_delays, mean_end_to_end_delay
+from repro.core.opt_common import DEFAULT_RHO_CAP, stability_speed_bounds
+from repro.core.sla import SLA
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.optimize.constrained import Constraint, minimize_box_constrained
+from repro.optimize.result import OptimizationResult
+from repro.workload.classes import Workload
+
+__all__ = ["minimize_energy", "minimize_energy_robust"]
+
+
+def minimize_energy(
+    cluster: ClusterModel,
+    workload: Workload,
+    max_mean_delay: float | None = None,
+    class_delay_bounds: Sequence[float] | None = None,
+    sla: SLA | None = None,
+    n_starts: int = 5,
+    rho_cap: float = DEFAULT_RHO_CAP,
+) -> OptimizationResult:
+    """Solve P2: choose tier speeds minimizing average power subject to
+    delay constraints.
+
+    Exactly one constraint source must be given:
+
+    * ``max_mean_delay`` — P2a, a bound on the aggregate mean delay;
+    * ``class_delay_bounds`` — P2b, per-class bounds in priority order;
+    * ``sla`` — P2b with bounds read from an :class:`SLA`.
+
+    Returns
+    -------
+    OptimizationResult
+        ``x`` is the optimal speed vector; ``meta["cluster"]`` the
+        reconfigured model, ``meta["delays"]`` the achieved per-class
+        delays and ``meta["power"]`` the minimized average power.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the bounds cannot be met even at maximum speeds, or no
+        stable speed assignment exists.
+    """
+    sources = [max_mean_delay is not None, class_delay_bounds is not None, sla is not None]
+    if sum(sources) != 1:
+        raise ModelValidationError(
+            "give exactly one of max_mean_delay, class_delay_bounds or sla"
+        )
+    if sla is not None:
+        class_delay_bounds = sla.delay_bounds(workload)
+    if class_delay_bounds is not None:
+        bounds_arr = np.asarray(class_delay_bounds, dtype=float)
+        if bounds_arr.shape != (workload.num_classes,):
+            raise ModelValidationError(
+                f"expected {workload.num_classes} class delay bounds, got shape {bounds_arr.shape}"
+            )
+        if np.any(bounds_arr <= 0.0):
+            raise ModelValidationError(f"delay bounds must be positive, got {bounds_arr}")
+    else:
+        if max_mean_delay is None or max_mean_delay <= 0.0 or not np.isfinite(max_mean_delay):
+            raise ModelValidationError(f"max_mean_delay must be positive and finite, got {max_mean_delay}")
+        bounds_arr = None
+
+    box = stability_speed_bounds(cluster, workload, rho_cap)
+    lam = workload.arrival_rates
+    hi = np.array([b[1] for b in box])
+    fastest = cluster.with_speeds(hi)
+
+    # Feasibility certificate at maximum speeds (delay decreasing in s).
+    if bounds_arr is not None:
+        best_delays = end_to_end_delays(fastest, workload)
+        if np.any(best_delays > bounds_arr):
+            worst = int(np.argmax(best_delays - bounds_arr))
+            raise InfeasibleProblemError(
+                f"class {workload.names[worst]!r} cannot meet its delay bound "
+                f"{bounds_arr[worst]:.6g}s even at maximum speeds "
+                f"(best achievable {best_delays[worst]:.6g}s)"
+            )
+    else:
+        best_mean = mean_end_to_end_delay(fastest, workload)
+        if best_mean > max_mean_delay:
+            raise InfeasibleProblemError(
+                f"aggregate delay bound {max_mean_delay:.6g}s is below the best achievable "
+                f"mean delay {best_mean:.6g}s at maximum speeds"
+            )
+
+    def objective(s: np.ndarray) -> float:
+        return cluster.with_speeds(s).average_power(lam)
+
+    constraints: list[Constraint] = []
+    if bounds_arr is not None:
+        for k in range(workload.num_classes):
+            def slack(s: np.ndarray, k: int = k) -> float:
+                return bounds_arr[k] - end_to_end_delays(cluster.with_speeds(s), workload)[k]
+
+            constraints.append(Constraint(slack, name=f"delay[{workload.names[k]}]"))
+    else:
+        def agg_slack(s: np.ndarray) -> float:
+            return max_mean_delay - mean_end_to_end_delay(cluster.with_speeds(s), workload)
+
+        constraints.append(Constraint(agg_slack, name="mean delay"))
+
+    result = minimize_box_constrained(objective, box, constraints=constraints, n_starts=n_starts)
+    optimized = cluster.with_speeds(result.x)
+    result.meta["cluster"] = optimized
+    result.meta["delays"] = end_to_end_delays(optimized, workload)
+    result.meta["power"] = optimized.average_power(lam)
+    if bounds_arr is not None:
+        result.meta["delay_bounds"] = bounds_arr
+    else:
+        result.meta["max_mean_delay"] = max_mean_delay
+    return result
+
+
+def minimize_energy_robust(
+    cluster: ClusterModel,
+    workload: Workload,
+    rate_uncertainty: float,
+    max_mean_delay: float | None = None,
+    class_delay_bounds: Sequence[float] | None = None,
+    sla: SLA | None = None,
+    n_starts: int = 5,
+    rho_cap: float = DEFAULT_RHO_CAP,
+) -> OptimizationResult:
+    """P2 with rate uncertainty: guarantee the delay bounds for every
+    arrival-rate vector up to ``(1 + rate_uncertainty)`` times the
+    forecast.
+
+    Forecasts are never exact; a provider that sizes speeds for the
+    point forecast violates its SLA the moment traffic runs a few
+    percent hot. Because every delay in the model is monotone
+    increasing in every class's arrival rate, the worst case over the
+    box ``λ_k ∈ [λ̂_k, λ̂_k (1 + ε)]`` is its top corner — so robust
+    P2 is exactly nominal P2 against the inflated workload, with the
+    returned power evaluated at the *forecast* rates (what the
+    provider actually pays on average).
+
+    Parameters
+    ----------
+    rate_uncertainty:
+        Relative forecast error ``ε >= 0`` to be robust against.
+
+    Returns
+    -------
+    OptimizationResult
+        As :func:`minimize_energy`; ``meta["power"]`` is at forecast
+        rates, ``meta["worst_case_delays"]`` at the inflated rates.
+    """
+    if rate_uncertainty < 0.0 or not np.isfinite(rate_uncertainty):
+        raise ModelValidationError(
+            f"rate uncertainty must be non-negative and finite, got {rate_uncertainty}"
+        )
+    inflated = workload.scaled(1.0 + rate_uncertainty)
+    result = minimize_energy(
+        cluster,
+        inflated,
+        max_mean_delay=max_mean_delay,
+        class_delay_bounds=class_delay_bounds,
+        sla=sla,
+        n_starts=n_starts,
+        rho_cap=rho_cap,
+    )
+    optimized = result.meta["cluster"]
+    result.meta["worst_case_delays"] = result.meta.pop("delays")
+    result.meta["delays"] = end_to_end_delays(optimized, workload)
+    result.meta["power"] = optimized.average_power(workload.arrival_rates)
+    result.meta["rate_uncertainty"] = rate_uncertainty
+    return result

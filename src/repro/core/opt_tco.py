@@ -1,0 +1,186 @@
+"""P4 — minimize total cost of ownership (servers + energy) under SLAs.
+
+A forward-looking combination of the paper's P2 and P3 (its "total
+cost" objective priced only hardware): the provider pays both for the
+servers it deploys *and* for the energy they draw over the charging
+period, so the objective becomes
+
+    TCO(c, s) = Σ_i c_i · cost_i  +  price · P(c, s)
+
+subject to the same per-class SLA guarantees, over integer counts and
+continuous speeds. The energy price turns the count/speed interaction
+interesting: when energy is cheap the optimum is the P3 corner (fewest
+servers, fast); when energy is expensive, *more* servers running
+slower can win — each unit of work costs ``κ s^{α−1}`` joules, so
+halving the speed cuts per-work energy by ``(α−1)``-fold powers — up
+to the point where the added idle draw eats the saving.
+
+Search: the cost-only optimum (P3) anchors a window of count vectors
+``[c^{P3}, c^{P3} + window]``; each candidate's speeds are tuned by
+P2b and its TCO evaluated; the best candidate wins. The window is
+sound because counts below the P3 optimum are SLA-infeasible by P3's
+optimality, and the experiments (F9) sweep the price to show the
+crossover the window exists to capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core.delay import end_to_end_delays
+from repro.core.feasibility import sla_feasibility
+from repro.core.opt_cost import minimize_cost
+from repro.core.opt_energy import minimize_energy
+from repro.core.sla import SLA
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.workload.classes import Workload
+
+__all__ = ["TCOAllocation", "minimize_tco"]
+
+
+@dataclass
+class TCOAllocation:
+    """Result of the P4 TCO minimization.
+
+    Attributes
+    ----------
+    cluster:
+        Final configuration (counts + tuned speeds).
+    server_counts, speeds:
+        The decision variables at the optimum.
+    server_cost:
+        Hardware part of the objective.
+    energy_cost:
+        ``price × average power`` part.
+    total_cost:
+        The minimized TCO.
+    average_power, delays:
+        Operating point of the final configuration.
+    n_candidates:
+        Count vectors evaluated (the efficiency metric).
+    meta:
+        Extras (the anchoring P3 allocation, the window used).
+    """
+
+    cluster: ClusterModel
+    server_counts: np.ndarray
+    speeds: np.ndarray
+    server_cost: float
+    energy_cost: float
+    total_cost: float
+    average_power: float
+    delays: np.ndarray
+    n_candidates: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def minimize_tco(
+    cluster: ClusterModel,
+    workload: Workload,
+    sla: SLA,
+    energy_price: float,
+    window: int = 2,
+    max_servers_per_tier: int | None = 64,
+    n_starts: int = 2,
+) -> TCOAllocation:
+    """Solve P4: minimize server + energy cost subject to the SLA.
+
+    Parameters
+    ----------
+    energy_price:
+        Cost units per watt of average power over the charging period
+        (i.e. an energy price already multiplied by the period
+        length). ``0`` reduces P4 to P3 + P2b.
+    window:
+        How many servers above the P3 optimum to explore per tier.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no allocation meets the SLA (propagated from P3).
+    """
+    if energy_price < 0.0 or not np.isfinite(energy_price):
+        raise ModelValidationError(f"energy price must be non-negative and finite, got {energy_price}")
+    if window < 0:
+        raise ModelValidationError(f"window must be non-negative, got {window}")
+
+    anchor = minimize_cost(
+        cluster,
+        workload,
+        sla,
+        max_servers_per_tier=max_servers_per_tier,
+        optimize_speeds=False,
+    )
+    base = anchor.server_counts
+    lam = workload.arrival_rates
+    costs = np.array([t.spec.cost for t in cluster.tiers])
+
+    # Dynamic power is bounded below by running every tier at its
+    # slowest speed (e(s) = kappa s^(alpha-1) is increasing), so
+    #   TCO(c, s) >= server_cost(c) + price * (idle(c) + dynamic_min)
+    # — a cheap certificate that lets most of the window skip the
+    # expensive inner P2b solve.
+    work = cluster.work_rates(lam)
+    dynamic_min = float(
+        sum(
+            r * t.spec.power.kappa * t.spec.min_speed ** (t.spec.power.alpha - 1.0)
+            for t, r in zip(cluster.tiers, work)
+        )
+    )
+    idle_per_server = np.array([t.spec.power.idle for t in cluster.tiers])
+
+    best: tuple[float, np.ndarray, ClusterModel] | None = None
+    n_candidates = 0
+    for deltas in product(range(window + 1), repeat=cluster.num_tiers):
+        counts = base + np.array(deltas, dtype=int)
+        n_candidates += 1
+        tco_lower = float(np.dot(counts, costs)) + energy_price * (
+            float(np.dot(counts, idle_per_server)) + dynamic_min
+        )
+        if best is not None and tco_lower >= best[0]:
+            continue
+        candidate = cluster.with_servers(counts).with_speeds(
+            [t.spec.max_speed for t in cluster.tiers]
+        )
+        feasible, _ = sla_feasibility(candidate, workload, sla)
+        if not feasible:  # pragma: no cover - adding servers keeps feasibility
+            continue
+        # Tune speeds to the cheapest energy meeting the mean bounds.
+        try:
+            p2b = minimize_energy(
+                candidate,
+                workload,
+                class_delay_bounds=sla.delay_bounds(workload),
+                n_starts=n_starts,
+            )
+        except InfeasibleProblemError:  # pragma: no cover - feasible at max speed
+            continue
+        tuned = p2b.meta["cluster"] if p2b.success else candidate
+        if sla.has_percentiles and not sla_feasibility(tuned, workload, sla)[0]:
+            tuned = candidate  # percentile binds: keep max speeds
+        power = tuned.average_power(lam)
+        tco = float(np.dot(counts, costs)) + energy_price * power
+        if best is None or tco < best[0]:
+            best = (tco, counts.copy(), tuned)
+
+    assert best is not None  # the P3 anchor itself is always feasible
+    tco, counts, final = best
+    power = final.average_power(lam)
+    server_cost = float(np.dot(counts, costs))
+    return TCOAllocation(
+        cluster=final,
+        server_counts=counts,
+        speeds=final.speeds,
+        server_cost=server_cost,
+        energy_cost=energy_price * power,
+        total_cost=tco,
+        average_power=power,
+        delays=end_to_end_delays(final, workload),
+        n_candidates=n_candidates,
+        meta={"p3_counts": base, "window": window},
+    )

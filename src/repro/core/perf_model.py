@@ -1,0 +1,146 @@
+"""Combined performance/energy facade over a cluster and workload.
+
+:class:`ClusterPerformanceModel` is what the examples and optimizers
+work with: one object holding the cluster configuration and workload,
+answering every analytic question of abstract claim 1 and producing the
+:class:`DelayEnergyReport` record the validation experiments compare
+against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.core import delay as delay_mod
+from repro.core import energy as energy_mod
+from repro.exceptions import ModelValidationError
+from repro.workload.classes import Workload
+
+__all__ = ["ClusterPerformanceModel", "DelayEnergyReport"]
+
+
+@dataclass(frozen=True)
+class DelayEnergyReport:
+    """All analytic steady-state metrics of a configuration.
+
+    Attributes
+    ----------
+    class_names:
+        Class labels, highest priority first.
+    delays:
+        Per-class mean end-to-end delays ``T_k`` (seconds).
+    mean_delay:
+        Arrival-weighted average delay ``T̄``.
+    energy_per_class:
+        Per-class end-to-end energy per request (joules; idle
+        apportioned equally).
+    average_power:
+        Mean cluster power (watts).
+    energy_per_request:
+        Amortized joules per request.
+    utilizations:
+        Per-tier utilization ``ρ_i``.
+    """
+
+    class_names: tuple[str, ...]
+    delays: np.ndarray
+    mean_delay: float
+    energy_per_class: np.ndarray
+    average_power: float
+    energy_per_request: float
+    utilizations: np.ndarray
+
+
+class ClusterPerformanceModel:
+    """Analytic model of one cluster configuration under one workload.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster configuration.
+    workload:
+        The multi-class workload; must have the same number of classes
+        the cluster is parameterized for.
+
+    Examples
+    --------
+    See ``examples/quickstart.py`` for an end-to-end walkthrough.
+    """
+
+    def __init__(self, cluster: ClusterModel, workload: Workload):
+        if cluster.num_classes != workload.num_classes:
+            raise ModelValidationError(
+                f"cluster is parameterized for {cluster.num_classes} classes "
+                f"but workload has {workload.num_classes}"
+            )
+        self.cluster = cluster
+        self.workload = workload
+
+    # -- configuration transforms ---------------------------------------
+    def with_speeds(self, speeds: Sequence[float]) -> "ClusterPerformanceModel":
+        """New model with per-tier speeds replaced."""
+        return ClusterPerformanceModel(self.cluster.with_speeds(speeds), self.workload)
+
+    def with_servers(self, counts: Sequence[int]) -> "ClusterPerformanceModel":
+        """New model with per-tier server counts replaced."""
+        return ClusterPerformanceModel(self.cluster.with_servers(counts), self.workload)
+
+    def with_workload(self, workload: Workload) -> "ClusterPerformanceModel":
+        """New model with a different workload (e.g. a load-sweep point)."""
+        return ClusterPerformanceModel(self.cluster, workload)
+
+    # -- performance -----------------------------------------------------
+    def delays(self) -> np.ndarray:
+        """Per-class mean end-to-end delays ``T_k``."""
+        return delay_mod.end_to_end_delays(self.cluster, self.workload)
+
+    def mean_delay(self) -> float:
+        """Arrival-weighted average end-to-end delay ``T̄``."""
+        return delay_mod.mean_end_to_end_delay(self.cluster, self.workload)
+
+    def per_tier_delays(self):
+        """Per-tier, per-class delay decomposition."""
+        return delay_mod.per_tier_delays(self.cluster, self.workload)
+
+    def utilizations(self) -> np.ndarray:
+        """Per-tier utilization ``ρ_i``."""
+        return self.cluster.utilizations(self.workload.arrival_rates)
+
+    def is_stable(self) -> bool:
+        """True iff every tier is strictly below saturation."""
+        return self.cluster.is_stable(self.workload.arrival_rates)
+
+    # -- energy ------------------------------------------------------------
+    def average_power(self) -> float:
+        """Mean cluster power (watts)."""
+        return energy_mod.average_power(self.cluster, self.workload)
+
+    def energy_per_request(self) -> float:
+        """Amortized joules per request."""
+        return energy_mod.energy_per_request(self.cluster, self.workload)
+
+    def per_class_energy(self, idle: str = "equal") -> np.ndarray:
+        """Per-class end-to-end energy per request."""
+        return energy_mod.per_class_energy_per_request(self.cluster, self.workload, idle=idle)
+
+    # -- reporting ---------------------------------------------------------
+    def report(self) -> DelayEnergyReport:
+        """Evaluate everything once and bundle it."""
+        delays = self.delays()
+        lam = self.workload.arrival_rates
+        return DelayEnergyReport(
+            class_names=tuple(self.workload.names),
+            delays=delays,
+            mean_delay=float(np.dot(lam, delays) / lam.sum()),
+            energy_per_class=self.per_class_energy(),
+            average_power=self.average_power(),
+            energy_per_request=self.energy_per_request(),
+            utilizations=self.utilizations(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusterPerformanceModel({self.cluster!r}, {self.workload!r})"

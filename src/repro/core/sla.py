@@ -1,0 +1,149 @@
+"""Service level agreements.
+
+"A service provider processes the service requests of customers
+according to a service level agreement (SLA) ... It becomes important
+and commonplace to prioritize multiple customer services in favor of
+customers who are willing to pay higher fees" (abstract). An
+:class:`SLA` binds each priority class to a mean end-to-end delay
+guarantee; the P2b and P3 optimizers enforce these per-class bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+from repro.workload.classes import Workload
+
+__all__ = ["ClassSLA", "SLA"]
+
+
+@dataclass(frozen=True)
+class ClassSLA:
+    """Per-class guarantee.
+
+    Attributes
+    ----------
+    name:
+        Must match a :class:`repro.workload.CustomerClass` name.
+    max_mean_delay:
+        Upper bound on the class's mean end-to-end delay (seconds).
+    fee:
+        What the class pays per request — used in revenue-aware
+        reports; higher-priority classes typically pay more.
+    percentile, max_percentile_delay:
+        Optional percentile guarantee: "a fraction ``percentile`` of
+        requests finish within ``max_percentile_delay`` seconds".
+        Both must be given together. Enforced by the P3 cost
+        minimizer through the hypoexponential tail approximation
+        (:mod:`repro.core.percentile`).
+    """
+
+    name: str
+    max_mean_delay: float
+    fee: float = 0.0
+    percentile: float | None = None
+    max_percentile_delay: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_mean_delay <= 0.0 or not np.isfinite(self.max_mean_delay):
+            raise ModelValidationError(
+                f"SLA for {self.name!r}: delay bound must be positive and finite, "
+                f"got {self.max_mean_delay}"
+            )
+        if self.fee < 0.0 or not np.isfinite(self.fee):
+            raise ModelValidationError(f"SLA for {self.name!r}: fee must be non-negative")
+        if (self.percentile is None) != (self.max_percentile_delay is None):
+            raise ModelValidationError(
+                f"SLA for {self.name!r}: percentile and max_percentile_delay "
+                "must be given together"
+            )
+        if self.percentile is not None:
+            if not 0.0 < self.percentile < 1.0:
+                raise ModelValidationError(
+                    f"SLA for {self.name!r}: percentile must be in (0, 1), got {self.percentile}"
+                )
+            if self.max_percentile_delay <= 0.0 or not np.isfinite(self.max_percentile_delay):
+                raise ModelValidationError(
+                    f"SLA for {self.name!r}: percentile delay bound must be positive and finite"
+                )
+
+    @property
+    def has_percentile(self) -> bool:
+        """True when this guarantee also bounds a delay percentile."""
+        return self.percentile is not None
+
+
+class SLA:
+    """A set of per-class guarantees covering a workload.
+
+    Examples
+    --------
+    >>> from repro.workload import workload_from_rates
+    >>> w = workload_from_rates([1.0, 2.0])
+    >>> sla = SLA([ClassSLA("gold", 0.5), ClassSLA("silver", 2.0)])
+    >>> sla.delay_bounds(w).tolist()
+    [0.5, 2.0]
+    """
+
+    def __init__(self, guarantees: Sequence[ClassSLA]):
+        if len(guarantees) == 0:
+            raise ModelValidationError("SLA needs at least one class guarantee")
+        if not all(isinstance(g, ClassSLA) for g in guarantees):
+            raise ModelValidationError("guarantees must be ClassSLA instances")
+        names = [g.name for g in guarantees]
+        if len(set(names)) != len(names):
+            raise ModelValidationError(f"duplicate class names in SLA: {names}")
+        self.guarantees = list(guarantees)
+        self._by_name = {g.name: g for g in guarantees}
+
+    def __getitem__(self, name: str) -> ClassSLA:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ModelValidationError(
+                f"no SLA for class {name!r}; have {sorted(self._by_name)}"
+            ) from None
+
+    def delay_bounds(self, workload: Workload) -> np.ndarray:
+        """Per-class bounds aligned with the workload's priority order.
+
+        Raises if any workload class lacks a guarantee.
+        """
+        return np.array([self[name].max_mean_delay for name in workload.names])
+
+    def is_met(self, delays: np.ndarray, workload: Workload, tol: float = 0.0) -> bool:
+        """True iff every class's delay is within its bound (+ tol)."""
+        return bool(np.all(np.asarray(delays) <= self.delay_bounds(workload) + tol))
+
+    def violations(self, delays: np.ndarray, workload: Workload) -> np.ndarray:
+        """Per-class ``max(T_k − D_k, 0)`` — the P3 greedy search's
+        infeasibility score sums these."""
+        return np.maximum(np.asarray(delays) - self.delay_bounds(workload), 0.0)
+
+    @property
+    def has_percentiles(self) -> bool:
+        """True when any class carries a percentile guarantee."""
+        return any(g.has_percentile for g in self.guarantees)
+
+    def percentile_specs(self, workload: Workload) -> list[tuple[int, float, float]]:
+        """The percentile guarantees as ``(class_index, level, bound)``
+        triples in workload priority order (empty when none)."""
+        out = []
+        for k, name in enumerate(workload.names):
+            g = self[name]
+            if g.has_percentile:
+                out.append((k, float(g.percentile), float(g.max_percentile_delay)))
+        return out
+
+    def revenue_rate(self, workload: Workload) -> float:
+        """Provider revenue per unit time: ``Σ_k λ_k fee_k``."""
+        fees = np.array([self[name].fee for name in workload.names])
+        return float(np.dot(workload.arrival_rates, fees))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{g.name}<= {g.max_mean_delay:.4g}s" for g in self.guarantees)
+        return f"SLA([{body}])"

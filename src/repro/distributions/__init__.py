@@ -1,0 +1,43 @@
+"""Service-demand and interarrival-time distributions.
+
+Every distribution exposes *exact* first and second moments (needed by
+the Pollaczek–Khinchine and Cobham priority formulas, which depend on
+``E[S^2]``), a squared coefficient of variation, sampling against a
+:class:`numpy.random.Generator`, and cheap rescaling (``dist.scaled(c)``
+multiplies the random variable by ``c`` — how a service *demand* in work
+units becomes a service *time* when divided by a server speed).
+
+The :mod:`repro.distributions.fitting` module builds a distribution from
+a target ``(mean, scv)`` pair using the classic two-moment recipes
+(deterministic / Erlang / exponential / balanced-means hyperexponential).
+"""
+
+from repro.distributions.base import Distribution, ScaledDistribution, ShiftedDistribution
+from repro.distributions.deterministic import Deterministic
+from repro.distributions.erlang import Erlang
+from repro.distributions.exponential import Exponential
+from repro.distributions.gamma_dist import Gamma
+from repro.distributions.hyperexponential import HyperExponential
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.mixture import Mixture
+from repro.distributions.pareto import Pareto
+from repro.distributions.uniform_dist import Uniform
+from repro.distributions.weibull import Weibull
+from repro.distributions.fitting import fit_two_moments
+
+__all__ = [
+    "Distribution",
+    "ScaledDistribution",
+    "ShiftedDistribution",
+    "Deterministic",
+    "Erlang",
+    "Exponential",
+    "Gamma",
+    "HyperExponential",
+    "LogNormal",
+    "Mixture",
+    "Pareto",
+    "Uniform",
+    "Weibull",
+    "fit_two_moments",
+]

@@ -1,0 +1,179 @@
+"""Abstract base class and generic combinators for distributions.
+
+The analytic queueing formulas in :mod:`repro.queueing` only ever need
+the first two moments of a service-time distribution, but the simulator
+needs to draw samples from exactly the same distribution — keeping both
+behind one object guarantees the analytic model and the simulation are
+parameterized identically (the whole point of the paper's validation
+methodology).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+
+__all__ = ["Distribution", "ScaledDistribution", "ShiftedDistribution"]
+
+
+class Distribution(ABC):
+    """A non-negative random variable with known first two moments.
+
+    Subclasses implement :attr:`mean`, :attr:`second_moment` and
+    :meth:`sample`; everything else (variance, SCV, scaling) derives
+    from those.
+    """
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """First moment ``E[X]``."""
+
+    @property
+    @abstractmethod
+    def second_moment(self) -> float:
+        """Raw second moment ``E[X^2]`` (not the variance)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw samples.
+
+        Parameters
+        ----------
+        rng:
+            NumPy random generator; the caller controls seeding so that
+        simulation replications are reproducible.
+        size:
+            ``None`` for a scalar draw, otherwise the number of i.i.d.
+            samples to return as a 1-D :class:`numpy.ndarray`.
+        """
+
+    @property
+    def third_moment(self) -> float:
+        """Raw third moment ``E[X^3]``.
+
+        Needed by the Takács formula for the *variance* of M/G/1
+        waiting times, which feeds the percentile-delay machinery.
+        Families whose third moment is infinite return ``inf``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement third_moment"
+        )
+
+    @property
+    def variance(self) -> float:
+        """``Var[X] = E[X^2] - E[X]^2`` (clamped at 0 against round-off)."""
+        return max(self.second_moment - self.mean**2, 0.0)
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var[X] / E[X]^2``.
+
+        The key shape parameter in the Pollaczek–Khinchine formula:
+        ``scv = 0`` for deterministic, ``1`` for exponential, ``> 1``
+        for hyperexponential/heavy-tailed demands.
+        """
+        if self.mean == 0.0:
+            return 0.0
+        return self.variance / self.mean**2
+
+    def scaled(self, factor: float) -> "Distribution":
+        """Return the distribution of ``factor * X``.
+
+        Used to convert a service *demand* (work, in cycles) into a
+        service *time* at a server of speed ``s`` via
+        ``demand.scaled(1.0 / s)``.
+        """
+        if factor <= 0.0 or not np.isfinite(factor):
+            raise ModelValidationError(f"scale factor must be positive and finite, got {factor}")
+        if factor == 1.0:
+            return self
+        return ScaledDistribution(self, factor)
+
+    def shifted(self, offset: float) -> "Distribution":
+        """Return the distribution of ``X + offset`` (``offset >= 0``).
+
+        Models a fixed per-request overhead (e.g. dispatch latency) on
+        top of a random demand.
+        """
+        if offset < 0.0 or not np.isfinite(offset):
+            raise ModelValidationError(f"shift offset must be non-negative and finite, got {offset}")
+        if offset == 0.0:
+            return self
+        return ShiftedDistribution(self, offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mean={self.mean:.6g}, scv={self.scv:.6g})"
+
+
+class ScaledDistribution(Distribution):
+    """Distribution of ``c * X`` for a base distribution ``X`` and ``c > 0``."""
+
+    def __init__(self, base: Distribution, factor: float):
+        if factor <= 0.0:
+            raise ModelValidationError(f"scale factor must be positive, got {factor}")
+        # Collapse nested scalings so repeated speed changes stay O(1).
+        if isinstance(base, ScaledDistribution):
+            factor *= base.factor
+            base = base.base
+        self.base = base
+        self.factor = float(factor)
+
+    @property
+    def mean(self) -> float:
+        return self.factor * self.base.mean
+
+    @property
+    def second_moment(self) -> float:
+        return self.factor**2 * self.base.second_moment
+
+    @property
+    def third_moment(self) -> float:
+        return self.factor**3 * self.base.third_moment
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return self.factor * self.base.sample(rng, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScaledDistribution({self.base!r}, factor={self.factor:.6g})"
+
+
+class ShiftedDistribution(Distribution):
+    """Distribution of ``X + d`` for a base distribution ``X`` and ``d >= 0``."""
+
+    def __init__(self, base: Distribution, offset: float):
+        if offset < 0.0:
+            raise ModelValidationError(f"shift offset must be non-negative, got {offset}")
+        self.base = base
+        self.offset = float(offset)
+
+    @property
+    def mean(self) -> float:
+        return self.base.mean + self.offset
+
+    @property
+    def second_moment(self) -> float:
+        # E[(X+d)^2] = E[X^2] + 2 d E[X] + d^2
+        return self.base.second_moment + 2.0 * self.offset * self.base.mean + self.offset**2
+
+    @property
+    def third_moment(self) -> float:
+        # Binomial expansion of E[(X+d)^3].
+        d = self.offset
+        return (
+            self.base.third_moment
+            + 3.0 * d * self.base.second_moment
+            + 3.0 * d**2 * self.base.mean
+            + d**3
+        )
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return self.base.sample(rng, size) + self.offset

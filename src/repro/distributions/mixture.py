@@ -1,0 +1,74 @@
+"""Finite mixture of arbitrary component distributions.
+
+Generalizes :class:`repro.distributions.HyperExponential` to mix any
+components — used by the workload generator to build multi-modal demand
+profiles (e.g. "cheap read, expensive transaction") for a single class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.exceptions import ModelValidationError
+
+__all__ = ["Mixture"]
+
+
+class Mixture(Distribution):
+    """With probability ``probs[i]`` the sample comes from ``components[i]``.
+
+    Moments mix linearly: ``E[X^n] = sum_i p_i E[X_i^n]``.
+    """
+
+    def __init__(self, probs: Sequence[float], components: Sequence[Distribution]):
+        probs_arr = np.asarray(probs, dtype=float)
+        if probs_arr.ndim != 1 or probs_arr.size == 0 or probs_arr.size != len(components):
+            raise ModelValidationError("probs and components must be equal-length non-empty sequences")
+        if np.any(probs_arr <= 0.0):
+            raise ModelValidationError(f"mixture probabilities must be positive, got {probs_arr}")
+        if abs(probs_arr.sum() - 1.0) > 1e-9:
+            raise ModelValidationError(f"mixture probabilities must sum to 1, got {probs_arr.sum()}")
+        if not all(isinstance(c, Distribution) for c in components):
+            raise ModelValidationError("all mixture components must be Distribution instances")
+        self.probs = probs_arr / probs_arr.sum()
+        self.components = list(components)
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self.probs, [c.mean for c in self.components]))
+
+    @property
+    def second_moment(self) -> float:
+        return float(np.dot(self.probs, [c.second_moment for c in self.components]))
+
+    @property
+    def third_moment(self) -> float:
+        return float(np.dot(self.probs, [c.third_moment for c in self.components]))
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            idx = rng.choice(len(self.components), p=self.probs)
+            return self.components[idx].sample(rng)
+        idx = rng.choice(len(self.components), p=self.probs, size=size)
+        out = np.empty(size, dtype=float)
+        for i, comp in enumerate(self.components):
+            mask = idx == i
+            n = int(mask.sum())
+            if n:
+                out[mask] = comp.sample(rng, n)
+        return out
+
+    def scaled(self, factor: float) -> "Mixture":
+        """Scaling distributes over the components (family closed)."""
+        if factor <= 0.0 or not np.isfinite(factor):
+            raise ModelValidationError(f"scale factor must be positive and finite, got {factor}")
+        return Mixture(
+            probs=self.probs.tolist(),
+            components=[c.scaled(factor) for c in self.components],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mixture(probs={self.probs.tolist()}, components={self.components!r})"

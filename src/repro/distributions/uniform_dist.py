@@ -1,0 +1,52 @@
+"""Uniform distribution on ``[low, high]``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.exceptions import ModelValidationError
+
+__all__ = ["Uniform"]
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high]`` with ``0 <= low < high``."""
+
+    def __init__(self, low: float, high: float):
+        if not (np.isfinite(low) and np.isfinite(high)):
+            raise ModelValidationError(f"Uniform bounds must be finite, got [{low}, {high}]")
+        if low < 0.0:
+            raise ModelValidationError(f"Uniform lower bound must be non-negative, got {low}")
+        if high <= low:
+            raise ModelValidationError(f"Uniform upper bound must exceed lower, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def second_moment(self) -> float:
+        # E[X^2] = (a^2 + ab + b^2) / 3
+        a, b = self.low, self.high
+        return (a * a + a * b + b * b) / 3.0
+
+    @property
+    def third_moment(self) -> float:
+        # E[X^3] = (b^4 - a^4) / (4 (b - a)).
+        a, b = self.low, self.high
+        return (b**4 - a**4) / (4.0 * (b - a))
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.uniform(self.low, self.high, size=size)
+
+    def scaled(self, factor: float) -> "Uniform":
+        """Scaling rescales both endpoints (family is closed)."""
+        if factor <= 0.0 or not np.isfinite(factor):
+            raise ModelValidationError(f"scale factor must be positive and finite, got {factor}")
+        return Uniform(self.low * factor, self.high * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Uniform(low={self.low:.6g}, high={self.high:.6g})"

@@ -1,0 +1,30 @@
+"""Experiment drivers — one module per reconstructed table/figure.
+
+Each module exposes a ``run(...)`` returning a structured result and a
+``render(result) -> str`` producing the table the paper would print.
+The benchmarks in ``benchmarks/`` and the records in EXPERIMENTS.md are
+generated through exactly these entry points, so the numbers in the
+docs are regenerable with one call.
+
+Index (see DESIGN.md for the full mapping):
+
+====  =======================================================
+T1    analytic vs simulated per-class end-to-end delay
+T2    analytic vs simulated power / energy
+F1    per-class delay vs total arrival rate
+F2    power & per-request energy vs tier speed
+F3    P1 trade-off: optimal delay vs power budget
+F4    P2a trade-off: minimal power vs aggregate delay bound
+F5    P2b vs P2a: the energy price of per-class guarantees
+T3    P3 cost minimization vs exhaustive & baselines
+F6    P3 cost vs offered load
+T4    solver efficiency vs exhaustive search
+A1    ablation: priority model vs aggregate-FCFS model error
+A2    ablation: non-preemptive vs preemptive-resume priority
+A3    ablation: multi-server (Bondi–Buzen) approximation error
+====  =======================================================
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

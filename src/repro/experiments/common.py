@@ -1,0 +1,142 @@
+"""Canonical experiment configurations.
+
+The paper's body (with its exact parameter tables) was unavailable —
+see DESIGN.md — so every experiment runs on the canonical enterprise
+cluster below, chosen to sit squarely in the regimes the abstract
+discusses:
+
+* **three tiers** (web front-end, application logic, database) with
+  different demand magnitudes, variabilities, power curves and prices;
+* **three priority classes** (gold > silver > bronze) with gold the
+  smallest, most demanding fraction of traffic — the "customers
+  willing to pay higher fees";
+* moderate default load (busiest tier ≈ 52% utilized at full speed)
+  so load sweeps reach saturation inside the plotted range;
+* a cube-law power model with non-trivial idle draw, making both the
+  delay/energy trade-off and the provisioning cost real.
+
+A two-tier/two-class *small* instance keeps the exhaustive-search
+certification and the unit tests fast.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.core.sla import SLA, ClassSLA
+from repro.distributions import fit_two_moments
+from repro.workload import Workload, workload_from_rates
+
+__all__ = [
+    "canonical_cluster",
+    "canonical_workload",
+    "canonical_sla",
+    "small_cluster",
+    "small_workload",
+    "small_sla",
+    "CLASS_NAMES",
+]
+
+CLASS_NAMES = ("gold", "silver", "bronze")
+
+# Per-tier hardware: (idle W, kappa W, alpha, min speed, cost/server).
+_WEB_SPEC = ServerSpec(PowerModel(idle=30.0, kappa=60.0, alpha=3.0), min_speed=0.4, max_speed=1.0, cost=1.0, name="web-node")
+_APP_SPEC = ServerSpec(PowerModel(idle=60.0, kappa=140.0, alpha=3.0), min_speed=0.4, max_speed=1.0, cost=2.5, name="app-node")
+_DB_SPEC = ServerSpec(PowerModel(idle=50.0, kappa=120.0, alpha=3.0), min_speed=0.4, max_speed=1.0, cost=4.0, name="db-node")
+
+# Mean service demands (work units ≈ seconds at speed 1) per
+# (tier, class) and the demand SCVs per tier. The app tier carries the
+# heaviest, most variable work — the classic enterprise bottleneck.
+_DEMAND_MEANS = {
+    "web": (0.015, 0.020, 0.025),
+    "app": (0.060, 0.080, 0.100),
+    "db": (0.040, 0.050, 0.060),
+}
+_DEMAND_SCVS = {"web": 1.0, "app": 2.0, "db": 1.5}
+
+_BASE_RATES = (4.0, 8.0, 12.0)  # gold, silver, bronze requests/s
+
+
+def canonical_cluster(
+    discipline: str = "priority_np",
+    servers: tuple[int, int, int] = (2, 4, 3),
+    speeds: tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> ClusterModel:
+    """The 3-tier canonical cluster.
+
+    Parameters
+    ----------
+    discipline:
+        Scheduling at every tier (``"priority_np"`` is the paper's
+        default SLA discipline).
+    servers, speeds:
+        Per-tier (web, app, db) configuration knobs.
+    """
+    specs = {"web": _WEB_SPEC, "app": _APP_SPEC, "db": _DB_SPEC}
+    tiers = []
+    for (name, means), c, s in zip(_DEMAND_MEANS.items(), servers, speeds):
+        demands = tuple(fit_two_moments(m, _DEMAND_SCVS[name]) for m in means)
+        tiers.append(
+            Tier(name, demands, specs[name], servers=c, speed=s, discipline=discipline)
+        )
+    return ClusterModel(tiers)
+
+
+def canonical_workload(load_factor: float = 1.0) -> Workload:
+    """Gold/silver/bronze Poisson workload; ``load_factor`` scales all
+    rates (1.0 → busiest tier ≈ 52% utilized at full speed; ≈ 1.9 →
+    saturation)."""
+    return workload_from_rates([r * load_factor for r in _BASE_RATES], names=CLASS_NAMES)
+
+
+def canonical_sla(tightness: float = 1.0) -> SLA:
+    """Per-class mean end-to-end delay guarantees, priced by priority.
+
+    ``tightness`` scales the bounds (smaller = stricter). Defaults
+    chosen so the canonical cluster meets them with modest headroom:
+    the P3 experiments then have room to both shrink and grow the
+    allocation.
+    """
+    return SLA(
+        [
+            ClassSLA("gold", 0.30 * tightness, fee=1.00),
+            ClassSLA("silver", 0.60 * tightness, fee=0.40),
+            ClassSLA("bronze", 1.20 * tightness, fee=0.10),
+        ]
+    )
+
+
+def small_cluster(discipline: str = "priority_np") -> ClusterModel:
+    """2-tier, 2-class instance for exhaustive certification and tests."""
+    spec_a = ServerSpec(PowerModel(idle=40.0, kappa=100.0, alpha=3.0), min_speed=0.4, max_speed=1.0, cost=2.0, name="a-node")
+    spec_b = ServerSpec(PowerModel(idle=50.0, kappa=120.0, alpha=3.0), min_speed=0.4, max_speed=1.0, cost=3.0, name="b-node")
+    tiers = [
+        Tier(
+            "front",
+            (fit_two_moments(0.05, 1.0), fit_two_moments(0.07, 1.0)),
+            spec_a,
+            servers=2,
+            speed=1.0,
+            discipline=discipline,
+        ),
+        Tier(
+            "back",
+            (fit_two_moments(0.08, 2.0), fit_two_moments(0.10, 2.0)),
+            spec_b,
+            servers=2,
+            speed=1.0,
+            discipline=discipline,
+        ),
+    ]
+    return ClusterModel(tiers)
+
+
+def small_workload(load_factor: float = 1.0) -> Workload:
+    """2-class workload for the small instance."""
+    return workload_from_rates([3.0 * load_factor, 6.0 * load_factor], names=("gold", "bronze"))
+
+
+def small_sla(tightness: float = 1.0) -> SLA:
+    """SLA for the small instance."""
+    return SLA(
+        [ClassSLA("gold", 0.40 * tightness, fee=1.0), ClassSLA("bronze", 1.00 * tightness, fee=0.2)]
+    )

@@ -1,0 +1,80 @@
+"""F2 — power, per-request energy and delay vs a uniform speed dial.
+
+Sweeps one shared speed for all tiers and reports average power,
+amortized energy per request and mean delay — the raw material of the
+delay/energy trade-off that P1 and P2 then optimize, including an
+``alpha`` sensitivity (cube-law vs quadratic DVFS).
+
+Expected shape: power rises as ``s^{α−1}`` while delay falls like
+``1/(s − ρ̂)`` — the two curves cross, and a provider picking a static
+speed is choosing a point on this frontier blindly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.series import SweepSeries
+from repro.cluster import ClusterModel, ServerSpec, Tier
+from repro.cluster.power import PowerModel
+from repro.core.delay import mean_end_to_end_delay
+from repro.core.energy import average_power, energy_per_request
+from repro.exceptions import UnstableSystemError
+from repro.experiments.common import canonical_cluster, canonical_workload
+
+__all__ = ["F2Result", "run", "render"]
+
+
+@dataclass
+class F2Result:
+    """One series per power exponent alpha."""
+
+    series_by_alpha: dict[float, SweepSeries]
+
+
+def _with_alpha(cluster: ClusterModel, alpha: float) -> ClusterModel:
+    tiers = []
+    for t in cluster.tiers:
+        pm = t.spec.power
+        spec = replace(t.spec, power=PowerModel(idle=pm.idle, kappa=pm.kappa, alpha=alpha))
+        tiers.append(replace(t, spec=spec))
+    return ClusterModel(tiers, cluster.visit_ratios)
+
+
+def run(speeds=None, alphas=(2.0, 2.5, 3.0), load_factor: float = 1.0) -> F2Result:
+    """Sweep a uniform speed at each DVFS exponent."""
+    if speeds is None:
+        speeds = np.linspace(0.55, 1.0, 10)
+    workload = canonical_workload(load_factor)
+    out: dict[float, SweepSeries] = {}
+    for alpha in alphas:
+        cluster = _with_alpha(canonical_cluster(), alpha)
+        xs, power, epr, delay = [], [], [], []
+        for s in speeds:
+            candidate = cluster.with_speeds([float(s)] * cluster.num_tiers)
+            try:
+                d = mean_end_to_end_delay(candidate, workload)
+            except UnstableSystemError:
+                continue  # below the stable speed for this load
+            xs.append(float(s))
+            delay.append(d)
+            power.append(average_power(candidate, workload))
+            epr.append(energy_per_request(candidate, workload))
+        out[alpha] = SweepSeries(
+            name=f"F2: power/energy/delay vs uniform speed (alpha={alpha:g})",
+            x_label="speed",
+            x=np.array(xs),
+            columns={
+                "power (W)": np.array(power),
+                "energy/req (J)": np.array(epr),
+                "mean delay (s)": np.array(delay),
+            },
+        )
+    return F2Result(series_by_alpha=out)
+
+
+def render(result: F2Result) -> str:
+    """All alpha series as text tables."""
+    return "\n\n".join(s.to_table() for _, s in sorted(result.series_by_alpha.items()))

@@ -1,0 +1,91 @@
+"""F3 — P1 trade-off: optimal mean delay vs average power budget.
+
+Sweeps the power budget from just above the minimum stable power to
+the unconstrained maximum and solves P1 at each point, against two
+baselines spending the same budget (uniform speed dial, load-
+proportional speeds).
+
+Expected shape: a convex decreasing frontier; the optimizer dominates
+both baselines at every budget (equal only where the budget is so
+large all speed caps bind), with the largest gains at tight budgets —
+exactly where intelligent power management matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.series import SweepSeries
+from repro.baselines import proportional_speed_for_budget, uniform_speed_for_budget
+from repro.core.delay import mean_end_to_end_delay
+from repro.core.opt_delay import minimize_delay
+from repro.experiments.common import canonical_cluster, canonical_workload
+
+__all__ = ["F3Result", "run", "render"]
+
+
+@dataclass
+class F3Result:
+    """The frontier series plus the budget endpoints used."""
+
+    series: SweepSeries
+    min_power: float
+    max_power: float
+
+    @property
+    def optimal_dominates(self) -> bool:
+        """True iff the optimizer is no worse than both baselines at
+        every swept budget (up to solver tolerance)."""
+        opt = self.series.columns["optimal delay (s)"]
+        uni = self.series.columns["uniform delay (s)"]
+        prop = self.series.columns["proportional delay (s)"]
+        return bool(np.all(opt <= uni + 1e-6) and np.all(opt <= prop + 1e-6))
+
+
+def run(n_points: int = 8, load_factor: float = 1.0, n_starts: int = 3) -> F3Result:
+    """Solve P1 along a budget sweep on the canonical cluster."""
+    cluster = canonical_cluster()
+    workload = canonical_workload(load_factor)
+    lam = workload.arrival_rates
+
+    from repro.core.opt_common import stability_speed_bounds
+
+    box = stability_speed_bounds(cluster, workload)
+    p_min = cluster.with_speeds([b[0] for b in box]).average_power(lam)
+    p_max = cluster.with_speeds([b[1] for b in box]).average_power(lam)
+    budgets = np.linspace(p_min * 1.02, p_max, n_points)
+
+    opt_delay, uni_delay, prop_delay, opt_power = [], [], [], []
+    for budget in budgets:
+        res = minimize_delay(cluster, workload, power_budget=float(budget), n_starts=n_starts)
+        opt_delay.append(res.fun)
+        opt_power.append(res.meta["power"])
+        uni = uniform_speed_for_budget(cluster, workload, float(budget))
+        uni_delay.append(mean_end_to_end_delay(cluster.with_speeds(uni), workload))
+        prop = proportional_speed_for_budget(cluster, workload, float(budget))
+        prop_delay.append(mean_end_to_end_delay(cluster.with_speeds(prop), workload))
+
+    series = SweepSeries(
+        name="F3: P1 optimal mean delay vs power budget",
+        x_label="power budget (W)",
+        x=budgets,
+        columns={
+            "optimal delay (s)": np.array(opt_delay),
+            "uniform delay (s)": np.array(uni_delay),
+            "proportional delay (s)": np.array(prop_delay),
+            "power used (W)": np.array(opt_power),
+        },
+    )
+    return F3Result(series=series, min_power=float(p_min), max_power=float(p_max))
+
+
+def render(result: F3Result) -> str:
+    """The frontier as a text table plus the dominance check."""
+    out = result.series.to_table()
+    out += (
+        f"\nstable power range: [{result.min_power:.4g}, {result.max_power:.4g}] W"
+        f"\noptimal dominates both baselines everywhere: {result.optimal_dominates}"
+    )
+    return out

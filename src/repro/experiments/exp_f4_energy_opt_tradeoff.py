@@ -1,0 +1,89 @@
+"""F4 — P2a trade-off: minimal average power vs aggregate delay bound.
+
+The dual of F3: sweep the aggregate mean-delay bound from just above
+the fastest achievable delay to a loose bound and solve P2a at each
+point, against the uniform-speed baseline meeting the same bound.
+
+Expected shape: a convex frontier — power explodes as the bound
+tightens toward the zero-headroom delay, flattens to the minimum
+stable power as it loosens; the optimizer saves the most energy at
+moderate bounds, where per-tier intelligence has room to act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.series import SweepSeries
+from repro.baselines import uniform_speed_for_delay
+from repro.core.delay import mean_end_to_end_delay
+from repro.core.opt_common import stability_speed_bounds
+from repro.core.opt_energy import minimize_energy
+from repro.experiments.common import canonical_cluster, canonical_workload
+
+__all__ = ["F4Result", "run", "render"]
+
+
+@dataclass
+class F4Result:
+    """The frontier series and the feasible delay-bound range."""
+
+    series: SweepSeries
+    best_delay: float
+    worst_delay: float
+
+    @property
+    def optimal_dominates(self) -> bool:
+        """True iff the optimizer never uses more power than the
+        uniform baseline (up to solver tolerance)."""
+        opt = self.series.columns["optimal power (W)"]
+        uni = self.series.columns["uniform power (W)"]
+        return bool(np.all(opt <= uni + 1e-6))
+
+
+def run(n_points: int = 8, load_factor: float = 1.0, n_starts: int = 3) -> F4Result:
+    """Solve P2a along a delay-bound sweep on the canonical cluster."""
+    cluster = canonical_cluster()
+    workload = canonical_workload(load_factor)
+    lam = workload.arrival_rates
+
+    box = stability_speed_bounds(cluster, workload)
+    best = mean_end_to_end_delay(cluster.with_speeds([b[1] for b in box]), workload)
+    worst = mean_end_to_end_delay(cluster.with_speeds([b[0] for b in box]), workload)
+    # Geometric spacing: the interesting (steep) part of the frontier
+    # sits near the tight end, which linear spacing would under-sample.
+    bounds = np.geomspace(best * 1.05, worst * 0.98, n_points)
+
+    opt_power, uni_power, achieved = [], [], []
+    for d in bounds:
+        res = minimize_energy(cluster, workload, max_mean_delay=float(d), n_starts=n_starts)
+        opt_power.append(res.meta["power"])
+        achieved.append(
+            mean_end_to_end_delay(res.meta["cluster"], workload)
+        )
+        uni = uniform_speed_for_delay(cluster, workload, float(d))
+        uni_power.append(cluster.with_speeds(uni).average_power(lam))
+
+    series = SweepSeries(
+        name="F4: P2a minimal power vs aggregate delay bound",
+        x_label="delay bound (s)",
+        x=bounds,
+        columns={
+            "optimal power (W)": np.array(opt_power),
+            "uniform power (W)": np.array(uni_power),
+            "achieved delay (s)": np.array(achieved),
+        },
+    )
+    return F4Result(series=series, best_delay=float(best), worst_delay=float(worst))
+
+
+def render(result: F4Result) -> str:
+    """The frontier as a text table plus the dominance check."""
+    out = result.series.to_table()
+    out += (
+        f"\nfeasible mean-delay range: [{result.best_delay:.4g}, {result.worst_delay:.4g}] s"
+        f"\noptimal power <= uniform baseline everywhere: {result.optimal_dominates}"
+    )
+    return out

@@ -1,0 +1,101 @@
+"""F6 — minimum provisioning cost vs offered load.
+
+Sweeps the canonical mix's load factor and reports the P3 optimizer's
+cost against the uniform-headroom baseline's cost, both meeting the
+same SLA.
+
+Expected shape: both curves are staircases increasing with load; the
+optimizer's sits at or below the baseline's at every load, with the
+gap widest at moderate load where the priority structure lets the
+optimizer provision the bottleneck tier precisely instead of
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.series import SweepSeries
+from repro.core.delay import end_to_end_delays
+from repro.core.opt_cost import minimize_cost
+from repro.exceptions import InfeasibleProblemError, UnstableSystemError
+from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+
+__all__ = ["F6Result", "run", "render"]
+
+
+@dataclass
+class F6Result:
+    """Cost-vs-load series."""
+
+    series: SweepSeries
+
+    @property
+    def optimizer_never_costlier(self) -> bool:
+        """Optimizer cost <= feasible-baseline cost at every load."""
+        opt = self.series.columns["P3 cost"]
+        base = self.series.columns["uniform-headroom cost"]
+        ok = np.isfinite(opt) & np.isfinite(base)
+        return bool(np.all(opt[ok] <= base[ok] + 1e-9))
+
+
+def run(load_factors=None, tightness: float = 1.0) -> F6Result:
+    """Solve P3 at each load factor; baseline = uniform 60% headroom,
+    grown until SLA-feasible."""
+    if load_factors is None:
+        load_factors = np.linspace(0.5, 2.5, 7)
+    cluster = canonical_cluster()
+    sla = canonical_sla(tightness)
+
+    opt_cost, base_cost, opt_counts = [], [], []
+    for lf in load_factors:
+        workload = canonical_workload(float(lf))
+        try:
+            alloc = minimize_cost(cluster, workload, sla, optimize_speeds=False)
+            opt_cost.append(alloc.total_cost)
+            opt_counts.append(alloc.server_counts.sum())
+        except InfeasibleProblemError:
+            opt_cost.append(float("nan"))
+            opt_counts.append(np.nan)
+        base_cost.append(_uniform_headroom_cost(cluster, workload, sla))
+
+    series = SweepSeries(
+        name="F6: minimum provisioning cost vs load factor",
+        x_label="load factor",
+        x=np.asarray(load_factors, dtype=float),
+        columns={
+            "P3 cost": np.array(opt_cost),
+            "uniform-headroom cost": np.array(base_cost),
+            "P3 total servers": np.array(opt_counts, dtype=float),
+        },
+    )
+    return F6Result(series=series)
+
+
+def _uniform_headroom_cost(cluster, workload, sla, cap: int = 256) -> float:
+    """Uniform-utilization provisioning, headroom tightened until the
+    SLA holds (the best a priority-blind uniform rule can do)."""
+    at_max = cluster.with_speeds([t.spec.max_speed for t in cluster.tiers])
+    bounds = sla.delay_bounds(workload)
+    work = at_max.work_rates(workload.arrival_rates)
+    for rho_target in np.linspace(0.9, 0.05, 35):
+        counts = np.maximum(1, np.ceil(work / rho_target).astype(int))
+        if counts.max() > cap:
+            continue
+        candidate = at_max.with_servers(counts)
+        try:
+            delays = end_to_end_delays(candidate, workload)
+        except UnstableSystemError:
+            continue
+        if np.all(delays <= bounds):
+            return candidate.total_cost()
+    return float("nan")
+
+
+def render(result: F6Result) -> str:
+    """The sweep table plus the dominance check."""
+    out = result.series.to_table()
+    out += f"\nP3 never costlier than the uniform baseline: {result.optimizer_never_costlier}"
+    return out

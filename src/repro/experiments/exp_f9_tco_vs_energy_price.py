@@ -1,0 +1,95 @@
+"""F9 — total cost of ownership vs electricity price (P4 sweep).
+
+Extension: sweep the energy price and solve P4 at each point, tracking
+how the optimum shifts between "few fast servers" (hardware-dominated)
+and "more slower servers" (energy-dominated).
+
+Expected shape: total cost increasing and concave-ish in the price
+(the optimizer keeps substituting hardware for energy); the server
+count is non-decreasing and the mean speed non-increasing along the
+sweep; at price 0 the allocation equals the P3 optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.series import SweepSeries
+from repro.core.opt_cost import minimize_cost
+from repro.core.opt_tco import minimize_tco
+from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+
+__all__ = ["F9Result", "run", "render"]
+
+
+@dataclass
+class F9Result:
+    """The price sweep plus the zero-price anchor check."""
+
+    series: SweepSeries
+    p3_counts: np.ndarray
+    zero_price_counts: np.ndarray
+
+    @property
+    def anchored_at_p3(self) -> bool:
+        """At price 0, P4 deploys exactly the P3 counts."""
+        return bool(np.array_equal(self.p3_counts, self.zero_price_counts))
+
+    @property
+    def servers_monotone_in_price(self) -> bool:
+        """Total server count never decreases as energy gets pricier."""
+        servers = self.series.columns["total servers"]
+        return bool(np.all(np.diff(servers) >= 0))
+
+
+def run(prices=(0.0, 0.005, 0.01, 0.02, 0.04, 0.08), load_factor: float = 1.2) -> F9Result:
+    """Solve P4 along the energy-price sweep on the canonical cluster."""
+    cluster = canonical_cluster()
+    workload = canonical_workload(load_factor)
+    sla = canonical_sla()
+
+    p3 = minimize_cost(cluster, workload, sla, optimize_speeds=False)
+
+    total, server_cost, energy_cost, servers, mean_speed, power = [], [], [], [], [], []
+    zero_counts = None
+    for price in prices:
+        alloc = minimize_tco(cluster, workload, sla, energy_price=float(price))
+        total.append(alloc.total_cost)
+        server_cost.append(alloc.server_cost)
+        energy_cost.append(alloc.energy_cost)
+        servers.append(float(alloc.server_counts.sum()))
+        mean_speed.append(float(alloc.speeds.mean()))
+        power.append(alloc.average_power)
+        if price == 0.0:
+            zero_counts = alloc.server_counts
+
+    series = SweepSeries(
+        name="F9: TCO-optimal allocation vs energy price",
+        x_label="energy price (cost/W)",
+        x=np.asarray(prices, dtype=float),
+        columns={
+            "total cost": np.array(total),
+            "server cost": np.array(server_cost),
+            "energy cost": np.array(energy_cost),
+            "total servers": np.array(servers),
+            "mean speed": np.array(mean_speed),
+            "power (W)": np.array(power),
+        },
+    )
+    return F9Result(
+        series=series,
+        p3_counts=p3.server_counts,
+        zero_price_counts=zero_counts if zero_counts is not None else p3.server_counts,
+    )
+
+
+def render(result: F9Result) -> str:
+    """The sweep plus the anchor/monotonicity checks."""
+    out = result.series.to_table()
+    out += (
+        f"\nzero-price P4 counts equal P3 counts: {result.anchored_at_p3}"
+        f"\nserver count monotone in the energy price: {result.servers_monotone_in_price}"
+    )
+    return out

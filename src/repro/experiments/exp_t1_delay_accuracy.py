@@ -1,0 +1,75 @@
+"""T1 — analytic vs simulated per-class end-to-end delay.
+
+The paper's headline validation ("the proposed approaches are ...
+accurate"): for the canonical priority cluster at light, moderate and
+heavy load, compare every class's analytic mean end-to-end delay
+against independent-replication simulation.
+
+Expected shape: relative errors of a few percent at light/moderate
+load, growing (but staying modest) toward saturation where both the
+tandem-decomposition approximation and simulation noise worsen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.validation import ValidationReport
+from repro.core.delay import end_to_end_delays
+from repro.experiments.common import canonical_cluster, canonical_workload
+from repro.simulation import simulate_replications
+
+__all__ = ["T1Result", "run", "render"]
+
+DEFAULT_LOAD_FACTORS = (0.6, 1.0, 1.5)
+
+
+@dataclass
+class T1Result:
+    """Reports keyed by load factor, plus the overall worst error."""
+
+    reports: dict[float, ValidationReport]
+
+    @property
+    def max_rel_error(self) -> float:
+        """Worst per-class delay error across all load points."""
+        return max(r.max_rel_error for r in self.reports.values())
+
+
+def run(
+    load_factors=DEFAULT_LOAD_FACTORS,
+    horizon: float = 4000.0,
+    n_replications: int = 5,
+    seed: int = 11,
+    discipline: str = "priority_np",
+) -> T1Result:
+    """Run the T1 validation at each load factor."""
+    cluster = canonical_cluster(discipline=discipline)
+    reports: dict[float, ValidationReport] = {}
+    for lf in load_factors:
+        workload = canonical_workload(lf)
+        analytic = end_to_end_delays(cluster, workload)
+        sim = simulate_replications(
+            cluster, workload, horizon=horizon, n_replications=n_replications, seed=seed
+        )
+        report = ValidationReport(
+            title=f"T1: per-class end-to-end delay, load factor {lf} "
+            f"(busiest tier rho={max(cluster.utilizations(workload.arrival_rates)):.2f})"
+        )
+        for k, name in enumerate(workload.names):
+            report.add(f"T[{name}] (s)", analytic[k], sim.delays[k], sim.delays_ci[k])
+        report.add(
+            "mean delay (s)",
+            float((workload.arrival_rates * analytic).sum() / workload.total_rate),
+            sim.mean_delay,
+            sim.mean_delay_ci,
+        )
+        reports[lf] = report
+    return T1Result(reports)
+
+
+def render(result: T1Result) -> str:
+    """All load-point tables plus the summary line."""
+    parts = [r.to_table() for _, r in sorted(result.reports.items())]
+    parts.append(f"worst relative error across T1: {result.max_rel_error:.3%}")
+    return "\n\n".join(parts)

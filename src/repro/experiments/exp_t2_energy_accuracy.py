@@ -1,0 +1,81 @@
+"""T2 — analytic vs simulated power and energy metrics.
+
+Validates the energy half of abstract claim 1: average cluster power,
+amortized energy per request, per-tier utilization and per-class
+dynamic energy per request, all against simulation.
+
+Expected shape: power/energy errors well under the delay errors
+(power is a first-moment quantity, insensitive to queueing
+correlations), per-class dynamic energy matching the
+``κ s^{α−1} E[D]`` formula closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.validation import ValidationReport
+from repro.core.energy import average_power, energy_per_request, per_class_energy_per_request
+from repro.experiments.common import canonical_cluster, canonical_workload
+from repro.simulation import simulate_replications
+
+__all__ = ["T2Result", "run", "render"]
+
+
+@dataclass
+class T2Result:
+    """One validation report per load factor."""
+
+    reports: dict[float, ValidationReport]
+
+    @property
+    def max_rel_error(self) -> float:
+        """Worst energy-metric error across all load points."""
+        return max(r.max_rel_error for r in self.reports.values())
+
+
+def run(
+    load_factors=(0.6, 1.0, 1.5),
+    horizon: float = 4000.0,
+    n_replications: int = 5,
+    seed: int = 22,
+    speeds: tuple[float, float, float] = (0.9, 0.95, 0.85),
+) -> T2Result:
+    """Run the T2 validation; non-trivial speeds so the DVFS power
+    terms are actually exercised."""
+    cluster = canonical_cluster(speeds=speeds)
+    reports: dict[float, ValidationReport] = {}
+    for lf in load_factors:
+        workload = canonical_workload(lf)
+        sim = simulate_replications(
+            cluster, workload, horizon=horizon, n_replications=n_replications, seed=seed
+        )
+        report = ValidationReport(title=f"T2: power & energy, load factor {lf}")
+        report.add(
+            "average power (W)",
+            average_power(cluster, workload),
+            sim.average_power,
+            sim.average_power_ci,
+        )
+        report.add(
+            "energy/request (J)",
+            energy_per_request(cluster, workload),
+            sim.energy_per_request,
+        )
+        dyn = per_class_energy_per_request(cluster, workload, idle="none")
+        for k, name in enumerate(workload.names):
+            report.add(f"dyn energy/req[{name}] (J)", dyn[k], sim.per_class_dynamic_energy[k])
+        rho = cluster.utilizations(workload.arrival_rates)
+        for i, tier in enumerate(cluster.tiers):
+            report.add(f"rho[{tier.name}]", float(rho[i]), float(sim.utilizations[i]))
+        reports[lf] = report
+    return T2Result(reports)
+
+
+def render(result: T2Result) -> str:
+    """All load-point tables plus the summary line."""
+    parts = [r.to_table() for _, r in sorted(result.reports.items())]
+    parts.append(f"worst relative error across T2: {result.max_rel_error:.3%}")
+    return "\n\n".join(parts)

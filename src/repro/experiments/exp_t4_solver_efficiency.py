@@ -1,0 +1,122 @@
+"""T4 — solver efficiency ("the proposed approaches are efficient").
+
+Measures, on SLA instances of growing size, the P3 optimizer's wall
+time, model-evaluation count and optimality gap against exhaustive
+enumeration — and the wall time of one P1 and one P2b solve on the
+canonical cluster for reference.
+
+Expected shape: the greedy+local-search evaluation count grows roughly
+linearly with the feasible allocation size while exhaustive enumeration
+grows exponentially in tier count; the cost gap is zero wherever
+exhaustive search is affordable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.tables import ascii_table
+from repro.baselines.exhaustive import exhaustive_cost_minimization
+from repro.core.opt_cost import minimize_cost
+from repro.core.opt_delay import minimize_delay
+from repro.core.opt_energy import minimize_energy
+from repro.experiments.common import (
+    canonical_cluster,
+    canonical_sla,
+    canonical_workload,
+    small_cluster,
+    small_sla,
+    small_workload,
+)
+
+__all__ = ["T4Result", "run", "render"]
+
+
+@dataclass
+class T4Result:
+    """Comparison rows plus continuous-solver reference timings."""
+
+    rows: list[list[Any]] = field(default_factory=list)
+    p1_seconds: float = float("nan")
+    p2b_seconds: float = float("nan")
+
+    @property
+    def all_gaps_zero(self) -> bool:
+        """Optimizer matched exhaustive cost on every certified row."""
+        return all(abs(row[6]) < 1e-9 for row in self.rows if np.isfinite(row[6]))
+
+
+def run(small_caps=(6, 8, 10, 12), load_factor: float = 1.0) -> T4Result:
+    """Time the P3 optimizer vs exhaustive search on growing boxes."""
+    result = T4Result()
+    s_cluster, s_workload, s_sla = small_cluster(), small_workload(load_factor), small_sla()
+
+    instances = [(f"small(2 tiers), cap={cap}", s_cluster, s_workload, s_sla, cap) for cap in small_caps]
+    instances.append(
+        (
+            "canonical(3 tiers), cap=6",
+            canonical_cluster(),
+            canonical_workload(load_factor),
+            canonical_sla(),
+            6,
+        )
+    )
+    for label, cl, wl, sla_i, cap in instances:
+        t0 = time.perf_counter()
+        alloc = minimize_cost(cl, wl, sla_i, max_servers_per_tier=cap, optimize_speeds=False)
+        t_opt = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _, ex_cost, ex_evals = exhaustive_cost_minimization(
+            cl, wl, sla_i, max_servers_per_tier=cap
+        )
+        t_ex = time.perf_counter() - t0
+        result.rows.append(
+            [
+                label,
+                alloc.n_evaluations,
+                round(t_opt * 1e3, 3),
+                f"{ex_evals} (of {cap ** cl.num_tiers})",
+                round(t_ex * 1e3, 3),
+                alloc.total_cost,
+                alloc.total_cost - ex_cost,
+            ]
+        )
+
+    cluster, workload = canonical_cluster(), canonical_workload(load_factor)
+    rep_power = cluster.average_power(workload.arrival_rates)
+    t0 = time.perf_counter()
+    minimize_delay(cluster, workload, power_budget=rep_power * 0.9, n_starts=3)
+    result.p1_seconds = time.perf_counter() - t0
+
+    sla = canonical_sla()
+    t0 = time.perf_counter()
+    minimize_energy(cluster, workload, sla=sla, n_starts=3)
+    result.p2b_seconds = time.perf_counter() - t0
+    return result
+
+
+def render(result: T4Result) -> str:
+    """Efficiency table plus the continuous-solver timings."""
+    table = ascii_table(
+        [
+            "instance",
+            "P3 evals",
+            "P3 ms",
+            "exhaustive evals",
+            "exhaustive ms",
+            "P3 cost",
+            "gap",
+        ],
+        result.rows,
+        title="T4: P3 optimizer vs exhaustive enumeration",
+    )
+    return (
+        table
+        + f"\nall optimality gaps zero: {result.all_gaps_zero}"
+        + f"\ncanonical P1 solve: {result.p1_seconds * 1e3:.1f} ms, "
+        + f"P2b solve: {result.p2b_seconds * 1e3:.1f} ms"
+    )

@@ -1,0 +1,159 @@
+"""Multistart box-constrained nonlinear minimization.
+
+The paper's P1/P2 programs are smooth, low-dimensional (one speed per
+tier) and mildly nonconvex, so the workhorse is SciPy's SLSQP run from
+several deterministic starting points across the box, keeping the best
+feasible outcome. Objectives are wrapped so that any
+:class:`UnstableSystemError` escaping from the queueing formulas turns
+into a large finite penalty instead of crashing the line search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.optimize.result import OptimizationResult
+
+__all__ = ["Constraint", "minimize_box_constrained", "multistart_points"]
+
+# Finite stand-in objective for points where the queueing model
+# diverges; large enough to dominate any realistic delay/power value,
+# small enough not to wreck SLSQP's internal scaling.
+_PENALTY = 1e9
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Inequality constraint ``fun(x) >= 0`` with a label for reports."""
+
+    fun: Callable[[np.ndarray], float]
+    name: str = "constraint"
+
+
+def multistart_points(bounds: Sequence[tuple[float, float]], n_starts: int) -> np.ndarray:
+    """Deterministic multistart seeds across a box.
+
+    Returns the box midpoint, the near-lower and near-upper corners,
+    and a low-discrepancy fill (scrambled-free Halton-like pattern from
+    a fixed-seed generator) up to ``n_starts`` points. Deterministic so
+    optimization results are reproducible run-to-run.
+    """
+    if n_starts < 1:
+        raise ModelValidationError(f"n_starts must be >= 1, got {n_starts}")
+    lo = np.array([b[0] for b in bounds])
+    hi = np.array([b[1] for b in bounds])
+    if np.any(hi < lo):
+        raise ModelValidationError(f"empty box: lower {lo} exceeds upper {hi}")
+    anchors = [0.5 * (lo + hi), lo + 0.05 * (hi - lo), hi - 0.05 * (hi - lo)]
+    points = anchors[:n_starts]
+    if n_starts > len(anchors):
+        rng = np.random.default_rng(20110516)  # paper publication date
+        extra = rng.uniform(lo, hi, size=(n_starts - len(anchors), lo.size))
+        points = anchors + list(extra)
+    return np.array(points)
+
+
+def _safe(fun: Callable[[np.ndarray], float], counter: list[int] | None = None) -> Callable[[np.ndarray], float]:
+    """Wrap a model evaluation so instability becomes a finite penalty."""
+
+    def wrapped(x: np.ndarray) -> float:
+        if counter is not None:
+            counter[0] += 1
+        try:
+            v = float(fun(np.asarray(x, dtype=float)))
+        except UnstableSystemError:
+            return _PENALTY
+        if not np.isfinite(v):
+            return _PENALTY
+        return v
+
+    return wrapped
+
+
+def minimize_box_constrained(
+    objective: Callable[[np.ndarray], float],
+    bounds: Sequence[tuple[float, float]],
+    constraints: Sequence[Constraint] = (),
+    n_starts: int = 5,
+    feasibility_tol: float = 1e-6,
+    method: str = "SLSQP",
+) -> OptimizationResult:
+    """Minimize ``objective`` over a box subject to ``g_j(x) >= 0``.
+
+    Parameters
+    ----------
+    objective:
+        Smooth objective; may raise :class:`UnstableSystemError` (turned
+        into a penalty).
+    bounds:
+        Per-coordinate ``(low, high)`` box.
+    constraints:
+        Inequality constraints, each satisfied when ``fun(x) >= 0``.
+    n_starts:
+        Number of deterministic multistart seeds.
+    feasibility_tol:
+        Absolute slack below which a constraint counts as satisfied.
+    method:
+        ``"SLSQP"`` (default) or ``"trust-constr"``.
+
+    Returns
+    -------
+    OptimizationResult
+        Best point across starts; ``success`` requires feasibility at
+        tolerance and solver convergence on at least one start.
+    """
+    evals = [0]
+    safe_obj = _safe(objective, evals)
+    scipy_constraints = [
+        {"type": "ineq", "fun": _safe(c.fun)} for c in constraints
+    ]
+
+    def violation(x: np.ndarray) -> float:
+        worst = 0.0
+        for c in constraints:
+            try:
+                g = float(c.fun(x))
+            except UnstableSystemError:
+                g = -_PENALTY
+            worst = max(worst, -g)
+        return worst
+
+    best: OptimizationResult | None = None
+    for x0 in multistart_points(bounds, n_starts):
+        try:
+            res = minimize(
+                safe_obj,
+                x0,
+                method=method,
+                bounds=bounds,
+                constraints=scipy_constraints,
+                options={"maxiter": 200, "ftol": 1e-10} if method == "SLSQP" else {"maxiter": 300},
+            )
+        except Exception as exc:  # pragma: no cover - scipy internal failures
+            candidate = OptimizationResult(
+                x=x0, fun=_PENALTY, success=False, message=f"solver error: {exc}",
+                n_evaluations=evals[0],
+            )
+            if candidate.better_than(best):
+                best = candidate
+            continue
+        x = np.clip(res.x, [b[0] for b in bounds], [b[1] for b in bounds])
+        viol = violation(x)
+        candidate = OptimizationResult(
+            x=x,
+            fun=safe_obj(x),
+            success=bool(viol <= feasibility_tol and safe_obj(x) < _PENALTY),
+            message=str(res.message),
+            n_evaluations=evals[0],
+            constraint_violation=viol,
+        )
+        if candidate.better_than(best):
+            best = candidate
+    assert best is not None  # n_starts >= 1 guarantees at least one candidate
+    best.n_evaluations = evals[0]
+    return best

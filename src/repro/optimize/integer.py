@@ -1,0 +1,166 @@
+"""Integer allocation search for the P3 cost minimizer.
+
+The decision is a vector of per-tier server counts. The searches below
+assume only that *adding servers anywhere never hurts feasibility*
+(delays are non-increasing in every ``c_i``), which holds for every
+queueing formula in the library.
+
+``greedy_integer_allocation`` grows from a lower-bound allocation,
+always buying the cheapest unit of "most infeasibility relief per
+dollar" until feasible; ``integer_local_search`` then tries to remove
+or swap servers while staying feasible. Exhaustive certification for
+small instances lives in :mod:`repro.baselines.exhaustive`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+
+__all__ = ["greedy_integer_allocation", "integer_local_search"]
+
+# (feasible, score): score is the max SLA violation when infeasible
+# (lower = closer to feasible), arbitrary when feasible.
+EvalFn = Callable[[np.ndarray], tuple[bool, float]]
+CostFn = Callable[[np.ndarray], float]
+
+
+def greedy_integer_allocation(
+    evaluate: EvalFn,
+    cost: CostFn,
+    lower: Sequence[int],
+    upper: Sequence[int],
+    max_steps: int = 10_000,
+) -> np.ndarray:
+    """Grow an allocation until feasible, greedily by relief-per-cost.
+
+    Parameters
+    ----------
+    evaluate:
+        Maps a count vector to ``(feasible, violation_score)``; the
+        score must be ``<= 0`` exactly when feasible and decrease as
+        the configuration gets closer to feasibility.
+    cost:
+        Total cost of a count vector (used to rank candidate
+        increments).
+    lower, upper:
+        Per-tier inclusive bounds on counts; the search starts at
+        ``lower``.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If even the all-``upper`` allocation is infeasible.
+    """
+    lo = np.asarray(lower, dtype=int)
+    hi = np.asarray(upper, dtype=int)
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ModelValidationError("lower/upper must be 1-D and congruent")
+    if np.any(lo < 1) or np.any(hi < lo):
+        raise ModelValidationError(f"need 1 <= lower <= upper, got {lo} / {hi}")
+
+    feasible_hi, _ = evaluate(hi.copy())
+    if not feasible_hi:
+        raise InfeasibleProblemError(
+            f"even the maximal allocation {hi.tolist()} violates the SLA"
+        )
+
+    current = lo.copy()
+    feasible, score = evaluate(current)
+    steps = 0
+    while not feasible:
+        steps += 1
+        if steps > max_steps:  # pragma: no cover - defensive
+            raise InfeasibleProblemError("greedy allocation exceeded step budget")
+        best_idx, best_gain = -1, -np.inf
+        for i in range(current.size):
+            if current[i] >= hi[i]:
+                continue
+            trial = current.copy()
+            trial[i] += 1
+            _, trial_score = evaluate(trial)
+            delta_cost = cost(trial) - cost(current)
+            relief = score - trial_score
+            gain = relief / delta_cost if delta_cost > 0 else relief
+            if gain > best_gain:
+                best_gain, best_idx = gain, i
+        if best_idx < 0:
+            # No coordinate can grow further yet all-upper was feasible:
+            # can only happen if evaluate is non-monotone; fall back to hi.
+            current = hi.copy()
+            feasible, score = evaluate(current)
+            break
+        current[best_idx] += 1
+        feasible, score = evaluate(current)
+    return current
+
+
+def integer_local_search(
+    start: Sequence[int],
+    evaluate: EvalFn,
+    cost: CostFn,
+    lower: Sequence[int],
+    upper: Sequence[int],
+    max_rounds: int = 100,
+) -> np.ndarray:
+    """Cost-descent local search from a feasible allocation.
+
+    Moves, tried cheapest-first each round until none improves:
+
+    * remove one server from a tier (stay feasible, always cheaper),
+    * swap: remove one server from an expensive tier and add one to a
+      cheaper tier (net cost decrease only).
+    """
+    current = np.asarray(start, dtype=int).copy()
+    lo = np.asarray(lower, dtype=int)
+    hi = np.asarray(upper, dtype=int)
+    feasible, _ = evaluate(current)
+    if not feasible:
+        raise ModelValidationError(f"local search must start feasible, got {current.tolist()}")
+
+    for _ in range(max_rounds):
+        improved = False
+        # Deletions, most expensive tier first so big savings are tried early.
+        order = np.argsort([-cost(_unit(current.size, i)) for i in range(current.size)])
+        for i in order:
+            if current[i] <= lo[i]:
+                continue
+            trial = current.copy()
+            trial[i] -= 1
+            ok, _ = evaluate(trial)
+            if ok:
+                current = trial
+                improved = True
+        if improved:
+            continue
+        # Swaps.
+        for i in range(current.size):
+            if current[i] <= lo[i]:
+                continue
+            for j in range(current.size):
+                if j == i or current[j] >= hi[j]:
+                    continue
+                trial = current.copy()
+                trial[i] -= 1
+                trial[j] += 1
+                if cost(trial) >= cost(current):
+                    continue
+                ok, _ = evaluate(trial)
+                if ok:
+                    current = trial
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return current
+
+
+def _unit(n: int, i: int) -> np.ndarray:
+    e = np.zeros(n, dtype=int)
+    e[i] = 1
+    return e

@@ -1,0 +1,59 @@
+"""Uniform result record for every optimizer in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["OptimizationResult"]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a constrained optimization run.
+
+    Attributes
+    ----------
+    x:
+        The decision vector at the returned point.
+    fun:
+        Objective value at ``x``.
+    success:
+        True iff a feasible point satisfying the solver's tolerances
+        was found.
+    message:
+        Human-readable status.
+    n_evaluations:
+        Number of objective evaluations consumed (the T4 efficiency
+        metric).
+    constraint_violation:
+        Max violation of any inequality constraint at ``x`` (0 when
+        feasible).
+    meta:
+        Solver-specific extras (per-start results, chosen counts, ...).
+    """
+
+    x: np.ndarray
+    fun: float
+    success: bool
+    message: str = ""
+    n_evaluations: int = 0
+    constraint_violation: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+
+    def better_than(self, other: "OptimizationResult | None") -> bool:
+        """Ordering used to merge multistart results: feasible beats
+        infeasible; among feasible (or among infeasible), lower
+        objective wins, with constraint violation as tie-breaker."""
+        if other is None:
+            return True
+        if self.success != other.success:
+            return self.success
+        if self.success:
+            return self.fun < other.fun
+        return (self.constraint_violation, self.fun) < (other.constraint_violation, other.fun)

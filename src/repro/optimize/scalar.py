@@ -1,0 +1,46 @@
+"""Monotone one-dimensional threshold search."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+
+__all__ = ["bisect_threshold"]
+
+
+def bisect_threshold(
+    predicate: Callable[[float], bool],
+    lo: float,
+    hi: float,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> float:
+    """Smallest ``x`` in ``[lo, hi]`` with ``predicate(x)`` true.
+
+    Requires the predicate to be monotone (false then true) on the
+    interval — e.g. "does uniform speed ``x`` meet the delay bound?".
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If ``predicate(hi)`` is false (no feasible point in range).
+    """
+    if hi < lo:
+        raise ModelValidationError(f"empty interval [{lo}, {hi}]")
+    if predicate(lo):
+        return lo
+    if not predicate(hi):
+        raise InfeasibleProblemError(
+            f"predicate is false on the whole interval [{lo}, {hi}]"
+        )
+    a, b = lo, hi
+    for _ in range(max_iter):
+        if b - a <= tol:
+            break
+        mid = 0.5 * (a + b)
+        if predicate(mid):
+            b = mid
+        else:
+            a = mid
+    return b

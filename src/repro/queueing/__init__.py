@@ -1,0 +1,86 @@
+"""Analytical queueing formulas.
+
+This subpackage is the mathematical substrate under the paper's delay
+model. It implements, from first principles:
+
+* ``mm1``            — M/M/1 exact results.
+* ``mmc``            — Erlang B / Erlang C and M/M/c exact results.
+* ``mg1``            — Pollaczek–Khinchine M/G/1 results.
+* ``mgc``            — M/G/c two-moment approximations (Lee–Longton).
+* ``priority``       — multi-class M/G/1 priority queues: Cobham's
+                       non-preemptive formula and preemptive-resume.
+* ``priority_multiserver`` — exact M/M/c non-preemptive priority with a
+                       common service rate, plus the Bondi–Buzen
+                       scaling approximation for the general case.
+* ``networks``       — open tandem networks of priority stations with
+                       per-class end-to-end delays (the cluster model's
+                       delay engine).
+* ``stability``      — utilization and stability checking shared by all.
+
+Conventions: class index 1 is the *highest* priority (arrays are
+0-indexed, so ``waits[0]`` is the highest class); all rates are per
+unit time; ``rho`` always means offered load over total capacity.
+"""
+
+from repro.queueing.metrics import QueueMetrics, little_l, little_lq
+from repro.queueing.mm1 import MM1
+from repro.queueing.mmc import MMc, erlang_b, erlang_c
+from repro.queueing.mg1 import MG1
+from repro.queueing.mgc import MGc
+from repro.queueing.priority import (
+    ClassLoad,
+    nonpreemptive_priority_mg1,
+    preemptive_resume_priority_mg1,
+)
+from repro.queueing.priority_multiserver import (
+    bondi_buzen_priority_waits,
+    nonpreemptive_priority_mmc_common_mu,
+)
+from repro.queueing.finite import MMcK
+from repro.queueing.gm1 import GM1, interarrival_lst
+from repro.queueing.loss import MGcc, servers_for_blocking
+from repro.queueing.networks import StationSpec, TandemNetwork
+from repro.queueing.phase_type import (
+    PhaseType,
+    as_phase_type,
+    mmc_sojourn_ph,
+    mph1_sojourn,
+    mph1_waiting_time,
+)
+from repro.queueing.ps import ps_sojourn_times
+from repro.queueing.routing import visit_ratio_matrix, visit_ratios_from_routing
+from repro.queueing.stability import check_stability, total_utilization
+
+__all__ = [
+    "QueueMetrics",
+    "little_l",
+    "little_lq",
+    "MM1",
+    "MMc",
+    "erlang_b",
+    "erlang_c",
+    "MG1",
+    "MGc",
+    "ClassLoad",
+    "nonpreemptive_priority_mg1",
+    "preemptive_resume_priority_mg1",
+    "nonpreemptive_priority_mmc_common_mu",
+    "bondi_buzen_priority_waits",
+    "StationSpec",
+    "TandemNetwork",
+    "MGcc",
+    "servers_for_blocking",
+    "GM1",
+    "interarrival_lst",
+    "MMcK",
+    "ps_sojourn_times",
+    "PhaseType",
+    "as_phase_type",
+    "mph1_waiting_time",
+    "mph1_sojourn",
+    "mmc_sojourn_ph",
+    "visit_ratios_from_routing",
+    "visit_ratio_matrix",
+    "check_stability",
+    "total_utilization",
+]

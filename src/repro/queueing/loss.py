@@ -1,0 +1,114 @@
+"""Loss systems: the M/G/c/c (Erlang-B) admission-control tier.
+
+Front-end tiers often enforce a hard connection limit: a request that
+arrives when all ``c`` slots are busy is *rejected*, not queued —
+blocked calls cleared. The stationary blocking probability is
+Erlang-B, famously **insensitive** to the service distribution beyond
+its mean (an M/G/c/c property the simulator validates in the tests):
+
+    B(c, a),   a = λ E[S]   (offered load in erlangs).
+
+:class:`MGcc` wraps the metrics; :func:`servers_for_blocking` answers
+the provisioning question ("how many slots for a 1% loss target?") by
+the smallest ``c`` with ``B <= target`` — the loss-system analogue of
+the P3 sizing step.
+"""
+
+from __future__ import annotations
+
+from repro.distributions.base import Distribution
+from repro.exceptions import ModelValidationError
+from repro.queueing.mmc import erlang_b
+from repro.queueing.stability import require_positive_rate
+
+__all__ = ["MGcc", "servers_for_blocking"]
+
+
+class MGcc:
+    """M/G/c/c loss system (no waiting room).
+
+    Parameters
+    ----------
+    lam:
+        Poisson arrival rate.
+    service:
+        Service-time distribution (only its mean matters —
+        insensitivity).
+    c:
+        Number of service slots.
+    """
+
+    def __init__(self, lam: float, service: Distribution, c: int):
+        self.lam = require_positive_rate(lam, "arrival rate")
+        if not isinstance(service, Distribution):
+            raise ModelValidationError(
+                f"service must be a Distribution, got {type(service).__name__}"
+            )
+        if c < 1 or int(c) != c:
+            raise ModelValidationError(f"slot count must be a positive integer, got {c}")
+        self.service = service
+        self.c = int(c)
+        self.offered_load = self.lam * service.mean
+
+    @property
+    def blocking_probability(self) -> float:
+        """Erlang-B: the fraction of arrivals rejected."""
+        return erlang_b(self.c, self.offered_load)
+
+    @property
+    def carried_load(self) -> float:
+        """Mean number of busy slots: ``a (1 - B)``."""
+        return self.offered_load * (1.0 - self.blocking_probability)
+
+    @property
+    def throughput(self) -> float:
+        """Accepted-request rate: ``λ (1 - B)``."""
+        return self.lam * (1.0 - self.blocking_probability)
+
+    @property
+    def utilization(self) -> float:
+        """Per-slot utilization: carried load over ``c``."""
+        return self.carried_load / self.c
+
+    @property
+    def mean_sojourn(self) -> float:
+        """An *accepted* request stays exactly one service time."""
+        return self.service.mean
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MGcc(lam={self.lam:.6g}, E[S]={self.service.mean:.6g}, c={self.c})"
+
+
+def servers_for_blocking(
+    lam: float, mean_service: float, target_blocking: float, c_max: int = 100_000
+) -> int:
+    """Smallest slot count with Erlang-B blocking at or below target.
+
+    ``B(c, a)`` is strictly decreasing in ``c`` toward 0, so the answer
+    always exists; ``c_max`` only guards against absurd targets.
+
+    Raises
+    ------
+    ModelValidationError
+        On a non-sensible target or if ``c_max`` is hit.
+    """
+    lam = require_positive_rate(lam, "arrival rate")
+    if mean_service <= 0.0:
+        raise ModelValidationError(f"mean service must be positive, got {mean_service}")
+    if not 0.0 < target_blocking < 1.0:
+        raise ModelValidationError(
+            f"blocking target must be in (0, 1), got {target_blocking}"
+        )
+    a = lam * mean_service
+    # Start near the offered load (B(a ± O(sqrt a)) brackets any
+    # practical target) and walk up; the recurrence is O(c) anyway.
+    c = 1
+    b = a / (1.0 + a)
+    while b > target_blocking:
+        c += 1
+        b = a * b / (c + a * b)
+        if c > c_max:
+            raise ModelValidationError(
+                f"blocking target {target_blocking} needs more than {c_max} slots"
+            )
+    return c

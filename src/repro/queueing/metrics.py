@@ -1,0 +1,58 @@
+"""Shared metric containers and Little's-law helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QueueMetrics", "little_l", "little_lq"]
+
+
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Steady-state mean metrics of a single queueing station.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Offered arrival rate ``λ``.
+    utilization:
+        Server utilization ``ρ`` (per-server for multi-server stations).
+    mean_wait:
+        Mean time in *queue* (excluding service), ``W_q``.
+    mean_sojourn:
+        Mean time in *system* (queue + service), ``W = W_q + E[S]``.
+    mean_queue_length:
+        Mean number waiting, ``L_q = λ W_q`` (Little).
+    mean_number_in_system:
+        Mean number in system, ``L = λ W`` (Little).
+    """
+
+    arrival_rate: float
+    utilization: float
+    mean_wait: float
+    mean_sojourn: float
+    mean_queue_length: float
+    mean_number_in_system: float
+
+    @classmethod
+    def from_waits(cls, arrival_rate: float, utilization: float, mean_wait: float, mean_service: float) -> "QueueMetrics":
+        """Build a full metric set from ``(λ, ρ, W_q, E[S])`` via Little's law."""
+        sojourn = mean_wait + mean_service
+        return cls(
+            arrival_rate=arrival_rate,
+            utilization=utilization,
+            mean_wait=mean_wait,
+            mean_sojourn=sojourn,
+            mean_queue_length=arrival_rate * mean_wait,
+            mean_number_in_system=arrival_rate * sojourn,
+        )
+
+
+def little_l(arrival_rate: float, mean_sojourn: float) -> float:
+    """Little's law for the system: ``L = λ W``."""
+    return arrival_rate * mean_sojourn
+
+
+def little_lq(arrival_rate: float, mean_wait: float) -> float:
+    """Little's law for the queue: ``L_q = λ W_q``."""
+    return arrival_rate * mean_wait

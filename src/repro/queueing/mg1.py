@@ -1,0 +1,86 @@
+"""Pollaczek–Khinchine results for the M/G/1 queue.
+
+The mean waiting time of an FCFS M/G/1 queue depends on the service
+distribution only through its first two moments:
+
+    W_q = λ E[S²] / (2 (1 - ρ)) = ρ E[S] (1 + scv) / (2 (1 - ρ))
+
+This is the building block generalized by Cobham's priority formula in
+:mod:`repro.queueing.priority`.
+"""
+
+from __future__ import annotations
+
+from repro.distributions.base import Distribution
+from repro.exceptions import ModelValidationError
+from repro.queueing.metrics import QueueMetrics
+from repro.queueing.stability import check_stability, require_positive_rate
+
+__all__ = ["MG1"]
+
+
+class MG1:
+    """M/G/1 queue: Poisson arrivals at ``lam``, general service ``service``.
+
+    Parameters
+    ----------
+    lam:
+        Arrival rate.
+    service:
+        Service-time distribution (needs finite ``second_moment``).
+
+    Examples
+    --------
+    >>> from repro.distributions import Exponential, Deterministic
+    >>> MG1(0.5, Exponential(1.0)).mean_wait  # matches M/M/1
+    1.0
+    >>> MG1(0.5, Deterministic(1.0)).mean_wait  # M/D/1: exactly half
+    0.5
+    """
+
+    def __init__(self, lam: float, service: Distribution):
+        self.lam = require_positive_rate(lam, "arrival rate")
+        if not isinstance(service, Distribution):
+            raise ModelValidationError(f"service must be a Distribution, got {type(service).__name__}")
+        self.service = service
+        self.rho = check_stability(self.lam * service.mean, where="M/G/1")
+
+    @property
+    def mean_service(self) -> float:
+        """``E[S]``."""
+        return self.service.mean
+
+    @property
+    def residual_service(self) -> float:
+        """Mean residual work an arrival finds in service:
+        ``W_0 = λ E[S²] / 2`` (mean remaining service time weighted by
+        the probability the server is busy).
+        """
+        return 0.5 * self.lam * self.service.second_moment
+
+    @property
+    def mean_wait(self) -> float:
+        """Pollaczek–Khinchine mean wait ``W_q = W_0 / (1 - ρ)``."""
+        return self.residual_service / (1.0 - self.rho)
+
+    @property
+    def mean_sojourn(self) -> float:
+        """``W = W_q + E[S]``."""
+        return self.mean_wait + self.mean_service
+
+    @property
+    def mean_queue_length(self) -> float:
+        """``L_q = λ W_q``."""
+        return self.lam * self.mean_wait
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``L = λ W``."""
+        return self.lam * self.mean_sojourn
+
+    def metrics(self) -> QueueMetrics:
+        """All mean metrics bundled."""
+        return QueueMetrics.from_waits(self.lam, self.rho, self.mean_wait, self.mean_service)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MG1(lam={self.lam:.6g}, service={self.service!r})"

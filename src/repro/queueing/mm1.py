@@ -1,0 +1,94 @@
+"""Exact M/M/1 results.
+
+The single-server exponential queue: Poisson arrivals at rate ``λ``,
+exponential service at rate ``μ``, FCFS. Exact closed forms for all
+mean metrics, the queue-length distribution and the sojourn-time
+distribution — the latter two power the property-based tests that
+cross-check the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queueing.metrics import QueueMetrics
+from repro.queueing.stability import check_stability, require_positive_rate
+
+__all__ = ["MM1"]
+
+
+class MM1:
+    """M/M/1 queue with arrival rate ``lam`` and service rate ``mu``.
+
+    Examples
+    --------
+    >>> q = MM1(lam=0.5, mu=1.0)
+    >>> q.rho
+    0.5
+    >>> q.mean_sojourn  # 1 / (mu - lam)
+    2.0
+    """
+
+    def __init__(self, lam: float, mu: float):
+        self.lam = require_positive_rate(lam, "arrival rate")
+        self.mu = require_positive_rate(mu, "service rate")
+        self.rho = check_stability(self.lam / self.mu, where="M/M/1")
+
+    @property
+    def mean_service(self) -> float:
+        """``E[S] = 1/μ``."""
+        return 1.0 / self.mu
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay ``W_q = ρ / (μ - λ)``."""
+        return self.rho / (self.mu - self.lam)
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Mean response time ``W = 1 / (μ - λ)``."""
+        return 1.0 / (self.mu - self.lam)
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``L = ρ / (1 - ρ)``."""
+        return self.rho / (1.0 - self.rho)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """``L_q = ρ^2 / (1 - ρ)``."""
+        return self.rho**2 / (1.0 - self.rho)
+
+    def metrics(self) -> QueueMetrics:
+        """All mean metrics bundled."""
+        return QueueMetrics.from_waits(self.lam, self.rho, self.mean_wait, self.mean_service)
+
+    def prob_n_in_system(self, n: int | np.ndarray) -> float | np.ndarray:
+        """Geometric stationary distribution ``P(N = n) = (1-ρ) ρ^n``."""
+        n_arr = np.asarray(n)
+        if np.any(n_arr < 0):
+            raise ValueError("n must be non-negative")
+        result = (1.0 - self.rho) * self.rho**n_arr
+        return float(result) if np.isscalar(n) or n_arr.ndim == 0 else result
+
+    def sojourn_cdf(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Exact response-time CDF: ``T ~ Exp(μ - λ)``.
+
+        The M/M/1 FCFS sojourn time is exponential with rate ``μ(1-ρ)``.
+        """
+        t_arr = np.asarray(t, dtype=float)
+        result = 1.0 - np.exp(-(self.mu - self.lam) * np.maximum(t_arr, 0.0))
+        return float(result) if np.isscalar(t) or t_arr.ndim == 0 else result
+
+    def sojourn_quantile(self, p: float) -> float:
+        """Inverse of :meth:`sojourn_cdf` — the percentile response time.
+
+        Used to translate percentile SLAs into mean-delay targets for
+        exponential tiers: ``t_p = -ln(1-p) / (μ - λ)``.
+        """
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile level must be in (0, 1), got {p}")
+        return -np.log1p(-p) / (self.mu - self.lam)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MM1(lam={self.lam:.6g}, mu={self.mu:.6g})"

@@ -1,0 +1,131 @@
+"""Exact M/M/c results: Erlang B, Erlang C and all mean metrics.
+
+Both Erlang functions are computed with the standard numerically stable
+recurrences (never through factorials), so they remain accurate for
+hundreds of servers — the regime the cost-minimization experiments
+sweep through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+from repro.queueing.metrics import QueueMetrics
+from repro.queueing.stability import check_stability, require_positive_rate
+
+__all__ = ["erlang_b", "erlang_c", "MMc"]
+
+
+def erlang_b(c: int, a: float) -> float:
+    """Erlang-B blocking probability ``B(c, a)`` for offered load ``a``.
+
+    Computed by the stable recurrence
+    ``B(0, a) = 1``, ``B(k, a) = a B(k-1, a) / (k + a B(k-1, a))``.
+
+    Valid for any ``a > 0`` (the loss system needs no stability
+    condition).
+    """
+    if c < 0:
+        raise ModelValidationError(f"server count must be non-negative, got {c}")
+    if a < 0.0:
+        raise ModelValidationError(f"offered load must be non-negative, got {a}")
+    if a == 0.0:
+        return 0.0 if c > 0 else 1.0
+    b = 1.0
+    for k in range(1, c + 1):
+        b = a * b / (k + a * b)
+    return b
+
+
+def erlang_c(c: int, a: float) -> float:
+    """Erlang-C probability of waiting ``C(c, a)``, offered load ``a = λ/μ``.
+
+    Uses the identity ``C = c B / (c - a (1 - B))`` with Erlang-B from
+    the stable recurrence. Requires ``a < c`` (stability).
+    """
+    if c < 1:
+        raise ModelValidationError(f"server count must be >= 1, got {c}")
+    if a < 0.0:
+        raise ModelValidationError(f"offered load must be non-negative, got {a}")
+    if a == 0.0:
+        return 0.0
+    check_stability(a / c, where="M/M/c")
+    b = erlang_b(c, a)
+    return c * b / (c - a * (1.0 - b))
+
+
+class MMc:
+    """M/M/c queue: Poisson arrivals ``lam``, ``c`` exponential servers
+    at rate ``mu`` each, FCFS.
+
+    Examples
+    --------
+    >>> q = MMc(lam=1.5, mu=1.0, c=2)
+    >>> round(q.rho, 6)
+    0.75
+    """
+
+    def __init__(self, lam: float, mu: float, c: int):
+        self.lam = require_positive_rate(lam, "arrival rate")
+        self.mu = require_positive_rate(mu, "service rate")
+        if c < 1 or int(c) != c:
+            raise ModelValidationError(f"server count must be a positive integer, got {c}")
+        self.c = int(c)
+        self.offered_load = self.lam / self.mu
+        self.rho = check_stability(self.offered_load / self.c, where="M/M/c")
+
+    @property
+    def mean_service(self) -> float:
+        """``E[S] = 1/μ``."""
+        return 1.0 / self.mu
+
+    @property
+    def prob_wait(self) -> float:
+        """Erlang-C probability an arrival must wait."""
+        return erlang_c(self.c, self.offered_load)
+
+    @property
+    def mean_wait(self) -> float:
+        """``W_q = C(c, a) / (cμ - λ)``."""
+        return self.prob_wait / (self.c * self.mu - self.lam)
+
+    @property
+    def mean_sojourn(self) -> float:
+        """``W = W_q + 1/μ``."""
+        return self.mean_wait + self.mean_service
+
+    @property
+    def mean_queue_length(self) -> float:
+        """``L_q = λ W_q``."""
+        return self.lam * self.mean_wait
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``L = λ W``."""
+        return self.lam * self.mean_sojourn
+
+    def metrics(self) -> QueueMetrics:
+        """All mean metrics bundled."""
+        return QueueMetrics.from_waits(self.lam, self.rho, self.mean_wait, self.mean_service)
+
+    def wait_cdf(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Exact waiting-time CDF:
+        ``P(W_q <= t) = 1 - C(c, a) e^{-(cμ - λ) t}``.
+        """
+        t_arr = np.asarray(t, dtype=float)
+        pw = self.prob_wait
+        result = 1.0 - pw * np.exp(-(self.c * self.mu - self.lam) * np.maximum(t_arr, 0.0))
+        return float(result) if np.isscalar(t) or t_arr.ndim == 0 else result
+
+    def wait_quantile(self, p: float) -> float:
+        """Percentile of the waiting time (0 when ``p <= 1 - C``)."""
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile level must be in (0, 1), got {p}")
+        pw = self.prob_wait
+        if p <= 1.0 - pw:
+            return 0.0
+        return float(np.log(pw / (1.0 - p)) / (self.c * self.mu - self.lam))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MMc(lam={self.lam:.6g}, mu={self.mu:.6g}, c={self.c})"

@@ -1,0 +1,140 @@
+"""Multi-server priority queues.
+
+Two results power the multi-server tiers of the cluster model:
+
+**Exact M/M/c non-preemptive priority with a common service rate**
+(Kella & Yechiali 1985). When every class has the same exponential
+service rate ``μ`` the Cobham argument goes through with the M/M/c
+"residual" in place of the M/G/1 one:
+
+    W_k = C(c, a) / (c μ) / ((1 - σ_{k-1}) (1 - σ_k)),
+    σ_k = Σ_{j<=k} λ_j / (c μ).
+
+With ``K = 1`` this collapses to the standard M/M/c wait
+``C / (cμ - λ)``.
+
+**Bondi–Buzen scaling approximation** for the general case (class-
+dependent general service, ``c`` servers):
+
+    W_k(prio, c) ≈ W_k(prio, 1 fast server) · r,
+    r = W(FCFS M/G/c) / W(FCFS M/G/1 fast),
+
+i.e. the ratio of multi-server to equivalent fast single-server FCFS
+waits is assumed to carry over from FCFS to priority scheduling. The
+"fast server" serves each class at ``c`` times the speed so total
+utilization matches. Exact at ``c = 1``; ablation A3 quantifies the
+error against simulation for ``c > 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+from repro.queueing.mgc import MGc
+from repro.queueing.mg1 import MG1
+from repro.queueing.mmc import erlang_c
+from repro.queueing.priority import ClassLoad, PriorityWaits, nonpreemptive_priority_mg1
+from repro.queueing.stability import check_stability, require_positive_rate
+
+__all__ = ["nonpreemptive_priority_mmc_common_mu", "bondi_buzen_priority_waits"]
+
+
+def nonpreemptive_priority_mmc_common_mu(
+    arrival_rates: Sequence[float], mu: float, c: int
+) -> PriorityWaits:
+    """Exact non-preemptive priority M/M/c waits, common service rate.
+
+    Parameters
+    ----------
+    arrival_rates:
+        Per-class Poisson rates, highest priority first.
+    mu:
+        Common exponential service rate of every class at each server.
+    c:
+        Number of identical servers.
+    """
+    lam = np.asarray(arrival_rates, dtype=float)
+    if lam.ndim != 1 or lam.size == 0:
+        raise ModelValidationError("arrival_rates must be a non-empty 1-D sequence")
+    if np.any(lam < 0.0):
+        raise ModelValidationError(f"arrival rates must be non-negative, got {lam}")
+    mu = require_positive_rate(mu, "service rate")
+    if c < 1 or int(c) != c:
+        raise ModelValidationError(f"server count must be a positive integer, got {c}")
+    c = int(c)
+    total = float(lam.sum())
+    a = total / mu
+    rho = lam / (c * mu)
+    sigma = np.concatenate(([0.0], np.cumsum(rho)))
+    check_stability(sigma[-1], where="priority M/M/c")
+    w0 = erlang_c(c, a) / (c * mu)
+    waits = w0 / ((1.0 - sigma[:-1]) * (1.0 - sigma[1:]))
+    services = np.full(lam.size, 1.0 / mu)
+    return PriorityWaits(
+        mean_waits=waits,
+        mean_sojourns=waits + services,
+        utilizations=rho * c,  # per-class offered utilization λ_k/μ relative to one server
+        total_utilization=float(sigma[-1]),
+    )
+
+
+def bondi_buzen_priority_waits(classes: Sequence[ClassLoad], c: int) -> PriorityWaits:
+    """Bondi–Buzen multi-server priority approximation.
+
+    Parameters
+    ----------
+    classes:
+        Per-class loads with service times at **one actual server's**
+        speed, highest priority first.
+    c:
+        Number of identical servers at the station.
+
+    Returns
+    -------
+    PriorityWaits
+        Per-class mean waits; sojourns add the *actual* (slow-server)
+        service time since a job occupies one real server.
+    """
+    if c < 1 or int(c) != c:
+        raise ModelValidationError(f"server count must be a positive integer, got {c}")
+    c = int(c)
+    if len(classes) == 0:
+        raise ModelValidationError("need at least one customer class")
+    if c == 1:
+        return nonpreemptive_priority_mg1(classes)
+
+    # Equivalent fast single server: each service time divided by c.
+    fast = [ClassLoad(cl.arrival_rate, cl.service.scaled(1.0 / c)) for cl in classes]
+    fast_prio = nonpreemptive_priority_mg1(fast)
+
+    # FCFS scaling ratio on the aggregate flow.
+    lam = np.array([cl.arrival_rate for cl in classes])
+    total = float(lam.sum())
+    if total <= 0.0:
+        raise ModelValidationError("total arrival rate must be positive")
+    probs = lam / total
+    # Aggregate service distribution moments (mixture over classes).
+    agg_mean = float(np.dot(probs, [cl.service.mean for cl in classes]))
+    agg_m2 = float(np.dot(probs, [cl.service.second_moment for cl in classes]))
+    scv = max(agg_m2 / agg_mean**2 - 1.0, 0.0)
+    check_stability(total * agg_mean / c, where="priority M/G/c")
+
+    from repro.distributions.fitting import fit_two_moments
+
+    agg_dist = fit_two_moments(agg_mean, scv)
+    w_fcfs_multi = MGc(total, agg_dist, c).mean_wait
+    w_fcfs_fast = MG1(total, agg_dist.scaled(1.0 / c)).mean_wait
+    ratio = w_fcfs_multi / w_fcfs_fast if w_fcfs_fast > 0.0 else 1.0
+
+    waits = fast_prio.mean_waits * ratio
+    services = np.array([cl.service.mean for cl in classes])
+    rho = np.array([cl.utilization for cl in classes]) / c
+    return PriorityWaits(
+        mean_waits=waits,
+        mean_sojourns=waits + services,
+        utilizations=rho,
+        total_utilization=float(rho.sum()),
+    )

@@ -1,0 +1,84 @@
+"""Processor-sharing (PS) stations.
+
+Round-robin application servers are classically modeled as egalitarian
+processor sharing: all jobs present share the service capacity
+equally. Two celebrated properties make PS analytically pleasant:
+
+* **Insensitivity** (M/G/1-PS): the mean sojourn depends on the
+  service distribution only through its mean,
+
+      E[T_k] = E[S_k] / (1 - ρ).
+
+* For multi-server egalitarian PS the library uses the standard
+  insensitive approximation
+
+      E[T_k] = E[S_k] · (1 + C(c, a) / (c (1 - ρ)))
+
+  which is exact at ``c = 1`` (reduces to the formula above) and, for
+  exponential service, coincides with the M/M/c-FCFS mean sojourn
+  (both queues have the same mean occupancy).
+
+Per-class fairness: under PS every class sees the same *stretch*
+``T_k / E[S_k]`` — there is no priority differentiation, which is why
+the paper's SLA machinery prefers head-of-line priority; the PS
+station exists as the no-differentiation comparison point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.exceptions import ModelValidationError
+from repro.queueing.mmc import erlang_c
+from repro.queueing.stability import check_stability
+
+__all__ = ["ps_sojourn_times"]
+
+
+def ps_sojourn_times(
+    arrival_rates: Sequence[float], services: Sequence[Distribution], c: int = 1
+) -> np.ndarray:
+    """Per-class mean sojourn times at an egalitarian PS station.
+
+    Parameters
+    ----------
+    arrival_rates:
+        Per-class Poisson rates.
+    services:
+        Per-class service-time distributions (only means are used —
+        insensitivity).
+    c:
+        Number of servers sharing capacity (``c = 1`` is classic PS).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``E[T_k]`` per class. All classes experience the same stretch
+        factor ``E[T_k] / E[S_k]``.
+    """
+    lam = np.asarray(arrival_rates, dtype=float)
+    if lam.ndim != 1 or lam.size != len(services):
+        raise ModelValidationError(
+            f"got {lam.size} arrival rates but {len(services)} services"
+        )
+    if np.any(lam < 0.0):
+        raise ModelValidationError(f"arrival rates must be non-negative, got {lam}")
+    if c < 1 or int(c) != c:
+        raise ModelValidationError(f"server count must be a positive integer, got {c}")
+    if not all(isinstance(s, Distribution) for s in services):
+        raise ModelValidationError("services must be Distribution instances")
+    means = np.array([s.mean for s in services])
+    total = float(lam.sum())
+    if total <= 0.0:
+        raise ModelValidationError("total arrival rate must be positive")
+    agg_mean = float(np.dot(lam, means)) / total
+    rho = check_stability(total * agg_mean / c, where="PS station")
+    if c == 1:
+        stretch = 1.0 / (1.0 - rho)
+    else:
+        a = total * agg_mean
+        stretch = 1.0 + erlang_c(c, a) / (c * (1.0 - rho))
+    return means * stretch

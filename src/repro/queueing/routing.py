@@ -1,0 +1,146 @@
+"""Probabilistic routing → visit ratios (open Jackson traffic equations).
+
+The tandem cluster is the paper's base topology, but enterprise
+request flows branch and loop: a request may retry the database,
+bounce between the application and cache tiers, or skip tiers
+entirely. With Markovian routing — after finishing at station ``i`` a
+class-``k`` job moves to station ``j`` with probability
+``R_k[i, j]`` and leaves with probability ``1 − Σ_j R_k[i, j]`` — the
+expected visit counts solve the traffic equations
+
+    v_k = e_k + R_k^T v_k        ⇒        v_k = (I − R_k^T)^{-1} e_k,
+
+where ``e_k`` is the entry distribution over stations. Those visit
+ratios drop straight into :class:`repro.queueing.networks.TandemNetwork`
+/ :class:`repro.cluster.ClusterModel`, whose delay and energy formulas
+are already visit-ratio-weighted; the decomposition approximation is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+
+__all__ = ["ClassRouting", "visit_ratios_from_routing", "visit_ratio_matrix"]
+
+
+class ClassRouting:
+    """One class's Markovian routing: matrix + entry distribution.
+
+    The analytic model consumes this through
+    :func:`visit_ratios_from_routing`; the simulator replays it
+    job-by-job (``simulate(..., routing=[...])``), drawing each hop
+    from the routing matrix — which validates the decomposition the
+    analytic side relies on.
+    """
+
+    def __init__(self, matrix: np.ndarray, entry: np.ndarray | int = 0):
+        self.matrix = np.asarray(matrix, dtype=float)
+        # Validate by computing the visit ratios once (raises on any
+        # malformed input or non-terminating chain).
+        self.visit_ratios = visit_ratios_from_routing(self.matrix, entry)
+        m = self.matrix.shape[0]
+        if isinstance(entry, (int, np.integer)):
+            e = np.zeros(m)
+            e[int(entry)] = 1.0
+        else:
+            e = np.asarray(entry, dtype=float)
+        self.entry = e
+
+    @property
+    def num_stations(self) -> int:
+        """Number of stations the routing is defined over."""
+        return self.matrix.shape[0]
+
+
+def visit_ratios_from_routing(
+    routing: np.ndarray, entry: np.ndarray | int = 0
+) -> np.ndarray:
+    """Expected visit counts per station for one class.
+
+    Parameters
+    ----------
+    routing:
+        ``(M, M)`` substochastic matrix; ``routing[i, j]`` is the
+        probability of moving to station ``j`` after finishing at
+        ``i``. Each row must sum to at most 1; the deficit is the exit
+        probability.
+    entry:
+        Either the index of the entry station (all jobs enter there)
+        or a length-``M`` probability vector over entry stations.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``v[i]`` — mean number of visits a job pays to station ``i``.
+
+    Raises
+    ------
+    ModelValidationError
+        On malformed inputs or a non-terminating chain (spectral
+        radius of the routing matrix ≥ 1 — jobs would never leave).
+    """
+    r = np.asarray(routing, dtype=float)
+    if r.ndim != 2 or r.shape[0] != r.shape[1] or r.shape[0] == 0:
+        raise ModelValidationError(f"routing must be a square matrix, got shape {r.shape}")
+    m = r.shape[0]
+    if np.any(r < 0.0):
+        raise ModelValidationError("routing probabilities must be non-negative")
+    row_sums = r.sum(axis=1)
+    if np.any(row_sums > 1.0 + 1e-12):
+        raise ModelValidationError(
+            f"routing rows must sum to at most 1, got sums {row_sums.tolist()}"
+        )
+    if isinstance(entry, (int, np.integer)):
+        if not 0 <= entry < m:
+            raise ModelValidationError(f"entry station {entry} out of range [0, {m})")
+        e = np.zeros(m)
+        e[entry] = 1.0
+    else:
+        e = np.asarray(entry, dtype=float)
+        if e.shape != (m,) or np.any(e < 0.0) or abs(e.sum() - 1.0) > 1e-9:
+            raise ModelValidationError(
+                f"entry must be a station index or a length-{m} probability vector"
+            )
+    # Termination: the expected-visit series converges iff the spectral
+    # radius of R is strictly below 1.
+    radius = float(np.max(np.abs(np.linalg.eigvals(r)))) if m > 1 else float(r[0, 0])
+    if radius >= 1.0 - 1e-12:
+        raise ModelValidationError(
+            f"routing chain does not terminate (spectral radius {radius:.6g} >= 1)"
+        )
+    v = np.linalg.solve(np.eye(m) - r.T, e)
+    # Round-off guard: visits are expectations of non-negative counts.
+    return np.maximum(v, 0.0)
+
+
+def visit_ratio_matrix(
+    routings: Sequence[np.ndarray], entries: Sequence[np.ndarray | int] | None = None
+) -> np.ndarray:
+    """Stack per-class visit ratios into the ``(K, M)`` matrix that
+    :class:`repro.cluster.ClusterModel` accepts.
+
+    Parameters
+    ----------
+    routings:
+        One routing matrix per class, all ``(M, M)``.
+    entries:
+        Optional per-class entry specs (defaults to station 0).
+    """
+    if len(routings) == 0:
+        raise ModelValidationError("need at least one class routing matrix")
+    if entries is None:
+        entries = [0] * len(routings)
+    if len(entries) != len(routings):
+        raise ModelValidationError(
+            f"got {len(routings)} routings but {len(entries)} entries"
+        )
+    rows = [visit_ratios_from_routing(r, e) for r, e in zip(routings, entries)]
+    m = rows[0].shape[0]
+    if any(row.shape != (m,) for row in rows):
+        raise ModelValidationError("all classes must route over the same station set")
+    return np.stack(rows)

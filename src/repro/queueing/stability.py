@@ -1,0 +1,71 @@
+"""Stability checks shared by every analytic formula.
+
+All mean-value formulas in this package are only valid strictly inside
+the stability region ``ρ < 1``. Rather than returning infinities or
+negative values, the library raises :class:`UnstableSystemError` with
+the offending utilization — optimizers treat that as an infeasibility
+signal and simulation refuses to run divergent configurations unless
+explicitly told to.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ModelValidationError, UnstableSystemError
+
+__all__ = ["check_stability", "total_utilization", "require_positive_rate"]
+
+# Utilizations above this are treated as unstable even though formally
+# rho < 1: mean waits blow up as 1/(1-rho) and both analytic round-off
+# and finite-horizon simulation become meaningless well before 1.0.
+DEFAULT_RHO_MAX = 1.0 - 1e-9
+
+
+def require_positive_rate(rate: float, name: str = "rate") -> float:
+    """Validate that a rate parameter is positive and finite."""
+    if not (rate > 0.0) or rate != rate or rate == float("inf"):
+        raise ModelValidationError(f"{name} must be positive and finite, got {rate}")
+    return float(rate)
+
+
+def total_utilization(arrival_rates: Sequence[float], mean_services: Sequence[float], servers: int = 1) -> float:
+    """Total offered utilization ``ρ = Σ_k λ_k E[S_k] / c``.
+
+    Parameters
+    ----------
+    arrival_rates:
+        Per-class arrival rates ``λ_k >= 0``.
+    mean_services:
+        Per-class mean service times ``E[S_k] > 0`` at this station.
+    servers:
+        Number of servers ``c >= 1``.
+    """
+    if len(arrival_rates) != len(mean_services):
+        raise ModelValidationError(
+            f"got {len(arrival_rates)} arrival rates but {len(mean_services)} mean services"
+        )
+    if servers < 1:
+        raise ModelValidationError(f"server count must be >= 1, got {servers}")
+    rho = 0.0
+    for lam, es in zip(arrival_rates, mean_services):
+        if lam < 0.0:
+            raise ModelValidationError(f"arrival rates must be non-negative, got {lam}")
+        if es <= 0.0:
+            raise ModelValidationError(f"mean service times must be positive, got {es}")
+        rho += lam * es
+    return rho / servers
+
+
+def check_stability(rho: float, *, where: str = "station", rho_max: float = DEFAULT_RHO_MAX) -> float:
+    """Raise :class:`UnstableSystemError` unless ``0 <= rho < rho_max``.
+
+    Returns ``rho`` unchanged so callers can chain it.
+    """
+    if rho < 0.0:
+        raise ModelValidationError(f"negative utilization {rho} at {where}")
+    if rho >= rho_max:
+        raise UnstableSystemError(
+            f"{where} is unstable: utilization {rho:.6g} >= {rho_max:.6g}", utilization=rho
+        )
+    return rho

@@ -1,0 +1,30 @@
+"""Discrete-event simulator for priority-type clusters.
+
+Built from scratch (binary-heap event list, split-stream RNG,
+preemptive/non-preemptive multi-server priority stations, tandem
+routing, energy metering, warmup-aware statistics) to validate every
+analytic quantity in :mod:`repro.core` — the methodology the paper uses
+to demonstrate its approaches are "efficient and accurate".
+
+High-level entry points:
+
+* :func:`simulate` — one replication of a cluster + workload.
+* :func:`simulate_replications` — independent replications with
+  aggregate means and confidence intervals.
+"""
+
+from repro.simulation.rng import RngStreams
+from repro.simulation.stats import Welford, batch_means_ci, confidence_halfwidth
+from repro.simulation.simulator import SimulationResult, simulate
+from repro.simulation.replications import ReplicatedResult, simulate_replications
+
+__all__ = [
+    "RngStreams",
+    "Welford",
+    "confidence_halfwidth",
+    "batch_means_ci",
+    "SimulationResult",
+    "simulate",
+    "ReplicatedResult",
+    "simulate_replications",
+]

@@ -1,0 +1,56 @@
+"""The job (customer request) flowing through the simulated cluster."""
+
+from __future__ import annotations
+
+__all__ = ["Job"]
+
+
+class Job:
+    """One request of one customer class.
+
+    Attributes
+    ----------
+    jid:
+        Unique sequence number (also the FCFS tie-breaker).
+    cls:
+        Class index, 0 = highest priority.
+    arrival:
+        Time the request entered the cluster.
+    route:
+        Tuple of station indices to visit, in order.
+    hop:
+        Index into ``route`` of the current station.
+    station_arrival:
+        Time the job arrived at its current station.
+    remaining:
+        Remaining service time at the current station; ``None`` until
+        service first starts (sampled lazily), then counted down across
+        preemptions (preemptive-resume semantics).
+    service_total:
+        The full sampled service time at the current station (for
+        wait = sojourn − service accounting).
+    """
+
+    __slots__ = (
+        "jid",
+        "cls",
+        "arrival",
+        "route",
+        "hop",
+        "station_arrival",
+        "remaining",
+        "service_total",
+    )
+
+    def __init__(self, jid: int, cls: int, arrival: float, route: tuple[int, ...]):
+        self.jid = jid
+        self.cls = cls
+        self.arrival = arrival
+        self.route = route
+        self.hop = 0
+        self.station_arrival = arrival
+        self.remaining: float | None = None
+        self.service_total = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job(jid={self.jid}, cls={self.cls}, hop={self.hop}/{len(self.route)})"

@@ -1,0 +1,111 @@
+"""Simulated egalitarian processor-sharing station.
+
+All jobs present share the station's total capacity equally: with
+``n`` jobs on ``c`` speed-``s`` servers, each job progresses at rate
+``s · min(1, c/n)`` (service times are sampled at speed ``s`` already,
+so the internal rate is ``min(1, c/n)``).
+
+Event handling is exact, not quantum-based: the station keeps each
+job's remaining service time, elapses all of them lazily on every
+event, and schedules only the *next* completion. Any arrival or
+completion changes every job's finish time, so the previously
+scheduled completion is cancelled by bumping the station's epoch —
+the same O(1) cancellation trick the priority station uses for
+preemption.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+from repro.simulation.job import Job
+from repro.simulation.stats import BusyIntegrator
+
+__all__ = ["PSStation"]
+
+ScheduleFn = Callable[[float, int, int, int], None]
+
+
+class PSStation:
+    """Processor-sharing counterpart of
+    :class:`repro.simulation.station.SimStation` (same engine-facing
+    interface: ``arrive``, ``complete``, ``close_open_intervals``)."""
+
+    def __init__(
+        self,
+        index: int,
+        num_classes: int,
+        servers: int,
+        samplers: list[Callable[[], float]],
+        schedule: ScheduleFn,
+    ):
+        self.index = index
+        self.capacity = servers
+        self.samplers = samplers
+        self.schedule = schedule
+        self.jobs: list[Job] = []
+        self.epoch = 0
+        self.last_t = 0.0
+        # Statistics, attached by the engine before the run starts.
+        self.busy: BusyIntegrator | None = None
+        self.class_busy: list[BusyIntegrator] | None = None
+
+    # -- engine interface -------------------------------------------------
+    def arrive(self, t: float, job: Job) -> bool:
+        """A job joins the sharing pool (PS never rejects)."""
+        self._elapse(t)
+        job.station_arrival = t
+        job.remaining = float(self.samplers[job.cls]())
+        job.service_total = job.remaining
+        self.jobs.append(job)
+        self._reschedule(t)
+        return True
+
+    def complete(self, t: float, server_idx: int, epoch: int) -> Job | None:
+        """Handle the scheduled next-completion event (stale events,
+        cancelled by later arrivals, return ``None``)."""
+        if epoch != self.epoch:
+            return None
+        self._elapse(t)
+        if not self.jobs:  # pragma: no cover - engine invariant
+            raise SimulationError(f"PS completion with no jobs at station {self.index}")
+        idx = min(range(len(self.jobs)), key=lambda i: self.jobs[i].remaining)
+        job = self.jobs.pop(idx)
+        self._reschedule(t)
+        return job
+
+    def close_open_intervals(self, t: float) -> None:
+        """Account busy time of jobs still in the pool at the horizon."""
+        self._elapse(t)
+
+    # -- internals ---------------------------------------------------------
+    def _rate(self) -> float:
+        """Per-job progress rate: min(1, c/n)."""
+        n = len(self.jobs)
+        return 1.0 if n <= self.capacity else self.capacity / n
+
+    def _elapse(self, t: float) -> None:
+        dt = t - self.last_t
+        if dt > 0.0 and self.jobs:
+            n = len(self.jobs)
+            rate = self._rate()
+            if self.busy is not None:
+                self.busy.add_weighted(self.last_t, t, min(n, self.capacity))
+            if self.class_busy is not None:
+                counts: dict[int, int] = {}
+                for job in self.jobs:
+                    counts[job.cls] = counts.get(job.cls, 0) + 1
+                for cls, n_k in counts.items():
+                    self.class_busy[cls].add_weighted(self.last_t, t, n_k * rate)
+            dec = dt * rate
+            for job in self.jobs:
+                job.remaining = max(job.remaining - dec, 0.0)
+        self.last_t = t
+
+    def _reschedule(self, t: float) -> None:
+        self.epoch += 1
+        if self.jobs:
+            rate = self._rate()
+            t_next = min(job.remaining for job in self.jobs) / rate
+            self.schedule(t + t_next, self.index, 0, self.epoch)

@@ -1,0 +1,140 @@
+"""Independent replications and across-replication confidence intervals.
+
+Within-run confidence intervals understate the truth because
+consecutive sojourn times are autocorrelated; the statistically honest
+estimate averages *independent replications*, each with its own RNG
+tree. :func:`simulate_replications` is what the validation experiments
+(T1/T2, A2, A3) call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.exceptions import ModelValidationError
+from repro.simulation.rng import RngStreams
+from repro.simulation.simulator import SimulationResult, simulate
+from repro.simulation.stats import confidence_halfwidth
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.classes import Workload
+
+__all__ = ["ReplicatedResult", "simulate_replications"]
+
+
+@dataclass
+class ReplicatedResult:
+    """Across-replication means and 95% CIs of the simulated metrics.
+
+    ``delays`` etc. are means over replications; the matching ``*_ci``
+    fields are Student-t half-widths with ``n_replications - 1``
+    degrees of freedom.
+    """
+
+    class_names: tuple[str, ...]
+    n_replications: int
+    delays: np.ndarray
+    delays_ci: np.ndarray
+    mean_delay: float
+    mean_delay_ci: float
+    utilizations: np.ndarray
+    average_power: float
+    average_power_ci: float
+    energy_per_request: float
+    per_class_dynamic_energy: np.ndarray
+    station_sojourns: np.ndarray
+    station_waits: np.ndarray
+    replications: list[SimulationResult]
+
+    def delay_percentiles(self, p: float) -> tuple[np.ndarray, np.ndarray]:
+        """Across-replication mean and CI of the per-class empirical
+        ``p``-percentile delay (requires ``collect_delay_samples=True``)."""
+        per_rep = np.array(
+            [
+                [r.delay_percentile(k, p) for k in range(len(self.class_names))]
+                for r in self.replications
+            ]
+        )
+        means = per_rep.mean(axis=0)
+        if self.n_replications < 2:
+            return means, np.full_like(means, np.nan)
+        cis = np.array(
+            [
+                confidence_halfwidth(float(np.std(per_rep[:, k], ddof=1)), self.n_replications)
+                for k in range(per_rep.shape[1])
+            ]
+        )
+        return means, cis
+
+
+def simulate_replications(
+    cluster: ClusterModel,
+    workload: Workload,
+    horizon: float,
+    n_replications: int = 5,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+    arrival_processes: list[ArrivalProcess] | None = None,
+    collect_delay_samples: bool = False,
+) -> ReplicatedResult:
+    """Run ``n_replications`` independent replications and aggregate.
+
+    Every replication draws its RNG tree from an independent child of
+    the master seed, so the across-replication CI is statistically
+    valid.
+    """
+    if n_replications < 1:
+        raise ModelValidationError(f"need at least one replication, got {n_replications}")
+    seeds = RngStreams.replication_seeds(seed, n_replications)
+    runs = [
+        simulate(
+            cluster,
+            workload,
+            horizon,
+            warmup_fraction=warmup_fraction,
+            seed=s,
+            arrival_processes=arrival_processes,
+            collect_delay_samples=collect_delay_samples,
+        )
+        for s in seeds
+    ]
+
+    delays = np.stack([r.delays for r in runs])
+    means = np.array([r.mean_delay for r in runs])
+    powers = np.array([r.average_power for r in runs])
+
+    def ci_over_reps(samples: np.ndarray) -> np.ndarray:
+        if n_replications < 2:
+            return np.full(samples.shape[1:], np.nan)
+        return np.apply_along_axis(
+            lambda col: confidence_halfwidth(float(np.std(col, ddof=1)), n_replications), 0, samples
+        )
+
+    return ReplicatedResult(
+        class_names=runs[0].class_names,
+        n_replications=n_replications,
+        delays=delays.mean(axis=0),
+        delays_ci=ci_over_reps(delays),
+        mean_delay=float(means.mean()),
+        mean_delay_ci=float(
+            confidence_halfwidth(float(np.std(means, ddof=1)), n_replications)
+        )
+        if n_replications > 1
+        else float("nan"),
+        utilizations=np.stack([r.utilizations for r in runs]).mean(axis=0),
+        average_power=float(powers.mean()),
+        average_power_ci=float(
+            confidence_halfwidth(float(np.std(powers, ddof=1)), n_replications)
+        )
+        if n_replications > 1
+        else float("nan"),
+        energy_per_request=float(np.mean([r.energy_per_request for r in runs])),
+        per_class_dynamic_energy=np.stack(
+            [r.per_class_dynamic_energy for r in runs]
+        ).mean(axis=0),
+        station_sojourns=np.stack([r.station_sojourns for r in runs]).mean(axis=0),
+        station_waits=np.stack([r.station_waits for r in runs]).mean(axis=0),
+        replications=runs,
+    )

@@ -1,0 +1,450 @@
+"""The discrete-event simulation engine and its result record.
+
+One :func:`simulate` call runs a single replication of a cluster +
+workload for a fixed simulated horizon, discarding a warmup prefix,
+and measures exactly the quantities the analytic model predicts:
+per-class end-to-end delays, per-tier waits/sojourns, tier
+utilizations, average power and per-class dynamic energy. Replication
+management and confidence intervals live in
+:mod:`repro.simulation.replications`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import chain
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.model import ClusterModel
+from repro.exceptions import ModelValidationError
+from repro.simulation.job import Job
+from repro.simulation.ps_station import PSStation
+from repro.simulation.rng import RngStreams
+from repro.simulation.station import SimStation
+from repro.simulation.stats import BusyIntegrator, Welford, confidence_halfwidth
+from repro.workload.arrivals import ArrivalProcess, PoissonProcess
+from repro.workload.classes import Workload
+
+__all__ = ["SimulationResult", "simulate"]
+
+_ARRIVAL = 0
+_COMPLETION = 1
+
+
+@dataclass
+class SimulationResult:
+    """Measured steady-state metrics of one simulation replication.
+
+    All quantities are measured over the post-warmup window; a request
+    contributes iff it *arrived* after warmup and completed before the
+    horizon.
+    """
+
+    class_names: tuple[str, ...]
+    n_completed: np.ndarray
+    delays: np.ndarray
+    delay_std: np.ndarray
+    delay_ci: np.ndarray
+    station_waits: np.ndarray
+    station_sojourns: np.ndarray
+    utilizations: np.ndarray
+    average_power: float
+    energy_per_request: float
+    per_class_dynamic_energy: np.ndarray
+    horizon: float
+    warmup: float
+    meta: dict[str, Any] = field(default_factory=dict)
+    delay_samples: list[np.ndarray] | None = None
+    job_log: np.ndarray | None = None
+
+    def delay_percentile(self, k: int, p: float) -> float:
+        """Empirical ``p``-percentile of class ``k``'s end-to-end delay.
+
+        Requires the run to have been started with
+        ``collect_delay_samples=True``.
+        """
+        if self.delay_samples is None:
+            raise ModelValidationError(
+                "per-job delay samples were not collected; pass "
+                "collect_delay_samples=True to simulate()"
+            )
+        if not 0.0 < p < 1.0:
+            raise ModelValidationError(f"percentile level must be in (0, 1), got {p}")
+        samples = self.delay_samples[k]
+        if samples.size == 0:
+            return float("nan")
+        return float(np.quantile(samples, p))
+
+    @property
+    def mean_delay(self) -> float:
+        """Completion-weighted mean end-to-end delay over all classes."""
+        n = self.n_completed.sum()
+        if n == 0:
+            return float("nan")
+        return float(np.dot(self.n_completed, self.delays) / n)
+
+
+def simulate(
+    cluster: ClusterModel,
+    workload: Workload,
+    horizon: float,
+    warmup_fraction: float = 0.1,
+    seed: int | np.random.SeedSequence = 0,
+    arrival_processes: list[ArrivalProcess] | None = None,
+    allow_unstable: bool = False,
+    collect_delay_samples: bool = False,
+    collect_job_log: bool = False,
+    routing: list | None = None,
+) -> SimulationResult:
+    """Run one replication of the cluster under the workload.
+
+    Parameters
+    ----------
+    cluster:
+        The configuration to simulate. Visit ratios must be integers
+        (a class visits tier ``i`` exactly ``v_{ik}`` consecutive
+        times).
+    workload:
+        Multi-class workload; by default each class arrives Poisson at
+        its declared rate.
+    horizon:
+        Simulated time to run for.
+    warmup_fraction:
+        Fraction of the horizon discarded as warmup, in ``[0, 0.9]``.
+    seed:
+        Master seed (or a SeedSequence from the replication manager).
+    arrival_processes:
+        Optional per-class overrides (e.g. :class:`MMPP2` for the
+        robustness experiments). Each is ``fresh()``-ed, so a template
+        can be reused across replications.
+    allow_unstable:
+        By default a configuration whose analytic utilization reaches 1
+        is rejected (the run would never reach steady state); set True
+        to simulate it anyway (e.g. to *watch* the divergence).
+    collect_delay_samples:
+        Keep every counted job's end-to-end delay per class (memory:
+        one float per completed request) so empirical percentiles can
+        be read off the result.
+    collect_job_log:
+        Keep a structured record per counted job — fields ``jid``,
+        ``cls``, ``arrival``, ``exit`` — exposed as
+        ``result.job_log`` (a NumPy structured array) for downstream
+        analysis and trace export.
+    routing:
+        Optional per-class :class:`repro.queueing.routing.ClassRouting`
+        list. Each job then walks the Markov routing chain (entry
+        station drawn from the entry distribution, each hop from the
+        matrix) instead of the fixed tandem itinerary. The cluster's
+        visit ratios must equal the routing's expected visits (so the
+        analytic model being validated describes the same system).
+
+    Raises
+    ------
+    ModelValidationError
+        On class-count mismatch, non-integer visit ratios, bad horizon,
+        or (unless ``allow_unstable``) a saturated tier.
+    """
+    if cluster.num_classes != workload.num_classes:
+        raise ModelValidationError(
+            f"cluster is parameterized for {cluster.num_classes} classes "
+            f"but workload has {workload.num_classes}"
+        )
+    if horizon <= 0.0 or not np.isfinite(horizon):
+        raise ModelValidationError(f"horizon must be positive and finite, got {horizon}")
+    if not 0.0 <= warmup_fraction <= 0.9:
+        raise ModelValidationError(f"warmup fraction must be in [0, 0.9], got {warmup_fraction}")
+    if not allow_unstable:
+        # Loss and finite-buffer tiers cannot be unstable (nothing
+        # unbounded can accumulate); only open queueing tiers gate.
+        rho = cluster.utilizations(workload.arrival_rates)
+        queueing = np.array(
+            [t.discipline != "loss" and t.capacity is None for t in cluster.tiers]
+        )
+        if np.any(rho[queueing] >= 1.0):
+            raise ModelValidationError(
+                f"configuration is unstable (utilizations {np.round(rho, 4).tolist()}); "
+                "pass allow_unstable=True to simulate it anyway"
+            )
+
+    k_classes = workload.num_classes
+    m_stations = cluster.num_tiers
+    warmup = warmup_fraction * horizon
+
+    streams = RngStreams(seed)
+    if routing is None:
+        routes = _build_routes(cluster)
+        routing_tables = None
+        routing_rngs = None
+    else:
+        routes = None
+        routing_tables = _build_routing_tables(cluster, routing)
+        routing_rngs = [streams.stream(f"routing/{k}") for k in range(k_classes)]
+
+    if arrival_processes is None:
+        arrivals: list[ArrivalProcess] = [
+            PoissonProcess(c.arrival_rate) for c in workload.classes
+        ]
+    else:
+        if len(arrival_processes) != k_classes:
+            raise ModelValidationError(
+                f"expected {k_classes} arrival processes, got {len(arrival_processes)}"
+            )
+        arrivals = [p.fresh() for p in arrival_processes]
+    arrival_rngs = [streams.stream(f"arrivals/{k}") for k in range(k_classes)]
+
+    heap: list[tuple[float, int, int, int, int, int]] = []
+    seq = 0
+
+    def schedule_completion(time: float, station: int, server: int, epoch: int) -> None:
+        nonlocal seq
+        seq += 1
+        heapq.heappush(heap, (time, seq, _COMPLETION, station, server, epoch))
+
+    stations: list[SimStation] = []
+    for i, tier in enumerate(cluster.tiers):
+        samplers = []
+        for k in range(k_classes):
+            dist = tier.demands[k].scaled(1.0 / tier.speed)
+            rng = streams.stream(f"service/{i}/{k}")
+            samplers.append(_make_sampler(dist, rng))
+        if tier.discipline == "ps":
+            if tier.capacity is not None:
+                raise ModelValidationError(
+                    f"tier {tier.name!r}: finite buffers are not supported for PS tiers"
+                )
+            st = PSStation(i, k_classes, tier.servers, samplers, schedule_completion)
+        else:
+            st = SimStation(
+                i,
+                k_classes,
+                tier.servers,
+                tier.discipline,
+                samplers,
+                schedule_completion,
+                capacity=tier.capacity,
+            )
+        st.busy = BusyIntegrator(warmup, horizon)
+        st.class_busy = [BusyIntegrator(warmup, horizon) for _ in range(k_classes)]
+        stations.append(st)
+
+    # Statistics tallies.
+    e2e = [Welford() for _ in range(k_classes)]
+    samples: list[list[float]] | None = (
+        [[] for _ in range(k_classes)] if collect_delay_samples else None
+    )
+    log_rows: list[tuple[int, int, float, float]] | None = [] if collect_job_log else None
+    wait_sum = np.zeros((k_classes, m_stations))
+    sojourn_sum = np.zeros((k_classes, m_stations))
+    visit_count = np.zeros((k_classes, m_stations), dtype=np.int64)
+    station_completions = np.zeros((k_classes, m_stations), dtype=np.int64)
+    n_blocked = np.zeros((k_classes, m_stations), dtype=np.int64)
+    offered = np.zeros((k_classes, m_stations), dtype=np.int64)
+
+    # Seed initial arrivals.
+    jid = 0
+    for k in range(k_classes):
+        gap, batch = arrivals[k].next_arrival(arrival_rngs[k])
+        seq += 1
+        heapq.heappush(heap, (gap, seq, _ARRIVAL, k, batch, 0))
+
+    while heap:
+        t, _, kind, a, b, c = heapq.heappop(heap)
+        if t > horizon:
+            break
+        if kind == _ARRIVAL:
+            k = a
+            for _ in range(b):
+                jid += 1
+                if routes is not None:
+                    job = Job(jid, k, t, routes[k])
+                else:
+                    entry = _draw_from_cumulative(
+                        routing_tables[k][0], routing_rngs[k]
+                    )
+                    job = Job(jid, k, t, (entry,))
+                if t >= warmup:
+                    offered[k, job.route[0]] += 1
+                if not stations[job.route[0]].arrive(t, job) and t >= warmup:
+                    n_blocked[k, job.route[0]] += 1
+            gap, batch = arrivals[k].next_arrival(arrival_rngs[k])
+            seq += 1
+            heapq.heappush(heap, (t + gap, seq, _ARRIVAL, k, batch, 0))
+        else:
+            job = stations[a].complete(t, b, c)
+            if job is None:
+                continue  # stale event, cancelled by preemption
+            counted = job.arrival >= warmup
+            here = job.route[job.hop]
+            if counted:
+                kcls = job.cls
+                sj = t - job.station_arrival
+                wait_sum[kcls, here] += sj - job.service_total
+                sojourn_sum[kcls, here] += sj
+                visit_count[kcls, here] += 1
+                if t >= warmup:
+                    station_completions[kcls, here] += 1
+            if routing_tables is not None:
+                nxt = _draw_from_cumulative(
+                    routing_tables[job.cls][1][here], routing_rngs[job.cls]
+                )
+                if nxt >= 0:
+                    job.route = job.route + (nxt,)
+            job.hop += 1
+            if job.hop < len(job.route):
+                nxt_station = job.route[job.hop]
+                if t >= warmup:
+                    offered[job.cls, nxt_station] += 1
+                if not stations[nxt_station].arrive(t, job) and t >= warmup:
+                    n_blocked[job.cls, nxt_station] += 1
+            elif counted:
+                e2e[job.cls].add(t - job.arrival)
+                if samples is not None:
+                    samples[job.cls].append(t - job.arrival)
+                if log_rows is not None:
+                    log_rows.append((job.jid, job.cls, job.arrival, t))
+
+    for st in stations:
+        st.close_open_intervals(horizon)
+
+    window = horizon - warmup
+    utilizations = np.array(
+        [st.busy.utilization(tier.servers) for st, tier in zip(stations, cluster.tiers)]
+    )
+
+    # Power: idle floor plus measured dynamic draw.
+    dynamic_power = 0.0
+    per_class_dyn_energy_rate = np.zeros(k_classes)
+    for st, tier in zip(stations, cluster.tiers):
+        p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
+        dynamic_power += p_dyn * st.busy.total / window
+        for k in range(k_classes):
+            per_class_dyn_energy_rate[k] += p_dyn * st.class_busy[k].total / window
+    idle_power = float(sum(t.servers * t.spec.power.idle for t in cluster.tiers))
+    average_power = idle_power + dynamic_power
+
+    n_completed = np.array([w.n for w in e2e], dtype=np.int64)
+    delays = np.array([w.mean for w in e2e])
+    stds = np.array([w.std for w in e2e])
+    cis = np.array([confidence_halfwidth(w.std, w.n) for w in e2e])
+
+    # Per-class dynamic energy per completed request: measured energy
+    # rate divided by the class's measured throughput.
+    throughput = n_completed / window
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_class_dyn = np.where(
+            throughput > 0, per_class_dyn_energy_rate / np.maximum(throughput, 1e-300), np.nan
+        )
+    total_throughput = float(throughput.sum())
+    energy_per_request = average_power / total_throughput if total_throughput > 0 else float("nan")
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        station_waits = np.where(visit_count > 0, wait_sum / np.maximum(visit_count, 1), np.nan)
+        station_sojourns = np.where(
+            visit_count > 0, sojourn_sum / np.maximum(visit_count, 1), np.nan
+        )
+
+    return SimulationResult(
+        class_names=tuple(workload.names),
+        n_completed=n_completed,
+        delays=delays,
+        delay_std=stds,
+        delay_ci=cis,
+        station_waits=station_waits,
+        station_sojourns=station_sojourns,
+        utilizations=utilizations,
+        average_power=average_power,
+        energy_per_request=energy_per_request,
+        per_class_dynamic_energy=per_class_dyn,
+        horizon=horizon,
+        warmup=warmup,
+        meta={
+            "n_jobs_created": jid,
+            "station_completions": station_completions,
+            "n_blocked": n_blocked,
+            "n_offered": offered,
+        },
+        delay_samples=(
+            [np.asarray(s) for s in samples] if samples is not None else None
+        ),
+        job_log=(
+            np.array(
+                log_rows,
+                dtype=[("jid", np.int64), ("cls", np.int32), ("arrival", float), ("exit", float)],
+            )
+            if log_rows is not None
+            else None
+        ),
+    )
+
+
+def _build_routes(cluster: ClusterModel) -> list[tuple[int, ...]]:
+    """Per-class station itineraries from the (integer) visit ratios."""
+    routes = []
+    v = cluster.visit_ratios
+    for k in range(cluster.num_classes):
+        row = v[k]
+        if not np.allclose(row, np.round(row)):
+            raise ModelValidationError(
+                f"the simulator needs integer visit ratios, got {row.tolist()} for class {k}"
+            )
+        route = tuple(
+            chain.from_iterable([i] * int(round(vi)) for i, vi in enumerate(row))
+        )
+        if len(route) == 0:
+            raise ModelValidationError(f"class {k} visits no station")
+        routes.append(route)
+    return routes
+
+
+def _build_routing_tables(cluster: ClusterModel, routing: list) -> list[tuple]:
+    """Per-class (entry_cumulative, per-station transition cumulative)
+    lookup tables for the routing walk, validated against the cluster's
+    visit ratios so the simulated system matches the analytic one."""
+    from repro.queueing.routing import ClassRouting
+
+    if len(routing) != cluster.num_classes:
+        raise ModelValidationError(
+            f"expected {cluster.num_classes} class routings, got {len(routing)}"
+        )
+    tables = []
+    for k, cr in enumerate(routing):
+        if not isinstance(cr, ClassRouting):
+            raise ModelValidationError(
+                f"routing[{k}] must be a ClassRouting, got {type(cr).__name__}"
+            )
+        if cr.num_stations != cluster.num_tiers:
+            raise ModelValidationError(
+                f"routing[{k}] covers {cr.num_stations} stations but the cluster has "
+                f"{cluster.num_tiers} tiers"
+            )
+        if not np.allclose(cr.visit_ratios, cluster.visit_ratios[k], rtol=1e-6, atol=1e-9):
+            raise ModelValidationError(
+                f"routing[{k}]'s expected visits {cr.visit_ratios.tolist()} do not match "
+                f"the cluster's visit ratios {cluster.visit_ratios[k].tolist()}; build the "
+                "cluster with visit_ratio_matrix(...) from the same routing"
+            )
+        entry_cum = np.cumsum(cr.entry)
+        trans_cum = [np.cumsum(cr.matrix[i]) for i in range(cr.num_stations)]
+        tables.append((entry_cum, trans_cum))
+    return tables
+
+
+def _draw_from_cumulative(cum: np.ndarray, rng: np.random.Generator) -> int:
+    """Index drawn from a (sub)probability cumulative array; ``-1``
+    when the draw falls in the residual (exit) mass."""
+    u = rng.random()
+    if u > cum[-1]:
+        return -1
+    return int(np.searchsorted(cum, u, side="left"))
+
+
+def _make_sampler(dist, rng):
+    """Bind one (distribution, stream) pair into a zero-arg sampler."""
+
+    def sampler() -> float:
+        return float(dist.sample(rng))
+
+    return sampler

@@ -1,0 +1,203 @@
+"""A simulated multi-server station with FCFS or priority scheduling.
+
+The station owns its waiting queues and server slots; the engine owns
+the clock and the event heap. Preemption is implemented with *epoch
+counters*: every (server, job) start schedules a completion event
+stamped with the server's current epoch, and preempting the server
+bumps the epoch so the stale completion is ignored when popped —
+O(1) cancellation without touching the heap.
+
+Scheduling semantics:
+
+* ``fcfs``        — single queue, arrival order across classes.
+* ``priority_np`` — one queue per class; a freed server takes the head
+  of the highest non-empty class; jobs in service are never disturbed.
+* ``priority_pr`` — as above, plus an arrival that finds all servers
+  busy preempts the lowest-priority running job if strictly lower than
+  itself; the victim resumes later with its remaining service time
+  (preemptive-resume).
+* ``loss``        — no waiting room (M/G/c/c): an arrival finding every
+  server busy is rejected outright (``arrive`` returns ``False``) and
+  leaves the system — blocked calls cleared.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+from repro.simulation.job import Job
+from repro.simulation.stats import BusyIntegrator
+
+__all__ = ["SimStation"]
+
+# Engine callback signature: schedule(time, station_index, server_index, epoch)
+ScheduleFn = Callable[[float, int, int, int], None]
+
+
+class _Server:
+    __slots__ = ("job", "epoch", "busy_since", "completion_time")
+
+    def __init__(self) -> None:
+        self.job: Job | None = None
+        self.epoch = 0
+        self.busy_since = 0.0
+        self.completion_time = 0.0
+
+
+class SimStation:
+    """Simulation state of one tier.
+
+    Parameters
+    ----------
+    index:
+        Station index (used in completion events).
+    num_classes:
+        Number of customer classes.
+    servers:
+        Number of parallel servers.
+    discipline:
+        ``"fcfs"``, ``"priority_np"`` or ``"priority_pr"``.
+    samplers:
+        Per-class callables returning a fresh service time.
+    schedule:
+        Engine callback to schedule a completion event.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        num_classes: int,
+        servers: int,
+        discipline: str,
+        samplers: list[Callable[[], float]],
+        schedule: ScheduleFn,
+        capacity: int | None = None,
+    ):
+        self.index = index
+        self.discipline = discipline
+        self.samplers = samplers
+        self.schedule = schedule
+        self.capacity = capacity
+        self.servers = [_Server() for _ in range(servers)]
+        if discipline == "fcfs":
+            self.fifo: deque[Job] = deque()
+            self.queues: list[deque[Job]] = []
+        else:
+            self.fifo = deque()
+            self.queues = [deque() for _ in range(num_classes)]
+        # Statistics, filled in by the engine before the run starts.
+        self.busy: BusyIntegrator | None = None
+        self.class_busy: list[BusyIntegrator] | None = None
+
+    # ------------------------------------------------------------------
+    def arrive(self, t: float, job: Job) -> bool:
+        """A job arrives at the station.
+
+        Returns ``False`` iff the station is a loss system and rejected
+        the job (every other outcome accepts it).
+        """
+        job.station_arrival = t
+        job.remaining = None
+        if self.capacity is not None and self._in_system() >= self.capacity:
+            return False  # finite buffer full
+        idle = self._find_idle()
+        if idle is not None:
+            self._start(t, job, idle)
+            return True
+        if self.discipline == "loss":
+            return False  # blocked call cleared
+        if self.discipline == "priority_pr":
+            victim_idx = self._preemption_victim(job.cls)
+            if victim_idx is not None:
+                self._preempt(t, victim_idx)
+                self._start(t, job, victim_idx)
+                return True
+        if self.discipline == "fcfs":
+            self.fifo.append(job)
+        else:
+            self.queues[job.cls].append(job)
+        return True
+
+    def complete(self, t: float, server_idx: int, epoch: int) -> Job | None:
+        """Handle a completion event; returns the finished job, or
+        ``None`` if the event was stale (its server was preempted)."""
+        server = self.servers[server_idx]
+        if epoch != server.epoch:
+            return None  # cancelled by a preemption
+        job = server.job
+        if job is None:  # pragma: no cover - engine invariant
+            raise SimulationError(f"completion on idle server {server_idx} at station {self.index}")
+        self._record_busy(job.cls, server.busy_since, t)
+        server.job = None
+        server.epoch += 1
+        nxt = self._next_job()
+        if nxt is not None:
+            self._start(t, nxt, server_idx)
+        return job
+
+    # ------------------------------------------------------------------
+    def _in_system(self) -> int:
+        """Jobs in service plus waiting (the finite-buffer occupancy)."""
+        busy = sum(1 for s in self.servers if s.job is not None)
+        waiting = len(self.fifo) + sum(len(q) for q in self.queues)
+        return busy + waiting
+
+    def _find_idle(self) -> int | None:
+        for i, s in enumerate(self.servers):
+            if s.job is None:
+                return i
+        return None
+
+    def _preemption_victim(self, arriving_cls: int) -> int | None:
+        """Server running the lowest-priority job strictly below the
+        arriving class, or None."""
+        worst_idx, worst_cls = None, arriving_cls
+        for i, s in enumerate(self.servers):
+            if s.job is not None and s.job.cls > worst_cls:
+                worst_idx, worst_cls = i, s.job.cls
+        return worst_idx
+
+    def _preempt(self, t: float, server_idx: int) -> None:
+        server = self.servers[server_idx]
+        victim = server.job
+        assert victim is not None
+        self._record_busy(victim.cls, server.busy_since, t)
+        victim.remaining = max(server.completion_time - t, 0.0)
+        server.job = None
+        server.epoch += 1  # cancels the victim's scheduled completion
+        # The victim resumes ahead of queued same-class jobs (it arrived
+        # earlier than all of them, by FCFS-within-class).
+        self.queues[victim.cls].appendleft(victim)
+
+    def _start(self, t: float, job: Job, server_idx: int) -> None:
+        server = self.servers[server_idx]
+        if job.remaining is None:
+            job.remaining = float(self.samplers[job.cls]())
+            job.service_total = job.remaining
+        server.job = job
+        server.busy_since = t
+        server.completion_time = t + job.remaining
+        self.schedule(server.completion_time, self.index, server_idx, server.epoch)
+
+    def _next_job(self) -> Job | None:
+        if self.discipline == "fcfs":
+            return self.fifo.popleft() if self.fifo else None
+        for q in self.queues:  # highest priority first
+            if q:
+                return q.popleft()
+        return None
+
+    def _record_busy(self, cls: int, a: float, b: float) -> None:
+        if self.busy is not None:
+            self.busy.add(a, b)
+        if self.class_busy is not None:
+            self.class_busy[cls].add(a, b)
+
+    def close_open_intervals(self, t: float) -> None:
+        """At the end of the run, account for servers still busy."""
+        for s in self.servers:
+            if s.job is not None:
+                self._record_busy(s.job.cls, s.busy_since, t)
+                s.busy_since = t  # idempotent if called twice

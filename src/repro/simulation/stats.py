@@ -1,0 +1,148 @@
+"""Online statistics for simulation output analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.exceptions import ModelValidationError
+
+__all__ = ["Welford", "confidence_halfwidth", "BusyIntegrator", "batch_means_ci"]
+
+
+class Welford:
+    """Numerically stable online mean/variance (Welford's algorithm)."""
+
+    __slots__ = ("n", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Accumulate one observation."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.n else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for fewer than 2 points)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else float("nan")
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(np.sqrt(self.variance)) if self.n > 1 else float("nan")
+
+    def merge(self, other: "Welford") -> "Welford":
+        """Combine two accumulators (Chan's parallel update)."""
+        out = Welford()
+        out.n = self.n + other.n
+        if out.n == 0:
+            return out
+        delta = other._mean - self._mean
+        out._mean = self._mean + delta * other.n / out.n
+        out._m2 = self._m2 + other._m2 + delta**2 * self.n * other.n / out.n
+        return out
+
+
+def confidence_halfwidth(std: float, n: int, level: float = 0.95) -> float:
+    """Half-width of a Student-t confidence interval for a mean.
+
+    Returns NaN when fewer than two observations exist.
+    """
+    if not 0.0 < level < 1.0:
+        raise ModelValidationError(f"confidence level must be in (0, 1), got {level}")
+    if n < 2 or not np.isfinite(std):
+        return float("nan")
+    t = sps.t.ppf(0.5 + level / 2.0, df=n - 1)
+    return float(t * std / np.sqrt(n))
+
+
+def batch_means_ci(
+    samples: np.ndarray, n_batches: int = 20, level: float = 0.95
+) -> tuple[float, float]:
+    """Batch-means confidence interval for the mean of an
+    autocorrelated series (single long run).
+
+    Consecutive sojourn times from one simulation run are positively
+    correlated, so the naive iid CI is too narrow. Batch means — split
+    the series into ``n_batches`` contiguous batches and treat the
+    batch averages as approximately independent — is the standard
+    single-run alternative to independent replications.
+
+    Returns
+    -------
+    (mean, halfwidth)
+        The overall sample mean and the Student-t half-width over the
+        batch means (NaN when there are too few samples for two full
+        batches).
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 1:
+        raise ModelValidationError("samples must be a 1-D series")
+    if n_batches < 2:
+        raise ModelValidationError(f"need at least 2 batches, got {n_batches}")
+    mean = float(x.mean()) if x.size else float("nan")
+    batch_size = x.size // n_batches
+    if batch_size < 1:
+        return mean, float("nan")
+    trimmed = x[: batch_size * n_batches]
+    means = trimmed.reshape(n_batches, batch_size).mean(axis=1)
+    std = float(np.std(means, ddof=1))
+    return mean, confidence_halfwidth(std, n_batches, level)
+
+
+class BusyIntegrator:
+    """Integrates busy-server time over a measurement window.
+
+    Each ``add(a, b)`` records that one server was busy on ``[a, b]``;
+    the interval is clipped to the window ``[t0, t1]`` so warmup work
+    never pollutes the estimate. Division by ``capacity × (t1 - t0)``
+    gives the utilization; multiplication by a power draw gives energy.
+    """
+
+    __slots__ = ("t0", "t1", "total")
+
+    def __init__(self, t0: float, t1: float):
+        if t1 <= t0:
+            raise ModelValidationError(f"measurement window must have t1 > t0, got [{t0}, {t1}]")
+        self.t0 = t0
+        self.t1 = t1
+        self.total = 0.0
+
+    def add(self, a: float, b: float) -> None:
+        """Record a busy interval ``[a, b]`` (clipped to the window)."""
+        lo = max(a, self.t0)
+        hi = min(b, self.t1)
+        if hi > lo:
+            self.total += hi - lo
+
+    def add_weighted(self, a: float, b: float, weight: float) -> None:
+        """Record ``weight`` servers busy on ``[a, b]`` (clipped).
+
+        Processor-sharing stations use fractional weights: with ``n``
+        jobs sharing ``c`` servers, ``min(n, c)`` server-equivalents
+        are busy.
+        """
+        lo = max(a, self.t0)
+        hi = min(b, self.t1)
+        if hi > lo:
+            self.total += (hi - lo) * weight
+
+    @property
+    def window(self) -> float:
+        """Window length ``t1 - t0``."""
+        return self.t1 - self.t0
+
+    def utilization(self, capacity: int) -> float:
+        """Mean fraction of ``capacity`` servers busy in the window."""
+        return self.total / (capacity * self.window)

@@ -1,0 +1,34 @@
+"""Workload model: customer classes and arrival processes.
+
+The paper's setting: multiple *classes* of business customers share one
+enterprise application; classes differ in arrival rate, service
+demands, priority (class 1 pays most, gets served first) and SLA.
+"""
+
+from repro.workload.classes import CustomerClass, Workload
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BatchPoissonProcess,
+    MMPP2,
+    NonHomogeneousPoisson,
+    PoissonProcess,
+    RenewalProcess,
+)
+from repro.workload.generator import scaled_workload, workload_from_rates
+from repro.workload.traces import ArrivalTrace, TraceArrivalProcess, generate_trace
+
+__all__ = [
+    "CustomerClass",
+    "Workload",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MMPP2",
+    "BatchPoissonProcess",
+    "NonHomogeneousPoisson",
+    "RenewalProcess",
+    "scaled_workload",
+    "workload_from_rates",
+    "ArrivalTrace",
+    "TraceArrivalProcess",
+    "generate_trace",
+]

@@ -1,0 +1,240 @@
+"""Arrival processes for the simulator.
+
+The analytic model assumes Poisson arrivals; the simulator additionally
+supports a two-state Markov-modulated Poisson process (MMPP-2, bursty)
+and batch Poisson arrivals so the robustness experiments can measure
+how far the analytic formulas drift when the Poisson assumption is
+violated.
+
+Each process generates *interarrival times*; the simulator advances a
+clock by successive draws. Processes are stateful per simulation run,
+so :meth:`ArrivalProcess.fresh` hands each run its own instance.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MMPP2",
+    "BatchPoissonProcess",
+    "NonHomogeneousPoisson",
+    "RenewalProcess",
+]
+
+
+class ArrivalProcess(ABC):
+    """Generator of successive interarrival gaps (and batch sizes)."""
+
+    @property
+    @abstractmethod
+    def rate(self) -> float:
+        """Long-run average arrival rate (jobs per unit time)."""
+
+    @abstractmethod
+    def next_arrival(self, rng: np.random.Generator) -> tuple[float, int]:
+        """Return ``(gap, batch_size)``: time until the next arrival
+        epoch and how many jobs arrive at it."""
+
+    @abstractmethod
+    def fresh(self) -> "ArrivalProcess":
+        """A new instance with pristine state for an independent run."""
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson process at ``rate``."""
+
+    def __init__(self, rate: float):
+        if rate <= 0.0 or not np.isfinite(rate):
+            raise ModelValidationError(f"Poisson rate must be positive and finite, got {rate}")
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def next_arrival(self, rng: np.random.Generator) -> tuple[float, int]:
+        return rng.exponential(1.0 / self._rate), 1
+
+    def fresh(self) -> "PoissonProcess":
+        return PoissonProcess(self._rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PoissonProcess(rate={self._rate:.6g})"
+
+
+class MMPP2(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process.
+
+    The modulating chain alternates between states 0 and 1 with
+    exponential sojourns (rates ``r01`` out of 0, ``r10`` out of 1);
+    arrivals are Poisson at ``rate0`` / ``rate1`` in the respective
+    state. The long-run rate is the stationary mixture
+    ``(r10·rate0 + r01·rate1) / (r01 + r10)``.
+    """
+
+    def __init__(self, rate0: float, rate1: float, r01: float, r10: float):
+        for name, v in [("rate0", rate0), ("rate1", rate1), ("r01", r01), ("r10", r10)]:
+            if v <= 0.0 or not np.isfinite(v):
+                raise ModelValidationError(f"MMPP2 {name} must be positive and finite, got {v}")
+        self.rate0, self.rate1 = float(rate0), float(rate1)
+        self.r01, self.r10 = float(r01), float(r10)
+        self._state = 0
+        self._state_time_left: float | None = None
+
+    @property
+    def rate(self) -> float:
+        return (self.r10 * self.rate0 + self.r01 * self.rate1) / (self.r01 + self.r10)
+
+    def next_arrival(self, rng: np.random.Generator) -> tuple[float, int]:
+        gap = 0.0
+        while True:
+            lam = self.rate0 if self._state == 0 else self.rate1
+            switch_rate = self.r01 if self._state == 0 else self.r10
+            if self._state_time_left is None:
+                self._state_time_left = rng.exponential(1.0 / switch_rate)
+            candidate = rng.exponential(1.0 / lam)
+            if candidate <= self._state_time_left:
+                # Arrival happens before the modulating chain switches.
+                self._state_time_left -= candidate
+                return gap + candidate, 1
+            # Chain switches first; carry the elapsed time and re-draw
+            # (memorylessness of the exponential justifies the re-draw).
+            gap += self._state_time_left
+            self._state = 1 - self._state
+            self._state_time_left = None
+
+    def fresh(self) -> "MMPP2":
+        return MMPP2(self.rate0, self.rate1, self.r01, self.r10)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MMPP2(rate0={self.rate0:.6g}, rate1={self.rate1:.6g}, "
+            f"r01={self.r01:.6g}, r10={self.r10:.6g})"
+        )
+
+
+class NonHomogeneousPoisson(ArrivalProcess):
+    """Time-varying Poisson process via Lewis–Shedler thinning.
+
+    ``rate_fn(t)`` gives the instantaneous rate at absolute time ``t``;
+    ``rate_max`` must dominate it everywhere (candidate arrivals are
+    drawn at ``rate_max`` and accepted with probability
+    ``rate_fn(t) / rate_max``). Models diurnal load curves for the
+    dynamic power-management experiments.
+
+    Parameters
+    ----------
+    rate_fn:
+        Callable ``t -> λ(t) >= 0``.
+    rate_max:
+        A finite upper bound on ``rate_fn`` over the simulated horizon.
+    mean_rate:
+        Reported long-run rate (for :attr:`rate`); defaults to
+        ``rate_max`` when unknown.
+    """
+
+    def __init__(self, rate_fn, rate_max: float, mean_rate: float | None = None):
+        if not callable(rate_fn):
+            raise ModelValidationError("rate_fn must be callable")
+        if rate_max <= 0.0 or not np.isfinite(rate_max):
+            raise ModelValidationError(f"rate_max must be positive and finite, got {rate_max}")
+        self.rate_fn = rate_fn
+        self.rate_max = float(rate_max)
+        self._mean_rate = float(mean_rate) if mean_rate is not None else self.rate_max
+        self._clock = 0.0
+
+    @property
+    def rate(self) -> float:
+        return self._mean_rate
+
+    def next_arrival(self, rng: np.random.Generator) -> tuple[float, int]:
+        start = self._clock
+        t = start
+        while True:
+            t += rng.exponential(1.0 / self.rate_max)
+            lam = float(self.rate_fn(t))
+            if lam < 0.0 or lam > self.rate_max * (1.0 + 1e-9):
+                raise ModelValidationError(
+                    f"rate_fn({t:.6g}) = {lam:.6g} outside [0, rate_max={self.rate_max:.6g}]"
+                )
+            if rng.random() * self.rate_max <= lam:
+                self._clock = t
+                return t - start, 1
+
+    def fresh(self) -> "NonHomogeneousPoisson":
+        return NonHomogeneousPoisson(self.rate_fn, self.rate_max, self._mean_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NonHomogeneousPoisson(rate_max={self.rate_max:.6g})"
+
+
+class BatchPoissonProcess(ArrivalProcess):
+    """Poisson arrival *epochs* carrying geometric batch sizes.
+
+    Epochs occur at rate ``epoch_rate``; each epoch delivers
+    ``Geometric(p)`` jobs (support 1, 2, ...; mean ``1/p``), so the job
+    rate is ``epoch_rate / p``.
+    """
+
+    def __init__(self, epoch_rate: float, p: float):
+        if epoch_rate <= 0.0 or not np.isfinite(epoch_rate):
+            raise ModelValidationError(f"epoch rate must be positive and finite, got {epoch_rate}")
+        if not 0.0 < p <= 1.0:
+            raise ModelValidationError(f"geometric parameter must be in (0, 1], got {p}")
+        self.epoch_rate = float(epoch_rate)
+        self.p = float(p)
+
+    @property
+    def rate(self) -> float:
+        return self.epoch_rate / self.p
+
+    def next_arrival(self, rng: np.random.Generator) -> tuple[float, int]:
+        return rng.exponential(1.0 / self.epoch_rate), int(rng.geometric(self.p))
+
+    def fresh(self) -> "BatchPoissonProcess":
+        return BatchPoissonProcess(self.epoch_rate, self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchPoissonProcess(epoch_rate={self.epoch_rate:.6g}, p={self.p:.6g})"
+
+
+class RenewalProcess(ArrivalProcess):
+    """Renewal arrivals: i.i.d. interarrival times from any
+    :class:`repro.distributions.Distribution`.
+
+    Generalizes Poisson (exponential gaps) to arbitrary gap shapes —
+    Erlang gaps are *smoother* than Poisson (SCV < 1), hyperexponential
+    gaps *burstier* (SCV > 1) — the G in G/M/1 and the natural partner
+    of the :class:`repro.queueing.GM1` analysis.
+    """
+
+    def __init__(self, interarrival):
+        from repro.distributions.base import Distribution
+
+        if not isinstance(interarrival, Distribution):
+            raise ModelValidationError(
+                f"interarrival must be a Distribution, got {type(interarrival).__name__}"
+            )
+        if interarrival.mean <= 0.0:
+            raise ModelValidationError("interarrival mean must be positive")
+        self.interarrival = interarrival
+
+    @property
+    def rate(self) -> float:
+        return 1.0 / self.interarrival.mean
+
+    def next_arrival(self, rng: np.random.Generator) -> tuple[float, int]:
+        return float(self.interarrival.sample(rng)), 1
+
+    def fresh(self) -> "RenewalProcess":
+        return RenewalProcess(self.interarrival)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RenewalProcess({self.interarrival!r})"

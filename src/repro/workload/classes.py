@@ -1,0 +1,123 @@
+"""Customer classes and the multi-class workload container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelValidationError
+
+__all__ = ["CustomerClass", "Workload"]
+
+
+@dataclass(frozen=True)
+class CustomerClass:
+    """One priority class of customers.
+
+    Attributes
+    ----------
+    name:
+        Class label ("gold", "silver", ...). Order within a
+        :class:`Workload` defines priority: first = highest.
+    arrival_rate:
+        Poisson arrival rate ``λ_k`` (requests / second), ``> 0``.
+    weight:
+        Optional revenue/importance weight used by weighted-objective
+        variants; defaults to 1.
+    """
+
+    name: str
+    arrival_rate: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0.0 or not np.isfinite(self.arrival_rate):
+            raise ModelValidationError(
+                f"class {self.name!r}: arrival rate must be positive and finite, got {self.arrival_rate}"
+            )
+        if self.weight <= 0.0 or not np.isfinite(self.weight):
+            raise ModelValidationError(
+                f"class {self.name!r}: weight must be positive and finite, got {self.weight}"
+            )
+
+    def with_rate(self, arrival_rate: float) -> "CustomerClass":
+        """Copy with a different arrival rate."""
+        return replace(self, arrival_rate=float(arrival_rate))
+
+
+class Workload:
+    """An ordered collection of :class:`CustomerClass` (highest priority
+    first).
+
+    Examples
+    --------
+    >>> w = Workload([CustomerClass("gold", 1.0), CustomerClass("bronze", 3.0)])
+    >>> w.total_rate
+    4.0
+    >>> w.class_probabilities.tolist()
+    [0.25, 0.75]
+    """
+
+    def __init__(self, classes: Sequence[CustomerClass]):
+        if len(classes) == 0:
+            raise ModelValidationError("workload needs at least one class")
+        if not all(isinstance(c, CustomerClass) for c in classes):
+            raise ModelValidationError("classes must be CustomerClass instances")
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ModelValidationError(f"class names must be unique, got {names}")
+        self.classes = list(classes)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes."""
+        return len(self.classes)
+
+    @property
+    def names(self) -> list[str]:
+        """Class names, highest priority first."""
+        return [c.name for c in self.classes]
+
+    @property
+    def arrival_rates(self) -> np.ndarray:
+        """Per-class arrival rates ``λ_k``, highest priority first."""
+        return np.array([c.arrival_rate for c in self.classes])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-class weights."""
+        return np.array([c.weight for c in self.classes])
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate arrival rate ``Λ = Σ_k λ_k``."""
+        return float(self.arrival_rates.sum())
+
+    @property
+    def class_probabilities(self) -> np.ndarray:
+        """``λ_k / Λ`` — the probability an arbitrary arrival is class k."""
+        lam = self.arrival_rates
+        return lam / lam.sum()
+
+    def scaled(self, factor: float) -> "Workload":
+        """Copy with every class's arrival rate multiplied by ``factor``.
+
+        The load-sweep experiments (F1, F6) use this to push the same
+        class mix toward saturation.
+        """
+        if factor <= 0.0 or not np.isfinite(factor):
+            raise ModelValidationError(f"scale factor must be positive and finite, got {factor}")
+        return Workload([c.with_rate(c.arrival_rate * factor) for c in self.classes])
+
+    def index_of(self, name: str) -> int:
+        """Priority index of the named class (0 = highest)."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise ModelValidationError(f"no class named {name!r}; have {self.names}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{c.name}:{c.arrival_rate:.4g}" for c in self.classes)
+        return f"Workload([{body}])"

@@ -1,0 +1,49 @@
+"""Convenience constructors for multi-class workloads."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ModelValidationError
+from repro.workload.classes import CustomerClass, Workload
+
+__all__ = ["workload_from_rates", "scaled_workload"]
+
+_DEFAULT_NAMES = ("gold", "silver", "bronze", "tin", "lead", "zinc", "iron", "clay")
+
+
+def workload_from_rates(
+    rates: Sequence[float],
+    names: Sequence[str] | None = None,
+    weights: Sequence[float] | None = None,
+) -> Workload:
+    """Workload with the given per-class arrival rates (priority order).
+
+    Names default to the metal scale ("gold", "silver", ...), weights
+    to 1.
+    """
+    n = len(rates)
+    if n == 0:
+        raise ModelValidationError("need at least one class rate")
+    if names is None:
+        if n <= len(_DEFAULT_NAMES):
+            names = _DEFAULT_NAMES[:n]
+        else:
+            names = [f"class{i + 1}" for i in range(n)]
+    if len(names) != n:
+        raise ModelValidationError(f"got {n} rates but {len(names)} names")
+    if weights is None:
+        weights = [1.0] * n
+    if len(weights) != n:
+        raise ModelValidationError(f"got {n} rates but {len(weights)} weights")
+    return Workload(
+        [CustomerClass(nm, float(r), float(w)) for nm, r, w in zip(names, rates, weights)]
+    )
+
+
+def scaled_workload(base: Workload, total_rate: float) -> Workload:
+    """Rescale a workload's class mix to a target aggregate rate,
+    preserving the per-class proportions."""
+    if total_rate <= 0.0:
+        raise ModelValidationError(f"target total rate must be positive, got {total_rate}")
+    return base.scaled(total_rate / base.total_rate)

@@ -1,0 +1,98 @@
+"""Reporting/validation utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SweepSeries,
+    ValidationReport,
+    ValidationRow,
+    ascii_table,
+    format_value,
+    relative_error,
+)
+from repro.exceptions import ModelValidationError
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(1.23456789) == "1.235"
+        assert format_value(float("nan")) == "-"
+        assert format_value(7) == "7"
+        assert format_value("abc") == "abc"
+
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all lines equal width
+
+    def test_ascii_table_title(self):
+        out = ascii_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_empty_rows(self):
+        out = ascii_table(["col"], [])
+        assert "col" in out
+
+
+class TestSweepSeries:
+    def test_roundtrip_csv(self):
+        s = SweepSeries("f", "x", np.array([1.0, 2.0]), {"y": np.array([3.0, 4.0])})
+        csv_text = s.to_csv()
+        assert csv_text.splitlines()[0] == "x,y"
+        assert "1.0,3.0" in csv_text
+
+    def test_save_csv(self, tmp_path):
+        s = SweepSeries("f", "x", np.array([1.0]), {"y": np.array([2.0])})
+        path = tmp_path / "out.csv"
+        s.save_csv(str(path))
+        assert path.read_text().startswith("x,y")
+
+    def test_add_column(self):
+        s = SweepSeries("f", "x", np.array([1.0, 2.0]))
+        s.add("z", [5.0, 6.0])
+        assert "z" in s.columns
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelValidationError):
+            SweepSeries("f", "x", np.array([1.0, 2.0]), {"y": np.array([1.0])})
+        s = SweepSeries("f", "x", np.array([1.0, 2.0]))
+        with pytest.raises(ModelValidationError):
+            s.add("z", [1.0])
+
+    def test_table_contains_everything(self):
+        s = SweepSeries("fig", "load", np.array([0.5]), {"delay": np.array([1.25])})
+        out = s.to_table()
+        assert "fig" in out and "load" in out and "delay" in out and "1.25" in out
+
+
+class TestValidation:
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert np.isnan(relative_error(1.0, 0.0))
+        assert np.isnan(relative_error(float("nan"), 1.0))
+
+    def test_row_within_ci(self):
+        row = ValidationRow("x", analytic=1.05, simulated=1.0, ci=0.1)
+        assert row.within_ci
+        assert not ValidationRow("x", 1.5, 1.0, 0.1).within_ci
+        assert not ValidationRow("x", 1.0, 1.0).within_ci  # NaN CI
+
+    def test_report_aggregates(self):
+        rep = ValidationReport("t")
+        rep.add("a", 1.0, 1.0)
+        rep.add("b", 1.2, 1.0)
+        assert rep.max_rel_error == pytest.approx(0.2)
+        assert rep.mean_rel_error == pytest.approx(0.1)
+
+    def test_report_table(self):
+        rep = ValidationReport("title")
+        rep.add("q", 2.0, 1.9, ci=0.05)
+        out = rep.to_table()
+        assert "title" in out and "rel.err" in out
+
+    def test_empty_report_nan(self):
+        rep = ValidationReport("t")
+        assert np.isnan(rep.max_rel_error)
+        assert np.isnan(rep.mean_rel_error)

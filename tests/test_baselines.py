@@ -1,0 +1,101 @@
+"""Baseline policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    aggregate_fcfs_delays,
+    proportional_speed_for_budget,
+    uniform_speed_for_budget,
+    uniform_speed_for_delay,
+)
+from repro.core import end_to_end_delays, mean_end_to_end_delay
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.workload import Workload, CustomerClass
+
+
+class TestUniformBudget:
+    def test_respects_budget(self, three_tier_cluster, three_class_workload):
+        lam = three_class_workload.arrival_rates
+        full = three_tier_cluster.average_power(lam)
+        budget = 0.9 * full
+        s = uniform_speed_for_budget(three_tier_cluster, three_class_workload, budget)
+        assert three_tier_cluster.with_speeds(s).average_power(lam) <= budget + 1e-6
+
+    def test_spends_available_budget(self, three_tier_cluster, three_class_workload):
+        lam = three_class_workload.arrival_rates
+        full = three_tier_cluster.average_power(lam)
+        budget = 0.9 * full
+        s = uniform_speed_for_budget(three_tier_cluster, three_class_workload, budget)
+        used = three_tier_cluster.with_speeds(s).average_power(lam)
+        assert used == pytest.approx(budget, rel=1e-3)
+
+    def test_huge_budget_gives_max_speeds(self, three_tier_cluster, three_class_workload):
+        s = uniform_speed_for_budget(three_tier_cluster, three_class_workload, 1e9)
+        np.testing.assert_allclose(s, 1.0)
+
+    def test_tiny_budget_raises(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(InfeasibleProblemError):
+            uniform_speed_for_budget(three_tier_cluster, three_class_workload, 1.0)
+
+
+class TestUniformDelay:
+    def test_meets_bound_minimally(self, three_tier_cluster, three_class_workload):
+        base = mean_end_to_end_delay(three_tier_cluster, three_class_workload)
+        bound = 1.4 * base
+        s = uniform_speed_for_delay(three_tier_cluster, three_class_workload, bound)
+        achieved = mean_end_to_end_delay(
+            three_tier_cluster.with_speeds(s), three_class_workload
+        )
+        assert achieved <= bound + 1e-6
+        assert achieved == pytest.approx(bound, rel=1e-3)
+
+    def test_unreachable_bound_raises(self, three_tier_cluster, three_class_workload):
+        base = mean_end_to_end_delay(three_tier_cluster, three_class_workload)
+        with pytest.raises(InfeasibleProblemError):
+            uniform_speed_for_delay(three_tier_cluster, three_class_workload, base * 0.3)
+
+
+class TestProportionalBudget:
+    def test_respects_budget(self, three_tier_cluster, three_class_workload):
+        lam = three_class_workload.arrival_rates
+        budget = 0.85 * three_tier_cluster.average_power(lam)
+        s = proportional_speed_for_budget(three_tier_cluster, three_class_workload, budget)
+        assert three_tier_cluster.with_speeds(s).average_power(lam) <= budget + 1e-6
+
+    def test_equalizes_utilization_where_unclamped(self, three_tier_cluster, three_class_workload):
+        lam = three_class_workload.arrival_rates
+        budget = 0.8 * three_tier_cluster.average_power(lam)
+        s = proportional_speed_for_budget(three_tier_cluster, three_class_workload, budget)
+        rho = three_tier_cluster.with_speeds(s).utilizations(lam)
+        unclamped = (s > 0.4 + 1e-6) & (s < 1.0 - 1e-6)
+        if unclamped.sum() >= 2:
+            vals = rho[unclamped]
+            assert np.ptp(vals) < 1e-3
+
+    def test_infeasible_raises(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(InfeasibleProblemError):
+            proportional_speed_for_budget(three_tier_cluster, three_class_workload, 1.0)
+
+
+class TestAggregateFCFS:
+    def test_same_wait_all_classes(self, three_tier_cluster, three_class_workload):
+        fcfs = aggregate_fcfs_delays(three_tier_cluster, three_class_workload)
+        prio = end_to_end_delays(three_tier_cluster, three_class_workload)
+        # FCFS sojourns differ only by own service times; the spread is
+        # much smaller than under priority.
+        assert np.ptp(fcfs) < np.ptp(prio)
+
+    def test_distorts_per_class_delays(self, three_tier_cluster, three_class_workload):
+        heavy = three_class_workload.scaled(1.5)
+        fcfs = aggregate_fcfs_delays(three_tier_cluster, heavy)
+        prio = end_to_end_delays(three_tier_cluster, heavy)
+        # Aggregate model overestimates the top class and
+        # underestimates the bottom class.
+        assert fcfs[0] > prio[0]
+        assert fcfs[-1] < prio[-1]
+
+    def test_class_count_mismatch(self, three_tier_cluster):
+        wl = Workload([CustomerClass("x", 1.0)])
+        with pytest.raises(ModelValidationError):
+            aggregate_fcfs_delays(three_tier_cluster, wl)

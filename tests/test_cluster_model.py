@@ -1,0 +1,133 @@
+"""Tier and ClusterModel configuration tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier, uniform_speeds, proportional_speeds, utilization_capped_speeds
+from repro.distributions import Exponential
+from repro.exceptions import ModelValidationError
+
+
+class TestTier:
+    def test_service_times_scale_with_speed(self, basic_spec):
+        t = Tier("t", (Exponential.from_mean(0.5),), basic_spec, speed=0.5)
+        assert t.service_times()[0].mean == pytest.approx(1.0)
+
+    def test_with_speed_validates_range(self, basic_spec):
+        t = Tier("t", (Exponential(1.0),), basic_spec)
+        with pytest.raises(ModelValidationError):
+            t.with_speed(0.1)  # below min_speed 0.4
+        assert t.with_speed(0.6).speed == 0.6
+
+    def test_with_servers(self, basic_spec):
+        t = Tier("t", (Exponential(1.0),), basic_spec, servers=2)
+        assert t.with_servers(5).servers == 5
+        with pytest.raises(ModelValidationError):
+            t.with_servers(0)
+
+    def test_work_rate(self, basic_spec):
+        t = Tier("t", (Exponential.from_mean(0.5), Exponential.from_mean(0.25)), basic_spec)
+        r = t.work_rate(np.array([2.0, 4.0]), np.array([1.0, 1.0]))
+        assert r == pytest.approx(2.0 * 0.5 + 4.0 * 0.25)
+
+    def test_cost(self, basic_spec):
+        t = Tier("t", (Exponential(1.0),), basic_spec, servers=4)
+        assert t.cost() == pytest.approx(4 * basic_spec.cost)
+
+    def test_invalid_discipline(self, basic_spec):
+        with pytest.raises(ModelValidationError):
+            Tier("t", (Exponential(1.0),), basic_spec, discipline="random")
+
+    def test_empty_demands(self, basic_spec):
+        with pytest.raises(ModelValidationError):
+            Tier("t", (), basic_spec)
+
+
+class TestClusterModel:
+    def test_speeds_and_counts_views(self, three_tier_cluster):
+        np.testing.assert_allclose(three_tier_cluster.speeds, 1.0)
+        np.testing.assert_array_equal(three_tier_cluster.server_counts, [2, 4, 3])
+
+    def test_with_speeds_returns_copy(self, three_tier_cluster):
+        new = three_tier_cluster.with_speeds([0.8, 0.9, 0.7])
+        assert new is not three_tier_cluster
+        np.testing.assert_allclose(three_tier_cluster.speeds, 1.0)
+        np.testing.assert_allclose(new.speeds, [0.8, 0.9, 0.7])
+
+    def test_with_servers_returns_copy(self, three_tier_cluster):
+        new = three_tier_cluster.with_servers([3, 5, 4])
+        np.testing.assert_array_equal(new.server_counts, [3, 5, 4])
+        np.testing.assert_array_equal(three_tier_cluster.server_counts, [2, 4, 3])
+
+    def test_wrong_length_rejected(self, three_tier_cluster):
+        with pytest.raises(ModelValidationError):
+            three_tier_cluster.with_speeds([1.0, 1.0])
+        with pytest.raises(ModelValidationError):
+            three_tier_cluster.with_servers([1])
+
+    def test_utilizations(self, three_tier_cluster, three_class_workload):
+        rho = three_tier_cluster.utilizations(three_class_workload.arrival_rates)
+        # web: (4*.02+8*.025+12*.03)/2 = 0.32
+        assert rho[0] == pytest.approx(0.32)
+        assert three_tier_cluster.is_stable(three_class_workload.arrival_rates)
+
+    def test_average_power_formula(self, three_tier_cluster, three_class_workload):
+        lam = three_class_workload.arrival_rates
+        p = three_tier_cluster.average_power(lam)
+        manual = 0.0
+        r = three_tier_cluster.work_rates(lam)
+        for tier, ri in zip(three_tier_cluster.tiers, r):
+            pm = tier.spec.power
+            manual += tier.servers * pm.idle + ri * pm.kappa * tier.speed ** (pm.alpha - 1)
+        assert p == pytest.approx(manual)
+
+    def test_power_increases_with_speed(self, three_tier_cluster, three_class_workload):
+        lam = three_class_workload.arrival_rates
+        p_slow = three_tier_cluster.with_speeds([0.5] * 3).average_power(lam)
+        p_fast = three_tier_cluster.average_power(lam)
+        assert p_slow < p_fast
+
+    def test_total_cost(self, three_tier_cluster, basic_spec):
+        assert three_tier_cluster.total_cost() == pytest.approx((2 + 4 + 3) * basic_spec.cost)
+
+    def test_duplicate_tier_names_rejected(self, basic_spec):
+        t = Tier("dup", (Exponential(1.0),), basic_spec)
+        with pytest.raises(ModelValidationError):
+            ClusterModel([t, t])
+
+    def test_mixed_class_counts_rejected(self, basic_spec):
+        t1 = Tier("a", (Exponential(1.0),), basic_spec)
+        t2 = Tier("b", (Exponential(1.0), Exponential(1.0)), basic_spec)
+        with pytest.raises(ModelValidationError):
+            ClusterModel([t1, t2])
+
+
+class TestSpeedScalingPolicies:
+    def test_uniform_speeds_clamped(self, three_tier_cluster):
+        s = uniform_speeds(three_tier_cluster, 5.0)
+        np.testing.assert_allclose(s, 1.0)
+        s = uniform_speeds(three_tier_cluster, 0.1)
+        np.testing.assert_allclose(s, 0.4)
+
+    def test_proportional_speeds_target_headroom(self, three_tier_cluster, three_class_workload):
+        s = proportional_speeds(three_tier_cluster, three_class_workload.arrival_rates, headroom=1.5)
+        rho = three_tier_cluster.with_speeds(s).utilizations(three_class_workload.arrival_rates)
+        # Where not clamped, utilization should be 1/1.5.
+        unclamped = (s > 0.4 + 1e-9) & (s < 1.0 - 1e-9)
+        np.testing.assert_allclose(rho[unclamped], 1.0 / 1.5, rtol=1e-9)
+
+    def test_proportional_requires_headroom_above_one(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(ModelValidationError):
+            proportional_speeds(three_tier_cluster, three_class_workload.arrival_rates, headroom=1.0)
+
+    def test_utilization_capped_speeds(self, three_tier_cluster, three_class_workload):
+        s = utilization_capped_speeds(
+            three_tier_cluster, three_class_workload.arrival_rates, max_utilization=0.8
+        )
+        rho = three_tier_cluster.with_speeds(s).utilizations(three_class_workload.arrival_rates)
+        assert np.all(rho <= 0.8 + 1e-9)
+
+    def test_utilization_cap_infeasible_raises(self, three_tier_cluster, three_class_workload):
+        heavy = three_class_workload.scaled(4.0)
+        with pytest.raises(ModelValidationError):
+            utilization_capped_speeds(three_tier_cluster, heavy.arrival_rates, max_utilization=0.5)

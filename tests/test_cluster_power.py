@@ -1,0 +1,85 @@
+"""Power model and server spec tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PowerModel, ServerSpec
+from repro.exceptions import ModelValidationError
+
+
+class TestPowerModel:
+    def test_busy_power_formula(self):
+        pm = PowerModel(idle=50.0, kappa=100.0, alpha=3.0)
+        assert pm.busy_power(1.0) == pytest.approx(150.0)
+        assert pm.busy_power(0.5) == pytest.approx(50.0 + 100.0 * 0.125)
+
+    def test_busy_power_vectorized(self):
+        pm = PowerModel(idle=10.0, kappa=20.0, alpha=2.0)
+        s = np.array([0.5, 1.0])
+        np.testing.assert_allclose(pm.busy_power(s), [10 + 5, 30])
+
+    def test_dynamic_energy_per_work(self):
+        pm = PowerModel(idle=50.0, kappa=100.0, alpha=3.0)
+        # kappa * s^(alpha-1): at s=0.5 -> 25, at s=1 -> 100.
+        assert pm.dynamic_energy_per_work(0.5) == pytest.approx(25.0)
+        assert pm.dynamic_energy_per_work(1.0) == pytest.approx(100.0)
+
+    def test_energy_per_work_increases_with_speed(self):
+        pm = PowerModel(idle=0.0, kappa=10.0, alpha=3.0)
+        speeds = np.linspace(0.3, 1.0, 8)
+        e = pm.dynamic_energy_per_work(speeds)
+        assert np.all(np.diff(e) > 0)
+
+    def test_average_power_decomposition(self):
+        pm = PowerModel(idle=40.0, kappa=80.0, alpha=3.0)
+        # 3 servers, work rate 1.2 at speed 0.8:
+        expected = 3 * 40.0 + 1.2 * 80.0 * 0.8**2
+        assert pm.average_power(0.8, 1.2, 3) == pytest.approx(expected)
+
+    def test_average_power_zero_work_is_idle_floor(self):
+        pm = PowerModel(idle=40.0, kappa=80.0, alpha=3.0)
+        assert pm.average_power(1.0, 0.0, 2) == pytest.approx(80.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(idle=-1.0, kappa=1.0, alpha=3.0),
+            dict(idle=0.0, kappa=0.0, alpha=3.0),
+            dict(idle=0.0, kappa=1.0, alpha=1.0),
+            dict(idle=0.0, kappa=1.0, alpha=0.5),
+            dict(idle=float("nan"), kappa=1.0, alpha=3.0),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ModelValidationError):
+            PowerModel(**kwargs)
+
+    def test_zero_speed_rejected(self):
+        pm = PowerModel(idle=1.0, kappa=1.0, alpha=3.0)
+        with pytest.raises(ModelValidationError):
+            pm.busy_power(0.0)
+        with pytest.raises(ModelValidationError):
+            pm.dynamic_energy_per_work(-0.5)
+
+
+class TestServerSpec:
+    def test_clamp_speed(self, basic_spec):
+        assert basic_spec.clamp_speed(0.1) == basic_spec.min_speed
+        assert basic_spec.clamp_speed(5.0) == basic_spec.max_speed
+        assert basic_spec.clamp_speed(0.7) == 0.7
+
+    def test_invalid_speed_range(self):
+        pm = PowerModel(idle=1.0, kappa=1.0, alpha=3.0)
+        with pytest.raises(ModelValidationError):
+            ServerSpec(power=pm, min_speed=0.0, max_speed=1.0)
+        with pytest.raises(ModelValidationError):
+            ServerSpec(power=pm, min_speed=1.2, max_speed=1.0)
+
+    def test_negative_cost_rejected(self):
+        pm = PowerModel(idle=1.0, kappa=1.0, alpha=3.0)
+        with pytest.raises(ModelValidationError):
+            ServerSpec(power=pm, cost=-1.0)
+
+    def test_power_must_be_power_model(self):
+        with pytest.raises(ModelValidationError):
+            ServerSpec(power="not a model")  # type: ignore[arg-type]

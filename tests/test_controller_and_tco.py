@@ -1,0 +1,114 @@
+"""Dynamic power-management controller and TCO optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    evaluate_schedule,
+    minimize_cost,
+    minimize_tco,
+    plan_speed_schedule,
+    static_plan,
+)
+from repro.exceptions import ModelValidationError
+from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+
+
+@pytest.fixture
+def diurnal_setup():
+    cluster = canonical_cluster()
+    names = list(canonical_workload().names)
+    starts = np.array([0.0, 6.0, 12.0, 18.0])
+    base = canonical_workload().arrival_rates
+    rates = np.array([0.4, 0.8, 1.5, 1.0])[:, None] * base[None, :]
+    return cluster, names, starts, rates
+
+
+class TestController:
+    def test_dynamic_meets_bound_everywhere(self, diurnal_setup):
+        cluster, names, starts, rates = diurnal_setup
+        plans = plan_speed_schedule(cluster, names, starts, rates, 24.0, 0.35, n_starts=2)
+        assert all(p.meets_bound for p in plans)
+        assert len(plans) == 4
+
+    def test_dynamic_cheaper_than_static_max(self, diurnal_setup):
+        cluster, names, starts, rates = diurnal_setup
+        dyn = plan_speed_schedule(cluster, names, starts, rates, 24.0, 0.35, n_starts=2)
+        static = static_plan(
+            cluster, names, starts, rates, 24.0, 0.35, np.ones(cluster.num_tiers)
+        )
+        assert evaluate_schedule(dyn).total_energy < evaluate_schedule(static).total_energy
+
+    def test_speeds_track_the_load(self, diurnal_setup):
+        cluster, names, starts, rates = diurnal_setup
+        plans = plan_speed_schedule(cluster, names, starts, rates, 24.0, 0.35, n_starts=2)
+        # Peak epoch (index 2) needs faster speeds than the trough (0).
+        assert plans[2].speeds.mean() > plans[0].speeds.mean()
+
+    def test_idle_epoch_drops_to_min_speed(self, diurnal_setup):
+        cluster, names, starts, rates = diurnal_setup
+        rates = rates.copy()
+        rates[1] = 0.0
+        plans = plan_speed_schedule(cluster, names, starts, rates, 24.0, 0.35, n_starts=1)
+        idle = plans[1]
+        assert idle.meets_bound
+        np.testing.assert_allclose(idle.speeds, [t.spec.min_speed for t in cluster.tiers])
+        assert idle.power == pytest.approx(
+            sum(t.servers * t.spec.power.idle for t in cluster.tiers)
+        )
+
+    def test_overload_epoch_flagged_not_fatal(self, diurnal_setup):
+        cluster, names, starts, rates = diurnal_setup
+        rates = rates.copy()
+        rates[2] *= 4.0  # unstabilizable even at max speed
+        plans = plan_speed_schedule(cluster, names, starts, rates, 24.0, 0.35, n_starts=1)
+        assert not plans[2].meets_bound
+        assert plans[0].meets_bound
+        report = evaluate_schedule(plans)
+        assert report.compliance == pytest.approx(0.75)
+        assert not report.fully_compliant
+
+    def test_validation(self, diurnal_setup):
+        cluster, names, starts, rates = diurnal_setup
+        with pytest.raises(ModelValidationError):
+            plan_speed_schedule(cluster, names, starts, rates[:2], 24.0, 0.35)
+        with pytest.raises(ModelValidationError):
+            plan_speed_schedule(cluster, names, starts[::-1], rates, 24.0, 0.35)
+        with pytest.raises(ModelValidationError):
+            plan_speed_schedule(cluster, names, starts, rates, 10.0, 0.35)
+        with pytest.raises(ModelValidationError):
+            evaluate_schedule([])
+
+
+class TestTCO:
+    def test_zero_price_equals_p3_cost(self):
+        cluster, workload, sla = canonical_cluster(), canonical_workload(), canonical_sla()
+        p3 = minimize_cost(cluster, workload, sla, optimize_speeds=False)
+        tco = minimize_tco(cluster, workload, sla, energy_price=0.0, window=1, n_starts=1)
+        assert tco.server_cost == pytest.approx(p3.total_cost)
+        assert tco.energy_cost == 0.0
+
+    def test_sla_met(self):
+        cluster, workload, sla = canonical_cluster(), canonical_workload(1.2), canonical_sla()
+        tco = minimize_tco(cluster, workload, sla, energy_price=0.02, window=1, n_starts=1)
+        assert sla.is_met(tco.delays, workload, tol=1e-6)
+
+    def test_objective_decomposition(self):
+        cluster, workload, sla = canonical_cluster(), canonical_workload(), canonical_sla()
+        tco = minimize_tco(cluster, workload, sla, energy_price=0.03, window=1, n_starts=1)
+        assert tco.total_cost == pytest.approx(tco.server_cost + tco.energy_cost)
+        assert tco.energy_cost == pytest.approx(0.03 * tco.average_power)
+
+    def test_high_price_scales_out(self):
+        cluster, workload, sla = canonical_cluster(), canonical_workload(1.2), canonical_sla()
+        cheap = minimize_tco(cluster, workload, sla, energy_price=0.0, window=2, n_starts=1)
+        pricey = minimize_tco(cluster, workload, sla, energy_price=0.08, window=2, n_starts=1)
+        assert pricey.server_counts.sum() >= cheap.server_counts.sum()
+        assert pricey.average_power <= cheap.average_power + 1e-6
+
+    def test_validation(self):
+        cluster, workload, sla = canonical_cluster(), canonical_workload(), canonical_sla()
+        with pytest.raises(ModelValidationError):
+            minimize_tco(cluster, workload, sla, energy_price=-1.0)
+        with pytest.raises(ModelValidationError):
+            minimize_tco(cluster, workload, sla, energy_price=0.1, window=-1)

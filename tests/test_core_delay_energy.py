@@ -1,0 +1,137 @@
+"""Core delay/energy model and the performance-model facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterPerformanceModel,
+    average_power,
+    end_to_end_delays,
+    energy_per_request,
+    mean_end_to_end_delay,
+    per_class_energy_per_request,
+    per_tier_delays,
+)
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.workload import Workload, CustomerClass
+
+
+class TestDelays:
+    def test_priority_ordering(self, three_tier_cluster, three_class_workload):
+        t = end_to_end_delays(three_tier_cluster, three_class_workload)
+        assert t[0] < t[1] < t[2]
+
+    def test_mean_is_weighted_average(self, three_tier_cluster, three_class_workload):
+        t = end_to_end_delays(three_tier_cluster, three_class_workload)
+        lam = three_class_workload.arrival_rates
+        assert mean_end_to_end_delay(three_tier_cluster, three_class_workload) == pytest.approx(
+            float(np.dot(lam, t) / lam.sum())
+        )
+
+    def test_per_tier_decomposition_sums(self, three_tier_cluster, three_class_workload):
+        per_tier = per_tier_delays(three_tier_cluster, three_class_workload)
+        total = sum(d.mean_sojourns for d in per_tier)
+        np.testing.assert_allclose(
+            total, end_to_end_delays(three_tier_cluster, three_class_workload), rtol=1e-12
+        )
+
+    def test_delay_decreases_with_speed(self, three_tier_cluster, three_class_workload):
+        slow = mean_end_to_end_delay(
+            three_tier_cluster.with_speeds([0.7] * 3), three_class_workload
+        )
+        fast = mean_end_to_end_delay(three_tier_cluster, three_class_workload)
+        assert fast < slow
+
+    def test_delay_increases_with_load(self, three_tier_cluster, three_class_workload):
+        light = mean_end_to_end_delay(three_tier_cluster, three_class_workload)
+        heavy = mean_end_to_end_delay(
+            three_tier_cluster, three_class_workload.scaled(1.4)
+        )
+        assert heavy > light
+
+    def test_delay_decreases_with_servers(self, three_tier_cluster, three_class_workload):
+        more = three_tier_cluster.with_servers([3, 5, 4])
+        assert mean_end_to_end_delay(more, three_class_workload) < mean_end_to_end_delay(
+            three_tier_cluster, three_class_workload
+        )
+
+    def test_saturation_raises(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(UnstableSystemError):
+            end_to_end_delays(three_tier_cluster, three_class_workload.scaled(4.0))
+
+    def test_class_count_mismatch(self, three_tier_cluster):
+        wl = Workload([CustomerClass("only", 1.0)])
+        with pytest.raises(ModelValidationError):
+            end_to_end_delays(three_tier_cluster, wl)
+
+
+class TestEnergy:
+    def test_power_increases_with_speed(self, three_tier_cluster, three_class_workload):
+        p_slow = average_power(three_tier_cluster.with_speeds([0.6] * 3), three_class_workload)
+        p_fast = average_power(three_tier_cluster, three_class_workload)
+        assert p_slow < p_fast
+
+    def test_energy_per_request_is_power_over_throughput(
+        self, three_tier_cluster, three_class_workload
+    ):
+        p = average_power(three_tier_cluster, three_class_workload)
+        e = energy_per_request(three_tier_cluster, three_class_workload)
+        assert e == pytest.approx(p / three_class_workload.total_rate)
+
+    @pytest.mark.parametrize("mode", ["equal", "work"])
+    def test_energy_conservation(self, three_tier_cluster, three_class_workload, mode):
+        # Sum over classes of lam_k * E_k must equal total average power
+        # when idle energy is fully apportioned.
+        e = per_class_energy_per_request(three_tier_cluster, three_class_workload, idle=mode)
+        lam = three_class_workload.arrival_rates
+        assert float(np.dot(lam, e)) == pytest.approx(
+            average_power(three_tier_cluster, three_class_workload), rel=1e-9
+        )
+
+    def test_dynamic_only_mode_smaller(self, three_tier_cluster, three_class_workload):
+        none = per_class_energy_per_request(three_tier_cluster, three_class_workload, idle="none")
+        equal = per_class_energy_per_request(three_tier_cluster, three_class_workload, idle="equal")
+        assert np.all(none < equal)
+
+    def test_bad_idle_mode(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(ModelValidationError):
+            per_class_energy_per_request(three_tier_cluster, three_class_workload, idle="half")
+
+    def test_higher_demand_class_burns_more_dynamic_energy(
+        self, three_tier_cluster, three_class_workload
+    ):
+        # Bronze demands dominate gold demands tier-by-tier by design.
+        e = per_class_energy_per_request(three_tier_cluster, three_class_workload, idle="none")
+        assert e[0] < e[1] < e[2]
+
+
+class TestPerformanceModelFacade:
+    def test_report_bundles_consistently(self, three_tier_cluster, three_class_workload):
+        m = ClusterPerformanceModel(three_tier_cluster, three_class_workload)
+        rep = m.report()
+        np.testing.assert_allclose(rep.delays, m.delays())
+        assert rep.mean_delay == pytest.approx(m.mean_delay())
+        assert rep.average_power == pytest.approx(m.average_power())
+        assert rep.class_names == ("gold", "silver", "bronze")
+
+    def test_with_speeds_is_pure(self, three_tier_cluster, three_class_workload):
+        m = ClusterPerformanceModel(three_tier_cluster, three_class_workload)
+        m2 = m.with_speeds([0.8, 0.8, 0.8])
+        assert m.cluster.speeds[0] == 1.0
+        assert m2.cluster.speeds[0] == 0.8
+
+    def test_with_workload(self, three_tier_cluster, three_class_workload):
+        m = ClusterPerformanceModel(three_tier_cluster, three_class_workload)
+        heavier = m.with_workload(three_class_workload.scaled(1.2))
+        assert heavier.mean_delay() > m.mean_delay()
+
+    def test_stability_probe(self, three_tier_cluster, three_class_workload):
+        m = ClusterPerformanceModel(three_tier_cluster, three_class_workload)
+        assert m.is_stable()
+        assert not m.with_workload(three_class_workload.scaled(4.0)).is_stable()
+
+    def test_mismatch_rejected(self, three_tier_cluster):
+        with pytest.raises(ModelValidationError):
+            ClusterPerformanceModel(
+                three_tier_cluster, Workload([CustomerClass("x", 1.0)])
+            )

@@ -1,0 +1,172 @@
+"""Percentile-delay machinery tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.core.percentile import (
+    all_class_percentiles,
+    class_delay_percentile,
+    class_delay_survival,
+    hypoexponential_survival,
+    mg1_sojourn_variance,
+    mg1_wait_moments,
+)
+from repro.distributions import Deterministic, Exponential, fit_two_moments
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.queueing import MM1
+from repro.workload import workload_from_rates
+
+
+class TestTakacsMoments:
+    def test_mm1_wait_moments(self):
+        # M/M/1 rho=0.6, mu=1: E[W]=1.5, E[W^2]=7.5 (known closed form
+        # 2 rho / (mu^2 (1-rho)^2)).
+        ew, ew2 = mg1_wait_moments(0.6, Exponential(1.0))
+        assert ew == pytest.approx(1.5)
+        assert ew2 == pytest.approx(7.5)
+
+    def test_md1_wait_variance_below_mm1(self):
+        var_d = mg1_sojourn_variance(0.6, Deterministic(1.0))
+        var_m = mg1_sojourn_variance(0.6, Exponential(1.0))
+        assert var_d < var_m
+
+    def test_heavy_tail_infinite_second_moment(self):
+        from repro.distributions import Pareto
+
+        svc = Pareto(alpha=2.5, xm=0.2)  # third moment infinite
+        _, ew2 = mg1_wait_moments(0.5, svc)
+        assert np.isinf(ew2)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            mg1_wait_moments(1.5, Exponential(1.0))
+
+    def test_variance_nonnegative(self):
+        for scv in (0.0, 0.5, 1.0, 3.0):
+            v = mg1_sojourn_variance(0.5, fit_two_moments(1.0, scv))
+            assert v >= 0.0
+
+
+class TestHypoexponential:
+    def test_single_phase_is_exponential(self):
+        for t in (0.1, 1.0, 5.0):
+            assert hypoexponential_survival(t, [2.0]) == pytest.approx(np.exp(-2.0 * t))
+
+    def test_two_distinct_rates_closed_form(self):
+        r1, r2 = 1.0, 3.0
+        t = 0.7
+        exact = (r2 * np.exp(-r1 * t) - r1 * np.exp(-r2 * t)) / (r2 - r1)
+        assert hypoexponential_survival(t, [r1, r2]) == pytest.approx(exact, rel=1e-10)
+
+    def test_equal_rates_erlang(self):
+        # Two equal phases = Erlang-2: S(t) = (1 + rt) e^{-rt}. The
+        # partial-fraction formula explodes here; expm must not.
+        r, t = 2.0, 1.3
+        exact = (1 + r * t) * np.exp(-r * t)
+        assert hypoexponential_survival(t, [r, r]) == pytest.approx(exact, rel=1e-10)
+
+    def test_boundaries(self):
+        assert hypoexponential_survival(0.0, [1.0, 2.0]) == 1.0
+        assert hypoexponential_survival(-1.0, [1.0]) == 1.0
+        assert hypoexponential_survival(1e3, [1.0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_decreasing(self):
+        rates = [1.0, 2.5, 0.7]
+        ts = np.linspace(0.0, 10.0, 30)
+        vals = [hypoexponential_survival(t, rates) for t in ts]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            hypoexponential_survival(1.0, [])
+        with pytest.raises(ModelValidationError):
+            hypoexponential_survival(1.0, [0.0])
+        with pytest.raises(ModelValidationError):
+            hypoexponential_survival(1.0, [-2.0])
+
+
+class TestClassPercentiles:
+    @pytest.fixture
+    def mm1_cluster(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")
+        return ClusterModel([tier]), workload_from_rates([0.6])
+
+    def test_exact_for_single_mm1_tier(self, mm1_cluster):
+        cluster, wl = mm1_cluster
+        q = MM1(0.6, 1.0)
+        for p in (0.5, 0.9, 0.99):
+            approx = class_delay_percentile(cluster, wl, 0, p)
+            assert approx == pytest.approx(q.sojourn_quantile(p), rel=1e-8)
+
+    def test_survival_matches_percentile_inverse(self, mm1_cluster):
+        cluster, wl = mm1_cluster
+        t95 = class_delay_percentile(cluster, wl, 0, 0.95)
+        assert class_delay_survival(cluster, wl, 0, t95) == pytest.approx(0.05, abs=1e-9)
+
+    def test_all_classes_ordered(self, three_tier_cluster, three_class_workload):
+        p90 = all_class_percentiles(three_tier_cluster, three_class_workload, 0.9)
+        assert p90[0] < p90[1] < p90[2]
+
+    def test_percentile_exceeds_mean(self, three_tier_cluster, three_class_workload):
+        from repro.core.delay import end_to_end_delays
+
+        means = end_to_end_delays(three_tier_cluster, three_class_workload)
+        p90 = all_class_percentiles(three_tier_cluster, three_class_workload, 0.9)
+        assert np.all(p90 > means)
+
+    def test_monotone_in_level(self, three_tier_cluster, three_class_workload):
+        p50 = all_class_percentiles(three_tier_cluster, three_class_workload, 0.5)
+        p90 = all_class_percentiles(three_tier_cluster, three_class_workload, 0.9)
+        p99 = all_class_percentiles(three_tier_cluster, three_class_workload, 0.99)
+        assert np.all(p50 < p90) and np.all(p90 < p99)
+
+    def test_bad_inputs(self, mm1_cluster):
+        cluster, wl = mm1_cluster
+        with pytest.raises(ModelValidationError):
+            class_delay_percentile(cluster, wl, 0, 1.5)
+        with pytest.raises(ModelValidationError):
+            class_delay_percentile(cluster, wl, 3, 0.9)
+
+    def test_fractional_visits_rejected(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec)
+        cluster = ClusterModel([tier], visit_ratios=np.array([[1.5]]))
+        wl = workload_from_rates([0.3])
+        with pytest.raises(ModelValidationError):
+            class_delay_percentile(cluster, wl, 0, 0.9)
+
+
+class TestSimulatedPercentiles:
+    def test_empirical_matches_exact_mm1(self, basic_spec):
+        from repro.simulation import simulate
+
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.6])
+        res = simulate(cluster, wl, horizon=50000.0, seed=5, collect_delay_samples=True)
+        q = MM1(0.6, 1.0)
+        for p in (0.5, 0.9, 0.95):
+            assert res.delay_percentile(0, p) == pytest.approx(q.sojourn_quantile(p), rel=0.08)
+
+    def test_samples_not_collected_raises(self, two_class_cluster, two_class_workload):
+        from repro.simulation import simulate
+
+        res = simulate(two_class_cluster, two_class_workload, horizon=500.0, seed=1)
+        with pytest.raises(ModelValidationError):
+            res.delay_percentile(0, 0.9)
+
+    def test_replicated_percentiles(self, two_class_cluster, two_class_workload):
+        from repro.simulation import simulate_replications
+
+        rep = simulate_replications(
+            two_class_cluster,
+            two_class_workload,
+            horizon=2000.0,
+            n_replications=3,
+            seed=9,
+            collect_delay_samples=True,
+        )
+        means, cis = rep.delay_percentiles(0.9)
+        assert means.shape == (2,)
+        assert np.all(means > rep.delays)  # p90 above the mean
+        assert np.all(cis > 0)

@@ -1,0 +1,70 @@
+"""SLA contract tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SLA, ClassSLA
+from repro.exceptions import ModelValidationError
+from repro.workload import workload_from_rates
+
+
+@pytest.fixture
+def sla():
+    return SLA(
+        [
+            ClassSLA("gold", 0.3, fee=1.0),
+            ClassSLA("silver", 0.6, fee=0.4),
+        ]
+    )
+
+
+@pytest.fixture
+def workload():
+    return workload_from_rates([2.0, 4.0], names=("gold", "silver"))
+
+
+class TestClassSLA:
+    def test_bad_bound(self):
+        with pytest.raises(ModelValidationError):
+            ClassSLA("x", 0.0)
+        with pytest.raises(ModelValidationError):
+            ClassSLA("x", -1.0)
+
+    def test_bad_fee(self):
+        with pytest.raises(ModelValidationError):
+            ClassSLA("x", 1.0, fee=-0.1)
+
+
+class TestSLA:
+    def test_bounds_follow_workload_order(self, sla, workload):
+        np.testing.assert_allclose(sla.delay_bounds(workload), [0.3, 0.6])
+
+    def test_missing_class_raises(self, sla):
+        wl = workload_from_rates([1.0], names=("platinum",))
+        with pytest.raises(ModelValidationError):
+            sla.delay_bounds(wl)
+
+    def test_is_met(self, sla, workload):
+        assert sla.is_met(np.array([0.25, 0.55]), workload)
+        assert not sla.is_met(np.array([0.35, 0.55]), workload)
+        assert sla.is_met(np.array([0.31, 0.55]), workload, tol=0.02)
+
+    def test_violations(self, sla, workload):
+        v = sla.violations(np.array([0.4, 0.5]), workload)
+        np.testing.assert_allclose(v, [0.1, 0.0], atol=1e-12)
+
+    def test_revenue_rate(self, sla, workload):
+        assert sla.revenue_rate(workload) == pytest.approx(2.0 * 1.0 + 4.0 * 0.4)
+
+    def test_getitem(self, sla):
+        assert sla["gold"].max_mean_delay == 0.3
+        with pytest.raises(ModelValidationError):
+            sla["nope"]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ModelValidationError):
+            SLA([ClassSLA("a", 1.0), ClassSLA("a", 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelValidationError):
+            SLA([])

@@ -1,0 +1,131 @@
+"""Diagnostics module and robust-P2 tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Finding, Severity, diagnose
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.core import end_to_end_delays, minimize_energy, minimize_energy_robust
+from repro.distributions import Exponential, fit_two_moments
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.workload import Workload, CustomerClass, workload_from_rates
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestDiagnose:
+    def test_healthy_config_only_info(self, three_tier_cluster, three_class_workload):
+        findings = diagnose(three_tier_cluster, three_class_workload)
+        assert all(f.severity != Severity.CRITICAL for f in findings)
+        assert "bottleneck" in codes(findings)
+
+    def test_saturated_tier_critical(self, three_tier_cluster, three_class_workload):
+        findings = diagnose(three_tier_cluster, three_class_workload.scaled(4.0))
+        assert "saturated-tier" in codes(findings)
+        assert findings[0].severity == Severity.CRITICAL  # sorted first
+
+    def test_near_saturation_warning(self, three_tier_cluster, three_class_workload):
+        findings = diagnose(three_tier_cluster, three_class_workload.scaled(1.8))
+        assert "near-saturation" in codes(findings)
+
+    def test_extreme_variability_flagged(self, basic_spec):
+        tier = Tier("t", (fit_two_moments(0.1, 25.0),), basic_spec)
+        findings = diagnose(ClusterModel([tier]), workload_from_rates([1.0]))
+        assert "extreme-variability" in codes(findings)
+
+    def test_priority_inversion_flagged(self, basic_spec):
+        tier = Tier("t", (Exponential.from_mean(0.5), Exponential.from_mean(0.01)), basic_spec)
+        wl = Workload([CustomerClass("heavy-gold", 1.0), CustomerClass("light", 1.0)])
+        findings = diagnose(ClusterModel([tier]), wl)
+        assert "priority-inversion" in codes(findings)
+
+    def test_speed_limits_flagged(self, basic_spec):
+        t_max = Tier("a", (Exponential(4.0),), basic_spec, speed=1.0)
+        t_min = Tier("b", (Exponential(4.0),), basic_spec, speed=0.4)
+        findings = diagnose(ClusterModel([t_max, t_min]), workload_from_rates([0.5]))
+        assert {"speed-at-max", "speed-at-min"} <= codes(findings)
+
+    def test_idle_dominated_power(self):
+        pm = PowerModel(idle=500.0, kappa=10.0, alpha=3.0)
+        spec = ServerSpec(pm, min_speed=0.4, max_speed=1.0)
+        tier = Tier("t", (Exponential(4.0),), spec)
+        findings = diagnose(ClusterModel([tier]), workload_from_rates([0.5]))
+        assert "idle-dominated-power" in codes(findings)
+
+    def test_class_count_mismatch(self, three_tier_cluster):
+        with pytest.raises(ModelValidationError):
+            diagnose(three_tier_cluster, workload_from_rates([1.0]))
+
+    def test_findings_sorted_by_severity(self, three_tier_cluster, three_class_workload):
+        findings = diagnose(three_tier_cluster, three_class_workload.scaled(3.5))
+        sev = [f.severity for f in findings]
+        order = {Severity.CRITICAL: 0, Severity.WARNING: 1, Severity.INFO: 2}
+        assert sev == sorted(sev, key=lambda s: order[s])
+
+
+class TestRobustP2:
+    def test_worst_case_bound_holds(self, three_tier_cluster, three_class_workload):
+        bounds = end_to_end_delays(three_tier_cluster, three_class_workload) * 1.4
+        res = minimize_energy_robust(
+            three_tier_cluster,
+            three_class_workload,
+            rate_uncertainty=0.2,
+            class_delay_bounds=bounds,
+            n_starts=2,
+        )
+        assert res.success
+        np.testing.assert_array_less(res.meta["worst_case_delays"], bounds + 1e-6)
+        # Nominal delays are strictly better than worst-case.
+        assert np.all(res.meta["delays"] < res.meta["worst_case_delays"])
+
+    def test_robustness_costs_power(self, three_tier_cluster, three_class_workload):
+        bounds = end_to_end_delays(three_tier_cluster, three_class_workload) * 1.6
+        nominal = minimize_energy(
+            three_tier_cluster, three_class_workload, class_delay_bounds=bounds, n_starts=2
+        )
+        # Compare at the same (forecast) rates: robustness can only
+        # push speeds up.
+        robust = minimize_energy_robust(
+            three_tier_cluster,
+            three_class_workload,
+            rate_uncertainty=0.15,
+            class_delay_bounds=bounds,
+            n_starts=2,
+        )
+        assert robust.meta["power"] >= nominal.meta["power"] - 1e-4
+
+    def test_zero_uncertainty_matches_nominal(self, three_tier_cluster, three_class_workload):
+        bounds = end_to_end_delays(three_tier_cluster, three_class_workload) * 1.4
+        nominal = minimize_energy(
+            three_tier_cluster, three_class_workload, class_delay_bounds=bounds, n_starts=2
+        )
+        robust = minimize_energy_robust(
+            three_tier_cluster,
+            three_class_workload,
+            rate_uncertainty=0.0,
+            class_delay_bounds=bounds,
+            n_starts=2,
+        )
+        assert robust.meta["power"] == pytest.approx(nominal.meta["power"], rel=1e-6)
+
+    def test_excessive_uncertainty_infeasible(self, three_tier_cluster, three_class_workload):
+        bounds = end_to_end_delays(three_tier_cluster, three_class_workload) * 1.2
+        with pytest.raises(InfeasibleProblemError):
+            # 3x rates saturate the cluster outright.
+            minimize_energy_robust(
+                three_tier_cluster,
+                three_class_workload,
+                rate_uncertainty=2.0,
+                class_delay_bounds=bounds,
+            )
+
+    def test_bad_uncertainty(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(ModelValidationError):
+            minimize_energy_robust(
+                three_tier_cluster,
+                three_class_workload,
+                rate_uncertainty=-0.1,
+                max_mean_delay=1.0,
+            )

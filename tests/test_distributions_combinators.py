@@ -1,0 +1,122 @@
+"""Scaling, shifting and fitting behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    fit_two_moments,
+)
+from repro.distributions.base import ScaledDistribution, ShiftedDistribution
+from repro.exceptions import ModelValidationError
+
+
+class TestScaled:
+    def test_mean_scales_linearly(self):
+        d = Exponential(1.0).scaled(3.0)
+        assert d.mean == pytest.approx(3.0)
+
+    def test_second_moment_scales_quadratically(self):
+        base = Erlang(k=2, rate=1.0)
+        d = base.scaled(0.5)
+        assert d.second_moment == pytest.approx(0.25 * base.second_moment)
+
+    def test_scv_invariant_under_scaling(self):
+        base = HyperExponential.balanced_from_mean_scv(1.0, 3.0)
+        assert base.scaled(7.0).scv == pytest.approx(base.scv)
+
+    def test_closed_families_stay_in_family(self):
+        # Every concrete family is closed under scaling, so scaling
+        # returns the same type with rescaled parameters — which keeps
+        # exact dispatch (common-mu detection, PH conversion) working
+        # at any tier speed.
+        assert isinstance(Exponential(2.0).scaled(3.0), Exponential)
+        assert Exponential(2.0).scaled(3.0).rate == pytest.approx(2.0 / 3.0)
+        assert isinstance(Erlang(k=2, rate=1.0).scaled(0.5), Erlang)
+        assert isinstance(HyperExponential.balanced_from_mean_scv(1.0, 2.0).scaled(2.0), HyperExponential)
+        assert isinstance(Deterministic(1.0).scaled(4.0), Deterministic)
+
+    def test_nested_scaling_collapses_for_wrapped(self):
+        # Only non-closed shapes fall back to the generic wrapper;
+        # a shifted distribution is one, and repeated scaling of the
+        # wrapper must collapse to a single factor.
+        base = Exponential(1.0).shifted(1.0)
+        d = base.scaled(2.0).scaled(3.0)
+        assert isinstance(d, ScaledDistribution)
+        assert not isinstance(d.base, ScaledDistribution)
+        assert d.factor == pytest.approx(6.0)
+        assert d.mean == pytest.approx(12.0)
+
+    def test_samples_scale(self, rng):
+        base = Deterministic(2.0)
+        assert base.scaled(2.5).sample(rng) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_factor_raises(self, factor):
+        with pytest.raises(ModelValidationError):
+            Exponential(1.0).scaled(factor)
+
+    def test_speed_scaling_semantics(self):
+        # A demand of mean 0.5 work units at speed 2 takes 0.25 s.
+        demand = Exponential.from_mean(0.5)
+        service = demand.scaled(1.0 / 2.0)
+        assert service.mean == pytest.approx(0.25)
+
+
+class TestShifted:
+    def test_mean_shifts(self):
+        d = Exponential(1.0).shifted(0.5)
+        assert d.mean == pytest.approx(1.5)
+
+    def test_second_moment_binomial_expansion(self):
+        base = Exponential(2.0)
+        d = base.shifted(1.0)
+        expected = base.second_moment + 2.0 * base.mean + 1.0
+        assert d.second_moment == pytest.approx(expected)
+
+    def test_shift_zero_returns_self(self):
+        d = Exponential(1.0)
+        assert d.shifted(0.0) is d
+
+    def test_negative_shift_raises(self):
+        with pytest.raises(ModelValidationError):
+            Exponential(1.0).shifted(-0.1)
+
+    def test_samples_shift(self, rng):
+        d = Deterministic(1.0).shifted(2.0)
+        assert d.sample(rng) == pytest.approx(3.0)
+        assert isinstance(d, ShiftedDistribution)
+
+    def test_variance_unchanged_by_shift(self):
+        base = Erlang(k=3, rate=2.0)
+        assert base.shifted(5.0).variance == pytest.approx(base.variance)
+
+
+class TestFitTwoMoments:
+    @pytest.mark.parametrize("scv,family", [
+        (0.0, Deterministic),
+        (0.25, Gamma),
+        (0.9999999999999, Exponential),
+        (1.0, Exponential),
+        (1.5, HyperExponential),
+        (10.0, HyperExponential),
+    ])
+    def test_family_selection(self, scv, family):
+        assert isinstance(fit_two_moments(1.0, scv), family)
+
+    @pytest.mark.parametrize("mean", [0.01, 1.0, 100.0])
+    @pytest.mark.parametrize("scv", [0.0, 0.3, 0.7, 1.0, 2.0, 6.0])
+    def test_fit_is_exact(self, mean, scv):
+        d = fit_two_moments(mean, scv)
+        assert d.mean == pytest.approx(mean, rel=1e-10)
+        assert d.scv == pytest.approx(scv, rel=1e-8, abs=1e-10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelValidationError):
+            fit_two_moments(0.0, 1.0)
+        with pytest.raises(ModelValidationError):
+            fit_two_moments(1.0, -0.5)

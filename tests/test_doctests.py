@@ -1,0 +1,37 @@
+"""Execute the doctest examples embedded in the public docstrings.
+
+The examples in docstrings are part of the documented contract; this
+keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.tables
+import repro.core.sla
+import repro.distributions.deterministic
+import repro.distributions.exponential
+import repro.queueing.mg1
+import repro.queueing.mm1
+import repro.queueing.mmc
+import repro.queueing.ps
+import repro.workload.classes
+
+MODULES = [
+    repro.distributions.exponential,
+    repro.distributions.deterministic,
+    repro.queueing.mm1,
+    repro.queueing.mmc,
+    repro.queueing.mg1,
+    repro.workload.classes,
+    repro.core.sla,
+    repro.analysis.tables,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,48 @@
+"""Every example script must run to completion.
+
+Examples are documentation that executes; a broken example is a
+documentation bug. Each is run in a subprocess with the repo's
+interpreter; the slow, simulation-heavy ones are marked accordingly.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST = ["quickstart.py", "capacity_planning.py", "energy_budget.py", "tail_guarantees.py"]
+SLOW = ["priority_sim_vs_model.py", "dynamic_day.py"]
+
+
+def _run(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example_runs(name):
+    proc = _run(name)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_example_runs(name):
+    proc = _run(name)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+def test_all_examples_are_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW), (
+        "examples/ changed; update FAST/SLOW in this test"
+    )

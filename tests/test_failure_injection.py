@@ -1,0 +1,174 @@
+"""Edge cases and failure injection across the stack.
+
+These tests deliberately poke pathological configurations — empty
+loads, near-saturation, extreme variability, degenerate epochs — and
+assert the library fails loudly (typed exceptions) or degrades
+gracefully (finite, sane numbers), never silently returning garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.core import end_to_end_delays, minimize_delay, minimize_energy
+from repro.distributions import Exponential, Pareto, fit_two_moments
+from repro.exceptions import (
+    InfeasibleProblemError,
+    ModelValidationError,
+    ReproError,
+    UnstableSystemError,
+)
+from repro.simulation import simulate
+from repro.workload import BatchPoissonProcess, Workload, CustomerClass, workload_from_rates
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ModelValidationError, UnstableSystemError, InfeasibleProblemError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Callers using plain except ValueError keep working.
+        assert issubclass(ModelValidationError, ValueError)
+        assert issubclass(UnstableSystemError, ValueError)
+
+    def test_unstable_carries_utilization(self):
+        with pytest.raises(UnstableSystemError) as exc:
+            from repro.queueing import MM1
+
+            MM1(2.0, 1.0)
+        assert exc.value.utilization == pytest.approx(2.0)
+
+
+class TestNearSaturation:
+    def test_analytic_delays_finite_at_rho_0999(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.999])
+        t = end_to_end_delays(cluster, wl)
+        assert np.isfinite(t[0]) and t[0] > 500.0
+
+    def test_rho_one_raises_not_returns_garbage(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec)
+        wl = workload_from_rates([1.0])
+        with pytest.raises(UnstableSystemError):
+            end_to_end_delays(ClusterModel([tier]), wl)
+
+    def test_simulation_near_saturation_runs(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.97])
+        res = simulate(cluster, wl, horizon=2000.0, seed=1)
+        assert res.n_completed[0] > 0
+        assert np.isfinite(res.delays[0])
+
+
+class TestExtremeVariability:
+    def test_pareto_demands_heavy_tail(self, basic_spec):
+        svc = Pareto(alpha=2.2, xm=0.1)  # scv ~ 8.3, third moment inf
+        tier = Tier("t", (svc,), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.5 / svc.mean * 0.5])
+        # Mean formulas need only two moments: finite answer.
+        t = end_to_end_delays(cluster, wl)
+        assert np.isfinite(t[0])
+        # Simulation completes without incident.
+        res = simulate(cluster, wl, horizon=3000.0, seed=2)
+        assert res.n_completed[0] > 0
+
+    def test_scv_100_priority_station(self, basic_spec):
+        svc = fit_two_moments(0.5, 100.0)
+        tier = Tier("t", (svc, svc), basic_spec, discipline="priority_np")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.3, 0.3])
+        t = end_to_end_delays(cluster, wl)
+        assert t[0] < t[1] and np.all(np.isfinite(t))
+
+
+class TestDegenerateInputs:
+    def test_single_class_single_tier_minimal_system(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec)
+        cluster = ClusterModel([tier])
+        wl = Workload([CustomerClass("only", 0.5)])
+        assert end_to_end_delays(cluster, wl).shape == (1,)
+
+    def test_tiny_rates(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec)
+        wl = workload_from_rates([1e-9])
+        t = end_to_end_delays(ClusterModel([tier]), wl)
+        # Near-zero load: delay collapses to the bare service time.
+        assert t[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_warmup_simulation(self, two_class_cluster, two_class_workload):
+        res = simulate(two_class_cluster, two_class_workload, horizon=500.0, seed=3, warmup_fraction=0.0)
+        assert res.warmup == 0.0
+        assert res.n_completed.sum() > 0
+
+    def test_batch_arrivals_through_priority_station(self, basic_spec):
+        tier = Tier("t", (Exponential(2.0), Exponential(2.0)), basic_spec, discipline="priority_np")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.3, 0.3])
+        batches = [BatchPoissonProcess(0.1, 0.34), BatchPoissonProcess(0.1, 0.34)]
+        res = simulate(cluster, wl, horizon=4000.0, seed=4, arrival_processes=batches)
+        # Batches inflate waits beyond the Poisson prediction but the
+        # run must stay sane and priority-ordered.
+        assert res.delays[0] < res.delays[1]
+        assert np.all(np.isfinite(res.delays))
+
+    def test_job_log_collection(self, two_class_cluster, two_class_workload):
+        res = simulate(
+            two_class_cluster, two_class_workload, horizon=500.0, seed=5, collect_job_log=True
+        )
+        log = res.job_log
+        assert log is not None
+        assert log.shape[0] == res.n_completed.sum()
+        assert np.all(log["exit"] >= log["arrival"])
+        # Log delays equal the tallied means.
+        for k in range(2):
+            mask = log["cls"] == k
+            if mask.any():
+                mean = float((log["exit"][mask] - log["arrival"][mask]).mean())
+                assert mean == pytest.approx(res.delays[k], rel=1e-9)
+
+    def test_job_log_absent_by_default(self, two_class_cluster, two_class_workload):
+        res = simulate(two_class_cluster, two_class_workload, horizon=200.0, seed=6)
+        assert res.job_log is None
+
+
+class TestOptimizerRobustness:
+    def test_p1_with_budget_exactly_at_minimum(self, three_tier_cluster, three_class_workload):
+        from repro.core.opt_common import stability_speed_bounds
+
+        box = stability_speed_bounds(three_tier_cluster, three_class_workload)
+        lam = three_class_workload.arrival_rates
+        p_min = three_tier_cluster.with_speeds([b[0] for b in box]).average_power(lam)
+        res = minimize_delay(three_tier_cluster, three_class_workload, p_min * 1.0001)
+        assert res.success
+
+    def test_p2_with_bound_exactly_at_best(self, three_tier_cluster, three_class_workload):
+        from repro.core import mean_end_to_end_delay
+
+        best = mean_end_to_end_delay(three_tier_cluster, three_class_workload)
+        res = minimize_energy(
+            three_tier_cluster, three_class_workload, max_mean_delay=best * 1.0001
+        )
+        assert res.success
+        np.testing.assert_allclose(res.x, 1.0, atol=1e-3)
+
+    def test_heterogeneous_speed_ranges(self):
+        # Tiers with different DVFS windows exercise per-tier bounds.
+        pm = PowerModel(idle=20.0, kappa=60.0, alpha=3.0)
+        specs = [
+            ServerSpec(pm, min_speed=0.3, max_speed=0.8, cost=1.0),
+            ServerSpec(pm, min_speed=0.6, max_speed=1.2, cost=1.0),
+        ]
+        tiers = [
+            Tier("a", (Exponential(4.0),), specs[0], speed=0.8),
+            Tier("b", (Exponential(4.0),), specs[1], speed=1.0),
+        ]
+        cluster = ClusterModel(tiers)
+        wl = workload_from_rates([1.0])
+        res = minimize_energy(cluster, wl, max_mean_delay=2.0)
+        assert res.success
+        assert 0.3 - 1e-9 <= res.x[0] <= 0.8 + 1e-9
+        assert 0.6 - 1e-9 <= res.x[1] <= 1.2 + 1e-9

@@ -1,0 +1,116 @@
+"""Finite-buffer queues: M/M/c/K closed forms and simulated buffers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.distributions import Exponential
+from repro.exceptions import ModelValidationError
+from repro.queueing import MGcc, MM1, MMc, MMcK
+from repro.simulation import simulate
+from repro.workload import workload_from_rates
+
+
+class TestMMcKClosedForms:
+    def test_mm1k_geometric_distribution(self):
+        q = MMcK(lam=1.5, mu=1.0, c=1, K=5)
+        r = 1.5
+        expected = np.array([r**n for n in range(6)])
+        expected /= expected.sum()
+        np.testing.assert_allclose(q.probabilities, expected, rtol=1e-12)
+
+    def test_k_equals_c_is_erlang_b(self):
+        # No waiting room at all: M/M/c/c.
+        q = MMcK(lam=3.0, mu=1.0, c=4, K=4)
+        loss = MGcc(3.0, Exponential(1.0), c=4)
+        assert q.blocking_probability == pytest.approx(loss.blocking_probability, rel=1e-12)
+        assert q.mean_sojourn == pytest.approx(1.0, rel=1e-12)
+
+    def test_large_k_approaches_open_queue(self):
+        q = MMcK(lam=0.7, mu=1.0, c=1, K=500)
+        open_q = MM1(0.7, 1.0)
+        assert q.blocking_probability < 1e-30
+        assert q.mean_sojourn == pytest.approx(open_q.mean_sojourn, rel=1e-9)
+        multi = MMcK(lam=2.2, mu=1.0, c=3, K=400)
+        assert multi.mean_sojourn == pytest.approx(MMc(2.2, 1.0, 3).mean_sojourn, rel=1e-9)
+
+    def test_overload_is_bounded(self):
+        q = MMcK(lam=50.0, mu=1.0, c=2, K=10)
+        assert q.blocking_probability > 0.9
+        assert np.isfinite(q.mean_sojourn)
+        assert q.utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_blocking_decreases_with_buffer(self):
+        bs = [MMcK(2.0, 1.0, c=2, K=k).blocking_probability for k in (2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(bs, bs[1:]))
+
+    def test_conservation_throughput(self):
+        q = MMcK(lam=3.0, mu=1.0, c=2, K=6)
+        # Accepted rate equals service completion rate: c_busy * mu.
+        busy = q.utilization * q.c
+        assert q.throughput == pytest.approx(busy * q.mu, rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            MMcK(1.0, 1.0, c=0, K=5)
+        with pytest.raises(ModelValidationError):
+            MMcK(1.0, 1.0, c=3, K=2)
+
+
+class TestSimulatedFiniteBuffer:
+    def _tier(self, basic_spec, capacity, servers=1, discipline="fcfs"):
+        return Tier(
+            "t",
+            tuple(Exponential(1.0) for _ in range(1)),
+            basic_spec,
+            servers=servers,
+            discipline=discipline,
+            capacity=capacity,
+        )
+
+    def test_mm1k_blocking_and_sojourn(self, basic_spec):
+        q = MMcK(lam=1.5, mu=1.0, c=1, K=5)
+        cluster = ClusterModel([self._tier(basic_spec, capacity=5)])
+        wl = workload_from_rates([1.5])
+        res = simulate(cluster, wl, horizon=25000.0, seed=71)
+        blocked = res.meta["n_blocked"][0, 0]
+        offered = res.meta["n_offered"][0, 0]
+        assert blocked / offered == pytest.approx(q.blocking_probability, rel=0.04)
+        assert res.delays[0] == pytest.approx(q.mean_sojourn, rel=0.04)
+
+    def test_mmck_multi_server(self, basic_spec):
+        q = MMcK(lam=4.0, mu=1.0, c=3, K=7)
+        cluster = ClusterModel([self._tier(basic_spec, capacity=7, servers=3)])
+        wl = workload_from_rates([4.0])
+        res = simulate(cluster, wl, horizon=20000.0, seed=72)
+        blocked = res.meta["n_blocked"][0, 0]
+        offered = res.meta["n_offered"][0, 0]
+        assert blocked / offered == pytest.approx(q.blocking_probability, rel=0.06)
+        assert res.delays[0] == pytest.approx(q.mean_sojourn, rel=0.04)
+
+    def test_overloaded_buffer_runs_without_unstable_flag(self, basic_spec):
+        cluster = ClusterModel([self._tier(basic_spec, capacity=4)])
+        wl = workload_from_rates([10.0])
+        res = simulate(cluster, wl, horizon=2000.0, seed=73)  # no allow_unstable
+        assert np.isfinite(res.delays[0])
+
+    def test_analytic_model_refuses_finite_buffers(self, basic_spec):
+        from repro.core.delay import end_to_end_delays
+
+        cluster = ClusterModel([self._tier(basic_spec, capacity=5)])
+        wl = workload_from_rates([0.5])
+        with pytest.raises(ModelValidationError, match="finite buffer"):
+            end_to_end_delays(cluster, wl)
+
+    def test_ps_with_capacity_rejected(self, basic_spec):
+        tier = Tier(
+            "t", (Exponential(1.0),), basic_spec, discipline="ps", capacity=5
+        )
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.5])
+        with pytest.raises(ModelValidationError, match="PS"):
+            simulate(cluster, wl, horizon=100.0)
+
+    def test_capacity_below_servers_rejected(self, basic_spec):
+        with pytest.raises(ModelValidationError):
+            Tier("t", (Exponential(1.0),), basic_spec, servers=4, capacity=2)

@@ -1,0 +1,94 @@
+"""Forecaster tests (EWMA, seasonal naive, blend) on synthetic traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.forecast import (
+    blended_forecast,
+    ewma_forecast,
+    forecast_error,
+    seasonal_naive_forecast,
+)
+from repro.exceptions import ModelValidationError
+
+
+@pytest.fixture
+def two_day_history():
+    """Two sinusoidal 'days' of 12 windows, 2 classes, second day 10%
+    hotter."""
+    t = np.arange(12)
+    day = 5.0 + 3.0 * np.sin(2 * np.pi * t / 12)
+    h = np.concatenate([day, day * 1.1])
+    return np.stack([h, 2 * h], axis=1)
+
+
+class TestEWMA:
+    def test_constant_history_is_fixed_point(self):
+        h = np.full((10, 2), 4.0)
+        np.testing.assert_allclose(ewma_forecast(h), [4.0, 4.0])
+
+    def test_alpha_one_returns_last(self, two_day_history):
+        np.testing.assert_allclose(
+            ewma_forecast(two_day_history, alpha=1.0), two_day_history[-1]
+        )
+
+    def test_margin_scales(self):
+        h = np.full((5, 1), 2.0)
+        assert ewma_forecast(h, margin=0.25)[0] == pytest.approx(2.5)
+
+    def test_tracks_trend_with_lag(self):
+        h = np.arange(1.0, 21.0)[:, None]  # rising ramp
+        f = ewma_forecast(h, alpha=0.5)
+        assert 15.0 < f[0] < 20.0  # behind the last value, above the mean
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            ewma_forecast(np.empty((0, 1)))
+        with pytest.raises(ModelValidationError):
+            ewma_forecast(np.ones((3, 1)), alpha=0.0)
+        with pytest.raises(ModelValidationError):
+            ewma_forecast(np.ones((3, 1)), margin=-0.1)
+        with pytest.raises(ModelValidationError):
+            ewma_forecast(np.array([[1.0], [-2.0]]))
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_period(self, two_day_history):
+        f = seasonal_naive_forecast(two_day_history, period=12)
+        np.testing.assert_allclose(f, two_day_history[-12:])
+
+    def test_insufficient_history(self, two_day_history):
+        with pytest.raises(ModelValidationError):
+            seasonal_naive_forecast(two_day_history[:5], period=12)
+
+    def test_margin(self, two_day_history):
+        f = seasonal_naive_forecast(two_day_history, period=12, margin=0.2)
+        np.testing.assert_allclose(f, two_day_history[-12:] * 1.2)
+
+
+class TestBlendAndError:
+    def test_blend_extremes(self, two_day_history):
+        pure_seasonal = blended_forecast(two_day_history, 12, weight_seasonal=1.0)
+        np.testing.assert_allclose(pure_seasonal, two_day_history[-12:])
+        pure_level = blended_forecast(two_day_history, 12, weight_seasonal=0.0)
+        assert np.ptp(pure_level[:, 0]) == pytest.approx(0.0)  # flat
+
+    def test_seasonal_beats_ewma_on_diurnal_data(self, two_day_history):
+        # Hold out the second day, forecast it from the first.
+        history, actual = two_day_history[:12], two_day_history[12:]
+        seasonal = seasonal_naive_forecast(history, period=12)
+        level = ewma_forecast(history)
+        err_seasonal = forecast_error(seasonal, actual)
+        err_level = forecast_error(np.tile(level, (12, 1)), actual)
+        assert err_seasonal < err_level
+
+    def test_error_zero_for_perfect_forecast(self, two_day_history):
+        assert forecast_error(two_day_history, two_day_history) == 0.0
+
+    def test_error_shape_mismatch(self):
+        with pytest.raises(ModelValidationError):
+            forecast_error(np.ones((2, 1)), np.ones((3, 1)))
+
+    def test_blend_weight_validation(self, two_day_history):
+        with pytest.raises(ModelValidationError):
+            blended_forecast(two_day_history, 12, weight_seasonal=1.5)

@@ -1,0 +1,170 @@
+"""G/M/1 queue: root equation, classic special cases, simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    fit_two_moments,
+)
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.queueing import GM1, MM1, interarrival_lst
+from repro.simulation import simulate
+from repro.workload import RenewalProcess, workload_from_rates
+
+
+class TestLST:
+    def test_exponential_lst_closed_form(self):
+        # A*(s) = rate / (rate + s).
+        d = Exponential(2.0)
+        for s in (0.0, 0.5, 3.0):
+            assert interarrival_lst(d, s) == pytest.approx(2.0 / (2.0 + s), rel=1e-12)
+
+    def test_erlang_lst_closed_form(self):
+        # A*(s) = (rate / (rate + s))^k.
+        d = Erlang(k=3, rate=2.0)
+        s = 1.3
+        assert interarrival_lst(d, s) == pytest.approx((2.0 / 3.3) ** 3, rel=1e-10)
+
+    def test_deterministic_lst(self):
+        d = Deterministic(0.7)
+        assert interarrival_lst(d, 2.0) == pytest.approx(np.exp(-1.4), rel=1e-12)
+
+    def test_lst_at_zero_is_one(self):
+        for d in (Exponential(1.0), Erlang(k=2, rate=3.0), Deterministic(1.5)):
+            assert interarrival_lst(d, 0.0) == pytest.approx(1.0, rel=1e-10)
+
+    def test_unsupported_family_raises(self):
+        with pytest.raises(ModelValidationError):
+            interarrival_lst(LogNormal(1.0, 1.0), 1.0)
+
+
+class TestGM1:
+    def test_poisson_arrivals_reduce_to_mm1(self):
+        # Exp(0.7) interarrivals have mean 1/0.7, i.e. arrival rate 0.7.
+        q = GM1(Exponential(0.7), mu=1.0)
+        mm1 = MM1(0.7, 1.0)
+        assert q.sigma == pytest.approx(0.7, rel=1e-9)  # sigma = rho for M/M/1
+        assert q.mean_sojourn == pytest.approx(mm1.mean_sojourn, rel=1e-9)
+        assert q.mean_wait == pytest.approx(mm1.mean_wait, rel=1e-9)
+
+    def test_dm1_waits_less_than_mm1(self):
+        # Deterministic arrivals at the same rate: far smoother.
+        dm1 = GM1(Deterministic(1.0 / 0.7), mu=1.0)
+        mm1 = MM1(0.7, 1.0)
+        assert dm1.mean_wait < mm1.mean_wait
+
+    def test_bursty_arrivals_wait_more_than_mm1(self):
+        bursty = HyperExponential.balanced_from_mean_scv(1.0 / 0.7, 4.0)
+        q = GM1(bursty, mu=1.0)
+        assert q.mean_wait > MM1(0.7, 1.0).mean_wait
+
+    def test_wait_monotone_in_interarrival_scv(self):
+        waits = []
+        for scv in (0.25, 0.5, 1.0, 2.0, 4.0):
+            d = fit_two_moments(1.0 / 0.7, scv) if scv != 0.25 else Erlang.from_mean(1.0 / 0.7, k=4)
+            waits.append(GM1(d, mu=1.0).mean_wait)
+        assert all(a < b for a, b in zip(waits, waits[1:]))
+
+    def test_littles_law(self):
+        q = GM1(Erlang.from_mean(1.25, k=3), mu=1.0)
+        assert q.mean_number_in_system == pytest.approx(q.lam * q.mean_sojourn, rel=1e-9)
+
+    def test_sojourn_quantile_inverse(self):
+        q = GM1(Erlang.from_mean(1.25, k=3), mu=1.0)
+        rate = q.mu * (1.0 - q.sigma)
+        for p in (0.5, 0.95):
+            t = q.sojourn_quantile(p)
+            assert 1.0 - np.exp(-rate * t) == pytest.approx(p, abs=1e-10)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            GM1(Exponential(2.0), mu=1.0)  # arrival rate 2 > mu
+
+    def test_d_m1_known_value(self):
+        # D/M/1 with rho = 0.5: sigma solves sigma = e^{-2(1-sigma)}.
+        q = GM1(Deterministic(2.0), mu=1.0)
+        assert q.sigma == pytest.approx(
+            float(np.exp(-2.0 * (1.0 - q.sigma))), rel=1e-10
+        )
+        assert 0.0 < q.sigma < 0.5  # far below the M/M/1 value
+
+
+class TestGM1Simulation:
+    @pytest.mark.parametrize(
+        "interarrival,seed",
+        [
+            (Erlang.from_mean(1.0 / 0.7, k=4), 61),  # smooth arrivals
+            (HyperExponential.balanced_from_mean_scv(1.0 / 0.7, 3.0), 62),  # bursty
+            (Deterministic(1.0 / 0.7), 63),  # D/M/1
+        ],
+    )
+    def test_simulated_sojourn_matches(self, basic_spec, interarrival, seed):
+        from repro.simulation import simulate_replications
+
+        q = GM1(interarrival, mu=1.0)
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.7])
+        rep = simulate_replications(
+            cluster,
+            wl,
+            horizon=30000.0,
+            n_replications=3,
+            seed=seed,
+            arrival_processes=[RenewalProcess(interarrival)],
+        )
+        assert rep.delays[0] == pytest.approx(q.mean_sojourn, rel=0.06)
+
+
+class TestRenewalProcess:
+    def test_rate(self):
+        p = RenewalProcess(Erlang.from_mean(0.25, k=2))
+        assert p.rate == pytest.approx(4.0)
+
+    def test_gap_moments(self, rng):
+        d = Erlang.from_mean(0.5, k=4)
+        p = RenewalProcess(d).fresh()
+        gaps = np.array([p.next_arrival(rng)[0] for _ in range(30000)])
+        assert gaps.mean() == pytest.approx(0.5, rel=0.03)
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(0.25, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            RenewalProcess("not a distribution")  # type: ignore[arg-type]
+
+
+class TestGM1Properties:
+    """Hypothesis invariants on the sigma-root analysis."""
+
+    def test_sigma_in_unit_interval_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            rho=st.floats(min_value=0.05, max_value=0.9),
+            scv=st.floats(min_value=0.05, max_value=8.0),
+        )
+        @settings(max_examples=100, deadline=None)
+        def check(rho, scv):
+            # PH-representable interarrival at mean 1/rho (mu = 1).
+            if scv < 1.0:
+                k = max(1, round(1.0 / scv))
+                ia = Erlang.from_mean(1.0 / rho, k=k)
+            else:
+                ia = HyperExponential.balanced_from_mean_scv(1.0 / rho, scv)
+            q = GM1(ia, mu=1.0)
+            assert 0.0 < q.sigma < 1.0
+            assert q.mean_wait >= 0.0
+            assert q.mean_sojourn > q.mean_wait
+            # The root really solves the fixed-point equation.
+            assert q.sigma == pytest.approx(
+                interarrival_lst(ia, 1.0 - q.sigma), abs=1e-9
+            )
+
+        check()

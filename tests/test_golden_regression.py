@@ -1,0 +1,64 @@
+"""Golden-value regression tests.
+
+The simulator and the analytic formulas are deterministic functions of
+their inputs (the simulator through its seed). These tests pin a few
+exact outputs so that *any* unintended change to event ordering, RNG
+stream layout, or formula algebra trips a failure — the change may be
+fine, but it must be a conscious decision (update the constants in the
+same commit that changes behaviour).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.core.delay import end_to_end_delays
+from repro.core.energy import average_power
+from repro.distributions import Exponential, fit_two_moments
+from repro.simulation import simulate
+from repro.workload import workload_from_rates
+
+SPEC = ServerSpec(PowerModel(idle=25.0, kappa=75.0, alpha=3.0), min_speed=0.4, max_speed=1.0)
+
+
+@pytest.fixture
+def pinned_cluster():
+    tiers = [
+        Tier("front", (Exponential(4.0), fit_two_moments(0.3, 2.0)), SPEC, servers=1),
+        Tier("back", (Exponential(2.0), fit_two_moments(0.6, 1.5)), SPEC, servers=2),
+    ]
+    return ClusterModel(tiers)
+
+
+@pytest.fixture
+def pinned_workload():
+    return workload_from_rates([0.5, 0.8], names=("hi", "lo"))
+
+
+class TestAnalyticGolden:
+    def test_end_to_end_delays(self, pinned_cluster, pinned_workload):
+        t = end_to_end_delays(pinned_cluster, pinned_workload)
+        np.testing.assert_allclose(
+            t, [0.9832506541077969, 1.267323864736688], rtol=1e-12
+        )
+
+    def test_average_power(self, pinned_cluster, pinned_workload):
+        p = average_power(pinned_cluster, pinned_workload)
+        assert p == pytest.approx(157.125, rel=1e-12)
+
+
+class TestSimulatorGolden:
+    def test_short_run_exact_counts_and_delays(self, pinned_cluster, pinned_workload):
+        res = simulate(pinned_cluster, pinned_workload, horizon=200.0, seed=2024)
+        # Any change to event ordering or RNG stream layout shifts these.
+        np.testing.assert_array_equal(res.n_completed, [96, 157])
+        np.testing.assert_allclose(
+            res.delays, [1.094432565976234, 1.3529888401661325], rtol=1e-9
+        )
+
+    def test_same_seed_same_everything(self, pinned_cluster, pinned_workload):
+        a = simulate(pinned_cluster, pinned_workload, horizon=150.0, seed=7)
+        b = simulate(pinned_cluster, pinned_workload, horizon=150.0, seed=7)
+        np.testing.assert_array_equal(a.n_completed, b.n_completed)
+        np.testing.assert_allclose(a.station_waits, b.station_waits, rtol=0, atol=0)
+        assert a.average_power == b.average_power

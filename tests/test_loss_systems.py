@@ -1,0 +1,126 @@
+"""Loss systems: Erlang-B analytics, sizing, and simulated validation
+(including the celebrated M/G/c/c insensitivity)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.distributions import Exponential, fit_two_moments
+from repro.exceptions import ModelValidationError
+from repro.queueing import MGcc, erlang_b, servers_for_blocking
+from repro.simulation import simulate
+from repro.workload import workload_from_rates
+
+
+class TestMGcc:
+    def test_blocking_is_erlang_b(self):
+        q = MGcc(3.0, Exponential(1.0), c=4)
+        assert q.blocking_probability == pytest.approx(erlang_b(4, 3.0))
+
+    def test_carried_load_and_throughput(self):
+        q = MGcc(3.0, Exponential(1.0), c=4)
+        b = q.blocking_probability
+        assert q.carried_load == pytest.approx(3.0 * (1 - b))
+        assert q.throughput == pytest.approx(3.0 * (1 - b))
+        assert q.utilization == pytest.approx(q.carried_load / 4)
+
+    def test_insensitive_to_distribution_shape(self):
+        b_exp = MGcc(3.0, Exponential(1.0), c=4).blocking_probability
+        b_h2 = MGcc(3.0, fit_two_moments(1.0, 4.0), c=4).blocking_probability
+        b_det = MGcc(3.0, fit_two_moments(1.0, 0.0), c=4).blocking_probability
+        assert b_exp == pytest.approx(b_h2) == pytest.approx(b_det)
+
+    def test_accepted_sojourn_is_service_time(self):
+        assert MGcc(3.0, Exponential(2.0), c=4).mean_sojourn == 0.5
+
+    def test_overload_is_legal(self):
+        # Loss systems have no stability condition.
+        q = MGcc(100.0, Exponential(1.0), c=4)
+        assert q.blocking_probability > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            MGcc(1.0, Exponential(1.0), c=0)
+        with pytest.raises(ModelValidationError):
+            MGcc(1.0, "svc", c=2)  # type: ignore[arg-type]
+
+
+class TestServersForBlocking:
+    @pytest.mark.parametrize("a,target", [(3.0, 0.01), (10.0, 0.05), (50.0, 0.001)])
+    def test_smallest_sufficient_count(self, a, target):
+        c = servers_for_blocking(lam=a, mean_service=1.0, target_blocking=target)
+        assert erlang_b(c, a) <= target
+        assert erlang_b(c - 1, a) > target
+
+    def test_scaling_invariance(self):
+        # Only the offered load matters, not lam and E[S] separately.
+        c1 = servers_for_blocking(10.0, 1.0, 0.02)
+        c2 = servers_for_blocking(5.0, 2.0, 0.02)
+        assert c1 == c2
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            servers_for_blocking(1.0, 1.0, 1.5)
+        with pytest.raises(ModelValidationError):
+            servers_for_blocking(1.0, -1.0, 0.1)
+        with pytest.raises(ModelValidationError):
+            servers_for_blocking(1e6, 1.0, 1e-9, c_max=10)
+
+
+class TestSimulatedLossStation:
+    def _blocking(self, service, lam, c, seed, horizon=20000.0):
+        spec_tier = Tier(
+            "gate", (service,), _spec(), servers=c, speed=1.0, discipline="loss"
+        )
+        cluster = ClusterModel([spec_tier])
+        wl = workload_from_rates([lam])
+        res = simulate(cluster, wl, horizon=horizon, seed=seed)
+        blocked = res.meta["n_blocked"][0, 0]
+        offered = res.meta["n_offered"][0, 0]
+        return blocked / offered, res
+
+    def test_blocking_matches_erlang_b(self):
+        frac, _ = self._blocking(Exponential(1.0), lam=3.0, c=4, seed=51)
+        assert frac == pytest.approx(erlang_b(4, 3.0), rel=0.05)
+
+    def test_insensitivity_in_simulation(self):
+        # The same offered load with wildly different shapes gives the
+        # same simulated blocking — M/G/c/c insensitivity, observed.
+        b_exp, _ = self._blocking(Exponential(1.0), lam=3.0, c=4, seed=52)
+        b_h2, _ = self._blocking(fit_two_moments(1.0, 4.0), lam=3.0, c=4, seed=53)
+        b_det, _ = self._blocking(fit_two_moments(1.0, 0.0), lam=3.0, c=4, seed=54)
+        exact = erlang_b(4, 3.0)
+        for b in (b_exp, b_h2, b_det):
+            assert b == pytest.approx(exact, rel=0.07)
+
+    def test_accepted_jobs_never_wait(self):
+        _, res = self._blocking(Exponential(1.0), lam=3.0, c=4, seed=55, horizon=5000.0)
+        # Sojourn == service for accepted jobs: station wait ~ 0.
+        assert res.station_waits[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert res.delays[0] == pytest.approx(1.0, rel=0.05)
+
+    def test_overloaded_gate_simulates(self):
+        frac, _ = self._blocking(Exponential(1.0), lam=30.0, c=4, seed=56, horizon=3000.0)
+        assert frac == pytest.approx(erlang_b(4, 30.0), rel=0.03)
+
+    def test_gate_in_front_of_queueing_tier(self):
+        # Admission control protects a downstream FCFS tier: its
+        # offered rate is thinned by (1 - B).
+        tiers = [
+            Tier("gate", (Exponential(1.0),), _spec(), servers=3, discipline="loss"),
+            Tier("work", (Exponential(1.0),), _spec(), servers=4, discipline="fcfs"),
+        ]
+        cluster = ClusterModel(tiers)
+        wl = workload_from_rates([3.5])
+        res = simulate(cluster, wl, horizon=10000.0, seed=57)
+        b = erlang_b(3, 3.5)
+        accepted_rate = 3.5 * (1 - b)
+        window = res.horizon - res.warmup
+        measured = res.meta["station_completions"][0, 1] / window
+        assert measured == pytest.approx(accepted_rate, rel=0.05)
+
+
+def _spec():
+    from repro.cluster import PowerModel, ServerSpec
+
+    return ServerSpec(PowerModel(idle=5.0, kappa=20.0, alpha=3.0), min_speed=0.4, max_speed=1.0)

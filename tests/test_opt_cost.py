@@ -1,0 +1,139 @@
+"""P3 optimizer tests (minimize cost under per-class SLAs)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exhaustive_cost_minimization
+from repro.core import SLA, ClassSLA, end_to_end_delays, minimize_cost
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+from repro.experiments.common import (
+    canonical_cluster,
+    canonical_sla,
+    canonical_workload,
+    small_cluster,
+    small_sla,
+    small_workload,
+)
+
+
+class TestMinimizeCostSmall:
+    def test_matches_exhaustive_default_sla(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        alloc = minimize_cost(cluster, workload, sla, max_servers_per_tier=8, optimize_speeds=False)
+        counts, cost, _ = exhaustive_cost_minimization(cluster, workload, sla, 8)
+        assert alloc.total_cost == pytest.approx(cost)
+
+    @pytest.mark.parametrize("tightness", [0.6, 0.8, 1.2])
+    def test_matches_exhaustive_across_tightness(self, tightness):
+        cluster, workload = small_cluster(), small_workload()
+        sla = small_sla(tightness)
+        alloc = minimize_cost(cluster, workload, sla, max_servers_per_tier=10, optimize_speeds=False)
+        _, cost, _ = exhaustive_cost_minimization(cluster, workload, sla, 10)
+        assert alloc.total_cost == pytest.approx(cost)
+
+    def test_sla_actually_met(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        alloc = minimize_cost(cluster, workload, sla)
+        assert sla.is_met(alloc.delays, workload, tol=1e-9)
+
+    def test_cost_monotone_in_tightness(self):
+        cluster, workload = small_cluster(), small_workload()
+        costs = [
+            minimize_cost(cluster, workload, small_sla(t), optimize_speeds=False).total_cost
+            for t in (1.5, 1.0, 0.6)
+        ]
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_cost_monotone_in_load(self):
+        cluster, sla = small_cluster(), small_sla()
+        costs = [
+            minimize_cost(cluster, small_workload(f), sla, optimize_speeds=False).total_cost
+            for f in (0.5, 1.0, 2.0)
+        ]
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_speed_optimization_reduces_power_not_cost(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        fast = minimize_cost(cluster, workload, sla, optimize_speeds=False)
+        tuned = minimize_cost(cluster, workload, sla, optimize_speeds=True)
+        assert tuned.total_cost == pytest.approx(fast.total_cost)
+        assert tuned.average_power <= fast.average_power + 1e-6
+        # The tuned configuration still meets the SLA.
+        assert sla.is_met(tuned.delays, workload, tol=1e-6)
+
+    def test_impossible_sla_raises(self):
+        cluster, workload = small_cluster(), small_workload()
+        # Bound below the zero-queueing service time at max speed.
+        impossible = SLA([ClassSLA("gold", 0.01), ClassSLA("bronze", 0.01)])
+        with pytest.raises(InfeasibleProblemError):
+            minimize_cost(cluster, workload, impossible, max_servers_per_tier=16)
+
+    def test_bad_cap(self):
+        with pytest.raises(ModelValidationError):
+            minimize_cost(small_cluster(), small_workload(), small_sla(), max_servers_per_tier=0)
+
+    def test_auto_bound_mode(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        alloc = minimize_cost(cluster, workload, sla, max_servers_per_tier=None)
+        assert sla.is_met(alloc.delays, workload, tol=1e-6)
+
+
+class TestMinimizeCostCanonical:
+    def test_canonical_solves(self):
+        alloc = minimize_cost(canonical_cluster(), canonical_workload(), canonical_sla())
+        assert alloc.total_cost > 0
+        assert np.all(alloc.server_counts >= 1)
+        assert canonical_sla().is_met(alloc.delays, canonical_workload(), tol=1e-6)
+
+    def test_allocation_stable(self):
+        alloc = minimize_cost(canonical_cluster(), canonical_workload(), canonical_sla())
+        assert alloc.cluster.is_stable(canonical_workload().arrival_rates)
+
+    def test_evaluations_counted(self):
+        alloc = minimize_cost(
+            canonical_cluster(), canonical_workload(), canonical_sla(), optimize_speeds=False
+        )
+        assert alloc.n_evaluations >= 1
+
+    def test_removing_any_server_breaks_sla_or_cost_minimality(self):
+        # Local optimality: no single-server removal stays feasible.
+        workload, sla = canonical_workload(), canonical_sla()
+        alloc = minimize_cost(canonical_cluster(), workload, sla, optimize_speeds=False)
+        at_max = alloc.cluster
+        bounds = sla.delay_bounds(workload)
+        for i in range(len(alloc.server_counts)):
+            counts = alloc.server_counts.copy()
+            if counts[i] <= 1:
+                continue
+            counts[i] -= 1
+            candidate = at_max.with_servers(counts)
+            try:
+                delays = end_to_end_delays(candidate, workload)
+                assert not np.all(delays <= bounds), (
+                    f"removing a server from tier {i} keeps the SLA — not locally optimal"
+                )
+            except Exception:
+                pass  # unstable: certainly infeasible
+
+
+class TestExhaustiveBaseline:
+    def test_space_guard(self):
+        with pytest.raises(ModelValidationError):
+            exhaustive_cost_minimization(
+                canonical_cluster(), canonical_workload(), canonical_sla(), 400
+            )
+
+    def test_infeasible_raises(self):
+        impossible = SLA([ClassSLA("gold", 0.01), ClassSLA("bronze", 0.01)])
+        with pytest.raises(InfeasibleProblemError):
+            exhaustive_cost_minimization(small_cluster(), small_workload(), impossible, 4)
+
+    def test_returns_feasible_minimum(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        counts, cost, evals = exhaustive_cost_minimization(cluster, workload, sla, 6)
+        delays = end_to_end_delays(
+            cluster.with_speeds([t.spec.max_speed for t in cluster.tiers]).with_servers(counts),
+            workload,
+        )
+        assert sla.is_met(delays, workload)
+        assert evals >= 1

@@ -1,0 +1,90 @@
+"""P1 optimizer tests (minimize delay under a power budget)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import proportional_speed_for_budget, uniform_speed_for_budget
+from repro.core import mean_end_to_end_delay, minimize_delay
+from repro.core.opt_common import stability_speed_bounds
+from repro.exceptions import InfeasibleProblemError, ModelValidationError
+
+
+@pytest.fixture
+def budget_mid(three_tier_cluster, three_class_workload):
+    """A budget halfway between slowest-stable and max-speed power."""
+    box = stability_speed_bounds(three_tier_cluster, three_class_workload)
+    lam = three_class_workload.arrival_rates
+    lo = three_tier_cluster.with_speeds([b[0] for b in box]).average_power(lam)
+    hi = three_tier_cluster.with_speeds([b[1] for b in box]).average_power(lam)
+    return 0.5 * (lo + hi)
+
+
+class TestMinimizeDelay:
+    def test_succeeds_and_respects_budget(self, three_tier_cluster, three_class_workload, budget_mid):
+        res = minimize_delay(three_tier_cluster, three_class_workload, budget_mid)
+        assert res.success
+        assert res.meta["power"] <= budget_mid + 1e-4
+
+    def test_budget_binds_at_optimum(self, three_tier_cluster, three_class_workload, budget_mid):
+        # Delay decreasing / power increasing in speed: interior optimum
+        # spends the whole budget.
+        res = minimize_delay(three_tier_cluster, three_class_workload, budget_mid)
+        assert res.meta["power"] == pytest.approx(budget_mid, rel=1e-3)
+
+    def test_beats_uniform_baseline(self, three_tier_cluster, three_class_workload, budget_mid):
+        res = minimize_delay(three_tier_cluster, three_class_workload, budget_mid)
+        uni = uniform_speed_for_budget(three_tier_cluster, three_class_workload, budget_mid)
+        uni_delay = mean_end_to_end_delay(
+            three_tier_cluster.with_speeds(uni), three_class_workload
+        )
+        assert res.fun <= uni_delay + 1e-9
+
+    def test_beats_proportional_baseline(self, three_tier_cluster, three_class_workload, budget_mid):
+        res = minimize_delay(three_tier_cluster, three_class_workload, budget_mid)
+        prop = proportional_speed_for_budget(three_tier_cluster, three_class_workload, budget_mid)
+        prop_delay = mean_end_to_end_delay(
+            three_tier_cluster.with_speeds(prop), three_class_workload
+        )
+        assert res.fun <= prop_delay + 1e-9
+
+    def test_delay_monotone_in_budget(self, three_tier_cluster, three_class_workload):
+        box = stability_speed_bounds(three_tier_cluster, three_class_workload)
+        lam = three_class_workload.arrival_rates
+        lo = three_tier_cluster.with_speeds([b[0] for b in box]).average_power(lam)
+        hi = three_tier_cluster.with_speeds([b[1] for b in box]).average_power(lam)
+        budgets = np.linspace(lo * 1.05, hi, 4)
+        delays = [
+            minimize_delay(three_tier_cluster, three_class_workload, float(b), n_starts=3).fun
+            for b in budgets
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(delays, delays[1:]))
+
+    def test_huge_budget_hits_max_speeds(self, three_tier_cluster, three_class_workload):
+        res = minimize_delay(three_tier_cluster, three_class_workload, 1e9)
+        np.testing.assert_allclose(res.x, 1.0, atol=1e-5)
+
+    def test_infeasible_budget_raises(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(InfeasibleProblemError):
+            minimize_delay(three_tier_cluster, three_class_workload, power_budget=1.0)
+
+    def test_bad_budget_rejected(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(ModelValidationError):
+            minimize_delay(three_tier_cluster, three_class_workload, power_budget=-5.0)
+
+    def test_unstabilizable_load_raises(self, three_tier_cluster, three_class_workload):
+        with pytest.raises(InfeasibleProblemError):
+            minimize_delay(
+                three_tier_cluster, three_class_workload.scaled(4.0), power_budget=1e9
+            )
+
+    def test_result_meta_cluster_consistent(self, three_tier_cluster, three_class_workload, budget_mid):
+        res = minimize_delay(three_tier_cluster, three_class_workload, budget_mid)
+        optimized = res.meta["cluster"]
+        np.testing.assert_allclose(optimized.speeds, res.x)
+        assert mean_end_to_end_delay(optimized, three_class_workload) == pytest.approx(res.fun)
+
+    def test_speeds_within_bounds(self, three_tier_cluster, three_class_workload, budget_mid):
+        res = minimize_delay(three_tier_cluster, three_class_workload, budget_mid)
+        box = stability_speed_bounds(three_tier_cluster, three_class_workload)
+        for s, (lo, hi) in zip(res.x, box):
+            assert lo - 1e-9 <= s <= hi + 1e-9

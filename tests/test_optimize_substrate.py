@@ -1,0 +1,153 @@
+"""Generic optimization machinery tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleProblemError, ModelValidationError, UnstableSystemError
+from repro.optimize import (
+    Constraint,
+    OptimizationResult,
+    bisect_threshold,
+    greedy_integer_allocation,
+    integer_local_search,
+    minimize_box_constrained,
+    multistart_points,
+)
+
+
+class TestMultistartPoints:
+    def test_count_and_bounds(self):
+        pts = multistart_points([(0.0, 1.0), (2.0, 4.0)], 7)
+        assert pts.shape == (7, 2)
+        assert np.all(pts[:, 0] >= 0.0) and np.all(pts[:, 0] <= 1.0)
+        assert np.all(pts[:, 1] >= 2.0) and np.all(pts[:, 1] <= 4.0)
+
+    def test_deterministic(self):
+        a = multistart_points([(0.0, 1.0)], 10)
+        b = multistart_points([(0.0, 1.0)], 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_midpoint_first(self):
+        pts = multistart_points([(0.0, 2.0)], 1)
+        assert pts[0, 0] == pytest.approx(1.0)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ModelValidationError):
+            multistart_points([(0.0, 1.0)], 0)
+        with pytest.raises(ModelValidationError):
+            multistart_points([(1.0, 0.0)], 3)
+
+
+class TestMinimizeBoxConstrained:
+    def test_unconstrained_quadratic(self):
+        res = minimize_box_constrained(
+            lambda x: float((x[0] - 0.3) ** 2 + (x[1] - 0.7) ** 2),
+            [(0.0, 1.0), (0.0, 1.0)],
+        )
+        assert res.success
+        np.testing.assert_allclose(res.x, [0.3, 0.7], atol=1e-5)
+
+    def test_active_constraint(self):
+        # min x^2 s.t. x >= 0.5 on [0, 1]
+        res = minimize_box_constrained(
+            lambda x: float(x[0] ** 2),
+            [(0.0, 1.0)],
+            constraints=[Constraint(lambda x: x[0] - 0.5, name="floor")],
+        )
+        assert res.success
+        assert res.x[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_infeasible_constraint_reported(self):
+        res = minimize_box_constrained(
+            lambda x: float(x[0]),
+            [(0.0, 1.0)],
+            constraints=[Constraint(lambda x: x[0] - 2.0, name="impossible")],
+        )
+        assert not res.success
+        assert res.constraint_violation > 0.5
+
+    def test_unstable_objective_penalized_not_crashed(self):
+        def objective(x):
+            if x[0] < 0.5:
+                raise UnstableSystemError("synthetic divergence")
+            return float(x[0])
+
+        res = minimize_box_constrained(objective, [(0.0, 1.0)], n_starts=5)
+        assert res.success
+        assert res.x[0] >= 0.5 - 1e-6
+
+    def test_evaluation_counter(self):
+        res = minimize_box_constrained(lambda x: float(x[0] ** 2), [(0.0, 1.0)], n_starts=2)
+        assert res.n_evaluations > 0
+
+    def test_result_ordering(self):
+        good = OptimizationResult(x=np.array([0.0]), fun=1.0, success=True)
+        better = OptimizationResult(x=np.array([0.0]), fun=0.5, success=True)
+        bad = OptimizationResult(x=np.array([0.0]), fun=0.0, success=False)
+        assert better.better_than(good)
+        assert good.better_than(bad)
+        assert bad.better_than(None)
+
+
+class TestIntegerSearch:
+    def _problem(self, threshold=10):
+        # Feasible iff 2*a + b >= threshold; cost 3a + 2b.
+        def evaluate(c):
+            score = max(threshold - (2 * c[0] + c[1]), 0)
+            return score == 0, float(score)
+
+        def cost(c):
+            return float(3 * c[0] + 2 * c[1])
+
+        return evaluate, cost
+
+    def test_greedy_finds_feasible(self):
+        evaluate, cost = self._problem()
+        counts = greedy_integer_allocation(evaluate, cost, [1, 1], [20, 20])
+        assert evaluate(counts)[0]
+
+    def test_local_search_improves_to_optimum(self):
+        evaluate, cost = self._problem()
+        start = np.array([10, 10])
+        final = integer_local_search(start, evaluate, cost, [1, 1], [20, 20])
+        assert evaluate(final)[0]
+        # Optimum: maximize use of a (relief 2 per cost 3 beats 1 per 2).
+        # Best integer solutions of 2a+b>=10 minimizing 3a+2b: a=4,b=2
+        # (cost 16) or a=5,b=0->b>=1 so a=4,b=2 wins within lb=1: a=4,b=2 cost 16
+        assert cost(final) <= 17.0
+
+    def test_greedy_infeasible_raises(self):
+        def never(c):
+            return False, 1.0
+
+        with pytest.raises(InfeasibleProblemError):
+            greedy_integer_allocation(never, lambda c: 1.0, [1], [4])
+
+    def test_local_search_requires_feasible_start(self):
+        evaluate, cost = self._problem()
+        with pytest.raises(ModelValidationError):
+            integer_local_search([1, 1], evaluate, cost, [1, 1], [20, 20])
+
+    def test_bounds_validation(self):
+        evaluate, cost = self._problem()
+        with pytest.raises(ModelValidationError):
+            greedy_integer_allocation(evaluate, cost, [5], [2])
+        with pytest.raises(ModelValidationError):
+            greedy_integer_allocation(evaluate, cost, [0, 1], [5, 5])
+
+
+class TestBisection:
+    def test_finds_threshold(self):
+        x = bisect_threshold(lambda v: v >= 0.637, 0.0, 1.0, tol=1e-9)
+        assert x == pytest.approx(0.637, abs=1e-6)
+
+    def test_lo_already_true(self):
+        assert bisect_threshold(lambda v: True, 0.2, 1.0) == 0.2
+
+    def test_never_true_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            bisect_threshold(lambda v: False, 0.0, 1.0)
+
+    def test_empty_interval(self):
+        with pytest.raises(ModelValidationError):
+            bisect_threshold(lambda v: True, 1.0, 0.0)

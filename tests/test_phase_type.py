@@ -1,0 +1,253 @@
+"""Phase-type distributions and the exact M/PH/1 waiting time."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.core.percentile import class_delay_percentile, class_delay_percentile_ph
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    Mixture,
+    fit_two_moments,
+)
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.queueing import MG1, MM1, PhaseType, as_phase_type, mph1_sojourn, mph1_waiting_time
+from repro.workload import workload_from_rates
+
+
+class TestPhaseTypeBasics:
+    def test_exponential_survival(self):
+        ph = as_phase_type(Exponential(2.0))
+        assert ph.survival(1.0) == pytest.approx(np.exp(-2.0))
+        assert ph.mean == pytest.approx(0.5)
+
+    def test_erlang_moments(self):
+        e = Erlang(k=4, rate=3.0)
+        ph = as_phase_type(e)
+        assert ph.moment(1) == pytest.approx(e.mean)
+        assert ph.moment(2) == pytest.approx(e.second_moment)
+        assert ph.moment(3) == pytest.approx(e.third_moment)
+
+    def test_erlang_survival_closed_form(self):
+        # Erlang-2 survival: (1 + rt) e^{-rt}.
+        ph = as_phase_type(Erlang(k=2, rate=2.0))
+        t = 0.9
+        assert ph.survival(t) == pytest.approx((1 + 2.0 * t) * np.exp(-2.0 * t), rel=1e-10)
+
+    def test_hyperexponential(self):
+        h = HyperExponential(probs=[0.3, 0.7], rates=[1.0, 5.0])
+        ph = as_phase_type(h)
+        t = 0.5
+        exact = 0.3 * np.exp(-t) + 0.7 * np.exp(-5 * t)
+        assert ph.survival(t) == pytest.approx(exact, rel=1e-10)
+        assert ph.moment(2) == pytest.approx(h.second_moment)
+
+    def test_integer_gamma_supported(self):
+        ph = as_phase_type(Gamma(k=3.0, rate=2.0))
+        assert ph is not None
+        assert ph.mean == pytest.approx(1.5)
+
+    def test_unsupported_families_return_none(self):
+        assert as_phase_type(Deterministic(1.0)) is None
+        assert as_phase_type(LogNormal(1.0, 1.0)) is None
+        assert as_phase_type(Gamma(k=2.5, rate=1.0)) is None
+
+    def test_scaled_ph(self):
+        base = Erlang(k=2, rate=2.0)
+        ph = as_phase_type(base.scaled(3.0))
+        assert ph.mean == pytest.approx(3.0 * base.mean)
+
+    def test_mixture_ph(self):
+        m = Mixture(probs=[0.5, 0.5], components=[Exponential(1.0), Erlang(k=2, rate=4.0)])
+        ph = as_phase_type(m)
+        assert ph.mean == pytest.approx(m.mean)
+        assert ph.moment(2) == pytest.approx(m.second_moment, rel=1e-10)
+
+    def test_convolution_mean_adds(self):
+        a = as_phase_type(Exponential(1.0))
+        b = as_phase_type(Erlang(k=2, rate=3.0))
+        assert a.convolve(b).mean == pytest.approx(a.mean + b.mean)
+
+    def test_equilibrium_of_exponential_is_itself(self):
+        ph = as_phase_type(Exponential(2.0))
+        eq = ph.equilibrium()
+        assert eq.survival(0.7) == pytest.approx(ph.survival(0.7), rel=1e-10)
+
+    def test_quantile_inverse(self):
+        ph = as_phase_type(HyperExponential.balanced_from_mean_scv(1.0, 4.0))
+        for p in (0.1, 0.5, 0.95):
+            assert ph.cdf(ph.quantile(p)) == pytest.approx(p, abs=1e-6)
+
+    def test_invalid_representations(self):
+        with pytest.raises(ModelValidationError):
+            PhaseType(np.array([0.5, 0.7]), -np.eye(2))  # alpha sums > 1
+        with pytest.raises(ModelValidationError):
+            PhaseType(np.array([1.0]), np.array([[1.0]]))  # positive diagonal
+        with pytest.raises(ModelValidationError):
+            PhaseType(np.array([1.0, 0.0]), np.array([[-1.0, 2.0], [0.0, -1.0]]))  # row sum > 0
+
+
+class TestMPH1:
+    def test_mm1_wait_tail_exact(self):
+        w = mph1_waiting_time(0.6, Exponential(1.0))
+        for x in (0.2, 1.0, 4.0):
+            assert w.survival(x) == pytest.approx(0.6 * np.exp(-0.4 * x), rel=1e-9)
+
+    def test_sojourn_is_exponential_for_mm1(self):
+        s = mph1_sojourn(0.6, Exponential(1.0))
+        q = MM1(0.6, 1.0)
+        for p in (0.5, 0.9, 0.99):
+            assert s.quantile(p) == pytest.approx(q.sojourn_quantile(p), rel=1e-6)
+
+    @pytest.mark.parametrize("svc", [
+        Erlang(k=3, rate=3.0),
+        HyperExponential.balanced_from_mean_scv(1.0, 3.0),
+    ])
+    def test_mean_wait_matches_pk(self, svc):
+        w = mph1_waiting_time(0.5, svc)
+        assert w.mean == pytest.approx(MG1(0.5, svc).mean_wait, rel=1e-9)
+
+    def test_atom_at_zero_is_one_minus_rho(self):
+        w = mph1_waiting_time(0.35, Erlang(k=2, rate=4.0))
+        rho = 0.35 * 0.5
+        assert w.alpha.sum() == pytest.approx(rho, rel=1e-12)
+        assert w.survival(0.0) == pytest.approx(rho)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            mph1_waiting_time(2.0, Exponential(1.0))
+
+    def test_unsupported_service_raises(self):
+        with pytest.raises(ModelValidationError):
+            mph1_waiting_time(0.5, Deterministic(1.0))
+
+    def test_wait_tail_matches_simulation(self, basic_spec):
+        from repro.simulation import simulate
+
+        svc = HyperExponential.balanced_from_mean_scv(1.0, 3.0)
+        tier = Tier("t", (svc,), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.55])
+        res = simulate(cluster, wl, horizon=60000.0, seed=31, collect_delay_samples=True)
+        sojourn = mph1_sojourn(0.55, svc)
+        for p in (0.5, 0.9, 0.95):
+            assert res.delay_percentile(0, p) == pytest.approx(
+                sojourn.quantile(p), rel=0.08
+            )
+
+
+class TestExactPHEndToEnd:
+    def test_single_mm1_tier_matches_closed_form(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.6])
+        q = MM1(0.6, 1.0)
+        for p in (0.5, 0.95):
+            assert class_delay_percentile_ph(cluster, wl, 0, p) == pytest.approx(
+                q.sojourn_quantile(p), rel=1e-5
+            )
+
+    def test_sharper_than_hypoexp_for_h2_tier(self, basic_spec):
+        # With hyperexponential service the per-tier sojourn is NOT
+        # exponential; the PH path should beat the hypoexp one against
+        # simulation.
+        from repro.simulation import simulate
+
+        svc = fit_two_moments(1.0, 4.0)
+        tier = Tier("t", (svc,), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.5])
+        res = simulate(cluster, wl, horizon=60000.0, seed=32, collect_delay_samples=True)
+        p = 0.95
+        empirical = res.delay_percentile(0, p)
+        exact = class_delay_percentile_ph(cluster, wl, 0, p)
+        approx = class_delay_percentile(cluster, wl, 0, p)
+        assert abs(exact - empirical) < abs(approx - empirical)
+        assert exact == pytest.approx(empirical, rel=0.08)
+
+    def test_two_class_fcfs_tandem(self, basic_spec):
+        tiers = [
+            Tier("a", (Exponential(3.0), Exponential(3.0)), basic_spec, discipline="fcfs"),
+            Tier("b", (Exponential(2.0), Exponential(2.0)), basic_spec, discipline="fcfs"),
+        ]
+        cluster = ClusterModel(tiers)
+        wl = workload_from_rates([0.4, 0.6])
+        p95 = class_delay_percentile_ph(cluster, wl, 0, 0.95)
+        assert p95 > 0.0
+        # Both classes see the same FCFS queue and identical service:
+        # identical percentiles.
+        assert class_delay_percentile_ph(cluster, wl, 1, 0.95) == pytest.approx(p95, rel=1e-6)
+
+    def test_priority_tier_rejected(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="priority_np")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.5])
+        with pytest.raises(ModelValidationError, match="FCFS"):
+            class_delay_percentile_ph(cluster, wl, 0, 0.9)
+
+    def test_non_ph_service_rejected(self, basic_spec):
+        tier = Tier("t", (Deterministic(1.0),), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.5])
+        with pytest.raises(ModelValidationError, match="phase-type"):
+            class_delay_percentile_ph(cluster, wl, 0, 0.9)
+
+
+class TestMMcSojournPH:
+    def test_c1_collapses_to_mm1(self):
+        from repro.queueing.phase_type import mmc_sojourn_ph
+
+        ph = mmc_sojourn_ph(0.6, 1.0, 1)
+        q = MM1(0.6, 1.0)
+        for p in (0.5, 0.9, 0.99):
+            assert ph.quantile(p) == pytest.approx(q.sojourn_quantile(p), rel=1e-5)
+
+    def test_mean_matches_mmc(self):
+        from repro.queueing import MMc
+        from repro.queueing.phase_type import mmc_sojourn_ph
+
+        ph = mmc_sojourn_ph(2.2, 1.0, 3)
+        assert ph.mean == pytest.approx(MMc(2.2, 1.0, 3).mean_sojourn, rel=1e-10)
+
+    def test_tail_matches_simulation(self, basic_spec):
+        from repro.queueing.phase_type import mmc_sojourn_ph
+        from repro.simulation import simulate
+        from repro.workload import workload_from_rates
+
+        tier = Tier("t", (Exponential(1.0),), basic_spec, servers=3, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([2.2])
+        res = simulate(cluster, wl, horizon=25000.0, seed=46, collect_delay_samples=True)
+        ph = mmc_sojourn_ph(2.2, 1.0, 3)
+        for p in (0.9, 0.95):
+            assert res.delay_percentile(0, p) == pytest.approx(ph.quantile(p), rel=0.08)
+
+    def test_exact_e2e_path_allows_mmc_tiers(self, basic_spec):
+        tiers = [
+            Tier("a", (Exponential(2.0),), basic_spec, servers=2, discipline="fcfs"),
+            Tier("b", (Exponential(1.5),), basic_spec, servers=1, discipline="fcfs"),
+        ]
+        cluster = ClusterModel(tiers)
+        wl = workload_from_rates([0.7])
+        p95 = class_delay_percentile_ph(cluster, wl, 0, 0.95)
+        assert p95 > 0.0
+
+    def test_multiserver_nonexponential_rejected(self, basic_spec):
+        tiers = [
+            Tier("a", (fit_two_moments(0.5, 2.0),), basic_spec, servers=2, discipline="fcfs"),
+        ]
+        cluster = ClusterModel(tiers)
+        wl = workload_from_rates([0.7])
+        with pytest.raises(ModelValidationError, match="identical exponential"):
+            class_delay_percentile_ph(cluster, wl, 0, 0.9)
+
+    def test_unstable_rejected(self):
+        from repro.queueing.phase_type import mmc_sojourn_ph
+
+        with pytest.raises(UnstableSystemError):
+            mmc_sojourn_ph(3.0, 1.0, 3)

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) on distributions and fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    fit_two_moments,
+)
+
+means = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+scvs = st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+scales = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestTwoMomentFit:
+    @given(mean=means, scv=scvs)
+    @settings(max_examples=200)
+    def test_fit_matches_both_moments(self, mean, scv):
+        d = fit_two_moments(mean, scv)
+        assert d.mean == pytest.approx(mean, rel=1e-8)
+        assert d.scv == pytest.approx(scv, rel=1e-6, abs=1e-8)
+
+    @given(mean=means, scv=scvs)
+    @settings(max_examples=100)
+    def test_second_moment_consistent(self, mean, scv):
+        d = fit_two_moments(mean, scv)
+        assert d.second_moment == pytest.approx(mean**2 * (1.0 + scv), rel=1e-8)
+
+
+class TestScalingProperties:
+    @given(mean=means, scv=scvs, factor=scales)
+    @settings(max_examples=200)
+    def test_scaling_moments(self, mean, scv, factor):
+        d = fit_two_moments(mean, scv).scaled(factor)
+        assert d.mean == pytest.approx(factor * mean, rel=1e-8)
+        assert d.scv == pytest.approx(scv, rel=1e-6, abs=1e-8)
+
+    @given(mean=means, scv=scvs, offset=st.floats(min_value=0.0, max_value=1e3))
+    @settings(max_examples=200)
+    def test_shift_variance_invariant(self, mean, scv, offset):
+        base = fit_two_moments(mean, scv)
+        shifted = base.shifted(offset)
+        assert shifted.variance == pytest.approx(base.variance, rel=1e-6, abs=1e-9)
+        assert shifted.mean == pytest.approx(mean + offset, rel=1e-9)
+
+
+class TestMomentInequalities:
+    @given(rate=st.floats(min_value=1e-3, max_value=1e3))
+    def test_exponential_jensen(self, rate):
+        d = Exponential(rate)
+        assert d.second_moment >= d.mean**2
+
+    @given(k=st.integers(min_value=1, max_value=50), rate=st.floats(min_value=1e-2, max_value=1e2))
+    def test_erlang_scv_band(self, k, rate):
+        d = Erlang(k=k, rate=rate)
+        assert 0.0 < d.scv <= 1.0 + 1e-12
+
+    @given(mean=means, scv=st.floats(min_value=1.0, max_value=100.0))
+    def test_h2_balanced_probabilities_valid(self, mean, scv):
+        h = HyperExponential.balanced_from_mean_scv(mean, scv)
+        assert np.all(h.probs > 0.0)
+        assert h.probs.sum() == pytest.approx(1.0)
+        assert np.all(h.rates > 0.0)
+
+    @given(mean=means, scv=st.floats(min_value=1e-3, max_value=50.0))
+    def test_lognormal_moments_positive(self, mean, scv):
+        d = LogNormal(mean, scv)
+        assert d.variance > 0.0
+        assert d.second_moment > d.mean**2
+
+    @given(alpha=st.floats(min_value=2.001, max_value=50.0), xm=st.floats(min_value=1e-3, max_value=1e2))
+    def test_pareto_moments_finite_and_ordered(self, alpha, xm):
+        d = Pareto(alpha=alpha, xm=xm)
+        assert np.isfinite(d.second_moment)
+        assert d.mean > xm
+
+    @given(
+        low=st.floats(min_value=0.0, max_value=10.0),
+        width=st.floats(min_value=1e-3, max_value=10.0),
+    )
+    def test_uniform_mean_inside_support(self, low, width):
+        d = Uniform(low, low + width)
+        assert low < d.mean < low + width

@@ -1,0 +1,116 @@
+"""Property-based tests on the cluster performance/energy model."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.core.delay import end_to_end_delays, mean_end_to_end_delay
+from repro.core.energy import average_power, per_class_energy_per_request
+from repro.distributions import fit_two_moments
+from repro.workload import workload_from_rates
+
+SPEC = ServerSpec(PowerModel(idle=20.0, kappa=60.0, alpha=3.0), min_speed=0.3, max_speed=1.0)
+
+
+@st.composite
+def cluster_and_workload(draw):
+    """Random stable clusters (1-3 tiers, 1-3 classes) and workloads."""
+    k = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=1, max_value=3))
+    tiers = []
+    for i in range(m):
+        means = [draw(st.floats(min_value=0.01, max_value=0.2)) for _ in range(k)]
+        scv = draw(st.floats(min_value=0.0, max_value=3.0))
+        servers = draw(st.integers(min_value=1, max_value=4))
+        speed = draw(st.floats(min_value=0.5, max_value=1.0))
+        tiers.append(
+            Tier(
+                f"t{i}",
+                tuple(fit_two_moments(mu, scv) for mu in means),
+                SPEC,
+                servers=servers,
+                speed=speed,
+            )
+        )
+    cluster = ClusterModel(tiers)
+    rates = [draw(st.floats(min_value=0.1, max_value=3.0)) for _ in range(k)]
+    workload = workload_from_rates(rates)
+    # Keep only clearly stable configurations.
+    assume(np.all(cluster.utilizations(workload.arrival_rates) < 0.9))
+    return cluster, workload
+
+
+class TestModelInvariants:
+    @given(cw=cluster_and_workload())
+    @settings(max_examples=80, deadline=None)
+    def test_delays_positive_and_exceed_service_floor(self, cw):
+        cluster, workload = cw
+        t = end_to_end_delays(cluster, workload)
+        assert np.all(t > 0.0)
+        # Delay of class k is at least its total bare service time.
+        for k in range(workload.num_classes):
+            floor = sum(
+                tier.demands[k].mean / tier.speed for tier in cluster.tiers
+            )
+            assert t[k] >= floor - 1e-9
+
+    @given(cw=cluster_and_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_priority_ordering_when_comparable(self, cw):
+        cluster, workload = cw
+        t = end_to_end_delays(cluster, workload)
+        # Waits (delay minus own service floor) are ordered by priority.
+        floors = np.array(
+            [
+                sum(tier.demands[k].mean / tier.speed for tier in cluster.tiers)
+                for k in range(workload.num_classes)
+            ]
+        )
+        waits = t - floors
+        assert np.all(np.diff(waits) >= -1e-9)
+
+    @given(cw=cluster_and_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_mean_delay_between_class_extremes(self, cw):
+        cluster, workload = cw
+        t = end_to_end_delays(cluster, workload)
+        mean = mean_end_to_end_delay(cluster, workload)
+        assert t.min() - 1e-12 <= mean <= t.max() + 1e-12
+
+    @given(cw=cluster_and_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_helps_everyone(self, cw):
+        cluster, workload = cw
+        assume(np.all(cluster.speeds <= 0.9))
+        faster = cluster.with_speeds(np.minimum(cluster.speeds * 1.1, 1.0))
+        t_slow = end_to_end_delays(cluster, workload)
+        t_fast = end_to_end_delays(faster, workload)
+        assert np.all(t_fast <= t_slow + 1e-9)
+
+    @given(cw=cluster_and_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_power_exceeds_idle_floor(self, cw):
+        cluster, workload = cw
+        p = average_power(cluster, workload)
+        idle = sum(t.servers * t.spec.power.idle for t in cluster.tiers)
+        assert p > idle
+
+    @given(cw=cluster_and_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_conservation_identity(self, cw):
+        cluster, workload = cw
+        for mode in ("equal", "work"):
+            e = per_class_energy_per_request(cluster, workload, idle=mode)
+            total = float(np.dot(workload.arrival_rates, e))
+            assert total == pytest.approx(average_power(cluster, workload), rel=1e-9)
+
+    @given(cw=cluster_and_workload())
+    @settings(max_examples=40, deadline=None)
+    def test_load_scaling_monotone(self, cw):
+        cluster, workload = cw
+        assume(np.all(cluster.utilizations(workload.arrival_rates) < 0.6))
+        t1 = mean_end_to_end_delay(cluster, workload)
+        t2 = mean_end_to_end_delay(cluster, workload.scaled(1.3))
+        assert t2 >= t1 - 1e-12

@@ -1,0 +1,97 @@
+"""Property-based tests for the percentile and phase-type machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.percentile import hypoexponential_survival, mg1_wait_moments
+from repro.distributions import fit_two_moments
+from repro.queueing.phase_type import as_phase_type, mph1_waiting_time
+
+rates_lists = st.lists(
+    st.floats(min_value=0.05, max_value=50.0), min_size=1, max_size=6
+)
+
+
+class TestHypoexponentialProperties:
+    @given(rates=rates_lists, t=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=150, deadline=None)
+    def test_survival_is_probability(self, rates, t):
+        s = hypoexponential_survival(t, rates)
+        assert 0.0 <= s <= 1.0
+
+    @given(rates=rates_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_survival_at_mean_bounded(self, rates):
+        # For any positive distribution, P(X > E[X]) < 1; for sums of
+        # exponentials it is also strictly positive.
+        mean = sum(1.0 / r for r in rates)
+        s = hypoexponential_survival(mean, rates)
+        assert 0.0 < s < 1.0
+
+    @given(rates=rates_lists, t1=st.floats(min_value=0.0, max_value=20.0), dt=st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=150, deadline=None)
+    def test_monotone(self, rates, t1, dt):
+        assert hypoexponential_survival(t1, rates) >= hypoexponential_survival(t1 + dt, rates) - 1e-9
+
+    @given(rates=rates_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_adding_a_phase_increases_survival(self, rates):
+        t = sum(1.0 / r for r in rates)
+        longer = rates + [1.0]
+        assert hypoexponential_survival(t, longer) >= hypoexponential_survival(t, rates) - 1e-9
+
+
+@st.composite
+def ph_source(draw):
+    """Random PH-representable distribution via the two-moment fit
+    restricted to the PH families (scv >= tiny, not deterministic)."""
+    mean = draw(st.floats(min_value=0.05, max_value=10.0))
+    scv = draw(st.floats(min_value=0.05, max_value=8.0))
+    # Gamma path needs an integer shape for PH; route scv < 1 through
+    # Erlang-friendly values 1/k.
+    if scv < 1.0:
+        k = draw(st.integers(min_value=1, max_value=8))
+        scv = 1.0 / k
+    return fit_two_moments(mean, scv)
+
+
+class TestPhaseTypeProperties:
+    @given(dist=ph_source())
+    @settings(max_examples=100, deadline=None)
+    def test_ph_moments_match_distribution(self, dist):
+        ph = as_phase_type(dist)
+        assume(ph is not None)
+        assert ph.moment(1) == pytest.approx(dist.mean, rel=1e-8)
+        assert ph.moment(2) == pytest.approx(dist.second_moment, rel=1e-8)
+        assert ph.moment(3) == pytest.approx(dist.third_moment, rel=1e-6)
+
+    @given(dist=ph_source(), rho=st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_mph1_wait_mean_matches_takacs(self, dist, rho):
+        ph = as_phase_type(dist)
+        assume(ph is not None)
+        lam = rho / dist.mean
+        w = mph1_waiting_time(lam, dist)
+        ew, _ = mg1_wait_moments(lam, dist)
+        assert w.mean == pytest.approx(ew, rel=1e-7)
+
+    @given(dist=ph_source(), rho=st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_mph1_wait_second_moment_matches_takacs(self, dist, rho):
+        ph = as_phase_type(dist)
+        assume(ph is not None)
+        lam = rho / dist.mean
+        w = mph1_waiting_time(lam, dist)
+        _, ew2 = mg1_wait_moments(lam, dist)
+        assert w.moment(2) == pytest.approx(ew2, rel=1e-6)
+
+    @given(dist=ph_source(), rho=st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_wait_atom_equals_one_minus_rho(self, dist, rho):
+        ph = as_phase_type(dist)
+        assume(ph is not None)
+        lam = rho / dist.mean
+        w = mph1_waiting_time(lam, dist)
+        assert w.alpha.sum() == pytest.approx(rho, rel=1e-9)

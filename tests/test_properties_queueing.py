@@ -1,0 +1,134 @@
+"""Property-based tests on queueing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, fit_two_moments
+from repro.queueing import (
+    MG1,
+    MM1,
+    MMc,
+    ClassLoad,
+    erlang_b,
+    erlang_c,
+    nonpreemptive_priority_mg1,
+    preemptive_resume_priority_mg1,
+)
+
+rhos = st.floats(min_value=0.01, max_value=0.95, allow_nan=False)
+mus = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+scvs = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+class TestMM1Properties:
+    @given(rho=rhos, mu=mus)
+    @settings(max_examples=200)
+    def test_littles_law(self, rho, mu):
+        q = MM1(lam=rho * mu, mu=mu)
+        assert q.mean_number_in_system == pytest.approx(q.lam * q.mean_sojourn, rel=1e-9)
+        assert q.mean_queue_length == pytest.approx(q.lam * q.mean_wait, rel=1e-9)
+
+    @given(rho=rhos, mu=mus)
+    def test_sojourn_exceeds_service(self, rho, mu):
+        q = MM1(lam=rho * mu, mu=mu)
+        assert q.mean_sojourn >= q.mean_service
+
+    @given(rho1=rhos, rho2=rhos, mu=mus)
+    def test_wait_monotone_in_load(self, rho1, rho2, mu):
+        assume(abs(rho1 - rho2) > 1e-6)
+        lo, hi = sorted((rho1, rho2))
+        assert MM1(lo * mu, mu).mean_wait <= MM1(hi * mu, mu).mean_wait
+
+
+class TestErlangProperties:
+    @given(c=st.integers(min_value=1, max_value=100), a=st.floats(min_value=1e-3, max_value=80.0))
+    @settings(max_examples=200)
+    def test_erlang_b_is_probability(self, c, a):
+        b = erlang_b(c, a)
+        assert 0.0 <= b <= 1.0
+
+    @given(c=st.integers(min_value=1, max_value=60), rho=st.floats(min_value=0.01, max_value=0.98))
+    def test_erlang_c_is_probability_and_above_b(self, c, rho):
+        a = rho * c
+        cc = erlang_c(c, a)
+        assert 0.0 <= cc <= 1.0
+        assert cc >= erlang_b(c, a) - 1e-12
+
+    @given(c=st.integers(min_value=1, max_value=30), rho=st.floats(min_value=0.05, max_value=0.9))
+    def test_pooling_improves(self, c, rho):
+        # c+1 servers at the same per-server load wait less per job.
+        q1 = MMc(lam=rho * c, mu=1.0, c=c)
+        q2 = MMc(lam=rho * c, mu=1.0, c=c + 1)
+        assert q2.mean_wait <= q1.mean_wait + 1e-12
+
+
+class TestPKProperties:
+    @given(rho=rhos, mean=st.floats(min_value=0.01, max_value=10.0), scv=scvs)
+    @settings(max_examples=200)
+    def test_pk_scales_linearly_in_scv(self, rho, mean, scv):
+        lam = rho / mean
+        w = MG1(lam, fit_two_moments(mean, scv)).mean_wait
+        w_exp = MG1(lam, Exponential.from_mean(mean)).mean_wait
+        assert w == pytest.approx(w_exp * (1.0 + scv) / 2.0, rel=1e-6)
+
+    @given(rho=rhos, mean=st.floats(min_value=0.01, max_value=10.0), scv=scvs)
+    def test_wait_nonnegative(self, rho, mean, scv):
+        lam = rho / mean
+        assert MG1(lam, fit_two_moments(mean, scv)).mean_wait >= 0.0
+
+
+@st.composite
+def class_loads(draw, max_classes=4, total_rho_max=0.9):
+    """Random stable multi-class loads."""
+    k = draw(st.integers(min_value=1, max_value=max_classes))
+    shares = [draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(k)]
+    total_rho = draw(st.floats(min_value=0.05, max_value=total_rho_max))
+    shares_arr = np.array(shares)
+    rhos_arr = total_rho * shares_arr / shares_arr.sum()
+    loads = []
+    for rho_k in rhos_arr:
+        mean = draw(st.floats(min_value=0.05, max_value=5.0))
+        scv = draw(st.floats(min_value=0.0, max_value=5.0))
+        loads.append(ClassLoad(rho_k / mean, fit_two_moments(mean, scv)))
+    return loads
+
+
+class TestPriorityProperties:
+    @given(loads=class_loads())
+    @settings(max_examples=150, deadline=None)
+    def test_cobham_waits_increase_down_priorities(self, loads):
+        pw = nonpreemptive_priority_mg1(loads)
+        assert np.all(np.diff(pw.mean_waits) >= -1e-12)
+
+    @given(loads=class_loads())
+    @settings(max_examples=150, deadline=None)
+    def test_conservation_law_matches_fcfs(self, loads):
+        # sum_k rho_k W_k is the same under priority and global FCFS
+        # (both non-preemptive and work-conserving): rho * W_PK.
+        pw = nonpreemptive_priority_mg1(loads)
+        lam_total = sum(c.arrival_rate for c in loads)
+        w0 = sum(c.residual for c in loads)
+        rho = sum(c.utilization for c in loads)
+        lhs = float(np.dot(pw.utilizations, pw.mean_waits))
+        rhs = rho * w0 / (1.0 - rho)
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @given(loads=class_loads())
+    @settings(max_examples=150, deadline=None)
+    def test_pr_top_class_no_worse_than_np(self, loads):
+        np_w = nonpreemptive_priority_mg1(loads)
+        pr_w = preemptive_resume_priority_mg1(loads)
+        assert pr_w.mean_sojourns[0] <= np_w.mean_sojourns[0] + 1e-12
+
+    @given(loads=class_loads(max_classes=3))
+    @settings(max_examples=100, deadline=None)
+    def test_adding_lower_class_never_helps_np(self, loads):
+        assume(len(loads) >= 2)
+        without = nonpreemptive_priority_mg1(loads[:-1])
+        with_low = nonpreemptive_priority_mg1(loads)
+        # Existing classes' waits can only grow when traffic is added
+        # below them (their own W0 grows).
+        k = len(loads) - 1
+        assert np.all(with_low.mean_waits[:k] >= without.mean_waits - 1e-12)

@@ -1,0 +1,85 @@
+"""Property-based tests on the simulator's structural invariants.
+
+These use short horizons (the point is invariants, not tight
+estimates) over randomized single-station configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.distributions import fit_two_moments
+from repro.simulation import simulate
+from repro.workload import workload_from_rates
+
+SPEC = ServerSpec(PowerModel(idle=5.0, kappa=20.0, alpha=3.0), min_speed=0.3, max_speed=1.0)
+
+
+@st.composite
+def sim_setups(draw):
+    k = draw(st.integers(min_value=1, max_value=3))
+    servers = draw(st.integers(min_value=1, max_value=3))
+    discipline = draw(st.sampled_from(["fcfs", "priority_np", "priority_pr"]))
+    total_rho = draw(st.floats(min_value=0.2, max_value=0.8))
+    means = np.array([draw(st.floats(min_value=0.2, max_value=1.5)) for _ in range(k)])
+    scv = draw(st.floats(min_value=0.0, max_value=3.0))
+    shares = np.array([draw(st.floats(min_value=0.2, max_value=1.0)) for _ in range(k)])
+    shares = shares / shares.sum()
+    rates = total_rho * servers * shares / means
+    tier = Tier(
+        "t",
+        tuple(fit_two_moments(m, scv) for m in means),
+        SPEC,
+        servers=servers,
+        speed=1.0,
+        discipline=discipline,
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return ClusterModel([tier]), workload_from_rates(rates.tolist()), seed
+
+
+class TestSimulatorInvariants:
+    @given(setup=sim_setups())
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_and_sanity(self, setup):
+        cluster, workload, seed = setup
+        res = simulate(cluster, workload, horizon=400.0, seed=seed)
+        # Delays are positive where observed.
+        observed = res.n_completed > 0
+        assert np.all(res.delays[observed] > 0.0)
+        # Utilization in [0, 1].
+        assert 0.0 <= res.utilizations[0] <= 1.0
+        # Measured utilization near the analytic offered load. The
+        # window is short (400 time units) and busy-period correlations
+        # make the utilization estimator noisy at high rho, so the band
+        # is wide — the point is sanity, not precision (the precise
+        # checks live in test_simulation_validation with long horizons).
+        rho = cluster.utilizations(workload.arrival_rates)[0]
+        assert res.utilizations[0] == pytest.approx(rho, abs=0.25)
+        # Power never below the idle floor, never above busy-everything.
+        tier = cluster.tiers[0]
+        idle_floor = tier.servers * tier.spec.power.idle
+        busy_ceiling = tier.servers * tier.spec.power.busy_power(tier.speed)
+        assert idle_floor <= res.average_power <= busy_ceiling + 1e-9
+
+    @given(setup=sim_setups())
+    @settings(max_examples=15, deadline=None)
+    def test_throughput_matches_offered_load(self, setup):
+        cluster, workload, seed = setup
+        res = simulate(cluster, workload, horizon=800.0, seed=seed)
+        window = res.horizon - res.warmup
+        throughput = res.n_completed.sum() / window
+        # Stable system: long-run throughput ~ arrival rate (loose band,
+        # short run).
+        assert throughput == pytest.approx(workload.total_rate, rel=0.25)
+
+    @given(setup=sim_setups())
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, setup):
+        cluster, workload, seed = setup
+        a = simulate(cluster, workload, horizon=200.0, seed=seed)
+        b = simulate(cluster, workload, horizon=200.0, seed=seed)
+        np.testing.assert_array_equal(a.n_completed, b.n_completed)
+        np.testing.assert_array_equal(a.delays, b.delays)

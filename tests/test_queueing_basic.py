@@ -1,0 +1,191 @@
+"""M/M/1, M/M/c and M/G/1 exact-formula tests."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential, HyperExponential
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.queueing import MG1, MGc, MM1, MMc, erlang_b, erlang_c
+
+
+class TestMM1:
+    def test_textbook_values(self):
+        q = MM1(lam=0.5, mu=1.0)
+        assert q.rho == 0.5
+        assert q.mean_sojourn == pytest.approx(2.0)
+        assert q.mean_wait == pytest.approx(1.0)
+        assert q.mean_number_in_system == pytest.approx(1.0)
+        assert q.mean_queue_length == pytest.approx(0.5)
+
+    def test_littles_law(self):
+        q = MM1(lam=0.8, mu=1.2)
+        assert q.mean_number_in_system == pytest.approx(q.lam * q.mean_sojourn)
+        assert q.mean_queue_length == pytest.approx(q.lam * q.mean_wait)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            MM1(lam=1.0, mu=1.0)
+        with pytest.raises(UnstableSystemError):
+            MM1(lam=2.0, mu=1.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ModelValidationError):
+            MM1(lam=-1.0, mu=1.0)
+        with pytest.raises(ModelValidationError):
+            MM1(lam=0.5, mu=0.0)
+
+    def test_geometric_queue_distribution(self):
+        q = MM1(lam=0.6, mu=1.0)
+        ns = np.arange(200)
+        probs = q.prob_n_in_system(ns)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert float(np.dot(ns, probs)) == pytest.approx(q.mean_number_in_system, rel=1e-6)
+
+    def test_sojourn_cdf_and_quantile_inverse(self):
+        q = MM1(lam=0.5, mu=1.0)
+        for p in (0.1, 0.5, 0.9, 0.99):
+            assert q.sojourn_cdf(q.sojourn_quantile(p)) == pytest.approx(p, abs=1e-12)
+
+    def test_sojourn_cdf_bounds(self):
+        q = MM1(lam=0.5, mu=1.0)
+        assert q.sojourn_cdf(0.0) == pytest.approx(0.0)
+        assert q.sojourn_cdf(1e9) == pytest.approx(1.0)
+
+    def test_quantile_rejects_bad_levels(self):
+        q = MM1(lam=0.5, mu=1.0)
+        for p in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                q.sojourn_quantile(p)
+
+
+class TestErlangFunctions:
+    def test_erlang_b_one_server(self):
+        # B(1, a) = a / (1 + a)
+        for a in (0.1, 1.0, 5.0):
+            assert erlang_b(1, a) == pytest.approx(a / (1 + a))
+
+    def test_erlang_b_decreases_in_servers(self):
+        vals = [erlang_b(c, 4.0) for c in range(1, 12)]
+        assert all(x > y for x, y in zip(vals, vals[1:]))
+
+    def test_erlang_b_direct_formula(self):
+        # B(c, a) = (a^c / c!) / sum_k a^k / k!
+        from math import factorial
+
+        c, a = 5, 3.0
+        num = a**c / factorial(c)
+        den = sum(a**k / factorial(k) for k in range(c + 1))
+        assert erlang_b(c, a) == pytest.approx(num / den, rel=1e-12)
+
+    def test_erlang_c_one_server_equals_rho(self):
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_erlang_c_exceeds_erlang_b(self):
+        assert erlang_c(4, 3.0) > erlang_b(4, 3.0)
+
+    def test_erlang_c_zero_load(self):
+        assert erlang_c(3, 0.0) == 0.0
+        assert erlang_b(3, 0.0) == 0.0
+
+    def test_erlang_c_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            erlang_c(2, 2.0)
+
+    def test_erlang_b_large_c_stable(self):
+        # The recurrence must not overflow for hundreds of servers.
+        assert 0.0 < erlang_b(500, 480.0) < 1.0
+
+
+class TestMMc:
+    def test_c1_equals_mm1(self):
+        q1, qc = MM1(0.6, 1.0), MMc(0.6, 1.0, c=1)
+        assert qc.mean_wait == pytest.approx(q1.mean_wait, rel=1e-12)
+        assert qc.mean_sojourn == pytest.approx(q1.mean_sojourn, rel=1e-12)
+
+    def test_pooling_beats_split(self):
+        # One pooled M/M/2 beats two separate M/M/1 at equal total load.
+        pooled = MMc(1.2, 1.0, c=2)
+        split = MM1(0.6, 1.0)
+        assert pooled.mean_wait < split.mean_wait
+
+    def test_wait_decreases_in_servers(self):
+        waits = [MMc(2.0, 1.0, c=c).mean_wait for c in range(3, 9)]
+        assert all(x > y for x, y in zip(waits, waits[1:]))
+
+    def test_littles_law(self):
+        q = MMc(3.0, 1.0, c=4)
+        assert q.mean_number_in_system == pytest.approx(q.lam * q.mean_sojourn)
+
+    def test_wait_cdf_quantile_inverse(self):
+        q = MMc(1.5, 1.0, c=2)
+        for p in (0.9, 0.99):
+            assert q.wait_cdf(q.wait_quantile(p)) == pytest.approx(p, abs=1e-12)
+
+    def test_wait_quantile_zero_below_prob_wait(self):
+        q = MMc(0.2, 1.0, c=4)  # lightly loaded: most arrivals don't wait
+        assert q.wait_quantile(0.5) == 0.0
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ModelValidationError):
+            MMc(1.0, 1.0, c=0)
+        with pytest.raises(ModelValidationError):
+            MMc(1.0, 1.0, c=2.5)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            MMc(4.0, 1.0, c=4)
+
+
+class TestMG1:
+    def test_exponential_service_matches_mm1(self):
+        q = MG1(0.7, Exponential(1.0))
+        assert q.mean_wait == pytest.approx(MM1(0.7, 1.0).mean_wait, rel=1e-12)
+
+    def test_deterministic_service_halves_wait(self):
+        exp_wait = MG1(0.5, Exponential(1.0)).mean_wait
+        det_wait = MG1(0.5, Deterministic(1.0)).mean_wait
+        assert det_wait == pytest.approx(0.5 * exp_wait, rel=1e-12)
+
+    def test_pk_formula_direct(self):
+        lam, svc = 0.4, Erlang(k=2, rate=4.0)
+        q = MG1(lam, svc)
+        rho = lam * svc.mean
+        expected = lam * svc.second_moment / (2 * (1 - rho))
+        assert q.mean_wait == pytest.approx(expected, rel=1e-12)
+
+    def test_wait_increases_with_scv(self):
+        waits = [
+            MG1(0.5, Deterministic(1.0)).mean_wait,
+            MG1(0.5, Exponential(1.0)).mean_wait,
+            MG1(0.5, HyperExponential.balanced_from_mean_scv(1.0, 4.0)).mean_wait,
+        ]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            MG1(1.0, Exponential(1.0))
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ModelValidationError):
+            MG1(0.5, 1.0)  # type: ignore[arg-type]
+
+
+class TestMGc:
+    def test_exponential_reduces_to_mmc(self):
+        q = MGc(1.5, Exponential(1.0), c=2)
+        assert q.mean_wait == pytest.approx(MMc(1.5, 1.0, c=2).mean_wait, rel=1e-12)
+
+    def test_c1_reduces_to_mg1(self):
+        svc = HyperExponential.balanced_from_mean_scv(1.0, 3.0)
+        assert MGc(0.5, svc, c=1).mean_wait == pytest.approx(
+            MG1(0.5, svc).mean_wait, rel=1e-12
+        )
+
+    def test_deterministic_halves_mmc_wait(self):
+        det = MGc(1.5, Deterministic(1.0), c=2)
+        mmc = MMc(1.5, 1.0, c=2)
+        assert det.mean_wait == pytest.approx(0.5 * mmc.mean_wait, rel=1e-12)
+
+    def test_littles_law(self):
+        q = MGc(2.0, Exponential(1.0), c=3)
+        assert q.mean_queue_length == pytest.approx(q.lam * q.mean_wait)

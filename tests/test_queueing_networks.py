@@ -1,0 +1,185 @@
+"""Tandem network tests: dispatch, summation, visit ratios, stability."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, fit_two_moments
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.queueing import MG1, MM1, StationSpec, TandemNetwork
+from repro.queueing.networks import station_delays
+from repro.queueing.priority import ClassLoad, nonpreemptive_priority_mg1
+
+
+def exp_station(name="s", servers=1, discipline="priority_np", rates=(1.0, 1.0)):
+    return StationSpec(
+        services=tuple(Exponential(r) for r in rates),
+        servers=servers,
+        discipline=discipline,
+        name=name,
+    )
+
+
+class TestStationDelays:
+    def test_fcfs_single_server_matches_aggregate_mg1(self):
+        spec = exp_station(discipline="fcfs", rates=(1.0, 1.0))
+        d = station_delays(spec, [0.3, 0.4])
+        expected = MG1(0.7, Exponential(1.0)).mean_wait
+        np.testing.assert_allclose(d.mean_waits, expected, rtol=1e-9)
+
+    def test_fcfs_waits_identical_across_classes(self):
+        spec = StationSpec(
+            services=(fit_two_moments(0.5, 1.5), fit_two_moments(0.9, 2.0)),
+            discipline="fcfs",
+        )
+        d = station_delays(spec, [0.3, 0.4])
+        assert d.mean_waits[0] == pytest.approx(d.mean_waits[1])
+        # Sojourns differ by each class's own service time.
+        assert d.mean_sojourns[1] - d.mean_sojourns[0] == pytest.approx(0.4)
+
+    def test_priority_np_single_matches_cobham(self):
+        spec = exp_station(discipline="priority_np")
+        d = station_delays(spec, [0.3, 0.4])
+        cobham = nonpreemptive_priority_mg1(
+            [ClassLoad(0.3, Exponential(1.0)), ClassLoad(0.4, Exponential(1.0))]
+        )
+        np.testing.assert_allclose(d.mean_waits, cobham.mean_waits, rtol=1e-12)
+
+    def test_priority_np_multiserver_common_mu_uses_exact_path(self):
+        spec = exp_station(servers=3, discipline="priority_np")
+        d = station_delays(spec, [1.0, 1.2])
+        from repro.queueing import nonpreemptive_priority_mmc_common_mu
+
+        exact = nonpreemptive_priority_mmc_common_mu([1.0, 1.2], mu=1.0, c=3)
+        np.testing.assert_allclose(d.mean_waits, exact.mean_waits, rtol=1e-12)
+
+    def test_priority_pr_single_matches_formula(self):
+        spec = exp_station(discipline="priority_pr")
+        d = station_delays(spec, [0.3, 0.4])
+        from repro.queueing import preemptive_resume_priority_mg1
+
+        pr = preemptive_resume_priority_mg1(
+            [ClassLoad(0.3, Exponential(1.0)), ClassLoad(0.4, Exponential(1.0))]
+        )
+        np.testing.assert_allclose(d.mean_sojourns, pr.mean_sojourns, rtol=1e-12)
+
+    def test_priority_pr_multiserver_runs(self):
+        spec = exp_station(servers=2, discipline="priority_pr")
+        d = station_delays(spec, [0.5, 0.7])
+        assert np.all(d.mean_waits >= 0.0)
+        assert d.mean_waits[0] < d.mean_waits[1]
+
+    def test_wrong_rate_count_raises(self):
+        spec = exp_station()
+        with pytest.raises(ModelValidationError):
+            station_delays(spec, [0.3])
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ModelValidationError):
+            station_delays(exp_station(), [-0.1, 0.4])
+
+    def test_unknown_discipline_rejected_at_spec(self):
+        with pytest.raises(ModelValidationError):
+            StationSpec(services=(Exponential(1.0),), discipline="lifo")
+
+
+class TestTandemNetwork:
+    def test_single_fcfs_station_equals_mm1(self):
+        net = TandemNetwork([exp_station(discipline="fcfs", rates=(1.0,))])
+        t = net.end_to_end_delays([0.5])
+        assert t[0] == pytest.approx(MM1(0.5, 1.0).mean_sojourn, rel=1e-9)
+
+    def test_delays_sum_over_stations(self):
+        s1 = exp_station("a", rates=(2.0, 2.0))
+        s2 = exp_station("b", rates=(1.5, 1.5))
+        net = TandemNetwork([s1, s2])
+        lam = [0.3, 0.4]
+        total = net.end_to_end_delays(lam)
+        per = net.per_station_delays(lam)
+        np.testing.assert_allclose(
+            total, per[0].mean_sojourns + per[1].mean_sojourns, rtol=1e-12
+        )
+
+    def test_visit_ratios_multiply_delay(self):
+        s = exp_station(rates=(4.0, 4.0))
+        base = TandemNetwork([s]).end_to_end_delays([0.3, 0.4])
+        doubled = TandemNetwork([s], visit_ratios=np.full((2, 1), 2.0))
+        t2 = doubled.end_to_end_delays([0.3, 0.4])
+        # Double the visits means double the effective load AND double
+        # the per-visit count, so delay is more than 2x the base.
+        assert np.all(t2 > 2.0 * base)
+
+    def test_visit_ratio_changes_station_load(self):
+        s = exp_station(rates=(4.0, 4.0))
+        net = TandemNetwork([s], visit_ratios=np.array([[3.0], [1.0]]))
+        rates = net.station_arrival_rates([0.2, 0.4])
+        np.testing.assert_allclose(rates[:, 0], [0.6, 0.4])
+
+    def test_mean_delay_is_weighted(self):
+        net = TandemNetwork([exp_station()])
+        lam = [0.3, 0.4]
+        t = net.end_to_end_delays(lam)
+        expected = (0.3 * t[0] + 0.4 * t[1]) / 0.7
+        assert net.mean_delay(lam) == pytest.approx(expected)
+
+    def test_utilizations_and_stability(self):
+        net = TandemNetwork([exp_station("a"), exp_station("b", servers=2)])
+        lam = [0.3, 0.4]
+        rho = net.utilizations(lam)
+        assert rho[0] == pytest.approx(0.7)
+        assert rho[1] == pytest.approx(0.35)
+        assert net.is_stable(lam)
+        assert not net.is_stable([0.6, 0.5])
+
+    def test_unstable_station_raises_with_name(self):
+        net = TandemNetwork([exp_station("bottleneck")])
+        with pytest.raises(UnstableSystemError):
+            net.per_station_delays([0.7, 0.7])
+
+    def test_mismatched_class_counts_rejected(self):
+        s1 = exp_station(rates=(1.0, 1.0))
+        s2 = StationSpec(services=(Exponential(1.0),), name="one-class")
+        with pytest.raises(ModelValidationError):
+            TandemNetwork([s1, s2])
+
+    def test_bad_visit_ratio_shape(self):
+        with pytest.raises(ModelValidationError):
+            TandemNetwork([exp_station()], visit_ratios=np.ones((3, 1)))
+
+    def test_class_visiting_nothing_rejected(self):
+        with pytest.raises(ModelValidationError):
+            TandemNetwork([exp_station()], visit_ratios=np.array([[0.0], [1.0]]))
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ModelValidationError):
+            TandemNetwork([])
+
+
+class TestLossStationDispatch:
+    def test_loss_station_analytic_metrics(self):
+        spec = StationSpec(services=(Exponential(1.0),), servers=4, discipline="loss")
+        d = station_delays(spec, [3.0])
+        # Accepted requests never wait; sojourn is the bare service.
+        assert d.mean_waits[0] == 0.0
+        assert d.mean_sojourns[0] == pytest.approx(1.0)
+        # Utilization is the carried (post-blocking) load per server.
+        from repro.queueing import erlang_b
+
+        expected = 3.0 * (1.0 - erlang_b(4, 3.0)) / 4
+        assert d.utilization == pytest.approx(expected)
+
+    def test_overloaded_loss_station_is_fine(self):
+        spec = StationSpec(services=(Exponential(1.0),), servers=2, discipline="loss")
+        d = station_delays(spec, [50.0])
+        assert d.utilization < 1.0  # carried load is capped by blocking
+
+    def test_network_with_loss_gate_is_stable(self):
+        work = exp_station("work", servers=4, rates=(1.0, 1.0))
+        gate2 = StationSpec(
+            services=(Exponential(1.0), Exponential(1.0)), servers=2, discipline="loss", name="g2"
+        )
+        net = TandemNetwork([gate2, work])
+        # Offered load would saturate a queueing gate (rho = 1.5) but a
+        # loss gate cannot be unstable.
+        assert net.is_stable([1.5, 1.5])
+        delays = net.per_station_delays([1.5, 1.5])
+        assert delays[0].mean_waits[0] == 0.0

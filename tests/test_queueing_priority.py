@@ -1,0 +1,200 @@
+"""Multi-class priority queue formula tests (Cobham, preemptive-resume,
+multi-server)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential, HyperExponential, fit_two_moments
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.queueing import (
+    MG1,
+    MMc,
+    ClassLoad,
+    bondi_buzen_priority_waits,
+    nonpreemptive_priority_mg1,
+    nonpreemptive_priority_mmc_common_mu,
+    preemptive_resume_priority_mg1,
+)
+
+
+def loads(*pairs):
+    return [ClassLoad(lam, svc) for lam, svc in pairs]
+
+
+class TestCobham:
+    def test_single_class_reduces_to_pk(self):
+        svc = HyperExponential.balanced_from_mean_scv(1.0, 2.0)
+        pw = nonpreemptive_priority_mg1(loads((0.5, svc)))
+        assert pw.mean_waits[0] == pytest.approx(MG1(0.5, svc).mean_wait, rel=1e-12)
+
+    def test_textbook_two_class_exponential(self):
+        # lam=(0.3,0.4), mu=1: W0=0.7, sigma=(0.3,0.7)
+        pw = nonpreemptive_priority_mg1(
+            loads((0.3, Exponential(1.0)), (0.4, Exponential(1.0)))
+        )
+        w0 = 0.3 * 2.0 / 2 + 0.4 * 2.0 / 2  # = 0.7
+        assert pw.mean_waits[0] == pytest.approx(w0 / (1.0 * (1 - 0.3)))
+        assert pw.mean_waits[1] == pytest.approx(w0 / ((1 - 0.3) * (1 - 0.7)))
+
+    def test_priority_ordering(self):
+        pw = nonpreemptive_priority_mg1(
+            loads((0.2, Exponential(1.0)), (0.3, Exponential(1.0)), (0.3, Exponential(1.0)))
+        )
+        assert pw.mean_waits[0] < pw.mean_waits[1] < pw.mean_waits[2]
+
+    def test_conservation_law(self):
+        # Kleinrock: sum_k rho_k W_k = rho * W0 / (1 - rho) is invariant
+        # under any non-preemptive work-conserving order change.
+        classes_a = loads((0.3, Exponential(2.0)), (0.4, Exponential(1.0)))
+        classes_b = list(reversed(classes_a))
+        wa = nonpreemptive_priority_mg1(classes_a)
+        wb = nonpreemptive_priority_mg1(classes_b)
+        sum_a = float(np.dot(wa.utilizations, wa.mean_waits))
+        # class order reversed: utilizations come back reversed too
+        sum_b = float(np.dot(wb.utilizations, wb.mean_waits))
+        assert sum_a == pytest.approx(sum_b, rel=1e-12)
+
+    def test_top_class_still_waits_behind_residuals(self):
+        # Non-preemptive: even the top class sees the in-service job.
+        pw = nonpreemptive_priority_mg1(
+            loads((0.1, Exponential(10.0)), (0.5, Exponential(1.0)))
+        )
+        assert pw.mean_waits[0] > 0.0
+
+    def test_unstable_total_raises(self):
+        with pytest.raises(UnstableSystemError):
+            nonpreemptive_priority_mg1(
+                loads((0.6, Exponential(1.0)), (0.5, Exponential(1.0)))
+            )
+
+    def test_zero_rate_class_allowed(self):
+        pw = nonpreemptive_priority_mg1(
+            loads((0.0, Exponential(1.0)), (0.5, Exponential(1.0)))
+        )
+        # A zero-rate top class still "waits" the amount it would if a
+        # probe arrived; formula stays finite and positive.
+        assert np.all(np.isfinite(pw.mean_waits))
+
+    def test_empty_classes_raise(self):
+        with pytest.raises(ModelValidationError):
+            nonpreemptive_priority_mg1([])
+
+    def test_aggregate_helpers(self):
+        pw = nonpreemptive_priority_mg1(
+            loads((0.3, Exponential(1.0)), (0.4, Exponential(1.0)))
+        )
+        agg_w = pw.aggregate_wait([0.3, 0.4])
+        expected = (0.3 * pw.mean_waits[0] + 0.4 * pw.mean_waits[1]) / 0.7
+        assert agg_w == pytest.approx(expected)
+        assert pw.aggregate_sojourn([0.3, 0.4]) > agg_w
+
+
+class TestPreemptiveResume:
+    def test_single_class_reduces_to_pk_sojourn(self):
+        svc = Exponential(1.0)
+        pw = preemptive_resume_priority_mg1(loads((0.5, svc)))
+        assert pw.mean_sojourns[0] == pytest.approx(MG1(0.5, svc).mean_sojourn, rel=1e-12)
+
+    def test_top_class_ignores_lower_classes(self):
+        # Under PR the top class sees a private M/G/1.
+        top_only = preemptive_resume_priority_mg1(loads((0.3, Exponential(1.0))))
+        with_lower = preemptive_resume_priority_mg1(
+            loads((0.3, Exponential(1.0)), (0.5, Exponential(2.0)))
+        )
+        assert with_lower.mean_sojourns[0] == pytest.approx(
+            top_only.mean_sojourns[0], rel=1e-12
+        )
+
+    def test_pr_beats_np_for_top_class(self):
+        cls = loads((0.3, Exponential(1.0)), (0.4, Exponential(1.0)))
+        np_w = nonpreemptive_priority_mg1(cls)
+        pr_w = preemptive_resume_priority_mg1(cls)
+        assert pr_w.mean_sojourns[0] < np_w.mean_sojourns[0]
+        # ...and the bottom class pays for it.
+        assert pr_w.mean_sojourns[-1] > np_w.mean_sojourns[-1]
+
+    def test_textbook_two_class_exponential(self):
+        # mu=1, lam=(0.3, 0.4): T1 = (1 + 0.3)/(1-0.3) ... direct formula
+        pw = preemptive_resume_priority_mg1(
+            loads((0.3, Exponential(1.0)), (0.4, Exponential(1.0)))
+        )
+        t1 = 1.0 / (1 - 0.0) + (0.3 * 2.0 / 2) / ((1 - 0.0) * (1 - 0.3))
+        t2 = 1.0 / (1 - 0.3) + ((0.3 + 0.4) * 2.0 / 2) / ((1 - 0.3) * (1 - 0.7))
+        assert pw.mean_sojourns[0] == pytest.approx(t1, rel=1e-12)
+        assert pw.mean_sojourns[1] == pytest.approx(t2, rel=1e-12)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            preemptive_resume_priority_mg1(
+                loads((0.7, Exponential(1.0)), (0.4, Exponential(1.0)))
+            )
+
+
+class TestPriorityMMcCommonMu:
+    def test_single_class_matches_mmc(self):
+        pw = nonpreemptive_priority_mmc_common_mu([1.5], mu=1.0, c=2)
+        assert pw.mean_waits[0] == pytest.approx(MMc(1.5, 1.0, c=2).mean_wait, rel=1e-12)
+
+    def test_c1_matches_cobham(self):
+        lam = [0.3, 0.4]
+        multi = nonpreemptive_priority_mmc_common_mu(lam, mu=1.0, c=1)
+        cobham = nonpreemptive_priority_mg1(
+            loads((0.3, Exponential(1.0)), (0.4, Exponential(1.0)))
+        )
+        np.testing.assert_allclose(multi.mean_waits, cobham.mean_waits, rtol=1e-12)
+
+    def test_priority_ordering(self):
+        pw = nonpreemptive_priority_mmc_common_mu([0.8, 1.0, 0.9], mu=1.0, c=4)
+        assert pw.mean_waits[0] < pw.mean_waits[1] < pw.mean_waits[2]
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            nonpreemptive_priority_mmc_common_mu([1.5, 0.6], mu=1.0, c=2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelValidationError):
+            nonpreemptive_priority_mmc_common_mu([], mu=1.0, c=1)
+        with pytest.raises(ModelValidationError):
+            nonpreemptive_priority_mmc_common_mu([1.0], mu=1.0, c=0)
+        with pytest.raises(ModelValidationError):
+            nonpreemptive_priority_mmc_common_mu([-1.0], mu=1.0, c=1)
+
+
+class TestBondiBuzen:
+    def test_c1_exactly_cobham(self):
+        cls = loads((0.3, fit_two_moments(1.0, 2.0)), (0.2, fit_two_moments(1.5, 2.0)))
+        bb = bondi_buzen_priority_waits(cls, c=1)
+        cobham = nonpreemptive_priority_mg1(cls)
+        np.testing.assert_allclose(bb.mean_waits, cobham.mean_waits, rtol=1e-12)
+
+    @pytest.mark.parametrize("c", [2, 4])
+    def test_common_exponential_close_to_exact(self, c):
+        # With identical exponential classes the scaling approximation
+        # should land near the exact Kella-Yechiali value. Load scales
+        # with c to hold per-server utilization at 0.7.
+        lam = [0.28 * c, 0.42 * c]
+        cls = loads((lam[0], Exponential(1.0)), (lam[1], Exponential(1.0)))
+        bb = bondi_buzen_priority_waits(cls, c=c)
+        exact = nonpreemptive_priority_mmc_common_mu(lam, mu=1.0, c=c)
+        np.testing.assert_allclose(bb.mean_waits, exact.mean_waits, rtol=0.12)
+
+    def test_priority_ordering_preserved(self):
+        cls = loads((0.5, fit_two_moments(1.0, 2.5)), (1.0, fit_two_moments(1.2, 2.5)))
+        bb = bondi_buzen_priority_waits(cls, c=3)
+        assert bb.mean_waits[0] < bb.mean_waits[1]
+
+    def test_sojourn_adds_actual_service(self):
+        cls = loads((0.5, fit_two_moments(1.0, 1.5)),)
+        bb = bondi_buzen_priority_waits(cls, c=2)
+        assert bb.mean_sojourns[0] == pytest.approx(bb.mean_waits[0] + 1.0)
+
+    def test_unstable_raises(self):
+        cls = loads((3.0, Exponential(1.0)),)
+        with pytest.raises(UnstableSystemError):
+            bondi_buzen_priority_waits(cls, c=2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelValidationError):
+            bondi_buzen_priority_waits([], c=2)
+        with pytest.raises(ModelValidationError):
+            bondi_buzen_priority_waits(loads((0.5, Exponential(1.0))), c=0)

@@ -1,0 +1,98 @@
+"""Processor-sharing station tests (analytic + simulated)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.distributions import Deterministic, Exponential, fit_two_moments
+from repro.exceptions import ModelValidationError, UnstableSystemError
+from repro.queueing import MMc, ps_sojourn_times
+from repro.queueing.networks import StationSpec, station_delays
+from repro.simulation import simulate
+from repro.workload import workload_from_rates
+
+
+class TestPSAnalytic:
+    def test_single_server_formula(self):
+        # E[T] = E[S] / (1 - rho), insensitive.
+        t = ps_sojourn_times([0.6], (Exponential(1.0),), c=1)
+        assert t[0] == pytest.approx(1.0 / 0.4)
+
+    def test_insensitivity(self):
+        for scv in (0.0, 1.0, 4.0):
+            t = ps_sojourn_times([0.6], (fit_two_moments(1.0, scv),), c=1)
+            assert t[0] == pytest.approx(2.5)
+
+    def test_equal_stretch_across_classes(self):
+        t = ps_sojourn_times([0.3, 0.2], (Exponential(2.0), Exponential(1.0)), c=1)
+        assert t[0] / 0.5 == pytest.approx(t[1] / 1.0)
+
+    def test_multi_server_exponential_matches_mmc_mean(self):
+        t = ps_sojourn_times([2.2], (Exponential(1.0),), c=3)
+        assert t[0] == pytest.approx(MMc(2.2, 1.0, c=3).mean_sojourn, rel=1e-12)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            ps_sojourn_times([1.2], (Exponential(1.0),), c=1)
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            ps_sojourn_times([0.5, 0.5], (Exponential(1.0),), c=1)
+        with pytest.raises(ModelValidationError):
+            ps_sojourn_times([0.5], (Exponential(1.0),), c=0)
+        with pytest.raises(ModelValidationError):
+            ps_sojourn_times([-0.5], (Exponential(1.0),), c=1)
+
+    def test_station_dispatch(self):
+        spec = StationSpec(services=(Exponential(1.0), Exponential(2.0)), discipline="ps")
+        d = station_delays(spec, [0.3, 0.4])
+        expected = ps_sojourn_times([0.3, 0.4], spec.services, 1)
+        np.testing.assert_allclose(d.mean_sojourns, expected, rtol=1e-12)
+
+
+class TestPSSimulated:
+    @pytest.mark.parametrize("scv,seed", [(0.0, 21), (1.0, 22), (4.0, 23)])
+    def test_insensitivity_holds_in_simulation(self, basic_spec, scv, seed):
+        d = fit_two_moments(1.0, scv)
+        tier = Tier("t", (d,), basic_spec, servers=1, speed=1.0, discipline="ps")
+        res = simulate(ClusterModel([tier]), workload_from_rates([0.6]), horizon=25000.0, seed=seed)
+        assert res.delays[0] == pytest.approx(2.5, rel=0.07)
+
+    def test_two_class_stretch(self, basic_spec):
+        tier = Tier(
+            "t", (Exponential(2.0), Exponential(1.0)), basic_spec, servers=1, speed=1.0,
+            discipline="ps",
+        )
+        wl = workload_from_rates([0.3, 0.2])
+        res = simulate(ClusterModel([tier]), wl, horizon=30000.0, seed=24)
+        analytic = ps_sojourn_times([0.3, 0.2], tier.service_times(), 1)
+        np.testing.assert_allclose(res.delays, analytic, rtol=0.06)
+
+    def test_multi_server_ps(self, basic_spec):
+        tier = Tier("t", (Exponential(1.0),), basic_spec, servers=3, speed=1.0, discipline="ps")
+        res = simulate(ClusterModel([tier]), workload_from_rates([2.2]), horizon=15000.0, seed=25)
+        analytic = ps_sojourn_times([2.2], (Exponential(1.0),), 3)[0]
+        assert res.delays[0] == pytest.approx(analytic, rel=0.06)
+
+    def test_utilization_and_power_accounted(self, basic_spec):
+        tier = Tier("t", (Deterministic(1.0),), basic_spec, servers=1, speed=1.0, discipline="ps")
+        cl = ClusterModel([tier])
+        wl = workload_from_rates([0.5])
+        res = simulate(cl, wl, horizon=20000.0, seed=26)
+        assert res.utilizations[0] == pytest.approx(0.5, abs=0.02)
+        from repro.core.energy import average_power
+
+        assert res.average_power == pytest.approx(average_power(cl, wl), rel=0.03)
+
+    def test_ps_in_tandem_with_priority(self, basic_spec):
+        tiers = [
+            Tier("front", (Exponential(4.0), Exponential(4.0)), basic_spec, discipline="ps"),
+            Tier("back", (Exponential(2.0), Exponential(2.0)), basic_spec, discipline="priority_np"),
+        ]
+        cl = ClusterModel(tiers)
+        wl = workload_from_rates([0.4, 0.6])
+        res = simulate(cl, wl, horizon=20000.0, seed=27)
+        from repro.core.delay import end_to_end_delays
+
+        analytic = end_to_end_delays(cl, wl)
+        np.testing.assert_allclose(res.delays, analytic, rtol=0.07)

@@ -1,0 +1,97 @@
+"""Probabilistic-routing (traffic equation) tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelValidationError
+from repro.queueing import visit_ratio_matrix, visit_ratios_from_routing
+
+
+class TestVisitRatios:
+    def test_pure_tandem(self):
+        r = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+        np.testing.assert_allclose(visit_ratios_from_routing(r, 0), [1.0, 1.0, 1.0])
+
+    def test_self_loop_geometric(self):
+        # Retry with probability p: v = 1 / (1 - p).
+        for p in (0.1, 0.5, 0.9):
+            v = visit_ratios_from_routing(np.array([[p]]), 0)
+            assert v[0] == pytest.approx(1.0 / (1.0 - p))
+
+    def test_db_retry_pattern(self):
+        # app -> db, db retries app with prob 0.25.
+        r = np.array([[0.0, 1.0], [0.25, 0.0]])
+        v = visit_ratios_from_routing(r, 0)
+        # v_app = 1 + 0.25 v_db; v_db = v_app  =>  v_app = 4/3.
+        assert v[0] == pytest.approx(4.0 / 3.0)
+        assert v[1] == pytest.approx(4.0 / 3.0)
+
+    def test_branching_entry_distribution(self):
+        r = np.zeros((2, 2))
+        v = visit_ratios_from_routing(r, np.array([0.3, 0.7]))
+        np.testing.assert_allclose(v, [0.3, 0.7])
+
+    def test_skip_tier(self):
+        # Class enters at station 1, never touches station 0.
+        r = np.zeros((2, 2))
+        v = visit_ratios_from_routing(r, 1)
+        np.testing.assert_allclose(v, [0.0, 1.0])
+
+    def test_nonterminating_chain_rejected(self):
+        with pytest.raises(ModelValidationError):
+            visit_ratios_from_routing(np.array([[1.0]]), 0)
+        with pytest.raises(ModelValidationError):
+            visit_ratios_from_routing(np.array([[0.0, 1.0], [1.0, 0.0]]), 0)
+
+    def test_bad_matrix(self):
+        with pytest.raises(ModelValidationError):
+            visit_ratios_from_routing(np.array([[0.5, 0.6]]), 0)  # not square
+        with pytest.raises(ModelValidationError):
+            visit_ratios_from_routing(np.array([[-0.1]]), 0)
+        with pytest.raises(ModelValidationError):
+            visit_ratios_from_routing(np.array([[0.7, 0.5], [0.0, 0.0]]), 0)  # row > 1
+
+    def test_bad_entry(self):
+        r = np.zeros((2, 2))
+        with pytest.raises(ModelValidationError):
+            visit_ratios_from_routing(r, 5)
+        with pytest.raises(ModelValidationError):
+            visit_ratios_from_routing(r, np.array([0.5, 0.6]))
+
+    def test_matrix_builder(self):
+        tandem = np.array([[0.0, 1.0], [0.0, 0.0]])
+        retry = np.array([[0.0, 1.0], [0.5, 0.0]])
+        v = visit_ratio_matrix([tandem, retry])
+        assert v.shape == (2, 2)
+        np.testing.assert_allclose(v[0], [1.0, 1.0])
+        np.testing.assert_allclose(v[1], [2.0, 2.0])
+
+    def test_matrix_builder_validation(self):
+        with pytest.raises(ModelValidationError):
+            visit_ratio_matrix([])
+        with pytest.raises(ModelValidationError):
+            visit_ratio_matrix([np.zeros((2, 2))], entries=[0, 1])
+
+
+class TestRoutingIntoClusterModel:
+    def test_end_to_end_with_feedback(self, basic_spec):
+        from repro.cluster import ClusterModel, Tier
+        from repro.core.delay import end_to_end_delays
+        from repro.distributions import Exponential
+        from repro.workload import workload_from_rates
+
+        tiers = [
+            Tier("app", (Exponential(4.0),), basic_spec),
+            Tier("db", (Exponential(5.0),), basic_spec),
+        ]
+        retry = np.array([[0.0, 1.0], [0.25, 0.0]])
+        v = visit_ratio_matrix([retry])
+        cluster = ClusterModel(tiers, visit_ratios=v)
+        wl = workload_from_rates([1.0])
+        t = end_to_end_delays(cluster, wl)
+        # More visits than the pure tandem -> strictly larger delay.
+        tandem = ClusterModel(tiers)
+        assert t[0] > end_to_end_delays(tandem, wl)[0]
+        # Station loads reflect the 4/3 visit ratio.
+        rates = cluster.network().station_arrival_rates(wl.arrival_rates)
+        np.testing.assert_allclose(rates[0], [4.0 / 3.0, 4.0 / 3.0])

@@ -1,0 +1,122 @@
+"""Probabilistic routing in the simulator vs the analytic Jackson
+decomposition, plus batch-means output analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.core.delay import end_to_end_delays
+from repro.distributions import Exponential
+from repro.exceptions import ModelValidationError
+from repro.queueing.routing import ClassRouting, visit_ratio_matrix
+from repro.simulation import batch_means_ci, simulate
+from repro.workload import workload_from_rates
+
+
+@pytest.fixture
+def retry_cluster(basic_spec):
+    retry = np.array([[0.0, 1.0], [0.25, 0.0]])
+    cr = ClassRouting(retry, 0)
+    tiers = [
+        Tier("app", (Exponential(3.0),), basic_spec),
+        Tier("db", (Exponential(4.0),), basic_spec),
+    ]
+    cluster = ClusterModel(tiers, visit_ratios=visit_ratio_matrix([retry]))
+    return cluster, cr
+
+
+class TestSimulatedRouting:
+    def test_feedback_matches_analytic(self, retry_cluster):
+        cluster, cr = retry_cluster
+        wl = workload_from_rates([1.0])
+        res = simulate(cluster, wl, horizon=25000.0, seed=11, routing=[cr])
+        analytic = end_to_end_delays(cluster, wl)
+        assert res.delays[0] == pytest.approx(analytic[0], rel=0.06)
+
+    def test_mean_visits_match_traffic_equations(self, retry_cluster):
+        cluster, cr = retry_cluster
+        wl = workload_from_rates([1.0])
+        res = simulate(cluster, wl, horizon=25000.0, seed=12, routing=[cr])
+        visits_per_job = res.meta["station_completions"].sum() / res.n_completed.sum()
+        assert visits_per_job == pytest.approx(2 * 4.0 / 3.0, rel=0.02)
+
+    def test_entry_distribution(self, basic_spec):
+        # Half the jobs enter at each station, no transitions.
+        r = np.zeros((2, 2))
+        cr = ClassRouting(r, entry=np.array([0.5, 0.5]))
+        tiers = [
+            Tier("a", (Exponential(4.0),), basic_spec),
+            Tier("b", (Exponential(4.0),), basic_spec),
+        ]
+        cluster = ClusterModel(tiers, visit_ratios=visit_ratio_matrix([r], entries=[np.array([0.5, 0.5])]))
+        wl = workload_from_rates([2.0])
+        res = simulate(cluster, wl, horizon=8000.0, seed=13, routing=[cr])
+        counts = res.meta["station_completions"][0]
+        assert counts[0] == pytest.approx(counts[1], rel=0.1)
+
+    def test_visit_ratio_mismatch_rejected(self, retry_cluster, basic_spec):
+        _, cr = retry_cluster
+        tandem = ClusterModel(
+            [
+                Tier("app", (Exponential(3.0),), basic_spec),
+                Tier("db", (Exponential(4.0),), basic_spec),
+            ]
+        )
+        with pytest.raises(ModelValidationError, match="visit ratios"):
+            simulate(tandem, workload_from_rates([1.0]), horizon=100.0, routing=[cr])
+
+    def test_wrong_routing_count_rejected(self, retry_cluster):
+        cluster, cr = retry_cluster
+        with pytest.raises(ModelValidationError):
+            simulate(cluster, workload_from_rates([1.0]), horizon=100.0, routing=[cr, cr])
+
+    def test_non_classrouting_rejected(self, retry_cluster):
+        cluster, _ = retry_cluster
+        with pytest.raises(ModelValidationError):
+            simulate(
+                cluster, workload_from_rates([1.0]), horizon=100.0, routing=[np.eye(2)]
+            )
+
+
+class TestBatchMeans:
+    def test_iid_matches_naive_ci(self, rng):
+        x = rng.exponential(2.0, size=40_000)
+        mean, hw = batch_means_ci(x, n_batches=20)
+        assert mean == pytest.approx(2.0, rel=0.05)
+        # For iid data the batch-means CI approximates the naive CI.
+        naive = 1.96 * x.std(ddof=1) / np.sqrt(x.size)
+        assert hw == pytest.approx(naive, rel=0.7)
+
+    def test_autocorrelated_series_wider_than_naive(self, rng):
+        # AR(1) with strong positive correlation.
+        n, phi = 40_000, 0.95
+        eps = rng.normal(size=n)
+        x = np.empty(n)
+        x[0] = eps[0]
+        for i in range(1, n):
+            x[i] = phi * x[i - 1] + eps[i]
+        _, hw = batch_means_ci(x, n_batches=20)
+        naive = 1.96 * x.std(ddof=1) / np.sqrt(n)
+        assert hw > 2.0 * naive
+
+    def test_covers_known_mean_for_mm1(self, basic_spec):
+        from repro.queueing import MM1
+        cluster = ClusterModel(
+            [Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")]
+        )
+        wl = workload_from_rates([0.6])
+        res = simulate(cluster, wl, horizon=30000.0, seed=21, collect_delay_samples=True)
+        mean, hw = batch_means_ci(res.delay_samples[0], n_batches=20)
+        exact = MM1(0.6, 1.0).mean_sojourn
+        assert abs(mean - exact) < 3.0 * hw  # generous coverage check
+
+    def test_too_few_samples_nan(self):
+        mean, hw = batch_means_ci(np.array([1.0, 2.0, 3.0]), n_batches=20)
+        assert np.isnan(hw)
+        assert mean == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            batch_means_ci(np.ones((2, 2)))
+        with pytest.raises(ModelValidationError):
+            batch_means_ci(np.ones(100), n_batches=1)

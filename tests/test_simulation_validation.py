@@ -1,0 +1,210 @@
+"""The simulator against exact queueing theory.
+
+These are the repo's most load-bearing tests: every analytic formula
+and the simulator are independent implementations of the same model,
+so agreement here validates both sides at once (the paper's own
+methodology).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.distributions import Deterministic, Exponential, fit_two_moments
+from repro.exceptions import ModelValidationError
+from repro.queueing import MG1, MM1, MMc, ClassLoad
+from repro.queueing.priority import (
+    nonpreemptive_priority_mg1,
+    preemptive_resume_priority_mg1,
+)
+from repro.simulation import simulate, simulate_replications
+from repro.workload import CustomerClass, Workload, workload_from_rates
+
+HORIZON = 40_000.0
+
+
+def one_tier(basic_spec, demands, servers=1, discipline="fcfs", speed=1.0):
+    return ClusterModel(
+        [Tier("t", demands, basic_spec, servers=servers, speed=speed, discipline=discipline)]
+    )
+
+
+class TestAgainstExactFormulas:
+    def test_mm1_sojourn_and_utilization(self, basic_spec):
+        cluster = one_tier(basic_spec, (Exponential(1.0),))
+        wl = Workload([CustomerClass("a", 0.7)])
+        res = simulate(cluster, wl, horizon=HORIZON, seed=1)
+        exact = MM1(0.7, 1.0)
+        assert res.delays[0] == pytest.approx(exact.mean_sojourn, rel=0.04)
+        assert res.utilizations[0] == pytest.approx(0.7, abs=0.015)
+
+    def test_md1_wait_is_half_mm1(self, basic_spec):
+        cluster = one_tier(basic_spec, (Deterministic(1.0),))
+        wl = Workload([CustomerClass("a", 0.6)])
+        res = simulate(cluster, wl, horizon=HORIZON, seed=2)
+        exact = MG1(0.6, Deterministic(1.0))
+        assert res.delays[0] == pytest.approx(exact.mean_sojourn, rel=0.04)
+
+    def test_mmc_sojourn(self, basic_spec):
+        cluster = one_tier(basic_spec, (Exponential(1.0),), servers=3)
+        wl = Workload([CustomerClass("a", 2.2)])
+        res = simulate(cluster, wl, horizon=HORIZON / 2, seed=3)
+        exact = MMc(2.2, 1.0, c=3)
+        assert res.delays[0] == pytest.approx(exact.mean_sojourn, rel=0.04)
+
+    def test_mg1_high_variability(self, basic_spec):
+        svc = fit_two_moments(1.0, 4.0)
+        cluster = one_tier(basic_spec, (svc,))
+        wl = Workload([CustomerClass("a", 0.5)])
+        res = simulate(cluster, wl, horizon=2 * HORIZON, seed=4)
+        exact = MG1(0.5, svc)
+        assert res.delays[0] == pytest.approx(exact.mean_sojourn, rel=0.08)
+
+    def test_np_priority_two_classes(self, basic_spec, two_class_cluster, two_class_workload):
+        res = simulate(two_class_cluster, two_class_workload, horizon=HORIZON, seed=5)
+        pw = nonpreemptive_priority_mg1(
+            [ClassLoad(0.3, Exponential(1.0)), ClassLoad(0.4, Exponential(1.0))]
+        )
+        np.testing.assert_allclose(res.delays, pw.mean_sojourns, rtol=0.05)
+
+    def test_pr_priority_two_classes(self, basic_spec):
+        cluster = one_tier(
+            basic_spec, (Exponential(1.0), Exponential(1.0)), discipline="priority_pr"
+        )
+        wl = workload_from_rates([0.3, 0.4], names=("hi", "lo"))
+        res = simulate(cluster, wl, horizon=HORIZON, seed=6)
+        pw = preemptive_resume_priority_mg1(
+            [ClassLoad(0.3, Exponential(1.0)), ClassLoad(0.4, Exponential(1.0))]
+        )
+        np.testing.assert_allclose(res.delays, pw.mean_sojourns, rtol=0.06)
+
+    def test_tandem_two_exponential_fcfs_tiers(self, basic_spec):
+        # Burke: tandem of M/M/1s decomposes exactly.
+        cluster = ClusterModel(
+            [
+                Tier("a", (Exponential(1.0),), basic_spec, discipline="fcfs"),
+                Tier("b", (Exponential(2.0),), basic_spec, discipline="fcfs"),
+            ]
+        )
+        wl = Workload([CustomerClass("x", 0.6)])
+        res = simulate(cluster, wl, horizon=HORIZON, seed=7)
+        expected = MM1(0.6, 1.0).mean_sojourn + MM1(0.6, 2.0).mean_sojourn
+        assert res.delays[0] == pytest.approx(expected, rel=0.05)
+
+    def test_speed_scaling_halves_service(self, basic_spec):
+        # Speed 0.5 doubles service times: equivalent to mu=0.5.
+        cluster = one_tier(basic_spec, (Exponential(1.0),), speed=0.5)
+        wl = Workload([CustomerClass("a", 0.3)])
+        res = simulate(cluster, wl, horizon=HORIZON, seed=8)
+        exact = MM1(0.3, 0.5)
+        assert res.delays[0] == pytest.approx(exact.mean_sojourn, rel=0.05)
+
+
+class TestLittlesLaw:
+    def test_little_l_from_station_sojourn(self, basic_spec):
+        # L = lambda * W measured through independent channels:
+        # utilization (=L for the in-service part at c=1, rho) equals
+        # lam * E[S].
+        cluster = one_tier(basic_spec, (Exponential(2.0),))
+        wl = Workload([CustomerClass("a", 1.0)])
+        res = simulate(cluster, wl, horizon=HORIZON, seed=9)
+        assert res.utilizations[0] == pytest.approx(1.0 * 0.5, abs=0.01)
+
+
+class TestEnergyAccounting:
+    def test_average_power_matches_analytic(self, basic_spec, three_tier_cluster, three_class_workload):
+        from repro.core.energy import average_power
+
+        res = simulate(three_tier_cluster, three_class_workload, horizon=3000.0, seed=10)
+        analytic = average_power(three_tier_cluster, three_class_workload)
+        assert res.average_power == pytest.approx(analytic, rel=0.02)
+
+    def test_per_class_dynamic_energy(self, basic_spec, three_tier_cluster, three_class_workload):
+        from repro.core.energy import per_class_energy_per_request
+
+        res = simulate(three_tier_cluster, three_class_workload, horizon=3000.0, seed=11)
+        analytic = per_class_energy_per_request(
+            three_tier_cluster, three_class_workload, idle="none"
+        )
+        np.testing.assert_allclose(res.per_class_dynamic_energy, analytic, rtol=0.05)
+
+    def test_energy_per_request_consistency(self, basic_spec, two_class_cluster, two_class_workload):
+        res = simulate(two_class_cluster, two_class_workload, horizon=HORIZON / 4, seed=12)
+        # energy/request * throughput == average power, by construction
+        thr = res.n_completed.sum() / (res.horizon - res.warmup)
+        assert res.energy_per_request * thr == pytest.approx(res.average_power, rel=1e-9)
+
+
+class TestSimulatorGuards:
+    def test_unstable_rejected(self, basic_spec):
+        cluster = one_tier(basic_spec, (Exponential(1.0),))
+        wl = Workload([CustomerClass("a", 1.5)])
+        with pytest.raises(ModelValidationError):
+            simulate(cluster, wl, horizon=100.0)
+
+    def test_allow_unstable_flag(self, basic_spec):
+        cluster = one_tier(basic_spec, (Exponential(1.0),))
+        wl = Workload([CustomerClass("a", 1.5)])
+        res = simulate(cluster, wl, horizon=200.0, allow_unstable=True)
+        assert res.utilizations[0] > 0.9
+
+    def test_class_count_mismatch(self, basic_spec, two_class_cluster):
+        wl = Workload([CustomerClass("a", 0.5)])
+        with pytest.raises(ModelValidationError):
+            simulate(two_class_cluster, wl, horizon=100.0)
+
+    def test_bad_horizon(self, two_class_cluster, two_class_workload):
+        with pytest.raises(ModelValidationError):
+            simulate(two_class_cluster, two_class_workload, horizon=0.0)
+
+    def test_bad_warmup(self, two_class_cluster, two_class_workload):
+        with pytest.raises(ModelValidationError):
+            simulate(two_class_cluster, two_class_workload, horizon=10.0, warmup_fraction=0.95)
+
+    def test_noninteger_visit_ratios_rejected(self, basic_spec):
+        t = Tier("t", (Exponential(1.0),), basic_spec)
+        cluster = ClusterModel([t], visit_ratios=np.array([[1.5]]))
+        wl = Workload([CustomerClass("a", 0.3)])
+        with pytest.raises(ModelValidationError):
+            simulate(cluster, wl, horizon=100.0)
+
+    def test_integer_visit_ratios_route(self, basic_spec):
+        t = Tier("t", (Exponential(4.0),), basic_spec)
+        cluster = ClusterModel([t], visit_ratios=np.array([[2.0]]))
+        wl = Workload([CustomerClass("a", 0.3)])
+        res = simulate(cluster, wl, horizon=5000.0, seed=13)
+        # Each job visits twice: the measured visit count is ~2x jobs.
+        visits = res.meta["station_completions"].sum()
+        assert visits == pytest.approx(2 * res.n_completed.sum(), rel=0.02)
+
+
+class TestReplications:
+    def test_ci_positive_and_reasonable(self, two_class_cluster, two_class_workload):
+        rep = simulate_replications(
+            two_class_cluster, two_class_workload, horizon=3000.0, n_replications=4, seed=3
+        )
+        assert np.all(rep.delays_ci > 0)
+        assert rep.n_replications == 4
+        assert len(rep.replications) == 4
+
+    def test_determinism(self, two_class_cluster, two_class_workload):
+        a = simulate_replications(
+            two_class_cluster, two_class_workload, horizon=1000.0, n_replications=2, seed=5
+        )
+        b = simulate_replications(
+            two_class_cluster, two_class_workload, horizon=1000.0, n_replications=2, seed=5
+        )
+        np.testing.assert_array_equal(a.delays, b.delays)
+
+    def test_different_seeds_differ(self, two_class_cluster, two_class_workload):
+        a = simulate_replications(two_class_cluster, two_class_workload, 1000.0, 1, seed=5)
+        b = simulate_replications(two_class_cluster, two_class_workload, 1000.0, 1, seed=6)
+        assert not np.array_equal(a.delays, b.delays)
+
+    def test_single_replication_nan_ci(self, two_class_cluster, two_class_workload):
+        rep = simulate_replications(two_class_cluster, two_class_workload, 1000.0, 1, seed=5)
+        assert np.all(np.isnan(rep.delays_ci))
+
+    def test_bad_count(self, two_class_cluster, two_class_workload):
+        with pytest.raises(ModelValidationError):
+            simulate_replications(two_class_cluster, two_class_workload, 1000.0, 0)

@@ -1,0 +1,52 @@
+"""Summary-report builder and the summary CLI command."""
+
+import pytest
+
+from repro.analysis import build_summary
+from repro.cli import main
+from repro.exceptions import ModelValidationError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "T1_delay_accuracy.txt").write_text("T1 table body\n")
+    (tmp_path / "F3.txt").write_text("F3 table body\n")
+    return tmp_path
+
+
+class TestBuildSummary:
+    def test_includes_found_artifacts(self, results_dir):
+        text = build_summary(str(results_dir))
+        assert "T1 table body" in text
+        assert "F3 table body" in text
+        assert "2/" in text.splitlines()[-1]
+
+    def test_marks_missing_experiments(self, results_dir):
+        text = build_summary(str(results_dir))
+        assert "(no artifact found)" in text
+        assert "## A4" in text
+
+    def test_registry_order(self, results_dir):
+        text = build_summary(str(results_dir))
+        assert text.index("## T1") < text.index("## F3") < text.index("## A4")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(ModelValidationError):
+            build_summary(str(tmp_path))
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(ModelValidationError):
+            build_summary(str(tmp_path / "nope"))
+
+
+class TestSummaryCLI:
+    def test_writes_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert (
+            main(["summary", "--results-dir", str(results_dir), "--out", str(out)]) == 0
+        )
+        assert out.read_text().startswith("# Reproduction evaluation report")
+
+    def test_prints_to_stdout(self, results_dir, capsys):
+        assert main(["summary", "--results-dir", str(results_dir)]) == 0
+        assert "T1 table body" in capsys.readouterr().out

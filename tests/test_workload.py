@@ -1,0 +1,139 @@
+"""Customer classes, workloads and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelValidationError
+from repro.workload import (
+    BatchPoissonProcess,
+    CustomerClass,
+    MMPP2,
+    PoissonProcess,
+    Workload,
+    scaled_workload,
+    workload_from_rates,
+)
+
+
+class TestCustomerClass:
+    def test_valid(self):
+        c = CustomerClass("gold", 2.0, weight=3.0)
+        assert c.arrival_rate == 2.0
+
+    def test_with_rate(self):
+        c = CustomerClass("gold", 2.0)
+        assert c.with_rate(5.0).arrival_rate == 5.0
+        assert c.arrival_rate == 2.0  # frozen original
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("inf")])
+    def test_bad_rate(self, rate):
+        with pytest.raises(ModelValidationError):
+            CustomerClass("x", rate)
+
+    def test_bad_weight(self):
+        with pytest.raises(ModelValidationError):
+            CustomerClass("x", 1.0, weight=0.0)
+
+
+class TestWorkload:
+    def test_basic_properties(self):
+        w = Workload([CustomerClass("a", 1.0), CustomerClass("b", 3.0)])
+        assert w.total_rate == 4.0
+        np.testing.assert_allclose(w.class_probabilities, [0.25, 0.75])
+        assert w.names == ["a", "b"]
+
+    def test_scaled_preserves_mix(self):
+        w = workload_from_rates([1.0, 3.0]).scaled(2.0)
+        assert w.total_rate == 8.0
+        np.testing.assert_allclose(w.class_probabilities, [0.25, 0.75])
+
+    def test_scaled_workload_to_target(self):
+        w = scaled_workload(workload_from_rates([1.0, 3.0]), total_rate=10.0)
+        assert w.total_rate == pytest.approx(10.0)
+
+    def test_index_of(self):
+        w = workload_from_rates([1.0, 2.0], names=["hi", "lo"])
+        assert w.index_of("lo") == 1
+        with pytest.raises(ModelValidationError):
+            w.index_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelValidationError):
+            Workload([CustomerClass("a", 1.0), CustomerClass("a", 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelValidationError):
+            Workload([])
+
+    def test_default_names(self):
+        assert workload_from_rates([1.0, 1.0, 1.0]).names == ["gold", "silver", "bronze"]
+        many = workload_from_rates([1.0] * 10)
+        assert many.names[0] == "class1"
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ModelValidationError):
+            workload_from_rates([1.0, 2.0], names=["only-one"])
+
+
+class TestArrivalProcesses:
+    def _measure_rate(self, proc, rng, n=40_000):
+        t, count = 0.0, 0
+        p = proc.fresh()
+        for _ in range(n):
+            gap, batch = p.next_arrival(rng)
+            t += gap
+            count += batch
+        return count / t
+
+    def test_poisson_rate(self, rng):
+        proc = PoissonProcess(3.0)
+        assert self._measure_rate(proc, rng) == pytest.approx(3.0, rel=0.05)
+
+    def test_poisson_interarrival_scv_one(self, rng):
+        p = PoissonProcess(2.0)
+        gaps = np.array([p.next_arrival(rng)[0] for _ in range(20000)])
+        scv = gaps.var() / gaps.mean() ** 2
+        assert scv == pytest.approx(1.0, rel=0.1)
+
+    def test_mmpp_long_run_rate(self, rng):
+        proc = MMPP2(rate0=1.0, rate1=9.0, r01=0.5, r10=0.5)
+        assert proc.rate == pytest.approx(5.0)
+        assert self._measure_rate(proc, rng) == pytest.approx(5.0, rel=0.08)
+
+    def test_mmpp_burstier_than_poisson(self, rng):
+        p = MMPP2(rate0=0.5, rate1=10.0, r01=0.05, r10=0.05).fresh()
+        gaps = np.array([p.next_arrival(rng)[0] for _ in range(40000)])
+        scv = gaps.var() / gaps.mean() ** 2
+        assert scv > 1.3  # markedly burstier than Poisson
+
+    def test_batch_poisson_rate(self, rng):
+        proc = BatchPoissonProcess(epoch_rate=2.0, p=0.5)
+        assert proc.rate == pytest.approx(4.0)
+        assert self._measure_rate(proc, rng) == pytest.approx(4.0, rel=0.08)
+
+    def test_batch_sizes_geometric(self, rng):
+        p = BatchPoissonProcess(epoch_rate=1.0, p=0.25).fresh()
+        batches = np.array([p.next_arrival(rng)[1] for _ in range(20000)])
+        assert batches.min() >= 1
+        assert batches.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_fresh_resets_state(self, rng):
+        p = MMPP2(rate0=1.0, rate1=5.0, r01=1.0, r10=1.0)
+        p.next_arrival(rng)
+        q = p.fresh()
+        assert q._state == 0 and q._state_time_left is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: PoissonProcess(0.0),
+            lambda: MMPP2(0.0, 1.0, 1.0, 1.0),
+            lambda: MMPP2(1.0, 1.0, -1.0, 1.0),
+            lambda: BatchPoissonProcess(1.0, 0.0),
+            lambda: BatchPoissonProcess(1.0, 1.5),
+            lambda: BatchPoissonProcess(-1.0, 0.5),
+        ],
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(ModelValidationError):
+            bad()

@@ -1,0 +1,141 @@
+"""Trace record/persist/replay and NHPP arrival tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelValidationError
+from repro.workload import (
+    ArrivalTrace,
+    MMPP2,
+    NonHomogeneousPoisson,
+    PoissonProcess,
+    TraceArrivalProcess,
+    generate_trace,
+)
+
+
+class TestArrivalTrace:
+    def test_generate_rates_match_processes(self):
+        trace = generate_trace(
+            [PoissonProcess(2.0), PoissonProcess(5.0)], horizon=2000.0, seed=1
+        )
+        np.testing.assert_allclose(trace.rates(), [2.0, 5.0], rtol=0.08)
+
+    def test_csv_roundtrip(self, tmp_path):
+        trace = generate_trace(
+            [PoissonProcess(1.0), MMPP2(0.5, 3.0, 0.2, 0.2)],
+            horizon=100.0,
+            seed=2,
+            class_names=["gold", "bronze"],
+        )
+        path = tmp_path / "trace.csv"
+        trace.save_csv(str(path))
+        loaded = ArrivalTrace.load_csv(str(path))
+        assert loaded.class_names == ["gold", "bronze"]
+        assert loaded.horizon == trace.horizon
+        for a, b in zip(loaded.arrivals, trace.arrivals):
+            np.testing.assert_allclose(a, b)
+
+    def test_windowed_rates(self):
+        # Deterministic timestamps: 3 arrivals in [0,10), 1 in [10,20).
+        trace = ArrivalTrace([np.array([1.0, 2.0, 3.0, 15.0])], horizon=20.0)
+        starts, rates = trace.windowed_rates(10.0)
+        np.testing.assert_allclose(starts, [0.0, 10.0])
+        np.testing.assert_allclose(rates[:, 0], [0.3, 0.1])
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            ArrivalTrace([], horizon=10.0)
+        with pytest.raises(ModelValidationError):
+            ArrivalTrace([np.array([5.0, 1.0])], horizon=10.0)  # unsorted
+        with pytest.raises(ModelValidationError):
+            ArrivalTrace([np.array([11.0])], horizon=10.0)  # beyond horizon
+        with pytest.raises(ModelValidationError):
+            ArrivalTrace([np.array([1.0])], horizon=10.0, class_names=["a", "b"])
+
+    def test_malformed_csv(self):
+        with pytest.raises(ModelValidationError):
+            ArrivalTrace.from_csv("not,a,trace\n")
+        with pytest.raises(ModelValidationError):
+            ArrivalTrace.from_csv("# horizon,10.0\nclass,timestamp\n")  # empty
+
+
+class TestTraceReplay:
+    def test_replay_reproduces_timestamps(self, rng):
+        ts = np.array([0.5, 1.25, 1.25, 4.0])
+        proc = TraceArrivalProcess(ts, horizon=5.0)
+        clock, seen = 0.0, []
+        for _ in range(len(ts)):
+            gap, batch = proc.next_arrival(rng)
+            clock += gap
+            seen.append(clock)
+        np.testing.assert_allclose(seen, ts)
+        # Exhausted: silent forever.
+        gap, _ = proc.next_arrival(rng)
+        assert np.isinf(gap)
+
+    def test_fresh_restarts(self, rng):
+        proc = TraceArrivalProcess(np.array([1.0, 2.0]), horizon=3.0)
+        proc.next_arrival(rng)
+        again = proc.fresh()
+        gap, _ = again.next_arrival(rng)
+        assert gap == pytest.approx(1.0)
+
+    def test_simulation_on_trace_matches_poisson_stats(self, basic_spec):
+        from repro.cluster import ClusterModel, Tier
+        from repro.distributions import Exponential
+        from repro.queueing import MM1
+        from repro.simulation import simulate
+        from repro.workload import workload_from_rates
+
+        horizon = 30000.0
+        trace = generate_trace([PoissonProcess(0.6)], horizon=horizon, seed=3)
+        tier = Tier("t", (Exponential(1.0),), basic_spec, discipline="fcfs")
+        cluster = ClusterModel([tier])
+        wl = workload_from_rates([0.6])
+        res = simulate(
+            cluster,
+            wl,
+            horizon=horizon,
+            seed=4,
+            arrival_processes=TraceArrivalProcess.from_trace(trace),
+        )
+        assert res.delays[0] == pytest.approx(MM1(0.6, 1.0).mean_sojourn, rel=0.06)
+
+
+class TestNonHomogeneousPoisson:
+    def test_constant_rate_matches_poisson(self, rng):
+        proc = NonHomogeneousPoisson(lambda t: 2.0, rate_max=2.0)
+        gaps = []
+        p = proc.fresh()
+        for _ in range(20000):
+            gap, _ = p.next_arrival(rng)
+            gaps.append(gap)
+        gaps_arr = np.array(gaps)
+        assert gaps_arr.mean() == pytest.approx(0.5, rel=0.05)
+        scv = gaps_arr.var() / gaps_arr.mean() ** 2
+        assert scv == pytest.approx(1.0, rel=0.1)
+
+    def test_time_varying_intensity(self, rng):
+        # Rate 4 in the first half of each cycle of length 2, 0 after.
+        proc = NonHomogeneousPoisson(lambda t: 4.0 if (t % 2.0) < 1.0 else 0.0, rate_max=4.0)
+        p = proc.fresh()
+        clock, stamps = 0.0, []
+        while clock < 2000.0:
+            gap, _ = p.next_arrival(rng)
+            clock += gap
+            stamps.append(clock)
+        stamps_arr = np.array(stamps)
+        in_active = (stamps_arr % 2.0) < 1.0
+        assert in_active.mean() > 0.99  # arrivals only in active windows
+
+    def test_rate_fn_above_bound_detected(self, rng):
+        proc = NonHomogeneousPoisson(lambda t: 10.0, rate_max=2.0)
+        with pytest.raises(ModelValidationError):
+            proc.next_arrival(rng)
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            NonHomogeneousPoisson("not callable", rate_max=1.0)  # type: ignore[arg-type]
+        with pytest.raises(ModelValidationError):
+            NonHomogeneousPoisson(lambda t: 1.0, rate_max=0.0)
