@@ -5,9 +5,15 @@ Commands
 ``list``
     The experiment registry: every reconstructed table/figure with its
     ID and title.
-``run <ID> [--quick] [--out FILE]``
+``run <ID> [--quick] [--out FILE] [--jobs N] [--cache-dir DIR]``
     Execute one experiment and print (optionally save) its rendered
-    table. ``--quick`` uses the registry's fast parameters.
+    table. ``--quick`` uses the registry's fast parameters; ``--jobs``
+    parallelizes the simulation replications and ``--cache-dir``
+    memoizes them on disk (simulation-backed experiments only, numbers
+    unchanged either way).
+``simulate [--jobs N] [--cache-dir DIR] ...``
+    Replicated simulation of the canonical cluster with live
+    per-replication progress (wall time, events/sec, cache hits).
 ``report [--load-factor F]``
     Analytic delay/energy report of the canonical cluster under the
     canonical workload — the fastest way to see claim-1 numbers.
@@ -38,16 +44,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the reproducible experiments")
 
+    def add_engine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for simulation replications (-1 = all cores)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="directory memoizing finished replications (content-addressed)",
+        )
+
     run_p = sub.add_parser("run", help="run one experiment by ID")
     run_p.add_argument("experiment_id", help="experiment ID, e.g. T1, F3, A4")
     run_p.add_argument("--quick", action="store_true", help="use fast parameters")
     run_p.add_argument("--out", help="also write the rendered table to this file")
+    add_engine_options(run_p)
 
     all_p = sub.add_parser("run-all", help="run every experiment (quick parameters)")
     all_p.add_argument("--out-dir", help="write each rendered table to <out-dir>/<ID>.txt")
     all_p.add_argument(
         "--full", action="store_true", help="use full parameters (slow; use the benchmarks instead)"
     )
+    add_engine_options(all_p)
+
+    sim_p = sub.add_parser(
+        "simulate", help="replicated simulation of the canonical cluster with progress"
+    )
+    sim_p.add_argument("--load-factor", type=float, default=1.0)
+    sim_p.add_argument("--horizon", type=float, default=1000.0)
+    sim_p.add_argument("--replications", type=int, default=5)
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument("--warmup-fraction", type=float, default=0.1)
+    add_engine_options(sim_p)
 
     rep_p = sub.add_parser("report", help="analytic report of the canonical cluster")
     rep_p.add_argument("--load-factor", type=float, default=1.0)
@@ -87,10 +118,16 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, quick: bool, out: str | None) -> int:
+def _cmd_run(
+    experiment_id: str,
+    quick: bool,
+    out: str | None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+) -> int:
     from repro.experiments.registry import run_experiment
 
-    text = run_experiment(experiment_id, quick=quick)
+    text = run_experiment(experiment_id, quick=quick, n_jobs=jobs, cache_dir=cache_dir)
     print(text)
     if out:
         with open(out, "w") as fh:
@@ -99,7 +136,12 @@ def _cmd_run(experiment_id: str, quick: bool, out: str | None) -> int:
     return 0
 
 
-def _cmd_run_all(out_dir: str | None, full: bool) -> int:
+def _cmd_run_all(
+    out_dir: str | None,
+    full: bool,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+) -> int:
     import pathlib
     import time
 
@@ -112,7 +154,7 @@ def _cmd_run_all(out_dir: str | None, full: bool) -> int:
     for exp in REGISTRY.values():
         t0 = time.perf_counter()
         try:
-            text = exp.render(exp.run(quick=not full))
+            text = exp.render(exp.run(quick=not full, n_jobs=jobs, cache_dir=cache_dir))
         except Exception as exc:  # surface, keep going
             failures.append(exp.id)
             print(f"== {exp.id} FAILED: {exc}")
@@ -151,6 +193,66 @@ def _cmd_report(load_factor: float) -> int:
     return 0
 
 
+def _cmd_simulate(
+    load_factor: float,
+    horizon: float,
+    replications: int,
+    seed: int,
+    warmup_fraction: float,
+    jobs: int | None,
+    cache_dir: str | None,
+) -> int:
+    """Replicated simulation of the canonical cluster with live
+    per-replication progress — the CLI surface of the parallel
+    replication engine's observability."""
+    from repro.analysis.tables import ascii_table
+    from repro.experiments.common import canonical_cluster, canonical_workload
+    from repro.simulation import simulate_replications
+
+    cluster = canonical_cluster()
+    workload = canonical_workload(load_factor)
+
+    def progress(rec, done, total):
+        if rec.cached:
+            print(f"  [{done}/{total}] replication {rec.index}: cache hit")
+        else:
+            print(
+                f"  [{done}/{total}] replication {rec.index}: "
+                f"{rec.wall_time_s:.2f}s, {rec.events_per_sec:,.0f} events/s"
+            )
+
+    rep = simulate_replications(
+        cluster,
+        workload,
+        horizon=horizon,
+        n_replications=replications,
+        warmup_fraction=warmup_fraction,
+        seed=seed,
+        n_jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+    rows = [
+        [name, round(float(rep.delays[k]), 4), round(float(rep.delays_ci[k]), 4)]
+        for k, name in enumerate(rep.class_names)
+    ]
+    print(
+        ascii_table(
+            ["class", "mean delay (s)", "95% CI"],
+            rows,
+            title=f"Simulated canonical cluster at load factor {load_factor:g} "
+            f"({replications} replications)",
+        )
+    )
+    print(f"mean delay {rep.mean_delay:.4f} s | power {rep.average_power:.1f} W")
+    m = rep.meta
+    print(
+        f"engine: backend={m['backend']} jobs={m['n_jobs']} cache={m['cache']} "
+        f"hits={m['cache_hits']} misses={m['cache_misses']} wall={m['wall_time_s']:.2f}s"
+    )
+    return 0
+
+
 def _cmd_solve(problem: str, load_factor: float, budget_fraction: float, delay_slack: float) -> int:
     from repro.core import minimize_cost, minimize_delay, minimize_energy
     from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
@@ -186,9 +288,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment_id, args.quick, args.out)
+        return _cmd_run(args.experiment_id, args.quick, args.out, args.jobs, args.cache_dir)
     if args.command == "run-all":
-        return _cmd_run_all(args.out_dir, args.full)
+        return _cmd_run_all(args.out_dir, args.full, args.jobs, args.cache_dir)
+    if args.command == "simulate":
+        return _cmd_simulate(
+            args.load_factor,
+            args.horizon,
+            args.replications,
+            args.seed,
+            args.warmup_fraction,
+            args.jobs,
+            args.cache_dir,
+        )
     if args.command == "report":
         return _cmd_report(args.load_factor)
     if args.command == "diagnose":

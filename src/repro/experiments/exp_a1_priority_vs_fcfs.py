@@ -51,8 +51,12 @@ def run(
     horizon: float = 4000.0,
     n_replications: int = 5,
     seed: int = 33,
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> A1Result:
-    """Compare both analytic models to simulation at each load."""
+    """Compare both analytic models to simulation at each load.
+    ``n_jobs``/``cache_dir`` parallelize and memoize the replications
+    without changing the numbers."""
     cluster = canonical_cluster(discipline="priority_np")
     result = A1Result()
     for lf in load_factors:
@@ -60,7 +64,13 @@ def run(
         prio = end_to_end_delays(cluster, workload)
         fcfs = aggregate_fcfs_delays(cluster, workload)
         sim = simulate_replications(
-            cluster, workload, horizon=horizon, n_replications=n_replications, seed=seed
+            cluster,
+            workload,
+            horizon=horizon,
+            n_replications=n_replications,
+            seed=seed,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
         )
         for k, name in enumerate(workload.names):
             result.rows.append(

@@ -41,8 +41,14 @@ def run(
     horizon: float = 4000.0,
     n_replications: int = 5,
     seed: int = 44,
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> A2Result:
-    """Analytic + simulated per-class delays under NP and PR."""
+    """Analytic + simulated per-class delays under NP and PR.
+
+    ``n_jobs``/``cache_dir`` parallelize and memoize the replications
+    without changing the numbers.
+    """
     workload = canonical_workload(load_factor)
     result = A2Result()
     sims: dict[str, np.ndarray] = {}
@@ -52,7 +58,13 @@ def run(
         cluster = canonical_cluster(discipline=discipline)
         analytic = end_to_end_delays(cluster, workload)
         sim = simulate_replications(
-            cluster, workload, horizon=horizon, n_replications=n_replications, seed=seed
+            cluster,
+            workload,
+            horizon=horizon,
+            n_replications=n_replications,
+            seed=seed,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
         )
         sims[discipline] = sim.delays
         analytics[discipline] = analytic

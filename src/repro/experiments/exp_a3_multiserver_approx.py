@@ -68,9 +68,13 @@ def run(
     horizon: float = 30000.0,
     n_replications: int = 3,
     seed: int = 55,
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> A3Result:
     """Sweep server counts for both demand cases at constant
-    utilization (rates split 1:2 between the classes)."""
+    utilization (rates split 1:2 between the classes).
+    ``n_jobs``/``cache_dir`` parallelize and memoize the replications
+    without changing the numbers."""
     result = A3Result()
     for case in ("common-mu", "bondi-buzen"):
         for c in server_counts:
@@ -82,7 +86,13 @@ def run(
             workload = workload_from_rates((props * scale).tolist(), names=("hi", "lo"))
             analytic = end_to_end_delays(cluster, workload)
             sim = simulate_replications(
-                cluster, workload, horizon=horizon / c, n_replications=n_replications, seed=seed
+                cluster,
+                workload,
+                horizon=horizon / c,
+                n_replications=n_replications,
+                seed=seed,
+                n_jobs=n_jobs,
+                cache_dir=cache_dir,
             )
             for k, name in enumerate(workload.names):
                 result.rows.append(

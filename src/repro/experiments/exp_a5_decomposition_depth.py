@@ -62,6 +62,8 @@ def run(
     horizon: float = 20000.0,
     n_replications: int = 3,
     seed: int = 66,
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> A5Result:
     """Stack identical 2-class priority tiers and measure the error.
 
@@ -94,6 +96,8 @@ def run(
             horizon=horizon / depth,  # keep event counts comparable
             n_replications=n_replications,
             seed=seed,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
         )
         for k, name in enumerate(workload.names):
             result.rows.append(

@@ -55,9 +55,12 @@ def run(
     horizon: float = 4000.0,
     n_replications: int = 5,
     seed: int = 77,
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> F7Result:
     """Compare analytic vs empirical percentiles on the canonical
-    cluster."""
+    cluster. ``n_jobs``/``cache_dir`` parallelize and memoize the
+    replications without changing the numbers."""
     cluster = canonical_cluster()
     workload = canonical_workload(load_factor)
     sim = simulate_replications(
@@ -67,6 +70,8 @@ def run(
         n_replications=n_replications,
         seed=seed,
         collect_delay_samples=True,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
     )
     result = F7Result()
     for level in levels:
@@ -123,6 +128,8 @@ def run_fcfs(
     horizon: float = 4000.0,
     n_replications: int = 4,
     seed: int = 78,
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> F7FCFSResult:
     """Compare the two analytic percentile methods on the all-FCFS
     canonical variant, where the exact M/PH/1 path applies.
@@ -152,6 +159,8 @@ def run_fcfs(
         n_replications=n_replications,
         seed=seed,
         collect_delay_samples=True,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
     )
     result = F7FCFSResult()
     for level in levels:

@@ -42,15 +42,28 @@ def run(
     n_replications: int = 5,
     seed: int = 11,
     discipline: str = "priority_np",
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> T1Result:
-    """Run the T1 validation at each load factor."""
+    """Run the T1 validation at each load factor.
+
+    ``n_jobs``/``cache_dir`` parallelize and memoize the replications
+    (see :func:`repro.simulation.simulate_replications`); neither
+    changes the numbers.
+    """
     cluster = canonical_cluster(discipline=discipline)
     reports: dict[float, ValidationReport] = {}
     for lf in load_factors:
         workload = canonical_workload(lf)
         analytic = end_to_end_delays(cluster, workload)
         sim = simulate_replications(
-            cluster, workload, horizon=horizon, n_replications=n_replications, seed=seed
+            cluster,
+            workload,
+            horizon=horizon,
+            n_replications=n_replications,
+            seed=seed,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
         )
         report = ValidationReport(
             title=f"T1: per-class end-to-end delay, load factor {lf} "

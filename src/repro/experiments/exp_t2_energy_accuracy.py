@@ -42,15 +42,24 @@ def run(
     n_replications: int = 5,
     seed: int = 22,
     speeds: tuple[float, float, float] = (0.9, 0.95, 0.85),
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> T2Result:
     """Run the T2 validation; non-trivial speeds so the DVFS power
-    terms are actually exercised."""
+    terms are actually exercised. ``n_jobs``/``cache_dir`` parallelize
+    and memoize the replications without changing the numbers."""
     cluster = canonical_cluster(speeds=speeds)
     reports: dict[float, ValidationReport] = {}
     for lf in load_factors:
         workload = canonical_workload(lf)
         sim = simulate_replications(
-            cluster, workload, horizon=horizon, n_replications=n_replications, seed=seed
+            cluster,
+            workload,
+            horizon=horizon,
+            n_replications=n_replications,
+            seed=seed,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
         )
         report = ValidationReport(title=f"T2: power & energy, load factor {lf}")
         report.add(

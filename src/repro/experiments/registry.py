@@ -7,6 +7,7 @@ and a *quick* run (seconds, for smoke checks and the CLI default).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from types import ModuleType
 from typing import Any
@@ -48,9 +49,21 @@ class Experiment:
     full_kwargs: dict[str, Any] = field(default_factory=dict)
     quick_kwargs: dict[str, Any] = field(default_factory=dict)
 
-    def run(self, quick: bool = False):
-        """Execute the driver with the registered parameters."""
-        return self.module.run(**(self.quick_kwargs if quick else self.full_kwargs))
+    def run(self, quick: bool = False, **overrides: Any):
+        """Execute the driver with the registered parameters.
+
+        ``overrides`` (e.g. ``n_jobs``, ``cache_dir`` from the CLI) are
+        forwarded only to drivers whose ``run()`` accepts them —
+        analytic-only experiments silently ignore engine knobs. ``None``
+        values are dropped.
+        """
+        kwargs = dict(self.quick_kwargs if quick else self.full_kwargs)
+        if overrides:
+            accepted = inspect.signature(self.module.run).parameters
+            kwargs.update(
+                {k: v for k, v in overrides.items() if v is not None and k in accepted}
+            )
+        return self.module.run(**kwargs)
 
     def render(self, result) -> str:
         """Render a result produced by :meth:`run`."""
@@ -203,7 +216,16 @@ def get_experiment(experiment_id: str) -> Experiment:
     return REGISTRY[key]
 
 
-def run_experiment(experiment_id: str, quick: bool = False) -> str:
-    """Run an experiment by ID and return its rendered table."""
+def run_experiment(
+    experiment_id: str,
+    quick: bool = False,
+    n_jobs: int | None = None,
+    cache_dir: str | None = None,
+) -> str:
+    """Run an experiment by ID and return its rendered table.
+
+    ``n_jobs``/``cache_dir`` reach the simulation-backed drivers (T1,
+    T2, A1–A3, A5, F7); analytic experiments ignore them.
+    """
     exp = get_experiment(experiment_id)
-    return exp.render(exp.run(quick=quick))
+    return exp.render(exp.run(quick=quick, n_jobs=n_jobs, cache_dir=cache_dir))

@@ -10,12 +10,22 @@ High-level entry points:
 
 * :func:`simulate` — one replication of a cluster + workload.
 * :func:`simulate_replications` — independent replications with
-  aggregate means and confidence intervals.
+  aggregate means and confidence intervals; ``n_jobs`` parallelizes
+  over a process pool and ``cache_dir`` memoizes finished replications
+  on disk (results bit-identical either way).
+* :class:`SimulationCache` — the content-addressed replication cache.
 """
 
 from repro.simulation.rng import RngStreams
 from repro.simulation.stats import Welford, batch_means_ci, confidence_halfwidth
 from repro.simulation.simulator import SimulationResult, simulate
+from repro.simulation.cache import CacheUnsupportedError, SimulationCache, simulation_fingerprint
+from repro.simulation.parallel import (
+    ProcessPoolBackend,
+    ReplicationTiming,
+    SerialBackend,
+    resolve_n_jobs,
+)
 from repro.simulation.replications import ReplicatedResult, simulate_replications
 
 __all__ = [
@@ -27,4 +37,11 @@ __all__ = [
     "simulate",
     "ReplicatedResult",
     "simulate_replications",
+    "SimulationCache",
+    "CacheUnsupportedError",
+    "simulation_fingerprint",
+    "ReplicationTiming",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_n_jobs",
 ]

@@ -1,0 +1,231 @@
+"""Content-addressed on-disk cache for simulation replications.
+
+A replication is a pure function of ``(cluster, workload, horizon,
+warmup_fraction, seed, options)``, so its result can be memoized: the
+cache key is a SHA-256 hash of a *canonical JSON fingerprint* of those
+inputs, and the value is the pickled
+:class:`repro.simulation.simulator.SimulationResult`. Re-running an
+experiment suite or benchmark then skips every already-computed
+replication — per-replication granularity means even *partially*
+overlapping sweeps (same cluster, more replications) reuse work.
+
+Design points:
+
+* **Stable keys.** The fingerprint walks model objects (tiers,
+  distributions, arrival processes, routings) down to primitives and
+  serializes with ``json.dumps(sort_keys=True)`` — no ``repr`` memory
+  addresses, no pickle-protocol drift. Two structurally equal
+  configurations built independently hash identically.
+* **Conservative misses over false hits.** Objects the fingerprint
+  cannot canonicalize (e.g. closure-based rate functions) raise
+  :class:`CacheUnsupportedError`; the caller skips the cache for that
+  run. Distinct types with equal parameters get distinct keys.
+* **Corruption-safe.** Entries store the full fingerprint next to the
+  result; a hash collision, truncated file, or unpicklable payload is
+  treated as a miss and recomputed (then overwritten atomically via
+  ``os.replace``).
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.pkl`` (fan-out over 256 shard
+directories keeps any one directory small for big sweeps).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pickle
+import types
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.simulation.simulator import SimulationResult
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheUnsupportedError",
+    "SimulationCache",
+    "simulation_fingerprint",
+]
+
+# Bump when the simulator's output semantics change so stale entries
+# computed by an older engine can never be returned as fresh.
+CACHE_FORMAT_VERSION = 1
+
+
+class CacheUnsupportedError(TypeError):
+    """Raised when an input cannot be canonically fingerprinted.
+
+    Callers treat this as "run uncached", never as an error in the
+    simulation itself.
+    """
+
+
+def _jsonable(obj: Any) -> Any:
+    """Recursively reduce a model object to JSON-serializable primitives.
+
+    Handles the library's configuration vocabulary (dataclasses, plain
+    parameter objects, NumPy scalars/arrays, containers). Unknown
+    callables and file handles raise :class:`CacheUnsupportedError`.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() round-trips doubles exactly; json.dumps uses it too.
+        return obj
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": list(obj.shape), "data": obj.ravel().tolist()}
+    if isinstance(obj, np.random.SeedSequence):
+        entropy = obj.entropy
+        return {
+            "__seed__": _jsonable(entropy),
+            "spawn_key": [int(k) for k in obj.spawn_key],
+            "pool_size": int(obj.pool_size),
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(
+        obj,
+        (
+            types.FunctionType,
+            types.LambdaType,
+            types.MethodType,
+            types.BuiltinFunctionType,
+            functools.partial,
+        ),
+    ):
+        # A function's identity cannot be hashed stably (its repr holds
+        # a memory address and its code can change without renaming).
+        raise CacheUnsupportedError(f"cannot fingerprint callable {obj!r}")
+    # Model objects: type identity + instance state, recursively. The
+    # type name disambiguates e.g. a Gamma from a Weibull with equal
+    # moments; the state captures every parameter.
+    state = getattr(obj, "__dict__", None)
+    if state is None:
+        raise CacheUnsupportedError(
+            f"cannot fingerprint {type(obj).__name__!r} (no __dict__); "
+            "run with the cache disabled"
+        )
+    if any(callable(v) for v in state.values()):
+        raise CacheUnsupportedError(
+            f"{type(obj).__name__} holds a callable attribute; its identity "
+            "cannot be hashed stably — run with the cache disabled"
+        )
+    return {
+        "__type__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+        "state": {k: _jsonable(v) for k, v in state.items()},
+    }
+
+
+def simulation_fingerprint(
+    cluster,
+    workload,
+    horizon: float,
+    warmup_fraction: float,
+    seed,
+    *,
+    arrival_processes=None,
+    routing=None,
+    allow_unstable: bool = False,
+    collect_delay_samples: bool = False,
+    collect_job_log: bool = False,
+) -> str:
+    """Canonical JSON string identifying one replication's inputs.
+
+    Raises
+    ------
+    CacheUnsupportedError
+        If any input cannot be reduced to stable primitives.
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "cluster": _jsonable(cluster),
+        "workload": _jsonable(workload),
+        "horizon": float(horizon),
+        "warmup_fraction": float(warmup_fraction),
+        "seed": _jsonable(seed),
+        "arrival_processes": _jsonable(arrival_processes),
+        "routing": _jsonable(routing),
+        "allow_unstable": bool(allow_unstable),
+        "collect_delay_samples": bool(collect_delay_samples),
+        "collect_job_log": bool(collect_job_log),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class SimulationCache:
+    """Content-addressed store of :class:`SimulationResult` objects.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> cache = SimulationCache(tempfile.mkdtemp())
+    >>> cache.hits, cache.misses
+    (0, 0)
+    """
+
+    def __init__(self, cache_dir: str | Path):
+        self.root = Path(cache_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(fingerprint: str) -> str:
+        """SHA-256 hex key of a canonical fingerprint string."""
+        return hashlib.sha256(fingerprint.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, fingerprint: str) -> SimulationResult | None:
+        """The cached result for ``fingerprint``, or ``None`` on miss.
+
+        A corrupted, truncated, or fingerprint-mismatched entry counts
+        as a miss (the caller recomputes and overwrites it).
+        """
+        path = self._path(self.key_for(fingerprint))
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("fingerprint") != fingerprint
+            or not isinstance(entry.get("result"), SimulationResult)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def store(self, fingerprint: str, result: SimulationResult) -> None:
+        """Persist a result atomically under its fingerprint's key."""
+        key = self.key_for(fingerprint)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump({"fingerprint": fingerprint, "result": result}, fh)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for p in self.root.glob("*/*.pkl"):
+            p.unlink(missing_ok=True)
+            n += 1
+        return n

@@ -4,17 +4,44 @@ Within-run confidence intervals understate the truth because
 consecutive sojourn times are autocorrelated; the statistically honest
 estimate averages *independent replications*, each with its own RNG
 tree. :func:`simulate_replications` is what the validation experiments
-(T1/T2, A2, A3) call.
+(T1/T2, A2, A3, F7) call.
+
+The replication engine is parallel and cached:
+
+* ``n_jobs`` fans replications out over a process pool
+  (:mod:`repro.simulation.parallel`). Every replication's RNG tree
+  still comes from the same ``RngStreams.replication_seeds``
+  SeedSequence child, and aggregation is ordered by replication index,
+  so the numbers are **bit-identical for any worker count**.
+* ``cache_dir`` memoizes per-replication results on disk
+  (:mod:`repro.simulation.cache`), keyed by a content hash of the full
+  configuration; re-running a suite skips already-computed work.
+* ``progress`` receives one observability record per finished
+  replication (wall time, events/sec, cache status); the same records
+  land on ``ReplicatedResult.meta["replications"]``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.cluster.model import ClusterModel
 from repro.exceptions import ModelValidationError
+from repro.simulation.cache import (
+    CacheUnsupportedError,
+    SimulationCache,
+    simulation_fingerprint,
+)
+from repro.simulation.parallel import (
+    ReplicationTiming,
+    SerialBackend,
+    get_backend,
+    payload_is_picklable,
+)
 from repro.simulation.rng import RngStreams
 from repro.simulation.simulator import SimulationResult, simulate
 from repro.simulation.stats import confidence_halfwidth
@@ -30,7 +57,11 @@ class ReplicatedResult:
 
     ``delays`` etc. are means over replications; the matching ``*_ci``
     fields are Student-t half-widths with ``n_replications - 1``
-    degrees of freedom.
+    degrees of freedom. ``meta`` carries engine observability (per
+    replication: wall time, events/sec, cached flag; plus backend name,
+    worker count and cache hit/miss totals) and is **excluded** from
+    the bit-identical reproducibility guarantee — timings obviously
+    vary run to run.
     """
 
     class_names: tuple[str, ...]
@@ -47,60 +78,57 @@ class ReplicatedResult:
     station_sojourns: np.ndarray
     station_waits: np.ndarray
     replications: list[SimulationResult]
+    meta: dict[str, Any] = field(default_factory=dict)
 
-    def delay_percentiles(self, p: float) -> tuple[np.ndarray, np.ndarray]:
+    def delay_percentiles(
+        self, p: float, with_counts: bool = False
+    ) -> tuple[np.ndarray, ...]:
         """Across-replication mean and CI of the per-class empirical
-        ``p``-percentile delay (requires ``collect_delay_samples=True``)."""
+        ``p``-percentile delay (requires ``collect_delay_samples=True``).
+
+        A replication in which a class completed zero jobs yields a NaN
+        percentile for that class; such replications are *excluded*
+        per class rather than poisoning the mean/CI: the mean is the
+        ``nanmean`` over replications and the CI uses the effective
+        (finite) replication count per class. Classes with fewer than
+        two finite replications get a NaN CI.
+
+        Parameters
+        ----------
+        p:
+            Percentile level in ``(0, 1)``.
+        with_counts:
+            When True, also return the per-class effective replication
+            count, i.e. ``(means, cis, counts)``.
+        """
         per_rep = np.array(
             [
                 [r.delay_percentile(k, p) for k in range(len(self.class_names))]
                 for r in self.replications
             ]
         )
-        means = per_rep.mean(axis=0)
-        if self.n_replications < 2:
-            return means, np.full_like(means, np.nan)
-        cis = np.array(
-            [
-                confidence_halfwidth(float(np.std(per_rep[:, k], ddof=1)), self.n_replications)
-                for k in range(per_rep.shape[1])
-            ]
-        )
+        counts = np.sum(np.isfinite(per_rep), axis=0)
+        means = np.full(per_rep.shape[1], np.nan)
+        cis = np.full(per_rep.shape[1], np.nan)
+        for k in range(per_rep.shape[1]):
+            finite = per_rep[np.isfinite(per_rep[:, k]), k]
+            if finite.size > 0:
+                means[k] = float(finite.mean())
+            if finite.size >= 2:
+                cis[k] = confidence_halfwidth(float(np.std(finite, ddof=1)), finite.size)
+        if with_counts:
+            return means, cis, counts
         return means, cis
 
 
-def simulate_replications(
-    cluster: ClusterModel,
-    workload: Workload,
-    horizon: float,
-    n_replications: int = 5,
-    warmup_fraction: float = 0.1,
-    seed: int = 0,
-    arrival_processes: list[ArrivalProcess] | None = None,
-    collect_delay_samples: bool = False,
+def _aggregate(
+    runs: list[SimulationResult], n_replications: int, meta: dict[str, Any]
 ) -> ReplicatedResult:
-    """Run ``n_replications`` independent replications and aggregate.
+    """Fold per-replication results into across-replication statistics.
 
-    Every replication draws its RNG tree from an independent child of
-    the master seed, so the across-replication CI is statistically
-    valid.
+    Pure function of the *ordered* run list — the source of the
+    any-worker-count reproducibility guarantee.
     """
-    if n_replications < 1:
-        raise ModelValidationError(f"need at least one replication, got {n_replications}")
-    seeds = RngStreams.replication_seeds(seed, n_replications)
-    runs = [
-        simulate(
-            cluster,
-            workload,
-            horizon,
-            warmup_fraction=warmup_fraction,
-            seed=s,
-            arrival_processes=arrival_processes,
-            collect_delay_samples=collect_delay_samples,
-        )
-        for s in seeds
-    ]
-
     delays = np.stack([r.delays for r in runs])
     means = np.array([r.mean_delay for r in runs])
     powers = np.array([r.average_power for r in runs])
@@ -137,4 +165,155 @@ def simulate_replications(
         station_sojourns=np.stack([r.station_sojourns for r in runs]).mean(axis=0),
         station_waits=np.stack([r.station_waits for r in runs]).mean(axis=0),
         replications=runs,
+        meta=meta,
     )
+
+
+def simulate_replications(
+    cluster: ClusterModel,
+    workload: Workload,
+    horizon: float,
+    n_replications: int = 5,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+    arrival_processes: list[ArrivalProcess] | None = None,
+    collect_delay_samples: bool = False,
+    *,
+    routing: list | None = None,
+    allow_unstable: bool = False,
+    collect_job_log: bool = False,
+    n_jobs: int | None = None,
+    cache_dir: str | SimulationCache | None = None,
+    progress: Callable[[ReplicationTiming, int, int], None] | None = None,
+) -> ReplicatedResult:
+    """Run ``n_replications`` independent replications and aggregate.
+
+    Every replication draws its RNG tree from an independent child of
+    the master seed, so the across-replication CI is statistically
+    valid. All per-run :func:`simulate` options (``routing``,
+    ``allow_unstable``, ``collect_job_log``, ...) are forwarded to
+    every replication.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes: ``None``/``1`` serial (default), ``-1`` all
+        cores, ``k > 1`` a pool of ``k``. Results are bit-identical for
+        any value; only wall-clock changes.
+    cache_dir:
+        Directory (or a :class:`SimulationCache`) memoizing finished
+        replications on disk by a content hash of the configuration.
+        A warm cache returns without running the simulator at all.
+        Configurations that cannot be fingerprinted (e.g. closure-based
+        arrival-rate functions) silently bypass the cache
+        (``meta["cache"] == "unsupported"``).
+    progress:
+        Callback invoked once per finished replication (in completion
+        order) with ``(timing_record, n_done, n_total)``.
+    """
+    if n_replications < 1:
+        raise ModelValidationError(f"need at least one replication, got {n_replications}")
+    t_start = time.perf_counter()
+    seeds = RngStreams.replication_seeds(seed, n_replications)
+
+    cache: SimulationCache | None
+    if cache_dir is None:
+        cache = None
+    elif isinstance(cache_dir, SimulationCache):
+        cache = cache_dir
+    else:
+        cache = SimulationCache(cache_dir)
+
+    sim_kwargs_common: dict[str, Any] = dict(
+        cluster=cluster,
+        workload=workload,
+        horizon=horizon,
+        warmup_fraction=warmup_fraction,
+        arrival_processes=arrival_processes,
+        collect_delay_samples=collect_delay_samples,
+        routing=routing,
+        allow_unstable=allow_unstable,
+        collect_job_log=collect_job_log,
+    )
+
+    timings: list[ReplicationTiming] = []
+    n_done = 0
+    n_total = n_replications
+
+    def _notify(timing: ReplicationTiming) -> None:
+        nonlocal n_done
+        n_done += 1
+        timings.append(timing)
+        if progress is not None:
+            progress(timing, n_done, n_total)
+
+    # Cache pass: resolve what is already on disk. Fingerprints differ
+    # per replication only in the seed child.
+    results: dict[int, SimulationResult] = {}
+    fingerprints: dict[int, str] = {}
+    cache_state = "disabled"
+    if cache is not None:
+        cache_state = "enabled"
+        try:
+            for i, s in enumerate(seeds):
+                fingerprints[i] = simulation_fingerprint(
+                    cluster,
+                    workload,
+                    horizon,
+                    warmup_fraction,
+                    s,
+                    arrival_processes=arrival_processes,
+                    routing=routing,
+                    allow_unstable=allow_unstable,
+                    collect_delay_samples=collect_delay_samples,
+                    collect_job_log=collect_job_log,
+                )
+        except CacheUnsupportedError:
+            fingerprints.clear()
+            cache_state = "unsupported"
+        for i, fp in fingerprints.items():
+            hit = cache.load(fp)
+            if hit is not None:
+                results[i] = hit
+                _notify(ReplicationTiming(index=i, wall_time_s=0.0, n_events=0, cached=True))
+
+    # Simulation pass: whatever the cache did not supply.
+    payloads = [
+        (i, {**sim_kwargs_common, "seed": seeds[i]})
+        for i in range(n_replications)
+        if i not in results
+    ]
+    if payloads:
+        backend = get_backend(n_jobs)
+        if not isinstance(backend, SerialBackend) and not payload_is_picklable(payloads[0]):
+            backend = SerialBackend()
+            cache_state += "+serial-fallback"
+
+        def on_done(index: int, result: SimulationResult, wall: float) -> None:
+            results[index] = result
+            if cache is not None and index in fingerprints:
+                cache.store(fingerprints[index], result)
+            _notify(
+                ReplicationTiming(
+                    index=index,
+                    wall_time_s=wall,
+                    n_events=int(result.meta.get("n_events", 0)),
+                )
+            )
+
+        backend.run(payloads, on_done)
+    else:
+        backend = None
+
+    runs = [results[i] for i in range(n_replications)]
+    timings.sort(key=lambda rec: rec.index)
+    meta = {
+        "backend": backend.name if backend is not None else "cache",
+        "n_jobs": getattr(backend, "n_workers", 1) if backend is not None else 0,
+        "cache": cache_state,
+        "cache_hits": sum(1 for rec in timings if rec.cached),
+        "cache_misses": len(payloads) if cache is not None else 0,
+        "wall_time_s": time.perf_counter() - t_start,
+        "replications": [rec.as_dict() for rec in timings],
+    }
+    return _aggregate(runs, n_replications, meta)

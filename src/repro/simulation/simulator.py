@@ -250,10 +250,12 @@ def simulate(
         seq += 1
         heapq.heappush(heap, (gap, seq, _ARRIVAL, k, batch, 0))
 
+    n_events = 0
     while heap:
         t, _, kind, a, b, c = heapq.heappop(heap)
         if t > horizon:
             break
+        n_events += 1
         if kind == _ARRIVAL:
             k = a
             for _ in range(b):
@@ -265,6 +267,9 @@ def simulate(
                         routing_tables[k][0], routing_rngs[k]
                     )
                     job = Job(jid, k, t, (entry,))
+                # Blocking counters share the job-arrival measurement
+                # window with the delay statistics (here t *is* the
+                # job's arrival time).
                 if t >= warmup:
                     offered[k, job.route[0]] += 1
                 if not stations[job.route[0]].arrive(t, job) and t >= warmup:
@@ -284,8 +289,8 @@ def simulate(
                 wait_sum[kcls, here] += sj - job.service_total
                 sojourn_sum[kcls, here] += sj
                 visit_count[kcls, here] += 1
-                if t >= warmup:
-                    station_completions[kcls, here] += 1
+                # counted implies t >= job.arrival >= warmup.
+                station_completions[kcls, here] += 1
             if routing_tables is not None:
                 nxt = _draw_from_cumulative(
                     routing_tables[job.cls][1][here], routing_rngs[job.cls]
@@ -295,9 +300,13 @@ def simulate(
             job.hop += 1
             if job.hop < len(job.route):
                 nxt_station = job.route[job.hop]
-                if t >= warmup:
+                # Offered/blocked counters use the job-arrival window
+                # (``counted``), not the hop's event time: the simulated
+                # blocking probability must be measured over the same
+                # population as the delays it is compared against.
+                if counted:
                     offered[job.cls, nxt_station] += 1
-                if not stations[nxt_station].arrive(t, job) and t >= warmup:
+                if not stations[nxt_station].arrive(t, job) and counted:
                     n_blocked[job.cls, nxt_station] += 1
             elif counted:
                 e2e[job.cls].add(t - job.arrival)
@@ -362,6 +371,7 @@ def simulate(
         warmup=warmup,
         meta={
             "n_jobs_created": jid,
+            "n_events": n_events,
             "station_completions": station_completions,
             "n_blocked": n_blocked,
             "n_offered": offered,
