@@ -1,7 +1,5 @@
 """Benchmark F9: TCO-optimal allocation vs energy price."""
 
-import numpy as np
-
 from repro.experiments import exp_f9_tco_vs_energy_price as f9
 
 

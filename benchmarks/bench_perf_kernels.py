@@ -7,8 +7,6 @@ one optimizer solve of each family, a simulation replication, and the
 Erlang-C recurrence at scale.
 """
 
-import numpy as np
-
 from repro.core import minimize_cost, minimize_delay, minimize_energy
 from repro.core.delay import end_to_end_delays
 from repro.core.energy import average_power

@@ -11,11 +11,32 @@ artifacts. Run with::
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_from_env():
+    """Honor ``REPRO_TELEMETRY=DIR``: run the whole benchmark session
+    with telemetry enabled, writing the artifact to ``DIR``.
+
+    CI uses this to exercise the instrumented path; unset (the default)
+    the fixture does nothing and benchmarks time the un-instrumented
+    code.
+    """
+    out_dir = os.environ.get("REPRO_TELEMETRY")
+    if not out_dir:
+        yield
+        return
+    from repro import obs
+
+    with obs.telemetry_session(out_dir, command=["pytest", "benchmarks/"]):
+        yield
+    print(f"\n[telemetry written to {out_dir}]")
 
 
 @pytest.fixture

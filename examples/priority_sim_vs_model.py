@@ -11,8 +11,6 @@ assumption starts to bite.
 Run:  python examples/priority_sim_vs_model.py
 """
 
-import numpy as np
-
 from repro.analysis import ValidationReport
 from repro.core import ClusterPerformanceModel
 from repro.experiments.common import canonical_cluster, canonical_workload

@@ -19,6 +19,11 @@ Commands
     canonical workload — the fastest way to see claim-1 numbers.
 ``solve {p1,p2,p3} [options]``
     Run one of the paper's optimizers on the canonical instance.
+``telemetry summarize <DIR>``
+    Human-readable summary of a telemetry artifact (manifest +
+    events.jsonl) produced by ``--telemetry DIR`` on ``run`` /
+    ``run-all`` / ``simulate``: slowest spans, per-replication event
+    throughput, solver iteration counts, cache hit ratio.
 """
 
 from __future__ import annotations
@@ -55,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir",
             default=None,
             help="directory memoizing finished replications (content-addressed)",
+        )
+        p.add_argument(
+            "--telemetry",
+            metavar="DIR",
+            default=None,
+            help="write a run manifest + JSONL telemetry events to this directory "
+            "(read back with: repro telemetry summarize DIR)",
+        )
+        p.add_argument(
+            "--telemetry-sample-queues",
+            action="store_true",
+            help="with --telemetry: also sample per-tier queue lengths inside the simulator",
         )
 
     run_p = sub.add_parser("run", help="run one experiment by ID")
@@ -105,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.25,
         help="p2: per-class delay bounds as a multiple of the full-speed delays",
     )
+
+    tel_p = sub.add_parser("telemetry", help="inspect telemetry artifacts")
+    tel_sub = tel_p.add_subparsers(dest="telemetry_command", required=True)
+    tel_sum = tel_sub.add_parser(
+        "summarize", help="render a --telemetry artifact as human-readable tables"
+    )
+    tel_sum.add_argument("path", help="directory (or manifest.json) written by --telemetry")
+    tel_sum.add_argument("--top", type=int, default=10, help="number of slowest spans to show")
     return parser
 
 
@@ -125,8 +150,10 @@ def _cmd_run(
     jobs: int | None = None,
     cache_dir: str | None = None,
 ) -> int:
+    from repro import obs
     from repro.experiments.registry import run_experiment
 
+    obs.TELEMETRY.annotate(config={"experiment": experiment_id.upper(), "quick": quick})
     text = run_experiment(experiment_id, quick=quick, n_jobs=jobs, cache_dir=cache_dir)
     print(text)
     if out:
@@ -143,24 +170,24 @@ def _cmd_run_all(
     cache_dir: str | None = None,
 ) -> int:
     import pathlib
-    import time
 
+    from repro import obs
     from repro.experiments.registry import REGISTRY
 
+    obs.TELEMETRY.annotate(config={"experiment": "ALL", "quick": not full})
     target = pathlib.Path(out_dir) if out_dir else None
     if target:
         target.mkdir(parents=True, exist_ok=True)
     failures = []
     for exp in REGISTRY.values():
-        t0 = time.perf_counter()
-        try:
-            text = exp.render(exp.run(quick=not full, n_jobs=jobs, cache_dir=cache_dir))
-        except Exception as exc:  # surface, keep going
-            failures.append(exp.id)
-            print(f"== {exp.id} FAILED: {exc}")
-            continue
-        dt = time.perf_counter() - t0
-        print(f"== {exp.id} ({dt:.1f}s)\n{text}\n")
+        with obs.span("cli.run_experiment", id=exp.id) as sp:
+            try:
+                text = exp.render(exp.run(quick=not full, n_jobs=jobs, cache_dir=cache_dir))
+            except Exception as exc:  # surface, keep going
+                failures.append(exp.id)
+                print(f"== {exp.id} FAILED: {exc}")
+                continue
+        print(f"== {exp.id} ({sp.wall_s:.1f}s)\n{text}\n")
         if target:
             (target / f"{exp.id}.txt").write_text(text + "\n")
     if failures:
@@ -205,12 +232,14 @@ def _cmd_simulate(
     """Replicated simulation of the canonical cluster with live
     per-replication progress — the CLI surface of the parallel
     replication engine's observability."""
+    from repro import obs
     from repro.analysis.tables import ascii_table
     from repro.experiments.common import canonical_cluster, canonical_workload
     from repro.simulation import simulate_replications
 
     cluster = canonical_cluster()
     workload = canonical_workload(load_factor)
+    obs.TELEMETRY.annotate(seed=seed, config={"cluster": cluster, "workload": workload})
 
     def progress(rec, done, total):
         if rec.cached:
@@ -282,9 +311,157 @@ def _cmd_solve(problem: str, load_factor: float, budget_fraction: float, delay_s
     return 0
 
 
+def _cmd_telemetry_summarize(path: str, top: int = 10) -> int:
+    """Render a ``--telemetry`` artifact as human-readable tables."""
+    import json
+    import pathlib
+    import time
+
+    from repro.analysis.tables import ascii_table
+    from repro.obs import EVENTS_FILENAME, MANIFEST_FILENAME
+
+    root = pathlib.Path(path)
+    manifest_path = root if root.is_file() else root / MANIFEST_FILENAME
+    events_path = manifest_path.parent / EVENTS_FILENAME
+    if not manifest_path.exists():
+        print(f"error: no {MANIFEST_FILENAME} under {root} — was the run started with --telemetry?")
+        return 1
+    manifest = json.loads(manifest_path.read_text())
+    events: list[dict] = []
+    if events_path.exists():
+        with open(events_path) as fh:
+            events = [json.loads(line) for line in fh if line.strip()]
+
+    cmd = manifest.get("command")
+    fingerprint = manifest.get("config_fingerprint")
+    created = manifest.get("created_unix")
+    print(f"repro {manifest.get('version', '?')} telemetry run")
+    if created:
+        print(f"  created  {time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(created))}")
+    if cmd:
+        print(f"  command  {' '.join(cmd) if isinstance(cmd, list) else cmd}")
+    if manifest.get("seed") is not None:
+        print(f"  seed     {manifest['seed']}")
+    if fingerprint:
+        print(f"  config   {fingerprint[:16]}… (canonical SHA-256)")
+    host = manifest.get("host", {})
+    if host:
+        print(f"  host     {host.get('hostname')} ({host.get('platform')}, "
+              f"{host.get('cpu_count')} cores)")
+    print(f"  events   {len(events)} in {events_path.name}")
+
+    spans = [e for e in events if e.get("type") == "span"]
+    if spans:
+        slowest = sorted(spans, key=lambda e: -e.get("wall_s", 0.0))[:top]
+        rows = [
+            [
+                ("· " * e.get("depth", 0)) + e["name"],
+                round(e.get("wall_s", 0.0) * 1e3, 2),
+                round(e.get("cpu_s", 0.0) * 1e3, 2),
+                ", ".join(f"{k}={v}" for k, v in sorted(e.get("tags", {}).items()))[:48],
+            ]
+            for e in slowest
+        ]
+        print()
+        print(ascii_table(["span", "wall ms", "cpu ms", "tags"], rows,
+                          title=f"Slowest spans (top {len(rows)} of {len(spans)})"))
+
+    reps = [e["fields"] for e in events
+            if e.get("type") == "event" and e.get("name") == "sim.replication"]
+    if reps:
+        rows = [
+            [
+                r.get("index"),
+                r.get("n_events"),
+                round(r.get("wall_s", 0.0), 3),
+                f"{r.get('events_per_sec', 0.0):,.0f}",
+                "yes" if r.get("cached") else "no",
+            ]
+            for r in sorted(reps, key=lambda r: (r.get("index", 0),))
+        ]
+        print()
+        print(ascii_table(["replication", "events", "wall s", "events/s", "cached"],
+                          rows, title=f"Replications ({len(rows)})"))
+
+    solves = [e["fields"] for e in events
+              if e.get("type") == "event" and e.get("name") == "solver.result"]
+    if solves:
+        rows = [
+            [
+                s.get("label") or "?",
+                s.get("method"),
+                s.get("nit"),
+                s.get("nfev"),
+                s.get("n_evaluations"),
+                s.get("status"),
+                "yes" if s.get("success") else "no",
+                round(s.get("wall_s", 0.0) * 1e3, 1),
+            ]
+            for s in solves
+        ]
+        print()
+        print(ascii_table(
+            ["problem", "method", "nit", "nfev", "total evals", "status", "ok", "wall ms"],
+            rows, title=f"Optimizer solves ({len(rows)})"))
+
+    metrics = manifest.get("metrics", {})
+    hits = metrics.get("sim.cache.hits", {}).get("value", 0)
+    misses = metrics.get("sim.cache.misses", {}).get("value", 0)
+    interesting = {
+        "sim.events": "simulator events",
+        "sim.jobs_created": "jobs created",
+        "sim.jobs_counted": "jobs counted",
+        "opt.solves": "optimizer solves",
+        "opt.evaluations": "model evaluations",
+    }
+    counter_rows = [
+        [label, metrics[name]["value"]]
+        for name, label in interesting.items()
+        if name in metrics
+    ]
+    if hits or misses:
+        ratio = hits / (hits + misses) if (hits + misses) else 0.0
+        counter_rows.append(["cache hits / misses", f"{hits} / {misses} ({ratio:.0%} hit ratio)"])
+    if counter_rows:
+        print()
+        print(ascii_table(["counter", "value"], counter_rows, title="Counters"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When the command carries ``--telemetry DIR``, the whole dispatch
+    runs inside a telemetry session: spans, events and metrics stream
+    to ``DIR/events.jsonl`` and a run manifest is finalized atomically
+    on the way out — even if the command fails.
+    """
     args = build_parser().parse_args(argv)
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is not None:
+        from repro.obs import telemetry_session
+
+        command = ["repro", *(argv if argv is not None else sys.argv[1:])]
+        with telemetry_session(
+            telemetry_dir,
+            command=command,
+            sample_queues=getattr(args, "telemetry_sample_queues", False),
+        ):
+            code = _dispatch(args)
+        print(f"[telemetry written to {telemetry_dir}; "
+              f"read with: repro telemetry summarize {telemetry_dir}]")
+        return code
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route parsed arguments to their command implementation."""
+    if args.command == "telemetry":
+        if args.telemetry_command == "summarize":
+            return _cmd_telemetry_summarize(args.path, args.top)
+        raise AssertionError(
+            f"unhandled telemetry command {args.telemetry_command!r}"
+        )  # pragma: no cover
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

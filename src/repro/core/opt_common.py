@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cluster.model import ClusterModel
 from repro.exceptions import InfeasibleProblemError
 from repro.workload.classes import Workload

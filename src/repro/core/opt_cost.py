@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.model import ClusterModel
 from repro.core.delay import end_to_end_delays
 from repro.core.feasibility import sla_feasibility
@@ -160,8 +161,9 @@ def minimize_cost(
             sum(int(c) * t.spec.cost for c, t in zip(counts, at_max_speed.tiers))
         )
 
-    greedy = greedy_integer_allocation(evaluate, cost, lower, upper)
-    counts = integer_local_search(greedy, evaluate, cost, lower, upper)
+    with obs.span("optimize.solve", label="p3", method="greedy+local") as p3_span:
+        greedy = greedy_integer_allocation(evaluate, cost, lower, upper)
+        counts = integer_local_search(greedy, evaluate, cost, lower, upper)
 
     final = at_max_speed.with_servers(counts)
     meta: dict[str, Any] = {
@@ -188,6 +190,22 @@ def minimize_cost(
             meta["speed_optimization_failed"] = p2b.message
 
     delays = end_to_end_delays(final, workload)
+    obs.event(
+        "solver.result",
+        label="p3",
+        method="greedy+local",
+        success=True,
+        fun=final.total_cost(),
+        nit=0,
+        nfev=evals[0],
+        status=0,
+        message="greedy + local search converged",
+        n_evaluations=evals[0],
+        constraint_violation=0.0,
+        wall_s=p3_span.wall_s,
+    )
+    obs.counter("opt.solves").inc()
+    obs.counter("opt.evaluations").add(evals[0])
     return CostAllocation(
         cluster=final,
         server_counts=np.asarray(counts, dtype=int),

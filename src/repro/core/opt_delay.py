@@ -94,6 +94,7 @@ def minimize_delay(
         bounds,
         constraints=[Constraint(power_slack, name="power budget")],
         n_starts=n_starts,
+        label="p1",
     )
     optimized = cluster.with_speeds(result.x)
     result.meta["cluster"] = optimized

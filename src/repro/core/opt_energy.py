@@ -125,7 +125,13 @@ def minimize_energy(
 
         constraints.append(Constraint(agg_slack, name="mean delay"))
 
-    result = minimize_box_constrained(objective, box, constraints=constraints, n_starts=n_starts)
+    result = minimize_box_constrained(
+        objective,
+        box,
+        constraints=constraints,
+        n_starts=n_starts,
+        label="p2b" if bounds_arr is not None else "p2a",
+    )
     optimized = cluster.with_speeds(result.x)
     result.meta["cluster"] = optimized
     result.meta["delays"] = end_to_end_delays(optimized, workload)

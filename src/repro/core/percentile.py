@@ -188,7 +188,7 @@ def class_delay_percentile_ph(
         non-identical-exponential service, or a service distribution
         with no exact PH form.
     """
-    from repro.queueing.phase_type import as_phase_type, mph1_sojourn
+    from repro.queueing.phase_type import as_phase_type
 
     if not 0.0 < p < 1.0:
         raise ModelValidationError(f"percentile level must be in (0, 1), got {p}")

@@ -56,3 +56,18 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class ReproWarning(UserWarning):
+    """Base class for all warnings issued by the :mod:`repro` package."""
+
+
+class WarmupDiscardWarning(ReproWarning):
+    """A simulation's warmup window discarded most of its data.
+
+    Issued when more than half of the jobs that completed during a
+    replication arrived before the warmup cutoff and were therefore
+    excluded from the statistics: the surviving tail is small and the
+    reported delays are correspondingly noisy. Lengthen the horizon or
+    shrink ``warmup_fraction``.
+    """

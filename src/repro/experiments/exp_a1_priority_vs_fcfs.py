@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
 from repro.analysis.tables import ascii_table
 from repro.analysis.validation import relative_error
 from repro.baselines.single_class import aggregate_fcfs_delays

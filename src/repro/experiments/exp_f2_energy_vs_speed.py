@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.analysis.series import SweepSeries
-from repro.cluster import ClusterModel, ServerSpec, Tier
+from repro.cluster import ClusterModel
 from repro.cluster.power import PowerModel
 from repro.core.delay import mean_end_to_end_delay
 from repro.core.energy import average_power, energy_per_request

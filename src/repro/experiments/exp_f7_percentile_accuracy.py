@@ -140,7 +140,7 @@ def run_fcfs(
     """
     base = canonical_cluster(discipline="fcfs")
     # One fast server per tier: same capacity, single-server FCFS.
-    from repro.cluster import ClusterModel, Tier
+    from repro.cluster import ClusterModel
     from dataclasses import replace as _replace
 
     tiers = []

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.analysis.validation import ValidationReport
 from repro.core.energy import average_power, energy_per_request, per_class_energy_per_request
 from repro.experiments.common import canonical_cluster, canonical_workload

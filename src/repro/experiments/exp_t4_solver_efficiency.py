@@ -13,12 +13,12 @@ exhaustive search is affordable.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.tables import ascii_table
 from repro.baselines.exhaustive import exhaustive_cost_minimization
 from repro.core.opt_cost import minimize_cost
@@ -66,21 +66,19 @@ def run(small_caps=(6, 8, 10, 12), load_factor: float = 1.0) -> T4Result:
         )
     )
     for label, cl, wl, sla_i, cap in instances:
-        t0 = time.perf_counter()
-        alloc = minimize_cost(cl, wl, sla_i, max_servers_per_tier=cap, optimize_speeds=False)
-        t_opt = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        _, ex_cost, ex_evals = exhaustive_cost_minimization(
-            cl, wl, sla_i, max_servers_per_tier=cap
-        )
-        t_ex = time.perf_counter() - t0
+        with obs.span("t4.p3_solve", instance=label) as t_opt:
+            alloc = minimize_cost(cl, wl, sla_i, max_servers_per_tier=cap, optimize_speeds=False)
+        with obs.span("t4.exhaustive", instance=label) as t_ex:
+            _, ex_cost, ex_evals = exhaustive_cost_minimization(
+                cl, wl, sla_i, max_servers_per_tier=cap
+            )
         result.rows.append(
             [
                 label,
                 alloc.n_evaluations,
-                round(t_opt * 1e3, 3),
+                round(t_opt.wall_s * 1e3, 3),
                 f"{ex_evals} (of {cap ** cl.num_tiers})",
-                round(t_ex * 1e3, 3),
+                round(t_ex.wall_s * 1e3, 3),
                 alloc.total_cost,
                 alloc.total_cost - ex_cost,
             ]
@@ -88,14 +86,14 @@ def run(small_caps=(6, 8, 10, 12), load_factor: float = 1.0) -> T4Result:
 
     cluster, workload = canonical_cluster(), canonical_workload(load_factor)
     rep_power = cluster.average_power(workload.arrival_rates)
-    t0 = time.perf_counter()
-    minimize_delay(cluster, workload, power_budget=rep_power * 0.9, n_starts=3)
-    result.p1_seconds = time.perf_counter() - t0
+    with obs.span("t4.p1_solve") as t_p1:
+        minimize_delay(cluster, workload, power_budget=rep_power * 0.9, n_starts=3)
+    result.p1_seconds = t_p1.wall_s
 
     sla = canonical_sla()
-    t0 = time.perf_counter()
-    minimize_energy(cluster, workload, sla=sla, n_starts=3)
-    result.p2b_seconds = time.perf_counter() - t0
+    with obs.span("t4.p2b_solve") as t_p2b:
+        minimize_energy(cluster, workload, sla=sla, n_starts=3)
+    result.p2b_seconds = t_p2b.wall_s
     return result
 
 

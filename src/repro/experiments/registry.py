@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from types import ModuleType
 from typing import Any
 
+from repro import obs
 from repro.exceptions import ModelValidationError
 from repro.experiments import (
     exp_a1_priority_vs_fcfs,
@@ -63,7 +64,11 @@ class Experiment:
             kwargs.update(
                 {k: v for k, v in overrides.items() if v is not None and k in accepted}
             )
-        return self.module.run(**kwargs)
+        with obs.span("experiment.run", id=self.id, quick=quick) as sp:
+            result = self.module.run(**kwargs)
+        obs.event("experiment.done", id=self.id, quick=quick, wall_s=sp.wall_s)
+        obs.timer("experiment.seconds").observe(sp.wall_s)
+        return result
 
     def render(self, result) -> str:
         """Render a result produced by :meth:`run`."""

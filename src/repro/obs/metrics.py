@@ -1,0 +1,206 @@
+"""Process-wide metric registry: counters, gauges, histograms, timers.
+
+Every long-lived quantity the library wants to expose — simulator
+events processed, cache hits, solver iterations — is registered here
+under a dotted name (``sim.events``, ``sim.cache.hits``, ...). The
+design goal is a **near-zero-cost disabled path**: when telemetry is
+off (the default), every accessor returns a shared null instrument
+whose mutating methods are no-ops, so instrumented code pays one
+dictionary-free attribute call and allocates nothing.
+
+Instrumented call sites therefore fetch their instrument *per
+operation* (per replication, per solve — never per simulated event)::
+
+    from repro import obs
+    obs.counter("sim.events").add(n_events)
+
+Hot loops must aggregate locally and record once at the end — the
+simulator already counts its events in a local variable; telemetry
+only sees the total.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+
+class Counter:
+    """Monotone event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self) -> None:
+        """Add one."""
+        self.value += 1
+
+    def add(self, n: int | float) -> None:
+        """Add ``n`` (must be >= 0 to stay monotone)."""
+        self.value += n
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-observed value (e.g. current queue length)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max (constant memory, no reservoir); quantiles
+    belong in the JSONL event stream where the raw observations land.
+    A :class:`Histogram` observed in seconds *is* the library's timer —
+    :meth:`MetricsRegistry.timer` registers one under the convention
+    that its unit is seconds.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+        }
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def inc(self) -> None:
+        pass
+
+    def add(self, n: int | float) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, v: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+# Module-level singletons: the disabled path allocates nothing.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Name → instrument mapping with an on/off switch.
+
+    While disabled (default) every accessor returns the corresponding
+    module-level null singleton and records nothing; while enabled,
+    instruments are created on first use and accumulate until
+    :meth:`reset`.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (null when disabled)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = Counter(name)
+        elif not isinstance(m, Counter):
+            raise TypeError(f"metric {name!r} is a {type(m).__name__}, not a Counter")
+        return m
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (null when disabled)."""
+        if not self.enabled:
+            return NULL_GAUGE
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = Gauge(name)
+        elif not isinstance(m, Gauge):
+            raise TypeError(f"metric {name!r} is a {type(m).__name__}, not a Gauge")
+        return m
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (null when disabled)."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = Histogram(name)
+        elif not isinstance(m, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(m).__name__}, not a Histogram")
+        return m
+
+    def timer(self, name: str) -> Histogram:
+        """A histogram whose observations are wall seconds."""
+        return self.histogram(name)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Plain-dict view of every registered instrument, sorted by
+        name (deterministic for the run manifest)."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        self._metrics.clear()

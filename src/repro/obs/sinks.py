@@ -1,0 +1,75 @@
+"""Event sinks: where emitted telemetry events go.
+
+Two implementations cover the library's needs:
+
+* :class:`InMemorySink` — a list, for tests and interactive inspection;
+* :class:`JsonlSink` — one JSON object per line, written line-buffered
+  to ``<path>.tmp`` and atomically renamed to ``<path>`` on
+  :meth:`~JsonlSink.finalize` (a crash mid-run leaves the ``.tmp``
+  partial file, never a half-written final artifact).
+
+Both guarantee the schema contract checked by the round-trip tests:
+every emitted event is a JSON-serializable dict that parses back to an
+equal dict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["InMemorySink", "JsonlSink"]
+
+
+class InMemorySink:
+    """Collect events in a list (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Line-buffered JSONL writer with atomic finalize.
+
+    Events are serialized with ``sort_keys=True`` so a byte-identical
+    event always produces a byte-identical line. Serialization errors
+    are swallowed into a ``n_dropped`` count — telemetry must never
+    take the computation down with it.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+        self._fh = open(self._tmp, "w", buffering=1)
+        self.n_events = 0
+        self.n_dropped = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        try:
+            line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            self.n_dropped += 1
+            return
+        self._fh.write(line + "\n")
+        self.n_events += 1
+
+    def finalize(self) -> Path:
+        """Flush, fsync and atomically rename into place."""
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            os.replace(self._tmp, self.path)
+        return self.path
+
+    # The tracer only requires close(); alias it to the atomic rename.
+    close = finalize

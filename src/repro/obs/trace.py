@@ -1,0 +1,179 @@
+"""Nestable spans and point events with a stable JSON schema.
+
+A **span** measures one named unit of work (a solve, a replication, a
+whole experiment): wall time via ``time.perf_counter``, CPU time via
+``time.process_time``, arbitrary JSON-safe tags, and its position in
+the tree of enclosing spans. A **point event** records a fact at an
+instant (one replication finished, a solver converged, warmup
+discarded too much data).
+
+Spans always *measure* — ``span.wall_s`` is valid whether or not
+telemetry is enabled, so library code reports seconds from one clock
+discipline everywhere — but they are only *emitted* (to sinks, and
+into the tracer's finished-span tree) while the tracer is enabled.
+
+Event schema (version ``1``), one JSON object per line in the JSONL
+sink:
+
+``span``
+    ``{"v": 1, "type": "span", "name", "ts", "wall_s", "cpu_s",
+    "depth", "tags": {...}}`` — ``ts`` is the Unix time the span
+    *ended*; ``depth`` 0 marks a root span.
+``event``
+    ``{"v": 1, "type": "event", "name", "ts", "fields": {...}}``
+
+The tracer is intentionally single-threaded (one stack per process);
+process-pool simulation workers run un-traced and ship their counts
+back in result metadata, which the parent then records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+__all__ = ["EVENT_SCHEMA_VERSION", "Span", "Tracer", "json_safe"]
+
+EVENT_SCHEMA_VERSION = 1
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively coerce a tag/field value to JSON-serializable types.
+
+    NumPy scalars and arrays become Python numbers and lists; unknown
+    objects fall back to ``str`` (telemetry must never crash the
+    instrumented computation over an exotic tag value).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    return str(value)
+
+
+class Span:
+    """One timed unit of work; use as a context manager.
+
+    Attributes are populated on ``__exit__``: ``wall_s`` and ``cpu_s``
+    are the elapsed wall/CPU seconds, ``children`` the spans that
+    closed while this one was open (only tracked while the tracer is
+    enabled).
+    """
+
+    __slots__ = ("name", "tags", "depth", "children", "wall_s", "cpu_s", "_tracer", "_t0", "_c0")
+
+    def __init__(self, name: str, tags: dict[str, Any], tracer: "Tracer | None"):
+        self.name = name
+        self.tags = tags
+        self.depth = 0
+        self.children: list[Span] = []
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._tracer = tracer
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._open(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+        if self._tracer is not None:
+            self._tracer._close(self)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Nested plain-dict view (manifest span tree)."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "tags": self.tags,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Span stack + finished-root collection + sink fan-out.
+
+    ``sinks`` is a list of objects with an ``emit(event_dict)`` method
+    (:mod:`repro.obs.sinks`). Disabled tracers hand out spans that
+    still measure but record and emit nothing.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.sinks: list[Any] = []
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """A new span named ``name``; tags must be JSON-coercible."""
+        if not self.enabled:
+            return Span(name, {}, None)
+        return Span(name, {k: json_safe(v) for k, v in tags.items()}, self)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a point event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "v": EVENT_SCHEMA_VERSION,
+                "type": "event",
+                "name": name,
+                "ts": time.time(),
+                "fields": {k: json_safe(v) for k, v in fields.items()},
+            }
+        )
+
+    def reset(self) -> None:
+        """Drop collected spans (open spans are abandoned)."""
+        self.roots.clear()
+        self._stack.clear()
+
+    # -- span lifecycle (called by Span) --------------------------------
+    def _open(self, span: Span) -> None:
+        span.depth = len(self._stack)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generator teardown etc.): pop
+        # back to this span if it is on the stack at all.
+        if span in self._stack:
+            while self._stack:
+                top = self._stack.pop()
+                if top is span:
+                    break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._emit(
+            {
+                "v": EVENT_SCHEMA_VERSION,
+                "type": "span",
+                "name": span.name,
+                "ts": time.time(),
+                "wall_s": span.wall_s,
+                "cpu_s": span.cpu_s,
+                "depth": span.depth,
+                "tags": span.tags,
+            }
+        )
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)

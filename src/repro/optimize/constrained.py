@@ -16,6 +16,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 from scipy.optimize import minimize
 
+from repro import obs
 from repro.exceptions import ModelValidationError, UnstableSystemError
 from repro.optimize.result import OptimizationResult
 
@@ -82,6 +83,7 @@ def minimize_box_constrained(
     n_starts: int = 5,
     feasibility_tol: float = 1e-6,
     method: str = "SLSQP",
+    label: str = "",
 ) -> OptimizationResult:
     """Minimize ``objective`` over a box subject to ``g_j(x) >= 0``.
 
@@ -100,12 +102,19 @@ def minimize_box_constrained(
         Absolute slack below which a constraint counts as satisfied.
     method:
         ``"SLSQP"`` (default) or ``"trust-constr"``.
+    label:
+        Telemetry label for the solve (e.g. ``"p1"``); shows up in the
+        ``optimize.solve`` span and the ``solver.result`` event.
 
     Returns
     -------
     OptimizationResult
         Best point across starts; ``success`` requires feasibility at
-        tolerance and solver convergence on at least one start.
+        tolerance and solver convergence on at least one start. SciPy's
+        per-start diagnostics (``nit``, ``nfev``, ``status``,
+        ``message``) of the winning start are surfaced on the result,
+        and ``meta["constraint_residuals"]`` maps each constraint name
+        to its final slack ``g_j(x)`` (negative = violated).
     """
     evals = [0]
     safe_obj = _safe(objective, evals)
@@ -123,37 +132,73 @@ def minimize_box_constrained(
             worst = max(worst, -g)
         return worst
 
+    def residuals(x: np.ndarray) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for c in constraints:
+            try:
+                out[c.name] = float(c.fun(x))
+            except UnstableSystemError:
+                out[c.name] = -_PENALTY
+        return out
+
     best: OptimizationResult | None = None
-    for x0 in multistart_points(bounds, n_starts):
-        try:
-            res = minimize(
-                safe_obj,
-                x0,
-                method=method,
-                bounds=bounds,
-                constraints=scipy_constraints,
-                options={"maxiter": 200, "ftol": 1e-10} if method == "SLSQP" else {"maxiter": 300},
-            )
-        except Exception as exc:  # pragma: no cover - scipy internal failures
+    with obs.span(
+        "optimize.solve",
+        label=label,
+        method=method,
+        n_starts=n_starts,
+        n_constraints=len(constraints),
+    ) as sp:
+        for x0 in multistart_points(bounds, n_starts):
+            try:
+                res = minimize(
+                    safe_obj,
+                    x0,
+                    method=method,
+                    bounds=bounds,
+                    constraints=scipy_constraints,
+                    options={"maxiter": 200, "ftol": 1e-10} if method == "SLSQP" else {"maxiter": 300},
+                )
+            except Exception as exc:  # pragma: no cover - scipy internal failures
+                candidate = OptimizationResult(
+                    x=x0, fun=_PENALTY, success=False, message=f"solver error: {exc}",
+                    n_evaluations=evals[0],
+                )
+                if candidate.better_than(best):
+                    best = candidate
+                continue
+            x = np.clip(res.x, [b[0] for b in bounds], [b[1] for b in bounds])
+            viol = violation(x)
             candidate = OptimizationResult(
-                x=x0, fun=_PENALTY, success=False, message=f"solver error: {exc}",
+                x=x,
+                fun=safe_obj(x),
+                success=bool(viol <= feasibility_tol and safe_obj(x) < _PENALTY),
+                message=str(res.message),
                 n_evaluations=evals[0],
+                constraint_violation=viol,
+                nit=int(getattr(res, "nit", 0) or 0),
+                nfev=int(getattr(res, "nfev", 0) or 0),
+                status=int(res.status) if getattr(res, "status", None) is not None else None,
             )
             if candidate.better_than(best):
                 best = candidate
-            continue
-        x = np.clip(res.x, [b[0] for b in bounds], [b[1] for b in bounds])
-        viol = violation(x)
-        candidate = OptimizationResult(
-            x=x,
-            fun=safe_obj(x),
-            success=bool(viol <= feasibility_tol and safe_obj(x) < _PENALTY),
-            message=str(res.message),
-            n_evaluations=evals[0],
-            constraint_violation=viol,
-        )
-        if candidate.better_than(best):
-            best = candidate
     assert best is not None  # n_starts >= 1 guarantees at least one candidate
     best.n_evaluations = evals[0]
+    best.meta["constraint_residuals"] = residuals(best.x)
+    obs.event(
+        "solver.result",
+        label=label,
+        method=method,
+        success=best.success,
+        fun=best.fun,
+        nit=best.nit,
+        nfev=best.nfev,
+        status=best.status,
+        message=best.message,
+        n_evaluations=best.n_evaluations,
+        constraint_violation=best.constraint_violation,
+        wall_s=sp.wall_s,
+    )
+    obs.counter("opt.solves").inc()
+    obs.counter("opt.evaluations").add(best.n_evaluations)
     return best

@@ -31,8 +31,18 @@ class OptimizationResult:
     constraint_violation:
         Max violation of any inequality constraint at ``x`` (0 when
         feasible).
+    nit:
+        Solver iterations of the winning start (SciPy ``nit``; 0 when
+        the backend does not report iterations).
+    nfev:
+        Function evaluations the winning start consumed (SciPy
+        ``nfev``; ``n_evaluations`` is the total across starts).
+    status:
+        Backend status code of the winning start (SciPy ``status``;
+        ``0`` means converged for SLSQP, ``None`` when no backend ran).
     meta:
-        Solver-specific extras (per-start results, chosen counts, ...).
+        Solver-specific extras (per-start results, chosen counts,
+        final per-constraint residuals, ...).
     """
 
     x: np.ndarray
@@ -41,6 +51,9 @@ class OptimizationResult:
     message: str = ""
     n_evaluations: int = 0
     constraint_violation: float = 0.0
+    nit: int = 0
+    nfev: int = 0
+    status: int | None = None
     meta: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -20,7 +20,7 @@ the paper validates by simulation, reproduced in experiment T1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
 import numpy as np
@@ -32,7 +32,6 @@ from repro.queueing.mg1 import MG1
 from repro.queueing.mgc import MGc
 from repro.queueing.priority import (
     ClassLoad,
-    PriorityWaits,
     nonpreemptive_priority_mg1,
     preemptive_resume_priority_mg1,
 )

@@ -32,7 +32,6 @@ import numpy as np
 from scipy.linalg import expm
 
 from repro.distributions.base import Distribution, ScaledDistribution
-from repro.distributions.deterministic import Deterministic
 from repro.distributions.erlang import Erlang
 from repro.distributions.exponential import Exponential
 from repro.distributions.gamma_dist import Gamma

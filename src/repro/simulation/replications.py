@@ -29,6 +29,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.model import ClusterModel
 from repro.exceptions import ModelValidationError
 from repro.simulation.cache import (
@@ -211,6 +212,48 @@ def simulate_replications(
         Callback invoked once per finished replication (in completion
         order) with ``(timing_record, n_done, n_total)``.
     """
+    with obs.span(
+        "sim.replications",
+        n_replications=n_replications,
+        horizon=horizon,
+        n_jobs=n_jobs,
+        cache=cache_dir is not None,
+    ):
+        return _simulate_replications(
+            cluster,
+            workload,
+            horizon,
+            n_replications,
+            warmup_fraction,
+            seed,
+            arrival_processes,
+            collect_delay_samples,
+            routing=routing,
+            allow_unstable=allow_unstable,
+            collect_job_log=collect_job_log,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+
+
+def _simulate_replications(
+    cluster: ClusterModel,
+    workload: Workload,
+    horizon: float,
+    n_replications: int = 5,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+    arrival_processes: list[ArrivalProcess] | None = None,
+    collect_delay_samples: bool = False,
+    *,
+    routing: list | None = None,
+    allow_unstable: bool = False,
+    collect_job_log: bool = False,
+    n_jobs: int | None = None,
+    cache_dir: str | SimulationCache | None = None,
+    progress: Callable[[ReplicationTiming, int, int], None] | None = None,
+) -> ReplicatedResult:
     if n_replications < 1:
         raise ModelValidationError(f"need at least one replication, got {n_replications}")
     t_start = time.perf_counter()
@@ -244,6 +287,14 @@ def simulate_replications(
         nonlocal n_done
         n_done += 1
         timings.append(timing)
+        obs.event(
+            "sim.replication",
+            index=timing.index,
+            wall_s=timing.wall_time_s,
+            n_events=timing.n_events,
+            events_per_sec=timing.events_per_sec,
+            cached=timing.cached,
+        )
         if progress is not None:
             progress(timing, n_done, n_total)
 
@@ -307,12 +358,21 @@ def simulate_replications(
 
     runs = [results[i] for i in range(n_replications)]
     timings.sort(key=lambda rec: rec.index)
+    cache_hits = sum(1 for rec in timings if rec.cached)
+    cache_misses = len(payloads) if cache is not None else 0
+    obs.counter("sim.cache.hits").add(cache_hits)
+    obs.counter("sim.cache.misses").add(cache_misses)
+    # Process-pool workers run un-traced (the registry lives in the
+    # parent), so their event totals are recorded here from the counts
+    # that traveled back with each result.
+    if backend is not None and not isinstance(backend, SerialBackend):
+        obs.counter("sim.events").add(sum(rec.n_events for rec in timings if not rec.cached))
     meta = {
         "backend": backend.name if backend is not None else "cache",
         "n_jobs": getattr(backend, "n_workers", 1) if backend is not None else 0,
         "cache": cache_state,
-        "cache_hits": sum(1 for rec in timings if rec.cached),
-        "cache_misses": len(payloads) if cache is not None else 0,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
         "wall_time_s": time.perf_counter() - t_start,
         "replications": [rec.as_dict() for rec in timings],
     }

@@ -12,14 +12,16 @@ management and confidence intervals live in
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 from itertools import chain
 from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.model import ClusterModel
-from repro.exceptions import ModelValidationError
+from repro.exceptions import ModelValidationError, WarmupDiscardWarning
 from repro.simulation.job import Job
 from repro.simulation.ps_station import PSStation
 from repro.simulation.rng import RngStreams
@@ -250,12 +252,24 @@ def simulate(
         seq += 1
         heapq.heappush(heap, (gap, seq, _ARRIVAL, k, batch, 0))
 
+    # Optional per-tier queue sampling (telemetry detail flag). The
+    # disabled path costs one float comparison per event: next_sample
+    # is +inf, so the branch below never fires.
+    tel = obs.TELEMETRY
+    sample_interval = tel.queue_sample_interval if (tel.enabled and tel.sample_queues) else 0.0
+    next_sample = warmup if sample_interval > 0.0 else float("inf")
+
     n_events = 0
+    n_warmup_discarded = 0
     while heap:
         t, _, kind, a, b, c = heapq.heappop(heap)
         if t > horizon:
             break
         n_events += 1
+        if t >= next_sample:
+            _sample_queues(tel, t, stations)
+            while next_sample <= t:
+                next_sample += sample_interval
         if kind == _ARRIVAL:
             k = a
             for _ in range(b):
@@ -314,6 +328,8 @@ def simulate(
                     samples[job.cls].append(t - job.arrival)
                 if log_rows is not None:
                     log_rows.append((job.jid, job.cls, job.arrival, t))
+            else:
+                n_warmup_discarded += 1
 
     for st in stations:
         st.close_open_intervals(horizon)
@@ -355,6 +371,34 @@ def simulate(
             visit_count > 0, sojourn_sum / np.maximum(visit_count, 1), np.nan
         )
 
+    # Delay statistics on a thin post-warmup tail are noisy; surface it
+    # both as a Python warning and as a structured telemetry event.
+    n_counted_total = int(n_completed.sum())
+    n_finished_total = n_counted_total + n_warmup_discarded
+    if n_finished_total > 0 and n_warmup_discarded > 0.5 * n_finished_total:
+        discard_fraction = n_warmup_discarded / n_finished_total
+        warnings.warn(
+            WarmupDiscardWarning(
+                f"warmup window ({warmup:g} of horizon {horizon:g}) discarded "
+                f"{n_warmup_discarded} of {n_finished_total} completed jobs "
+                f"({discard_fraction:.0%}); delay statistics rest on only "
+                f"{n_counted_total} jobs — lengthen the horizon or shrink "
+                f"warmup_fraction"
+            ),
+            stacklevel=2,
+        )
+        obs.event(
+            "sim.warmup_discard",
+            warmup=warmup,
+            horizon=horizon,
+            n_discarded=n_warmup_discarded,
+            n_counted=n_counted_total,
+            discard_fraction=discard_fraction,
+        )
+    obs.counter("sim.events").add(n_events)
+    obs.counter("sim.jobs_created").add(jid)
+    obs.counter("sim.jobs_counted").add(n_counted_total)
+
     return SimulationResult(
         class_names=tuple(workload.names),
         n_completed=n_completed,
@@ -372,6 +416,7 @@ def simulate(
         meta={
             "n_jobs_created": jid,
             "n_events": n_events,
+            "n_warmup_discarded": n_warmup_discarded,
             "station_completions": station_completions,
             "n_blocked": n_blocked,
             "n_offered": offered,
@@ -440,6 +485,29 @@ def _build_routing_tables(cluster: ClusterModel, routing: list) -> list[tuple]:
         trans_cum = [np.cumsum(cr.matrix[i]) for i in range(cr.num_stations)]
         tables.append((entry_cum, trans_cum))
     return tables
+
+
+def _sample_queues(tel, t: float, stations: list) -> None:
+    """Record per-tier population and busy-server counts at time ``t``.
+
+    Only reached when telemetry is enabled with ``sample_queues=True``;
+    works for both head-of-line stations (idle/busy server slots) and
+    processor-sharing stations (one job list).
+    """
+    populations = []
+    busy_counts = []
+    for st in stations:
+        if isinstance(st, PSStation):
+            n = len(st.jobs)
+            busy = min(n, st.capacity)
+        else:
+            n = st._in_system()
+            busy = sum(1 for s in st.servers if s.job is not None)
+        populations.append(n)
+        busy_counts.append(busy)
+        tel.metrics.gauge(f"sim.tier.{st.index}.population").set(n)
+        tel.metrics.gauge(f"sim.tier.{st.index}.busy_servers").set(busy)
+    tel.tracer.event("sim.queue_sample", t=t, population=populations, busy=busy_counts)
 
 
 def _draw_from_cumulative(cum: np.ndarray, rng: np.random.Generator) -> int:

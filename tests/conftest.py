@@ -17,6 +17,22 @@ def rng():
 
 
 @pytest.fixture
+def telemetry(tmp_path):
+    """Global telemetry enabled into a temp dir; always disabled after.
+
+    Yields the :class:`repro.obs.Telemetry` singleton so tests can
+    inspect ``.tracer.roots`` / ``.metrics`` and finalize the artifact.
+    """
+    from repro import obs
+
+    obs.TELEMETRY.enable(tmp_path)
+    try:
+        yield obs.TELEMETRY
+    finally:
+        obs.TELEMETRY.disable()
+
+
+@pytest.fixture
 def basic_spec():
     """A plain server spec with a cube-law power model."""
     return ServerSpec(

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import Finding, Severity, diagnose
+from repro.analysis import Severity, diagnose
 from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
 from repro.core import end_to_end_delays, minimize_energy, minimize_energy_robust
 from repro.distributions import Exponential, fit_two_moments

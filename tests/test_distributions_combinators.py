@@ -1,6 +1,5 @@
 """Scaling, shifting and fitting behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.distributions import (

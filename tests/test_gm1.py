@@ -14,7 +14,6 @@ from repro.distributions import (
 )
 from repro.exceptions import ModelValidationError, UnstableSystemError
 from repro.queueing import GM1, MM1, interarrival_lst
-from repro.simulation import simulate
 from repro.workload import RenewalProcess, workload_from_rates
 
 

@@ -1,7 +1,6 @@
 """Loss systems: Erlang-B analytics, sizing, and simulated validation
 (including the celebrated M/G/c/c insensitivity)."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import ClusterModel, Tier

@@ -1,0 +1,141 @@
+"""Run manifest: fingerprint determinism, fields, atomic writing."""
+
+import json
+
+from repro import obs
+from repro.cluster import ClusterModel
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    config_fingerprint,
+    write_manifest,
+)
+from repro.workload import Workload
+
+
+class TestConfigFingerprint:
+    def test_deterministic_for_equal_configs(self, three_tier_cluster, three_class_workload):
+        a = config_fingerprint({"cluster": three_tier_cluster, "workload": three_class_workload})
+        b = config_fingerprint({"cluster": three_tier_cluster, "workload": three_class_workload})
+        assert a == b and len(a) == 64
+
+    def test_structurally_equal_rebuilds_hash_identically(self, basic_spec):
+        """Two independently-built equal configurations fingerprint the
+        same (the cache.py canonical-JSON guarantee, inherited here)."""
+        from repro.distributions import Exponential
+        from repro.cluster import Tier
+
+        def build():
+            return ClusterModel([Tier("t", (Exponential(1.0),), basic_spec)])
+
+        assert config_fingerprint(build()) == config_fingerprint(build())
+
+    def test_different_config_different_fingerprint(self, three_tier_cluster):
+        a = config_fingerprint(three_tier_cluster)
+        b = config_fingerprint(three_tier_cluster.with_speeds([0.9, 0.9, 0.9]))
+        assert a != b
+
+    def test_matches_simulation_cache_reduction(self, three_tier_cluster):
+        """Same canonical reduction as the replication cache: hashing
+        the cache's own _jsonable payload reproduces the fingerprint."""
+        import hashlib
+
+        from repro.simulation.cache import _jsonable
+
+        payload = json.dumps(
+            _jsonable(three_tier_cluster), sort_keys=True, separators=(",", ":")
+        )
+        assert config_fingerprint(three_tier_cluster) == hashlib.sha256(payload.encode()).hexdigest()
+
+    def test_unfingerprintable_config_is_none(self):
+        assert config_fingerprint({"fn": lambda x: x}) is None
+
+    def test_none_config_is_none(self):
+        assert config_fingerprint(None) is None
+
+
+class TestBuildManifest:
+    def test_deterministic_fields_for_fixed_seed_and_config(self, three_tier_cluster):
+        """The reproducibility-relevant fields are identical run to run
+        for a fixed seed + configuration."""
+        deterministic = ("manifest_version", "package", "version", "command", "seed",
+                        "config_fingerprint")
+        a = build_manifest(command=["repro", "run", "T1"], seed=7, config=three_tier_cluster)
+        b = build_manifest(command=["repro", "run", "T1"], seed=7, config=three_tier_cluster)
+        assert {k: a[k] for k in deterministic} == {k: b[k] for k in deterministic}
+        assert a["manifest_version"] == MANIFEST_VERSION
+        assert a["seed"] == 7
+        assert a["config_fingerprint"] == config_fingerprint(three_tier_cluster)
+
+    def test_host_and_version_fields(self):
+        man = build_manifest()
+        assert man["package"] == "repro"
+        assert man["host"]["cpu_count"] >= 1
+        assert man["host"]["python"]
+        assert man["created_unix"] > 0
+
+    def test_manifest_is_json_serializable(self, telemetry):
+        with telemetry.tracer.span("root", k=1):
+            pass
+        telemetry.metrics.counter("c").add(2)
+        man = build_manifest(
+            metrics_snapshot=telemetry.metrics.snapshot(),
+            spans=[s.as_dict() for s in telemetry.tracer.roots],
+            extra={"note": "x"},
+        )
+        round_tripped = json.loads(json.dumps(man))
+        assert round_tripped["spans"][0]["name"] == "root"
+        assert round_tripped["metrics"]["c"]["value"] == 2
+        assert round_tripped["extra"] == {"note": "x"}
+
+    def test_write_manifest_atomic(self, tmp_path):
+        path = write_manifest(tmp_path / "sub" / "manifest.json", build_manifest(seed=1))
+        assert path.exists()
+        assert json.loads(path.read_text())["seed"] == 1
+        assert not list((tmp_path / "sub").glob("*.tmp.*"))
+
+
+class TestTelemetrySession:
+    def test_session_writes_manifest_and_events(self, tmp_path):
+        out = tmp_path / "artifact"
+        with obs.telemetry_session(out, command=["repro", "x"]) as tel:
+            tel.annotate(seed=3, config={"k": 1})
+            with obs.span("outer"):
+                obs.event("tick", i=1)
+            obs.counter("n").add(4)
+        manifest = json.loads((out / obs.MANIFEST_FILENAME).read_text())
+        events = [
+            json.loads(line)
+            for line in (out / obs.EVENTS_FILENAME).read_text().splitlines()
+        ]
+        assert manifest["seed"] == 3
+        assert manifest["command"] == ["repro", "x"]
+        assert manifest["metrics"]["n"]["value"] == 4
+        assert [s["name"] for s in manifest["spans"]] == ["outer"]
+        assert [(e["type"], e["name"]) for e in events] == [("event", "tick"), ("span", "outer")]
+        assert not obs.is_enabled()
+
+    def test_session_finalizes_on_error(self, tmp_path):
+        out = tmp_path / "artifact"
+        try:
+            with obs.telemetry_session(out):
+                obs.event("before_crash")
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert (out / obs.MANIFEST_FILENAME).exists()
+        assert "before_crash" in (out / obs.EVENTS_FILENAME).read_text()
+        assert not obs.is_enabled()
+
+    def test_session_without_out_dir_collects_in_memory(self):
+        with obs.telemetry_session(None) as tel:
+            with obs.span("s"):
+                pass
+            assert len(tel.tracer.roots) == 1
+        assert not obs.is_enabled()
+
+
+class TestWorkloadFingerprint:
+    def test_workload_fingerprints(self, three_class_workload):
+        assert isinstance(three_class_workload, Workload)
+        assert config_fingerprint(three_class_workload)

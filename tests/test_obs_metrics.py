@@ -1,0 +1,103 @@
+"""Metric registry: instruments, snapshots, and the disabled path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+)
+
+
+class TestEnabledInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("sim.events")
+        c.inc()
+        c.add(41)
+        assert reg.counter("sim.events").value == 42
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry(enabled=True)
+        g = reg.gauge("queue")
+        g.set(3)
+        g.set(7)
+        assert reg.gauge("queue").value == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("delay")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_timer_is_histogram(self):
+        reg = MetricsRegistry(enabled=True)
+        t = reg.timer("solve.seconds")
+        t.observe(0.5)
+        assert reg.histogram("solve.seconds") is t
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("b").set(1.0)
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["a"] == {"kind": "counter", "value": 1}
+        assert snap["b"]["kind"] == "gauge"
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a").add(5)
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.counter("a").value == 0
+
+
+class TestDisabledPath:
+    """Telemetry off must cost (next to) nothing: shared null
+    singletons, no allocation, no state."""
+
+    def test_null_singletons_shared(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.counter("b") is NULL_COUNTER
+        assert reg.gauge("a") is NULL_GAUGE
+        assert reg.histogram("a") is reg.timer("b") is NULL_HISTOGRAM
+
+    def test_null_instruments_record_nothing(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.add(10)
+        NULL_GAUGE.set(5.0)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value is None
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_disabled_registry_registers_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").add(3)
+        assert reg.snapshot() == {}
+
+    def test_disabled_accessors_allocate_nothing(self):
+        """The hot-path contract: fetching an instrument while disabled
+        returns a pre-existing object every single time."""
+        reg = MetricsRegistry(enabled=False)
+        handles = {id(reg.counter(f"c{i}")) for i in range(100)}
+        handles |= {id(reg.gauge(f"g{i}")) for i in range(100)}
+        handles |= {id(reg.histogram(f"h{i}")) for i in range(100)}
+        assert handles == {id(NULL_COUNTER), id(NULL_GAUGE), id(NULL_HISTOGRAM)}
+
+    def test_global_disabled_by_default(self):
+        from repro import obs
+
+        assert not obs.is_enabled()
+        assert obs.counter("anything") is NULL_COUNTER

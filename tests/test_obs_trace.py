@@ -1,0 +1,150 @@
+"""Tracer spans, point events, JSON-safety and the sink contract."""
+
+import json
+
+import numpy as np
+
+from repro.obs.sinks import InMemorySink, JsonlSink
+from repro.obs.trace import EVENT_SCHEMA_VERSION, Tracer, json_safe
+
+
+def _tracer_with_sink():
+    tracer = Tracer(enabled=True)
+    sink = InMemorySink()
+    tracer.sinks.append(sink)
+    return tracer, sink
+
+
+class TestSpans:
+    def test_span_measures_and_emits(self):
+        tracer, sink = _tracer_with_sink()
+        with tracer.span("work", kind="demo") as sp:
+            sum(range(1000))
+        assert sp.wall_s >= 0.0 and sp.cpu_s >= 0.0
+        (ev,) = sink.events
+        assert ev["type"] == "span" and ev["name"] == "work"
+        assert ev["v"] == EVENT_SCHEMA_VERSION
+        assert ev["tags"] == {"kind": "demo"}
+        assert ev["depth"] == 0
+
+    def test_nesting_builds_tree_and_depths(self):
+        tracer, sink = _tracer_with_sink()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        depths = {e["name"]: e["depth"] for e in sink.events}
+        assert depths == {"outer": 0, "inner": 1, "inner2": 1}
+
+    def test_as_dict_nested(self):
+        tracer, _ = _tracer_with_sink()
+        with tracer.span("outer", a=1):
+            with tracer.span("inner"):
+                pass
+        d = tracer.roots[0].as_dict()
+        assert d["name"] == "outer" and d["tags"] == {"a": 1}
+        assert d["children"][0]["name"] == "inner"
+        assert json.dumps(d)  # manifest-embeddable
+
+    def test_disabled_span_still_measures_but_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        sink = InMemorySink()
+        tracer.sinks.append(sink)
+        with tracer.span("quiet") as sp:
+            sum(range(1000))
+        assert sp.wall_s >= 0.0
+        assert tracer.roots == [] and sink.events == []
+
+    def test_exception_still_closes_span(self):
+        tracer, sink = _tracer_with_sink()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert [e["name"] for e in sink.events] == ["boom"]
+        assert tracer._stack == []
+
+
+class TestEvents:
+    def test_event_schema(self):
+        tracer, sink = _tracer_with_sink()
+        tracer.event("tick", i=3, rate=1.5)
+        (ev,) = sink.events
+        assert ev["type"] == "event" and ev["name"] == "tick"
+        assert ev["fields"] == {"i": 3, "rate": 1.5}
+        assert ev["v"] == EVENT_SCHEMA_VERSION and ev["ts"] > 0
+
+    def test_disabled_event_is_noop(self):
+        tracer = Tracer(enabled=False)
+        sink = InMemorySink()
+        tracer.sinks.append(sink)
+        tracer.event("tick", i=1)
+        assert sink.events == []
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_and_arrays(self):
+        assert json_safe(np.int64(3)) == 3
+        assert json_safe(np.float64(1.5)) == 1.5
+        assert json_safe(np.bool_(True)) is True
+        assert json_safe(np.array([1, 2])) == [1, 2]
+
+    def test_containers_recursed(self):
+        out = json_safe({"a": (np.int32(1), [np.float32(2.0)])})
+        assert out == {"a": [1, [2.0]]}
+        json.dumps(out)
+
+    def test_unknown_objects_become_strings(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert json_safe(Weird()) == "<weird>"
+
+
+class TestJsonlSink:
+    def test_round_trip_lossless(self, tmp_path):
+        """Every emitted event parses back and re-serializes to the
+        identical line (the schema round-trip contract)."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(enabled=True)
+        tracer.sinks.append(sink)
+        tracer.event("a", x=1, y=[1.5, 2.5], z="s")
+        with tracer.span("b", tag=True):
+            pass
+        sink.finalize()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            parsed = json.loads(line)
+            assert json.dumps(parsed, sort_keys=True, separators=(",", ":")) == line
+            assert parsed["v"] == EVENT_SCHEMA_VERSION
+            assert parsed["type"] in ("span", "event")
+
+    def test_atomic_finalize(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"v": 1, "type": "event", "name": "x", "ts": 0.0, "fields": {}})
+        assert not path.exists()  # still on the .tmp side
+        final = sink.finalize()
+        assert final == path and path.exists()
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_finalize_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "e.jsonl")
+        sink.emit({"a": 1})
+        sink.finalize()
+        sink.finalize()  # second call is a no-op
+        assert sink.n_events == 1
+
+    def test_unserializable_event_dropped_not_raised(self, tmp_path):
+        sink = JsonlSink(tmp_path / "e.jsonl")
+        sink.emit({"bad": object()})
+        sink.emit({"good": 1})
+        sink.finalize()
+        assert sink.n_dropped == 1 and sink.n_events == 1

@@ -137,3 +137,14 @@ class TestExhaustiveBaseline:
         )
         assert sla.is_met(delays, workload)
         assert evals >= 1
+
+
+class TestSolverDiagnostics:
+    def test_p3_embedded_speed_solve_reports_status_zero(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        alloc = minimize_cost(cluster, workload, sla, optimize_speeds=True)
+        p2b = alloc.meta.get("speed_optimization")
+        if p2b is None:
+            pytest.skip("speed optimization rejected/failed for this instance")
+        assert p2b.success and p2b.status == 0
+        assert p2b.nit > 0 and p2b.nfev > 0

@@ -88,3 +88,12 @@ class TestMinimizeDelay:
         box = stability_speed_bounds(three_tier_cluster, three_class_workload)
         for s, (lo, hi) in zip(res.x, box):
             assert lo - 1e-9 <= s <= hi + 1e-9
+
+    def test_converged_solve_reports_solver_diagnostics(
+        self, three_tier_cluster, three_class_workload, budget_mid
+    ):
+        res = minimize_delay(three_tier_cluster, three_class_workload, budget_mid)
+        assert res.success and res.status == 0
+        assert res.nit > 0 and res.nfev > 0
+        assert "power budget" in res.meta["constraint_residuals"]
+        assert res.meta["constraint_residuals"]["power budget"] >= -1e-4

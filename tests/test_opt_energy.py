@@ -120,3 +120,19 @@ class TestConstraintSourceValidation:
     def test_bad_aggregate_bound(self, three_tier_cluster, three_class_workload):
         with pytest.raises(ModelValidationError):
             minimize_energy(three_tier_cluster, three_class_workload, max_mean_delay=0.0)
+
+
+class TestSolverDiagnostics:
+    def test_p2a_converged_status_zero(self, three_tier_cluster, three_class_workload):
+        bound = 1.5 * mean_end_to_end_delay(three_tier_cluster, three_class_workload)
+        res = minimize_energy(three_tier_cluster, three_class_workload, max_mean_delay=bound)
+        assert res.success and res.status == 0
+        assert res.nit > 0 and res.nfev > 0
+        assert all(v >= -1e-4 for v in res.meta["constraint_residuals"].values())
+
+    def test_p2b_converged_status_zero(self, three_tier_cluster, three_class_workload):
+        bounds = 1.5 * end_to_end_delays(three_tier_cluster, three_class_workload)
+        res = minimize_energy(three_tier_cluster, three_class_workload, class_delay_bounds=bounds)
+        assert res.success and res.status == 0
+        assert res.nit > 0 and res.nfev > 0
+        assert len(res.meta["constraint_residuals"]) == len(bounds)

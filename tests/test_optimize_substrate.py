@@ -151,3 +151,31 @@ class TestBisection:
     def test_empty_interval(self):
         with pytest.raises(ModelValidationError):
             bisect_threshold(lambda v: True, 1.0, 0.0)
+
+
+class TestSolverDiagnostics:
+    """SciPy diagnostics surfaced on OptimizationResult (nit/nfev/status)."""
+
+    def test_converged_solve_reports_status_zero(self):
+        res = minimize_box_constrained(
+            lambda x: float((x[0] - 0.3) ** 2 + (x[1] - 0.7) ** 2),
+            [(0.0, 1.0), (0.0, 1.0)],
+        )
+        assert res.success
+        assert res.status == 0
+        assert res.nit > 0
+        assert 0 < res.nfev <= res.n_evaluations
+
+    def test_constraint_residuals_in_meta(self):
+        res = minimize_box_constrained(
+            lambda x: float(x[0] ** 2),
+            [(0.0, 1.0)],
+            constraints=[Constraint(lambda x: x[0] - 0.5, name="floor")],
+        )
+        residuals = res.meta["constraint_residuals"]
+        # Active constraint: slack ~0 but not (meaningfully) negative.
+        assert residuals["floor"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_default_diagnostics_zeroed(self):
+        res = OptimizationResult(x=np.array([1.0]), fun=0.0, success=True, message="")
+        assert res.nit == 0 and res.nfev == 0 and res.status is None

@@ -1,6 +1,5 @@
 """Property-based tests for the percentile and phase-type machinery."""
 
-import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,7 @@ multi-server)."""
 import numpy as np
 import pytest
 
-from repro.distributions import Deterministic, Exponential, HyperExponential, fit_two_moments
+from repro.distributions import Exponential, HyperExponential, fit_two_moments
 from repro.exceptions import ModelValidationError, UnstableSystemError
 from repro.queueing import (
     MG1,

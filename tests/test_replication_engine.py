@@ -19,12 +19,14 @@ Covers:
   results, and a corrupted cache file is recomputed, not crashed on.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
 from repro.distributions import Deterministic, Exponential
-from repro.exceptions import ModelValidationError
+from repro.exceptions import ModelValidationError, WarmupDiscardWarning
 from repro.queueing.routing import ClassRouting, visit_ratio_matrix
 from repro.simulation import (
     CacheUnsupportedError,
@@ -109,8 +111,13 @@ class TestOptionForwarding:
 # ----------------------------------------------------------------------
 # Bugfix 2: blocking counters use the job-arrival warmup window.
 # ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("ignore::repro.exceptions.WarmupDiscardWarning")
 class TestWarmupWindowCounters:
     """Deterministic tandem, horizon 10, warmup 5, arrivals at 0.9k.
+
+    The tiny deterministic windows here discard most completions by
+    construction (that is the point of the regression scenarios), so
+    the warmup-discard advisory is expected and silenced.
 
     Post-warmup arrivals are k = 6..11 (t = 5.4..9.9). Tier-2 entries
     happen at 0.9k + 0.6. The job arriving at t = 4.5 (k = 5) enters
@@ -478,3 +485,42 @@ class TestObservability:
     def test_simulator_event_count_exposed(self, two_class_cluster, two_class_workload):
         res = simulate(two_class_cluster, two_class_workload, horizon=100.0, seed=0)
         assert res.meta["n_events"] > res.n_completed.sum()
+
+
+class TestWarmupDiscardWarning:
+    """The >50%-discard advisory: Python warning + structured event."""
+
+    @staticmethod
+    def _run(warmup_fraction):
+        cluster = ClusterModel(
+            [Tier("only", (Exponential(1.0),), SPEC, servers=1, discipline="fcfs")]
+        )
+        return simulate(
+            cluster,
+            workload_from_rates([0.5]),
+            horizon=40.0,
+            warmup_fraction=warmup_fraction,
+            seed=11,
+        )
+
+    def test_high_warmup_warns(self):
+        with pytest.warns(WarmupDiscardWarning, match="discarded"):
+            res = self._run(0.9)
+        assert res.meta["n_warmup_discarded"] > 0
+
+    def test_low_warmup_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", WarmupDiscardWarning)
+            res = self._run(0.1)
+        assert res.meta["n_warmup_discarded"] >= 0
+
+    def test_structured_event_emitted(self, telemetry):
+        from repro.obs.sinks import InMemorySink
+
+        sink = InMemorySink()
+        telemetry.tracer.sinks.append(sink)
+        with pytest.warns(WarmupDiscardWarning):
+            self._run(0.9)
+        assert "sim.warmup_discard" in [ev["name"] for ev in sink.events]
+        (discard,) = [ev for ev in sink.events if ev["name"] == "sim.warmup_discard"]
+        assert discard["fields"]["discard_fraction"] > 0.5

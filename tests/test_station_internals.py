@@ -6,7 +6,6 @@ preemptive-resume bookkeeping and the PS elapse arithmetic that the
 end-to-end statistical tests can only verify in aggregate.
 """
 
-import numpy as np
 import pytest
 
 from repro.simulation.job import Job
