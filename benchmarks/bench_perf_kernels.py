@@ -7,7 +7,11 @@ one optimizer solve of each family, a simulation replication, and the
 Erlang-C recurrence at scale.
 """
 
+import numpy as np
+
+from repro.baselines.exhaustive import exhaustive_cost_minimization
 from repro.core import minimize_cost, minimize_delay, minimize_energy
+from repro.core.batch_eval import BatchEvaluator
 from repro.core.delay import end_to_end_delays
 from repro.core.energy import average_power
 from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
@@ -24,6 +28,30 @@ def test_perf_analytic_evaluation(benchmark):
 
     delays, power = benchmark(evaluate)
     assert delays.shape == (3,) and power > 0
+
+
+def test_perf_batch_evaluation_100(benchmark):
+    """100-candidate batched delay+power evaluation in one call — the
+    vectorized path the optimizers and the exhaustive baseline use."""
+    cluster, workload = canonical_cluster(), canonical_workload()
+    evaluator = BatchEvaluator(cluster, workload)
+    speeds = np.random.default_rng(0).uniform(0.6, 1.0, size=(100, cluster.num_tiers))
+
+    def evaluate():
+        return evaluator.end_to_end_delays(speeds), evaluator.average_power(speeds)
+
+    delays, power = benchmark(evaluate)
+    assert delays.shape == (100, 3) and power.shape == (100,)
+
+
+def test_perf_exhaustive_canonical_10(benchmark):
+    """Exhaustive P3 certification on the canonical instance (10^3
+    grid, vectorized feasibility + replayed prune)."""
+    cluster, workload, sla = canonical_cluster(), canonical_workload(), canonical_sla()
+    counts, cost, evals = benchmark(
+        exhaustive_cost_minimization, cluster, workload, sla, 10
+    )
+    assert counts.tolist() == [1, 3, 2] and cost == 16.5 and evals == 47
 
 
 def test_perf_erlang_c_500_servers(benchmark):

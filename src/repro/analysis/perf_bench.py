@@ -1,0 +1,250 @@
+"""Timed micro-benchmarks of the library's hot kernels.
+
+``python -m repro bench`` times each kernel (min over several repeats,
+the standard noise-robust statistic), writes the results as JSON, and
+— in ``--check`` mode — compares against a committed baseline so CI
+can fail on real regressions.
+
+Raw wall times are not comparable across machines, so every run also
+times a **calibration kernel**: a fixed pure-Python spin loop whose
+cost tracks the host's single-core speed. The check compares
+*calibration-normalized* times (kernel seconds per calibration
+second), which cancels the machine-speed factor between the committed
+baseline and the CI runner. Gated kernels (default: the simulation
+kernel) fail the check when their normalized time regresses beyond the
+tolerance; everything else is reported but informational.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["run_benchmarks", "compare_to_baseline", "KERNELS", "DEFAULT_GATES"]
+
+#: Kernels whose regression fails ``--check`` (others only report).
+DEFAULT_GATES = ("sim_replication_h500",)
+
+#: Name of the machine-speed calibration kernel.
+CALIBRATION = "calibration_spin"
+
+
+def _kernel_calibration_spin() -> Callable[[], object]:
+    def spin() -> int:
+        acc = 0
+        for i in range(2_000_000):
+            acc += i & 7
+        return acc
+
+    return spin
+
+
+def _kernel_sim_replication_h500() -> Callable[[], object]:
+    from repro.experiments.common import canonical_cluster, canonical_workload
+    from repro.simulation import simulate
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+    return lambda: simulate(cluster, workload, horizon=500.0, seed=99)
+
+
+def _kernel_analytic_eval_x100() -> Callable[[], object]:
+    from repro.core.delay import end_to_end_delays
+    from repro.core.energy import average_power
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+
+    def run() -> float:
+        total = 0.0
+        for _ in range(100):
+            total += float(end_to_end_delays(cluster, workload).sum())
+            total += average_power(cluster, workload)
+        return total
+
+    return run
+
+
+def _kernel_batch_eval_100() -> Callable[[], object]:
+    from repro.core.batch_eval import BatchEvaluator
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+    evaluator = BatchEvaluator(cluster, workload)
+    rng = np.random.default_rng(0)
+    speeds = rng.uniform(0.6, 1.0, size=(100, cluster.num_tiers))
+    return lambda: (
+        evaluator.end_to_end_delays(speeds),
+        evaluator.average_power(speeds),
+    )
+
+
+def _kernel_percentile_batch_x50() -> Callable[[], object]:
+    from repro.core.percentile import all_class_percentiles_batch
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+    rng = np.random.default_rng(1)
+    speeds = rng.uniform(0.7, 1.0, size=(50, cluster.num_tiers))
+    return lambda: all_class_percentiles_batch(cluster, workload, speeds, 0.95)
+
+
+def _kernel_p1_solve_3starts() -> Callable[[], object]:
+    from repro.core import minimize_delay
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+    budget = 0.9 * cluster.average_power(workload.arrival_rates)
+    return lambda: minimize_delay(cluster, workload, budget, n_starts=3)
+
+
+def _kernel_exhaustive_small_12() -> Callable[[], object]:
+    from repro.baselines.exhaustive import exhaustive_cost_minimization
+    from repro.experiments.common import small_cluster, small_sla, small_workload
+
+    cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+    return lambda: exhaustive_cost_minimization(cluster, workload, sla, max_servers_per_tier=12)
+
+
+def _kernel_exhaustive_canonical_10() -> Callable[[], object]:
+    from repro.baselines.exhaustive import exhaustive_cost_minimization
+    from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+
+    cluster, workload, sla = canonical_cluster(), canonical_workload(), canonical_sla()
+    return lambda: exhaustive_cost_minimization(cluster, workload, sla, max_servers_per_tier=10)
+
+
+#: name -> zero-arg setup function returning the timed closure. Setup
+#: cost (model construction, RNG draws) stays outside the timing.
+KERNELS: dict[str, Callable[[], Callable[[], object]]] = {
+    CALIBRATION: _kernel_calibration_spin,
+    "sim_replication_h500": _kernel_sim_replication_h500,
+    "analytic_eval_x100": _kernel_analytic_eval_x100,
+    "batch_eval_100": _kernel_batch_eval_100,
+    "percentile_batch_x50": _kernel_percentile_batch_x50,
+    "p1_solve_3starts": _kernel_p1_solve_3starts,
+    "exhaustive_small_12": _kernel_exhaustive_small_12,
+    "exhaustive_canonical_10": _kernel_exhaustive_canonical_10,
+}
+
+
+def run_benchmarks(
+    repeats: int = 5, only: list[str] | None = None
+) -> dict:
+    """Time every kernel; returns the JSON-serializable result document.
+
+    Each kernel runs once untimed (warm-up: imports, caches) and then
+    ``repeats`` timed runs; ``min_s`` is the minimum — the repeat least
+    disturbed by other load, the standard micro-benchmark statistic.
+    """
+    names = list(KERNELS) if only is None else list(only)
+    unknown = [n for n in names if n not in KERNELS]
+    if unknown:
+        raise ValueError(f"unknown kernels {unknown}; available: {list(KERNELS)}")
+    if CALIBRATION not in names:
+        names.insert(0, CALIBRATION)
+    kernels: dict[str, dict] = {}
+    for name in names:
+        fn = KERNELS[name]()
+        fn()  # warm-up, untimed
+        runs = []
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            fn()
+            runs.append(time.perf_counter() - t0)
+        kernels[name] = {"min_s": min(runs), "runs_s": [round(r, 6) for r in runs]}
+    return {
+        "schema": 1,
+        "created_unix": int(time.time()),
+        "repeats": repeats,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "kernels": kernels,
+    }
+
+
+def compare_to_baseline(
+    current: dict,
+    baseline: dict,
+    tolerance: float = 0.25,
+    gates: tuple[str, ...] = DEFAULT_GATES,
+) -> tuple[list[str], list[str]]:
+    """Compare a bench run against a baseline document.
+
+    Returns ``(report_lines, failures)``: one human-readable line per
+    kernel present in both documents, and the subset of *gated* kernels
+    whose calibration-normalized time regressed by more than
+    ``tolerance`` (25% default). An empty ``failures`` list means the
+    check passed.
+    """
+    cur_k = current["kernels"]
+    base_k = baseline["kernels"]
+    cal_cur = cur_k.get(CALIBRATION, {}).get("min_s")
+    cal_base = base_k.get(CALIBRATION, {}).get("min_s")
+    normalized = bool(cal_cur and cal_base)
+    scale = (cal_base / cal_cur) if normalized else 1.0
+    lines = []
+    failures = []
+    for name in sorted(set(cur_k) & set(base_k)):
+        if name == CALIBRATION:
+            continue
+        cur = cur_k[name]["min_s"]
+        base = base_k[name]["min_s"]
+        # >1 means slower than baseline after machine-speed correction.
+        ratio = (cur * scale) / base if base > 0 else float("inf")
+        gated = name in gates
+        status = "ok"
+        if gated and ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            failures.append(name)
+        lines.append(
+            f"{name:28s} {cur * 1e3:9.2f} ms (baseline {base * 1e3:9.2f} ms, "
+            f"normalized x{ratio:.2f}) [{'gate' if gated else 'info'}] {status}"
+        )
+    if normalized:
+        lines.append(
+            f"machine-speed correction x{scale:.2f} "
+            f"(calibration {cal_cur * 1e3:.1f} ms vs baseline {cal_base * 1e3:.1f} ms)"
+        )
+    else:
+        lines.append("no calibration kernel in one of the documents — raw-time comparison")
+    return lines, failures
+
+
+def main_bench(
+    out: str | None,
+    repeats: int,
+    check: str | None,
+    tolerance: float,
+    gates: list[str] | None,
+) -> int:
+    """Implementation of ``repro bench`` (returns the exit code)."""
+    doc = run_benchmarks(repeats=repeats)
+    for name, rec in doc["kernels"].items():
+        print(f"{name:28s} min {rec['min_s'] * 1e3:9.2f} ms over {repeats} runs")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[written to {out}]")
+    if check:
+        with open(check) as fh:
+            baseline = json.load(fh)
+        lines, failures = compare_to_baseline(
+            doc, baseline, tolerance=tolerance,
+            gates=tuple(gates) if gates else DEFAULT_GATES,
+        )
+        print(f"\ncheck against {check} (tolerance {tolerance:.0%}):")
+        for line in lines:
+            print(f"  {line}")
+        if failures:
+            print(f"FAILED: {', '.join(failures)} regressed beyond {tolerance:.0%}")
+            return 1
+        print("check passed")
+    return 0

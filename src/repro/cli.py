@@ -19,6 +19,11 @@ Commands
     canonical workload — the fastest way to see claim-1 numbers.
 ``solve {p1,p2,p3} [options]``
     Run one of the paper's optimizers on the canonical instance.
+``bench [--out FILE] [--check BASELINE] [--repeats N]``
+    Time the library's hot kernels (simulation replication, scalar and
+    batched analytic evaluation, optimizer solves, the exhaustive
+    baseline) and optionally compare calibration-normalized times
+    against a committed JSON baseline — the CI perf-smoke gate.
 ``telemetry summarize <DIR>``
     Human-readable summary of a telemetry artifact (manifest +
     events.jsonl) produced by ``--telemetry DIR`` on ``run`` /
@@ -121,6 +126,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.25,
         help="p2: per-class delay bounds as a multiple of the full-speed delays",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="time the hot kernels; write or check a JSON baseline"
+    )
+    bench_p.add_argument("--out", help="write the timing document to this JSON file")
+    bench_p.add_argument("--repeats", type=int, default=5, help="timed runs per kernel (min wins)")
+    bench_p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against this baseline JSON; exit 1 if a gated kernel regressed",
+    )
+    bench_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative slowdown of gated kernels before --check fails",
+    )
+    bench_p.add_argument(
+        "--gate",
+        action="append",
+        help="kernel that fails --check on regression (repeatable; default: the sim kernel)",
     )
 
     tel_p = sub.add_parser("telemetry", help="inspect telemetry artifacts")
@@ -503,6 +530,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "solve":
         return _cmd_solve(args.problem, args.load_factor, args.budget_fraction, args.delay_slack)
+    if args.command == "bench":
+        from repro.analysis.perf_bench import main_bench
+
+        return main_bench(args.out, args.repeats, args.check, args.tolerance, args.gate)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -24,7 +24,13 @@ from repro.exceptions import ModelValidationError
 from repro.queueing.networks import StationDelays
 from repro.workload.classes import Workload
 
-__all__ = ["end_to_end_delays", "mean_end_to_end_delay", "per_tier_delays"]
+__all__ = [
+    "end_to_end_delays",
+    "mean_end_to_end_delay",
+    "per_tier_delays",
+    "end_to_end_delays_batch",
+    "mean_end_to_end_delay_batch",
+]
 
 
 def _check(cluster: ClusterModel, workload: Workload) -> None:
@@ -55,3 +61,40 @@ def per_tier_delays(cluster: ClusterModel, workload: Workload) -> list[StationDe
     validation experiments)."""
     _check(cluster, workload)
     return cluster.network().per_station_delays(workload.arrival_rates)
+
+
+def end_to_end_delays_batch(
+    cluster: ClusterModel,
+    workload: Workload,
+    speeds: np.ndarray,
+    servers: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-class delays for a whole ``(n, M)`` speed matrix at once.
+
+    Vectorized counterpart of :func:`end_to_end_delays`: row ``j`` of
+    the returned ``(n, K)`` array equals
+    ``end_to_end_delays(cluster.with_speeds(speeds[j]), workload)`` to
+    floating-point round-off, except that unstable candidates yield
+    ``inf`` rows instead of raising. ``servers`` optionally varies
+    per-candidate server counts too (same shape as ``speeds``). For
+    repeated batches against one cluster, build a
+    :class:`repro.core.batch_eval.BatchEvaluator` directly — the
+    speed-independent precompute is amortized across calls.
+    """
+    from repro.core.batch_eval import BatchEvaluator
+
+    return BatchEvaluator(cluster, workload).end_to_end_delays(speeds, servers)
+
+
+def mean_end_to_end_delay_batch(
+    cluster: ClusterModel,
+    workload: Workload,
+    speeds: np.ndarray,
+    servers: np.ndarray | None = None,
+) -> np.ndarray:
+    """Arrival-weighted mean delay per candidate, shape ``(n,)``
+    (``inf`` for unstable candidates). See
+    :func:`end_to_end_delays_batch`."""
+    from repro.core.batch_eval import BatchEvaluator
+
+    return BatchEvaluator(cluster, workload).mean_delay(speeds, servers)

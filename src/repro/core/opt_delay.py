@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.model import ClusterModel
+from repro.core.batch_eval import BatchEvaluator
 from repro.core.delay import mean_end_to_end_delay
 from repro.core.opt_common import DEFAULT_RHO_CAP, stability_speed_bounds
 from repro.exceptions import InfeasibleProblemError, ModelValidationError
@@ -89,12 +90,17 @@ def minimize_delay(
     def power_slack(s: np.ndarray) -> float:
         return power_budget - cluster.with_speeds(s).average_power(lam)
 
+    # All multistart seeds are scored in one vectorized call (unstable
+    # seeds come back inf, ranking them last).
+    batch = BatchEvaluator(cluster, workload)
+
     result = minimize_box_constrained(
         objective,
         bounds,
         constraints=[Constraint(power_slack, name="power budget")],
         n_starts=n_starts,
         label="p1",
+        objective_batch=batch.mean_delay,
     )
     optimized = cluster.with_speeds(result.x)
     result.meta["cluster"] = optimized

@@ -24,6 +24,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.cluster.model import ClusterModel
+from repro.core.batch_eval import BatchEvaluator
 from repro.core.delay import end_to_end_delays, mean_end_to_end_delay
 from repro.core.opt_common import DEFAULT_RHO_CAP, stability_speed_bounds
 from repro.core.sla import SLA
@@ -131,6 +132,7 @@ def minimize_energy(
         constraints=constraints,
         n_starts=n_starts,
         label="p2b" if bounds_arr is not None else "p2a",
+        objective_batch=BatchEvaluator(cluster, workload).average_power,
     )
     optimized = cluster.with_speeds(result.x)
     result.meta["cluster"] = optimized

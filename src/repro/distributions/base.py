@@ -27,6 +27,17 @@ class Distribution(ABC):
     from those.
     """
 
+    #: Block-sampling determinism contract: True iff one
+    #: ``sample(rng, size=n)`` call consumes the generator's bit stream
+    #: in exactly the same order as ``n`` successive scalar
+    #: ``sample(rng)`` calls, producing bit-identical values. The
+    #: simulator only block-pregenerates variates for families that opt
+    #: in (single-family NumPy draws and elementwise transforms of
+    #: them); families with interleaved per-sample draws — e.g. a
+    #: branch choice followed by the branch draw — must stay on the
+    #: scalar path or seeded results would silently change.
+    block_sampling_safe: bool = False
+
     @property
     @abstractmethod
     def mean(self) -> float:
@@ -128,6 +139,11 @@ class ScaledDistribution(Distribution):
         self.factor = float(factor)
 
     @property
+    def block_sampling_safe(self) -> bool:
+        # Scaling is elementwise, so block safety is the base family's.
+        return self.base.block_sampling_safe
+
+    @property
     def mean(self) -> float:
         return self.factor * self.base.mean
 
@@ -154,6 +170,11 @@ class ShiftedDistribution(Distribution):
             raise ModelValidationError(f"shift offset must be non-negative, got {offset}")
         self.base = base
         self.offset = float(offset)
+
+    @property
+    def block_sampling_safe(self) -> bool:
+        # Shifting is elementwise, so block safety is the base family's.
+        return self.base.block_sampling_safe
 
     @property
     def mean(self) -> float:

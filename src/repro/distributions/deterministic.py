@@ -24,6 +24,8 @@ class Deterministic(Distribution):
     0.0
     """
 
+    block_sampling_safe = True
+
     def __init__(self, value: float):
         if value < 0.0 or not np.isfinite(value):
             raise ModelValidationError(f"Deterministic value must be non-negative and finite, got {value}")

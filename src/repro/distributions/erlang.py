@@ -21,6 +21,8 @@ class Erlang(Distribution):
     The mean is ``k / rate`` and the SCV is ``1 / k``.
     """
 
+    block_sampling_safe = True
+
     def __init__(self, k: int, rate: float):
         if not isinstance(k, (int, np.integer)) or k < 1:
             raise ModelValidationError(f"Erlang shape k must be a positive integer, got {k}")

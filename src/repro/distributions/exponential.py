@@ -32,6 +32,8 @@ class Exponential(Distribution):
     1.0
     """
 
+    block_sampling_safe = True
+
     def __init__(self, rate: float):
         if rate <= 0.0 or not np.isfinite(rate):
             raise ModelValidationError(f"Exponential rate must be positive and finite, got {rate}")

@@ -18,6 +18,8 @@ class Gamma(Distribution):
     stages.
     """
 
+    block_sampling_safe = True
+
     def __init__(self, k: float, rate: float):
         if k <= 0.0 or not np.isfinite(k):
             raise ModelValidationError(f"Gamma shape must be positive and finite, got {k}")

@@ -45,6 +45,17 @@ class HyperExponential(Distribution):
             raise ModelValidationError(f"branch rates must be positive and finite, got {rates_arr}")
         self.probs = probs_arr / probs_arr.sum()
         self.rates = rates_arr
+        # Precomputed branch CDF and scales for the scalar fast path:
+        # Generator.choice(n, p=p) internally draws one uniform double
+        # and inverts the normalized cumsum of p, so searchsorted on the
+        # same cumsum consumes the bit stream identically — without
+        # choice()'s per-call setup (validation, pop-size checks, array
+        # boxing), which dominated profiles of hyperexponential-heavy
+        # simulations.
+        cdf = self.probs.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
+        self._scales = (1.0 / self.rates).tolist()
 
     @classmethod
     def balanced_from_mean_scv(cls, mean: float, scv: float) -> "HyperExponential":
@@ -84,8 +95,12 @@ class HyperExponential(Distribution):
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
         if size is None:
-            branch = rng.choice(self.rates.size, p=self.probs)
-            return rng.exponential(scale=1.0 / self.rates[branch])
+            # Scalar fast path: branch choice by CDF inversion (one
+            # uniform) then scale * standard exponential — both steps
+            # bit-identical to choice(p=probs) + exponential(scale=...)
+            # while skipping their per-call overhead.
+            branch = int(self._cdf.searchsorted(rng.random(), side="right"))
+            return self._scales[branch] * rng.standard_exponential()
         branches = rng.choice(self.rates.size, p=self.probs, size=size)
         return rng.exponential(scale=1.0 / self.rates[branches])
 

@@ -23,6 +23,8 @@ class LogNormal(Distribution):
     ``scv = exp(sigma^2) - 1``.
     """
 
+    block_sampling_safe = True
+
     def __init__(self, mean: float, scv: float):
         if mean <= 0.0 or not np.isfinite(mean):
             raise ModelValidationError(f"LogNormal mean must be positive and finite, got {mean}")

@@ -35,6 +35,12 @@ class Mixture(Distribution):
             raise ModelValidationError("all mixture components must be Distribution instances")
         self.probs = probs_arr / probs_arr.sum()
         self.components = list(components)
+        # Branch CDF for the scalar fast path; bit-identical to
+        # Generator.choice(n, p=p), which inverts the same normalized
+        # cumsum against one uniform double.
+        cdf = self.probs.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
 
     @property
     def mean(self) -> float:
@@ -50,7 +56,9 @@ class Mixture(Distribution):
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
         if size is None:
-            idx = rng.choice(len(self.components), p=self.probs)
+            # CDF inversion against one uniform double: bit-identical
+            # to choice(p=probs) without its per-call setup.
+            idx = int(self._cdf.searchsorted(rng.random(), side="right"))
             return self.components[idx].sample(rng)
         idx = rng.choice(len(self.components), p=self.probs, size=size)
         out = np.empty(size, dtype=float)

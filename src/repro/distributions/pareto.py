@@ -24,6 +24,8 @@ class Pareto(Distribution):
     waiting-time formulas require.
     """
 
+    block_sampling_safe = True
+
     def __init__(self, alpha: float, xm: float):
         if alpha <= 2.0 or not np.isfinite(alpha):
             raise ModelValidationError(

@@ -13,6 +13,8 @@ __all__ = ["Uniform"]
 class Uniform(Distribution):
     """Uniform on ``[low, high]`` with ``0 <= low < high``."""
 
+    block_sampling_safe = True
+
     def __init__(self, low: float, high: float):
         if not (np.isfinite(low) and np.isfinite(high)):
             raise ModelValidationError(f"Uniform bounds must be finite, got [{low}, {high}]")

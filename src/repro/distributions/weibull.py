@@ -18,6 +18,8 @@ class Weibull(Distribution):
     decreasing hazard (heavy-ish tail), above 1 an increasing hazard.
     """
 
+    block_sampling_safe = True
+
     def __init__(self, k: float, lam: float):
         if k <= 0.0 or not np.isfinite(k):
             raise ModelValidationError(f"Weibull shape must be positive and finite, got {k}")

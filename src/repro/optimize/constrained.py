@@ -84,6 +84,7 @@ def minimize_box_constrained(
     feasibility_tol: float = 1e-6,
     method: str = "SLSQP",
     label: str = "",
+    objective_batch: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> OptimizationResult:
     """Minimize ``objective`` over a box subject to ``g_j(x) >= 0``.
 
@@ -105,6 +106,15 @@ def minimize_box_constrained(
     label:
         Telemetry label for the solve (e.g. ``"p1"``); shows up in the
         ``optimize.solve`` span and the ``solver.result`` event.
+    objective_batch:
+        Optional vectorized objective: maps an ``(n, d)`` matrix of
+        points to ``n`` objective values in one call (``inf`` allowed
+        for divergent points). When given, all multistart seeds are
+        evaluated in a single batched call and the local solver starts
+        from the most promising seed first — the same starts are still
+        all run, so the optimum found does not change, but the best
+        incumbent is established early. See
+        :class:`repro.core.batch_eval.BatchEvaluator`.
 
     Returns
     -------
@@ -121,6 +131,28 @@ def minimize_box_constrained(
     scipy_constraints = [
         {"type": "ineq", "fun": _safe(c.fun)} for c in constraints
     ]
+    # Clip bounds as ndarrays, built once per solve (not per start).
+    lo_arr = np.array([b[0] for b in bounds], dtype=float)
+    hi_arr = np.array([b[1] for b in bounds], dtype=float)
+
+    starts = multistart_points(bounds, n_starts)
+    if objective_batch is not None and len(starts) > 1:
+        # One vectorized call ranks every seed; SLSQP then runs
+        # best-seed-first so the incumbent is strong from start one.
+        seed_values = np.asarray(objective_batch(starts), dtype=float)
+        if seed_values.shape != (len(starts),):
+            raise ModelValidationError(
+                f"objective_batch must return {len(starts)} values, "
+                f"got shape {seed_values.shape}"
+            )
+        evals[0] += len(starts)
+        starts = starts[np.argsort(seed_values, kind="stable")]
+        obs.event(
+            "optimize.batch_seeds",
+            label=label,
+            n_seeds=len(starts),
+            best_seed_value=float(np.min(seed_values)),
+        )
 
     def violation(x: np.ndarray) -> float:
         worst = 0.0
@@ -149,7 +181,7 @@ def minimize_box_constrained(
         n_starts=n_starts,
         n_constraints=len(constraints),
     ) as sp:
-        for x0 in multistart_points(bounds, n_starts):
+        for x0 in starts:
             try:
                 res = minimize(
                     safe_obj,
@@ -167,7 +199,7 @@ def minimize_box_constrained(
                 if candidate.better_than(best):
                     best = candidate
                 continue
-            x = np.clip(res.x, [b[0] for b in bounds], [b[1] for b in bounds])
+            x = np.clip(res.x, lo_arr, hi_arr)
             viol = violation(x)
             candidate = OptimizationResult(
                 x=x,

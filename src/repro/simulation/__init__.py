@@ -16,7 +16,7 @@ High-level entry points:
 * :class:`SimulationCache` — the content-addressed replication cache.
 """
 
-from repro.simulation.rng import RngStreams
+from repro.simulation.rng import BlockCursor, RngStreams
 from repro.simulation.stats import Welford, batch_means_ci, confidence_halfwidth
 from repro.simulation.simulator import SimulationResult, simulate
 from repro.simulation.cache import CacheUnsupportedError, SimulationCache, simulation_fingerprint
@@ -29,6 +29,7 @@ from repro.simulation.parallel import (
 from repro.simulation.replications import ReplicatedResult, simulate_replications
 
 __all__ = [
+    "BlockCursor",
     "RngStreams",
     "Welford",
     "confidence_halfwidth",

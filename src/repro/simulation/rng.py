@@ -15,11 +15,39 @@ process, each station×class service sampler) gets its *own*
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.exceptions import ModelValidationError
 
-__all__ = ["RngStreams"]
+__all__ = ["RngStreams", "BlockCursor", "fnv1a64"]
+
+_U64_MASK = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+# Stream names repeat across every replication of every experiment, so
+# the FNV digest of each name is computed once per process, not once
+# per replication (satellite fix: the byte loop used to run on every
+# first access of a stream).
+_DIGEST_CACHE: dict[str, int] = {}
+
+
+def fnv1a64(name: str) -> int:
+    """Cached 64-bit FNV-1a digest of a stream name.
+
+    Pure-integer arithmetic; bit-identical to the original
+    ``np.uint64`` byte loop (both reduce modulo 2^64 after each
+    multiply).
+    """
+    digest = _DIGEST_CACHE.get(name)
+    if digest is None:
+        digest = _FNV_OFFSET
+        for ch in name.encode():
+            digest = ((digest ^ ch) * _FNV_PRIME) & _U64_MASK
+        _DIGEST_CACHE[name] = digest
+    return digest
 
 
 class RngStreams:
@@ -49,12 +77,9 @@ class RngStreams:
         """
         if name not in self._streams:
             # Stable 64-bit digest of the name mixed into the seed tree.
-            digest = np.uint64(0xCBF29CE484222325)
-            for ch in name.encode():
-                digest = np.uint64((int(digest) ^ ch) * 0x100000001B3 % (1 << 64))
             child = np.random.SeedSequence(
                 entropy=self._base_entropy,
-                spawn_key=self._base_spawn_key + (int(digest),),
+                spawn_key=self._base_spawn_key + (fnv1a64(name),),
             )
             self._streams[name] = np.random.default_rng(child)
         return self._streams[name]
@@ -65,3 +90,47 @@ class RngStreams:
         if n < 1:
             raise ModelValidationError(f"need at least one replication, got {n}")
         return np.random.SeedSequence(master_seed).spawn(n)
+
+
+class BlockCursor:
+    """Refill-on-exhaustion cursor over block-pregenerated variates.
+
+    Wraps one named stream's generator together with a vectorized draw
+    function ``draw(rng, n) -> ndarray`` and hands the values out one
+    scalar at a time. NumPy's ``Generator`` consumes its bit stream in
+    exactly the same order for one ``size=n`` block draw as for ``n``
+    successive scalar draws of the same family (the block-sampling
+    determinism contract, pinned by ``tests/test_block_rng.py``), so a
+    cursor-fed simulation is bit-identical to the scalar-draw engine it
+    replaced — per-stream draw *order* is unchanged, which is what
+    preserves :class:`RngStreams` reproducibility and common random
+    numbers across configurations.
+
+    The block is converted to a Python list once per refill so the hot
+    path hands out cached ``float`` objects instead of paying NumPy
+    scalar boxing on every event.
+    """
+
+    __slots__ = ("_rng", "_draw", "_it", "block_size")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        draw: Callable[[np.random.Generator, int], np.ndarray],
+        block_size: int = 4096,
+    ):
+        if block_size < 1:
+            raise ModelValidationError(f"block size must be >= 1, got {block_size}")
+        self._rng = rng
+        self._draw = draw
+        self.block_size = block_size
+        self._it = iter(())
+
+    def __call__(self) -> float:
+        # A list-iterator with a sentinel default is the cheapest
+        # "next value or refill" primitive available in pure Python.
+        v = next(self._it, None)
+        if v is None:
+            self._it = iter(self._draw(self._rng, self.block_size).tolist())
+            v = next(self._it)
+        return v

@@ -7,26 +7,43 @@ per-class end-to-end delays, per-tier waits/sojourns, tier
 utilizations, average power and per-class dynamic energy. Replication
 management and confidence intervals live in
 :mod:`repro.simulation.replications`.
+
+The event core is built for single-core throughput while staying
+bit-identical for a given seed:
+
+* arrival gaps (Poisson), service variates (block-safe families) and
+  routing uniforms are pregenerated in NumPy chunks through
+  :class:`repro.simulation.rng.BlockCursor` — per-stream draw order is
+  unchanged, so seeded results and common-random-numbers comparisons
+  are preserved exactly;
+* each station keeps a single next-completion heap entry instead of
+  one per in-service job (see :mod:`repro.simulation.station`);
+* per-event statistics go into plain Python accumulators (list-of-list
+  sums, per-class delay buffers flushed through
+  :meth:`repro.simulation.stats.Welford.add_batch`) instead of NumPy
+  fancy indexing and per-sample Welford updates.
 """
 
 from __future__ import annotations
 
 import heapq
 import warnings
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from itertools import chain
+from itertools import chain, count
 from typing import Any
 
 import numpy as np
 
 from repro import obs
 from repro.cluster.model import ClusterModel
+from repro.distributions.hyperexponential import HyperExponential
 from repro.exceptions import ModelValidationError, WarmupDiscardWarning
 from repro.simulation.job import Job
 from repro.simulation.ps_station import PSStation
-from repro.simulation.rng import RngStreams
+from repro.simulation.rng import BlockCursor, RngStreams
 from repro.simulation.station import SimStation
-from repro.simulation.stats import BusyIntegrator, Welford, confidence_halfwidth
+from repro.simulation.stats import Welford, confidence_halfwidth
 from repro.workload.arrivals import ArrivalProcess, PoissonProcess
 from repro.workload.classes import Workload
 
@@ -175,82 +192,106 @@ def simulate(
     m_stations = cluster.num_tiers
     warmup = warmup_fraction * horizon
 
-    streams = RngStreams(seed)
-    if routing is None:
-        routes = _build_routes(cluster)
-        routing_tables = None
-        routing_rngs = None
-    else:
-        routes = None
-        routing_tables = _build_routing_tables(cluster, routing)
-        routing_rngs = [streams.stream(f"routing/{k}") for k in range(k_classes)]
-
-    if arrival_processes is None:
-        arrivals: list[ArrivalProcess] = [
-            PoissonProcess(c.arrival_rate) for c in workload.classes
-        ]
-    else:
-        if len(arrival_processes) != k_classes:
-            raise ModelValidationError(
-                f"expected {k_classes} arrival processes, got {len(arrival_processes)}"
-            )
-        arrivals = [p.fresh() for p in arrival_processes]
-    arrival_rngs = [streams.stream(f"arrivals/{k}") for k in range(k_classes)]
-
-    heap: list[tuple[float, int, int, int, int, int]] = []
-    seq = 0
-
-    def schedule_completion(time: float, station: int, server: int, epoch: int) -> None:
-        nonlocal seq
-        seq += 1
-        heapq.heappush(heap, (time, seq, _COMPLETION, station, server, epoch))
-
-    stations: list[SimStation] = []
-    for i, tier in enumerate(cluster.tiers):
-        samplers = []
-        for k in range(k_classes):
-            dist = tier.demands[k].scaled(1.0 / tier.speed)
-            rng = streams.stream(f"service/{i}/{k}")
-            samplers.append(_make_sampler(dist, rng))
-        if tier.discipline == "ps":
-            if tier.capacity is not None:
-                raise ModelValidationError(
-                    f"tier {tier.name!r}: finite buffers are not supported for PS tiers"
-                )
-            st = PSStation(i, k_classes, tier.servers, samplers, schedule_completion)
+    with obs.span("sim.setup", classes=k_classes, stations=m_stations, horizon=horizon):
+        streams = RngStreams(seed)
+        if routing is None:
+            routes = _build_routes(cluster)
+            routing_tables = None
+            routing_uniforms = None
         else:
-            st = SimStation(
-                i,
-                k_classes,
-                tier.servers,
-                tier.discipline,
-                samplers,
-                schedule_completion,
-                capacity=tier.capacity,
-            )
-        st.busy = BusyIntegrator(warmup, horizon)
-        st.class_busy = [BusyIntegrator(warmup, horizon) for _ in range(k_classes)]
-        stations.append(st)
+            routes = None
+            routing_tables = _build_routing_tables(cluster, routing)
+            # One uniform per routing decision, block-pregenerated per
+            # class stream (Generator.random is block-safe).
+            routing_uniforms = [
+                BlockCursor(streams.stream(f"routing/{k}"), _draw_uniform)
+                for k in range(k_classes)
+            ]
 
-    # Statistics tallies.
-    e2e = [Welford() for _ in range(k_classes)]
-    samples: list[list[float]] | None = (
-        [[] for _ in range(k_classes)] if collect_delay_samples else None
-    )
-    log_rows: list[tuple[int, int, float, float]] | None = [] if collect_job_log else None
-    wait_sum = np.zeros((k_classes, m_stations))
-    sojourn_sum = np.zeros((k_classes, m_stations))
-    visit_count = np.zeros((k_classes, m_stations), dtype=np.int64)
-    station_completions = np.zeros((k_classes, m_stations), dtype=np.int64)
-    n_blocked = np.zeros((k_classes, m_stations), dtype=np.int64)
-    offered = np.zeros((k_classes, m_stations), dtype=np.int64)
+        if arrival_processes is None:
+            arrivals: list[ArrivalProcess] = [
+                PoissonProcess(c.arrival_rate) for c in workload.classes
+            ]
+        else:
+            if len(arrival_processes) != k_classes:
+                raise ModelValidationError(
+                    f"expected {k_classes} arrival processes, got {len(arrival_processes)}"
+                )
+            arrivals = [p.fresh() for p in arrival_processes]
+        arrival_pull = [
+            _make_arrival_puller(proc, streams.stream(f"arrivals/{k}"))
+            for k, proc in enumerate(arrivals)
+        ]
 
-    # Seed initial arrivals.
-    jid = 0
-    for k in range(k_classes):
-        gap, batch = arrivals[k].next_arrival(arrival_rngs[k])
-        seq += 1
-        heapq.heappush(heap, (gap, seq, _ARRIVAL, k, batch, 0))
+        heap: list[tuple[float, int, int, int, int]] = []
+        # One global push counter (C-level itertools.count) keeps the
+        # heap's equal-time tie-break identical to push order. Stations
+        # share the heap and counter and push their next-completion
+        # entries directly (no callback indirection per re-arm).
+        next_seq = count(1).__next__
+        heappush = heapq.heappush
+
+        stations: list[SimStation | PSStation] = []
+        for i, tier in enumerate(cluster.tiers):
+            samplers = []
+            for k in range(k_classes):
+                dist = tier.demands[k].scaled(1.0 / tier.speed)
+                rng = streams.stream(f"service/{i}/{k}")
+                samplers.append(_make_sampler(dist, rng))
+            if tier.discipline == "ps":
+                if tier.capacity is not None:
+                    raise ModelValidationError(
+                        f"tier {tier.name!r}: finite buffers are not supported for PS tiers"
+                    )
+                st = PSStation(i, k_classes, tier.servers, samplers, heap, next_seq)
+            else:
+                st = SimStation(
+                    i,
+                    k_classes,
+                    tier.servers,
+                    tier.discipline,
+                    samplers,
+                    heap,
+                    next_seq,
+                    capacity=tier.capacity,
+                )
+            st.set_window(warmup, horizon)
+            stations.append(st)
+
+        # Statistics tallies. Plain Python list-of-lists beat NumPy
+        # fancy indexing for single-cell updates by an order of
+        # magnitude; each cell accumulates in the same order as before,
+        # so the float sums are bit-identical.
+        e2e = [Welford() for _ in range(k_classes)]
+        delay_buf: list[list[float]] = [[] for _ in range(k_classes)]
+        log_rows: list[tuple[int, int, float, float]] | None = [] if collect_job_log else None
+        wait_sum = [[0.0] * m_stations for _ in range(k_classes)]
+        sojourn_sum = [[0.0] * m_stations for _ in range(k_classes)]
+        visit_count = [[0] * m_stations for _ in range(k_classes)]
+        n_blocked = [[0] * m_stations for _ in range(k_classes)]
+        offered = [[0] * m_stations for _ in range(k_classes)]
+        # Per-class (wait, sojourn, count) row triples: one subscript in
+        # the hot loop instead of three nested ones.
+        stats_rows = [
+            (wait_sum[k], sojourn_sum[k], visit_count[k]) for k in range(k_classes)
+        ]
+
+        # Per-class arrival context for the fixed-itinerary mode: the
+        # route, the prebound entry-station arrive and the entry-row
+        # counters, resolved once instead of per arrival.
+        if routes is not None:
+            entry_info = [
+                (routes[k], stations[routes[k][0]].arrive, offered[k], n_blocked[k], routes[k][0])
+                for k in range(k_classes)
+            ]
+        else:
+            entry_info = None
+
+        # Seed initial arrivals.
+        jid = 0
+        for k in range(k_classes):
+            gap, batch = arrival_pull[k]()
+            heappush(heap, (gap, next_seq(), _ARRIVAL, k, batch))
 
     # Optional per-tier queue sampling (telemetry detail flag). The
     # disabled path costs one float comparison per event: next_sample
@@ -259,117 +300,161 @@ def simulate(
     sample_interval = tel.queue_sample_interval if (tel.enabled and tel.sample_queues) else 0.0
     next_sample = warmup if sample_interval > 0.0 else float("inf")
 
-    n_events = 0
     n_warmup_discarded = 0
-    while heap:
-        t, _, kind, a, b, c = heapq.heappop(heap)
-        if t > horizon:
-            break
-        n_events += 1
-        if t >= next_sample:
-            _sample_queues(tel, t, stations)
-            while next_sample <= t:
-                next_sample += sample_interval
-        if kind == _ARRIVAL:
-            k = a
-            for _ in range(b):
-                jid += 1
-                if routes is not None:
-                    job = Job(jid, k, t, routes[k])
-                else:
-                    entry = _draw_from_cumulative(
-                        routing_tables[k][0], routing_rngs[k]
+    hit_horizon = False
+    has_routing = routing_tables is not None
+    heappop = heapq.heappop
+    with obs.span("sim.event_loop", horizon=horizon):
+        while heap:
+            t, _, kind, a, b = heappop(heap)
+            if t > horizon:
+                hit_horizon = True
+                break
+            if t >= next_sample:
+                _sample_queues(tel, t, stations)
+                while next_sample <= t:
+                    next_sample += sample_interval
+            if kind:  # _COMPLETION
+                st = stations[a]
+                if b != st.sched_epoch:
+                    continue  # stale event, re-armed since it was pushed
+                job = st.complete(t, b)
+                counted = job.arrival >= warmup
+                route = job.route
+                hop = job.hop
+                here = route[hop]
+                kcls = job.cls
+                if counted:
+                    sj = t - job.station_arrival
+                    wrow, srow, crow = stats_rows[kcls]
+                    wrow[here] += sj - job.service_total
+                    srow[here] += sj
+                    crow[here] += 1
+                if has_routing:
+                    nxt = _draw_from_cumulative(
+                        routing_tables[kcls][1][here], routing_uniforms[kcls]()
                     )
-                    job = Job(jid, k, t, (entry,))
+                    if nxt >= 0:
+                        route = route + (nxt,)
+                        job.route = route
+                hop += 1
+                job.hop = hop
+                if hop < len(route):
+                    nxt_station = route[hop]
+                    # Offered/blocked counters use the job-arrival window
+                    # (``counted``), not the hop's event time: the simulated
+                    # blocking probability must be measured over the same
+                    # population as the delays it is compared against.
+                    if counted:
+                        offered[kcls][nxt_station] += 1
+                        if not stations[nxt_station].arrive(t, job):
+                            n_blocked[kcls][nxt_station] += 1
+                    else:
+                        stations[nxt_station].arrive(t, job)
+                elif counted:
+                    delay_buf[kcls].append(t - job.arrival)
+                    if log_rows is not None:
+                        log_rows.append((job.jid, kcls, job.arrival, t))
+                else:
+                    n_warmup_discarded += 1
+            else:
+                k = a
                 # Blocking counters share the job-arrival measurement
                 # window with the delay statistics (here t *is* the
                 # job's arrival time).
-                if t >= warmup:
-                    offered[k, job.route[0]] += 1
-                if not stations[job.route[0]].arrive(t, job) and t >= warmup:
-                    n_blocked[k, job.route[0]] += 1
-            gap, batch = arrivals[k].next_arrival(arrival_rngs[k])
-            seq += 1
-            heapq.heappush(heap, (t + gap, seq, _ARRIVAL, k, batch, 0))
-        else:
-            job = stations[a].complete(t, b, c)
-            if job is None:
-                continue  # stale event, cancelled by preemption
-            counted = job.arrival >= warmup
-            here = job.route[job.hop]
-            if counted:
-                kcls = job.cls
-                sj = t - job.station_arrival
-                wait_sum[kcls, here] += sj - job.service_total
-                sojourn_sum[kcls, here] += sj
-                visit_count[kcls, here] += 1
-                # counted implies t >= job.arrival >= warmup.
-                station_completions[kcls, here] += 1
-            if routing_tables is not None:
-                nxt = _draw_from_cumulative(
-                    routing_tables[job.cls][1][here], routing_rngs[job.cls]
-                )
-                if nxt >= 0:
-                    job.route = job.route + (nxt,)
-            job.hop += 1
-            if job.hop < len(job.route):
-                nxt_station = job.route[job.hop]
-                # Offered/blocked counters use the job-arrival window
-                # (``counted``), not the hop's event time: the simulated
-                # blocking probability must be measured over the same
-                # population as the delays it is compared against.
-                if counted:
-                    offered[job.cls, nxt_station] += 1
-                if not stations[nxt_station].arrive(t, job) and counted:
-                    n_blocked[job.cls, nxt_station] += 1
-            elif counted:
-                e2e[job.cls].add(t - job.arrival)
-                if samples is not None:
-                    samples[job.cls].append(t - job.arrival)
-                if log_rows is not None:
-                    log_rows.append((job.jid, job.cls, job.arrival, t))
-            else:
-                n_warmup_discarded += 1
+                if entry_info is not None:
+                    route, entry_arrive, off_row, blk_row, r0 = entry_info[k]
+                    for _ in range(b):
+                        jid += 1
+                        job = Job(jid, k, t, route)
+                        if t >= warmup:
+                            off_row[r0] += 1
+                            if not entry_arrive(t, job):
+                                blk_row[r0] += 1
+                        else:
+                            entry_arrive(t, job)
+                else:
+                    for _ in range(b):
+                        jid += 1
+                        entry = _draw_from_cumulative(
+                            routing_tables[k][0], routing_uniforms[k]()
+                        )
+                        job = Job(jid, k, t, (entry,))
+                        if t >= warmup:
+                            offered[k][entry] += 1
+                            if not stations[entry].arrive(t, job):
+                                n_blocked[k][entry] += 1
+                        else:
+                            stations[entry].arrive(t, job)
+                gap, batch = arrival_pull[k]()
+                heappush(heap, (t + gap, next_seq(), _ARRIVAL, k, batch))
 
-    for st in stations:
-        st.close_open_intervals(horizon)
+    # Every pushed event was either processed, is still in the heap, or
+    # is the single post-horizon pop that ended the loop — so the
+    # processed-event count follows from the push counter without a
+    # per-event increment in the hot loop.
+    n_events = (next_seq() - 1) - len(heap) - (1 if hit_horizon else 0)
 
-    window = horizon - warmup
-    utilizations = np.array(
-        [st.busy.utilization(tier.servers) for st, tier in zip(stations, cluster.tiers)]
-    )
-
-    # Power: idle floor plus measured dynamic draw.
-    dynamic_power = 0.0
-    per_class_dyn_energy_rate = np.zeros(k_classes)
-    for st, tier in zip(stations, cluster.tiers):
-        p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
-        dynamic_power += p_dyn * st.busy.total / window
+    with obs.span("sim.finalize"):
+        for st in stations:
+            st.close_open_intervals(horizon)
+        # Flush the per-class delay buffers into the Welford
+        # accumulators in one batched pass (bit-identical to per-event
+        # adds; see Welford.add_batch).
         for k in range(k_classes):
-            per_class_dyn_energy_rate[k] += p_dyn * st.class_busy[k].total / window
-    idle_power = float(sum(t.servers * t.spec.power.idle for t in cluster.tiers))
-    average_power = idle_power + dynamic_power
+            e2e[k].add_batch(delay_buf[k])
 
-    n_completed = np.array([w.n for w in e2e], dtype=np.int64)
-    delays = np.array([w.mean for w in e2e])
-    stds = np.array([w.std for w in e2e])
-    cis = np.array([confidence_halfwidth(w.std, w.n) for w in e2e])
-
-    # Per-class dynamic energy per completed request: measured energy
-    # rate divided by the class's measured throughput.
-    throughput = n_completed / window
-    with np.errstate(divide="ignore", invalid="ignore"):
-        per_class_dyn = np.where(
-            throughput > 0, per_class_dyn_energy_rate / np.maximum(throughput, 1e-300), np.nan
+        window = horizon - warmup
+        utilizations = np.array(
+            [
+                st.busy_total / (tier.servers * window)
+                for st, tier in zip(stations, cluster.tiers)
+            ]
         )
-    total_throughput = float(throughput.sum())
-    energy_per_request = average_power / total_throughput if total_throughput > 0 else float("nan")
 
-    with np.errstate(divide="ignore", invalid="ignore"):
-        station_waits = np.where(visit_count > 0, wait_sum / np.maximum(visit_count, 1), np.nan)
-        station_sojourns = np.where(
-            visit_count > 0, sojourn_sum / np.maximum(visit_count, 1), np.nan
+        # Power: idle floor plus measured dynamic draw.
+        dynamic_power = 0.0
+        per_class_dyn_energy_rate = np.zeros(k_classes)
+        for st, tier in zip(stations, cluster.tiers):
+            p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
+            dynamic_power += p_dyn * st.busy_total / window
+            for k in range(k_classes):
+                per_class_dyn_energy_rate[k] += p_dyn * st.class_busy_totals[k] / window
+        idle_power = float(sum(t.servers * t.spec.power.idle for t in cluster.tiers))
+        average_power = idle_power + dynamic_power
+
+        n_completed = np.array([w.n for w in e2e], dtype=np.int64)
+        delays = np.array([w.mean for w in e2e])
+        stds = np.array([w.std for w in e2e])
+        cis = np.array([confidence_halfwidth(w.std, w.n) for w in e2e])
+
+        # Per-class dynamic energy per completed request: measured energy
+        # rate divided by the class's measured throughput.
+        throughput = n_completed / window
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_class_dyn = np.where(
+                throughput > 0, per_class_dyn_energy_rate / np.maximum(throughput, 1e-300), np.nan
+            )
+        total_throughput = float(throughput.sum())
+        energy_per_request = (
+            average_power / total_throughput if total_throughput > 0 else float("nan")
         )
+
+        wait_sum_arr = np.array(wait_sum)
+        sojourn_sum_arr = np.array(sojourn_sum)
+        visit_count_arr = np.array(visit_count, dtype=np.int64)
+        # A counted visit completes at the station exactly when it is
+        # counted toward per-visit delay statistics, so the completion
+        # matrix equals the visit-count matrix (kept as separate meta
+        # arrays for API compatibility).
+        station_completions = visit_count_arr.copy()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            station_waits = np.where(
+                visit_count_arr > 0, wait_sum_arr / np.maximum(visit_count_arr, 1), np.nan
+            )
+            station_sojourns = np.where(
+                visit_count_arr > 0, sojourn_sum_arr / np.maximum(visit_count_arr, 1), np.nan
+            )
 
     # Delay statistics on a thin post-warmup tail are noisy; surface it
     # both as a Python warning and as a structured telemetry event.
@@ -418,11 +503,11 @@ def simulate(
             "n_events": n_events,
             "n_warmup_discarded": n_warmup_discarded,
             "station_completions": station_completions,
-            "n_blocked": n_blocked,
-            "n_offered": offered,
+            "n_blocked": np.array(n_blocked, dtype=np.int64),
+            "n_offered": np.array(offered, dtype=np.int64),
         },
         delay_samples=(
-            [np.asarray(s) for s in samples] if samples is not None else None
+            [np.asarray(s) for s in delay_buf] if collect_delay_samples else None
         ),
         job_log=(
             np.array(
@@ -502,7 +587,7 @@ def _sample_queues(tel, t: float, stations: list) -> None:
             busy = min(n, st.capacity)
         else:
             n = st._in_system()
-            busy = sum(1 for s in st.servers if s.job is not None)
+            busy = st.n_busy
         populations.append(n)
         busy_counts.append(busy)
         tel.metrics.gauge(f"sim.tier.{st.index}.population").set(n)
@@ -510,19 +595,80 @@ def _sample_queues(tel, t: float, stations: list) -> None:
     tel.tracer.event("sim.queue_sample", t=t, population=populations, busy=busy_counts)
 
 
-def _draw_from_cumulative(cum: np.ndarray, rng: np.random.Generator) -> int:
+def _draw_uniform(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.random(n)
+
+
+def _draw_from_cumulative(cum: np.ndarray, u: float) -> int:
     """Index drawn from a (sub)probability cumulative array; ``-1``
-    when the draw falls in the residual (exit) mass."""
-    u = rng.random()
+    when the uniform ``u`` falls in the residual (exit) mass."""
     if u > cum[-1]:
         return -1
-    return int(np.searchsorted(cum, u, side="left"))
+    return int(cum.searchsorted(u, side="left"))
 
 
 def _make_sampler(dist, rng):
-    """Bind one (distribution, stream) pair into a zero-arg sampler."""
+    """Bind one (distribution, stream) pair into a zero-arg sampler.
 
-    def sampler() -> float:
-        return float(dist.sample(rng))
+    Families satisfying the block-sampling determinism contract
+    (``dist.block_sampling_safe``) are drawn in pregenerated NumPy
+    chunks through a :class:`~repro.simulation.rng.BlockCursor` —
+    bit-identical values in the same order, at a fraction of the
+    per-draw cost.
 
-    return sampler
+    HyperExponential — the paper's canonical high-variability demand,
+    so the most common *unsafe* family — gets a closure that inlines
+    its scalar draw: branch by :func:`bisect.bisect_right` on the
+    Python-list CDF (same count-of-entries-<=-u semantics as
+    ``ndarray.searchsorted(side="right")``, which itself emulates
+    ``Generator.choice`` bit-exactly) followed by
+    ``scale * standard_exponential()``. Identical bit-stream
+    consumption and values, no method dispatch or NumPy scalar
+    overhead per draw. Everything else keeps the generic scalar path.
+    """
+    if dist.block_sampling_safe:
+        return BlockCursor(rng, dist.sample)
+    if isinstance(dist, HyperExponential):
+        cdf = dist._cdf.tolist()
+        scales = dist._scales
+        random = rng.random
+        std_exp = rng.standard_exponential
+
+        def sampler() -> float:
+            return scales[bisect_right(cdf, random())] * std_exp()
+
+        return sampler
+    sample = dist.sample
+
+    def generic_sampler() -> float:
+        return float(sample(rng))
+
+    return generic_sampler
+
+
+def _make_arrival_puller(proc, rng):
+    """Bind one (arrival process, stream) pair into a zero-arg puller
+    returning ``(gap, batch_size)``.
+
+    Plain Poisson processes — the overwhelmingly common case — draw
+    their exponential gaps through a block cursor; stateful processes
+    (MMPP, batch, renewal, NHPP) keep their scalar ``next_arrival``
+    path, whose draw interleaving is not block-safe.
+    """
+    if type(proc) is PoissonProcess:
+        scale = 1.0 / proc.rate
+
+        def draw(r: np.random.Generator, n: int, _scale=scale) -> np.ndarray:
+            return r.exponential(_scale, n)
+
+        cursor = BlockCursor(rng, draw)
+
+        def pull() -> tuple[float, int]:
+            return cursor(), 1
+
+        return pull
+
+    def pull() -> tuple[float, int]:
+        return proc.next_arrival(rng)
+
+    return pull

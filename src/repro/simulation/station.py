@@ -1,11 +1,20 @@
 """A simulated multi-server station with FCFS or priority scheduling.
 
 The station owns its waiting queues and server slots; the engine owns
-the clock and the event heap. Preemption is implemented with *epoch
-counters*: every (server, job) start schedules a completion event
-stamped with the server's current epoch, and preempting the server
-bumps the epoch so the stale completion is ignored when popped —
-O(1) cancellation without touching the heap.
+the clock and the event heap. The station keeps **one** live heap entry
+— its next completion — instead of one entry per in-service job:
+server bookkeeping lives in parallel lists (job, busy-since,
+completion-time, start-sequence per slot) and any state change that
+moves the station's earliest completion re-arms the single entry by
+bumping ``sched_epoch``, so the stale entry is ignored when popped —
+O(1) cancellation without touching the heap, and a heap whose size is
+bounded by the number of *stations*, not the number of busy servers.
+
+Within a station, simultaneous completions (possible with
+deterministic service) are resolved by ``srv_seq`` — the order the
+services *started* — which reproduces the push-order tie-break of the
+one-entry-per-job engine this replaced, keeping seeded runs
+bit-identical.
 
 Scheduling semantics:
 
@@ -25,25 +34,18 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable
+from heapq import heappush
 
 from repro.exceptions import SimulationError
 from repro.simulation.job import Job
-from repro.simulation.stats import BusyIntegrator
 
-__all__ = ["SimStation"]
+__all__ = ["SimStation", "COMPLETION"]
 
-# Engine callback signature: schedule(time, station_index, server_index, epoch)
-ScheduleFn = Callable[[float, int, int, int], None]
+#: Event-kind tag of the completion entries stations push onto the
+#: engine's heap: ``(time, seq, COMPLETION, station_index, epoch)``.
+COMPLETION = 1
 
-
-class _Server:
-    __slots__ = ("job", "epoch", "busy_since", "completion_time")
-
-    def __init__(self) -> None:
-        self.job: Job | None = None
-        self.epoch = 0
-        self.busy_since = 0.0
-        self.completion_time = 0.0
+_INF = float("inf")
 
 
 class SimStation:
@@ -58,12 +60,41 @@ class SimStation:
     servers:
         Number of parallel servers.
     discipline:
-        ``"fcfs"``, ``"priority_np"`` or ``"priority_pr"``.
+        ``"fcfs"``, ``"priority_np"``, ``"priority_pr"`` or ``"loss"``.
     samplers:
-        Per-class callables returning a fresh service time.
-    schedule:
-        Engine callback to schedule a completion event.
+        Per-class callables returning a fresh service time (a Python
+        ``float``).
+    heap:
+        The engine's event heap; the station pushes its next-completion
+        entries ``(time, seq, COMPLETION, index, epoch)`` directly
+        (inlining the push shaves one Python call off every re-arm).
+    next_seq:
+        Shared push counter for the heap's equal-time tie-break.
     """
+
+    __slots__ = (
+        "index",
+        "discipline",
+        "samplers",
+        "heap",
+        "next_seq",
+        "capacity",
+        "srv_job",
+        "srv_busy_since",
+        "srv_completion",
+        "srv_seq",
+        "n_servers",
+        "n_busy",
+        "_start_counter",
+        "sched_epoch",
+        "sched_time",
+        "fifo",
+        "queues",
+        "t0",
+        "t1",
+        "busy_total",
+        "class_busy_totals",
+    )
 
     def __init__(
         self,
@@ -72,24 +103,47 @@ class SimStation:
         servers: int,
         discipline: str,
         samplers: list[Callable[[], float]],
-        schedule: ScheduleFn,
+        heap: list,
+        next_seq: Callable[[], int],
         capacity: int | None = None,
     ):
         self.index = index
         self.discipline = discipline
         self.samplers = samplers
-        self.schedule = schedule
+        self.heap = heap
+        self.next_seq = next_seq
         self.capacity = capacity
-        self.servers = [_Server() for _ in range(servers)]
+        # Array-backed server slots (parallel lists, indexed by server).
+        self.srv_job: list[Job | None] = [None] * servers
+        self.srv_busy_since: list[float] = [0.0] * servers
+        self.srv_completion: list[float] = [0.0] * servers
+        self.srv_seq: list[int] = [0] * servers
+        self.n_servers = servers
+        self.n_busy = 0
+        self._start_counter = 0
+        # The single live next-completion entry: (sched_time, sched_epoch).
+        self.sched_epoch = 0
+        self.sched_time = _INF
         if discipline == "fcfs":
             self.fifo: deque[Job] = deque()
             self.queues: list[deque[Job]] = []
         else:
             self.fifo = deque()
             self.queues = [deque() for _ in range(num_classes)]
-        # Statistics, filled in by the engine before the run starts.
-        self.busy: BusyIntegrator | None = None
-        self.class_busy: list[BusyIntegrator] | None = None
+        # Windowed busy-time accumulation (set_window narrows it to the
+        # post-warmup measurement window before the run starts).
+        self.t0 = 0.0
+        self.t1 = _INF
+        self.busy_total = 0.0
+        self.class_busy_totals = [0.0] * num_classes
+
+    def set_window(self, t0: float, t1: float) -> None:
+        """Clip busy-time accounting to ``[t0, t1]`` (the post-warmup
+        measurement window)."""
+        if t1 <= t0:
+            raise SimulationError(f"measurement window must have t1 > t0, got [{t0}, {t1}]")
+        self.t0 = t0
+        self.t1 = t1
 
     # ------------------------------------------------------------------
     def arrive(self, t: float, job: Job) -> bool:
@@ -102,9 +156,26 @@ class SimStation:
         job.remaining = None
         if self.capacity is not None and self._in_system() >= self.capacity:
             return False  # finite buffer full
-        idle = self._find_idle()
-        if idle is not None:
-            self._start(t, job, idle)
+        if self.n_busy < self.n_servers:
+            # Inlined _start on the lowest-index idle server (the
+            # arriving job's remaining is always None here, so the
+            # service sample is drawn unconditionally).
+            idx = self.srv_job.index(None)
+            r = self.samplers[job.cls]()
+            job.remaining = r
+            job.service_total = r
+            self.srv_job[idx] = job
+            self.srv_busy_since[idx] = t
+            c = t + r
+            self.srv_completion[idx] = c
+            self._start_counter += 1
+            self.srv_seq[idx] = self._start_counter
+            self.n_busy += 1
+            if c < self.sched_time:
+                epoch = self.sched_epoch + 1
+                self.sched_epoch = epoch
+                self.sched_time = c
+                heappush(self.heap, (c, self.next_seq(), COMPLETION, self.index, epoch))
             return True
         if self.discipline == "loss":
             return False  # blocked call cleared
@@ -113,6 +184,9 @@ class SimStation:
             if victim_idx is not None:
                 self._preempt(t, victim_idx)
                 self._start(t, job, victim_idx)
+                # Preemption may have cancelled the completion the live
+                # entry pointed at — always re-arm from scratch.
+                self._resync()
                 return True
         if self.discipline == "fcfs":
             self.fifo.append(job)
@@ -120,66 +194,133 @@ class SimStation:
             self.queues[job.cls].append(job)
         return True
 
-    def complete(self, t: float, server_idx: int, epoch: int) -> Job | None:
-        """Handle a completion event; returns the finished job, or
-        ``None`` if the event was stale (its server was preempted)."""
-        server = self.servers[server_idx]
-        if epoch != server.epoch:
-            return None  # cancelled by a preemption
-        job = server.job
-        if job is None:  # pragma: no cover - engine invariant
-            raise SimulationError(f"completion on idle server {server_idx} at station {self.index}")
-        self._record_busy(job.cls, server.busy_since, t)
-        server.job = None
-        server.epoch += 1
-        nxt = self._next_job()
+    def complete(self, t: float, epoch: int) -> Job | None:
+        """Handle the station's next-completion event; returns the
+        finished job, or ``None`` if the event was stale (re-armed by a
+        preemption or an earlier-finishing start since it was pushed)."""
+        if epoch != self.sched_epoch:
+            return None  # cancelled
+        # One pass finds the completing server — earliest completion,
+        # ties broken by start order (matching the old per-job heap's
+        # push-order ties) — and the runner-up time, which becomes the
+        # re-armed entry without a second scan.
+        srv_job = self.srv_job
+        srv_completion = self.srv_completion
+        srv_seq = self.srv_seq
+        idx = -1
+        best_t = _INF
+        best_seq = 0
+        runner_up = _INF
+        for i, j in enumerate(srv_job):
+            if j is not None:
+                ci = srv_completion[i]
+                if idx < 0:
+                    idx = i
+                    best_t = ci
+                    best_seq = srv_seq[i]
+                elif ci < best_t or (ci == best_t and srv_seq[i] < best_seq):
+                    if best_t < runner_up:
+                        runner_up = best_t
+                    idx = i
+                    best_t = ci
+                    best_seq = srv_seq[i]
+                elif ci < runner_up:
+                    runner_up = ci
+        if idx < 0:  # pragma: no cover - engine invariant
+            raise SimulationError(f"completion with no busy server at station {self.index}")
+        job = srv_job[idx]
+        # Inlined _record_busy (same clip-then-add arithmetic).
+        a = self.srv_busy_since[idx]
+        lo = a if a > self.t0 else self.t0
+        hi = t if t < self.t1 else self.t1
+        if hi > lo:
+            d = hi - lo
+            self.busy_total += d
+            self.class_busy_totals[job.cls] += d
+        srv_job[idx] = None
+        self.n_busy -= 1
+        # Inlined dispatch of the next queued job onto the freed server.
+        nxt = None
+        if self.discipline == "fcfs":
+            if self.fifo:
+                nxt = self.fifo.popleft()
+        else:
+            for q in self.queues:  # highest priority first
+                if q:
+                    nxt = q.popleft()
+                    break
+        new_min = runner_up
         if nxt is not None:
-            self._start(t, nxt, server_idx)
+            r = nxt.remaining
+            if r is None:
+                r = self.samplers[nxt.cls]()
+                nxt.remaining = r
+                nxt.service_total = r
+            srv_job[idx] = nxt
+            self.srv_busy_since[idx] = t
+            c = t + r
+            srv_completion[idx] = c
+            self._start_counter += 1
+            srv_seq[idx] = self._start_counter
+            self.n_busy += 1
+            if c < new_min:
+                new_min = c
+        epoch = self.sched_epoch + 1
+        self.sched_epoch = epoch
+        self.sched_time = new_min
+        if new_min != _INF:
+            heappush(self.heap, (new_min, self.next_seq(), COMPLETION, self.index, epoch))
         return job
 
     # ------------------------------------------------------------------
     def _in_system(self) -> int:
         """Jobs in service plus waiting (the finite-buffer occupancy)."""
-        busy = sum(1 for s in self.servers if s.job is not None)
-        waiting = len(self.fifo) + sum(len(q) for q in self.queues)
-        return busy + waiting
-
-    def _find_idle(self) -> int | None:
-        for i, s in enumerate(self.servers):
-            if s.job is None:
-                return i
-        return None
+        return self.n_busy + len(self.fifo) + sum(len(q) for q in self.queues)
 
     def _preemption_victim(self, arriving_cls: int) -> int | None:
         """Server running the lowest-priority job strictly below the
         arriving class, or None."""
         worst_idx, worst_cls = None, arriving_cls
-        for i, s in enumerate(self.servers):
-            if s.job is not None and s.job.cls > worst_cls:
-                worst_idx, worst_cls = i, s.job.cls
+        for i, j in enumerate(self.srv_job):
+            if j is not None and j.cls > worst_cls:
+                worst_idx, worst_cls = i, j.cls
         return worst_idx
 
     def _preempt(self, t: float, server_idx: int) -> None:
-        server = self.servers[server_idx]
-        victim = server.job
+        victim = self.srv_job[server_idx]
         assert victim is not None
-        self._record_busy(victim.cls, server.busy_since, t)
-        victim.remaining = max(server.completion_time - t, 0.0)
-        server.job = None
-        server.epoch += 1  # cancels the victim's scheduled completion
+        self._record_busy(victim.cls, self.srv_busy_since[server_idx], t)
+        victim.remaining = max(self.srv_completion[server_idx] - t, 0.0)
+        self.srv_job[server_idx] = None
+        self.n_busy -= 1
         # The victim resumes ahead of queued same-class jobs (it arrived
         # earlier than all of them, by FCFS-within-class).
         self.queues[victim.cls].appendleft(victim)
 
     def _start(self, t: float, job: Job, server_idx: int) -> None:
-        server = self.servers[server_idx]
-        if job.remaining is None:
-            job.remaining = float(self.samplers[job.cls]())
-            job.service_total = job.remaining
-        server.job = job
-        server.busy_since = t
-        server.completion_time = t + job.remaining
-        self.schedule(server.completion_time, self.index, server_idx, server.epoch)
+        r = job.remaining
+        if r is None:
+            r = self.samplers[job.cls]()
+            job.remaining = r
+            job.service_total = r
+        self.srv_job[server_idx] = job
+        self.srv_busy_since[server_idx] = t
+        self.srv_completion[server_idx] = t + r
+        self._start_counter += 1
+        self.srv_seq[server_idx] = self._start_counter
+        self.n_busy += 1
+
+    def _resync(self) -> None:
+        """Re-arm the next-completion entry from current server state."""
+        self.sched_epoch += 1
+        best = _INF
+        srv_completion = self.srv_completion
+        for i, j in enumerate(self.srv_job):
+            if j is not None and srv_completion[i] < best:
+                best = srv_completion[i]
+        self.sched_time = best
+        if best != _INF:
+            heappush(self.heap, (best, self.next_seq(), COMPLETION, self.index, self.sched_epoch))
 
     def _next_job(self) -> Job | None:
         if self.discipline == "fcfs":
@@ -190,14 +331,19 @@ class SimStation:
         return None
 
     def _record_busy(self, cls: int, a: float, b: float) -> None:
-        if self.busy is not None:
-            self.busy.add(a, b)
-        if self.class_busy is not None:
-            self.class_busy[cls].add(a, b)
+        # Inline, windowed busy-time accumulation (identical clip-then-
+        # add arithmetic to the BusyIntegrator pair it replaced, at one
+        # method call instead of two per service interval).
+        lo = a if a > self.t0 else self.t0
+        hi = b if b < self.t1 else self.t1
+        if hi > lo:
+            d = hi - lo
+            self.busy_total += d
+            self.class_busy_totals[cls] += d
 
     def close_open_intervals(self, t: float) -> None:
         """At the end of the run, account for servers still busy."""
-        for s in self.servers:
-            if s.job is not None:
-                self._record_busy(s.job.cls, s.busy_since, t)
-                s.busy_since = t  # idempotent if called twice
+        for i, j in enumerate(self.srv_job):
+            if j is not None:
+                self._record_busy(j.cls, self.srv_busy_since[i], t)
+                self.srv_busy_since[i] = t  # idempotent if called twice

@@ -27,6 +27,27 @@ class Welford:
         self._mean += delta / self.n
         self._m2 += delta * (x - self._mean)
 
+    def add_batch(self, xs) -> None:
+        """Accumulate a buffer of observations.
+
+        Replays the scalar recurrence over local variables (one
+        attribute load/store per *batch* instead of per sample), so the
+        result is bit-identical to calling :meth:`add` on each element
+        in order — Welford's update is sequential and order-sensitive,
+        which rules out a closed-form vectorized merge here.
+        """
+        n = self.n
+        mean = self._mean
+        m2 = self._m2
+        for x in xs:
+            n += 1
+            delta = x - mean
+            mean += delta / n
+            m2 += delta * (x - mean)
+        self.n = n
+        self._mean = mean
+        self._m2 = m2
+
     @property
     def mean(self) -> float:
         """Sample mean (NaN when empty)."""

@@ -1,0 +1,224 @@
+"""Golden-metrics regression suite for the simulation engine.
+
+Pins seeded :func:`repro.simulation.simulate` outputs captured from the
+pre-vectorization event core and asserts the current engine reproduces
+them **bit-identically** — same per-class delays, utilizations, energy
+and completion counts, down to the last float bit. This is the
+contract that lets the engine's internals be rewritten for speed
+(block-pregenerated RNG, array-backed stations, next-completion
+scheduling) without any risk of silently changing simulated physics.
+
+The pinned values live in ``tests/data/golden_sim_metrics.json``. To
+regenerate them after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/test_golden_sim_metrics.py --regen
+
+and commit the diff together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.distributions import Exponential, fit_two_moments
+from repro.simulation import simulate
+from repro.workload import workload_from_rates
+from repro.workload.arrivals import BatchPoissonProcess, MMPP2
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_sim_metrics.json"
+
+_SPEC = ServerSpec(
+    PowerModel(idle=25.0, kappa=75.0, alpha=3.0), min_speed=0.4, max_speed=1.0
+)
+
+
+def _two_tier(discipline: str, servers=(1, 2)) -> ClusterModel:
+    tiers = [
+        Tier(
+            "front",
+            (Exponential(4.0), fit_two_moments(0.3, 2.0)),
+            _SPEC,
+            servers=servers[0],
+            discipline=discipline,
+        ),
+        Tier(
+            "back",
+            (fit_two_moments(0.5, 0.5), fit_two_moments(0.6, 1.5)),
+            _SPEC,
+            servers=servers[1],
+            discipline=discipline,
+        ),
+    ]
+    return ClusterModel(tiers)
+
+
+def _workload():
+    return workload_from_rates([0.5, 0.8], names=("hi", "lo"))
+
+
+def _revisit_cluster() -> ClusterModel:
+    # Class 0 visits the back tier twice (integer visit ratios > 1).
+    tiers = [
+        Tier("front", (Exponential(4.0), Exponential(3.0)), _SPEC, servers=1),
+        Tier("back", (Exponential(5.0), Exponential(4.0)), _SPEC, servers=2),
+    ]
+    return ClusterModel(tiers, visit_ratios=np.array([[1.0, 2.0], [1.0, 1.0]]))
+
+
+def _finite_buffer_cluster() -> ClusterModel:
+    tiers = [
+        Tier(
+            "gate",
+            (Exponential(2.5), Exponential(2.0)),
+            _SPEC,
+            servers=2,
+            discipline="fcfs",
+            capacity=3,
+        ),
+        Tier("work", (Exponential(4.0), Exponential(3.0)), _SPEC, servers=2),
+    ]
+    return ClusterModel(tiers)
+
+
+# Scenario name -> zero-arg callable returning a SimulationResult. Each
+# exercises a different hot path of the engine: scheduling discipline,
+# service-sampling family (block-safe vs scalar-fallback), arrival
+# process (block-pregenerated Poisson vs stateful scalar), routing
+# loops and finite buffers.
+def _scenarios():
+    return {
+        "fcfs_mixed_scv": lambda: simulate(
+            _two_tier("fcfs"), _workload(), horizon=160.0, seed=2024
+        ),
+        "priority_np_hyperexp": lambda: simulate(
+            _two_tier("priority_np"), _workload(), horizon=160.0, seed=7
+        ),
+        "priority_pr_preemption": lambda: simulate(
+            _two_tier("priority_pr"), _workload(), horizon=160.0, seed=11
+        ),
+        "ps_station": lambda: simulate(
+            _two_tier("ps", servers=(1, 2)), _workload(), horizon=120.0, seed=5
+        ),
+        "multi_server_priority": lambda: simulate(
+            _two_tier("priority_np", servers=(2, 3)), _workload(), horizon=160.0, seed=3
+        ),
+        "integer_revisits": lambda: simulate(
+            _revisit_cluster(), _workload(), horizon=150.0, seed=13
+        ),
+        "finite_buffer_blocking": lambda: simulate(
+            _finite_buffer_cluster(),
+            _workload(),
+            horizon=150.0,
+            seed=17,
+            allow_unstable=True,
+        ),
+        "batch_and_mmpp_arrivals": lambda: simulate(
+            _two_tier("priority_np"),
+            _workload(),
+            horizon=120.0,
+            seed=23,
+            arrival_processes=[
+                BatchPoissonProcess(epoch_rate=0.3, p=0.6),
+                MMPP2(rate0=0.4, rate1=1.6, r01=0.05, r10=0.1),
+            ],
+        ),
+        "delay_samples_collected": lambda: simulate(
+            _two_tier("priority_np"),
+            _workload(),
+            horizon=120.0,
+            seed=29,
+            collect_delay_samples=True,
+            collect_job_log=True,
+        ),
+    }
+
+
+def _snapshot(result) -> dict:
+    """Everything the engine measures, as exact JSON-serializable data."""
+    snap = {
+        "n_completed": result.n_completed.tolist(),
+        "delays": result.delays.tolist(),
+        "delay_std": result.delay_std.tolist(),
+        "delay_ci": result.delay_ci.tolist(),
+        "station_waits": result.station_waits.tolist(),
+        "station_sojourns": result.station_sojourns.tolist(),
+        "utilizations": result.utilizations.tolist(),
+        "average_power": result.average_power,
+        "energy_per_request": result.energy_per_request,
+        "per_class_dynamic_energy": result.per_class_dynamic_energy.tolist(),
+        "n_jobs_created": result.meta["n_jobs_created"],
+        "n_warmup_discarded": result.meta["n_warmup_discarded"],
+        "station_completions": result.meta["station_completions"].tolist(),
+        "n_blocked": result.meta["n_blocked"].tolist(),
+        "n_offered": result.meta["n_offered"].tolist(),
+    }
+    if result.delay_samples is not None:
+        # Pin the tail of each class's sample stream (the full stream is
+        # large; the last values depend on every draw before them).
+        snap["delay_sample_tails"] = [s[-5:].tolist() for s in result.delay_samples]
+        snap["delay_sample_counts"] = [int(s.size) for s in result.delay_samples]
+    if result.job_log is not None:
+        snap["job_log_rows"] = int(result.job_log.shape[0])
+        snap["job_log_last_exit"] = float(result.job_log["exit"][-1])
+    return snap
+
+
+def _assert_identical(pinned, fresh, path=""):
+    if isinstance(pinned, dict):
+        assert sorted(pinned) == sorted(fresh), f"{path}: key mismatch"
+        for key in pinned:
+            _assert_identical(pinned[key], fresh[key], f"{path}.{key}")
+    elif isinstance(pinned, list):
+        assert len(pinned) == len(fresh), f"{path}: length mismatch"
+        for i, (a, b) in enumerate(zip(pinned, fresh)):
+            _assert_identical(a, b, f"{path}[{i}]")
+    elif isinstance(pinned, float) and math.isnan(pinned):
+        assert isinstance(fresh, float) and math.isnan(fresh), f"{path}: expected NaN, got {fresh}"
+    else:
+        # Bit-identical: exact equality, no tolerance. JSON round-trips
+        # Python floats exactly (shortest-repr serialization).
+        assert pinned == fresh, f"{path}: pinned {pinned!r} != fresh {fresh!r}"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():  # pragma: no cover - repo invariant
+        pytest.fail(
+            f"{GOLDEN_PATH} missing; regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_sim_metrics.py --regen`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_simulation_metrics_bit_identical(golden, name):
+    assert name in golden, f"no pinned metrics for scenario {name!r}"
+    fresh = _snapshot(_scenarios()[name]())
+    _assert_identical(golden[name], fresh, path=name)
+
+
+def test_all_scenarios_pinned(golden):
+    """The JSON must not contain stale scenarios (renamed/deleted)."""
+    assert sorted(golden) == sorted(_scenarios())
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    out = {name: _snapshot(fn()) for name, fn in sorted(_scenarios().items())}
+    GOLDEN_PATH.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(out)} scenarios)")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

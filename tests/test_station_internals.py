@@ -1,40 +1,40 @@
 """White-box tests of the simulation stations' mechanics.
 
-The station classes are exercised directly with a hand-rolled
-scheduler stub, pinning the event-cancellation (epoch) protocol, the
+The station classes are exercised directly against a private event
+heap, pinning the single-live-entry re-arm (epoch) protocol, the
 preemptive-resume bookkeeping and the PS elapse arithmetic that the
 end-to-end statistical tests can only verify in aggregate.
+
+Stations push their next-completion entries
+``(time, seq, COMPLETION, station, epoch)`` straight onto the heap
+they are constructed with; the tests read the *most recently pushed*
+entry (highest seq — heap order is not push order) to follow the
+re-arm sequence.
 """
+
+from itertools import count
 
 import pytest
 
 from repro.simulation.job import Job
 from repro.simulation.ps_station import PSStation
-from repro.simulation.station import SimStation
-from repro.simulation.stats import BusyIntegrator
+from repro.simulation.station import COMPLETION, SimStation
 
 
-class Recorder:
-    """Captures schedule() calls: (time, station, server, epoch)."""
-
-    def __init__(self):
-        self.events = []
-
-    def __call__(self, time, station, server, epoch):
-        self.events.append((time, station, server, epoch))
-
-    @property
-    def last(self):
-        return self.events[-1]
+def last_event(heap):
+    """(time, station, epoch) of the most recently pushed heap entry."""
+    time, _, kind, station, epoch = max(heap, key=lambda e: e[1])
+    assert kind == COMPLETION
+    return (time, station, epoch)
 
 
 def make_station(discipline="priority_np", servers=1, service=2.0, capacity=None):
-    rec = Recorder()
+    heap = []
     samplers = [lambda s=service: s, lambda s=service: s]
-    st = SimStation(0, 2, servers, discipline, samplers, rec, capacity=capacity)
-    st.busy = BusyIntegrator(0.0, 1e9)
-    st.class_busy = [BusyIntegrator(0.0, 1e9) for _ in range(2)]
-    return st, rec
+    st = SimStation(
+        0, 2, servers, discipline, samplers, heap, count(1).__next__, capacity=capacity
+    )
+    return st, heap
 
 
 def job(jid, cls, t=0.0):
@@ -43,124 +43,124 @@ def job(jid, cls, t=0.0):
 
 class TestNonPreemptiveMechanics:
     def test_immediate_start_schedules_completion(self):
-        st, rec = make_station()
+        st, heap = make_station()
         st.arrive(1.0, job(1, 0))
-        assert rec.last == (3.0, 0, 0, 0)
+        assert last_event(heap) == (3.0, 0, 1)
 
     def test_queued_job_starts_at_completion(self):
-        st, rec = make_station()
+        st, heap = make_station()
         st.arrive(0.0, job(1, 1))
         st.arrive(0.5, job(2, 0))  # higher class queues behind NP service
-        done = st.complete(2.0, 0, rec.events[0][3])
+        done = st.complete(2.0, st.sched_epoch)
         assert done.jid == 1
-        # Queued high-priority job starts now, completes at 4.0.
-        assert rec.last == (4.0, 0, 0, 1)
+        # Queued high-priority job starts now, completes at 4.0 (epoch
+        # bumped by the re-arm).
+        assert last_event(heap) == (4.0, 0, 2)
 
     def test_priority_order_on_free(self):
-        st, rec = make_station()
+        st, heap = make_station()
         st.arrive(0.0, job(1, 0))
         st.arrive(0.1, job(2, 1))  # low priority waits
         st.arrive(0.2, job(3, 0))  # high priority waits
-        st.complete(2.0, 0, 0)
+        st.complete(2.0, st.sched_epoch)
         # The high-priority job (jid 3) must be picked before jid 2.
-        assert st.servers[0].job.jid == 3
+        assert st.srv_job[0].jid == 3
 
     def test_stale_completion_ignored(self):
-        st, rec = make_station(discipline="priority_pr")
+        st, heap = make_station(discipline="priority_pr")
         st.arrive(0.0, job(1, 1))
-        first_epoch = rec.events[0][3]
-        st.arrive(1.0, job(2, 0))  # preempts job 1
-        assert st.complete(2.0, 0, first_epoch) is None  # stale event
+        first_epoch = st.sched_epoch
+        st.arrive(1.0, job(2, 0))  # preempts job 1, re-arming the entry
+        assert st.sched_epoch != first_epoch
+        assert st.complete(2.0, first_epoch) is None  # stale event
 
     def test_capacity_rejects_when_full(self):
-        st, rec = make_station(discipline="fcfs", capacity=2)
+        st, heap = make_station(discipline="fcfs", capacity=2)
         assert st.arrive(0.0, job(1, 0))
         assert st.arrive(0.1, job(2, 0))  # queued, system at capacity
         assert not st.arrive(0.2, job(3, 0))  # rejected
-        st.complete(2.0, 0, 0)
+        st.complete(2.0, st.sched_epoch)
         assert st.arrive(2.1, job(4, 0))  # room again
 
 
 class TestPreemptiveResumeMechanics:
     def test_preempted_job_resumes_with_remaining_time(self):
-        st, rec = make_station(discipline="priority_pr")
+        st, heap = make_station(discipline="priority_pr")
         st.arrive(0.0, job(1, 1))       # completes at 2.0 nominally
         st.arrive(0.5, job(2, 0))       # preempts after 0.5 of service
         victim = st.queues[1][0]
         assert victim.remaining == pytest.approx(1.5)
         # High-priority job runs 0.5..2.5 (epoch bumped once by the
-        # preemption).
-        assert rec.last == (2.5, 0, 0, 1)
-        st.complete(2.5, 0, 1)
+        # preemption's resync).
+        assert last_event(heap) == (2.5, 0, 2)
+        st.complete(2.5, 2)
         # Victim resumes: completion at 2.5 + 1.5 = 4.0.
-        assert rec.last == (4.0, 0, 0, 2)
+        assert last_event(heap) == (4.0, 0, 3)
 
     def test_equal_class_does_not_preempt(self):
-        st, rec = make_station(discipline="priority_pr")
+        st, heap = make_station(discipline="priority_pr")
         st.arrive(0.0, job(1, 0))
         st.arrive(0.5, job(2, 0))
-        assert st.servers[0].job.jid == 1  # no preemption among equals
+        assert st.srv_job[0].jid == 1  # no preemption among equals
         assert len(st.queues[0]) == 1
 
     def test_victim_is_lowest_priority_server(self):
-        st, rec = make_station(discipline="priority_pr", servers=2)
+        st, heap = make_station(discipline="priority_pr", servers=2)
         st.arrive(0.0, job(1, 0))
         st.arrive(0.1, job(2, 1))
         st.arrive(0.2, job(3, 0))  # must preempt jid 2, not jid 1
-        running = {s.job.jid for s in st.servers}
+        running = {j.jid for j in st.srv_job if j is not None}
         assert running == {1, 3}
         assert st.queues[1][0].jid == 2
 
     def test_service_total_preserved_across_preemption(self):
-        st, rec = make_station(discipline="priority_pr")
+        st, heap = make_station(discipline="priority_pr")
         st.arrive(0.0, job(1, 1))
         st.arrive(0.5, job(2, 0))
-        st.complete(2.5, 0, 1)
-        done = st.complete(4.0, 0, 2)
+        st.complete(2.5, st.sched_epoch)
+        done = st.complete(4.0, st.sched_epoch)
         assert done.jid == 1
         assert done.service_total == pytest.approx(2.0)  # the full sample
 
 
 class TestPSMechanics:
     def _make(self, servers=1):
-        rec = Recorder()
-        st = PSStation(0, 2, servers, [lambda: 2.0, lambda: 2.0], rec)
-        st.busy = BusyIntegrator(0.0, 1e9)
-        st.class_busy = [BusyIntegrator(0.0, 1e9) for _ in range(2)]
-        return st, rec
+        heap = []
+        st = PSStation(0, 2, servers, [lambda: 2.0, lambda: 2.0], heap, count(1).__next__)
+        return st, heap
 
     def test_single_job_full_rate(self):
-        st, rec = self._make()
+        st, heap = self._make()
         st.arrive(0.0, job(1, 0))
-        assert rec.last[0] == pytest.approx(2.0)
+        assert last_event(heap)[0] == pytest.approx(2.0)
 
     def test_sharing_halves_rate(self):
-        st, rec = self._make()
+        st, heap = self._make()
         st.arrive(0.0, job(1, 0))
         st.arrive(1.0, job(2, 1))  # job 1 has 1.0 left, now at half rate
         # Next completion: job 1 needs 1.0 more work at rate 1/2 -> at 3.0.
-        assert rec.last[0] == pytest.approx(3.0)
-        done = st.complete(3.0, 0, rec.last[3])
+        assert last_event(heap)[0] == pytest.approx(3.0)
+        done = st.complete(3.0, st.sched_epoch)
         assert done.jid == 1
         # Job 2 did 1.0 of its 2.0 between 1.0 and 3.0; 1.0 left at
         # full rate -> completes at 4.0.
-        assert rec.last[0] == pytest.approx(4.0)
+        assert last_event(heap)[0] == pytest.approx(4.0)
 
     def test_multi_server_no_sharing_until_full(self):
-        st, rec = self._make(servers=2)
+        st, heap = self._make(servers=2)
         st.arrive(0.0, job(1, 0))
         st.arrive(0.5, job(2, 0))
         # Both at full rate: first completion at 2.0.
-        assert rec.last[0] == pytest.approx(2.0)
+        assert last_event(heap)[0] == pytest.approx(2.0)
 
     def test_busy_time_weighted(self):
-        st, rec = self._make()
+        st, heap = self._make()
         st.arrive(0.0, job(1, 0))
         st.arrive(1.0, job(2, 1))
-        st.complete(3.0, 0, rec.last[3])
+        st.complete(3.0, st.sched_epoch)
         st.close_open_intervals(3.0)
         # One server busy the whole [0, 3].
-        assert st.busy.total == pytest.approx(3.0)
+        assert st.busy_total == pytest.approx(3.0)
         # Class 0 work: full rate on [0,1], half on [1,3] -> 1 + 1 = 2.
-        assert st.class_busy[0].total == pytest.approx(2.0)
-        assert st.class_busy[1].total == pytest.approx(1.0)
+        assert st.class_busy_totals[0] == pytest.approx(2.0)
+        assert st.class_busy_totals[1] == pytest.approx(1.0)
