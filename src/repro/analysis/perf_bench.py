@@ -27,7 +27,10 @@ import numpy as np
 __all__ = ["run_benchmarks", "compare_to_baseline", "KERNELS", "DEFAULT_GATES"]
 
 #: Kernels whose regression fails ``--check`` (others only report).
-DEFAULT_GATES = ("sim_replication_h500",)
+#: ``frontier_sweep_warm`` gates the continuation machinery: if warm
+#: starts stop being accepted, the kernel collapses to the cold path
+#: and its normalized time blows past the tolerance.
+DEFAULT_GATES = ("sim_replication_h500", "frontier_sweep_warm")
 
 #: Name of the machine-speed calibration kernel.
 CALIBRATION = "calibration_spin"
@@ -101,6 +104,31 @@ def _kernel_p1_solve_3starts() -> Callable[[], object]:
     return lambda: minimize_delay(cluster, workload, budget, n_starts=3)
 
 
+def _frontier_sweep(warm_start: bool) -> Callable[[], object]:
+    from repro.core.opt_delay import minimize_delay
+    from repro.experiments.common import canonical_cluster, canonical_workload, stability_box_profile
+    from repro.optimize.sweep import continuation_sweep
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+    profile = stability_box_profile(cluster, workload)
+    budgets = np.linspace(profile.min_power * 1.02, profile.max_power, 6)
+
+    def solve(budget, hint):
+        return minimize_delay(
+            cluster, workload, power_budget=float(budget), n_starts=3, x0_hint=hint
+        )
+
+    return lambda: continuation_sweep(solve, budgets, warm_start=warm_start)
+
+
+def _kernel_frontier_sweep_warm() -> Callable[[], object]:
+    return _frontier_sweep(warm_start=True)
+
+
+def _kernel_frontier_sweep_cold() -> Callable[[], object]:
+    return _frontier_sweep(warm_start=False)
+
+
 def _kernel_exhaustive_small_12() -> Callable[[], object]:
     from repro.baselines.exhaustive import exhaustive_cost_minimization
     from repro.experiments.common import small_cluster, small_sla, small_workload
@@ -126,6 +154,8 @@ KERNELS: dict[str, Callable[[], Callable[[], object]]] = {
     "batch_eval_100": _kernel_batch_eval_100,
     "percentile_batch_x50": _kernel_percentile_batch_x50,
     "p1_solve_3starts": _kernel_p1_solve_3starts,
+    "frontier_sweep_warm": _kernel_frontier_sweep_warm,
+    "frontier_sweep_cold": _kernel_frontier_sweep_cold,
     "exhaustive_small_12": _kernel_exhaustive_small_12,
     "exhaustive_canonical_10": _kernel_exhaustive_canonical_10,
 }

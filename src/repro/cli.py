@@ -8,9 +8,10 @@ Commands
 ``run <ID> [--quick] [--out FILE] [--jobs N] [--cache-dir DIR]``
     Execute one experiment and print (optionally save) its rendered
     table. ``--quick`` uses the registry's fast parameters; ``--jobs``
-    parallelizes the simulation replications and ``--cache-dir``
-    memoizes them on disk (simulation-backed experiments only, numbers
-    unchanged either way).
+    parallelizes the simulation replications of simulation-backed
+    experiments and the independent series of the analytic sweeps
+    (F3/F4/F5/F6/A4); ``--cache-dir`` memoizes replications on disk.
+    Numbers are unchanged by either flag.
 ``simulate [--jobs N] [--cache-dir DIR] ...``
     Replicated simulation of the canonical cluster with live
     per-replication progress (wall time, events/sec, cache hits).
@@ -59,7 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs",
             type=int,
             default=None,
-            help="worker processes for simulation replications (-1 = all cores)",
+            help="worker processes for simulation replications and analytic "
+            "sweep series (-1 = all cores)",
         )
         p.add_argument(
             "--cache-dir",

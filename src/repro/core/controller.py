@@ -80,6 +80,7 @@ def plan_speed_schedule(
     horizon: float,
     max_mean_delay: float,
     n_starts: int = 3,
+    warm_start: bool = True,
 ) -> list[EpochPlan]:
     """Re-solve P2a each epoch against its forecast rates.
 
@@ -95,6 +96,13 @@ def plan_speed_schedule(
         ``(num_epochs, num_classes)`` forecast per-class rates.
     max_mean_delay:
         The aggregate SLA bound every epoch must respect.
+    warm_start:
+        Seed each epoch's P2a solve with the previous solved epoch's
+        speeds (continuation along the load curve — adjacent epochs
+        have adjacent optima, so the warm solve converges in a fraction
+        of the cold multistart effort). The solver's acceptance guard
+        falls back to the cold path whenever the hint is poor, so the
+        schedule itself is unchanged.
 
     Epochs whose forecast load cannot meet the bound (or cannot even be
     stabilized) fall back to maximum speeds and are flagged
@@ -115,6 +123,7 @@ def plan_speed_schedule(
 
     max_speeds = np.array([t.spec.max_speed for t in cluster.tiers])
     plans: list[EpochPlan] = []
+    hint: np.ndarray | None = None
     for start, end, r in zip(starts, ends, rates):
         duration = float(end - start)
         workload = _workload_at(class_names, r)
@@ -130,10 +139,16 @@ def plan_speed_schedule(
             continue
         try:
             res = minimize_energy(
-                cluster, workload, max_mean_delay=max_mean_delay, n_starts=n_starts
+                cluster,
+                workload,
+                max_mean_delay=max_mean_delay,
+                n_starts=n_starts,
+                x0_hint=hint if warm_start else None,
             )
             chosen = res.meta["cluster"]
             speeds = res.x
+            if warm_start:
+                hint = np.array(res.x, copy=True)
         except (InfeasibleProblemError, UnstableSystemError):
             chosen = cluster.with_speeds(max_speeds)
             speeds = max_speeds

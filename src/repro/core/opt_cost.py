@@ -67,11 +67,12 @@ class CostAllocation:
     average_power:
         Average power of the final configuration.
     n_evaluations:
-        SLA-feasibility evaluations spent by the integer search (the
-        T4 efficiency metric).
+        *Fresh* SLA-feasibility evaluations spent by the integer search
+        (the T4 efficiency metric); memo hits are excluded and reported
+        separately as ``meta["evals_cached"]``.
     meta:
-        Extras (greedy iterate, bounds, the P2b result when speeds
-        were optimized).
+        Extras (greedy iterate, bounds, ``evals``/``evals_cached``
+        counters, the P2b result when speeds were optimized).
     """
 
     cluster: ClusterModel
@@ -91,6 +92,8 @@ def minimize_cost(
     max_servers_per_tier: int | None = 64,
     optimize_speeds: bool = True,
     rho_cap: float = DEFAULT_RHO_CAP,
+    counts_hint: np.ndarray | None = None,
+    feasibility_memo: dict | None = None,
 ) -> CostAllocation:
     """Solve P3: the cheapest server allocation meeting every class's
     priority SLA.
@@ -110,6 +113,18 @@ def minimize_cost(
     optimize_speeds:
         After fixing counts, run P2b to slow the tiers down to the
         energy-minimal speeds that still meet the SLA.
+    counts_hint:
+        Optional warm-start counts (e.g. the optimum of a neighboring
+        sweep point). Clipped into the search box; a feasible hint
+        replaces the greedy growth phase, an infeasible one seeds it —
+        either way the local search still runs, so the returned
+        allocation is locally cost-optimal exactly as in a cold solve.
+    feasibility_memo:
+        Optional dict reused across solves of the *same*
+        ``(cluster, workload, sla)`` triple (e.g. the P4 anchors along
+        an energy-price sweep); feasibility is a pure function of the
+        count vector there, so memo hits are sound. Do **not** share
+        one memo across different workloads or SLAs.
 
     Raises
     ------
@@ -129,6 +144,27 @@ def minimize_cost(
         dtype=int,
     )
 
+    # Feasibility is a pure function of the count vector (everything
+    # else is fixed for this solve), so every evaluation is memoized:
+    # the greedy phase and the local search probe overlapping
+    # neighborhoods and used to re-pay for the same vectors.
+    memo: dict[tuple[int, ...], tuple[bool, float]] = (
+        feasibility_memo if feasibility_memo is not None else {}
+    )
+    evals = [0]
+    cached = [0]
+
+    def evaluate(counts: np.ndarray) -> tuple[bool, float]:
+        key = tuple(int(c) for c in counts)
+        hit = memo.get(key)
+        if hit is not None:
+            cached[0] += 1
+            return hit
+        evals[0] += 1
+        out = _feasible(at_max_speed, workload, sla, counts)
+        memo[key] = out
+        return out
+
     if max_servers_per_tier is not None:
         if max_servers_per_tier < 1:
             raise ModelValidationError(
@@ -141,7 +177,7 @@ def minimize_cost(
         mult = 2
         while True:
             upper = lower * mult + 4
-            if _feasible(at_max_speed, workload, sla, upper)[0]:
+            if evaluate(upper)[0]:
                 break
             mult *= 2
             if mult > 4096:
@@ -150,19 +186,23 @@ def minimize_cost(
                     "the bounds are below the zero-queueing service times"
                 )
 
-    evals = [0]
-
-    def evaluate(counts: np.ndarray) -> tuple[bool, float]:
-        evals[0] += 1
-        return _feasible(at_max_speed, workload, sla, counts)
-
     def cost(counts: np.ndarray) -> float:
         return float(
             sum(int(c) * t.spec.cost for c, t in zip(counts, at_max_speed.tiers))
         )
 
+    hint: np.ndarray | None = None
+    if counts_hint is not None:
+        hint = np.clip(np.asarray(counts_hint, dtype=int), lower, upper)
+
     with obs.span("optimize.solve", label="p3", method="greedy+local") as p3_span:
-        greedy = greedy_integer_allocation(evaluate, cost, lower, upper)
+        if hint is not None and evaluate(hint)[0]:
+            # Feasible warm start: the greedy growth phase is redundant
+            # — the local search below prunes it down exactly as it
+            # would prune the greedy iterate.
+            greedy = hint.copy()
+        else:
+            greedy = greedy_integer_allocation(evaluate, cost, lower, upper, start=hint)
         counts = integer_local_search(greedy, evaluate, cost, lower, upper)
 
     final = at_max_speed.with_servers(counts)
@@ -170,7 +210,11 @@ def minimize_cost(
         "greedy_counts": greedy.copy(),
         "lower_bounds": lower,
         "upper_bounds": upper,
+        "evals": evals[0],
+        "evals_cached": cached[0],
     }
+    if hint is not None:
+        meta["counts_hint"] = hint.copy()
 
     if optimize_speeds:
         p2b = minimize_energy(

@@ -38,6 +38,7 @@ def minimize_delay(
     power_budget: float,
     n_starts: int = 5,
     rho_cap: float = DEFAULT_RHO_CAP,
+    x0_hint: np.ndarray | None = None,
 ) -> OptimizationResult:
     """Solve P1: choose tier speeds minimizing mean end-to-end delay
     within an average power budget.
@@ -57,6 +58,10 @@ def minimize_delay(
         Multistart seeds for SLSQP.
     rho_cap:
         Per-tier utilization cap folded into the speed bounds.
+    x0_hint:
+        Optional warm-start speeds (e.g. the optimum at a neighboring
+        budget on a sweep); see
+        :func:`repro.optimize.constrained.minimize_box_constrained`.
 
     Returns
     -------
@@ -94,6 +99,9 @@ def minimize_delay(
     # seeds come back inf, ranking them last).
     batch = BatchEvaluator(cluster, workload)
 
+    def power_slack_batch(points: np.ndarray) -> np.ndarray:
+        return power_budget - batch.average_power(points)
+
     result = minimize_box_constrained(
         objective,
         bounds,
@@ -101,6 +109,8 @@ def minimize_delay(
         n_starts=n_starts,
         label="p1",
         objective_batch=batch.mean_delay,
+        x0_hint=x0_hint,
+        constraint_batch=power_slack_batch,
     )
     optimized = cluster.with_speeds(result.x)
     result.meta["cluster"] = optimized

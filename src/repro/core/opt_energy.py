@@ -44,6 +44,7 @@ def minimize_energy(
     sla: SLA | None = None,
     n_starts: int = 5,
     rho_cap: float = DEFAULT_RHO_CAP,
+    x0_hint: np.ndarray | None = None,
 ) -> OptimizationResult:
     """Solve P2: choose tier speeds minimizing average power subject to
     delay constraints.
@@ -53,6 +54,10 @@ def minimize_energy(
     * ``max_mean_delay`` — P2a, a bound on the aggregate mean delay;
     * ``class_delay_bounds`` — P2b, per-class bounds in priority order;
     * ``sla`` — P2b with bounds read from an :class:`SLA`.
+
+    ``x0_hint`` optionally warm-starts the solve (e.g. from the optimum
+    at a neighboring delay bound on a sweep); see
+    :func:`repro.optimize.constrained.minimize_box_constrained`.
 
     Returns
     -------
@@ -126,13 +131,24 @@ def minimize_energy(
 
         constraints.append(Constraint(agg_slack, name="mean delay"))
 
+    batch = BatchEvaluator(cluster, workload)
+
+    if bounds_arr is not None:
+        def slack_batch(points: np.ndarray) -> np.ndarray:
+            return (bounds_arr[None, :] - batch.end_to_end_delays(points)).min(axis=1)
+    else:
+        def slack_batch(points: np.ndarray) -> np.ndarray:
+            return max_mean_delay - batch.mean_delay(points)
+
     result = minimize_box_constrained(
         objective,
         box,
         constraints=constraints,
         n_starts=n_starts,
         label="p2b" if bounds_arr is not None else "p2a",
-        objective_batch=BatchEvaluator(cluster, workload).average_power,
+        objective_batch=batch.average_power,
+        x0_hint=x0_hint,
+        constraint_batch=slack_batch,
     )
     optimized = cluster.with_speeds(result.x)
     result.meta["cluster"] = optimized
@@ -154,6 +170,7 @@ def minimize_energy_robust(
     sla: SLA | None = None,
     n_starts: int = 5,
     rho_cap: float = DEFAULT_RHO_CAP,
+    x0_hint: np.ndarray | None = None,
 ) -> OptimizationResult:
     """P2 with rate uncertainty: guarantee the delay bounds for every
     arrival-rate vector up to ``(1 + rate_uncertainty)`` times the
@@ -192,6 +209,7 @@ def minimize_energy_robust(
         sla=sla,
         n_starts=n_starts,
         rho_cap=rho_cap,
+        x0_hint=x0_hint,
     )
     optimized = result.meta["cluster"]
     result.meta["worst_case_delays"] = result.meta.pop("delays")

@@ -87,6 +87,8 @@ def minimize_tco(
     window: int = 2,
     max_servers_per_tier: int | None = 64,
     n_starts: int = 2,
+    p3_counts_hint: np.ndarray | None = None,
+    feasibility_memo: dict | None = None,
 ) -> TCOAllocation:
     """Solve P4: minimize server + energy cost subject to the SLA.
 
@@ -98,6 +100,11 @@ def minimize_tco(
         length). ``0`` reduces P4 to P3 + P2b.
     window:
         How many servers above the P3 optimum to explore per tier.
+    p3_counts_hint, feasibility_memo:
+        Warm-start state for the anchoring P3 solve, forwarded to
+        :func:`repro.core.opt_cost.minimize_cost`. The P3 anchor does
+        not depend on the energy price, so a price sweep (F9) can share
+        one memo and the first anchor's counts across every point.
 
     Raises
     ------
@@ -115,6 +122,8 @@ def minimize_tco(
         sla,
         max_servers_per_tier=max_servers_per_tier,
         optimize_speeds=False,
+        counts_hint=p3_counts_hint,
+        feasibility_memo=feasibility_memo,
     )
     base = anchor.server_counts
     lam = workload.arrival_rates

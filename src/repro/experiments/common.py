@@ -21,7 +21,11 @@ certification and the unit tests fast.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
+from repro.core.delay import mean_end_to_end_delay
+from repro.core.opt_common import DEFAULT_RHO_CAP, stability_speed_bounds
 from repro.core.sla import SLA, ClassSLA
 from repro.distributions import fit_two_moments
 from repro.workload import Workload, workload_from_rates
@@ -33,6 +37,8 @@ __all__ = [
     "small_cluster",
     "small_workload",
     "small_sla",
+    "stability_box_profile",
+    "StabilityBoxProfile",
     "CLASS_NAMES",
 ]
 
@@ -139,4 +145,39 @@ def small_sla(tightness: float = 1.0) -> SLA:
     """SLA for the small instance."""
     return SLA(
         [ClassSLA("gold", 0.40 * tightness, fee=1.0), ClassSLA("bronze", 1.00 * tightness, fee=0.2)]
+    )
+
+
+@dataclass(frozen=True)
+class StabilityBoxProfile:
+    """Endpoints of the stability speed box for one (cluster, workload).
+
+    The sweep experiments all anchor their grids on the same four
+    numbers: the average power and the mean delay at the slowest-stable
+    and the fastest corner of the box. F3 sweeps budgets across
+    ``[min_power, max_power]``, F4/A4 sweep delay bounds across
+    ``[best_mean_delay, worst_mean_delay]``.
+    """
+
+    box: tuple[tuple[float, float], ...]
+    min_power: float
+    max_power: float
+    best_mean_delay: float
+    worst_mean_delay: float
+
+
+def stability_box_profile(
+    cluster: ClusterModel, workload: Workload, rho_cap: float = DEFAULT_RHO_CAP
+) -> StabilityBoxProfile:
+    """Compute the shared sweep endpoints from the stability speed box."""
+    box = stability_speed_bounds(cluster, workload, rho_cap)
+    lam = workload.arrival_rates
+    slowest = cluster.with_speeds([b[0] for b in box])
+    fastest = cluster.with_speeds([b[1] for b in box])
+    return StabilityBoxProfile(
+        box=tuple((float(lo), float(hi)) for lo, hi in box),
+        min_power=float(slowest.average_power(lam)),
+        max_power=float(fastest.average_power(lam)),
+        best_mean_delay=float(mean_end_to_end_delay(fastest, workload)),
+        worst_mean_delay=float(mean_end_to_end_delay(slowest, workload)),
     )

@@ -7,6 +7,11 @@ floor, DVFS shrinks the dynamic term. This ablation solves the same
 P2a problem (min power s.t. a mean-delay bound) with each mechanism
 and with their combination across a sweep of delay bounds.
 
+The DVFS frontier runs by warm-start continuation
+(:func:`repro.optimize.sweep.continuation_sweep`); the on/off and
+combined mechanisms re-enumerate server counts per bound, so they stay
+cold, and all three mechanisms run as independent series (``n_jobs``).
+
 Expected shape: the combination is never worse than either mechanism
 alone; DVFS wins where the dynamic term dominates (tight bounds force
 servers on anyway), on/off wins at loose bounds where whole idle
@@ -16,17 +21,18 @@ combined curve hugs the better of the two.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.series import SweepSeries
 from repro.baselines.onoff import min_power_onoff, min_power_onoff_with_dvfs
-from repro.core.delay import mean_end_to_end_delay
-from repro.core.opt_common import stability_speed_bounds
+from repro.cluster.model import ClusterModel
 from repro.core.opt_energy import minimize_energy
 from repro.exceptions import InfeasibleProblemError
-from repro.experiments.common import canonical_cluster, canonical_workload
+from repro.experiments.common import canonical_cluster, canonical_workload, stability_box_profile
+from repro.optimize.sweep import ContinuationSweep, continuation_sweep, run_series
+from repro.workload.classes import Workload
 
 __all__ = ["A4Result", "run", "render"]
 
@@ -36,6 +42,7 @@ class A4Result:
     """Power of each mechanism along the delay-bound sweep."""
 
     series: SweepSeries
+    dvfs_sweep: ContinuationSweep | None = field(default=None, repr=False)
 
     @property
     def combined_never_worse(self) -> bool:
@@ -49,46 +56,93 @@ class A4Result:
         return bool(np.all(both[ok] <= best_single[ok] + 1.0))
 
 
-def run(n_points: int = 6, load_factor: float = 1.0, n_starts: int = 3) -> A4Result:
-    """Sweep mean-delay bounds; solve P2a by each mechanism."""
-    cluster = canonical_cluster()
-    workload = canonical_workload(load_factor)
+def _dvfs_series(
+    cluster: ClusterModel,
+    workload: Workload,
+    bounds: np.ndarray,
+    n_starts: int,
+    warm_start: bool,
+) -> ContinuationSweep:
+    """P2a at fixed counts (pure DVFS), warm-started along the bounds."""
 
-    box = stability_speed_bounds(cluster, workload)
-    best = mean_end_to_end_delay(cluster.with_speeds([b[1] for b in box]), workload)
-    bounds = np.geomspace(best * 1.1, best * 6.0, n_points)
+    def solve(d: float, hint: np.ndarray | None):
+        return minimize_energy(
+            cluster, workload, max_mean_delay=float(d), n_starts=n_starts, x0_hint=hint
+        )
 
-    dvfs_p, onoff_p, both_p, onoff_servers = [], [], [], []
+    return continuation_sweep(solve, bounds, warm_start=warm_start, label="a4.dvfs")
+
+
+def _onoff_series(
+    cluster: ClusterModel, workload: Workload, bounds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Server on/off at max speed: (power, active servers) per bound."""
+    powers, servers = [], []
     for d in bounds:
-        res = minimize_energy(cluster, workload, max_mean_delay=float(d), n_starts=n_starts)
-        dvfs_p.append(float(res.meta["power"]))
         try:
             counts, p = min_power_onoff(cluster, workload, float(d))
-            onoff_p.append(p)
-            onoff_servers.append(float(counts.sum()))
+            powers.append(p)
+            servers.append(float(counts.sum()))
         except InfeasibleProblemError:
-            onoff_p.append(float("nan"))
-            onoff_servers.append(float("nan"))
+            powers.append(float("nan"))
+            servers.append(float("nan"))
+    return np.array(powers), np.array(servers)
+
+
+def _combined_series(
+    cluster: ClusterModel, workload: Workload, bounds: np.ndarray, n_starts: int
+) -> np.ndarray:
+    """On/off + DVFS combined: the count enumeration re-solves DVFS per
+    candidate, so there is no single continuation path — stays cold."""
+    out = []
+    for d in bounds:
         try:
             _, _, p_both = min_power_onoff_with_dvfs(
                 cluster, workload, float(d), n_starts=n_starts
             )
-            both_p.append(p_both)
+            out.append(p_both)
         except InfeasibleProblemError:
-            both_p.append(float("nan"))
+            out.append(float("nan"))
+    return np.array(out)
+
+
+def run(
+    n_points: int = 6,
+    load_factor: float = 1.0,
+    n_starts: int = 3,
+    warm_start: bool = True,
+    n_jobs: int | None = None,
+) -> A4Result:
+    """Sweep mean-delay bounds; solve P2a by each mechanism."""
+    cluster = canonical_cluster()
+    workload = canonical_workload(load_factor)
+
+    best = stability_box_profile(cluster, workload).best_mean_delay
+    bounds = np.geomspace(best * 1.1, best * 6.0, n_points)
+
+    series_out = run_series(
+        {
+            "dvfs": (_dvfs_series, (cluster, workload, bounds, n_starts, warm_start)),
+            "onoff": (_onoff_series, (cluster, workload, bounds)),
+            "combined": (_combined_series, (cluster, workload, bounds, n_starts)),
+        },
+        n_jobs=n_jobs,
+    )
+    sweep: ContinuationSweep = series_out["dvfs"]
+    onoff_p, onoff_servers = series_out["onoff"]
 
     series = SweepSeries(
         name="A4: minimal power vs delay bound — DVFS vs server on/off vs combined",
         x_label="mean-delay bound (s)",
         x=bounds,
         columns={
-            "DVFS power (W)": np.array(dvfs_p),
-            "on/off power (W)": np.array(onoff_p),
-            "combined power (W)": np.array(both_p),
-            "on/off active servers": np.array(onoff_servers),
+            "DVFS power (W)": sweep.column(lambda r: r.meta["power"]),
+            "on/off power (W)": onoff_p,
+            "combined power (W)": series_out["combined"],
+            "on/off active servers": onoff_servers,
         },
     )
-    return A4Result(series=series)
+    return A4Result(series=series, dvfs_sweep=sweep)
 
 
 def render(result: A4Result) -> str:

@@ -5,6 +5,13 @@ the unconstrained maximum and solves P1 at each point, against two
 baselines spending the same budget (uniform speed dial, load-
 proportional speeds).
 
+The budget grid is solved by warm-start continuation
+(:func:`repro.optimize.sweep.continuation_sweep`): each P1 solve is
+seeded from the previous budget's optimum, with the batch-scored
+multistart fallback keeping the frontier values identical to a cold
+sweep. The optimizer series and the two baselines are independent and
+can run in parallel worker processes (``n_jobs``).
+
 Expected shape: a convex decreasing frontier; the optimizer dominates
 both baselines at every budget (equal only where the budget is so
 large all speed caps bind), with the largest gains at tight budgets —
@@ -13,15 +20,18 @@ exactly where intelligent power management matters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.series import SweepSeries
 from repro.baselines import proportional_speed_for_budget, uniform_speed_for_budget
+from repro.cluster.model import ClusterModel
 from repro.core.delay import mean_end_to_end_delay
 from repro.core.opt_delay import minimize_delay
-from repro.experiments.common import canonical_cluster, canonical_workload
+from repro.experiments.common import canonical_cluster, canonical_workload, stability_box_profile
+from repro.optimize.sweep import ContinuationSweep, continuation_sweep, run_series
+from repro.workload.classes import Workload
 
 __all__ = ["F3Result", "run", "render"]
 
@@ -33,6 +43,7 @@ class F3Result:
     series: SweepSeries
     min_power: float
     max_power: float
+    optimal_sweep: ContinuationSweep | None = field(default=None, repr=False)
 
     @property
     def optimal_dominates(self) -> bool:
@@ -44,41 +55,89 @@ class F3Result:
         return bool(np.all(opt <= uni + 1e-6) and np.all(opt <= prop + 1e-6))
 
 
-def run(n_points: int = 8, load_factor: float = 1.0, n_starts: int = 3) -> F3Result:
-    """Solve P1 along a budget sweep on the canonical cluster."""
+def _optimal_series(
+    cluster: ClusterModel,
+    workload: Workload,
+    budgets: np.ndarray,
+    n_starts: int,
+    warm_start: bool,
+) -> ContinuationSweep:
+    """The P1 frontier, one continuation solve per budget."""
+
+    def solve(budget: float, hint: np.ndarray | None):
+        return minimize_delay(
+            cluster, workload, power_budget=float(budget), n_starts=n_starts, x0_hint=hint
+        )
+
+    return continuation_sweep(solve, budgets, warm_start=warm_start, label="f3.optimal")
+
+
+def _uniform_series(cluster: ClusterModel, workload: Workload, budgets: np.ndarray) -> np.ndarray:
+    """Mean delay of the uniform-speed baseline at each budget."""
+    out = []
+    for budget in budgets:
+        s = uniform_speed_for_budget(cluster, workload, float(budget))
+        out.append(mean_end_to_end_delay(cluster.with_speeds(s), workload))
+    return np.array(out)
+
+
+def _proportional_series(
+    cluster: ClusterModel, workload: Workload, budgets: np.ndarray
+) -> np.ndarray:
+    """Mean delay of the load-proportional baseline at each budget."""
+    out = []
+    for budget in budgets:
+        s = proportional_speed_for_budget(cluster, workload, float(budget))
+        out.append(mean_end_to_end_delay(cluster.with_speeds(s), workload))
+    return np.array(out)
+
+
+def run(
+    n_points: int = 8,
+    load_factor: float = 1.0,
+    n_starts: int = 3,
+    warm_start: bool = True,
+    n_jobs: int | None = None,
+) -> F3Result:
+    """Solve P1 along a budget sweep on the canonical cluster.
+
+    ``warm_start=False`` solves every budget cold (the comparison mode
+    of the equivalence tests); ``n_jobs`` fans the optimizer and the
+    two baseline series out over worker processes.
+    """
     cluster = canonical_cluster()
     workload = canonical_workload(load_factor)
-    lam = workload.arrival_rates
 
-    from repro.core.opt_common import stability_speed_bounds
+    profile = stability_box_profile(cluster, workload)
+    budgets = np.linspace(profile.min_power * 1.02, profile.max_power, n_points)
 
-    box = stability_speed_bounds(cluster, workload)
-    p_min = cluster.with_speeds([b[0] for b in box]).average_power(lam)
-    p_max = cluster.with_speeds([b[1] for b in box]).average_power(lam)
-    budgets = np.linspace(p_min * 1.02, p_max, n_points)
-
-    opt_delay, uni_delay, prop_delay, opt_power = [], [], [], []
-    for budget in budgets:
-        res = minimize_delay(cluster, workload, power_budget=float(budget), n_starts=n_starts)
-        opt_delay.append(res.fun)
-        opt_power.append(res.meta["power"])
-        uni = uniform_speed_for_budget(cluster, workload, float(budget))
-        uni_delay.append(mean_end_to_end_delay(cluster.with_speeds(uni), workload))
-        prop = proportional_speed_for_budget(cluster, workload, float(budget))
-        prop_delay.append(mean_end_to_end_delay(cluster.with_speeds(prop), workload))
+    series_out = run_series(
+        {
+            "optimal": (_optimal_series, (cluster, workload, budgets, n_starts, warm_start)),
+            "uniform": (_uniform_series, (cluster, workload, budgets)),
+            "proportional": (_proportional_series, (cluster, workload, budgets)),
+        },
+        n_jobs=n_jobs,
+    )
+    sweep: ContinuationSweep = series_out["optimal"]
 
     series = SweepSeries(
         name="F3: P1 optimal mean delay vs power budget",
         x_label="power budget (W)",
         x=budgets,
         columns={
-            "optimal delay (s)": np.array(opt_delay),
-            "uniform delay (s)": np.array(uni_delay),
-            "proportional delay (s)": np.array(prop_delay),
-            "power used (W)": np.array(opt_power),
+            "optimal delay (s)": sweep.column(lambda r: r.fun),
+            "uniform delay (s)": series_out["uniform"],
+            "proportional delay (s)": series_out["proportional"],
+            "power used (W)": sweep.column(lambda r: r.meta["power"]),
         },
     )
-    return F3Result(series=series, min_power=float(p_min), max_power=float(p_max))
+    return F3Result(
+        series=series,
+        min_power=profile.min_power,
+        max_power=profile.max_power,
+        optimal_sweep=sweep,
+    )
 
 
 def render(result: F3Result) -> str:
@@ -88,4 +147,9 @@ def render(result: F3Result) -> str:
         f"\nstable power range: [{result.min_power:.4g}, {result.max_power:.4g}] W"
         f"\noptimal dominates both baselines everywhere: {result.optimal_dominates}"
     )
+    if result.optimal_sweep is not None:
+        out += (
+            f"\nsolver effort: {result.optimal_sweep.total_evaluations} model evaluations "
+            f"over {len(result.optimal_sweep.points)} points"
+        )
     return out

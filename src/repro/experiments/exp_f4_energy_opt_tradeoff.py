@@ -4,6 +4,12 @@ The dual of F3: sweep the aggregate mean-delay bound from just above
 the fastest achievable delay to a loose bound and solve P2a at each
 point, against the uniform-speed baseline meeting the same bound.
 
+Like F3 the sweep runs on the continuation engine
+(:func:`repro.optimize.sweep.continuation_sweep`): each bound's solve
+is warm-started from its neighbor, the baselines run as independent
+series (``n_jobs``), and the frontier values are identical to a cold
+sweep by the solver's acceptance guard.
+
 Expected shape: a convex frontier — power explodes as the bound
 tightens toward the zero-headroom delay, flattens to the minimum
 stable power as it loosens; the optimizer saves the most energy at
@@ -12,16 +18,18 @@ moderate bounds, where per-tier intelligence has room to act.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.series import SweepSeries
 from repro.baselines import uniform_speed_for_delay
+from repro.cluster.model import ClusterModel
 from repro.core.delay import mean_end_to_end_delay
-from repro.core.opt_common import stability_speed_bounds
 from repro.core.opt_energy import minimize_energy
-from repro.experiments.common import canonical_cluster, canonical_workload
+from repro.experiments.common import canonical_cluster, canonical_workload, stability_box_profile
+from repro.optimize.sweep import ContinuationSweep, continuation_sweep, run_series
+from repro.workload.classes import Workload
 
 __all__ = ["F4Result", "run", "render"]
 
@@ -33,6 +41,7 @@ class F4Result:
     series: SweepSeries
     best_delay: float
     worst_delay: float
+    optimal_sweep: ContinuationSweep | None = field(default=None, repr=False)
 
     @property
     def optimal_dominates(self) -> bool:
@@ -43,40 +52,77 @@ class F4Result:
         return bool(np.all(opt <= uni + 1e-6))
 
 
-def run(n_points: int = 8, load_factor: float = 1.0, n_starts: int = 3) -> F4Result:
+def _optimal_series(
+    cluster: ClusterModel,
+    workload: Workload,
+    bounds: np.ndarray,
+    n_starts: int,
+    warm_start: bool,
+) -> ContinuationSweep:
+    """The P2a frontier, one continuation solve per delay bound."""
+
+    def solve(bound: float, hint: np.ndarray | None):
+        return minimize_energy(
+            cluster, workload, max_mean_delay=float(bound), n_starts=n_starts, x0_hint=hint
+        )
+
+    return continuation_sweep(solve, bounds, warm_start=warm_start, label="f4.optimal")
+
+
+def _uniform_series(cluster: ClusterModel, workload: Workload, bounds: np.ndarray) -> np.ndarray:
+    """Power of the uniform-speed baseline meeting each bound."""
+    lam = workload.arrival_rates
+    out = []
+    for d in bounds:
+        s = uniform_speed_for_delay(cluster, workload, float(d))
+        out.append(cluster.with_speeds(s).average_power(lam))
+    return np.array(out)
+
+
+def run(
+    n_points: int = 8,
+    load_factor: float = 1.0,
+    n_starts: int = 3,
+    warm_start: bool = True,
+    n_jobs: int | None = None,
+) -> F4Result:
     """Solve P2a along a delay-bound sweep on the canonical cluster."""
     cluster = canonical_cluster()
     workload = canonical_workload(load_factor)
-    lam = workload.arrival_rates
 
-    box = stability_speed_bounds(cluster, workload)
-    best = mean_end_to_end_delay(cluster.with_speeds([b[1] for b in box]), workload)
-    worst = mean_end_to_end_delay(cluster.with_speeds([b[0] for b in box]), workload)
+    profile = stability_box_profile(cluster, workload)
+    best, worst = profile.best_mean_delay, profile.worst_mean_delay
     # Geometric spacing: the interesting (steep) part of the frontier
     # sits near the tight end, which linear spacing would under-sample.
     bounds = np.geomspace(best * 1.05, worst * 0.98, n_points)
 
-    opt_power, uni_power, achieved = [], [], []
-    for d in bounds:
-        res = minimize_energy(cluster, workload, max_mean_delay=float(d), n_starts=n_starts)
-        opt_power.append(res.meta["power"])
-        achieved.append(
-            mean_end_to_end_delay(res.meta["cluster"], workload)
-        )
-        uni = uniform_speed_for_delay(cluster, workload, float(d))
-        uni_power.append(cluster.with_speeds(uni).average_power(lam))
+    series_out = run_series(
+        {
+            "optimal": (_optimal_series, (cluster, workload, bounds, n_starts, warm_start)),
+            "uniform": (_uniform_series, (cluster, workload, bounds)),
+        },
+        n_jobs=n_jobs,
+    )
+    sweep: ContinuationSweep = series_out["optimal"]
 
     series = SweepSeries(
         name="F4: P2a minimal power vs aggregate delay bound",
         x_label="delay bound (s)",
         x=bounds,
         columns={
-            "optimal power (W)": np.array(opt_power),
-            "uniform power (W)": np.array(uni_power),
-            "achieved delay (s)": np.array(achieved),
+            "optimal power (W)": sweep.column(lambda r: r.meta["power"]),
+            "uniform power (W)": series_out["uniform"],
+            "achieved delay (s)": sweep.column(
+                lambda r: mean_end_to_end_delay(r.meta["cluster"], workload)
+            ),
         },
     )
-    return F4Result(series=series, best_delay=float(best), worst_delay=float(worst))
+    return F4Result(
+        series=series,
+        best_delay=best,
+        worst_delay=worst,
+        optimal_sweep=sweep,
+    )
 
 
 def render(result: F4Result) -> str:
@@ -86,4 +132,9 @@ def render(result: F4Result) -> str:
         f"\nfeasible mean-delay range: [{result.best_delay:.4g}, {result.worst_delay:.4g}] s"
         f"\noptimal power <= uniform baseline everywhere: {result.optimal_dominates}"
     )
+    if result.optimal_sweep is not None:
+        out += (
+            f"\nsolver effort: {result.optimal_sweep.total_evaluations} model evaluations "
+            f"over {len(result.optimal_sweep.points)} points"
+        )
     return out

@@ -20,14 +20,16 @@ premium.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.series import SweepSeries
+from repro.cluster.model import ClusterModel
 from repro.core.opt_energy import minimize_energy
-from repro.exceptions import InfeasibleProblemError
 from repro.experiments.common import canonical_cluster, canonical_workload
+from repro.optimize.sweep import ContinuationSweep, continuation_sweep, run_series
+from repro.workload.classes import Workload
 
 __all__ = ["F5Result", "run", "render"]
 
@@ -39,6 +41,7 @@ class F5Result:
     series: SweepSeries
     aggregate_power: float
     aggregate_bound: float
+    perclass_sweep: ContinuationSweep | None = field(default=None, repr=False)
 
     @property
     def per_class_at_least_aggregate(self) -> bool:
@@ -49,51 +52,97 @@ class F5Result:
         return bool(np.all(pc[finite] >= self.aggregate_power - 1e-6))
 
 
+def _class_bounds(workload: Workload, mean_bound: float, g: float) -> np.ndarray:
+    """Per-class bounds at gold-tightness ``g``, λ-weighted to the
+    aggregate ``mean_bound``."""
+    lam = workload.arrival_rates
+    shape = np.array([1.0 / g, 1.0 / np.sqrt(g), 1.0])
+    scale = mean_bound * lam.sum() / float(np.dot(lam, shape))
+    return shape * scale
+
+
+def _perclass_series(
+    cluster: ClusterModel,
+    workload: Workload,
+    ratios: np.ndarray,
+    mean_bound: float,
+    n_starts: int,
+    warm_start: bool,
+) -> ContinuationSweep:
+    """The P2b power along the gold-tightness sweep, warm-started from
+    the neighboring ratio's optimum."""
+
+    def solve(g: float, hint: np.ndarray | None):
+        return minimize_energy(
+            cluster,
+            workload,
+            class_delay_bounds=_class_bounds(workload, mean_bound, float(g)),
+            n_starts=n_starts,
+            x0_hint=hint,
+        )
+
+    return continuation_sweep(solve, ratios, warm_start=warm_start, label="f5.perclass")
+
+
+def _aggregate_reference(
+    cluster: ClusterModel, workload: Workload, mean_bound: float, n_starts: int
+) -> float:
+    """P2a power at the same weighted-mean bound (the reference line)."""
+    agg = minimize_energy(cluster, workload, max_mean_delay=mean_bound, n_starts=n_starts)
+    return float(agg.meta["power"])
+
+
 def run(
     ratios=(1.0, 1.5, 2.0, 3.0, 4.0),
     mean_bound: float = 0.45,
     load_factor: float = 1.0,
     n_starts: int = 3,
+    warm_start: bool = True,
+    n_jobs: int | None = None,
 ) -> F5Result:
     """Compare P2a vs P2b along the gold-tightness sweep.
 
     Per-class bounds at ratio ``g``: bronze gets ``b``, silver
     ``b/sqrt(g)``... precisely, bounds ``(b/g, b/sqrt(g), b)`` scaled so
-    the λ-weighted mean equals ``mean_bound``.
+    the λ-weighted mean equals ``mean_bound``. The P2b sweep runs by
+    continuation; the P2a reference solve is an independent series.
     """
     cluster = canonical_cluster()
     workload = canonical_workload(load_factor)
-    lam = workload.arrival_rates
+    grid = np.asarray(ratios, dtype=float)
 
-    agg = minimize_energy(cluster, workload, max_mean_delay=mean_bound, n_starts=n_starts)
-    agg_power = float(agg.meta["power"])
+    series_out = run_series(
+        {
+            "perclass": (
+                _perclass_series,
+                (cluster, workload, grid, mean_bound, n_starts, warm_start),
+            ),
+            "aggregate": (_aggregate_reference, (cluster, workload, mean_bound, n_starts)),
+        },
+        n_jobs=n_jobs,
+    )
+    sweep: ContinuationSweep = series_out["perclass"]
+    agg_power = series_out["aggregate"]
 
-    powers, gold_bounds, bronze_bounds = [], [], []
-    for g in ratios:
-        shape = np.array([1.0 / g, 1.0 / np.sqrt(g), 1.0])
-        scale = mean_bound * lam.sum() / float(np.dot(lam, shape))
-        bounds = shape * scale
-        try:
-            res = minimize_energy(
-                cluster, workload, class_delay_bounds=bounds, n_starts=n_starts
-            )
-            powers.append(float(res.meta["power"]))
-        except InfeasibleProblemError:
-            powers.append(float("nan"))
-        gold_bounds.append(bounds[0])
-        bronze_bounds.append(bounds[-1])
+    gold_bounds = np.array([_class_bounds(workload, mean_bound, g)[0] for g in grid])
+    bronze_bounds = np.array([_class_bounds(workload, mean_bound, g)[-1] for g in grid])
 
     series = SweepSeries(
         name=f"F5: P2b minimal power vs gold-tightness (aggregate bound {mean_bound:g}s)",
         x_label="gold tightness g",
-        x=np.asarray(ratios, dtype=float),
+        x=grid,
         columns={
-            "P2b power (W)": np.array(powers),
-            "gold bound (s)": np.array(gold_bounds),
-            "bronze bound (s)": np.array(bronze_bounds),
+            "P2b power (W)": sweep.column(lambda r: r.meta["power"]),
+            "gold bound (s)": gold_bounds,
+            "bronze bound (s)": bronze_bounds,
         },
     )
-    return F5Result(series=series, aggregate_power=agg_power, aggregate_bound=mean_bound)
+    return F5Result(
+        series=series,
+        aggregate_power=agg_power,
+        aggregate_bound=mean_bound,
+        perclass_sweep=sweep,
+    )
 
 
 def render(result: F5Result) -> str:

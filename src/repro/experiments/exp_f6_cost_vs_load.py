@@ -4,6 +4,13 @@ Sweeps the canonical mix's load factor and reports the P3 optimizer's
 cost against the uniform-headroom baseline's cost, both meeting the
 same SLA.
 
+The P3 solves run as a continuation sweep
+(:func:`repro.optimize.sweep.continuation_sweep`): each load's search
+starts from the previous load's server counts, which the greedy phase
+only has to grow — the monotone staircase makes adjacent optima nearly
+identical. The feasibility memo is *not* shared across loads (it is
+only valid for one workload), so each point's cache starts fresh.
+
 Expected shape: both curves are staircases increasing with load; the
 optimizer's sits at or below the baseline's at every load, with the
 gap widest at moderate load where the priority structure lets the
@@ -13,15 +20,18 @@ uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.series import SweepSeries
+from repro.cluster.model import ClusterModel
 from repro.core.delay import end_to_end_delays
 from repro.core.opt_cost import minimize_cost
-from repro.exceptions import InfeasibleProblemError, UnstableSystemError
+from repro.core.sla import SLA
+from repro.exceptions import UnstableSystemError
 from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+from repro.optimize.sweep import ContinuationSweep, continuation_sweep, run_series
 
 __all__ = ["F6Result", "run", "render"]
 
@@ -31,6 +41,7 @@ class F6Result:
     """Cost-vs-load series."""
 
     series: SweepSeries
+    optimal_sweep: ContinuationSweep | None = field(default=None, repr=False)
 
     @property
     def optimizer_never_costlier(self) -> bool:
@@ -41,37 +52,67 @@ class F6Result:
         return bool(np.all(opt[ok] <= base[ok] + 1e-9))
 
 
-def run(load_factors=None, tightness: float = 1.0) -> F6Result:
+def _optimal_series(
+    cluster: ClusterModel, sla: SLA, load_factors: np.ndarray, warm_start: bool
+) -> ContinuationSweep:
+    """P3 along the load sweep, each point growing the previous counts."""
+
+    def solve(lf: float, hint: np.ndarray | None):
+        return minimize_cost(
+            cluster,
+            canonical_workload(float(lf)),
+            sla,
+            optimize_speeds=False,
+            counts_hint=hint,
+        )
+
+    return continuation_sweep(solve, load_factors, warm_start=warm_start, label="f6.optimal")
+
+
+def _baseline_series(cluster: ClusterModel, sla: SLA, load_factors: np.ndarray) -> np.ndarray:
+    """Uniform-headroom baseline cost at each load factor."""
+    return np.array(
+        [
+            _uniform_headroom_cost(cluster, canonical_workload(float(lf)), sla)
+            for lf in load_factors
+        ]
+    )
+
+
+def run(
+    load_factors=None,
+    tightness: float = 1.0,
+    warm_start: bool = True,
+    n_jobs: int | None = None,
+) -> F6Result:
     """Solve P3 at each load factor; baseline = uniform 60% headroom,
     grown until SLA-feasible."""
     if load_factors is None:
         load_factors = np.linspace(0.5, 2.5, 7)
+    grid = np.asarray(load_factors, dtype=float)
     cluster = canonical_cluster()
     sla = canonical_sla(tightness)
 
-    opt_cost, base_cost, opt_counts = [], [], []
-    for lf in load_factors:
-        workload = canonical_workload(float(lf))
-        try:
-            alloc = minimize_cost(cluster, workload, sla, optimize_speeds=False)
-            opt_cost.append(alloc.total_cost)
-            opt_counts.append(alloc.server_counts.sum())
-        except InfeasibleProblemError:
-            opt_cost.append(float("nan"))
-            opt_counts.append(np.nan)
-        base_cost.append(_uniform_headroom_cost(cluster, workload, sla))
+    series_out = run_series(
+        {
+            "optimal": (_optimal_series, (cluster, sla, grid, warm_start)),
+            "baseline": (_baseline_series, (cluster, sla, grid)),
+        },
+        n_jobs=n_jobs,
+    )
+    sweep: ContinuationSweep = series_out["optimal"]
 
     series = SweepSeries(
         name="F6: minimum provisioning cost vs load factor",
         x_label="load factor",
-        x=np.asarray(load_factors, dtype=float),
+        x=grid,
         columns={
-            "P3 cost": np.array(opt_cost),
-            "uniform-headroom cost": np.array(base_cost),
-            "P3 total servers": np.array(opt_counts, dtype=float),
+            "P3 cost": sweep.column(lambda a: a.total_cost),
+            "uniform-headroom cost": series_out["baseline"],
+            "P3 total servers": sweep.column(lambda a: float(a.server_counts.sum())),
         },
     )
-    return F6Result(series=series)
+    return F6Result(series=series, optimal_sweep=sweep)
 
 
 def _uniform_headroom_cost(cluster, workload, sla, cap: int = 256) -> float:
@@ -98,4 +139,9 @@ def render(result: F6Result) -> str:
     """The sweep table plus the dominance check."""
     out = result.series.to_table()
     out += f"\nP3 never costlier than the uniform baseline: {result.optimizer_never_costlier}"
+    if result.optimal_sweep is not None:
+        out += (
+            f"\nsolver effort: {result.optimal_sweep.total_evaluations} feasibility evaluations "
+            f"over {len(result.optimal_sweep.points)} points"
+        )
     return out

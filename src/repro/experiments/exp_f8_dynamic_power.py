@@ -73,8 +73,18 @@ class F8Result:
         return row[3] >= 1.0
 
 
-def run(max_mean_delay: float = 0.35, n_epochs: int = 24, n_starts: int = 2) -> F8Result:
-    """Run the four policies over one synthetic day."""
+def run(
+    max_mean_delay: float = 0.35,
+    n_epochs: int = 24,
+    n_starts: int = 2,
+    warm_start: bool = True,
+) -> F8Result:
+    """Run the four policies over one synthetic day.
+
+    ``warm_start`` seeds each epoch's P2a solve with the previous
+    epoch's speeds (continuation along the load curve); the schedule
+    itself is unchanged by the solver's acceptance guard.
+    """
     cluster = canonical_cluster()
     names = list(canonical_workload().names)
     starts, rates = diurnal_rates(n_epochs)
@@ -95,7 +105,8 @@ def run(max_mean_delay: float = 0.35, n_epochs: int = 24, n_starts: int = 2) -> 
 
     # Dynamic controller.
     dynamic = plan_speed_schedule(
-        cluster, names, starts, rates, DAY, max_mean_delay, n_starts=n_starts
+        cluster, names, starts, rates, DAY, max_mean_delay, n_starts=n_starts,
+        warm_start=warm_start,
     )
     add("dynamic P2a", dynamic)
     result.dynamic_energy = evaluate_schedule(dynamic).total_energy

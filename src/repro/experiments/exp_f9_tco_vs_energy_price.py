@@ -4,6 +4,14 @@ Extension: sweep the energy price and solve P4 at each point, tracking
 how the optimum shifts between "few fast servers" (hardware-dominated)
 and "more slower servers" (energy-dominated).
 
+Every P4 solve is anchored by the *same* price-independent P3 problem,
+so the sweep shares one feasibility memo and seeds every anchor with
+the P3 optimum (``p3_counts_hint``): after the first point the anchor
+re-solve costs zero fresh feasibility evaluations. The per-point hint
+from :func:`repro.optimize.sweep.continuation_sweep` is deliberately
+unused — seeding the anchor with the *previous price's* deployed
+counts would change which problem the anchor solves.
+
 Expected shape: total cost increasing and concave-ish in the price
 (the optimizer keeps substituting hardware for energy); the server
 count is non-decreasing and the mean speed non-increasing along the
@@ -12,7 +20,7 @@ sweep; at price 0 the allocation equals the P3 optimum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,6 +28,7 @@ from repro.analysis.series import SweepSeries
 from repro.core.opt_cost import minimize_cost
 from repro.core.opt_tco import minimize_tco
 from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
+from repro.optimize.sweep import ContinuationSweep, continuation_sweep
 
 __all__ = ["F9Result", "run", "render"]
 
@@ -31,6 +40,7 @@ class F9Result:
     series: SweepSeries
     p3_counts: np.ndarray
     zero_price_counts: np.ndarray
+    tco_sweep: ContinuationSweep | None = field(default=None, repr=False)
 
     @property
     def anchored_at_p3(self) -> bool:
@@ -50,38 +60,49 @@ def run(prices=(0.0, 0.005, 0.01, 0.02, 0.04, 0.08), load_factor: float = 1.2) -
     workload = canonical_workload(load_factor)
     sla = canonical_sla()
 
-    p3 = minimize_cost(cluster, workload, sla, optimize_speeds=False)
+    # One (cluster, workload, sla) triple for the whole sweep: the P3
+    # anchor and its feasibility memo are shared across every price.
+    memo: dict[tuple[int, ...], tuple[bool, float]] = {}
+    p3 = minimize_cost(
+        cluster, workload, sla, optimize_speeds=False, feasibility_memo=memo
+    )
 
-    total, server_cost, energy_cost, servers, mean_speed, power = [], [], [], [], [], []
+    def solve(price: float, hint: np.ndarray | None):
+        return minimize_tco(
+            cluster,
+            workload,
+            sla,
+            energy_price=float(price),
+            p3_counts_hint=p3.server_counts,
+            feasibility_memo=memo,
+        )
+
+    sweep = continuation_sweep(solve, np.asarray(prices, dtype=float), warm_start=False, label="f9.tco")
+
     zero_counts = None
-    for price in prices:
-        alloc = minimize_tco(cluster, workload, sla, energy_price=float(price))
-        total.append(alloc.total_cost)
-        server_cost.append(alloc.server_cost)
-        energy_cost.append(alloc.energy_cost)
-        servers.append(float(alloc.server_counts.sum()))
-        mean_speed.append(float(alloc.speeds.mean()))
-        power.append(alloc.average_power)
-        if price == 0.0:
-            zero_counts = alloc.server_counts
+    for point in sweep.points:
+        if point.result is not None and float(point.value) == 0.0:
+            zero_counts = point.result.server_counts
+            break
 
     series = SweepSeries(
         name="F9: TCO-optimal allocation vs energy price",
         x_label="energy price (cost/W)",
         x=np.asarray(prices, dtype=float),
         columns={
-            "total cost": np.array(total),
-            "server cost": np.array(server_cost),
-            "energy cost": np.array(energy_cost),
-            "total servers": np.array(servers),
-            "mean speed": np.array(mean_speed),
-            "power (W)": np.array(power),
+            "total cost": sweep.column(lambda a: a.total_cost),
+            "server cost": sweep.column(lambda a: a.server_cost),
+            "energy cost": sweep.column(lambda a: a.energy_cost),
+            "total servers": sweep.column(lambda a: float(a.server_counts.sum())),
+            "mean speed": sweep.column(lambda a: float(a.speeds.mean())),
+            "power (W)": sweep.column(lambda a: a.average_power),
         },
     )
     return F9Result(
         series=series,
         p3_counts=p3.server_counts,
         zero_price_counts=zero_counts if zero_counts is not None else p3.server_counts,
+        tco_sweep=sweep,
     )
 
 

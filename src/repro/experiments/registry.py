@@ -229,8 +229,10 @@ def run_experiment(
 ) -> str:
     """Run an experiment by ID and return its rendered table.
 
-    ``n_jobs``/``cache_dir`` reach the simulation-backed drivers (T1,
-    T2, A1–A3, A5, F7); analytic experiments ignore them.
+    ``n_jobs`` reaches the simulation-backed drivers (T1, T2, A1–A3,
+    A5, F7) *and* the analytic sweep drivers (F3, F4, F5, F6, A4),
+    which fan their independent series out over worker processes;
+    ``cache_dir`` is simulation-only. Other experiments ignore them.
     """
     exp = get_experiment(experiment_id)
     return exp.render(exp.run(quick=quick, n_jobs=n_jobs, cache_dir=cache_dir))

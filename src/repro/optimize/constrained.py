@@ -27,6 +27,12 @@ __all__ = ["Constraint", "minimize_box_constrained", "multistart_points"]
 # small enough not to wreck SLSQP's internal scaling.
 _PENALTY = 1e9
 
+# Iteration budget of the warm-start attempt. An x0_hint taken from the
+# neighboring point of a continuation sweep converges well inside this;
+# a hint that needs more was a bad hint, and truncating it just routes
+# the solve through the cold multistart fallback.
+_WARM_MAXITER = 25
+
 
 @dataclass(frozen=True)
 class Constraint:
@@ -85,6 +91,8 @@ def minimize_box_constrained(
     method: str = "SLSQP",
     label: str = "",
     objective_batch: Callable[[np.ndarray], np.ndarray] | None = None,
+    x0_hint: Sequence[float] | np.ndarray | None = None,
+    constraint_batch: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> OptimizationResult:
     """Minimize ``objective`` over a box subject to ``g_j(x) >= 0``.
 
@@ -115,6 +123,22 @@ def minimize_box_constrained(
         all run, so the optimum found does not change, but the best
         incumbent is established early. See
         :class:`repro.core.batch_eval.BatchEvaluator`.
+    x0_hint:
+        Optional warm start (e.g. the optimum of the neighboring point
+        on a constraint sweep — see :mod:`repro.optimize.sweep`).
+        Clipped into the box and solved *first*; the warm solve is
+        accepted — skipping the multistart loop entirely — only when it
+        converged to a feasible point that beats every batch-scored
+        multistart seed, so a failed warm start can never do worse than
+        the cold solve (the warm candidate is merged into the
+        multistart fallback). ``meta["warm_start"]`` records the
+        outcome.
+    constraint_batch:
+        Optional vectorized constraint slack: maps an ``(n, d)`` matrix
+        of points to the ``n`` *minimum* slacks ``min_j g_j(x_i)``
+        (negative = infeasible). Used to exclude infeasible seeds from
+        the warm-start acceptance guard; never used to decide final
+        feasibility.
 
     Returns
     -------
@@ -136,6 +160,7 @@ def minimize_box_constrained(
     hi_arr = np.array([b[1] for b in bounds], dtype=float)
 
     starts = multistart_points(bounds, n_starts)
+    seed_values: np.ndarray | None = None
     if objective_batch is not None and len(starts) > 1:
         # One vectorized call ranks every seed; SLSQP then runs
         # best-seed-first so the incumbent is strong from start one.
@@ -146,13 +171,32 @@ def minimize_box_constrained(
                 f"got shape {seed_values.shape}"
             )
         evals[0] += len(starts)
-        starts = starts[np.argsort(seed_values, kind="stable")]
         obs.event(
             "optimize.batch_seeds",
             label=label,
             n_seeds=len(starts),
             best_seed_value=float(np.min(seed_values)),
         )
+
+    # The warm-start acceptance bar: the best objective among *feasible*
+    # multistart seeds. A converged cold start launched from that seed
+    # can only land at or below its raw value, so a warm result beating
+    # it is safe to accept without running the cold starts at all.
+    guard_value: float | None = None
+    if seed_values is not None:
+        feasible_seeds = np.isfinite(seed_values)
+        if constraint_batch is not None:
+            slacks = np.asarray(constraint_batch(starts), dtype=float)
+            if slacks.shape != (len(starts),):
+                raise ModelValidationError(
+                    f"constraint_batch must return {len(starts)} slacks, "
+                    f"got shape {slacks.shape}"
+                )
+            feasible_seeds &= slacks >= -feasibility_tol
+        if np.any(feasible_seeds):
+            guard_value = float(np.min(seed_values[feasible_seeds]))
+    if seed_values is not None:
+        starts = starts[np.argsort(seed_values, kind="stable")]
 
     def violation(x: np.ndarray) -> float:
         worst = 0.0
@@ -173,50 +217,86 @@ def minimize_box_constrained(
                 out[c.name] = -_PENALTY
         return out
 
+    def attempt(x0: np.ndarray, maxiter: int | None = None) -> OptimizationResult:
+        """One local solve from ``x0``, clipped back into the box."""
+        if maxiter is None:
+            maxiter = 200 if method == "SLSQP" else 300
+        try:
+            res = minimize(
+                safe_obj,
+                x0,
+                method=method,
+                bounds=bounds,
+                constraints=scipy_constraints,
+                options={"maxiter": maxiter, "ftol": 1e-10} if method == "SLSQP" else {"maxiter": maxiter},
+            )
+        except Exception as exc:  # pragma: no cover - scipy internal failures
+            return OptimizationResult(
+                x=x0, fun=_PENALTY, success=False, message=f"solver error: {exc}",
+                n_evaluations=evals[0],
+            )
+        x = np.clip(res.x, lo_arr, hi_arr)
+        viol = violation(x)
+        return OptimizationResult(
+            x=x,
+            fun=safe_obj(x),
+            success=bool(viol <= feasibility_tol and safe_obj(x) < _PENALTY),
+            message=str(res.message),
+            n_evaluations=evals[0],
+            constraint_violation=viol,
+            nit=int(getattr(res, "nit", 0) or 0),
+            nfev=int(getattr(res, "nfev", 0) or 0),
+            status=int(res.status) if getattr(res, "status", None) is not None else None,
+        )
+
     best: OptimizationResult | None = None
+    warm_info: dict[str, object] | None = None
     with obs.span(
         "optimize.solve",
         label=label,
         method=method,
         n_starts=n_starts,
         n_constraints=len(constraints),
+        warm=x0_hint is not None,
     ) as sp:
-        for x0 in starts:
-            try:
-                res = minimize(
-                    safe_obj,
-                    x0,
-                    method=method,
-                    bounds=bounds,
-                    constraints=scipy_constraints,
-                    options={"maxiter": 200, "ftol": 1e-10} if method == "SLSQP" else {"maxiter": 300},
+        if x0_hint is not None:
+            hint = np.asarray(x0_hint, dtype=float).ravel()
+            if hint.shape != lo_arr.shape:
+                raise ModelValidationError(
+                    f"x0_hint must have {lo_arr.size} coordinates, got {hint.size}"
                 )
-            except Exception as exc:  # pragma: no cover - scipy internal failures
-                candidate = OptimizationResult(
-                    x=x0, fun=_PENALTY, success=False, message=f"solver error: {exc}",
-                    n_evaluations=evals[0],
-                )
+            hint = np.clip(hint, lo_arr, hi_arr)
+            # A genuine continuation step converges in a handful of
+            # iterations; the cap bounds the cost of a bad hint. A
+            # truncated attempt fails the convergence check and falls
+            # back to the cold multistart — values unchanged.
+            warm = attempt(hint, maxiter=_WARM_MAXITER)
+            converged = bool(warm.success and warm.status == 0)
+            accepted = converged and (
+                guard_value is None or warm.fun <= guard_value + feasibility_tol
+            )
+            warm_info = {
+                "accepted": accepted,
+                "converged": converged,
+                "fun": warm.fun,
+                "guard_value": guard_value,
+            }
+            if accepted:
+                best = warm
+            elif warm.better_than(best):
+                # Failed warm start: keep it as a candidate and fall
+                # through to the full cold multistart loop below.
+                best = warm
+        if warm_info is None or not warm_info["accepted"]:
+            for x0 in starts:
+                candidate = attempt(x0)
                 if candidate.better_than(best):
                     best = candidate
-                continue
-            x = np.clip(res.x, lo_arr, hi_arr)
-            viol = violation(x)
-            candidate = OptimizationResult(
-                x=x,
-                fun=safe_obj(x),
-                success=bool(viol <= feasibility_tol and safe_obj(x) < _PENALTY),
-                message=str(res.message),
-                n_evaluations=evals[0],
-                constraint_violation=viol,
-                nit=int(getattr(res, "nit", 0) or 0),
-                nfev=int(getattr(res, "nfev", 0) or 0),
-                status=int(res.status) if getattr(res, "status", None) is not None else None,
-            )
-            if candidate.better_than(best):
-                best = candidate
     assert best is not None  # n_starts >= 1 guarantees at least one candidate
     best.n_evaluations = evals[0]
     best.meta["constraint_residuals"] = residuals(best.x)
+    if warm_info is not None:
+        best.meta["warm_start"] = warm_info
     obs.event(
         "solver.result",
         label=label,
@@ -229,6 +309,7 @@ def minimize_box_constrained(
         message=best.message,
         n_evaluations=best.n_evaluations,
         constraint_violation=best.constraint_violation,
+        warm_accepted=None if warm_info is None else warm_info["accepted"],
         wall_s=sp.wall_s,
     )
     obs.counter("opt.solves").inc()

@@ -34,6 +34,7 @@ def greedy_integer_allocation(
     lower: Sequence[int],
     upper: Sequence[int],
     max_steps: int = 10_000,
+    start: Sequence[int] | None = None,
 ) -> np.ndarray:
     """Grow an allocation until feasible, greedily by relief-per-cost.
 
@@ -48,7 +49,11 @@ def greedy_integer_allocation(
         increments).
     lower, upper:
         Per-tier inclusive bounds on counts; the search starts at
-        ``lower``.
+        ``lower`` unless ``start`` overrides it.
+    start:
+        Optional warm-start counts (clipped into ``[lower, upper]``) —
+        e.g. the optimum of a neighboring sweep point, from which a few
+        greedy steps usually restore feasibility.
 
     Raises
     ------
@@ -68,7 +73,7 @@ def greedy_integer_allocation(
             f"even the maximal allocation {hi.tolist()} violates the SLA"
         )
 
-    current = lo.copy()
+    current = lo.copy() if start is None else np.clip(np.asarray(start, dtype=int), lo, hi)
     feasible, score = evaluate(current)
     steps = 0
     while not feasible:

@@ -95,6 +95,80 @@ class TestMinimizeCostCanonical:
         )
         assert alloc.n_evaluations >= 1
 
+    def test_evaluation_counters_in_meta(self):
+        alloc = minimize_cost(
+            canonical_cluster(), canonical_workload(), canonical_sla(), optimize_speeds=False
+        )
+        assert alloc.meta["evals"] == alloc.n_evaluations
+        # The local search re-probes neighbors the greedy phase already
+        # certified, so the memo must record cache hits.
+        assert alloc.meta["evals_cached"] > 0
+
+
+class TestWarmStartAndMemo:
+    """counts_hint / feasibility_memo threading through minimize_cost."""
+
+    def test_counts_hint_reproduces_cold_optimum_cheaper(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        cold = minimize_cost(cluster, workload, sla, max_servers_per_tier=8, optimize_speeds=False)
+        warm = minimize_cost(
+            cluster,
+            workload,
+            sla,
+            max_servers_per_tier=8,
+            optimize_speeds=False,
+            counts_hint=cold.server_counts,
+        )
+        np.testing.assert_array_equal(warm.server_counts, cold.server_counts)
+        assert warm.total_cost == pytest.approx(cold.total_cost)
+        assert "counts_hint" in warm.meta
+        assert warm.n_evaluations <= cold.n_evaluations
+
+    def test_infeasible_hint_falls_back_to_greedy(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        cold = minimize_cost(cluster, workload, sla, max_servers_per_tier=8, optimize_speeds=False)
+        warm = minimize_cost(
+            cluster,
+            workload,
+            sla,
+            max_servers_per_tier=8,
+            optimize_speeds=False,
+            counts_hint=np.array([1, 1]),
+        )
+        assert warm.total_cost == pytest.approx(cold.total_cost)
+
+    def test_shared_memo_drives_repeat_solve_to_zero_fresh_evals(self):
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        memo: dict = {}
+        first = minimize_cost(
+            cluster, workload, sla, max_servers_per_tier=8,
+            optimize_speeds=False, feasibility_memo=memo,
+        )
+        assert first.n_evaluations > 0 and len(memo) == first.n_evaluations
+        second = minimize_cost(
+            cluster, workload, sla, max_servers_per_tier=8,
+            optimize_speeds=False, feasibility_memo=memo,
+        )
+        assert second.n_evaluations == 0
+        assert second.meta["evals_cached"] > 0
+        assert second.total_cost == pytest.approx(first.total_cost)
+        np.testing.assert_array_equal(second.server_counts, first.server_counts)
+
+    def test_memo_shared_across_widening_caps(self):
+        # The T4 continuation pattern: same triple, growing cap.
+        cluster, workload, sla = small_cluster(), small_workload(), small_sla()
+        memo: dict = {}
+        small = minimize_cost(
+            cluster, workload, sla, max_servers_per_tier=6,
+            optimize_speeds=False, feasibility_memo=memo,
+        )
+        wide = minimize_cost(
+            cluster, workload, sla, max_servers_per_tier=8,
+            optimize_speeds=False, counts_hint=small.server_counts, feasibility_memo=memo,
+        )
+        assert wide.total_cost == pytest.approx(small.total_cost)
+        assert wide.n_evaluations < small.n_evaluations
+
     def test_removing_any_server_breaks_sla_or_cost_minimality(self):
         # Local optimality: no single-server removal stays feasible.
         workload, sla = canonical_workload(), canonical_sla()

@@ -89,6 +89,88 @@ class TestMinimizeBoxConstrained:
         assert bad.better_than(None)
 
 
+class TestWarmStart:
+    """x0_hint acceptance guard on minimize_box_constrained."""
+
+    @staticmethod
+    def _quadratic(x):
+        return float((x[0] - 0.3) ** 2 + (x[1] - 0.7) ** 2)
+
+    def test_good_hint_accepted_and_matches_cold(self):
+        cold = minimize_box_constrained(self._quadratic, [(0.0, 1.0), (0.0, 1.0)], n_starts=3)
+        warm = minimize_box_constrained(
+            self._quadratic, [(0.0, 1.0), (0.0, 1.0)], n_starts=3, x0_hint=cold.x
+        )
+        info = warm.meta["warm_start"]
+        assert info["accepted"] and info["converged"]
+        assert warm.fun == pytest.approx(cold.fun, rel=1e-6)
+        # An accepted warm start skips the multistart loop entirely.
+        assert warm.n_evaluations < cold.n_evaluations
+
+    @staticmethod
+    def _double_well(x):
+        # Local minima near 0.1 (global) and 0.9; the tilt makes the
+        # right basin strictly worse.
+        return float((x[0] - 0.1) ** 2 * (x[0] - 0.9) ** 2 + 0.05 * x[0])
+
+    def test_hint_in_wrong_basin_rejected_by_guard(self):
+        warm = minimize_box_constrained(
+            self._double_well,
+            [(0.0, 1.0)],
+            n_starts=8,
+            x0_hint=[0.9],
+            objective_batch=lambda pts: np.array([self._double_well(p) for p in pts]),
+        )
+        info = warm.meta["warm_start"]
+        assert not info["accepted"]
+        # The fallback multistart still lands in the global basin.
+        assert warm.x[0] < 0.5
+        assert warm.fun < self._double_well([0.9])
+
+    def test_hint_clipped_into_box(self):
+        warm = minimize_box_constrained(
+            self._quadratic, [(0.0, 1.0), (0.0, 1.0)], x0_hint=[5.0, -5.0]
+        )
+        assert warm.success  # out-of-box hint must not crash the solve
+
+    def test_hint_shape_validated(self):
+        with pytest.raises(ModelValidationError):
+            minimize_box_constrained(
+                self._quadratic, [(0.0, 1.0), (0.0, 1.0)], x0_hint=[0.5]
+            )
+
+    def test_constraint_batch_shape_validated(self):
+        with pytest.raises(ModelValidationError):
+            minimize_box_constrained(
+                self._quadratic,
+                [(0.0, 1.0), (0.0, 1.0)],
+                n_starts=3,
+                objective_batch=lambda pts: np.array([self._quadratic(p) for p in pts]),
+                constraint_batch=lambda pts: np.zeros((len(pts), 2)),
+            )
+
+    def test_infeasible_seeds_excluded_from_guard(self):
+        # Every seed violates the constraint; the guard must not use
+        # their (finite, low) raw objectives to reject a feasible hint.
+        constraint = Constraint(lambda x: x[0] - 0.8, name="floor")
+        warm = minimize_box_constrained(
+            lambda x: float(x[0]),
+            [(0.0, 1.0)],
+            constraints=[constraint],
+            n_starts=4,
+            x0_hint=[0.8],
+            objective_batch=lambda pts: pts[:, 0],
+            constraint_batch=lambda pts: pts[:, 0] - 0.8,
+        )
+        info = warm.meta["warm_start"]
+        assert info["accepted"]
+        assert warm.x[0] == pytest.approx(0.8, abs=1e-6)
+
+    def test_no_hint_no_meta(self):
+        res = minimize_box_constrained(self._quadratic, [(0.0, 1.0), (0.0, 1.0)])
+        assert "warm_start" not in res.meta
+
+
 class TestIntegerSearch:
     def _problem(self, threshold=10):
         # Feasible iff 2*a + b >= threshold; cost 3a + 2b.
