@@ -143,3 +143,55 @@ def test_perf_replication_cache_warm(benchmark, tmp_path):
     )
     assert warm.meta["cache_hits"] == 8 and warm.meta["cache_misses"] == 0
     assert warm.mean_delay == cold.mean_delay
+
+
+def test_perf_adaptive_precision_engine(benchmark):
+    """Adaptive CV-stopping run on the small validation cluster: must
+    certify the precision target well below the replication cap — a
+    fallback to naive stopping (or a dead control variate) shows up
+    here as the cap being exhausted, exactly the regression the gated
+    ``adaptive_vs_fixed`` bench kernel guards in CI."""
+    from repro.experiments.common import small_cluster, small_workload
+    from repro.simulation import PrecisionTarget, simulate_replications_adaptive
+
+    cluster, workload = small_cluster(), small_workload()
+    target = PrecisionTarget(
+        rel_ci={"mean_delay": 0.05, "average_power": 0.004},
+        min_replications=3,
+        max_replications=32,
+        round_size=1,
+        estimator="cv",
+    )
+    result = benchmark.pedantic(
+        lambda: simulate_replications_adaptive(
+            cluster, workload, horizon=500.0, target=target, seed=123
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ad = result.meta["adaptive"]
+    assert ad["target_met"]
+    assert ad["n_simulated"] <= 8  # cap is 32; early stop is the point
+
+
+def test_perf_crn_paired_comparison(benchmark):
+    """One CRN-paired scenario comparison (NP vs PR discipline): the
+    paired-t difference CI must beat the independent-streams CI on the
+    headline metric, or the shared-seed contract broke."""
+    from repro.simulation import Scenario, compare_scenarios
+
+    workload = canonical_workload()
+    comp = benchmark.pedantic(
+        lambda: compare_scenarios(
+            Scenario(canonical_cluster(discipline="priority_np"), workload, label="np"),
+            Scenario(canonical_cluster(discipline="priority_pr"), workload, label="pr"),
+            horizon=400.0,
+            n_replications=5,
+            seed=321,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    headline = comp.metrics["mean_delay"]
+    assert headline["paired"].halfwidth < headline["independent"].halfwidth
+    assert headline["vr_factor"] > 1.0

@@ -30,7 +30,12 @@ __all__ = ["run_benchmarks", "compare_to_baseline", "KERNELS", "DEFAULT_GATES"]
 #: ``frontier_sweep_warm`` gates the continuation machinery: if warm
 #: starts stop being accepted, the kernel collapses to the cold path
 #: and its normalized time blows past the tolerance.
-DEFAULT_GATES = ("sim_replication_h500", "frontier_sweep_warm")
+#: ``adaptive_vs_fixed`` gates the precision-targeted engine twice
+#: over: the kernel itself *raises* when the adaptive run silently
+#: falls back to the fixed replication count (so the bench errors out
+#: long before any timing comparison), and its normalized time is
+#: checked like the other gates.
+DEFAULT_GATES = ("sim_replication_h500", "frontier_sweep_warm", "adaptive_vs_fixed")
 
 #: Name of the machine-speed calibration kernel.
 CALIBRATION = "calibration_spin"
@@ -129,6 +134,132 @@ def _kernel_frontier_sweep_cold() -> Callable[[], object]:
     return _frontier_sweep(warm_start=False)
 
 
+def _total_events(rep) -> int:
+    return sum(int(rec["n_events"]) for rec in rep.meta["replications"])
+
+
+def _kernel_adaptive_vs_fixed() -> Callable[[], object]:
+    """Adaptive CV-stopping engine vs the naive-stopping baseline.
+
+    Both engines chase the same absolute precision target (5% relative
+    CI on mean delay, 0.4% on average power — the T1/T2 headline
+    metrics) on the small validation cluster. The *untimed* setup runs
+    the baseline: the replication count a fixed-count engine with
+    plain sample-mean CIs needs to certify that target. The timed
+    closure is the adaptive run with the control-variate stopping
+    estimator, which certifies the same target from far fewer
+    replications. The closure **raises** when the engine fails to beat
+    the baseline by the 30% simulated-event acceptance floor — a
+    silent fallback to naive stopping is a correctness regression, not
+    a slowdown, and must fail the bench outright. The ``bench_extra``
+    record carries the event savings and the realized variance-
+    reduction factors.
+    """
+    from repro.experiments.common import small_cluster, small_workload
+    from repro.simulation import PrecisionTarget, simulate_replications_adaptive
+
+    cluster, workload = small_cluster(), small_workload()
+    horizon, seed = 500.0, 123
+    rel_targets = {"mean_delay": 0.05, "average_power": 0.004}
+    common = dict(rel_ci=rel_targets, min_replications=3, max_replications=32, round_size=1)
+    baseline = simulate_replications_adaptive(
+        cluster,
+        workload,
+        horizon=horizon,
+        target=PrecisionTarget(estimator="naive", **common),
+        seed=seed,
+    )
+    base_ad = baseline.meta["adaptive"]
+    if not base_ad["target_met"]:
+        raise RuntimeError(
+            "naive baseline no longer certifies the bench precision target "
+            f"within {common['max_replications']} replications"
+        )
+    events_fixed = _total_events(baseline)
+    target = PrecisionTarget(estimator="cv", **common)
+
+    def run() -> dict:
+        rep = simulate_replications_adaptive(
+            cluster, workload, horizon=horizon, target=target, seed=seed
+        )
+        ad = rep.meta["adaptive"]
+        events_adaptive = _total_events(rep)
+        savings = 1.0 - events_adaptive / events_fixed
+        if not ad["target_met"]:
+            raise RuntimeError(
+                "adaptive engine missed the precision target it is benched on "
+                f"(n_simulated={ad['n_simulated']})"
+            )
+        if savings < 0.30:
+            raise RuntimeError(
+                f"adaptive event savings {savings:.1%} below the 30% acceptance "
+                f"floor (naive n={base_ad['n_simulated']}, cv n={ad['n_simulated']})"
+            )
+        return {
+            "bench_extra": {
+                "n_fixed": base_ad["n_simulated"],
+                "n_adaptive": ad["n_simulated"],
+                "events_fixed": events_fixed,
+                "events_adaptive": events_adaptive,
+                "event_savings": round(savings, 4),
+                "target_rel_ci": rel_targets,
+                "achieved_rel_ci": {
+                    m: round(e["rel_halfwidth"], 5) for m, e in ad["estimates"].items()
+                },
+                "vr_factor": {m: round(v, 2) for m, v in ad["vr_factor"].items()},
+            }
+        }
+
+    return run
+
+
+def _kernel_crn_paired() -> Callable[[], object]:
+    """CRN-paired scenario comparison (NP vs PR discipline).
+
+    Times one :func:`compare_scenarios` call and records — via
+    ``bench_extra`` — how much tighter the paired-t difference CI is
+    than the independent-streams Welch CI at the same replication
+    count. Raises when CRN pairing stops helping on the headline
+    metric (correlation lost ⇒ the shared-seed contract broke).
+    """
+    from repro.experiments.common import canonical_cluster, canonical_workload
+    from repro.simulation import Scenario, compare_scenarios
+
+    workload = canonical_workload()
+    scenario_np = Scenario(
+        canonical_cluster(discipline="priority_np"), workload, label="priority_np"
+    )
+    scenario_pr = Scenario(
+        canonical_cluster(discipline="priority_pr"), workload, label="priority_pr"
+    )
+
+    def run() -> dict:
+        comp = compare_scenarios(
+            scenario_np, scenario_pr, horizon=400.0, n_replications=5, seed=321
+        )
+        headline = comp.metrics["mean_delay"]
+        if headline["vr_factor"] <= 1.0:
+            raise RuntimeError(
+                "CRN pairing no longer reduces the mean-delay difference CI "
+                f"(vr_factor={headline['vr_factor']:.2f}) — shared-seed contract broken"
+            )
+        return {
+            "bench_extra": {
+                "metrics": {
+                    m: {
+                        "paired_hw": round(rec["paired"].halfwidth, 6),
+                        "independent_hw": round(rec["independent"].halfwidth, 6),
+                        "correlation": round(rec["correlation"], 4),
+                        "vr_factor": round(rec["vr_factor"], 2),
+                    }
+                    for m, rec in comp.metrics.items()
+                }
+            }
+        }
+
+    return run
+
+
 def _kernel_exhaustive_small_12() -> Callable[[], object]:
     from repro.baselines.exhaustive import exhaustive_cost_minimization
     from repro.experiments.common import small_cluster, small_sla, small_workload
@@ -154,6 +285,8 @@ KERNELS: dict[str, Callable[[], Callable[[], object]]] = {
     "batch_eval_100": _kernel_batch_eval_100,
     "percentile_batch_x50": _kernel_percentile_batch_x50,
     "p1_solve_3starts": _kernel_p1_solve_3starts,
+    "adaptive_vs_fixed": _kernel_adaptive_vs_fixed,
+    "crn_paired": _kernel_crn_paired,
     "frontier_sweep_warm": _kernel_frontier_sweep_warm,
     "frontier_sweep_cold": _kernel_frontier_sweep_cold,
     "exhaustive_small_12": _kernel_exhaustive_small_12,
@@ -181,11 +314,17 @@ def run_benchmarks(
         fn = KERNELS[name]()
         fn()  # warm-up, untimed
         runs = []
+        last = None
         for _ in range(max(repeats, 1)):
             t0 = time.perf_counter()
-            fn()
+            last = fn()
             runs.append(time.perf_counter() - t0)
         kernels[name] = {"min_s": min(runs), "runs_s": [round(r, 6) for r in runs]}
+        # Kernels measuring more than speed (event savings, variance
+        # reduction) return {"bench_extra": ...}; the record rides
+        # along in the JSON document next to the timings.
+        if isinstance(last, dict) and "bench_extra" in last:
+            kernels[name]["extra"] = last["bench_extra"]
     return {
         "schema": 1,
         "created_unix": int(time.time()),

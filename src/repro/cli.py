@@ -11,10 +11,16 @@ Commands
     parallelizes the simulation replications of simulation-backed
     experiments and the independent series of the analytic sweeps
     (F3/F4/F5/F6/A4); ``--cache-dir`` memoizes replications on disk.
-    Numbers are unchanged by either flag.
-``simulate [--jobs N] [--cache-dir DIR] ...``
+    Numbers are unchanged by either flag. ``--target-rel-ci FRAC``
+    (with optional ``--max-reps N``) switches the adaptive-capable
+    experiments (T1/T2/F7) to the precision-targeted replication
+    engine: replications stop as soon as the headline metrics reach
+    the requested relative CI half-width.
+``simulate [--jobs N] [--cache-dir DIR] [--target-rel-ci FRAC] ...``
     Replicated simulation of the canonical cluster with live
     per-replication progress (wall time, events/sec, cache hits).
+    With ``--target-rel-ci`` the adaptive engine picks the
+    replication count and reports the per-round precision trace.
 ``report [--load-factor F]``
     Analytic delay/energy report of the canonical cluster under the
     canonical workload — the fastest way to see claim-1 numbers.
@@ -79,6 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--telemetry-sample-queues",
             action="store_true",
             help="with --telemetry: also sample per-tier queue lengths inside the simulator",
+        )
+        p.add_argument(
+            "--target-rel-ci",
+            type=float,
+            default=None,
+            metavar="FRAC",
+            help="adaptive precision target: stop replicating once the 95%% CI "
+            "half-width of the headline metrics (mean delay, average power) "
+            "falls below this fraction of their values (e.g. 0.02)",
+        )
+        p.add_argument(
+            "--max-reps",
+            type=int,
+            default=None,
+            help="with --target-rel-ci: hard cap on replications (default: engine-chosen)",
         )
 
     run_p = sub.add_parser("run", help="run one experiment by ID")
@@ -178,12 +199,21 @@ def _cmd_run(
     out: str | None,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
 ) -> int:
     from repro import obs
     from repro.experiments.registry import run_experiment
 
     obs.TELEMETRY.annotate(config={"experiment": experiment_id.upper(), "quick": quick})
-    text = run_experiment(experiment_id, quick=quick, n_jobs=jobs, cache_dir=cache_dir)
+    text = run_experiment(
+        experiment_id,
+        quick=quick,
+        n_jobs=jobs,
+        cache_dir=cache_dir,
+        target_rel_ci=target_rel_ci,
+        max_reps=max_reps,
+    )
     print(text)
     if out:
         with open(out, "w") as fh:
@@ -197,6 +227,8 @@ def _cmd_run_all(
     full: bool,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
 ) -> int:
     import pathlib
 
@@ -211,7 +243,15 @@ def _cmd_run_all(
     for exp in REGISTRY.values():
         with obs.span("cli.run_experiment", id=exp.id) as sp:
             try:
-                text = exp.render(exp.run(quick=not full, n_jobs=jobs, cache_dir=cache_dir))
+                text = exp.render(
+                    exp.run(
+                        quick=not full,
+                        n_jobs=jobs,
+                        cache_dir=cache_dir,
+                        target_rel_ci=target_rel_ci,
+                        max_reps=max_reps,
+                    )
+                )
             except Exception as exc:  # surface, keep going
                 failures.append(exp.id)
                 print(f"== {exp.id} FAILED: {exc}")
@@ -257,14 +297,22 @@ def _cmd_simulate(
     warmup_fraction: float,
     jobs: int | None,
     cache_dir: str | None,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
 ) -> int:
     """Replicated simulation of the canonical cluster with live
     per-replication progress — the CLI surface of the parallel
-    replication engine's observability."""
+    replication engine's observability. With ``--target-rel-ci`` the
+    adaptive engine decides how many replications the precision target
+    actually needs."""
     from repro import obs
     from repro.analysis.tables import ascii_table
     from repro.experiments.common import canonical_cluster, canonical_workload
-    from repro.simulation import simulate_replications
+    from repro.simulation import (
+        PrecisionTarget,
+        simulate_replications,
+        simulate_replications_adaptive,
+    )
 
     cluster = canonical_cluster()
     workload = canonical_workload(load_factor)
@@ -279,17 +327,37 @@ def _cmd_simulate(
                 f"{rec.wall_time_s:.2f}s, {rec.events_per_sec:,.0f} events/s"
             )
 
-    rep = simulate_replications(
-        cluster,
-        workload,
-        horizon=horizon,
-        n_replications=replications,
-        warmup_fraction=warmup_fraction,
-        seed=seed,
-        n_jobs=jobs,
-        cache_dir=cache_dir,
-        progress=progress,
-    )
+    if target_rel_ci is not None:
+        target = PrecisionTarget(
+            rel_ci=target_rel_ci,
+            max_replications=max_reps if max_reps is not None else max(4 * replications, 16),
+        )
+        rep = simulate_replications_adaptive(
+            cluster,
+            workload,
+            horizon=horizon,
+            target=target,
+            warmup_fraction=warmup_fraction,
+            seed=seed,
+            n_jobs=jobs,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+        n_used = rep.meta["adaptive"]["n_used"]
+        title_reps = f"{n_used} adaptive replications"
+    else:
+        rep = simulate_replications(
+            cluster,
+            workload,
+            horizon=horizon,
+            n_replications=replications,
+            warmup_fraction=warmup_fraction,
+            seed=seed,
+            n_jobs=jobs,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+        title_reps = f"{replications} replications"
     rows = [
         [name, round(float(rep.delays[k]), 4), round(float(rep.delays_ci[k]), 4)]
         for k, name in enumerate(rep.class_names)
@@ -299,7 +367,7 @@ def _cmd_simulate(
             ["class", "mean delay (s)", "95% CI"],
             rows,
             title=f"Simulated canonical cluster at load factor {load_factor:g} "
-            f"({replications} replications)",
+            f"({title_reps})",
         )
     )
     print(f"mean delay {rep.mean_delay:.4f} s | power {rep.average_power:.1f} W")
@@ -308,6 +376,20 @@ def _cmd_simulate(
         f"engine: backend={m['backend']} jobs={m['n_jobs']} cache={m['cache']} "
         f"hits={m['cache_hits']} misses={m['cache_misses']} wall={m['wall_time_s']:.2f}s"
     )
+    ad = m.get("adaptive")
+    if ad:
+        print(
+            f"adaptive: target met={ad['target_met']} rounds={ad['n_rounds']} "
+            f"used={ad['n_used']}/{ad['n_simulated']} simulated "
+            f"(cap {ad['target']['max_replications']}, "
+            f"{ad['reps_saved_vs_cap']} saved vs cap)"
+        )
+        for metric, est in ad["estimates"].items():
+            rel = est["rel_halfwidth"]
+            print(
+                f"  {metric}: {est['value']:.4g} ± {est['halfwidth']:.2g} "
+                f"(rel {rel:.2%}, {est['method']})"
+            )
     return 0
 
 
@@ -412,6 +494,24 @@ def _cmd_telemetry_summarize(path: str, top: int = 10) -> int:
         print(ascii_table(["replication", "events", "wall s", "events/s", "cached"],
                           rows, title=f"Replications ({len(rows)})"))
 
+    rounds = [e["fields"] for e in events
+              if e.get("type") == "event" and e.get("name") == "sim.adaptive.round"]
+    if rounds:
+        rel_keys = sorted({k for r in rounds for k in r if k.startswith("rel_ci.")})
+        rows = [
+            [
+                r.get("round"),
+                r.get("n_available"),
+                r.get("stop_at") if r.get("stop_at") is not None else "-",
+                *(f"{r.get(k, float('nan')):.2%}" for k in rel_keys),
+            ]
+            for r in sorted(rounds, key=lambda r: (r.get("round", 0),))
+        ]
+        print()
+        print(ascii_table(
+            ["round", "reps available", "stop at", *(k.removeprefix("rel_ci.") for k in rel_keys)],
+            rows, title=f"Adaptive precision rounds ({len(rows)})"))
+
     solves = [e["fields"] for e in events
               if e.get("type") == "event" and e.get("name") == "solver.result"]
     if solves:
@@ -440,6 +540,8 @@ def _cmd_telemetry_summarize(path: str, top: int = 10) -> int:
         "sim.events": "simulator events",
         "sim.jobs_created": "jobs created",
         "sim.jobs_counted": "jobs counted",
+        "sim.adaptive.rounds": "adaptive rounds",
+        "sim.adaptive.reps_saved": "adaptive replications saved",
         "opt.solves": "optimizer solves",
         "opt.evaluations": "model evaluations",
     }
@@ -494,9 +596,24 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment_id, args.quick, args.out, args.jobs, args.cache_dir)
+        return _cmd_run(
+            args.experiment_id,
+            args.quick,
+            args.out,
+            args.jobs,
+            args.cache_dir,
+            args.target_rel_ci,
+            args.max_reps,
+        )
     if args.command == "run-all":
-        return _cmd_run_all(args.out_dir, args.full, args.jobs, args.cache_dir)
+        return _cmd_run_all(
+            args.out_dir,
+            args.full,
+            args.jobs,
+            args.cache_dir,
+            args.target_rel_ci,
+            args.max_reps,
+        )
     if args.command == "simulate":
         return _cmd_simulate(
             args.load_factor,
@@ -506,6 +623,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.warmup_fraction,
             args.jobs,
             args.cache_dir,
+            args.target_rel_ci,
+            args.max_reps,
         )
     if args.command == "report":
         return _cmd_report(args.load_factor)

@@ -40,6 +40,7 @@ __all__ = [
     "stability_box_profile",
     "StabilityBoxProfile",
     "CLASS_NAMES",
+    "replicated_simulation",
 ]
 
 CLASS_NAMES = ("gold", "silver", "bronze")
@@ -145,6 +146,61 @@ def small_sla(tightness: float = 1.0) -> SLA:
     """SLA for the small instance."""
     return SLA(
         [ClassSLA("gold", 0.40 * tightness, fee=1.0), ClassSLA("bronze", 1.00 * tightness, fee=0.2)]
+    )
+
+
+def replicated_simulation(
+    cluster,
+    workload,
+    *,
+    horizon: float,
+    n_replications: int,
+    seed: int,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
+    **engine,
+):
+    """Replicated simulation, fixed-count or precision-targeted.
+
+    The shared entry point of the simulation-backed validation
+    experiments (T1/T2/F7): with ``target_rel_ci`` unset it is exactly
+    :func:`repro.simulation.simulate_replications` with
+    ``n_replications`` fixed replications; with it set, the adaptive
+    engine replicates until the 95% CI half-widths of mean delay and
+    average power are within ``target_rel_ci`` of their point values
+    (control-variate stopping estimates), capped at ``max_reps``
+    (default: four times the fixed count). ``n_replications`` then
+    seeds the cap, not the count — the engine may use fewer or more.
+    """
+    from repro.simulation import (
+        PrecisionTarget,
+        simulate_replications,
+        simulate_replications_adaptive,
+    )
+
+    if target_rel_ci is None:
+        return simulate_replications(
+            cluster,
+            workload,
+            horizon=horizon,
+            n_replications=n_replications,
+            seed=seed,
+            **engine,
+        )
+    target = PrecisionTarget(
+        rel_ci=target_rel_ci,
+        min_replications=min(3, n_replications) if n_replications >= 2 else 2,
+        max_replications=max_reps if max_reps is not None else max(4 * n_replications, 16),
+        round_size=2,
+        estimator="cv",
+    )
+    return simulate_replications_adaptive(
+        cluster,
+        workload,
+        horizon=horizon,
+        target=target,
+        seed=seed,
+        **engine,
     )
 
 

@@ -20,10 +20,13 @@ from repro.analysis.tables import ascii_table
 from repro.analysis.validation import relative_error
 from repro.baselines.single_class import aggregate_fcfs_delays
 from repro.core.delay import end_to_end_delays
-from repro.experiments.common import canonical_cluster, canonical_workload
-from repro.simulation import simulate_replications
+from repro.experiments.common import CLASS_NAMES, canonical_cluster, canonical_workload
+from repro.simulation import Scenario, compare_scenarios
 
 __all__ = ["A1Result", "run", "render"]
+
+#: CRN-paired deltas between the priority and FCFS *simulations*.
+PAIRED_METRICS = tuple(f"delay/{name}" for name in CLASS_NAMES)
 
 
 @dataclass
@@ -31,6 +34,10 @@ class A1Result:
     """Per-(load, class) comparison rows."""
 
     rows: list[list[Any]] = field(default_factory=list)
+    # load factor -> metric -> {"paired": VrEstimate, ...}: what the
+    # *scheduler* (not the model) does to each class, simulated under
+    # CRN so the per-class priority-vs-FCFS deltas carry paired CIs.
+    paired: dict[float, dict[str, dict[str, Any]]] = field(default_factory=dict)
 
     @property
     def priority_model_wins(self) -> bool:
@@ -53,23 +60,31 @@ def run(
     cache_dir: str | None = None,
 ) -> A1Result:
     """Compare both analytic models to simulation at each load.
-    ``n_jobs``/``cache_dir`` parallelize and memoize the replications
-    without changing the numbers."""
+
+    Each load point also simulates the *FCFS-scheduled* cluster under
+    common random numbers with the priority run, so the distortion the
+    aggregate model hides (gold slower, bronze faster under FCFS) is
+    measured directly with paired CIs. ``n_jobs``/``cache_dir``
+    parallelize and memoize the replications without changing the
+    numbers."""
     cluster = canonical_cluster(discipline="priority_np")
     result = A1Result()
     for lf in load_factors:
         workload = canonical_workload(lf)
         prio = end_to_end_delays(cluster, workload)
         fcfs = aggregate_fcfs_delays(cluster, workload)
-        sim = simulate_replications(
-            cluster,
-            workload,
+        comp = compare_scenarios(
+            Scenario(cluster, workload, label="priority_np"),
+            Scenario(canonical_cluster(discipline="fcfs"), workload, label="fcfs"),
             horizon=horizon,
             n_replications=n_replications,
+            metrics=PAIRED_METRICS,
             seed=seed,
             n_jobs=n_jobs,
             cache_dir=cache_dir,
         )
+        sim = comp.result_a
+        result.paired[lf] = comp.metrics
         for k, name in enumerate(workload.names):
             result.rows.append(
                 [
@@ -100,8 +115,28 @@ def render(result: A1Result) -> str:
         result.rows,
         title="A1: priority vs aggregate-FCFS modelling error (vs simulation)",
     )
-    return (
-        table
-        + f"\npriority model more accurate for every row: {result.priority_model_wins}"
+    parts = [table]
+    if result.paired:
+        paired_rows = [
+            [
+                lf,
+                metric.removeprefix("delay/"),
+                row["paired"].value,
+                row["paired"].halfwidth,
+                f"{row['vr_factor']:.1f}x",
+            ]
+            for lf, metrics in sorted(result.paired.items())
+            for metric, row in metrics.items()
+        ]
+        parts.append(
+            ascii_table(
+                ["load", "class", "priority - FCFS", "paired 95% CI", "CRN worth"],
+                paired_rows,
+                title="A1: simulated scheduler effect (CRN-paired)",
+            )
+        )
+    parts.append(
+        f"priority model more accurate for every row: {result.priority_model_wins}"
         + f"\nworst priority-model error: {result.max_priority_error:.3%}"
     )
+    return "\n".join(parts)

@@ -9,6 +9,12 @@ longer waits behind in-service bronze residuals) and worsens bronze's;
 the analytic formulas track both disciplines within the T1 error band,
 and total throughput-weighted delay stays comparable (work
 conservation).
+
+Both disciplines replicate under **common random numbers** (same
+master seed), so the NP−PR differences are estimated with paired-t
+intervals far tighter than the independent-streams intervals the same
+replication budget would buy — the ``paired`` table quantifies exactly
+how confident the "gold improves under preemption" claim is.
 """
 
 from __future__ import annotations
@@ -21,19 +27,25 @@ import numpy as np
 from repro.analysis.tables import ascii_table
 from repro.analysis.validation import relative_error
 from repro.core.delay import end_to_end_delays
-from repro.experiments.common import canonical_cluster, canonical_workload
-from repro.simulation import simulate_replications
+from repro.experiments.common import CLASS_NAMES, canonical_cluster, canonical_workload
+from repro.simulation import Scenario, compare_scenarios
 
 __all__ = ["A2Result", "run", "render"]
+
+#: Per-class delay differences plus the headline mean, all CRN-paired.
+PAIRED_METRICS = tuple(f"delay/{name}" for name in CLASS_NAMES) + ("mean_delay",)
 
 
 @dataclass
 class A2Result:
-    """Per-class rows under both disciplines."""
+    """Per-class rows under both disciplines, plus CRN-paired deltas."""
 
     rows: list[list[Any]] = field(default_factory=list)
     gold_improves_under_pr: bool = False
     max_rel_error: float = float("nan")
+    # metric -> {"paired": VrEstimate, "independent": VrEstimate,
+    # "correlation": float, "vr_factor": float} for the NP - PR deltas.
+    paired: dict[str, dict[str, Any]] = field(default_factory=dict)
 
 
 def run(
@@ -46,28 +58,31 @@ def run(
 ) -> A2Result:
     """Analytic + simulated per-class delays under NP and PR.
 
-    ``n_jobs``/``cache_dir`` parallelize and memoize the replications
-    without changing the numbers.
+    Both disciplines share the master seed (CRN), and the NP−PR deltas
+    are reported with paired-t intervals next to the independent-
+    streams Welch intervals. ``n_jobs``/``cache_dir`` parallelize and
+    memoize the replications without changing the numbers.
     """
     workload = canonical_workload(load_factor)
     result = A2Result()
+    comp = compare_scenarios(
+        Scenario(canonical_cluster(discipline="priority_np"), workload, label="priority_np"),
+        Scenario(canonical_cluster(discipline="priority_pr"), workload, label="priority_pr"),
+        horizon=horizon,
+        n_replications=n_replications,
+        metrics=PAIRED_METRICS,
+        seed=seed,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
+    )
     sims: dict[str, np.ndarray] = {}
-    analytics: dict[str, np.ndarray] = {}
     errors = []
-    for discipline in ("priority_np", "priority_pr"):
-        cluster = canonical_cluster(discipline=discipline)
-        analytic = end_to_end_delays(cluster, workload)
-        sim = simulate_replications(
-            cluster,
-            workload,
-            horizon=horizon,
-            n_replications=n_replications,
-            seed=seed,
-            n_jobs=n_jobs,
-            cache_dir=cache_dir,
-        )
+    for discipline, sim in (
+        ("priority_np", comp.result_a),
+        ("priority_pr", comp.result_b),
+    ):
+        analytic = end_to_end_delays(canonical_cluster(discipline=discipline), workload)
         sims[discipline] = sim.delays
-        analytics[discipline] = analytic
         for k, name in enumerate(workload.names):
             err = relative_error(analytic[k], sim.delays[k])
             errors.append(err)
@@ -78,6 +93,7 @@ def run(
         sims["priority_pr"][0] < sims["priority_np"][0]
     )
     result.max_rel_error = float(np.nanmax(errors))
+    result.paired = comp.metrics
     return result
 
 
@@ -88,8 +104,28 @@ def render(result: A2Result) -> str:
         result.rows,
         title="A2: non-preemptive vs preemptive-resume priority",
     )
-    return (
-        table
-        + f"\ngold delay improves under preemption: {result.gold_improves_under_pr}"
+    parts = [table]
+    if result.paired:
+        paired_rows = [
+            [
+                metric,
+                row["paired"].value,
+                row["paired"].halfwidth,
+                row["independent"].halfwidth,
+                f"{row['correlation']:.3f}",
+                f"{row['vr_factor']:.1f}x",
+            ]
+            for metric, row in result.paired.items()
+        ]
+        parts.append(
+            ascii_table(
+                ["metric", "NP - PR", "paired 95% CI", "indep 95% CI", "corr", "CRN worth"],
+                paired_rows,
+                title="A2: CRN-paired discipline differences",
+            )
+        )
+    parts.append(
+        f"gold delay improves under preemption: {result.gold_improves_under_pr}"
         + f"\nworst analytic error across both disciplines: {result.max_rel_error:.3%}"
     )
+    return "\n".join(parts)

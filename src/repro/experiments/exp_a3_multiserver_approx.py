@@ -26,12 +26,17 @@ from repro.analysis.validation import relative_error
 from repro.cluster import ClusterModel, PowerModel, ServerSpec, Tier
 from repro.core.delay import end_to_end_delays
 from repro.distributions import Exponential, fit_two_moments
-from repro.simulation import simulate_replications
+from repro.simulation import Scenario, compare_scenarios
 from repro.workload import workload_from_rates
 
 __all__ = ["A3Result", "run", "render"]
 
 _SPEC = ServerSpec(PowerModel(idle=10.0, kappa=50.0, alpha=3.0), min_speed=0.5, max_speed=1.0)
+
+_CASES = ("common-mu", "bondi-buzen")
+
+#: Per-class CRN-paired deltas between the two demand cases.
+PAIRED_METRICS = ("delay/hi", "delay/lo")
 
 
 @dataclass
@@ -39,6 +44,10 @@ class A3Result:
     """Per-(case, c, class) error rows."""
 
     rows: list[list[Any]] = field(default_factory=list)
+    # server count -> metric -> {"paired": VrEstimate, ...}: the
+    # simulated variability penalty (bondi-buzen minus common-mu
+    # delays at equal utilization), CRN-paired across the two cases.
+    paired: dict[int, dict[str, dict[str, Any]]] = field(default_factory=dict)
 
     @property
     def max_exact_error(self) -> float:
@@ -62,6 +71,16 @@ def _station(case: str, c: int) -> ClusterModel:
     return ClusterModel([tier])
 
 
+def _scenario(case: str, c: int, per_server_rho: float) -> Scenario:
+    cluster = _station(case, c)
+    means = np.array([d.mean for d in cluster.tiers[0].demands])
+    # lam proportions 1:2; rho = (lam . means) / c = per_server_rho
+    props = np.array([1.0, 2.0])
+    scale = per_server_rho * c / float(np.dot(props, means))
+    workload = workload_from_rates((props * scale).tolist(), names=("hi", "lo"))
+    return Scenario(cluster, workload, label=case)
+
+
 def run(
     server_counts=(1, 2, 4, 8),
     per_server_rho: float = 0.7,
@@ -73,29 +92,34 @@ def run(
 ) -> A3Result:
     """Sweep server counts for both demand cases at constant
     utilization (rates split 1:2 between the classes).
+
+    At each server count the two cases replicate under common random
+    numbers (the arrival streams are the same standard draws, only
+    scaled), so the simulated *variability penalty* — how much the
+    hyperexponential demands hurt each class relative to the
+    exponential baseline — carries a paired CI.
     ``n_jobs``/``cache_dir`` parallelize and memoize the replications
     without changing the numbers."""
     result = A3Result()
-    for case in ("common-mu", "bondi-buzen"):
-        for c in server_counts:
+    case_rows: dict[str, list[list[Any]]] = {case: [] for case in _CASES}
+    for c in server_counts:
+        comp = compare_scenarios(
+            _scenario(_CASES[1], c, per_server_rho),
+            _scenario(_CASES[0], c, per_server_rho),
+            horizon=horizon / c,
+            n_replications=n_replications,
+            metrics=PAIRED_METRICS,
+            seed=seed,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
+        )
+        result.paired[c] = comp.metrics
+        for case, sim in ((_CASES[0], comp.result_b), (_CASES[1], comp.result_a)):
             cluster = _station(case, c)
-            means = np.array([d.mean for d in cluster.tiers[0].demands])
-            # lam proportions 1:2; rho = (lam . means) / c = per_server_rho
-            props = np.array([1.0, 2.0])
-            scale = per_server_rho * c / float(np.dot(props, means))
-            workload = workload_from_rates((props * scale).tolist(), names=("hi", "lo"))
+            workload = _scenario(case, c, per_server_rho).workload
             analytic = end_to_end_delays(cluster, workload)
-            sim = simulate_replications(
-                cluster,
-                workload,
-                horizon=horizon / c,
-                n_replications=n_replications,
-                seed=seed,
-                n_jobs=n_jobs,
-                cache_dir=cache_dir,
-            )
             for k, name in enumerate(workload.names):
-                result.rows.append(
+                case_rows[case].append(
                     [
                         case,
                         c,
@@ -106,6 +130,10 @@ def run(
                         relative_error(analytic[k], sim.delays[k]),
                     ]
                 )
+    # Case-major row order (all common-mu rows, then all bondi-buzen),
+    # exactly as the pre-CRN nested loop produced.
+    for case in _CASES:
+        result.rows.extend(case_rows[case])
     return result
 
 
@@ -114,10 +142,30 @@ def render(result: A3Result) -> str:
     table = ascii_table(
         ["case", "c", "class", "analytic T (s)", "simulated T (s)", "95% CI", "rel.err"],
         result.rows,
-        title=f"A3: multi-server priority approximation vs simulation",
+        title="A3: multi-server priority approximation vs simulation",
     )
-    return (
-        table
-        + f"\nworst error, exact common-mu case: {result.max_exact_error:.3%}"
+    parts = [table]
+    if result.paired:
+        paired_rows = [
+            [
+                c,
+                metric.removeprefix("delay/"),
+                row["paired"].value,
+                row["paired"].halfwidth,
+                f"{row['vr_factor']:.1f}x",
+            ]
+            for c, metrics in sorted(result.paired.items())
+            for metric, row in metrics.items()
+        ]
+        parts.append(
+            ascii_table(
+                ["c", "class", "variability penalty (s)", "paired 95% CI", "CRN worth"],
+                paired_rows,
+                title="A3: simulated variability penalty (bondi-buzen - common-mu, CRN-paired)",
+            )
+        )
+    parts.append(
+        f"worst error, exact common-mu case: {result.max_exact_error:.3%}"
         + f"\nworst error, Bondi-Buzen case: {result.max_approx_error:.3%}"
     )
+    return "\n".join(parts)

@@ -25,8 +25,7 @@ import numpy as np
 from repro.analysis.tables import ascii_table
 from repro.analysis.validation import relative_error
 from repro.core.percentile import all_class_percentiles
-from repro.experiments.common import canonical_cluster, canonical_workload
-from repro.simulation import simulate_replications
+from repro.experiments.common import canonical_cluster, canonical_workload, replicated_simulation
 
 __all__ = ["F7Result", "run", "render", "F7FCFSResult", "run_fcfs", "render_fcfs"]
 
@@ -57,18 +56,25 @@ def run(
     seed: int = 77,
     n_jobs: int | None = None,
     cache_dir: str | None = None,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
 ) -> F7Result:
     """Compare analytic vs empirical percentiles on the canonical
     cluster. ``n_jobs``/``cache_dir`` parallelize and memoize the
-    replications without changing the numbers."""
+    replications without changing the numbers;
+    ``target_rel_ci``/``max_reps`` switch to the adaptive
+    precision-targeted engine (the percentile estimates then ride on
+    however many replications the headline-metric target needs)."""
     cluster = canonical_cluster()
     workload = canonical_workload(load_factor)
-    sim = simulate_replications(
+    sim = replicated_simulation(
         cluster,
         workload,
         horizon=horizon,
         n_replications=n_replications,
         seed=seed,
+        target_rel_ci=target_rel_ci,
+        max_reps=max_reps,
         collect_delay_samples=True,
         n_jobs=n_jobs,
         cache_dir=cache_dir,
@@ -151,6 +157,7 @@ def run_fcfs(
     workload = canonical_workload(load_factor)
 
     from repro.core.percentile import class_delay_percentile, class_delay_percentile_ph
+    from repro.simulation import simulate_replications
 
     sim = simulate_replications(
         cluster,

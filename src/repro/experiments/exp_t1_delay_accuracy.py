@@ -16,8 +16,7 @@ from dataclasses import dataclass
 
 from repro.analysis.validation import ValidationReport
 from repro.core.delay import end_to_end_delays
-from repro.experiments.common import canonical_cluster, canonical_workload
-from repro.simulation import simulate_replications
+from repro.experiments.common import canonical_cluster, canonical_workload, replicated_simulation
 
 __all__ = ["T1Result", "run", "render"]
 
@@ -44,24 +43,31 @@ def run(
     discipline: str = "priority_np",
     n_jobs: int | None = None,
     cache_dir: str | None = None,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
 ) -> T1Result:
     """Run the T1 validation at each load factor.
 
     ``n_jobs``/``cache_dir`` parallelize and memoize the replications
     (see :func:`repro.simulation.simulate_replications`); neither
-    changes the numbers.
+    changes the numbers. ``target_rel_ci`` switches each load point to
+    the adaptive engine: replicate until the mean-delay and
+    average-power CI half-widths are within that relative tolerance
+    (capped at ``max_reps``) instead of a fixed count.
     """
     cluster = canonical_cluster(discipline=discipline)
     reports: dict[float, ValidationReport] = {}
     for lf in load_factors:
         workload = canonical_workload(lf)
         analytic = end_to_end_delays(cluster, workload)
-        sim = simulate_replications(
+        sim = replicated_simulation(
             cluster,
             workload,
             horizon=horizon,
             n_replications=n_replications,
             seed=seed,
+            target_rel_ci=target_rel_ci,
+            max_reps=max_reps,
             n_jobs=n_jobs,
             cache_dir=cache_dir,
         )

@@ -16,8 +16,7 @@ from dataclasses import dataclass
 
 from repro.analysis.validation import ValidationReport
 from repro.core.energy import average_power, energy_per_request, per_class_energy_per_request
-from repro.experiments.common import canonical_cluster, canonical_workload
-from repro.simulation import simulate_replications
+from repro.experiments.common import canonical_cluster, canonical_workload, replicated_simulation
 
 __all__ = ["T2Result", "run", "render"]
 
@@ -42,20 +41,26 @@ def run(
     speeds: tuple[float, float, float] = (0.9, 0.95, 0.85),
     n_jobs: int | None = None,
     cache_dir: str | None = None,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
 ) -> T2Result:
     """Run the T2 validation; non-trivial speeds so the DVFS power
     terms are actually exercised. ``n_jobs``/``cache_dir`` parallelize
-    and memoize the replications without changing the numbers."""
+    and memoize the replications without changing the numbers;
+    ``target_rel_ci``/``max_reps`` switch to the adaptive
+    precision-targeted engine."""
     cluster = canonical_cluster(speeds=speeds)
     reports: dict[float, ValidationReport] = {}
     for lf in load_factors:
         workload = canonical_workload(lf)
-        sim = simulate_replications(
+        sim = replicated_simulation(
             cluster,
             workload,
             horizon=horizon,
             n_replications=n_replications,
             seed=seed,
+            target_rel_ci=target_rel_ci,
+            max_reps=max_reps,
             n_jobs=n_jobs,
             cache_dir=cache_dir,
         )

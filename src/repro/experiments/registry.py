@@ -226,13 +226,26 @@ def run_experiment(
     quick: bool = False,
     n_jobs: int | None = None,
     cache_dir: str | None = None,
+    target_rel_ci: float | None = None,
+    max_reps: int | None = None,
 ) -> str:
     """Run an experiment by ID and return its rendered table.
 
     ``n_jobs`` reaches the simulation-backed drivers (T1, T2, A1–A3,
     A5, F7) *and* the analytic sweep drivers (F3, F4, F5, F6, A4),
     which fan their independent series out over worker processes;
-    ``cache_dir`` is simulation-only. Other experiments ignore them.
+    ``cache_dir`` is simulation-only. ``target_rel_ci`` (with optional
+    ``max_reps``) switches the adaptive-capable drivers (T1, T2, F7)
+    to the precision-targeted replication engine. Other experiments
+    ignore the knobs they don't take.
     """
     exp = get_experiment(experiment_id)
-    return exp.render(exp.run(quick=quick, n_jobs=n_jobs, cache_dir=cache_dir))
+    return exp.render(
+        exp.run(
+            quick=quick,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
+            target_rel_ci=target_rel_ci,
+            max_reps=max_reps,
+        )
+    )

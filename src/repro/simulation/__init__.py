@@ -13,10 +13,15 @@ High-level entry points:
   aggregate means and confidence intervals; ``n_jobs`` parallelizes
   over a process pool and ``cache_dir`` memoizes finished replications
   on disk (results bit-identical either way).
+* :func:`simulate_replications_adaptive` — the same engine under a
+  sequential stopping rule: replicate in rounds until a
+  :class:`PrecisionTarget` (relative CI half-widths per metric) is met.
+* :func:`compare_scenarios` — two scenarios under common random
+  numbers with paired-t difference intervals.
 * :class:`SimulationCache` — the content-addressed replication cache.
 """
 
-from repro.simulation.rng import BlockCursor, RngStreams
+from repro.simulation.rng import AntitheticSeed, BlockCursor, CoupledGenerator, RngStreams
 from repro.simulation.stats import Welford, batch_means_ci, confidence_halfwidth
 from repro.simulation.simulator import SimulationResult, simulate
 from repro.simulation.cache import CacheUnsupportedError, SimulationCache, simulation_fingerprint
@@ -27,9 +32,28 @@ from repro.simulation.parallel import (
     resolve_n_jobs,
 )
 from repro.simulation.replications import ReplicatedResult, simulate_replications
+from repro.simulation.vrt import (
+    VrEstimate,
+    antithetic_estimate,
+    control_variate_estimate,
+    independent_difference,
+    jackknife_cv_coefficients,
+    naive_estimate,
+    paired_difference,
+    variance_reduction_factor,
+)
+from repro.simulation.adaptive import (
+    PrecisionTarget,
+    Scenario,
+    ScenarioComparison,
+    compare_scenarios,
+    simulate_replications_adaptive,
+)
 
 __all__ = [
+    "AntitheticSeed",
     "BlockCursor",
+    "CoupledGenerator",
     "RngStreams",
     "Welford",
     "confidence_halfwidth",
@@ -38,6 +62,19 @@ __all__ = [
     "simulate",
     "ReplicatedResult",
     "simulate_replications",
+    "simulate_replications_adaptive",
+    "PrecisionTarget",
+    "Scenario",
+    "ScenarioComparison",
+    "compare_scenarios",
+    "VrEstimate",
+    "naive_estimate",
+    "antithetic_estimate",
+    "control_variate_estimate",
+    "jackknife_cv_coefficients",
+    "paired_difference",
+    "independent_difference",
+    "variance_reduction_factor",
     "SimulationCache",
     "CacheUnsupportedError",
     "simulation_fingerprint",

@@ -17,6 +17,13 @@ Both return results **indexed by replication number**, so aggregation
 downstream is bit-identical regardless of worker count or completion
 order. Per-replication wall time and event throughput are measured
 inside the worker and travel back with the result.
+
+Both backends also expose :meth:`~SerialBackend.session` for
+**incremental dispatch**: the adaptive engine
+(:mod:`repro.simulation.adaptive`) submits one *round* of payloads,
+collects it, decides whether the precision target is met, and submits
+the next round — all against one live worker pool instead of paying
+process start-up per round.
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ __all__ = [
     "ReplicationTiming",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SerialSession",
+    "PoolSession",
     "resolve_n_jobs",
     "get_backend",
     "payload_is_picklable",
@@ -100,6 +109,80 @@ def payload_is_picklable(payload: Any) -> bool:
         return False
 
 
+class SerialSession:
+    """Incremental-dispatch session over the in-process loop.
+
+    Context manager; :meth:`run` may be called any number of times.
+    """
+
+    def __enter__(self) -> "SerialSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def run(
+        self,
+        payloads: list[tuple[int, dict[str, Any]]],
+        on_done: Callable[[int, SimulationResult, float], None] | None = None,
+    ) -> dict[int, tuple[SimulationResult, float]]:
+        """Execute one round of payloads; returns ``{index: (result, wall_s)}``."""
+        out: dict[int, tuple[SimulationResult, float]] = {}
+        for payload in payloads:
+            index, result, wall = _run_one(payload)
+            out[index] = (result, wall)
+            if on_done is not None:
+                on_done(index, result, wall)
+        return out
+
+
+class PoolSession:
+    """Incremental-dispatch session over one live process pool.
+
+    The executor is created lazily on the first non-empty round and
+    reused by every subsequent :meth:`run` call, so a multi-round
+    adaptive run pays worker start-up once, not per round.
+    """
+
+    def __init__(self, n_workers: int):
+        self.n_workers = n_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "PoolSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def run(
+        self,
+        payloads: list[tuple[int, dict[str, Any]]],
+        on_done: Callable[[int, SimulationResult, float], None] | None = None,
+    ) -> dict[int, tuple[SimulationResult, float]]:
+        """Execute one round of payloads; returns ``{index: (result, wall_s)}``.
+
+        Blocks until the whole round finishes — the adaptive stopping
+        decision needs the round's results before choosing whether to
+        submit another.
+        """
+        out: dict[int, tuple[SimulationResult, float]] = {}
+        if not payloads:
+            return out
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        pending = {self._pool.submit(_run_one, p) for p in payloads}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                index, result, wall = fut.result()
+                out[index] = (result, wall)
+                if on_done is not None:
+                    on_done(index, result, wall)
+        return out
+
+
 class SerialBackend:
     """Run replications one after another in the calling process."""
 
@@ -111,13 +194,11 @@ class SerialBackend:
         on_done: Callable[[int, SimulationResult, float], None] | None = None,
     ) -> dict[int, tuple[SimulationResult, float]]:
         """Execute every payload; returns ``{index: (result, wall_s)}``."""
-        out: dict[int, tuple[SimulationResult, float]] = {}
-        for payload in payloads:
-            index, result, wall = _run_one(payload)
-            out[index] = (result, wall)
-            if on_done is not None:
-                on_done(index, result, wall)
-        return out
+        return SerialSession().run(payloads, on_done)
+
+    def session(self) -> SerialSession:
+        """A (trivial) incremental-dispatch session."""
+        return SerialSession()
 
 
 class ProcessPoolBackend:
@@ -140,18 +221,14 @@ class ProcessPoolBackend:
         on_done: Callable[[int, SimulationResult, float], None] | None = None,
     ) -> dict[int, tuple[SimulationResult, float]]:
         """Execute every payload; returns ``{index: (result, wall_s)}``."""
-        out: dict[int, tuple[SimulationResult, float]] = {}
-        workers = min(self.n_workers, max(len(payloads), 1))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_run_one, p) for p in payloads}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    index, result, wall = fut.result()
-                    out[index] = (result, wall)
-                    if on_done is not None:
-                        on_done(index, result, wall)
-        return out
+        # One-shot runs know the payload count up front, so the pool is
+        # right-sized; a session cannot and always uses n_workers.
+        with PoolSession(min(self.n_workers, max(len(payloads), 1))) as session:
+            return session.run(payloads, on_done)
+
+    def session(self) -> PoolSession:
+        """An incremental-dispatch session with a persistent pool."""
+        return PoolSession(self.n_workers)
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:

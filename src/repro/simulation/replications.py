@@ -38,18 +38,40 @@ from repro.simulation.cache import (
     simulation_fingerprint,
 )
 from repro.simulation.parallel import (
+    PoolSession,
+    ProcessPoolBackend,
     ReplicationTiming,
     SerialBackend,
+    SerialSession,
     get_backend,
     payload_is_picklable,
 )
 from repro.simulation.rng import RngStreams
 from repro.simulation.simulator import SimulationResult, simulate
-from repro.simulation.stats import confidence_halfwidth
+from repro.simulation.stats import confidence_halfwidth, confidence_halfwidths
 from repro.workload.arrivals import ArrivalProcess
 from repro.workload.classes import Workload
 
-__all__ = ["ReplicatedResult", "simulate_replications"]
+__all__ = [
+    "ReplicatedResult",
+    "simulate_replications",
+    # re-exported lazily from the adaptive layer (module __getattr__)
+    "simulate_replications_adaptive",
+    "compare_scenarios",
+]
+
+_ADAPTIVE_NAMES = ("simulate_replications_adaptive", "compare_scenarios")
+
+
+def __getattr__(name: str):
+    # Lazy re-export: the adaptive engine imports this module's runner
+    # machinery, so a top-level import here would be circular. PEP 562
+    # resolution is import-order safe and costs nothing until used.
+    if name in _ADAPTIVE_NAMES:
+        from repro.simulation import adaptive
+
+        return getattr(adaptive, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -108,15 +130,24 @@ class ReplicatedResult:
                 for r in self.replications
             ]
         )
-        counts = np.sum(np.isfinite(per_rep), axis=0)
-        means = np.full(per_rep.shape[1], np.nan)
+        finite = np.isfinite(per_rep)
+        counts = finite.sum(axis=0)
+        # Nan-aware column means/stds in one pass: masked entries enter
+        # the sums as exact additive zeros, so each column's mean and
+        # ddof=1 deviation sum match the compacted per-column
+        # computation bit for bit at these replication counts.
+        sums = np.where(finite, per_rep, 0.0).sum(axis=0)
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        dev2 = np.where(finite, np.square(per_rep - means), 0.0).sum(axis=0)
         cis = np.full(per_rep.shape[1], np.nan)
-        for k in range(per_rep.shape[1]):
-            finite = per_rep[np.isfinite(per_rep[:, k]), k]
-            if finite.size > 0:
-                means[k] = float(finite.mean())
-            if finite.size >= 2:
-                cis[k] = confidence_halfwidth(float(np.std(finite, ddof=1)), finite.size)
+        # The t-quantile depends on each column's *effective* count, so
+        # columns are grouped by count (few distinct values) rather
+        # than sharing one quantile.
+        for c in np.unique(counts):
+            if c >= 2:
+                mask = counts == c
+                stds = np.sqrt(dev2[mask] / (c - 1))
+                cis[mask] = confidence_halfwidths(stds, int(c))
         if with_counts:
             return means, cis, counts
         return means, cis
@@ -135,11 +166,12 @@ def _aggregate(
     powers = np.array([r.average_power for r in runs])
 
     def ci_over_reps(samples: np.ndarray) -> np.ndarray:
+        # One vectorized std over the replication axis (every column
+        # shares the same count, hence one memoized t-quantile) instead
+        # of a Python lambda per column through apply_along_axis.
         if n_replications < 2:
             return np.full(samples.shape[1:], np.nan)
-        return np.apply_along_axis(
-            lambda col: confidence_halfwidth(float(np.std(col, ddof=1)), n_replications), 0, samples
-        )
+        return confidence_halfwidths(np.std(samples, axis=0, ddof=1), n_replications)
 
     return ReplicatedResult(
         class_names=runs[0].class_names,
@@ -237,6 +269,215 @@ def simulate_replications(
         )
 
 
+def _resolve_cache(cache_dir: str | SimulationCache | None) -> SimulationCache | None:
+    if cache_dir is None:
+        return None
+    if isinstance(cache_dir, SimulationCache):
+        return cache_dir
+    return SimulationCache(cache_dir)
+
+
+class _ReplicationRunner:
+    """Cache-aware incremental dispatcher for one replication family.
+
+    Owns the seed list, the on-disk cache pass, payload construction
+    and backend dispatch for a fixed configuration. The fixed-count
+    engine asks for every index at once; the adaptive engine
+    (:mod:`repro.simulation.adaptive`) calls :meth:`ensure` round by
+    round against one live worker session (use the runner as a context
+    manager so the session is torn down).
+
+    ``results`` is keyed by replication index; aggregation over an
+    *ordered prefix* of it is what makes the numbers independent of
+    worker count, completion order and round size.
+    """
+
+    def __init__(
+        self,
+        sim_kwargs_common: dict[str, Any],
+        seeds: list,
+        *,
+        cache: SimulationCache | None = None,
+        n_jobs: int | None = None,
+        progress: Callable[[ReplicationTiming, int, int], None] | None = None,
+    ):
+        self.sim_kwargs = sim_kwargs_common
+        self.seeds = seeds
+        self.cache = cache
+        self.progress = progress
+        self.results: dict[int, SimulationResult] = {}
+        self.timings: list[ReplicationTiming] = []
+        self.cache_state = "disabled" if cache is None else "enabled"
+        self._fingerprints: dict[int, str] = {}
+        self._backend = get_backend(n_jobs)
+        self._session: SerialSession | PoolSession | None = None
+        self._session_used = False  # survives __exit__, unlike _session
+        self._n_done = 0
+
+    def __enter__(self) -> "_ReplicationRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._session is not None:
+            self._session.__exit__()
+            self._session = None
+
+    def _notify(self, timing: ReplicationTiming) -> None:
+        self._n_done += 1
+        self.timings.append(timing)
+        obs.event(
+            "sim.replication",
+            index=timing.index,
+            wall_s=timing.wall_time_s,
+            n_events=timing.n_events,
+            events_per_sec=timing.events_per_sec,
+            cached=timing.cached,
+        )
+        if self.progress is not None:
+            self.progress(timing, self._n_done, len(self.seeds))
+
+    def _fingerprint(self, index: int) -> str | None:
+        """The cache fingerprint for one index, or ``None`` when the
+        configuration cannot be fingerprinted (cache bypassed)."""
+        if self.cache is None or self.cache_state.startswith("unsupported"):
+            return None
+        fp = self._fingerprints.get(index)
+        if fp is None:
+            kw = self.sim_kwargs
+            try:
+                fp = simulation_fingerprint(
+                    kw["cluster"],
+                    kw["workload"],
+                    kw["horizon"],
+                    kw["warmup_fraction"],
+                    self.seeds[index],
+                    arrival_processes=kw["arrival_processes"],
+                    routing=kw["routing"],
+                    allow_unstable=kw["allow_unstable"],
+                    collect_delay_samples=kw["collect_delay_samples"],
+                    collect_job_log=kw["collect_job_log"],
+                )
+            except CacheUnsupportedError:
+                # Fingerprints differ per index only in the seed child,
+                # so one failure means every index fails.
+                self._fingerprints.clear()
+                self.cache_state = "unsupported" + self.cache_state.removeprefix("enabled")
+                return None
+            self._fingerprints[index] = fp
+        return fp
+
+    def ensure(self, indices) -> None:
+        """Make ``results[i]`` available for every ``i`` in ``indices``.
+
+        Cache pass first (hits are notified with a zero-cost timing
+        record), then one backend round for whatever is left.
+        """
+        needed = [i for i in indices if i not in self.results]
+        if self.cache is not None:
+            for i in needed:
+                fp = self._fingerprint(i)
+                if fp is None:
+                    break
+                hit = self.cache.load(fp)
+                if hit is not None:
+                    self.results[i] = hit
+                    self._notify(
+                        ReplicationTiming(index=i, wall_time_s=0.0, n_events=0, cached=True)
+                    )
+        payloads = [
+            (i, {**self.sim_kwargs, "seed": self.seeds[i]})
+            for i in needed
+            if i not in self.results
+        ]
+        if not payloads:
+            return
+        if self._session is None:
+            backend = self._backend
+            if not isinstance(backend, SerialBackend) and not payload_is_picklable(payloads[0]):
+                self._backend = backend = SerialBackend()
+                self.cache_state += "+serial-fallback"
+            if isinstance(backend, ProcessPoolBackend):
+                # Right-size the pool to the work that could still
+                # possibly arrive in this session.
+                remaining = len(self.seeds) - len(self.results)
+                backend = ProcessPoolBackend(min(backend.n_workers, max(remaining, 1)))
+            self._backend = backend
+            self._session = backend.session().__enter__()
+            self._session_used = True
+
+        def on_done(index: int, result: SimulationResult, wall: float) -> None:
+            self.results[index] = result
+            fp = self._fingerprints.get(index)
+            if self.cache is not None and fp is not None:
+                self.cache.store(fp, result)
+            self._notify(
+                ReplicationTiming(
+                    index=index,
+                    wall_time_s=wall,
+                    n_events=int(result.meta.get("n_events", 0)),
+                )
+            )
+
+        self._session.run(payloads, on_done)
+
+    def runs(self, n: int) -> list[SimulationResult]:
+        """The ordered result prefix ``[0, n)`` (every index must exist)."""
+        return [self.results[i] for i in range(n)]
+
+    def meta(self, wall_time_s: float, **extra: Any) -> dict[str, Any]:
+        """Engine observability dict for ``ReplicatedResult.meta``."""
+        timings = sorted(self.timings, key=lambda rec: rec.index)
+        cache_hits = sum(1 for rec in timings if rec.cached)
+        # Misses count only replications the cache was actually
+        # consulted for — an unfingerprintable configuration bypasses
+        # the cache entirely, so it has no misses.
+        cache_misses = sum(
+            1 for rec in timings if not rec.cached and rec.index in self._fingerprints
+        )
+        obs.counter("sim.cache.hits").add(cache_hits)
+        obs.counter("sim.cache.misses").add(cache_misses)
+        # Process-pool workers run un-traced (the registry lives in the
+        # parent), so their event totals are recorded here from the
+        # counts that traveled back with each result.
+        used = self._session_used
+        if used and not isinstance(self._backend, SerialBackend):
+            obs.counter("sim.events").add(sum(rec.n_events for rec in timings if not rec.cached))
+        return {
+            "backend": self._backend.name if used else "cache",
+            "n_jobs": getattr(self._backend, "n_workers", 1) if used else 0,
+            "cache": self.cache_state,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "wall_time_s": wall_time_s,
+            "replications": [rec.as_dict() for rec in timings],
+            **extra,
+        }
+
+
+def _sim_kwargs_common(
+    cluster: ClusterModel,
+    workload: Workload,
+    horizon: float,
+    warmup_fraction: float,
+    arrival_processes: list[ArrivalProcess] | None,
+    collect_delay_samples: bool,
+    routing: list | None,
+    allow_unstable: bool,
+    collect_job_log: bool,
+) -> dict[str, Any]:
+    return dict(
+        cluster=cluster,
+        workload=workload,
+        horizon=horizon,
+        warmup_fraction=warmup_fraction,
+        arrival_processes=arrival_processes,
+        collect_delay_samples=collect_delay_samples,
+        routing=routing,
+        allow_unstable=allow_unstable,
+        collect_job_log=collect_job_log,
+    )
+
+
 def _simulate_replications(
     cluster: ClusterModel,
     workload: Workload,
@@ -257,123 +498,24 @@ def _simulate_replications(
     if n_replications < 1:
         raise ModelValidationError(f"need at least one replication, got {n_replications}")
     t_start = time.perf_counter()
-    seeds = RngStreams.replication_seeds(seed, n_replications)
-
-    cache: SimulationCache | None
-    if cache_dir is None:
-        cache = None
-    elif isinstance(cache_dir, SimulationCache):
-        cache = cache_dir
-    else:
-        cache = SimulationCache(cache_dir)
-
-    sim_kwargs_common: dict[str, Any] = dict(
-        cluster=cluster,
-        workload=workload,
-        horizon=horizon,
-        warmup_fraction=warmup_fraction,
-        arrival_processes=arrival_processes,
-        collect_delay_samples=collect_delay_samples,
-        routing=routing,
-        allow_unstable=allow_unstable,
-        collect_job_log=collect_job_log,
+    runner = _ReplicationRunner(
+        _sim_kwargs_common(
+            cluster,
+            workload,
+            horizon,
+            warmup_fraction,
+            arrival_processes,
+            collect_delay_samples,
+            routing,
+            allow_unstable,
+            collect_job_log,
+        ),
+        RngStreams.replication_seeds(seed, n_replications),
+        cache=_resolve_cache(cache_dir),
+        n_jobs=n_jobs,
+        progress=progress,
     )
-
-    timings: list[ReplicationTiming] = []
-    n_done = 0
-    n_total = n_replications
-
-    def _notify(timing: ReplicationTiming) -> None:
-        nonlocal n_done
-        n_done += 1
-        timings.append(timing)
-        obs.event(
-            "sim.replication",
-            index=timing.index,
-            wall_s=timing.wall_time_s,
-            n_events=timing.n_events,
-            events_per_sec=timing.events_per_sec,
-            cached=timing.cached,
-        )
-        if progress is not None:
-            progress(timing, n_done, n_total)
-
-    # Cache pass: resolve what is already on disk. Fingerprints differ
-    # per replication only in the seed child.
-    results: dict[int, SimulationResult] = {}
-    fingerprints: dict[int, str] = {}
-    cache_state = "disabled"
-    if cache is not None:
-        cache_state = "enabled"
-        try:
-            for i, s in enumerate(seeds):
-                fingerprints[i] = simulation_fingerprint(
-                    cluster,
-                    workload,
-                    horizon,
-                    warmup_fraction,
-                    s,
-                    arrival_processes=arrival_processes,
-                    routing=routing,
-                    allow_unstable=allow_unstable,
-                    collect_delay_samples=collect_delay_samples,
-                    collect_job_log=collect_job_log,
-                )
-        except CacheUnsupportedError:
-            fingerprints.clear()
-            cache_state = "unsupported"
-        for i, fp in fingerprints.items():
-            hit = cache.load(fp)
-            if hit is not None:
-                results[i] = hit
-                _notify(ReplicationTiming(index=i, wall_time_s=0.0, n_events=0, cached=True))
-
-    # Simulation pass: whatever the cache did not supply.
-    payloads = [
-        (i, {**sim_kwargs_common, "seed": seeds[i]})
-        for i in range(n_replications)
-        if i not in results
-    ]
-    if payloads:
-        backend = get_backend(n_jobs)
-        if not isinstance(backend, SerialBackend) and not payload_is_picklable(payloads[0]):
-            backend = SerialBackend()
-            cache_state += "+serial-fallback"
-
-        def on_done(index: int, result: SimulationResult, wall: float) -> None:
-            results[index] = result
-            if cache is not None and index in fingerprints:
-                cache.store(fingerprints[index], result)
-            _notify(
-                ReplicationTiming(
-                    index=index,
-                    wall_time_s=wall,
-                    n_events=int(result.meta.get("n_events", 0)),
-                )
-            )
-
-        backend.run(payloads, on_done)
-    else:
-        backend = None
-
-    runs = [results[i] for i in range(n_replications)]
-    timings.sort(key=lambda rec: rec.index)
-    cache_hits = sum(1 for rec in timings if rec.cached)
-    cache_misses = len(payloads) if cache is not None else 0
-    obs.counter("sim.cache.hits").add(cache_hits)
-    obs.counter("sim.cache.misses").add(cache_misses)
-    # Process-pool workers run un-traced (the registry lives in the
-    # parent), so their event totals are recorded here from the counts
-    # that traveled back with each result.
-    if backend is not None and not isinstance(backend, SerialBackend):
-        obs.counter("sim.events").add(sum(rec.n_events for rec in timings if not rec.cached))
-    meta = {
-        "backend": backend.name if backend is not None else "cache",
-        "n_jobs": getattr(backend, "n_workers", 1) if backend is not None else 0,
-        "cache": cache_state,
-        "cache_hits": cache_hits,
-        "cache_misses": cache_misses,
-        "wall_time_s": time.perf_counter() - t_start,
-        "replications": [rec.as_dict() for rec in timings],
-    }
-    return _aggregate(runs, n_replications, meta)
+    with runner:
+        runner.ensure(range(n_replications))
+    meta = runner.meta(time.perf_counter() - t_start)
+    return _aggregate(runner.runs(n_replications), n_replications, meta)

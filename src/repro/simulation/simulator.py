@@ -41,7 +41,7 @@ from repro.distributions.hyperexponential import HyperExponential
 from repro.exceptions import ModelValidationError, WarmupDiscardWarning
 from repro.simulation.job import Job
 from repro.simulation.ps_station import PSStation
-from repro.simulation.rng import BlockCursor, RngStreams
+from repro.simulation.rng import AntitheticSeed, BlockCursor, RngStreams
 from repro.simulation.station import SimStation
 from repro.simulation.stats import Welford, confidence_halfwidth
 from repro.workload.arrivals import ArrivalProcess, PoissonProcess
@@ -111,7 +111,7 @@ def simulate(
     workload: Workload,
     horizon: float,
     warmup_fraction: float = 0.1,
-    seed: int | np.random.SeedSequence = 0,
+    seed: int | np.random.SeedSequence | AntitheticSeed = 0,
     arrival_processes: list[ArrivalProcess] | None = None,
     allow_unstable: bool = False,
     collect_delay_samples: bool = False,
@@ -134,7 +134,9 @@ def simulate(
     warmup_fraction:
         Fraction of the horizon discarded as warmup, in ``[0, 0.9]``.
     seed:
-        Master seed (or a SeedSequence from the replication manager).
+        Master seed (or a SeedSequence from the replication manager,
+        or an :class:`~repro.simulation.rng.AntitheticSeed` naming one
+        member of an antithetic pair).
     arrival_processes:
         Optional per-class overrides (e.g. :class:`MMPP2` for the
         robustness experiments). Each is ``fresh()``-ed, so a template

@@ -33,6 +33,7 @@ from repro.simulation import (
     ReplicatedResult,
     SimulationCache,
     SimulationResult,
+    confidence_halfwidth,
     simulate,
     simulate_replications,
     simulation_fingerprint,
@@ -276,6 +277,48 @@ class TestNanRobustPercentiles:
         out = _wrap(runs).delay_percentiles(0.5)
         assert len(out) == 2
 
+    def test_vectorized_path_bit_identical_to_per_class_loop(self):
+        # The one-pass masked-sum implementation claims bit-identity
+        # with the straightforward per-class compact-then-reduce loop.
+        # Mixed effective counts (3, 2 and 0 finite replications) hit
+        # every branch: the grouped t-quantiles, the single-replication
+        # NaN CI and the all-NaN class.
+        rng = np.random.default_rng(202)
+        runs = [
+            _fake_result(
+                [
+                    list(rng.exponential(2.0, size=5)),
+                    list(rng.exponential(1.0, size=4)) if i != 1 else [],
+                    [],
+                ]
+            )
+            for i in range(3)
+        ]
+        rep = _wrap(runs)
+        for p in (0.5, 0.9, 0.99):
+            means, cis, counts = rep.delay_percentiles(p, with_counts=True)
+            per_rep = np.array(
+                [
+                    [r.delay_percentile(k, p) for k in range(len(rep.class_names))]
+                    for r in rep.replications
+                ]
+            )
+            for k in range(per_rep.shape[1]):
+                col = per_rep[:, k]
+                finite = col[np.isfinite(col)]
+                assert counts[k] == finite.size
+                if finite.size == 0:
+                    assert np.isnan(means[k]) and np.isnan(cis[k])
+                    continue
+                assert means[k] == finite.sum() / finite.size  # exact, not approx
+                if finite.size < 2:
+                    assert np.isnan(cis[k])
+                else:
+                    std = np.sqrt(
+                        np.square(finite - means[k]).sum() / (finite.size - 1)
+                    )
+                    assert cis[k] == confidence_halfwidth(std, finite.size)
+
 
 # ----------------------------------------------------------------------
 # Tentpole: parallel determinism and the on-disk cache.
@@ -443,6 +486,10 @@ class TestSimulationCache:
         )
         assert rep.meta["cache"].startswith("unsupported")
         assert len(list(tmp_path.glob("*/*.pkl"))) == 0
+        # Regression: a bypassed cache must not count phantom misses —
+        # the replications were never looked up, so both totals are 0.
+        assert rep.meta["cache_hits"] == 0
+        assert rep.meta["cache_misses"] == 0
 
     def test_cache_api_len_and_clear(self, tmp_path, two_class_cluster, two_class_workload):
         cache = SimulationCache(tmp_path)
