@@ -260,6 +260,52 @@ def _kernel_crn_paired() -> Callable[[], object]:
     return run
 
 
+def _kernel_controller_epoch() -> Callable[[], object]:
+    """Controller-in-the-loop simulation (info-only, not gated).
+
+    Times one trace-driven run with a drift-plus-penalty controller
+    firing every 0.5 time units — 400 epoch boundaries, each doing a
+    queue observation, a closed-form speed decision, a work-preserving
+    rescale and a segmented-energy accrual. Records the per-epoch
+    overhead via ``bench_extra``.
+    """
+    import numpy as np
+
+    from repro.control import DriftPlusPenaltyController, run_controlled
+    from repro.experiments.common import CLASS_NAMES, canonical_cluster, canonical_workload
+    from repro.workload.timevarying import diurnal_trace
+
+    cluster = canonical_cluster()
+    base = canonical_workload().arrival_rates
+    horizon = 200.0
+    trace = diurnal_trace(
+        base, horizon, period=horizon, trough=0.5, peak=1.3, seed=17,
+        class_names=CLASS_NAMES,
+    )
+    policy = DriftPlusPenaltyController(cluster, v_param=5e-4)
+    epoch_length = 0.5
+
+    def run() -> dict:
+        score = run_controlled(
+            cluster, trace, policy, epoch_length, max_mean_delay=0.35, seed=17
+        )
+        n_epochs = len(score.epoch_trace)
+        if n_epochs != int(np.ceil(horizon / epoch_length)):
+            raise RuntimeError(
+                f"epoch hook fired {n_epochs} times, expected "
+                f"{int(np.ceil(horizon / epoch_length))} — boundary scheduling broke"
+            )
+        return {
+            "bench_extra": {
+                "n_epochs": n_epochs,
+                "mean_delay": round(score.mean_delay, 4),
+                "average_power": round(score.average_power, 2),
+            }
+        }
+
+    return run
+
+
 def _kernel_exhaustive_small_12() -> Callable[[], object]:
     from repro.baselines.exhaustive import exhaustive_cost_minimization
     from repro.experiments.common import small_cluster, small_sla, small_workload
@@ -287,6 +333,7 @@ KERNELS: dict[str, Callable[[], Callable[[], object]]] = {
     "p1_solve_3starts": _kernel_p1_solve_3starts,
     "adaptive_vs_fixed": _kernel_adaptive_vs_fixed,
     "crn_paired": _kernel_crn_paired,
+    "controller_epoch": _kernel_controller_epoch,
     "frontier_sweep_warm": _kernel_frontier_sweep_warm,
     "frontier_sweep_cold": _kernel_frontier_sweep_cold,
     "exhaustive_small_12": _kernel_exhaustive_small_12,

@@ -12,7 +12,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["ascii_table", "format_value"]
+__all__ = ["ascii_scatter", "ascii_table", "format_value"]
 
 
 def format_value(v: Any, precision: int = 4) -> str:
@@ -44,6 +44,10 @@ def ascii_table(
     1 | 2
     """
     cells = [[format_value(v, precision) for v in row] for row in rows]
+    return _render_table(headers, cells, title)
+
+
+def _render_table(headers: Sequence[str], cells: list[list[str]], title: str | None) -> str:
     widths = [
         max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
         for i, h in enumerate(headers)
@@ -55,4 +59,63 @@ def ascii_table(
     lines.append("-+-".join("-" * w for w in widths))
     for row in cells:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    labels: Sequence[str] | None = None,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render an (x, y) point cloud as a plain-text scatter plot.
+
+    Points are marked with letters ``a``, ``b``, ... in input order
+    (tying each mark to its row in an accompanying table via
+    ``labels``); colliding points show the earliest mark. The plotting
+    stack is deliberately text-only — output goes into the same
+    diff-friendly reports as :func:`ascii_table`.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size == 0:
+        raise ValueError("x and y must be equal-length non-empty 1-D sequences")
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    marks = [chr(ord("a") + i % 26) for i in range(xs.size)]
+    if labels is not None and len(labels) != xs.size:
+        raise ValueError(f"got {xs.size} points but {len(labels)} labels")
+    fx, fy = xs[finite], ys[finite]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if fx.size == 0:
+        lines.append("(no finite points)")
+        return "\n".join(lines)
+    x0, x1 = float(fx.min()), float(fx.max())
+    y0, y1 = float(fy.min()), float(fy.max())
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i in range(xs.size):
+        if not finite[i]:
+            continue
+        col = int(round((xs[i] - x0) / xspan * (width - 1)))
+        row = (height - 1) - int(round((ys[i] - y0) / yspan * (height - 1)))
+        if grid[row][col] == " ":
+            grid[row][col] = marks[i]
+    lines.append(f"{ylabel} [{format_value(y0)}, {format_value(y1)}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel} [{format_value(x0)}, {format_value(x1)}]")
+    if labels is not None:
+        legend = ", ".join(f"{m}={lab}" for m, lab in zip(marks, labels))
+        dropped = int((~finite).sum())
+        if dropped:
+            legend += f"  ({dropped} non-finite point(s) omitted)"
+        lines.append(" " + legend)
     return "\n".join(lines)

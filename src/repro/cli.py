@@ -106,6 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment_id", help="experiment ID, e.g. T1, F3, A4")
     run_p.add_argument("--quick", action="store_true", help="use fast parameters")
     run_p.add_argument("--out", help="also write the rendered table to this file")
+    run_p.add_argument(
+        "--controller",
+        choices=["all", "oracle", "forecast", "max-speed", "dpp"],
+        default=None,
+        help="online-control experiment (A7) only: run a single policy",
+    )
+    run_p.add_argument(
+        "--v-param",
+        type=float,
+        default=None,
+        help="online-control experiment (A7) only: drift-plus-penalty V knob",
+    )
     add_engine_options(run_p)
 
     all_p = sub.add_parser("run-all", help="run every experiment (quick parameters)")
@@ -201,6 +213,8 @@ def _cmd_run(
     cache_dir: str | None = None,
     target_rel_ci: float | None = None,
     max_reps: int | None = None,
+    controller: str | None = None,
+    v_param: float | None = None,
 ) -> int:
     from repro import obs
     from repro.experiments.registry import run_experiment
@@ -213,6 +227,8 @@ def _cmd_run(
         cache_dir=cache_dir,
         target_rel_ci=target_rel_ci,
         max_reps=max_reps,
+        controller=controller,
+        v_param=v_param,
     )
     print(text)
     if out:
@@ -604,6 +620,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.cache_dir,
             args.target_rel_ci,
             args.max_reps,
+            args.controller,
+            args.v_param,
         )
     if args.command == "run-all":
         return _cmd_run_all(

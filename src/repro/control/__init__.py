@@ -1,0 +1,27 @@
+"""Online dynamic speed control (the drift-plus-penalty subsystem).
+
+The paper's P2 optimizers are *offline*: they need the arrival-rate
+vector. This package provides the *online* counterpart — epoch
+policies observing only queue lengths — plus the trace-driven harness
+that runs any policy through the event core and scores it on energy
+and SLA compliance. Experiment A7 compares the
+:class:`DriftPlusPenaltyController` against the oracle and
+forecast-driven plans built from :func:`repro.core.plan_speed_schedule`.
+"""
+
+from repro.control.harness import ControlRunResult, run_controlled
+from repro.control.policies import (
+    DriftPlusPenaltyController,
+    EpochPolicy,
+    PlannedSpeedPolicy,
+    StaticSpeedPolicy,
+)
+
+__all__ = [
+    "ControlRunResult",
+    "DriftPlusPenaltyController",
+    "EpochPolicy",
+    "PlannedSpeedPolicy",
+    "StaticSpeedPolicy",
+    "run_controlled",
+]

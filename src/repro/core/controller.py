@@ -61,6 +61,30 @@ class ScheduleReport:
         return self.compliance >= 1.0
 
 
+def _validate_epochs(
+    class_names: Sequence[str],
+    epoch_starts: np.ndarray,
+    epoch_rates: np.ndarray,
+    horizon: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared epoch-grid validation for every schedule builder.
+
+    Returns ``(starts, rates, ends)`` as float arrays; the last epoch
+    ends at ``horizon``.
+    """
+    starts = np.asarray(epoch_starts, dtype=float)
+    rates = np.asarray(epoch_rates, dtype=float)
+    if starts.ndim != 1 or rates.shape != (starts.size, len(class_names)):
+        raise ModelValidationError(
+            f"epoch_rates must have shape ({starts.size}, {len(class_names)}), got {rates.shape}"
+        )
+    if np.any(np.diff(starts) <= 0.0):
+        raise ModelValidationError("epoch starts must be strictly increasing")
+    if horizon <= starts[-1]:
+        raise ModelValidationError("horizon must exceed the last epoch start")
+    return starts, rates, np.append(starts[1:], horizon)
+
+
 def _workload_at(names: Sequence[str], rates: np.ndarray) -> Workload | None:
     """Workload for one epoch, or None if the epoch is (near) idle."""
     if np.all(rates <= 1e-12):
@@ -109,17 +133,7 @@ def plan_speed_schedule(
     non-compliant rather than aborting the schedule — a controller
     must keep running through overload.
     """
-    starts = np.asarray(epoch_starts, dtype=float)
-    rates = np.asarray(epoch_rates, dtype=float)
-    if starts.ndim != 1 or rates.shape != (starts.size, len(class_names)):
-        raise ModelValidationError(
-            f"epoch_rates must have shape ({starts.size}, {len(class_names)}), got {rates.shape}"
-        )
-    if np.any(np.diff(starts) <= 0.0):
-        raise ModelValidationError("epoch starts must be strictly increasing")
-    if horizon <= starts[-1]:
-        raise ModelValidationError("horizon must exceed the last epoch start")
-    ends = np.append(starts[1:], horizon)
+    starts, rates, ends = _validate_epochs(class_names, epoch_starts, epoch_rates, horizon)
 
     max_speeds = np.array([t.spec.max_speed for t in cluster.tiers])
     plans: list[EpochPlan] = []
@@ -152,6 +166,10 @@ def plan_speed_schedule(
         except (InfeasibleProblemError, UnstableSystemError):
             chosen = cluster.with_speeds(max_speeds)
             speeds = max_speeds
+            # The continuation chain broke: the next epoch must not be
+            # seeded from the pre-overload optimum (a stale hint from
+            # the other side of the discontinuity).
+            hint = None
         power = chosen.average_power(workload.arrival_rates)
         try:
             delay = mean_end_to_end_delay(chosen, workload)
@@ -175,9 +193,7 @@ def static_plan(
 ) -> list[EpochPlan]:
     """Evaluate one fixed speed vector across every epoch (the static
     baseline a dynamic controller is compared against)."""
-    starts = np.asarray(epoch_starts, dtype=float)
-    rates = np.asarray(epoch_rates, dtype=float)
-    ends = np.append(starts[1:], horizon)
+    starts, rates, ends = _validate_epochs(class_names, epoch_starts, epoch_rates, horizon)
     fixed = cluster.with_speeds(speeds)
     plans = []
     for start, end, r in zip(starts, ends, rates):

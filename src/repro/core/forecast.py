@@ -106,6 +106,8 @@ def blended_forecast(
         raise ModelValidationError(
             f"weight_seasonal must be in [0, 1], got {weight_seasonal}"
         )
+    if margin < 0.0:
+        raise ModelValidationError(f"margin must be non-negative, got {margin}")
     seasonal = seasonal_naive_forecast(history, period)
     level = ewma_forecast(history, alpha=alpha)
     blend = weight_seasonal * seasonal + (1.0 - weight_seasonal) * level[None, :]

@@ -21,6 +21,7 @@ from repro.experiments import (
     exp_a4_dvfs_vs_onoff,
     exp_a5_decomposition_depth,
     exp_a6_admission_control,
+    exp_a7_online_control,
     exp_f1_delay_vs_load,
     exp_f2_energy_vs_speed,
     exp_f3_delay_opt_tradeoff,
@@ -207,6 +208,17 @@ REGISTRY: dict[str, Experiment] = {
             exp_a6_admission_control,
             quick_kwargs=dict(offered_loads=(3.0, 6.0), horizon=2000.0),
         ),
+        Experiment(
+            "A7",
+            "ablation: online drift-plus-penalty control vs planned schedules",
+            exp_a7_online_control,
+            quick_kwargs=dict(
+                horizon=400.0,
+                plan_window=50.0,
+                v_param=5e-4,
+                v_sweep=(1e-4, 5e-4, 2e-3),
+            ),
+        ),
     ]
 }
 
@@ -228,6 +240,8 @@ def run_experiment(
     cache_dir: str | None = None,
     target_rel_ci: float | None = None,
     max_reps: int | None = None,
+    controller: str | None = None,
+    v_param: float | None = None,
 ) -> str:
     """Run an experiment by ID and return its rendered table.
 
@@ -236,8 +250,10 @@ def run_experiment(
     which fan their independent series out over worker processes;
     ``cache_dir`` is simulation-only. ``target_rel_ci`` (with optional
     ``max_reps``) switches the adaptive-capable drivers (T1, T2, F7)
-    to the precision-targeted replication engine. Other experiments
-    ignore the knobs they don't take.
+    to the precision-targeted replication engine. ``controller`` and
+    ``v_param`` reach the online-control driver (A7): restrict the run
+    to one policy and/or override the drift-plus-penalty trade-off.
+    Other experiments ignore the knobs they don't take.
     """
     exp = get_experiment(experiment_id)
     return exp.render(
@@ -247,5 +263,7 @@ def run_experiment(
             cache_dir=cache_dir,
             target_rel_ci=target_rel_ci,
             max_reps=max_reps,
+            controller=controller,
+            v_param=v_param,
         )
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 import warnings
 from bisect import bisect_right
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from itertools import chain, count
 from typing import Any
@@ -117,6 +118,8 @@ def simulate(
     collect_delay_samples: bool = False,
     collect_job_log: bool = False,
     routing: list | None = None,
+    epoch_times: Sequence[float] | None = None,
+    epoch_controller: Callable[[float, np.ndarray, np.ndarray], np.ndarray | None] | None = None,
 ) -> SimulationResult:
     """Run one replication of the cluster under the workload.
 
@@ -161,6 +164,23 @@ def simulate(
         matrix) instead of the fixed tandem itinerary. The cluster's
         visit ratios must equal the routing's expected visits (so the
         analytic model being validated describes the same system).
+    epoch_times:
+        Strictly increasing decision instants for ``epoch_controller``.
+        Must be given together with it.
+    epoch_controller:
+        Online speed controller called at each epoch boundary with
+        ``(t, queue_counts, speeds)`` — ``queue_counts`` is the
+        ``(num_tiers, num_classes)`` matrix of jobs in system (in
+        service + waiting) and ``speeds`` the current per-tier speeds.
+        Returns the new per-tier speed vector (clamped to each tier's
+        DVFS range) or ``None`` to keep the current speeds. Speed
+        changes apply mid-run with preserved *work*: the remaining time
+        of every in-service job rescales by ``old_speed / new_speed``,
+        and dynamic energy is accounted per constant-speed segment.
+        Per-boundary records land in ``result.meta["epoch_trace"]``.
+        Not supported with PS tiers. When no controller is attached the
+        engine takes the exact static path (seeded runs stay
+        bit-identical).
 
     Raises
     ------
@@ -177,6 +197,23 @@ def simulate(
         raise ModelValidationError(f"horizon must be positive and finite, got {horizon}")
     if not 0.0 <= warmup_fraction <= 0.9:
         raise ModelValidationError(f"warmup fraction must be in [0, 0.9], got {warmup_fraction}")
+    if (epoch_controller is None) != (epoch_times is None):
+        raise ModelValidationError("epoch_times and epoch_controller must be provided together")
+    dynamic_speed = epoch_controller is not None
+    if dynamic_speed:
+        epoch_schedule = np.asarray(epoch_times, dtype=float)
+        if epoch_schedule.ndim != 1 or epoch_schedule.size == 0:
+            raise ModelValidationError("epoch_times must be a non-empty 1-D sequence")
+        if not np.all(np.isfinite(epoch_schedule)) or epoch_schedule[0] < 0.0:
+            raise ModelValidationError("epoch times must be finite and non-negative")
+        if np.any(np.diff(epoch_schedule) <= 0.0):
+            raise ModelValidationError("epoch times must be strictly increasing")
+        for tier in cluster.tiers:
+            if tier.discipline == "ps":
+                raise ModelValidationError(
+                    f"tier {tier.name!r}: dynamic speed control does not support PS "
+                    "tiers (their shared-rate completions cannot be rescaled mid-run)"
+                )
     if not allow_unstable:
         # Loss and finite-buffer tiers cannot be unstable (nothing
         # unbounded can accumulate); only open queueing tiers gate.
@@ -234,12 +271,25 @@ def simulate(
         heappush = heapq.heappush
 
         stations: list[SimStation | PSStation] = []
+        # Under dynamic speed control each station's speed lives in a
+        # one-element mutable cell: samplers draw the *demand* (work at
+        # speed 1) and divide by the cell at pull time, so a mid-run
+        # speed change affects every subsequent draw without rebinding.
+        speed_cells: list[list[float]] = []
         for i, tier in enumerate(cluster.tiers):
             samplers = []
+            if dynamic_speed:
+                cell = [float(tier.speed)]
+                speed_cells.append(cell)
             for k in range(k_classes):
-                dist = tier.demands[k].scaled(1.0 / tier.speed)
                 rng = streams.stream(f"service/{i}/{k}")
-                samplers.append(_make_sampler(dist, rng))
+                if dynamic_speed:
+                    samplers.append(
+                        _make_dynamic_sampler(_make_sampler(tier.demands[k], rng), cell)
+                    )
+                else:
+                    dist = tier.demands[k].scaled(1.0 / tier.speed)
+                    samplers.append(_make_sampler(dist, rng))
             if tier.discipline == "ps":
                 if tier.capacity is not None:
                     raise ModelValidationError(
@@ -302,6 +352,74 @@ def simulate(
     sample_interval = tel.queue_sample_interval if (tel.enabled and tel.sample_queues) else 0.0
     next_sample = warmup if sample_interval > 0.0 else float("inf")
 
+    # Epoch-boundary controller hook. Mirrors the telemetry sampler
+    # above: with no controller attached, next_epoch stays +inf and the
+    # hook costs one float comparison per event.
+    dyn_energy = 0.0
+    per_class_dyn_energy = np.zeros(k_classes)
+    if dynamic_speed:
+        tier_power = [(t.spec.power.kappa, t.spec.power.alpha) for t in cluster.tiers]
+        speed_bounds = [(t.spec.min_speed, t.spec.max_speed) for t in cluster.tiers]
+        busy_mark = [0.0] * m_stations
+        class_busy_mark = [[0.0] * k_classes for _ in range(m_stations)]
+        epoch_trace: list[dict[str, Any]] = []
+        epoch_idx = 0
+        next_epoch = float(epoch_schedule[0])
+
+        def _accrue_segments(tb: float) -> None:
+            """Close every station's busy intervals at ``tb`` and bill
+            the elapsed busy time at the segment's (current) speed."""
+            nonlocal dyn_energy
+            for i, st in enumerate(stations):
+                st.close_open_intervals(tb)
+                kappa, alpha = tier_power[i]
+                p_dyn = kappa * speed_cells[i][0] ** alpha
+                delta = st.busy_total - busy_mark[i]
+                if delta > 0.0:
+                    dyn_energy += p_dyn * delta
+                    busy_mark[i] = st.busy_total
+                cb = st.class_busy_totals
+                mark = class_busy_mark[i]
+                for k in range(k_classes):
+                    dk = cb[k] - mark[k]
+                    if dk > 0.0:
+                        per_class_dyn_energy[k] += p_dyn * dk
+                        mark[k] = cb[k]
+
+        def _fire_epoch(tb: float) -> None:
+            """One controller decision at boundary ``tb``: flush energy
+            segments, observe queues, apply the returned speeds (work-
+            preserving rescale of in-service jobs), record the trace."""
+            _accrue_segments(tb)
+            counts = np.array([st.class_counts() for st in stations], dtype=np.int64)
+            speeds_now = np.array([c[0] for c in speed_cells])
+            new_speeds = epoch_controller(tb, counts, speeds_now.copy())
+            if new_speeds is not None:
+                new_arr = np.asarray(new_speeds, dtype=float)
+                if new_arr.shape != (m_stations,):
+                    raise ModelValidationError(
+                        f"epoch controller must return {m_stations} speeds, "
+                        f"got shape {new_arr.shape}"
+                    )
+                for i, st in enumerate(stations):
+                    lo, hi = speed_bounds[i]
+                    s_new = min(max(float(new_arr[i]), lo), hi)
+                    s_old = speed_cells[i][0]
+                    if s_new != s_old:
+                        st.rescale_remaining(tb, s_old / s_new)
+                        speed_cells[i][0] = s_new
+                        speeds_now[i] = s_new
+            epoch_trace.append(
+                {
+                    "t": tb,
+                    "queues": counts,
+                    "speeds": speeds_now,
+                    "dynamic_energy": dyn_energy,
+                }
+            )
+    else:
+        next_epoch = float("inf")
+
     n_warmup_discarded = 0
     hit_horizon = False
     has_routing = routing_tables is not None
@@ -316,6 +434,19 @@ def simulate(
                 _sample_queues(tel, t, stations)
                 while next_sample <= t:
                     next_sample += sample_interval
+            if t >= next_epoch:
+                # Fire at the boundary's nominal time: no event lies in
+                # (previous event, t), so the system state is valid
+                # there, and a rescaled completion popped this iteration
+                # is caught by the sched_epoch staleness check below.
+                while next_epoch <= t:
+                    _fire_epoch(next_epoch)
+                    epoch_idx += 1
+                    next_epoch = (
+                        float(epoch_schedule[epoch_idx])
+                        if epoch_idx < epoch_schedule.size
+                        else float("inf")
+                    )
             if kind:  # _COMPLETION
                 st = stations[a]
                 if b != st.sched_epoch:
@@ -415,13 +546,22 @@ def simulate(
         )
 
         # Power: idle floor plus measured dynamic draw.
-        dynamic_power = 0.0
-        per_class_dyn_energy_rate = np.zeros(k_classes)
-        for st, tier in zip(stations, cluster.tiers):
-            p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
-            dynamic_power += p_dyn * st.busy_total / window
-            for k in range(k_classes):
-                per_class_dyn_energy_rate[k] += p_dyn * st.class_busy_totals[k] / window
+        if dynamic_speed:
+            # The horizon closes the last constant-speed segment (the
+            # busy intervals were already flushed above); the energy is
+            # the sum over segments of busy-time x kappa*s^alpha at that
+            # segment's speed.
+            _accrue_segments(horizon)
+            dynamic_power = dyn_energy / window
+            per_class_dyn_energy_rate = per_class_dyn_energy / window
+        else:
+            dynamic_power = 0.0
+            per_class_dyn_energy_rate = np.zeros(k_classes)
+            for st, tier in zip(stations, cluster.tiers):
+                p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
+                dynamic_power += p_dyn * st.busy_total / window
+                for k in range(k_classes):
+                    per_class_dyn_energy_rate[k] += p_dyn * st.class_busy_totals[k] / window
         idle_power = float(sum(t.servers * t.spec.power.idle for t in cluster.tiers))
         average_power = idle_power + dynamic_power
 
@@ -486,6 +626,19 @@ def simulate(
     obs.counter("sim.jobs_created").add(jid)
     obs.counter("sim.jobs_counted").add(n_counted_total)
 
+    meta: dict[str, Any] = {
+        "n_jobs_created": jid,
+        "n_events": n_events,
+        "n_warmup_discarded": n_warmup_discarded,
+        "station_completions": station_completions,
+        "n_blocked": np.array(n_blocked, dtype=np.int64),
+        "n_offered": np.array(offered, dtype=np.int64),
+    }
+    if dynamic_speed:
+        meta["epoch_trace"] = epoch_trace
+        meta["final_speeds"] = np.array([c[0] for c in speed_cells])
+        meta["dynamic_energy"] = float(dyn_energy)
+
     return SimulationResult(
         class_names=tuple(workload.names),
         n_completed=n_completed,
@@ -500,14 +653,7 @@ def simulate(
         per_class_dynamic_energy=per_class_dyn,
         horizon=horizon,
         warmup=warmup,
-        meta={
-            "n_jobs_created": jid,
-            "n_events": n_events,
-            "n_warmup_discarded": n_warmup_discarded,
-            "station_completions": station_completions,
-            "n_blocked": np.array(n_blocked, dtype=np.int64),
-            "n_offered": np.array(offered, dtype=np.int64),
-        },
+        meta=meta,
         delay_samples=(
             [np.asarray(s) for s in delay_buf] if collect_delay_samples else None
         ),
@@ -646,6 +792,20 @@ def _make_sampler(dist, rng):
         return float(sample(rng))
 
     return generic_sampler
+
+
+def _make_dynamic_sampler(base, cell):
+    """Service sampler under dynamic speed control.
+
+    ``base`` draws the class's *demand* (work at speed 1); every pull
+    divides by the station's current speed, read from the one-element
+    ``cell`` that the epoch controller mutates on DVFS changes.
+    """
+
+    def sampler() -> float:
+        return base() / cell[0]
+
+    return sampler
 
 
 def _make_arrival_puller(proc, rng):

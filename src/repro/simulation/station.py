@@ -273,6 +273,50 @@ class SimStation:
         return job
 
     # ------------------------------------------------------------------
+    # observation / control hooks (epoch controllers)
+    # ------------------------------------------------------------------
+    def class_counts(self) -> list[int]:
+        """Per-class jobs in the station (in service + waiting).
+
+        The queue-length observation an online controller feeds on;
+        called at epoch boundaries only, never in the event hot path.
+        """
+        counts = [0] * len(self.class_busy_totals)
+        for j in self.srv_job:
+            if j is not None:
+                counts[j.cls] += 1
+        for j in self.fifo:
+            counts[j.cls] += 1
+        for q in self.queues:
+            for j in q:
+                counts[j.cls] += 1
+        return counts
+
+    def rescale_remaining(self, t: float, ratio: float) -> None:
+        """Apply a DVFS speed change at time ``t`` to in-service jobs.
+
+        ``ratio = old_speed / new_speed``: the work remaining on each
+        busy server is invariant, so its remaining *time* scales by the
+        ratio. ``service_total`` is adjusted by the same delta so it
+        keeps measuring the actual time the job spends in service.
+        Re-arms the next-completion entry (the old one goes stale).
+        """
+        if ratio == 1.0:
+            return
+        if ratio <= 0.0:
+            raise SimulationError(f"speed rescale ratio must be positive, got {ratio}")
+        changed = False
+        for i, j in enumerate(self.srv_job):
+            if j is not None:
+                rem = self.srv_completion[i] - t
+                if rem > 0.0:
+                    new_rem = rem * ratio
+                    self.srv_completion[i] = t + new_rem
+                    j.service_total += new_rem - rem
+                    changed = True
+        if changed:
+            self._resync()
+
     def _in_system(self) -> int:
         """Jobs in service plus waiting (the finite-buffer occupancy)."""
         return self.n_busy + len(self.fifo) + sum(len(q) for q in self.queues)

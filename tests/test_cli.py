@@ -12,7 +12,7 @@ class TestRegistry:
         expected = {
             "T1", "T2", "T3", "T4", "T5",
             "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
-            "A1", "A2", "A3", "A4", "A5", "A6",
+            "A1", "A2", "A3", "A4", "A5", "A6", "A7",
         }
         assert set(REGISTRY) == expected
 

@@ -79,6 +79,94 @@ class TestController:
         with pytest.raises(ModelValidationError):
             evaluate_schedule([])
 
+    def test_static_plan_validates_like_plan_speed_schedule(self, diurnal_setup):
+        # Regression: static_plan skipped the epoch-grid validation that
+        # plan_speed_schedule enforces, so mismatched shapes,
+        # non-increasing starts or horizon <= starts[-1] produced silent
+        # garbage plans (e.g. negative durations) instead of raising.
+        cluster, names, starts, rates = diurnal_setup
+        speeds = np.ones(cluster.num_tiers)
+        with pytest.raises(ModelValidationError):
+            static_plan(cluster, names, starts, rates[:2], 24.0, 0.35, speeds)
+        with pytest.raises(ModelValidationError):
+            static_plan(cluster, names, starts[::-1], rates, 24.0, 0.35, speeds)
+        with pytest.raises(ModelValidationError):
+            static_plan(cluster, names, starts, rates, 10.0, 0.35, speeds)
+        # The valid grid still produces strictly positive durations.
+        plans = static_plan(cluster, names, starts, rates, 24.0, 0.35, speeds)
+        assert all(p.duration > 0.0 for p in plans)
+
+    def test_warm_hint_reset_after_overload_fallback(self, diurnal_setup, monkeypatch):
+        # Regression: after an infeasible/overload epoch fell back to
+        # max speeds, the next epoch was still seeded from the
+        # *pre-overload* optimum. The hint must reset on the fallback
+        # path so the post-overload epoch solves cold.
+        import repro.core.controller as ctrl
+
+        cluster, names, starts, rates = diurnal_setup
+        rates = rates.copy()
+        rates[1] *= 4.0  # unstabilizable even at max speed
+        hints = []
+        real = ctrl.minimize_energy
+
+        def spy(*args, **kwargs):
+            hints.append(kwargs.get("x0_hint"))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(ctrl, "minimize_energy", spy)
+        warm = ctrl.plan_speed_schedule(
+            cluster, names, starts, rates, 24.0, 0.35, n_starts=2, warm_start=True
+        )
+        assert len(hints) == 4
+        assert hints[0] is None  # first epoch is always cold
+        assert hints[2] is None  # post-overload epoch must be cold again
+        assert hints[3] is not None  # continuation resumes afterwards
+        monkeypatch.setattr(ctrl, "minimize_energy", real)
+        cold = plan_speed_schedule(
+            cluster, names, starts, rates, 24.0, 0.35, n_starts=2, warm_start=False
+        )
+        np.testing.assert_allclose(warm[2].speeds, cold[2].speeds)
+
+    def test_evaluate_schedule_with_inf_delay_epochs(self, diurnal_setup):
+        # Overload epochs carry mean_delay=inf; the aggregate report
+        # must keep finite energy while surfacing the inf worst delay.
+        cluster, names, starts, rates = diurnal_setup
+        rates = rates.copy()
+        rates[2] *= 4.0
+        plans = plan_speed_schedule(cluster, names, starts, rates, 24.0, 0.35, n_starts=1)
+        report = evaluate_schedule(plans)
+        assert np.isinf(report.worst_mean_delay)
+        assert np.isfinite(report.total_energy)
+        assert np.isfinite(report.average_power)
+        assert report.compliance == pytest.approx(0.75)
+
+    def test_evaluate_schedule_idle_epochs_have_positive_duration(self, diurnal_setup):
+        # Idle (zero-rate) epochs still occupy their slice of the
+        # horizon: durations stay positive and the idle power is billed.
+        cluster, names, starts, rates = diurnal_setup
+        rates = rates.copy()
+        rates[1] = 0.0
+        plans = plan_speed_schedule(cluster, names, starts, rates, 24.0, 0.35, n_starts=1)
+        assert all(p.duration > 0.0 for p in plans)
+        idle_power = sum(t.servers * t.spec.power.idle for t in cluster.tiers)
+        report = evaluate_schedule(plans)
+        assert report.total_energy >= idle_power * 24.0 - 1e-9
+        assert report.worst_mean_delay < float("inf")
+
+    def test_workload_at_zero_rate_floor_keeps_priorities(self):
+        from repro.core.controller import _workload_at
+
+        wl = _workload_at(("gold", "silver", "bronze"), np.array([0.0, 5.0, 0.0]))
+        assert wl is not None
+        assert list(wl.names) == ["gold", "silver", "bronze"]
+        rates = wl.arrival_rates
+        assert rates[1] == pytest.approx(5.0)
+        # Zero-rate classes keep a vanishing-but-positive rate so the
+        # priority ordering (index = priority) stays aligned.
+        assert 0.0 < rates[0] <= 5.0 * 1e-9 + 1e-12
+        assert 0.0 < rates[2] <= 5.0 * 1e-9 + 1e-12
+        assert _workload_at(("a", "b"), np.zeros(2)) is None
+
 
 class TestTCO:
     def test_zero_price_equals_p3_cost(self):

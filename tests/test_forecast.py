@@ -92,3 +92,15 @@ class TestBlendAndError:
     def test_blend_weight_validation(self, two_day_history):
         with pytest.raises(ModelValidationError):
             blended_forecast(two_day_history, 12, weight_seasonal=1.5)
+
+    def test_blend_rejects_negative_margin(self, two_day_history):
+        # Regression: blended_forecast validated weight_seasonal but not
+        # margin, so margin=-0.5 silently deflated the forecast that
+        # ewma_forecast / seasonal_naive_forecast would reject.
+        with pytest.raises(ModelValidationError):
+            blended_forecast(two_day_history, 12, margin=-0.5)
+
+    def test_blend_margin_scales_like_components(self, two_day_history):
+        base = blended_forecast(two_day_history, 12)
+        inflated = blended_forecast(two_day_history, 12, margin=0.25)
+        np.testing.assert_allclose(inflated, base * 1.25)

@@ -1,0 +1,110 @@
+"""Time-varying workload profile and trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelValidationError
+from repro.workload.timevarying import (
+    bursty_trace,
+    diurnal_profile,
+    diurnal_trace,
+    flash_crowd_profile,
+    flash_crowd_trace,
+    profile_processes,
+    profile_rates,
+)
+
+
+class TestProfiles:
+    def test_diurnal_bounds_and_peak(self):
+        f = diurnal_profile(period=24.0, trough=0.25, peak=1.6)
+        t = np.linspace(0.0, 24.0, 1000)
+        vals = np.array([f(ti) for ti in t])
+        assert vals.min() == pytest.approx(0.25, abs=1e-3)
+        assert vals.max() == pytest.approx(1.6, abs=1e-3)
+        # Default peak lands 2/3 through the period.
+        assert f(16.0) == pytest.approx(1.6)
+        assert f(4.0) == pytest.approx(0.25)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ModelValidationError):
+            diurnal_profile(period=0.0)
+        with pytest.raises(ModelValidationError):
+            diurnal_profile(trough=0.0)
+        with pytest.raises(ModelValidationError):
+            diurnal_profile(trough=1.5, peak=1.0)
+
+    def test_flash_crowd_window(self):
+        base = diurnal_profile(period=24.0, trough=0.5, peak=1.0)
+        surged = flash_crowd_profile(base, surge_start=10.0, surge_duration=2.0, surge_factor=3.0)
+        assert surged(9.99) == pytest.approx(base(9.99))
+        assert surged(10.0) == pytest.approx(3.0 * base(10.0))
+        assert surged(11.9) == pytest.approx(3.0 * base(11.9))
+        assert surged(12.0) == pytest.approx(base(12.0))
+
+    def test_flash_crowd_validation(self):
+        base = diurnal_profile()
+        with pytest.raises(ModelValidationError):
+            flash_crowd_profile(base, 1.0, 0.0, 2.0)
+        with pytest.raises(ModelValidationError):
+            flash_crowd_profile(base, 1.0, 2.0, 0.5)
+
+    def test_profile_rates_grid(self):
+        f = diurnal_profile(period=24.0, trough=0.5, peak=1.5)
+        rates = profile_rates(f, [4.0, 8.0], np.array([0.0, 6.0, 12.0]))
+        assert rates.shape == (3, 2)
+        np.testing.assert_allclose(rates[:, 1] / rates[:, 0], 2.0)
+        with pytest.raises(ModelValidationError):
+            profile_rates(f, [], [0.0])
+        with pytest.raises(ModelValidationError):
+            profile_rates(lambda t: -1.0, [4.0], [0.0])
+
+
+class TestTraces:
+    def test_diurnal_trace_rates_near_profile_mean(self):
+        base = np.array([4.0, 8.0, 12.0])
+        horizon = 400.0
+        trace = diurnal_trace(base, horizon, period=horizon, trough=0.5, peak=1.5, seed=1)
+        # The sinusoid averages to (trough+peak)/2 = 1.0 over one period.
+        np.testing.assert_allclose(trace.rates(), base, rtol=0.15)
+        assert trace.horizon == horizon
+        assert trace.num_classes == 3
+
+    def test_flash_crowd_trace_adds_arrivals_in_window(self):
+        base = np.array([10.0])
+        horizon = 200.0
+        quiet = diurnal_trace(base, horizon, period=horizon, trough=1.0, peak=1.0, seed=2)
+        surged = flash_crowd_trace(
+            base, horizon, surge_start=50.0, surge_duration=50.0, surge_factor=3.0,
+            period=horizon, trough=1.0, peak=1.0, seed=2,
+        )
+        def count_in(tr, lo, hi):
+            ts = tr.arrivals[0]
+            return int(((ts >= lo) & (ts < hi)).sum())
+
+        # Inside the surge window the surged trace runs ~3x hotter.
+        ratio = count_in(surged, 50.0, 100.0) / max(count_in(quiet, 50.0, 100.0), 1)
+        assert ratio > 2.0
+
+    def test_bursty_trace_preserves_mean_rate(self):
+        base = np.array([6.0, 9.0])
+        trace = bursty_trace(base, 600.0, burst_factor=4.0, seed=3)
+        np.testing.assert_allclose(trace.rates(), base, rtol=0.15)
+
+    def test_bursty_validation(self):
+        with pytest.raises(ModelValidationError):
+            bursty_trace([5.0], 100.0, burst_factor=1.0)
+        with pytest.raises(ModelValidationError):
+            bursty_trace([5.0], 100.0, mean_burst=0.0)
+        with pytest.raises(ModelValidationError):
+            bursty_trace([-5.0], 100.0)
+
+    def test_profile_processes_validation(self):
+        f = diurnal_profile()
+        with pytest.raises(ModelValidationError):
+            profile_processes(f, [1.0], horizon=-5.0)
+        with pytest.raises(ModelValidationError):
+            profile_processes(f, [0.0], horizon=10.0)
+        procs = profile_processes(f, [2.0, 4.0], horizon=48.0)
+        assert len(procs) == 2
+        assert procs[0].rate == pytest.approx(2.0)
