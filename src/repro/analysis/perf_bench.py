@@ -24,7 +24,21 @@ from collections.abc import Callable
 
 import numpy as np
 
-__all__ = ["run_benchmarks", "compare_to_baseline", "KERNELS", "DEFAULT_GATES"]
+__all__ = [
+    "run_benchmarks",
+    "compare_to_baseline",
+    "history_entry",
+    "append_history",
+    "load_history",
+    "check_history",
+    "KERNELS",
+    "DEFAULT_GATES",
+    "DEFAULT_HISTORY",
+]
+
+#: Default location of the append-only bench history (one JSON line per
+#: recorded run; read by ``check_history`` and the dashboard).
+DEFAULT_HISTORY = "benchmarks/results/BENCH_history.jsonl"
 
 #: Kernels whose regression fails ``--check`` (others only report).
 #: ``frontier_sweep_warm`` gates the continuation machinery: if warm
@@ -433,12 +447,118 @@ def compare_to_baseline(
     return lines, failures
 
 
+def history_entry(doc: dict) -> dict:
+    """Distill one bench document into an append-only history line.
+
+    Times are stored **calibration-normalized** (kernel seconds per
+    calibration second), so entries recorded on different machines sit
+    on one comparable series — the same trick ``compare_to_baseline``
+    uses, applied at write time instead of read time.
+    """
+    kernels = doc.get("kernels", {})
+    cal = kernels.get(CALIBRATION, {}).get("min_s")
+    if not cal:
+        raise ValueError(f"bench document has no {CALIBRATION} kernel — cannot normalize")
+    return {
+        "schema": 1,
+        "created_unix": doc.get("created_unix", int(time.time())),
+        "host": doc.get("host", {}).get("platform"),
+        "kernels": {
+            name: round(rec["min_s"] / cal, 6)
+            for name, rec in kernels.items()
+            if name != CALIBRATION and "min_s" in rec
+        },
+    }
+
+
+def load_history(path: str) -> list[dict]:
+    """Parse a ``BENCH_history.jsonl`` (missing file → empty history)."""
+    entries: list[dict] = []
+    try:
+        fh = open(path)
+    except FileNotFoundError:
+        return entries
+    with fh:
+        for line in fh:
+            if line.strip():
+                entries.append(json.loads(line))
+    return entries
+
+
+def append_history(doc: dict, path: str) -> dict:
+    """Append ``doc``'s history entry to the JSONL at ``path``."""
+    import os
+
+    entry = history_entry(doc)
+    dirname = os.path.dirname(path)
+    if dirname:
+        os.makedirs(dirname, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def check_history(
+    doc: dict,
+    history: list[dict],
+    tolerance: float = 0.5,
+    window: int = 5,
+    gates: tuple[str, ...] = DEFAULT_GATES,
+    min_entries: int = 3,
+) -> tuple[list[str], list[str]]:
+    """Rolling-median regression detection against recorded history.
+
+    For every gated kernel, the current run's calibration-normalized
+    time is compared against the **median of the last** ``window``
+    **recorded entries** — the median absorbs one-off noisy runs that a
+    single-baseline comparison would anchor on forever. A kernel fails
+    when its current normalized time exceeds ``(1 + tolerance) x
+    median``. Kernels with fewer than ``min_entries`` historical
+    samples are reported but never fail (a young history can't
+    distinguish regression from variance).
+
+    Returns ``(report_lines, failures)`` like :func:`compare_to_baseline`.
+    """
+    current = history_entry(doc)["kernels"]
+    lines: list[str] = []
+    failures: list[str] = []
+    for name in sorted(current):
+        samples = [
+            e["kernels"][name]
+            for e in history[-window:]
+            if isinstance(e.get("kernels"), dict) and name in e["kernels"]
+        ]
+        gated = name in gates
+        cur = current[name]
+        if len(samples) < min_entries:
+            lines.append(
+                f"{name:28s} norm {cur:9.4f} — only {len(samples)} history "
+                f"entr{'y' if len(samples) == 1 else 'ies'} (need {min_entries}), skipped"
+            )
+            continue
+        med = sorted(samples)[len(samples) // 2]
+        ratio = cur / med if med > 0 else float("inf")
+        status = "ok"
+        if gated and ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            failures.append(name)
+        lines.append(
+            f"{name:28s} norm {cur:9.4f} vs rolling median {med:9.4f} "
+            f"(x{ratio:.2f} over last {len(samples)}) [{'gate' if gated else 'info'}] {status}"
+        )
+    return lines, failures
+
+
 def main_bench(
     out: str | None,
     repeats: int,
     check: str | None,
     tolerance: float,
     gates: list[str] | None,
+    record: bool = False,
+    history: str | None = None,
+    history_tolerance: float = 0.5,
+    history_window: int = 5,
 ) -> int:
     """Implementation of ``repro bench`` (returns the exit code)."""
     doc = run_benchmarks(repeats=repeats)
@@ -449,6 +569,7 @@ def main_bench(
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"[written to {out}]")
+    exit_code = 0
     if check:
         with open(check) as fh:
             baseline = json.load(fh)
@@ -461,6 +582,39 @@ def main_bench(
             print(f"  {line}")
         if failures:
             print(f"FAILED: {', '.join(failures)} regressed beyond {tolerance:.0%}")
-            return 1
-        print("check passed")
-    return 0
+            exit_code = 1
+        else:
+            print("check passed")
+    # History pass: consulted whenever a history file is in play
+    # (--record and/or an explicit/existing --history), always BEFORE
+    # this run is appended so a regressed run cannot vouch for itself.
+    history_path = history or DEFAULT_HISTORY
+    if record or history is not None:
+        entries = load_history(history_path)
+        if entries:
+            lines, failures = check_history(
+                doc, entries, tolerance=history_tolerance,
+                window=history_window,
+                gates=tuple(gates) if gates else DEFAULT_GATES,
+            )
+            print(
+                f"\nhistory check against {history_path} "
+                f"({len(entries)} entries, tolerance {history_tolerance:.0%}, "
+                f"window {history_window}):"
+            )
+            for line in lines:
+                print(f"  {line}")
+            if failures:
+                print(
+                    f"FAILED: {', '.join(failures)} regressed beyond "
+                    f"{history_tolerance:.0%} of rolling median"
+                )
+                exit_code = 1
+            else:
+                print("history check passed")
+        else:
+            print(f"\nno bench history at {history_path} yet — nothing to check")
+        if record:
+            append_history(doc, history_path)
+            print(f"[recorded to {history_path}]")
+    return exit_code

@@ -31,11 +31,23 @@ Commands
     batched analytic evaluation, optimizer solves, the exhaustive
     baseline) and optionally compare calibration-normalized times
     against a committed JSON baseline — the CI perf-smoke gate.
-``telemetry summarize <DIR>``
-    Human-readable summary of a telemetry artifact (manifest +
+``telemetry summarize <DIR> [DIR...]``
+    Human-readable summary of telemetry artifacts (manifest +
     events.jsonl) produced by ``--telemetry DIR`` on ``run`` /
     ``run-all`` / ``simulate``: slowest spans, per-replication event
-    throughput, solver iteration counts, cache hit ratio.
+    throughput, solver iteration counts, cache hit ratio. With several
+    directories, adds a side-by-side comparison table grouped by
+    configuration fingerprint.
+``telemetry ingest <DIR> [DIR...] [--store FILE]``
+    Load telemetry artifacts into the cross-run SQLite store
+    (idempotent per directory) that ``repro dashboard`` renders.
+``status <DIR>``
+    Live progress of a run writing telemetry to ``<DIR>`` — tails the
+    append-only ``progress.jsonl`` heartbeat without touching the run.
+``dashboard [--store FILE] [--out FILE]``
+    Render the run store as one self-contained static HTML page (run
+    table, span timings, adaptive/controller traces, frontier
+    overlays, optional bench history).
 """
 
 from __future__ import annotations
@@ -184,14 +196,77 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="kernel that fails --check on regression (repeatable; default: the sim kernel)",
     )
+    bench_p.add_argument(
+        "--record",
+        action="store_true",
+        help="append this run (calibration-normalized) to the bench history JSONL",
+    )
+    bench_p.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help="bench history JSONL to check against / record to "
+        "(default: benchmarks/results/BENCH_history.jsonl)",
+    )
+    bench_p.add_argument(
+        "--history-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed slowdown of gated kernels over the rolling history median",
+    )
+    bench_p.add_argument(
+        "--history-window",
+        type=int,
+        default=5,
+        help="history entries the rolling median is taken over",
+    )
 
     tel_p = sub.add_parser("telemetry", help="inspect telemetry artifacts")
     tel_sub = tel_p.add_subparsers(dest="telemetry_command", required=True)
     tel_sum = tel_sub.add_parser(
-        "summarize", help="render a --telemetry artifact as human-readable tables"
+        "summarize", help="render --telemetry artifacts as human-readable tables"
     )
-    tel_sum.add_argument("path", help="directory (or manifest.json) written by --telemetry")
+    tel_sum.add_argument(
+        "paths",
+        nargs="+",
+        metavar="path",
+        help="directory (or manifest.json) written by --telemetry; several "
+        "directories add a side-by-side comparison",
+    )
     tel_sum.add_argument("--top", type=int, default=10, help="number of slowest spans to show")
+    tel_ing = tel_sub.add_parser(
+        "ingest", help="load telemetry artifacts into the cross-run SQLite store"
+    )
+    tel_ing.add_argument("paths", nargs="+", metavar="path",
+                         help="telemetry directories to ingest")
+    tel_ing.add_argument(
+        "--store",
+        default=None,
+        help="SQLite store file (default: runs.sqlite in the current directory)",
+    )
+
+    status_p = sub.add_parser(
+        "status", help="live progress of a run writing telemetry to a directory"
+    )
+    status_p.add_argument("path", help="telemetry directory (or progress.jsonl) of the run")
+
+    dash_p = sub.add_parser(
+        "dashboard", help="render the run store as one self-contained HTML page"
+    )
+    dash_p.add_argument(
+        "--store",
+        default=None,
+        help="SQLite store file (default: runs.sqlite in the current directory)",
+    )
+    dash_p.add_argument(
+        "--out", default="dashboard.html", help="output HTML file (default: dashboard.html)"
+    )
+    dash_p.add_argument(
+        "--bench-history",
+        metavar="FILE",
+        default=None,
+        help="also chart this bench history JSONL (e.g. benchmarks/results/BENCH_history.jsonl)",
+    )
     return parser
 
 
@@ -476,6 +551,10 @@ def _cmd_telemetry_summarize(path: str, top: int = 10) -> int:
         print(f"  host     {host.get('hostname')} ({host.get('platform')}, "
               f"{host.get('cpu_count')} cores)")
     print(f"  events   {len(events)} in {events_path.name}")
+    dropped = int((manifest.get("events") or {}).get("dropped", 0) or 0)
+    if dropped:
+        print(f"  WARNING  {dropped} event(s) failed serialization and were "
+              "dropped — the event log is incomplete")
 
     spans = [e for e in events if e.get("type") == "span"]
     if spans:
@@ -575,6 +654,160 @@ def _cmd_telemetry_summarize(path: str, top: int = 10) -> int:
     return 0
 
 
+def _telemetry_compare(paths: list[str]) -> int:
+    """Side-by-side comparison of several telemetry artifacts.
+
+    Rows are the cross-run vitals (wall time, events, dropped events,
+    cache hits, solver evaluations); columns are the runs. Runs are
+    grouped by configuration fingerprint — numbers are only directly
+    comparable within one group, and the table says which runs share
+    one.
+    """
+    import json
+    import pathlib
+
+    from repro.analysis.tables import ascii_table
+    from repro.obs import EVENTS_FILENAME, MANIFEST_FILENAME
+
+    loaded = []
+    for path in paths:
+        root = pathlib.Path(path)
+        manifest_path = root if root.is_file() else root / MANIFEST_FILENAME
+        if not manifest_path.exists():
+            print(f"error: no {MANIFEST_FILENAME} under {root}")
+            return 1
+        manifest = json.loads(manifest_path.read_text())
+        events_path = manifest_path.parent / EVENTS_FILENAME
+        events: list[dict] = []
+        if events_path.exists():
+            with open(events_path) as fh:
+                events = [json.loads(line) for line in fh if line.strip()]
+        loaded.append((manifest_path.parent.name or str(manifest_path.parent), manifest, events))
+
+    fingerprints = [(m.get("config_fingerprint") or "")[:10] or "?" for _, m, _ in loaded]
+    groups: dict[str, list[int]] = {}
+    for i, fp in enumerate(fingerprints):
+        groups.setdefault(fp, []).append(i)
+
+    def metric(m: dict, name: str) -> object:
+        return (m.get("metrics", {}).get(name) or {}).get("value", 0)
+
+    def wall(m: dict) -> float:
+        return sum(s.get("wall_s", 0.0) for s in m.get("spans", []))
+
+    rows = [
+        ["fingerprint", *fingerprints],
+        ["seed", *(m.get("seed") for _, m, _ in loaded)],
+        ["version", *(m.get("version") for _, m, _ in loaded)],
+        ["wall s (root spans)", *(round(wall(m), 3) for _, m, _ in loaded)],
+        ["events", *(len(ev) for _, _, ev in loaded)],
+        ["events dropped", *((m.get("events") or {}).get("dropped", 0) for _, m, _ in loaded)],
+        ["sim events", *(metric(m, "sim.events") for _, m, _ in loaded)],
+        ["cache hits", *(metric(m, "sim.cache.hits") for _, m, _ in loaded)],
+        ["cache misses", *(metric(m, "sim.cache.misses") for _, m, _ in loaded)],
+        ["solver evals", *(metric(m, "opt.evaluations") for _, m, _ in loaded)],
+    ]
+    print()
+    print(ascii_table(
+        ["", *(name for name, _, _ in loaded)],
+        rows,
+        title=f"Run comparison ({len(loaded)} runs)",
+    ))
+    shared = [fp for fp, idx in groups.items() if len(idx) > 1]
+    if shared:
+        print(f"runs sharing a fingerprint (directly comparable): {', '.join(shared)}")
+    elif len(loaded) > 1:
+        print("note: no two runs share a configuration fingerprint — "
+              "numbers are not directly comparable")
+    return 0
+
+
+def _cmd_telemetry_ingest(paths: list[str], store_path: str | None) -> int:
+    """Load telemetry directories into the cross-run SQLite store."""
+    from repro.obs import STORE_FILENAME, RunStore
+
+    target = store_path or STORE_FILENAME
+    code = 0
+    with RunStore(target) as store:
+        for path in paths:
+            try:
+                run_id = store.ingest(path)
+            except (FileNotFoundError, ValueError) as exc:
+                print(f"error: {exc}")
+                code = 1
+                continue
+            run = store.run(run_id)
+            dropped = run.get("n_dropped") or 0
+            note = f" (WARNING: {dropped} dropped events)" if dropped else ""
+            n_records = len(store.spans(run_id)) + len(store.events(run_id))
+            print(f"ingested {path} as run {run_id} "
+                  f"({n_records} records, seed {run.get('seed')}){note}")
+        n = len(store.runs())
+    print(f"[store {target} now holds {n} run(s); render with: repro dashboard "
+          f"--store {target}]")
+    return code
+
+
+def _cmd_status(path: str) -> int:
+    """Live progress of a run streaming telemetry to ``path``."""
+    import pathlib
+    import time
+
+    from repro.obs import PROGRESS_FILENAME, progress_snapshot, read_progress
+
+    root = pathlib.Path(path)
+    progress_path = root if root.is_file() else root / PROGRESS_FILENAME
+    if not progress_path.exists():
+        print(f"error: no {PROGRESS_FILENAME} under {root} — is a run writing "
+              "telemetry there?")
+        return 1
+    snap = progress_snapshot(read_progress(progress_path))
+    state = "finished" if snap["finished"] else ("running" if snap["started"] else "unknown")
+    age = f", last record {time.time() - snap['last_ts']:.0f}s ago" if snap["last_ts"] else ""
+    print(f"{root}: {state} ({snap['n_records']} progress records{age})")
+    reps = snap.get("replications")
+    if reps:
+        total = reps.get("n_total")
+        total_s = f"/{total}" if total is not None else ""
+        rate = reps.get("last_events_per_sec")
+        rate_s = f", {rate:,.0f} events/s" if rate else ""
+        print(f"  replications  {reps['n_done']}{total_s} done "
+              f"({reps['cache_hits']} cache hits{rate_s})")
+    ad = snap.get("adaptive")
+    if ad:
+        rel = ", ".join(f"{k}={v:.2%}" for k, v in sorted(ad["rel_ci"].items()))
+        stop = f", stop at {ad['stop_at']}" if ad.get("stop_at") is not None else ""
+        print(f"  adaptive      round {ad['n_rounds']}: {ad['n_available']} "
+              f"replications available{stop}; rel CI {rel}")
+    for label, rec in (snap.get("sweeps") or {}).items():
+        total = rec.get("n_total")
+        total_s = f"/{total}" if total is not None else ""
+        failed = f", {rec['n_failed']} failed" if rec.get("n_failed") else ""
+        print(f"  sweep {label or '(unlabeled)'}  {rec['n_done']}{total_s} points{failed}")
+    ep = snap.get("epochs")
+    if ep:
+        print(f"  controller    {ep['n_fired']} epochs fired (t={ep['last_t']:g})")
+    return 0
+
+
+def _cmd_dashboard(store_path: str | None, out: str, bench_history: str | None) -> int:
+    """Render the run store into one self-contained HTML file."""
+    import pathlib
+
+    from repro.obs import STORE_FILENAME, RunStore, render_dashboard
+
+    target = store_path or STORE_FILENAME
+    if not pathlib.Path(target).exists():
+        print(f"error: no store at {target} — build one with: "
+              "repro telemetry ingest DIR [DIR...]")
+        return 1
+    with RunStore(target) as store:
+        n = len(store.runs())
+        render_dashboard(store, out, bench_history=bench_history)
+    print(f"[dashboard over {n} run(s) written to {out}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -605,10 +838,22 @@ def _dispatch(args: argparse.Namespace) -> int:
     """Route parsed arguments to their command implementation."""
     if args.command == "telemetry":
         if args.telemetry_command == "summarize":
-            return _cmd_telemetry_summarize(args.path, args.top)
+            code = 0
+            for path in args.paths:
+                code = max(code, _cmd_telemetry_summarize(path, args.top))
+                print()
+            if len(args.paths) > 1 and code == 0:
+                code = _telemetry_compare(args.paths)
+            return code
+        if args.telemetry_command == "ingest":
+            return _cmd_telemetry_ingest(args.paths, args.store)
         raise AssertionError(
             f"unhandled telemetry command {args.telemetry_command!r}"
         )  # pragma: no cover
+    if args.command == "status":
+        return _cmd_status(args.path)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args.store, args.out, args.bench_history)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -672,7 +917,17 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "bench":
         from repro.analysis.perf_bench import main_bench
 
-        return main_bench(args.out, args.repeats, args.check, args.tolerance, args.gate)
+        return main_bench(
+            args.out,
+            args.repeats,
+            args.check,
+            args.tolerance,
+            args.gate,
+            record=args.record,
+            history=args.history,
+            history_tolerance=args.history_tolerance,
+            history_window=args.history_window,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -13,10 +13,11 @@ between them are pure policy effects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.model import ClusterModel
 from repro.control.policies import EpochPolicy
 from repro.exceptions import ModelValidationError
@@ -62,8 +63,15 @@ def run_controlled(
     seed: int = 0,
     warmup_fraction: float = 0.0,
     start_speeds: np.ndarray | None = None,
+    progress: Callable[[int, int, float], None] | None = None,
 ) -> ControlRunResult:
     """Replay ``trace`` under ``policy`` deciding every ``epoch_length``.
+
+    ``progress``, when given, is invoked after every controller
+    decision with ``(epoch_index, n_epochs_total, t)`` — the live-
+    progress seam for long closed-loop runs (the telemetry layer
+    additionally emits one ``sim.epoch`` event per boundary, so
+    ``repro status`` sees controller runs without this callback).
 
     The cluster starts at ``start_speeds`` (default: every tier at max
     speed, the safe cold-start) and the policy takes over from the
@@ -99,20 +107,44 @@ def run_controlled(
     live = policy.fresh()
     epoch_times = np.arange(0.0, trace.horizon, epoch_length)
 
-    result = simulate(
-        sim_cluster,
-        workload,
+    controller = live.decide
+    if progress is not None:
+        n_epochs_total = len(epoch_times)
+        epoch_counter = iter(range(n_epochs_total))
+
+        def controller(tb, counts, speeds, _decide=live.decide):
+            new_speeds = _decide(tb, counts, speeds)
+            progress(next(epoch_counter, -1), n_epochs_total, float(tb))
+            return new_speeds
+
+    with obs.span(
+        "control.run",
+        policy=live.name,
+        n_epochs=len(epoch_times),
         horizon=trace.horizon,
-        warmup_fraction=warmup_fraction,
-        seed=seed,
-        arrival_processes=processes,
-        allow_unstable=True,
-        epoch_times=epoch_times,
-        epoch_controller=live.decide,
-    )
+    ):
+        result = simulate(
+            sim_cluster,
+            workload,
+            horizon=trace.horizon,
+            warmup_fraction=warmup_fraction,
+            seed=seed,
+            arrival_processes=processes,
+            allow_unstable=True,
+            epoch_times=epoch_times,
+            epoch_controller=controller,
+        )
 
     window = result.horizon - result.warmup
     mean_delay = float(result.mean_delay)
+    obs.event(
+        "control.run.done",
+        policy=live.name,
+        mean_delay=mean_delay,
+        average_power=float(result.average_power),
+        sla_met=bool(np.isfinite(mean_delay) and mean_delay <= max_mean_delay),
+        n_epochs=len(result.meta.get("epoch_trace", [])),
+    )
     return ControlRunResult(
         policy_name=live.name,
         total_energy=float(result.average_power * window),

@@ -41,6 +41,12 @@ from typing import Any, Iterator
 
 from repro.obs.manifest import build_manifest, config_fingerprint, write_manifest
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import (
+    PROGRESS_FILENAME,
+    ProgressSink,
+    progress_snapshot,
+    read_progress,
+)
 from repro.obs.sinks import InMemorySink, JsonlSink
 from repro.obs.trace import EVENT_SCHEMA_VERSION, Span, Tracer
 
@@ -48,6 +54,8 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EVENTS_FILENAME",
     "MANIFEST_FILENAME",
+    "PROGRESS_FILENAME",
+    "STORE_FILENAME",
     "TELEMETRY",
     "Telemetry",
     "telemetry_session",
@@ -69,10 +77,31 @@ __all__ = [
     "Histogram",
     "InMemorySink",
     "JsonlSink",
+    "ProgressSink",
+    "progress_snapshot",
+    "read_progress",
+    "RunStore",
+    "render_dashboard",
 ]
 
 EVENTS_FILENAME = "events.jsonl"
 MANIFEST_FILENAME = "manifest.json"
+STORE_FILENAME = "runs.sqlite"
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: the run store (sqlite3) and the dashboard
+    # renderer are read-side tools; importing repro.obs for the
+    # write-side instrumentation should not pay for them.
+    if name == "RunStore":
+        from repro.obs.store import RunStore
+
+        return RunStore
+    if name == "render_dashboard":
+        from repro.obs.dashboard import render_dashboard
+
+        return render_dashboard
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Telemetry:
@@ -91,6 +120,7 @@ class Telemetry:
         self.queue_sample_interval = 1.0
         self.run_context: dict[str, Any] = {}
         self._jsonl: JsonlSink | None = None
+        self._progress: ProgressSink | None = None
 
     @property
     def enabled(self) -> bool:
@@ -120,6 +150,10 @@ class Telemetry:
             self.out_dir = Path(out_dir)
             self._jsonl = JsonlSink(self.out_dir / EVENTS_FILENAME)
             self.tracer.sinks.append(self._jsonl)
+            # Live heartbeat stream for `repro status` — append-only,
+            # flushed per line, readable while the run is in flight.
+            self._progress = ProgressSink(self.out_dir / PROGRESS_FILENAME)
+            self.tracer.sinks.append(self._progress)
 
     def annotate(self, **context: Any) -> None:
         """Stash run context (``seed=...``, ``config=...``, ...) for the
@@ -136,6 +170,12 @@ class Telemetry:
             config=self.run_context.get("config"),
             metrics_snapshot=self.metrics.snapshot(),
             spans=[s.as_dict() for s in self.tracer.roots],
+            events_info={
+                "emitted": self._jsonl.n_events,
+                "dropped": self._jsonl.n_dropped,
+            }
+            if self._jsonl is not None
+            else None,
             extra={
                 k: v
                 for k, v in self.run_context.items()
@@ -146,6 +186,8 @@ class Telemetry:
         path: Path | None = None
         if self._jsonl is not None:
             self._jsonl.finalize()
+        if self._progress is not None:
+            self._progress.close()
         if self.out_dir is not None:
             path = write_manifest(self.out_dir / MANIFEST_FILENAME, manifest)
         return path
@@ -157,6 +199,11 @@ class Telemetry:
             if self._jsonl in self.tracer.sinks:
                 self.tracer.sinks.remove(self._jsonl)
             self._jsonl = None
+        if self._progress is not None:
+            self._progress.close()
+            if self._progress in self.tracer.sinks:
+                self.tracer.sinks.remove(self._progress)
+            self._progress = None
         self.metrics.enabled = False
         self.metrics.reset()
         self.tracer.enabled = False

@@ -1,0 +1,535 @@
+"""Static operations dashboard over a :class:`~repro.obs.store.RunStore`.
+
+``repro dashboard`` renders one **self-contained** HTML file — inline
+CSS, hand-rolled SVG, zero scripts, zero network — so the artifact can
+be attached to CI, mailed around, or opened from a USB stick years
+later and still work. Sections:
+
+* run table (when, version, seed, fingerprint, events, dropped, wall);
+* per-run span timing breakdown (where the wall time went);
+* adaptive replication traces (worst rel-CI per round, against the
+  target's stopping rule);
+* controller epoch traces (per-tier speeds, total queue, cumulative
+  dynamic energy over the horizon);
+* frontier overlays (``sweep.point`` series grouped by label across
+  runs — the cross-run drift view);
+* optional benchmark history (calibration-normalized kernel times over
+  recorded bench runs, the same series the regression detector reads).
+
+Charts follow one scheme: categorical palette ``blue / orange / aqua``
+(colorblind-validated, assigned in fixed order, at most three series
+per chart — further series fold into the table below each chart),
+single y-axis, light surface, direct data tables next to every chart
+so nothing is readable by color alone.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro._version import __version__
+
+__all__ = ["render_dashboard"]
+
+# Categorical slots 1-3 (validated all-pairs for CVD separation on the
+# light surface), plus the fixed text/surface tokens.
+_PALETTE = ("#2a78d6", "#eb6834", "#1baf7a")
+_SURFACE = "#fcfcfb"
+_INK = "#0b0b0b"
+_INK_MUTED = "#52514e"
+_GRID = "#e8e7e4"
+
+_CSS = f"""
+body {{ background: {_SURFACE}; color: {_INK}; margin: 0 auto; padding: 24px;
+       max-width: 960px; font: 14px/1.5 system-ui, sans-serif; }}
+h1 {{ font-size: 20px; margin: 0 0 4px; }}
+h2 {{ font-size: 16px; margin: 32px 0 8px; border-bottom: 1px solid {_GRID};
+      padding-bottom: 4px; }}
+h3 {{ font-size: 13px; margin: 16px 0 4px; color: {_INK_MUTED}; font-weight: 600; }}
+p.sub {{ color: {_INK_MUTED}; margin: 0 0 16px; }}
+table {{ border-collapse: collapse; margin: 8px 0 16px; font-size: 13px; }}
+th {{ text-align: left; color: {_INK_MUTED}; font-weight: 600; }}
+th, td {{ padding: 3px 12px 3px 0; border-bottom: 1px solid {_GRID};
+          font-variant-numeric: tabular-nums; }}
+td.num, th.num {{ text-align: right; }}
+.warn {{ color: #b4231f; font-weight: 600; }}
+.legend {{ display: flex; gap: 16px; margin: 4px 0; font-size: 12px;
+           color: {_INK_MUTED}; }}
+.legend span.swatch {{ display: inline-block; width: 10px; height: 10px;
+                       border-radius: 2px; margin-right: 4px; }}
+.mono {{ font-family: ui-monospace, monospace; font-size: 12px; }}
+svg {{ display: block; }}
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    """Compact numeric formatting for table cells."""
+    if value is None:
+        return "–"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return str(value)
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.{digits}g}"
+        return f"{value:,.{digits}g}"
+    return str(value)
+
+
+def _ticks(lo: float, hi: float, n: int = 4) -> list[float]:
+    """A few round tick values covering [lo, hi]."""
+    if not (math.isfinite(lo) and math.isfinite(hi)) or hi <= lo:
+        return [lo]
+    raw = (hi - lo) / n
+    mag = 10.0 ** math.floor(math.log10(raw))
+    step = min(s for s in (1 * mag, 2 * mag, 5 * mag, 10 * mag) if s >= raw)
+    first = math.ceil(lo / step) * step
+    out = []
+    t = first
+    while t <= hi + 1e-12 * step:
+        out.append(0.0 if abs(t) < step * 1e-9 else t)
+        t += step
+    return out or [lo]
+
+
+class _Series:
+    """One polyline: a label plus (x, y) points with finite y."""
+
+    def __init__(self, label: str, xs: Sequence[float], ys: Sequence[float]):
+        pts = [
+            (float(x), float(y))
+            for x, y in zip(xs, ys)
+            if y is not None and math.isfinite(float(y)) and x is not None
+        ]
+        self.label = label
+        self.points = pts
+
+
+def _line_chart(
+    series: list[_Series],
+    *,
+    x_label: str,
+    y_label: str,
+    log_y: bool = False,
+    width: int = 640,
+    height: int = 260,
+) -> str:
+    """Hand-rolled SVG line chart: single y-axis, light grid, 2px
+    polylines in the fixed categorical order, native ``<title>``
+    tooltips on point markers."""
+    series = [s for s in series if s.points]
+    if not series:
+        return '<p class="sub">no data</p>'
+    if log_y:
+        series = [
+            _Series(s.label, *zip(*[(x, math.log10(y)) for x, y in s.points if y > 0]))
+            if any(y > 0 for _, y in s.points)
+            else _Series(s.label, [], [])
+            for s in series
+        ]
+        series = [s for s in series if s.points]
+        if not series:
+            return '<p class="sub">no data</p>'
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        pad = abs(y_lo) * 0.1 or 1.0
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+    else:
+        pad = (y_hi - y_lo) * 0.08
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+    ml, mr, mt, mb = 64, 16, 12, 40
+    pw, ph = width - ml - mr, height - mt - mb
+
+    def sx(x: float) -> float:
+        return ml + (x - x_lo) / (x_hi - x_lo) * pw
+
+    def sy(y: float) -> float:
+        return mt + (1.0 - (y - y_lo) / (y_hi - y_lo)) * ph
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}"'
+        f' role="img" style="max-width:100%">'
+    ]
+    for t in _ticks(y_lo, y_hi):
+        y = sy(t)
+        label = f"1e{t:g}" if log_y else _fmt(float(f"{t:.6g}"), 3)
+        parts.append(
+            f'<line x1="{ml}" y1="{y:.1f}" x2="{ml + pw}" y2="{y:.1f}"'
+            f' stroke="{_GRID}" stroke-width="1"/>'
+            f'<text x="{ml - 6}" y="{y + 4:.1f}" text-anchor="end"'
+            f' font-size="11" fill="{_INK_MUTED}">{label}</text>'
+        )
+    for t in _ticks(x_lo, x_hi, 5):
+        x = sx(t)
+        parts.append(
+            f'<text x="{x:.1f}" y="{mt + ph + 16}" text-anchor="middle"'
+            f' font-size="11" fill="{_INK_MUTED}">{_fmt(float(f"{t:.6g}"), 3)}</text>'
+        )
+    parts.append(
+        f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}"'
+        f' stroke="{_INK_MUTED}" stroke-width="1"/>'
+        f'<text x="{ml + pw / 2:.1f}" y="{height - 6}" text-anchor="middle"'
+        f' font-size="11" fill="{_INK_MUTED}">{_esc(x_label)}</text>'
+        f'<text x="12" y="{mt + ph / 2:.1f}" font-size="11" fill="{_INK_MUTED}"'
+        f' transform="rotate(-90 12 {mt + ph / 2:.1f})" text-anchor="middle">'
+        f"{_esc(y_label)}</text>"
+    )
+    for i, s in enumerate(series[: len(_PALETTE)]):
+        color = _PALETTE[i]
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in s.points)
+        if len(s.points) > 1:
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}"'
+                f' stroke-width="2" stroke-linejoin="round"/>'
+            )
+        # Marker density capped so hover targets stay useful on long traces.
+        step = max(1, len(s.points) // 60)
+        for x, y in s.points[::step]:
+            yv = 10**y if log_y else y
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="{color}">'
+                f"<title>{_esc(s.label)}: {_esc(x_label)}={_fmt(x, 5)},"
+                f" {_fmt(yv, 5)}</title></circle>"
+            )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<div><span class="swatch" style="background:{_PALETTE[i]}"></span>'
+        f"{_esc(s.label)}</div>"
+        for i, s in enumerate(series[: len(_PALETTE)])
+    )
+    folded = ""
+    if len(series) > len(_PALETTE):
+        folded = (
+            f'<p class="sub">+{len(series) - len(_PALETTE)} more series'
+            " in the table below</p>"
+        )
+    return f'<div class="legend">{legend}</div>{"".join(parts)}{folded}'
+
+
+def _bar_rows(rows: list[tuple[str, float, str]], unit: str = "s") -> str:
+    """Horizontal single-hue bar breakdown (magnitude job: one hue)."""
+    if not rows:
+        return '<p class="sub">no spans recorded</p>'
+    top = max(v for _, v, _ in rows) or 1.0
+    out = ["<table><tr><th>span</th><th></th><th class='num'>wall</th></tr>"]
+    for name, value, detail in rows:
+        w = max(2, int(260 * value / top))
+        out.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f'<td><svg width="264" height="12"><rect x="0" y="1" width="{w}"'
+            f' height="10" rx="2" fill="{_PALETTE[0]}"><title>{_esc(name)}:'
+            f" {_fmt(value, 4)}{unit} {_esc(detail)}</title></rect></svg></td>"
+            f'<td class="num">{_fmt(value, 4)}{unit}</td></tr>'
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def _table(headers: list[str], rows: list[list[Any]], num_from: int = 1) -> str:
+    num_cls = ' class="num"'
+
+    def cell_html(i: int, cell: Any, tag: str) -> str:
+        cls = num_cls if i >= num_from else ""
+        if tag == "td" and isinstance(cell, str) and cell.startswith("<"):
+            inner = cell  # pre-rendered HTML cell (bars, mono spans)
+        else:
+            inner = _esc(cell) if tag == "th" else _esc(_fmt(cell))
+        return f"<{tag}{cls}>{inner}</{tag}>"
+
+    head = "".join(cell_html(i, h, "th") for i, h in enumerate(headers))
+    body = "".join(
+        "<tr>" + "".join(cell_html(i, c, "td") for i, c in enumerate(row)) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _run_label(run: dict[str, Any]) -> str:
+    return f"run {run['id']} (seed {run.get('seed')})"
+
+
+def _section_runs(store: Any, runs: list[dict[str, Any]]) -> str:
+    rows = []
+    for r in runs:
+        created = (
+            time.strftime("%Y-%m-%d %H:%M", time.localtime(r["created_unix"]))
+            if r.get("created_unix")
+            else "–"
+        )
+        cmd = r.get("command")
+        cmd_s = " ".join(cmd) if isinstance(cmd, list) else (cmd or "–")
+        fp = (r.get("config_fingerprint") or "")[:12] or "–"
+        dropped = r.get("n_dropped") or 0
+        rows.append(
+            [
+                r["id"],
+                created,
+                r.get("version") or "–",
+                f'<span class="mono">{_esc(cmd_s[:60])}</span>',
+                r.get("seed"),
+                f'<span class="mono">{_esc(fp)}</span>',
+                r.get("n_events"),
+                f'<span class="warn">{dropped}</span>' if dropped else "0",
+                r.get("wall_s"),
+            ]
+        )
+    return "<h2>Runs</h2>" + _table(
+        ["id", "created", "version", "command", "seed", "fingerprint",
+         "events", "dropped", "wall s"],
+        rows,
+        num_from=4,
+    )
+
+
+def _section_spans(store: Any, runs: list[dict[str, Any]]) -> str:
+    out = ["<h2>Span timings</h2>",
+           '<p class="sub">Top-level wall-time breakdown per run.</p>']
+    for r in runs:
+        spans = store.spans(r["id"])
+        agg: dict[str, list[float]] = {}
+        for s in spans:
+            if (s.get("depth") or 0) == 0:
+                agg.setdefault(s["name"], []).append(s.get("wall_s") or 0.0)
+        rows = sorted(
+            ((name, sum(ws), f"(n={len(ws)})") for name, ws in agg.items()),
+            key=lambda t: -t[1],
+        )
+        out.append(f"<h3>{_esc(_run_label(r))}</h3>")
+        out.append(_bar_rows(rows))
+    return "".join(out)
+
+
+def _section_adaptive(store: Any, runs: list[dict[str, Any]]) -> str:
+    charts = []
+    for r in runs:
+        rounds = store.adaptive_rounds(r["id"])
+        if not rounds:
+            continue
+        metrics = sorted({m for rec in rounds for m in rec["rel_ci"]})
+        series = [
+            _Series(
+                m,
+                [rec["round"] for rec in rounds if m in rec["rel_ci"]],
+                [rec["rel_ci"][m] for rec in rounds if m in rec["rel_ci"]],
+            )
+            for m in metrics
+        ]
+        table = _table(
+            ["round", "n available", "stop at"] + metrics,
+            [
+                [rec["round"], rec["n_available"], rec["stop_at"]]
+                + [rec["rel_ci"].get(m) for m in metrics]
+                for rec in rounds
+            ],
+        )
+        charts.append(
+            f"<h3>{_esc(_run_label(r))}</h3>"
+            + _line_chart(series, x_label="round", y_label="rel CI", log_y=True)
+            + table
+        )
+    if not charts:
+        return ""
+    return (
+        "<h2>Adaptive replication</h2>"
+        '<p class="sub">Worst-metric relative CI half-width per round; the'
+        " engine stops at the smallest prefix that satisfies the target.</p>"
+        + "".join(charts)
+    )
+
+
+def _section_epochs(store: Any, runs: list[dict[str, Any]]) -> str:
+    charts = []
+    for r in runs:
+        trace = store.epoch_trace(r["id"])
+        if not trace:
+            continue
+        ts = [rec["t"] for rec in trace]
+        n_tiers = len(trace[0].get("speeds") or [])
+        speed_series = [
+            _Series(
+                f"tier {k} speed",
+                ts,
+                [(rec.get("speeds") or [None] * (k + 1))[k] for rec in trace],
+            )
+            for k in range(n_tiers)
+        ]
+        queue_series = [
+            _Series(
+                "total queue",
+                ts,
+                [
+                    float(sum(sum(row) if isinstance(row, list) else row
+                              for row in (rec.get("queues") or [])))
+                    for rec in trace
+                ],
+            )
+        ]
+        energy_series = [
+            _Series("dynamic energy", ts, [rec.get("dynamic_energy") for rec in trace])
+        ]
+        charts.append(
+            f"<h3>{_esc(_run_label(r))} — speeds</h3>"
+            + _line_chart(speed_series, x_label="t", y_label="speed")
+            + f"<h3>{_esc(_run_label(r))} — queue / energy</h3>"
+            + _line_chart(queue_series, x_label="t", y_label="jobs in system")
+            + _line_chart(energy_series, x_label="t", y_label="cumulative energy")
+        )
+    if not charts:
+        return ""
+    return (
+        "<h2>Controller epoch traces</h2>"
+        '<p class="sub">Per-decision-epoch applied speeds, total queue length'
+        " and cumulative dynamic energy (A7 closed-loop runs).</p>"
+        + "".join(charts)
+    )
+
+
+def _section_frontiers(store: Any, runs: list[dict[str, Any]]) -> str:
+    points = store.sweep_points()
+    if not points:
+        return ""
+    by_label: dict[str, dict[int, list[dict[str, Any]]]] = {}
+    for p in points:
+        if p.get("value") is None or p.get("fun") is None:
+            continue
+        by_label.setdefault(p["label"] or "(unlabeled)", {}).setdefault(
+            p["run_id"], []
+        ).append(p)
+    run_ids = {r["id"]: r for r in runs}
+    charts = []
+    for label in sorted(by_label):
+        per_run = by_label[label]
+        series = [
+            _Series(
+                _run_label(run_ids.get(rid, {"id": rid, "seed": "?"})),
+                [p["value"] for p in pts],
+                [p["fun"] for p in pts],
+            )
+            for rid, pts in sorted(per_run.items())
+        ]
+        rows = [
+            [run_ids.get(rid, {}).get("id", rid), p["value"], p["fun"],
+             bool(p.get("warm")), p.get("n_evaluations"), p.get("wall_s")]
+            for rid, pts in sorted(per_run.items())
+            for p in pts
+        ]
+        charts.append(
+            f"<h3>{_esc(label)}</h3>"
+            + _line_chart(series, x_label="constraint value", y_label="objective")
+            + _table(["run", "value", "objective", "warm", "evals", "wall s"], rows)
+        )
+    if not charts:
+        return ""
+    return (
+        "<h2>Frontier overlays</h2>"
+        '<p class="sub">Continuation-sweep objectives by constraint value,'
+        " overlaid across runs sharing a sweep label.</p>" + "".join(charts)
+    )
+
+
+def _section_bench(history_path: Path) -> str:
+    if not history_path.exists():
+        return ""
+    entries = []
+    with open(history_path) as fh:
+        for line in fh:
+            if line.strip():
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    if not entries:
+        return ""
+    kernels = sorted({k for e in entries for k in (e.get("kernels") or {})})
+    xs = list(range(len(entries)))
+    series = [
+        _Series(
+            k,
+            [i for i in xs if k in (entries[i].get("kernels") or {})],
+            [entries[i]["kernels"][k] for i in xs if k in (entries[i].get("kernels") or {})],
+        )
+        for k in kernels
+    ]
+    rows = [
+        [i,
+         time.strftime("%Y-%m-%d %H:%M", time.localtime(e["created_unix"]))
+         if e.get("created_unix") else "–"]
+        + [(e.get("kernels") or {}).get(k) for k in kernels]
+        for i, e in enumerate(entries)
+    ]
+    return (
+        "<h2>Benchmark history</h2>"
+        '<p class="sub">Calibration-normalized kernel times per recorded'
+        " bench run (dimensionless; the regression detector flags a run"
+        " above its rolling median by more than the tolerance).</p>"
+        + _line_chart(series, x_label="bench run", y_label="normalized time",
+                      log_y=True)
+        + _table(["#", "recorded"] + kernels, rows, num_from=2)
+    )
+
+
+def render_dashboard(
+    store: Any,
+    out_path: str | Path | None = None,
+    *,
+    bench_history: str | Path | None = None,
+    title: str = "repro operations dashboard",
+) -> str:
+    """Render the full dashboard HTML from ``store`` (a
+    :class:`~repro.obs.store.RunStore`); optionally write it to
+    ``out_path`` and/or append a benchmark-history section read from
+    ``bench_history`` (a ``BENCH_history.jsonl``)."""
+    runs = store.runs()
+    generated = time.strftime("%Y-%m-%d %H:%M:%S")
+    dropped_total = sum(r.get("n_dropped") or 0 for r in runs)
+    warn = (
+        f'<p class="warn">⚠ {dropped_total} telemetry event(s) were dropped'
+        " across these runs — event logs are incomplete.</p>"
+        if dropped_total
+        else ""
+    )
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="sub">{len(runs)} run(s) · generated {generated}'
+        f" · repro {__version__}</p>",
+        warn,
+    ]
+    if not runs:
+        body.append("<p>No runs ingested yet — run experiments with"
+                    " <code>--telemetry DIR</code> and"
+                    " <code>repro telemetry ingest DIR</code>.</p>")
+    else:
+        body.append(_section_runs(store, runs))
+        body.append(_section_spans(store, runs))
+        body.append(_section_adaptive(store, runs))
+        body.append(_section_epochs(store, runs))
+        body.append(_section_frontiers(store, runs))
+    if bench_history is not None:
+        body.append(_section_bench(Path(bench_history)))
+    doc = (
+        "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body>{''.join(body)}</body></html>"
+    )
+    if out_path is not None:
+        out = Path(out_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(doc)
+    return doc

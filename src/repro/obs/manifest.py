@@ -70,6 +70,7 @@ def build_manifest(
     config: Any = None,
     metrics_snapshot: dict[str, Any] | None = None,
     spans: list[dict[str, Any]] | None = None,
+    events_info: dict[str, Any] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict (pure data; writing is separate).
@@ -87,6 +88,10 @@ def build_manifest(
         :meth:`repro.obs.metrics.MetricsRegistry.snapshot` output.
     spans:
         Top-level span tree (``Span.as_dict()`` per root).
+    events_info:
+        Event-log accounting from the JSONL sink: ``emitted`` (lines
+        written) and ``dropped`` (events that failed serialization —
+        nonzero means the log is incomplete and readers should warn).
     extra:
         Caller extras merged under ``"extra"``.
     """
@@ -101,6 +106,7 @@ def build_manifest(
         "host": host_info(),
         "metrics": metrics_snapshot or {},
         "spans": spans or [],
+        "events": events_info or {},
         "extra": json_safe(extra) if extra else {},
     }
 

@@ -1,0 +1,183 @@
+"""Live progress streaming: a heartbeat JSONL next to the event log.
+
+:class:`~repro.obs.sinks.JsonlSink` writes to a ``.tmp`` sibling and
+renames atomically on finalize — exactly right for durable artifacts,
+useless for watching a run that is still going. :class:`ProgressSink`
+is the complement: it *appends* one compact record per
+progress-relevant event directly to ``<out_dir>/progress.jsonl``,
+flushing after every line, so a concurrent reader (``repro status
+DIR``) always sees a valid prefix of the stream while the run is in
+flight. Each record is written with a single ``write`` call of one
+newline-terminated line (O_APPEND semantics), so records never
+interleave mid-line even if a worker process emits on the same file.
+
+The sink is a **filter** over the tracer's event stream: only the
+event names that carry progress information
+(:data:`PROGRESS_EVENT_NAMES`) are forwarded — replications finishing,
+adaptive stopping rounds, sweep points, controller epochs — plus a
+``start`` record when the sink opens and a ``done`` record when the
+session finalizes. It observes events that are emitted anyway, so
+attaching it cannot change any simulated number (the bit-identity
+test in ``tests/test_progress_stream.py`` holds the engine to that).
+
+:func:`read_progress` / :func:`progress_snapshot` are the read side:
+parse the stream (tolerating a torn final line mid-write) and distill
+it into the "how far along is this run" summary ``repro status``
+renders.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "PROGRESS_EVENT_NAMES",
+    "PROGRESS_FILENAME",
+    "ProgressSink",
+    "progress_snapshot",
+    "read_progress",
+]
+
+PROGRESS_FILENAME = "progress.jsonl"
+
+#: Tracer event names forwarded into the progress stream. Everything
+#: else (spans, queue samples, solver diagnostics) stays in
+#: ``events.jsonl`` only — the progress file is a heartbeat, not a log.
+PROGRESS_EVENT_NAMES = frozenset(
+    {
+        "sim.replication",
+        "sim.adaptive.round",
+        "sim.compare.metric",
+        "sweep.point",
+        "sim.epoch",
+        "control.run.done",
+        "experiment.done",
+    }
+)
+
+
+class ProgressSink:
+    """Append-only heartbeat JSONL with per-line flush.
+
+    Attach to ``Tracer.sinks`` like any other sink; :meth:`emit`
+    forwards only :data:`PROGRESS_EVENT_NAMES` point events as
+    ``{"kind": <event name>, "ts": ..., **fields}`` records.
+    Serialization failures are dropped silently (``n_dropped``) —
+    progress reporting must never take the computation down.
+    """
+
+    def __init__(self, path: str | Path, event_names: frozenset[str] = PROGRESS_EVENT_NAMES):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._names = frozenset(event_names)
+        self._fh = open(self.path, "a")
+        self.n_records = 0
+        self.n_dropped = 0
+        self._write({"kind": "start", "ts": time.time(), "pid": os.getpid()})
+
+    def emit(self, event: dict[str, Any]) -> None:
+        if event.get("type") != "event" or event.get("name") not in self._names:
+            return
+        self._write({"kind": event["name"], "ts": event.get("ts"), **event.get("fields", {})})
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._fh.closed:
+            return
+        try:
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            self.n_dropped += 1
+            return
+        # One write call per newline-terminated line + immediate flush:
+        # the file on disk is always a sequence of whole records.
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.n_records += 1
+
+    def close(self) -> None:
+        """Write the terminal ``done`` record and close the stream."""
+        if self._fh.closed:
+            return
+        self._write({"kind": "done", "ts": time.time()})
+        self._fh.close()
+
+
+def read_progress(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a progress stream, skipping a torn final line.
+
+    A reader can race the writer mid-``write``; every complete line is
+    valid JSON, so only an unparsable *last* line may be in flight and
+    is skipped. An unparsable line elsewhere raises — that is
+    corruption, not a race.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    records: list[dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break
+            raise
+    return records
+
+
+def progress_snapshot(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Distill a progress stream into the live-status summary.
+
+    Returns a plain dict with whatever the stream supports so far:
+    replications done/total (and cache hits), the latest adaptive
+    round's relative CIs, sweep points done per label, controller
+    epochs fired, whether the session has finalized, and the age of
+    the newest record.
+    """
+    out: dict[str, Any] = {
+        "started": any(r.get("kind") == "start" for r in records),
+        "finished": any(r.get("kind") == "done" for r in records),
+        "last_ts": max((r["ts"] for r in records if r.get("ts")), default=None),
+        "n_records": len(records),
+    }
+    reps = [r for r in records if r.get("kind") == "sim.replication"]
+    if reps:
+        last = reps[-1]
+        out["replications"] = {
+            "n_done": int(last.get("n_done", len(reps))),
+            "n_total": last.get("n_total"),
+            "cache_hits": sum(1 for r in reps if r.get("cached")),
+            "last_events_per_sec": last.get("events_per_sec"),
+        }
+    rounds = [r for r in records if r.get("kind") == "sim.adaptive.round"]
+    if rounds:
+        last = rounds[-1]
+        out["adaptive"] = {
+            "n_rounds": len(rounds),
+            "n_available": last.get("n_available"),
+            "stop_at": last.get("stop_at"),
+            "rel_ci": {
+                k.removeprefix("rel_ci."): v
+                for k, v in last.items()
+                if k.startswith("rel_ci.")
+            },
+        }
+    sweeps = [r for r in records if r.get("kind") == "sweep.point"]
+    if sweeps:
+        per_label: dict[str, dict[str, Any]] = {}
+        for r in sweeps:
+            rec = per_label.setdefault(
+                str(r.get("label", "")), {"n_done": 0, "n_total": r.get("n_total"), "n_failed": 0}
+            )
+            rec["n_done"] += 1
+            rec["n_total"] = r.get("n_total", rec["n_total"])
+            rec["n_failed"] += 1 if r.get("failed") else 0
+        out["sweeps"] = per_label
+    epochs = [r for r in records if r.get("kind") == "sim.epoch"]
+    if epochs:
+        out["epochs"] = {"n_fired": len(epochs), "last_t": epochs[-1].get("t")}
+    return out

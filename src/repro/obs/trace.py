@@ -51,7 +51,10 @@ def json_safe(value: Any) -> Any:
     if isinstance(value, (np.integer, np.floating, np.bool_)):
         return value.item()
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        # Recurse through the list view: structured arrays yield tuples
+        # and object/datetime arrays yield non-JSON elements that the
+        # fallback below must still catch.
+        return json_safe(value.tolist())
     if isinstance(value, dict):
         return {str(k): json_safe(v) for k, v in value.items()}
     if isinstance(value, (list, tuple, set, frozenset)):

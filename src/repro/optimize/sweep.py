@@ -123,6 +123,33 @@ class ContinuationSweep:
         return np.array(out)
 
 
+def _as_float(value: Any) -> float | None:
+    """``value`` as a plain float when it is scalar-like, else None.
+
+    Grid values are usually floats (budgets, bounds, loads); telemetry
+    consumers (the run store's frontier overlays) need them numeric,
+    while exotic grid values (tuples, configs) stay repr-only.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return None
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return float(value)
+    return None
+
+
+def _objective_of(result: Any) -> float | None:
+    """The scalar objective of one solved point, if it exposes one
+    (``fun`` for the continuous solvers, ``total_cost`` for P3)."""
+    for attr in ("fun", "total_cost"):
+        v = getattr(result, attr, None)
+        if v is not None:
+            try:
+                return float(v)
+            except (TypeError, ValueError):
+                return None
+    return None
+
+
 def continuation_sweep(
     solve: Callable[[Any, Any | None], Any],
     grid: Iterable[Any],
@@ -168,6 +195,7 @@ def continuation_sweep(
 
     out = ContinuationSweep(label=label)
     hint: Any = None
+    grid = list(grid)
     with obs.span("sweep.run", label=label, warm=warm_start):
         for value in grid:
             t0 = time.perf_counter()
@@ -198,6 +226,10 @@ def continuation_sweep(
                 "sweep.point",
                 label=label,
                 value=repr(value),
+                value_num=_as_float(value),
+                fun=_objective_of(result),
+                index=len(out.points) - 1,
+                n_total=len(grid),
                 warm=point.warm,
                 accepted=accepted,
                 n_evaluations=point.n_evaluations,

@@ -332,6 +332,8 @@ class _ReplicationRunner:
             n_events=timing.n_events,
             events_per_sec=timing.events_per_sec,
             cached=timing.cached,
+            n_done=self._n_done,
+            n_total=len(self.seeds),
         )
         if self.progress is not None:
             self.progress(timing, self._n_done, len(self.seeds))

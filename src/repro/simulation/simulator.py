@@ -417,6 +417,18 @@ def simulate(
                     "dynamic_energy": dyn_energy,
                 }
             )
+            # Controller-trace telemetry: epochs are decision instants
+            # (hundreds per run, never per-event), so emitting here
+            # keeps the epoch trace ingestable from events.jsonl
+            # without touching the hot loop. No-op while disabled.
+            obs.event(
+                "sim.epoch",
+                epoch=len(epoch_trace) - 1,
+                t=tb,
+                queues=counts,
+                speeds=speeds_now,
+                dynamic_energy=dyn_energy,
+            )
     else:
         next_epoch = float("inf")
 

@@ -105,6 +105,54 @@ class TestJsonSafe:
 
         assert json_safe(Weird()) == "<weird>"
 
+    def test_nan_and_inf_floats_preserved(self):
+        """Non-finite floats pass through as floats (Python's json
+        round-trips them as NaN/Infinity literals byte-identically)."""
+        import math
+
+        out = json_safe({"nan": float("nan"), "inf": float("inf"), "ninf": float("-inf")})
+        assert math.isnan(out["nan"])
+        assert out["inf"] == float("inf") and out["ninf"] == float("-inf")
+        text = json.dumps(out, sort_keys=True, separators=(",", ":"))
+        assert json.dumps(json.loads(text), sort_keys=True, separators=(",", ":")) == text
+
+    def test_nan_inside_numpy_array(self):
+        import math
+
+        out = json_safe(np.array([1.0, np.nan, np.inf]))
+        assert out[0] == 1.0 and math.isnan(out[1]) and out[2] == float("inf")
+        assert all(isinstance(v, float) for v in out)
+
+    def test_structured_array_recursed(self):
+        """Structured arrays list out as tuples whose elements must be
+        coerced element-wise, not repr'd wholesale."""
+        arr = np.array([(1, 2.5), (3, 4.5)], dtype=[("n", "i8"), ("x", "f8")])
+        out = json_safe(arr)
+        assert out == [[1, 2.5], [3, 4.5]]
+        assert isinstance(out[0][0], int) and isinstance(out[0][1], float)
+        json.dumps(out)
+
+    def test_object_and_datetime_arrays_fall_back_to_strings(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        out = json_safe(np.array([Weird(), Weird()], dtype=object))
+        assert out == ["<weird>", "<weird>"]
+        out = json_safe(np.array(["2026-01-01"], dtype="datetime64[D]"))
+        assert out == [str(out[0])] and json.dumps(out)
+
+    def test_nested_mixed_containers_never_raise(self):
+        arr = np.array([(0, np.nan)], dtype=[("a", "i4"), ("b", "f4")])
+        value = {
+            "deep": [arr, {"k": np.array([[1, 2], [3, 4]])}, (set([1]),)],
+            7: np.float32(2.0),
+        }
+        out = json_safe(value)
+        assert out["7"] == 2.0  # non-string keys coerced
+        assert out["deep"][1]["k"] == [[1, 2], [3, 4]]
+        json.dumps(out)
+
 
 class TestJsonlSink:
     def test_round_trip_lossless(self, tmp_path):

@@ -1,0 +1,159 @@
+"""Live progress streaming: ProgressSink, `repro status`, bit-identity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.progress import (
+    PROGRESS_EVENT_NAMES,
+    ProgressSink,
+    progress_snapshot,
+    read_progress,
+)
+
+
+class TestProgressSink:
+    def test_filters_to_progress_events_only(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        sink = ProgressSink(path)
+        sink.emit({"v": 1, "type": "span", "name": "sim.replication", "ts": 1.0})
+        sink.emit({"v": 1, "type": "event", "name": "sim.queue_sample", "ts": 1.0,
+                   "fields": {"n": 3}})
+        sink.emit({"v": 1, "type": "event", "name": "sim.replication", "ts": 2.0,
+                   "fields": {"index": 0, "n_done": 1, "n_total": 4}})
+        sink.close()
+        kinds = [r["kind"] for r in read_progress(path)]
+        assert kinds == ["start", "sim.replication", "done"]
+
+    def test_every_line_flushed_and_parseable_immediately(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        sink = ProgressSink(path)
+        sink.emit({"v": 1, "type": "event", "name": "sweep.point", "ts": 1.0,
+                   "fields": {"label": "f3", "index": 0, "n_total": 2}})
+        # No close(): the in-flight file must already hold whole records.
+        records = read_progress(path)
+        assert [r["kind"] for r in records] == ["start", "sweep.point"]
+        sink.close()
+
+    def test_unserializable_record_dropped_not_raised(self, tmp_path):
+        sink = ProgressSink(tmp_path / "p.jsonl")
+        sink.emit({"v": 1, "type": "event", "name": "sim.replication", "ts": 1.0,
+                   "fields": {"bad": object()}})
+        sink.close()
+        assert sink.n_dropped == 1
+        assert [r["kind"] for r in read_progress(tmp_path / "p.jsonl")] == ["start", "done"]
+
+    def test_close_idempotent(self, tmp_path):
+        sink = ProgressSink(tmp_path / "p.jsonl")
+        sink.close()
+        sink.close()
+        records = read_progress(tmp_path / "p.jsonl")
+        assert [r["kind"] for r in records] == ["start", "done"]
+
+
+class TestReadProgress:
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"start","ts":1.0}\n{"kind":"sim.repl')
+        records = read_progress(path)
+        assert len(records) == 1 and records[0]["kind"] == "start"
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"start","ts":1.0}\nGARBAGE\n{"kind":"done","ts":2.0}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_progress(path)
+
+
+class TestSnapshot:
+    def test_replication_and_adaptive_summary(self):
+        records = [
+            {"kind": "start", "ts": 1.0},
+            {"kind": "sim.replication", "ts": 2.0, "index": 0, "n_done": 1,
+             "n_total": 8, "cached": True, "events_per_sec": 0.0},
+            {"kind": "sim.replication", "ts": 3.0, "index": 1, "n_done": 2,
+             "n_total": 8, "cached": False, "events_per_sec": 1000.0},
+            {"kind": "sim.adaptive.round", "ts": 4.0, "round": 1, "n_available": 4,
+             "stop_at": None, "rel_ci.mean_delay": 0.12},
+            {"kind": "sweep.point", "ts": 5.0, "label": "f3", "index": 0,
+             "n_total": 5, "failed": True},
+            {"kind": "sim.epoch", "ts": 6.0, "epoch": 0, "t": 0.5},
+        ]
+        snap = progress_snapshot(records)
+        assert snap["started"] and not snap["finished"]
+        assert snap["last_ts"] == 6.0
+        assert snap["replications"] == {
+            "n_done": 2, "n_total": 8, "cache_hits": 1, "last_events_per_sec": 1000.0,
+        }
+        assert snap["adaptive"]["rel_ci"] == {"mean_delay": 0.12}
+        assert snap["sweeps"]["f3"] == {"n_done": 1, "n_total": 5, "n_failed": 1}
+        assert snap["epochs"] == {"n_fired": 1, "last_t": 0.5}
+
+    def test_empty_stream(self):
+        snap = progress_snapshot([])
+        assert snap == {"started": False, "finished": False,
+                        "last_ts": None, "n_records": 0}
+
+
+class TestLiveSession:
+    def test_session_writes_progress_stream(self, tmp_path):
+        out = tmp_path / "run"
+        with obs.telemetry_session(out, command=["test"]):
+            obs.event("sim.replication", index=0, n_done=1, n_total=1,
+                      cached=False, events_per_sec=1.0, n_events=10, wall_s=0.1)
+        records = read_progress(out / obs.PROGRESS_FILENAME)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "start" and kinds[-1] == "done"
+        assert "sim.replication" in kinds
+        assert set(kinds) - {"start", "done"} <= PROGRESS_EVENT_NAMES
+
+    def test_status_reads_in_flight_run(self, tmp_path, capsys):
+        """`repro status` sees live progress while the engine is still
+        replicating — exercised from inside the progress callback."""
+        from repro.experiments.common import small_cluster, small_workload
+        from repro.simulation import simulate_replications
+
+        out = tmp_path / "run"
+        seen: list[dict] = []
+
+        def spy(rec, done, total):
+            snap = progress_snapshot(read_progress(out / obs.PROGRESS_FILENAME))
+            seen.append(snap)
+            assert main(["status", str(out)]) == 0
+
+        with obs.telemetry_session(out, command=["test"]):
+            simulate_replications(
+                small_cluster(), small_workload(), horizon=30.0,
+                n_replications=3, seed=5, progress=spy,
+            )
+        assert len(seen) == 3
+        mid = seen[0]
+        assert mid["started"] and not mid["finished"]
+        assert mid["replications"]["n_done"] == 1
+        assert mid["replications"]["n_total"] == 3
+        text = capsys.readouterr().out
+        assert "running" in text and "replications" in text
+        assert main(["status", str(out)]) == 0
+        assert "finished" in capsys.readouterr().out
+
+    def test_status_missing_stream_errors(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_bit_identity_with_and_without_telemetry(self, tmp_path):
+        """Attaching the telemetry + progress stream must not change a
+        single simulated number (the observe-don't-perturb contract)."""
+        from repro.experiments.common import small_cluster, small_workload
+        from repro.simulation import simulate_replications
+
+        kwargs = dict(horizon=40.0, n_replications=3, seed=11)
+        bare = simulate_replications(small_cluster(), small_workload(), **kwargs)
+        with obs.telemetry_session(tmp_path / "run", command=["test"]):
+            observed = simulate_replications(small_cluster(), small_workload(), **kwargs)
+        assert bare.mean_delay == observed.mean_delay
+        assert bare.average_power == observed.average_power
+        np.testing.assert_array_equal(bare.delays, observed.delays)
+        np.testing.assert_array_equal(bare.delays_ci, observed.delays_ci)

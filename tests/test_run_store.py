@@ -1,0 +1,197 @@
+"""RunStore ingest/query API and the static dashboard renderer."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.dashboard import render_dashboard
+from repro.obs.store import RunStore
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """Two real --telemetry artifacts sharing a config fingerprint."""
+    root = tmp_path_factory.mktemp("store")
+    dirs = []
+    for seed in (1, 2):
+        out = root / f"run{seed}"
+        code = main([
+            "simulate", "--horizon", "40", "--replications", "2",
+            "--seed", str(seed), "--telemetry", str(out),
+        ])
+        assert code == 0
+        dirs.append(out)
+    return dirs
+
+
+@pytest.fixture(scope="module")
+def rich_artifact(tmp_path_factory):
+    """A synthetic artifact exercising every typed event projection."""
+    out = tmp_path_factory.mktemp("store") / "rich"
+    with obs.telemetry_session(out, command=["test", "rich"]):
+        obs.TELEMETRY.annotate(seed=7)
+        obs.event("solver.result", label="p1", method="SLSQP", success=True,
+                  nit=5, nfev=20, n_evaluations=60, status=0, wall_s=0.01)
+        obs.event("sim.adaptive.round", round=1, n_available=4, stop_at=None,
+                  **{"rel_ci.mean_delay": 0.2})
+        obs.event("sim.adaptive.round", round=2, n_available=8, stop_at=8,
+                  **{"rel_ci.mean_delay": 0.04})
+        for i in range(3):
+            obs.event("sim.epoch", epoch=i, t=0.5 * i, queues=[[i, 0], [0, i]],
+                      speeds=[1.0, 0.8], dynamic_energy=10.0 * i)
+            obs.event("sweep.point", label="f3", value="0.5", value_num=0.5 + i,
+                      fun=1.0 - 0.1 * i, index=i, n_total=3, warm=i > 0,
+                      accepted=None, n_evaluations=30, failed=False, wall_s=0.02)
+    return out
+
+
+class TestIngest:
+    def test_two_runs_ingested(self, artifacts, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            ids = [store.ingest(d) for d in artifacts]
+            runs = store.runs()
+            assert [r["id"] for r in runs] == ids
+            assert [r["seed"] for r in runs] == [1, 2]
+            assert all(r["config_fingerprint"] for r in runs)
+            assert runs[0]["config_fingerprint"] == runs[1]["config_fingerprint"]
+            assert all(r["n_events"] > 0 and r["wall_s"] > 0 for r in runs)
+
+    def test_reingest_is_idempotent(self, artifacts, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.ingest(artifacts[0])
+            first = store.runs()[0]
+            again = store.ingest(artifacts[0])
+            runs = store.runs()
+            assert len(runs) == 1 and runs[0]["id"] == again
+            assert runs[0]["n_events"] == first["n_events"]
+            # children replaced, not duplicated
+            assert len(store.spans(again)) > 0
+            assert len(store.events(again)) == runs[0]["n_events"] - len(store.spans(again))
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            with pytest.raises(FileNotFoundError):
+                store.ingest(tmp_path)
+
+    def test_dropped_count_surfaced(self, artifacts, tmp_path):
+        doctored = tmp_path / "doctored"
+        doctored.mkdir()
+        man = json.loads((artifacts[0] / obs.MANIFEST_FILENAME).read_text())
+        man["events"]["dropped"] = 3
+        (doctored / obs.MANIFEST_FILENAME).write_text(json.dumps(man))
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            run_id = store.ingest(doctored)
+            assert store.run(run_id)["n_dropped"] == 3
+
+
+class TestQueries:
+    def test_spans_events_metrics(self, artifacts, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            rid = store.ingest(artifacts[0])
+            spans = store.spans(rid)
+            assert any(s["name"] == "sim.replications" for s in spans)
+            assert all(isinstance(s["tags"], dict) for s in spans)
+            reps = store.events(rid, "sim.replication")
+            assert len(reps) == 2
+            assert all(r["fields"]["events_per_sec"] > 0 for r in reps)
+            metrics = store.metrics(rid)
+            assert metrics["sim.events"]["value"] > 0
+
+    def test_metric_series_across_runs(self, artifacts, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            for d in artifacts:
+                store.ingest(d)
+            series = store.metric_series("sim.events")
+            assert len(series) == 2
+            assert all(rec["value"] > 0 for rec in series)
+            assert [rec["seed"] for rec in series] == [1, 2]
+
+    def test_typed_projections(self, rich_artifact, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            rid = store.ingest(rich_artifact)
+            (solve,) = store.solver_results(rid)
+            assert solve["label"] == "p1" and solve["success"] == 1
+            rounds = store.adaptive_rounds(rid)
+            assert [r["round"] for r in rounds] == [1, 2]
+            assert rounds[1]["rel_ci"] == {"mean_delay": 0.04}
+            trace = store.epoch_trace(rid)
+            assert [e["epoch"] for e in trace] == [0, 1, 2]
+            assert trace[1]["speeds"] == [1.0, 0.8]
+            points = store.sweep_points(rid)
+            assert len(points) == 3
+            assert points[0]["label"] == "f3" and points[2]["fun"] == pytest.approx(0.8)
+
+    def test_compare(self, artifacts, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            a, b = (store.ingest(d) for d in artifacts)
+            cmp = store.compare(a, b)
+            assert cmp["same_fingerprint"] is True
+            assert cmp["same_seed"] is False
+            assert cmp["metrics"]["sim.events"]["ratio"] > 0
+            assert cmp["a"]["seed"] == 1 and cmp["b"]["seed"] == 2
+
+    def test_unknown_run_raises(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            with pytest.raises(KeyError):
+                store.run(99)
+
+
+class TestDashboard:
+    def test_render_contains_all_sections(self, artifacts, rich_artifact, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            for d in [*artifacts, rich_artifact]:
+                store.ingest(d)
+            html = render_dashboard(store, tmp_path / "dash.html")
+        assert (tmp_path / "dash.html").read_text() == html
+        for section in ("<h2>Runs</h2>", "<h2>Span timings</h2>",
+                        "<h2>Adaptive replication</h2>",
+                        "<h2>Controller epoch traces</h2>",
+                        "<h2>Frontier overlays</h2>"):
+            assert section in html
+        # self-contained: no scripts, no network references
+        assert "<script" not in html
+        assert 'src="http' not in html and 'href="http' not in html
+
+    def test_bench_history_section(self, artifacts, tmp_path):
+        hist = tmp_path / "hist.jsonl"
+        with open(hist, "w") as fh:
+            for i in range(3):
+                fh.write(json.dumps({
+                    "schema": 1, "created_unix": 1000 + i, "host": "x",
+                    "kernels": {"sim_replication_h500": 1.0 + 0.1 * i},
+                }) + "\n")
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.ingest(artifacts[0])
+            html = render_dashboard(store, bench_history=hist)
+        assert "<h2>Benchmark history</h2>" in html
+        assert "sim_replication_h500" in html
+
+    def test_empty_store_renders(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            html = render_dashboard(store)
+        assert "No runs ingested yet" in html
+
+
+class TestCli:
+    def test_ingest_then_dashboard(self, artifacts, tmp_path, capsys):
+        store = tmp_path / "runs.sqlite"
+        out = tmp_path / "dash.html"
+        code = main(["telemetry", "ingest", *map(str, artifacts),
+                     "--store", str(store)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "ingested" in text and "2 run(s)" in text
+        assert main(["dashboard", "--store", str(store), "--out", str(out)]) == 0
+        assert "<h2>Runs</h2>" in out.read_text()
+
+    def test_ingest_bad_dir_errors(self, tmp_path, capsys):
+        code = main(["telemetry", "ingest", str(tmp_path / "nope"),
+                     "--store", str(tmp_path / "s.sqlite")])
+        assert code == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_dashboard_missing_store_errors(self, tmp_path, capsys):
+        assert main(["dashboard", "--store", str(tmp_path / "none.sqlite")]) == 1
+        assert "error" in capsys.readouterr().out

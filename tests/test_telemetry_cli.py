@@ -88,3 +88,49 @@ class TestSummarize:
     def test_summarize_missing_artifact_errors(self, tmp_path, capsys):
         assert main(["telemetry", "summarize", str(tmp_path / "nope")]) == 1
         assert "error" in capsys.readouterr().out
+
+    def test_summarize_warns_on_dropped_events(self, artifact, tmp_path, capsys):
+        """Nonzero dropped-event count must be loudly visible."""
+        doctored = tmp_path / "doctored"
+        doctored.mkdir()
+        man = json.loads((artifact / obs.MANIFEST_FILENAME).read_text())
+        man["events"]["dropped"] = 2
+        (doctored / obs.MANIFEST_FILENAME).write_text(json.dumps(man))
+        assert main(["telemetry", "summarize", str(doctored)]) == 0
+        text = capsys.readouterr().out
+        assert "WARNING" in text and "2 event(s)" in text and "incomplete" in text
+
+    def test_manifest_carries_event_accounting(self, artifact):
+        man = json.loads((artifact / obs.MANIFEST_FILENAME).read_text())
+        n_lines = len((artifact / obs.EVENTS_FILENAME).read_text().splitlines())
+        assert man["events"]["emitted"] == n_lines
+        assert man["events"]["dropped"] == 0
+
+
+class TestSummarizeComparison:
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        """Two runs of the same configuration, different seeds."""
+        root = tmp_path_factory.mktemp("cmp")
+        dirs = []
+        for seed in (10, 11):
+            out = root / f"s{seed}"
+            assert main([
+                "simulate", "--horizon", "40", "--replications", "2",
+                "--seed", str(seed), "--telemetry", str(out),
+            ]) == 0
+            dirs.append(out)
+        return dirs
+
+    def test_side_by_side_table(self, pair, capsys):
+        assert main(["telemetry", "summarize", *map(str, pair)]) == 0
+        text = capsys.readouterr().out
+        assert "Run comparison (2 runs)" in text
+        for row in ("wall s (root spans)", "events", "cache hits",
+                    "sim events", "fingerprint", "seed"):
+            assert row in text
+        assert "sharing a fingerprint" in text
+
+    def test_single_dir_has_no_comparison(self, pair, capsys):
+        assert main(["telemetry", "summarize", str(pair[0])]) == 0
+        assert "Run comparison" not in capsys.readouterr().out
