@@ -31,10 +31,19 @@ __all__ = [
     "append_history",
     "load_history",
     "check_history",
+    "BenchSkip",
     "KERNELS",
     "DEFAULT_GATES",
     "DEFAULT_HISTORY",
 ]
+
+
+class BenchSkip(Exception):
+    """A kernel's setup declined to run on this host (missing optional
+    capability, e.g. no C toolchain for the compiled simulation
+    backend). The kernel is recorded as skipped instead of timed; a
+    skipped *gated* kernel still fails ``--check`` — a gate that cannot
+    run cannot vouch that it didn't regress."""
 
 #: Default location of the append-only bench history (one JSON line per
 #: recorded run; read by ``check_history`` and the dashboard).
@@ -49,7 +58,21 @@ DEFAULT_HISTORY = "benchmarks/results/BENCH_history.jsonl"
 #: falls back to the fixed replication count (so the bench errors out
 #: long before any timing comparison), and its normalized time is
 #: checked like the other gates.
-DEFAULT_GATES = ("sim_replication_h500", "frontier_sweep_warm", "adaptive_vs_fixed")
+#: ``sim_replication_h500_compiled`` gates the compiled event-loop
+#: kernel: its setup *raises* when the compiled backend fails to beat
+#: the pure-Python loop by the 10x acceptance floor, and its normalized
+#: time is checked like the other gates (a fallback to pure Python is
+#: ~15x slower and blows the tolerance immediately).
+#: ``fleet_sweep_1k`` gates the fleet runner end to end: 1000
+#: (scenario × replication) units through the work-stealing dispatch
+#: path into a columnar store.
+DEFAULT_GATES = (
+    "sim_replication_h500",
+    "sim_replication_h500_compiled",
+    "fleet_sweep_1k",
+    "frontier_sweep_warm",
+    "adaptive_vs_fixed",
+)
 
 #: Name of the machine-speed calibration kernel.
 CALIBRATION = "calibration_spin"
@@ -71,6 +94,126 @@ def _kernel_sim_replication_h500() -> Callable[[], object]:
 
     cluster, workload = canonical_cluster(), canonical_workload()
     return lambda: simulate(cluster, workload, horizon=500.0, seed=99)
+
+
+def _kernel_sim_replication_h500_compiled() -> Callable[[], object]:
+    """The same replication as ``sim_replication_h500`` on the compiled
+    C event-loop kernel.
+
+    Setup enforces the acceptance floor: it times both backends once
+    (min over 3) and **raises** when the compiled kernel is less than
+    10x faster than the pure-Python loop — a silent fallback or a
+    de-optimized kernel is a correctness-of-claim regression, not a
+    slowdown, and must fail the bench outright. Hosts without a C
+    toolchain skip via :class:`BenchSkip` (which still fails the gate
+    under ``--check``).
+    """
+    import os
+
+    from repro.experiments.common import canonical_cluster, canonical_workload
+    from repro.simulation import simulate
+    from repro.simulation.compiled import kernel_available, kernel_status
+
+    if not kernel_available():
+        raise BenchSkip(f"compiled kernel unavailable: {kernel_status()['error']}")
+    cluster, workload = canonical_cluster(), canonical_workload()
+
+    def once(backend: str) -> float:
+        prev = os.environ.get("REPRO_SIM_BACKEND")
+        os.environ["REPRO_SIM_BACKEND"] = backend
+        try:
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                simulate(cluster, workload, horizon=500.0, seed=99)
+                best = min(best, time.perf_counter() - t0)
+            return best
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_SIM_BACKEND", None)
+            else:
+                os.environ["REPRO_SIM_BACKEND"] = prev
+
+    t_compiled = once("compiled")  # first call also pays the one-time build
+    t_python = once("python")
+    speedup = t_python / t_compiled if t_compiled > 0 else float("inf")
+    if speedup < 10.0:
+        raise RuntimeError(
+            f"compiled backend speedup {speedup:.1f}x below the 10x acceptance "
+            f"floor (python {t_python * 1e3:.2f} ms, compiled {t_compiled * 1e3:.2f} ms)"
+        )
+    extra = {"speedup_vs_python": round(speedup, 2)}
+
+    def run() -> dict:
+        prev = os.environ.get("REPRO_SIM_BACKEND")
+        os.environ["REPRO_SIM_BACKEND"] = "compiled"
+        try:
+            simulate(cluster, workload, horizon=500.0, seed=99)
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_SIM_BACKEND", None)
+            else:
+                os.environ["REPRO_SIM_BACKEND"] = prev
+        return {"bench_extra": extra}
+
+    return run
+
+
+def _kernel_fleet_sweep_1k() -> Callable[[], object]:
+    """1000 (scenario × replication) units through the fleet runner.
+
+    Serial dispatch (process-pool start-up would dominate a micro
+    benchmark and add scheduler noise) on the small validation
+    cluster, streaming into an npz-format columnar store in a
+    temporary directory — the end-to-end per-unit overhead of the
+    fleet path: seed derivation, simulation, row distillation, and
+    buffered columnar writes. Raises when any unit fails.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.common import small_cluster, small_workload
+    from repro.simulation import FleetScenario, run_fleet
+
+    cluster = small_cluster()
+    scenarios = [
+        FleetScenario(
+            label=f"load={f:g}",
+            cluster=cluster,
+            workload=small_workload(f),
+            horizon=10.0,
+            params={"load_factor": f},
+        )
+        for f in (0.5, 0.7, 0.9, 1.1)
+    ]
+
+    def run() -> dict:
+        tmp = tempfile.mkdtemp(prefix="repro-fleet-bench-")
+        try:
+            summary = run_fleet(
+                scenarios,
+                250,
+                f"{tmp}/store",
+                seed=7,
+                n_jobs=1,
+                store_format="npz",
+                progress_every=1e9,
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        if summary.n_done != 1000 or summary.n_failed:
+            raise RuntimeError(
+                f"fleet sweep completed {summary.n_done}/1000 units "
+                f"({summary.n_failed} failed)"
+            )
+        return {
+            "bench_extra": {
+                "n_units": summary.n_done,
+                "units_per_sec": round(summary.units_per_sec, 1),
+            }
+        }
+
+    return run
 
 
 def _kernel_analytic_eval_x100() -> Callable[[], object]:
@@ -341,6 +484,8 @@ def _kernel_exhaustive_canonical_10() -> Callable[[], object]:
 KERNELS: dict[str, Callable[[], Callable[[], object]]] = {
     CALIBRATION: _kernel_calibration_spin,
     "sim_replication_h500": _kernel_sim_replication_h500,
+    "sim_replication_h500_compiled": _kernel_sim_replication_h500_compiled,
+    "fleet_sweep_1k": _kernel_fleet_sweep_1k,
     "analytic_eval_x100": _kernel_analytic_eval_x100,
     "batch_eval_100": _kernel_batch_eval_100,
     "percentile_batch_x50": _kernel_percentile_batch_x50,
@@ -372,7 +517,11 @@ def run_benchmarks(
         names.insert(0, CALIBRATION)
     kernels: dict[str, dict] = {}
     for name in names:
-        fn = KERNELS[name]()
+        try:
+            fn = KERNELS[name]()
+        except BenchSkip as exc:
+            kernels[name] = {"skipped": str(exc)}
+            continue
         fn()  # warm-up, untimed
         runs = []
         last = None
@@ -423,6 +572,18 @@ def compare_to_baseline(
     failures = []
     for name in sorted(set(cur_k) & set(base_k)):
         if name == CALIBRATION:
+            continue
+        gated_now = name in gates
+        if "min_s" not in cur_k[name] or "min_s" not in base_k[name]:
+            # Skipped on this host (or in the baseline): a gated kernel
+            # that cannot run cannot vouch that it didn't regress.
+            reason = cur_k[name].get("skipped") or base_k[name].get("skipped") or "?"
+            status = "SKIPPED-GATE-FAILED" if gated_now else "skipped"
+            if gated_now:
+                failures.append(name)
+            lines.append(
+                f"{name:28s} skipped ({reason}) [{'gate' if gated_now else 'info'}] {status}"
+            )
             continue
         cur = cur_k[name]["min_s"]
         base = base_k[name]["min_s"]
@@ -563,7 +724,10 @@ def main_bench(
     """Implementation of ``repro bench`` (returns the exit code)."""
     doc = run_benchmarks(repeats=repeats)
     for name, rec in doc["kernels"].items():
-        print(f"{name:28s} min {rec['min_s'] * 1e3:9.2f} ms over {repeats} runs")
+        if "min_s" in rec:
+            print(f"{name:28s} min {rec['min_s'] * 1e3:9.2f} ms over {repeats} runs")
+        else:
+            print(f"{name:28s} skipped ({rec.get('skipped', '?')})")
     if out:
         with open(out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

@@ -21,6 +21,14 @@ Commands
     per-replication progress (wall time, events/sec, cache hits).
     With ``--target-rel-ci`` the adaptive engine picks the
     replication count and reports the per-round precision trace.
+``fleet --out DIR [--load-factors ...] [--replications N] [--jobs N]``
+    Fleet-scale sweep: every (scenario × replication) unit pulled off
+    a shared work-stealing queue by a process pool, one compact metric
+    row per unit streamed into a columnar result store (Parquet when
+    ``pyarrow`` is importable, compressed npz otherwise). With
+    ``--telemetry DIR``, ``repro status DIR`` tails live progress;
+    ``repro telemetry ingest --fleet DIR`` folds per-scenario
+    aggregates into the SQLite store.
 ``report [--load-factor F]``
     Analytic delay/energy report of the canonical cluster under the
     canonical workload — the fastest way to see claim-1 numbers.
@@ -149,6 +157,56 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--warmup-fraction", type=float, default=0.1)
     add_engine_options(sim_p)
 
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="fleet-scale (scenario x replication) sweep into a columnar result store",
+    )
+    fleet_p.add_argument(
+        "--load-factors",
+        default="0.6,0.8,1.0,1.2",
+        help="comma-separated load factors defining the scenario grid",
+    )
+    fleet_p.add_argument(
+        "--replications", type=int, default=25, help="replications per scenario"
+    )
+    fleet_p.add_argument("--horizon", type=float, default=200.0)
+    fleet_p.add_argument("--warmup-fraction", type=float, default=0.1)
+    fleet_p.add_argument("--seed", type=int, default=0)
+    fleet_p.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="directory the columnar store is created in (must not already hold one)",
+    )
+    fleet_p.add_argument(
+        "--backend",
+        choices=["python", "compiled", "auto"],
+        default=None,
+        help="simulation backend for the workers (default: REPRO_SIM_BACKEND or python)",
+    )
+    fleet_p.add_argument(
+        "--format",
+        choices=["parquet", "npz"],
+        default=None,
+        help="row-group format (default: parquet when pyarrow is importable, else npz)",
+    )
+    fleet_p.add_argument(
+        "--jobs",
+        type=int,
+        default=-1,
+        help="worker processes pulling units off the shared queue (-1 = all cores)",
+    )
+    fleet_p.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="write a run manifest + progress heartbeat to this directory "
+        "(watch with: repro status DIR)",
+    )
+    fleet_p.add_argument(
+        "--telemetry-sample-queues", action="store_true", help=argparse.SUPPRESS
+    )
+
     rep_p = sub.add_parser("report", help="analytic report of the canonical cluster")
     rep_p.add_argument("--load-factor", type=float, default=1.0)
 
@@ -237,8 +295,16 @@ def build_parser() -> argparse.ArgumentParser:
     tel_ing = tel_sub.add_parser(
         "ingest", help="load telemetry artifacts into the cross-run SQLite store"
     )
-    tel_ing.add_argument("paths", nargs="+", metavar="path",
+    tel_ing.add_argument("paths", nargs="*", metavar="path",
                          help="telemetry directories to ingest")
+    tel_ing.add_argument(
+        "--fleet",
+        action="append",
+        metavar="DIR",
+        default=None,
+        help="also ingest this columnar fleet store (repeatable; per-scenario "
+        "aggregates land in the fleet_sweeps/fleet_scenarios tables)",
+    )
     tel_ing.add_argument(
         "--store",
         default=None,
@@ -484,6 +550,104 @@ def _cmd_simulate(
     return 0
 
 
+def _cmd_fleet(
+    load_factors: str,
+    replications: int,
+    horizon: float,
+    warmup_fraction: float,
+    seed: int,
+    out: str,
+    backend: str | None,
+    store_format: str | None,
+    jobs: int | None,
+) -> int:
+    """Sweep the canonical cluster over a load-factor grid into one
+    columnar store — the CLI surface of the fleet runner."""
+    import time
+
+    from repro.analysis.tables import ascii_table
+    from repro.experiments.common import canonical_cluster, canonical_workload
+    from repro.simulation import FleetScenario, FleetStore, run_fleet
+
+    try:
+        factors = [float(x) for x in load_factors.split(",") if x.strip()]
+    except ValueError:
+        print(f"error: --load-factors must be comma-separated numbers, got {load_factors!r}")
+        return 1
+    if not factors:
+        print("error: --load-factors produced an empty grid")
+        return 1
+    cluster = canonical_cluster()
+    scenarios = [
+        FleetScenario(
+            label=f"load={f:g}",
+            cluster=cluster,
+            workload=canonical_workload(f),
+            horizon=horizon,
+            warmup_fraction=warmup_fraction,
+            params={"load_factor": f},
+        )
+        for f in factors
+    ]
+    n_units = len(scenarios) * replications
+    print(
+        f"fleet: {len(scenarios)} scenarios x {replications} replications "
+        f"= {n_units} units -> {out}"
+    )
+    start = time.perf_counter()
+    last_line_len = 0
+
+    def progress(n_done: int, n_failed: int, n_total: int) -> None:
+        nonlocal last_line_len
+        rate = n_done / max(time.perf_counter() - start, 1e-9)
+        failed = f", {n_failed} failed" if n_failed else ""
+        line = f"  {n_done}/{n_total} units ({rate:,.0f} units/s{failed})"
+        pad = " " * max(0, last_line_len - len(line))
+        print("\r" + line + pad, end="", flush=True)
+        last_line_len = len(line)
+
+    summary = run_fleet(
+        scenarios,
+        replications,
+        out,
+        seed=seed,
+        n_jobs=jobs,
+        backend=backend,
+        store_format=store_format,
+        progress=progress,
+    )
+    print()
+    store = FleetStore.open(out)
+    rows = [
+        [
+            rec["label"],
+            rec["n"],
+            round(rec["mean_delay"]["mean"], 4),
+            round(rec["mean_delay"]["std"], 4),
+            round(rec["average_power"]["mean"], 1),
+        ]
+        for rec in store.scenario_table(metrics=["mean_delay", "average_power"])
+    ]
+    print(
+        ascii_table(
+            ["scenario", "units", "mean delay (s)", "std", "power (W)"],
+            rows,
+            title=f"Fleet sweep ({summary.n_done}/{summary.n_units} units, "
+            f"{summary.wall_time_s:.1f}s, {summary.units_per_sec:,.0f} units/s, "
+            f"{summary.n_workers} workers)",
+        )
+    )
+    print(
+        f"[store: {summary.store_path} ({store.fmt}, {store.n_rows} rows); "
+        f"query with repro.simulation.FleetStore.open(...) or ingest with: "
+        f"repro telemetry ingest --fleet {summary.store_path}]"
+    )
+    if summary.n_failed:
+        print(f"WARNING: {summary.n_failed} unit(s) failed — see the store manifest")
+        return 1
+    return 0
+
+
 def _cmd_solve(problem: str, load_factor: float, budget_fraction: float, delay_slack: float) -> int:
     from repro.core import minimize_cost, minimize_delay, minimize_energy
     from repro.experiments.common import canonical_cluster, canonical_sla, canonical_workload
@@ -722,10 +886,17 @@ def _telemetry_compare(paths: list[str]) -> int:
     return 0
 
 
-def _cmd_telemetry_ingest(paths: list[str], store_path: str | None) -> int:
-    """Load telemetry directories into the cross-run SQLite store."""
+def _cmd_telemetry_ingest(
+    paths: list[str], store_path: str | None, fleet: list[str] | None = None
+) -> int:
+    """Load telemetry directories (and fleet stores) into the cross-run
+    SQLite store."""
+    from repro.exceptions import ModelValidationError
     from repro.obs import STORE_FILENAME, RunStore
 
+    if not paths and not fleet:
+        print("error: nothing to ingest — give telemetry directories and/or --fleet DIR")
+        return 1
     target = store_path or STORE_FILENAME
     code = 0
     with RunStore(target) as store:
@@ -742,8 +913,21 @@ def _cmd_telemetry_ingest(paths: list[str], store_path: str | None) -> int:
             n_records = len(store.spans(run_id)) + len(store.events(run_id))
             print(f"ingested {path} as run {run_id} "
                   f"({n_records} records, seed {run.get('seed')}){note}")
+        for path in fleet or []:
+            try:
+                sweep_id = store.ingest_fleet(path)
+            except (FileNotFoundError, ModelValidationError) as exc:
+                print(f"error: {exc}")
+                code = 1
+                continue
+            scen = store.fleet_scenarios(sweep_id)
+            n_units = sum(r["n"] for r in scen)
+            print(f"ingested fleet store {path} as sweep {sweep_id} "
+                  f"({len(scen)} scenarios, {n_units} units)")
         n = len(store.runs())
-    print(f"[store {target} now holds {n} run(s); render with: repro dashboard "
+        n_sweeps = len(store.fleet_sweeps())
+    sweeps_s = f" and {n_sweeps} fleet sweep(s)" if n_sweeps else ""
+    print(f"[store {target} now holds {n} run(s){sweeps_s}; render with: repro dashboard "
           f"--store {target}]")
     return code
 
@@ -787,6 +971,15 @@ def _cmd_status(path: str) -> int:
     ep = snap.get("epochs")
     if ep:
         print(f"  controller    {ep['n_fired']} epochs fired (t={ep['last_t']:g})")
+    fleet = snap.get("fleet")
+    if fleet:
+        total = fleet.get("n_total")
+        total_s = f"/{total}" if total is not None else ""
+        rate = fleet.get("units_per_sec")
+        rate_s = f", {rate:,.1f} units/s" if rate else ""
+        failed = f", {fleet['n_failed']} failed" if fleet.get("n_failed") else ""
+        state = "done" if fleet.get("finished") else "running"
+        print(f"  fleet         {fleet['n_done']}{total_s} units ({state}{rate_s}{failed})")
     return 0
 
 
@@ -846,7 +1039,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 code = _telemetry_compare(args.paths)
             return code
         if args.telemetry_command == "ingest":
-            return _cmd_telemetry_ingest(args.paths, args.store)
+            return _cmd_telemetry_ingest(args.paths, args.store, args.fleet)
         raise AssertionError(
             f"unhandled telemetry command {args.telemetry_command!r}"
         )  # pragma: no cover
@@ -912,6 +1105,18 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             print(text)
         return 0
+    if args.command == "fleet":
+        return _cmd_fleet(
+            args.load_factors,
+            args.replications,
+            args.horizon,
+            args.warmup_fraction,
+            args.seed,
+            args.out,
+            args.backend,
+            args.format,
+            args.jobs,
+        )
     if args.command == "solve":
         return _cmd_solve(args.problem, args.load_factor, args.budget_fraction, args.delay_slack)
     if args.command == "bench":

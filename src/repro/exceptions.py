@@ -62,6 +62,18 @@ class ReproWarning(UserWarning):
     """Base class for all warnings issued by the :mod:`repro` package."""
 
 
+class CompiledFallbackWarning(ReproWarning):
+    """The compiled simulation backend was requested but not used.
+
+    Issued (once per process and reason) when ``REPRO_SIM_BACKEND`` is
+    set to ``compiled`` but the C kernel cannot be built/loaded or the
+    run's configuration is outside the kernel's supported envelope
+    (PS tiers, dynamic speed control, antithetic streams, telemetry
+    queue sampling). The run transparently degrades to the pure-Python
+    engine, which produces bit-identical results.
+    """
+
+
 class WarmupDiscardWarning(ReproWarning):
     """A simulation's warmup window discarded most of its data.
 

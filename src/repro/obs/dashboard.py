@@ -444,6 +444,61 @@ def _section_frontiers(store: Any, runs: list[dict[str, Any]]) -> str:
     )
 
 
+def _section_fleet(store: Any) -> str:
+    sweeps = store.fleet_sweeps()
+    if not sweeps:
+        return ""
+    blocks = []
+    for sweep in sweeps:
+        scen = store.fleet_scenarios(sweep["id"])
+        if not scen:
+            continue
+        # Chart delay vs the swept parameter when the grid has one
+        # numeric axis; fall back to the scenario index otherwise.
+        param_keys = {k for s in scen for k in s["params"]}
+        axis = None
+        if len(param_keys) == 1:
+            key = next(iter(param_keys))
+            vals = [s["params"].get(key) for s in scen]
+            if all(isinstance(v, (int, float)) for v in vals):
+                axis = (key, vals)
+        xs = axis[1] if axis else [s["scenario"] for s in scen]
+        series = [_Series("mean delay", xs, [s["mean_delay"] for s in scen])]
+        failed = sweep.get("n_failed") or 0
+        failed_s = f" · {failed} failed" if failed else ""
+        blocks.append(
+            f"<h3>{_esc(Path(sweep['store_dir']).name)}</h3>"
+            f'<p class="sub">{sweep.get("n_rows", 0)} units · '
+            f'{sweep.get("n_scenarios", 0)} scenarios × '
+            f'{sweep.get("n_replications", "?")} replications · '
+            f'{_esc(sweep.get("backend") or "?")} backend · '
+            f'{_esc(sweep.get("fmt") or "?")} store{failed_s}</p>'
+            + _line_chart(
+                series,
+                x_label=axis[0] if axis else "scenario",
+                y_label="mean delay (s)",
+            )
+            + _table(
+                ["scenario", "units", "mean delay (s)", "std", "power (W)",
+                 "std", "energy (J/req)"],
+                [
+                    [s["label"], s["n"], s["mean_delay"], s["mean_delay_std"],
+                     s["average_power"], s["average_power_std"],
+                     s["energy_per_request"]]
+                    for s in scen
+                ],
+            )
+        )
+    if not blocks:
+        return ""
+    return (
+        "<h2>Fleet sweeps</h2>"
+        '<p class="sub">Per-scenario aggregates of columnar fleet stores'
+        " (<code>repro fleet</code> → <code>repro telemetry ingest"
+        " --fleet DIR</code>).</p>" + "".join(blocks)
+    )
+
+
 def _section_bench(history_path: Path) -> str:
     if not history_path.exists():
         return ""
@@ -521,6 +576,7 @@ def render_dashboard(
         body.append(_section_adaptive(store, runs))
         body.append(_section_epochs(store, runs))
         body.append(_section_frontiers(store, runs))
+    body.append(_section_fleet(store))
     if bench_history is not None:
         body.append(_section_bench(Path(bench_history)))
     doc = (

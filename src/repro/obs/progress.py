@@ -56,6 +56,8 @@ PROGRESS_EVENT_NAMES = frozenset(
         "sim.epoch",
         "control.run.done",
         "experiment.done",
+        "fleet.unit",
+        "fleet.done",
     }
 )
 
@@ -180,4 +182,14 @@ def progress_snapshot(records: list[dict[str, Any]]) -> dict[str, Any]:
     epochs = [r for r in records if r.get("kind") == "sim.epoch"]
     if epochs:
         out["epochs"] = {"n_fired": len(epochs), "last_t": epochs[-1].get("t")}
+    units = [r for r in records if r.get("kind") in ("fleet.unit", "fleet.done")]
+    if units:
+        last = units[-1]
+        out["fleet"] = {
+            "n_done": int(last.get("n_done", 0)),
+            "n_failed": int(last.get("n_failed", 0)),
+            "n_total": last.get("n_total"),
+            "units_per_sec": last.get("units_per_sec"),
+            "finished": any(r.get("kind") == "fleet.done" for r in units),
+        }
     return out

@@ -128,6 +128,33 @@ CREATE TABLE IF NOT EXISTS sweep_points (
     n_evaluations INTEGER,
     wall_s REAL
 );
+CREATE TABLE IF NOT EXISTS fleet_sweeps (
+    id INTEGER PRIMARY KEY,
+    store_dir TEXT UNIQUE NOT NULL,
+    ingested_unix REAL NOT NULL,
+    seed INTEGER,
+    fmt TEXT,
+    backend TEXT,
+    n_rows INTEGER,
+    n_scenarios INTEGER,
+    n_replications INTEGER,
+    n_failed INTEGER,
+    wall_s REAL,
+    meta TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS fleet_scenarios (
+    sweep_id INTEGER NOT NULL REFERENCES fleet_sweeps (id) ON DELETE CASCADE,
+    scenario INTEGER,
+    label TEXT,
+    params TEXT,
+    n INTEGER,
+    mean_delay REAL,
+    mean_delay_std REAL,
+    average_power REAL,
+    average_power_std REAL,
+    energy_per_request REAL
+);
+CREATE INDEX IF NOT EXISTS idx_fleet_scenarios ON fleet_scenarios (sweep_id, scenario);
 """
 
 
@@ -371,7 +398,101 @@ class RunStore:
             ],
         )
 
+    def ingest_fleet(self, store_dir: str | Path) -> int:
+        """Ingest a columnar fleet store; returns its ``fleet_sweeps.id``.
+
+        Folds the store's per-unit rows into per-scenario aggregates
+        (mean/std of the headline metrics) — the summary resolution
+        the dashboard and cross-run SQL need, without copying every
+        unit row into SQLite (the columnar store stays the source of
+        truth for unit-level queries). Idempotent per resolved
+        directory, like :meth:`ingest`.
+        """
+        from repro.simulation.results_store import FleetStore
+
+        root = Path(store_dir).resolve()
+        fstore = FleetStore.open(root)
+        table = fstore.scenario_table(
+            metrics=["mean_delay", "average_power", "energy_per_request"]
+        )
+        meta = fstore.meta
+        cur = self._conn.cursor()
+        cur.execute("BEGIN")
+        try:
+            cur.execute("DELETE FROM fleet_sweeps WHERE store_dir = ?", (str(root),))
+            cur.execute(
+                "INSERT INTO fleet_sweeps (store_dir, ingested_unix, seed, fmt, backend,"
+                " n_rows, n_scenarios, n_replications, n_failed, wall_s, meta)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    str(root),
+                    time.time(),
+                    meta.get("seed"),
+                    fstore.fmt,
+                    meta.get("backend"),
+                    fstore.n_rows,
+                    len(meta.get("scenarios", [])) or len(table),
+                    meta.get("n_replications"),
+                    meta.get("n_failed"),
+                    meta.get("wall_time_s"),
+                    json.dumps(meta, sort_keys=True),
+                ),
+            )
+            sweep_id = int(cur.lastrowid)
+            cur.executemany(
+                "INSERT INTO fleet_scenarios (sweep_id, scenario, label, params, n,"
+                " mean_delay, mean_delay_std, average_power, average_power_std,"
+                " energy_per_request) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        sweep_id,
+                        rec["scenario"],
+                        rec["label"],
+                        json.dumps(rec["params"], sort_keys=True),
+                        rec["n"],
+                        rec["mean_delay"]["mean"],
+                        rec["mean_delay"]["std"],
+                        rec["average_power"]["mean"],
+                        rec["average_power"]["std"],
+                        rec["energy_per_request"]["mean"],
+                    )
+                    for rec in table
+                ],
+            )
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+        return sweep_id
+
     # -- queries ---------------------------------------------------------
+    def fleet_sweeps(self) -> list[dict[str, Any]]:
+        """Every ingested fleet sweep, oldest first, with parsed meta."""
+        out = _rows(
+            self._conn.execute(
+                "SELECT id, store_dir, ingested_unix, seed, fmt, backend, n_rows,"
+                " n_scenarios, n_replications, n_failed, wall_s, meta FROM fleet_sweeps"
+                " ORDER BY ingested_unix, id"
+            )
+        )
+        for r in out:
+            r["meta"] = json.loads(r["meta"]) if r["meta"] else {}
+        return out
+
+    def fleet_scenarios(self, sweep_id: int) -> list[dict[str, Any]]:
+        """Per-scenario aggregates of one sweep, ordered by scenario id."""
+        out = _rows(
+            self._conn.execute(
+                "SELECT scenario, label, params, n, mean_delay, mean_delay_std,"
+                " average_power, average_power_std, energy_per_request"
+                " FROM fleet_scenarios WHERE sweep_id = ? ORDER BY scenario",
+                (sweep_id,),
+            )
+        )
+        for r in out:
+            r["params"] = json.loads(r["params"]) if r["params"] else {}
+        return out
+
     def runs(self) -> list[dict[str, Any]]:
         """Every ingested run, oldest first, with parsed ``command``."""
         out = _rows(

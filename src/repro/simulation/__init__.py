@@ -18,6 +18,9 @@ High-level entry points:
   :class:`PrecisionTarget` (relative CI half-widths per metric) is met.
 * :func:`compare_scenarios` — two scenarios under common random
   numbers with paired-t difference intervals.
+* :func:`run_fleet` — fleet-scale (scenario × replication) sweeps
+  through a work-stealing process pool into a columnar
+  :class:`FleetStore`.
 * :class:`SimulationCache` — the content-addressed replication cache.
 """
 
@@ -49,6 +52,8 @@ from repro.simulation.adaptive import (
     compare_scenarios,
     simulate_replications_adaptive,
 )
+from repro.simulation.fleet import FleetScenario, FleetSummary, fleet_columns, run_fleet
+from repro.simulation.results_store import FleetStore, parquet_available
 
 __all__ = [
     "AntitheticSeed",
@@ -82,4 +87,10 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "resolve_n_jobs",
+    "FleetScenario",
+    "FleetSummary",
+    "FleetStore",
+    "fleet_columns",
+    "run_fleet",
+    "parquet_available",
 ]

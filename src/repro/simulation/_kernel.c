@@ -1,0 +1,863 @@
+/* Compiled event-loop kernel for the discrete-event simulator.
+ *
+ * This file is compiled on demand by repro/simulation/compiled.py (gcc
+ * or cc, linked against NumPy's libnpyrandom) and driven through
+ * ctypes.  It reimplements the hot loop of
+ * repro/simulation/simulator.py -- the (time, seq) event heap, the
+ * array-backed SimStation state machine and the per-event statistics
+ * tallies -- in C, while drawing every random variate through NumPy's
+ * own C distribution functions on the *same* per-stream bit
+ * generators the pure-Python engine uses.
+ *
+ * Bit-identity contract: for any configuration this kernel accepts,
+ * the produced metrics are bit-identical to the pure-Python engine
+ * (enforced by tests/test_golden_sim_metrics.py and
+ * tests/test_compiled_backend.py).  That is possible because
+ *
+ *  - the heap is ordered by the same unique (time, push-sequence) key,
+ *    so pop order is a total order independent of heap internals;
+ *  - every floating-point update (busy-time clipping, wait/sojourn
+ *    sums, completion times) mirrors the Python expression shape and
+ *    evaluation order exactly (IEEE doubles are deterministic);
+ *  - service and arrival variates are drawn by the exact NumPy C
+ *    functions (random_exponential, random_gamma, ziggurat
+ *    standard-exponential, ...) on the stream's own bitgen_t, which
+ *    consume the bit stream exactly as the Generator methods do; the
+ *    block-sampling contract (tests/test_block_rng.py) makes one
+ *    scalar draw per event equal to the Python engine's
+ *    block-pregenerated draws;
+ *  - distribution families without a native mapping fall back to a
+ *    per-draw Python callback that performs the same scalar draw.
+ *
+ * Configurations the kernel does not model (PS tiers, epoch
+ * controllers, antithetic streams, telemetry queue sampling) are
+ * rejected at the Python layer, which falls back to the interpreter
+ * engine.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "numpy/random/bitgen.h"
+#include "numpy/random/distributions.h"
+
+#define EV_ARRIVAL 0
+#define EV_COMPLETION 1
+
+#define DISC_FCFS 0
+#define DISC_PRIORITY_NP 1
+#define DISC_PRIORITY_PR 2
+#define DISC_LOSS 3
+
+#define SK_PYCALL 0
+#define SK_DET 1
+#define SK_EXPO 2
+#define SK_GAMMA 3
+#define SK_UNIFORM 4
+#define SK_LOGNORMAL 5
+#define SK_WEIBULL 6
+#define SK_HYPER 7
+
+#define POST_MUL 0
+#define POST_ADD 1
+
+#define RC_OK 0
+#define RC_NOMEM 1
+#define RC_ABORT 2
+#define RC_INVARIANT 3
+
+typedef double (*service_cb_t)(int sampler_id);
+typedef double (*arrival_cb_t)(int cls, long long *batch_out);
+
+/* ---- descriptors passed from Python (layout mirrored in ctypes) ---- */
+
+typedef struct {
+    int kind;
+    int n_branches;
+    int n_post;
+    int py_id;
+    double p1;
+    double p2;
+    void *bg;          /* bitgen_t*, NULL for DET / PYCALL */
+    double *cdf;       /* hyperexponential branch CDF */
+    double *scales;    /* hyperexponential branch scales */
+    int *post_op;      /* POST_MUL / POST_ADD, innermost last */
+    double *post_val;
+} SamplerDesc;
+
+typedef struct {
+    int servers;
+    int discipline;
+    int capacity;      /* -1 = unbounded */
+} StationDesc;
+
+typedef struct {
+    int kind;          /* SK_PYCALL or SK_EXPO */
+    int py_id;
+    double scale;
+    void *bg;
+} ArrivalDesc;
+
+/* ------------------------------- deque ------------------------------ */
+
+typedef struct {
+    int *buf;
+    int cap;
+    int head;
+    int len;
+} dq_t;
+
+static int dq_init(dq_t *q) {
+    q->cap = 16;
+    q->head = 0;
+    q->len = 0;
+    q->buf = (int *)malloc(sizeof(int) * q->cap);
+    return q->buf == NULL;
+}
+
+static int dq_grow(dq_t *q) {
+    int ncap = q->cap * 2;
+    int *nbuf = (int *)malloc(sizeof(int) * ncap);
+    if (nbuf == NULL) return 1;
+    for (int i = 0; i < q->len; i++) nbuf[i] = q->buf[(q->head + i) % q->cap];
+    free(q->buf);
+    q->buf = nbuf;
+    q->cap = ncap;
+    q->head = 0;
+    return 0;
+}
+
+static int dq_push_back(dq_t *q, int v) {
+    if (q->len == q->cap && dq_grow(q)) return 1;
+    q->buf[(q->head + q->len) % q->cap] = v;
+    q->len++;
+    return 0;
+}
+
+static int dq_push_front(dq_t *q, int v) {
+    if (q->len == q->cap && dq_grow(q)) return 1;
+    q->head = (q->head + q->cap - 1) % q->cap;
+    q->buf[q->head] = v;
+    q->len++;
+    return 0;
+}
+
+static int dq_pop_front(dq_t *q) {
+    int v = q->buf[q->head];
+    q->head = (q->head + 1) % q->cap;
+    q->len--;
+    return v;
+}
+
+/* ------------------------------- heap ------------------------------- */
+
+typedef struct {
+    double t;
+    long long seq;
+    int kind;
+    int a;
+    long long b;
+} ev_t;
+
+typedef struct {
+    ev_t *buf;
+    long long cap;
+    long long len;
+} heap_t;
+
+static int ev_less(const ev_t *x, const ev_t *y) {
+    if (x->t != y->t) return x->t < y->t;
+    return x->seq < y->seq;
+}
+
+static int heap_push(heap_t *h, double t, long long seq, int kind, int a, long long b) {
+    if (h->len == h->cap) {
+        long long ncap = h->cap * 2;
+        ev_t *nbuf = (ev_t *)realloc(h->buf, sizeof(ev_t) * ncap);
+        if (nbuf == NULL) return 1;
+        h->buf = nbuf;
+        h->cap = ncap;
+    }
+    long long i = h->len++;
+    ev_t ev = {t, seq, kind, a, b};
+    while (i > 0) {
+        long long parent = (i - 1) / 2;
+        if (!ev_less(&ev, &h->buf[parent])) break;
+        h->buf[i] = h->buf[parent];
+        i = parent;
+    }
+    h->buf[i] = ev;
+    return 0;
+}
+
+static ev_t heap_pop(heap_t *h) {
+    ev_t top = h->buf[0];
+    ev_t last = h->buf[--h->len];
+    long long i = 0;
+    for (;;) {
+        long long child = 2 * i + 1;
+        if (child >= h->len) break;
+        if (child + 1 < h->len && ev_less(&h->buf[child + 1], &h->buf[child])) child++;
+        if (!ev_less(&h->buf[child], &last)) break;
+        h->buf[i] = h->buf[child];
+        i = child;
+    }
+    h->buf[i] = last;
+    return top;
+}
+
+/* ----------------------------- job pool ----------------------------- */
+
+typedef struct {
+    long long jid;
+    int cls;
+    int hop;           /* itinerary index (fixed-route mode) */
+    int cur;           /* current station */
+    double arrival;
+    double station_arrival;
+    double remaining;  /* NaN = not yet sampled */
+    double service_total;
+} job_t;
+
+typedef struct {
+    job_t *pool;
+    int cap;
+    int used;          /* high-water mark */
+    int *free_list;
+    int free_cap;
+    int free_len;
+} jobpool_t;
+
+static int jp_init(jobpool_t *jp) {
+    jp->cap = 1024;
+    jp->used = 0;
+    jp->pool = (job_t *)malloc(sizeof(job_t) * jp->cap);
+    jp->free_cap = 1024;
+    jp->free_len = 0;
+    jp->free_list = (int *)malloc(sizeof(int) * jp->free_cap);
+    return jp->pool == NULL || jp->free_list == NULL;
+}
+
+static int jp_alloc(jobpool_t *jp) {
+    if (jp->free_len > 0) return jp->free_list[--jp->free_len];
+    if (jp->used == jp->cap) {
+        int ncap = jp->cap * 2;
+        job_t *np = (job_t *)realloc(jp->pool, sizeof(job_t) * ncap);
+        if (np == NULL) return -1;
+        jp->pool = np;
+        jp->cap = ncap;
+    }
+    return jp->used++;
+}
+
+static int jp_release(jobpool_t *jp, int idx) {
+    if (jp->free_len == jp->free_cap) {
+        int ncap = jp->free_cap * 2;
+        int *nf = (int *)realloc(jp->free_list, sizeof(int) * ncap);
+        if (nf == NULL) return 1;
+        jp->free_list = nf;
+        jp->free_cap = ncap;
+    }
+    jp->free_list[jp->free_len++] = idx;
+    return 0;
+}
+
+/* ------------------------- growable buffers ------------------------- */
+
+typedef struct {
+    double *buf;
+    long long cap;
+    long long len;
+} dbuf_t;
+
+static int dbuf_push(dbuf_t *b, double v) {
+    if (b->len == b->cap) {
+        long long ncap = b->cap ? b->cap * 2 : 256;
+        double *nb = (double *)realloc(b->buf, sizeof(double) * ncap);
+        if (nb == NULL) return 1;
+        b->buf = nb;
+        b->cap = ncap;
+    }
+    b->buf[b->len++] = v;
+    return 0;
+}
+
+typedef struct {
+    long long *jid;
+    int *cls;
+    double *arrival;
+    double *exit_t;
+    long long cap;
+    long long len;
+} logbuf_t;
+
+static int logbuf_push(logbuf_t *b, long long jid, int cls, double arrival, double exit_t) {
+    if (b->len == b->cap) {
+        long long ncap = b->cap ? b->cap * 2 : 256;
+        long long *nj = (long long *)realloc(b->jid, sizeof(long long) * ncap);
+        int *nc = (int *)realloc(b->cls, sizeof(int) * ncap);
+        double *na = (double *)realloc(b->arrival, sizeof(double) * ncap);
+        double *ne = (double *)realloc(b->exit_t, sizeof(double) * ncap);
+        if (nj) b->jid = nj;
+        if (nc) b->cls = nc;
+        if (na) b->arrival = na;
+        if (ne) b->exit_t = ne;
+        if (nj == NULL || nc == NULL || na == NULL || ne == NULL) return 1;
+        b->cap = ncap;
+    }
+    b->jid[b->len] = jid;
+    b->cls[b->len] = cls;
+    b->arrival[b->len] = arrival;
+    b->exit_t[b->len] = exit_t;
+    b->len++;
+    return 0;
+}
+
+/* ------------------------------ station ----------------------------- */
+
+typedef struct {
+    int index;
+    int n_servers;
+    int discipline;
+    int capacity;      /* -1 = none */
+    int *srv_job;      /* job pool index or -1 */
+    double *srv_busy_since;
+    double *srv_completion;
+    long long *srv_seq;
+    int n_busy;
+    long long start_counter;
+    long long sched_epoch;
+    double sched_time;
+    dq_t fifo;
+    dq_t *queues;      /* K queues for priority disciplines */
+    double t0;
+    double t1;
+    double busy_total;
+    double *class_busy; /* K, points into the caller's output array */
+} station_t;
+
+/* ------------------------------ context ----------------------------- */
+
+typedef struct {
+    int K;
+    int M;
+    double horizon;
+    double warmup;
+    SamplerDesc *samplers;   /* M*K, row-major by station */
+    ArrivalDesc *arrivals;   /* K */
+    int has_routing;
+    int **routes;            /* K itineraries (fixed-route mode) */
+    int *route_len;
+    double **entry_cum;      /* K x M (routing mode) */
+    double **trans_cum;      /* K x (M*M) row-major cumulative rows */
+    void **routing_bg;       /* K bitgen_t* (routing mode) */
+    service_cb_t service_cb;
+    arrival_cb_t arrival_cb;
+    volatile int *abort_flag;
+
+    station_t *stations;
+    heap_t heap;
+    jobpool_t jobs;
+    long long next_seq;      /* next push sequence number (starts at 1) */
+
+    /* outputs (all row-major [class][station] like the Python lists) */
+    double *wait_sum;
+    double *sojourn_sum;
+    long long *visit_count;
+    long long *n_blocked;
+    long long *offered;
+    dbuf_t *delay_buf;       /* K growable buffers */
+    logbuf_t log;
+    int collect_log;
+    int oom;
+} ctx_t;
+
+static double draw_sampler(ctx_t *c, const SamplerDesc *sd) {
+    double v;
+    bitgen_t *bg = (bitgen_t *)sd->bg;
+    switch (sd->kind) {
+    case SK_DET:
+        v = sd->p1;
+        break;
+    case SK_EXPO:
+        v = random_exponential(bg, sd->p1);
+        break;
+    case SK_GAMMA:
+        v = random_gamma(bg, sd->p1, sd->p2);
+        break;
+    case SK_UNIFORM:
+        /* Generator.uniform(low, high): low + (high-low)*U.  p1=low,
+         * p2=high-low (the range is computed once in Python so the
+         * subtraction rounding matches the Generator path). */
+        v = random_uniform(bg, sd->p1, sd->p2);
+        break;
+    case SK_LOGNORMAL:
+        v = random_lognormal(bg, sd->p1, sd->p2);
+        break;
+    case SK_WEIBULL:
+        /* Weibull.sample: lam * rng.weibull(k); p1=lam, p2=k. */
+        v = sd->p1 * random_weibull(bg, sd->p2);
+        break;
+    case SK_HYPER: {
+        /* Mirrors the scalar fast path in simulator._make_sampler:
+         * branch by bisect_right on the CDF (count of entries <= u),
+         * then scale * standard_exponential. */
+        double u = random_standard_uniform(bg);
+        int b = 0;
+        while (b < sd->n_branches - 1 && sd->cdf[b] <= u) b++;
+        v = sd->scales[b] * random_standard_exponential(bg);
+        break;
+    }
+    default: /* SK_PYCALL */
+        v = c->service_cb(sd->py_id);
+        break;
+    }
+    /* Scaled/Shifted wrappers: ops are stored outermost-first, applied
+     * innermost-first (reverse order), matching the Python nesting
+     * f_outer(f_inner(x)). */
+    for (int i = sd->n_post - 1; i >= 0; i--) {
+        if (sd->post_op[i] == POST_MUL) v = sd->post_val[i] * v;
+        else v = v + sd->post_val[i];
+    }
+    return v;
+}
+
+static int in_system_full(const station_t *st, int K) {
+    int n = st->n_busy + st->fifo.len;
+    if (st->queues != NULL)
+        for (int k = 0; k < K; k++) n += st->queues[k].len;
+    return n;
+}
+
+static void record_busy(station_t *st, int cls, double a, double b) {
+    double lo = a > st->t0 ? a : st->t0;
+    double hi = b < st->t1 ? b : st->t1;
+    if (hi > lo) {
+        double d = hi - lo;
+        st->busy_total += d;
+        st->class_busy[cls] += d;
+    }
+}
+
+static int start_service(ctx_t *c, station_t *st, int jidx, int server_idx, double t) {
+    job_t *j = &c->jobs.pool[jidx];
+    double r = j->remaining;
+    if (isnan(r)) {
+        r = draw_sampler(c, &c->samplers[st->index * c->K + j->cls]);
+        if (*c->abort_flag) return 1;
+        j->remaining = r;
+        j->service_total = r;
+    }
+    st->srv_job[server_idx] = jidx;
+    st->srv_busy_since[server_idx] = t;
+    st->srv_completion[server_idx] = t + r;
+    st->start_counter++;
+    st->srv_seq[server_idx] = st->start_counter;
+    st->n_busy++;
+    return 0;
+}
+
+static int resync(ctx_t *c, station_t *st) {
+    st->sched_epoch++;
+    double best = INFINITY;
+    for (int i = 0; i < st->n_servers; i++)
+        if (st->srv_job[i] >= 0 && st->srv_completion[i] < best) best = st->srv_completion[i];
+    st->sched_time = best;
+    if (best != INFINITY)
+        return heap_push(&c->heap, best, c->next_seq++, EV_COMPLETION, st->index, st->sched_epoch);
+    return 0;
+}
+
+/* Mirror of SimStation.arrive; returns 1 accepted, 0 rejected, -1 error. */
+static int station_arrive(ctx_t *c, station_t *st, double t, int jidx) {
+    job_t *j = &c->jobs.pool[jidx];
+    j->station_arrival = t;
+    j->remaining = NAN;
+    if (st->capacity >= 0 && in_system_full(st, c->K) >= st->capacity) return 0;
+    if (st->n_busy < st->n_servers) {
+        int idx = 0;
+        while (st->srv_job[idx] >= 0) idx++;
+        double r = draw_sampler(c, &c->samplers[st->index * c->K + j->cls]);
+        if (*c->abort_flag) return -1;
+        j->remaining = r;
+        j->service_total = r;
+        st->srv_job[idx] = jidx;
+        st->srv_busy_since[idx] = t;
+        double comp = t + r;
+        st->srv_completion[idx] = comp;
+        st->start_counter++;
+        st->srv_seq[idx] = st->start_counter;
+        st->n_busy++;
+        if (comp < st->sched_time) {
+            st->sched_epoch++;
+            st->sched_time = comp;
+            if (heap_push(&c->heap, comp, c->next_seq++, EV_COMPLETION, st->index, st->sched_epoch))
+                return -1;
+        }
+        return 1;
+    }
+    if (st->discipline == DISC_LOSS) return 0;
+    if (st->discipline == DISC_PRIORITY_PR) {
+        int worst_idx = -1;
+        int worst_cls = j->cls;
+        for (int i = 0; i < st->n_servers; i++) {
+            int ji = st->srv_job[i];
+            if (ji >= 0 && c->jobs.pool[ji].cls > worst_cls) {
+                worst_idx = i;
+                worst_cls = c->jobs.pool[ji].cls;
+            }
+        }
+        if (worst_idx >= 0) {
+            int vidx = st->srv_job[worst_idx];
+            job_t *victim = &c->jobs.pool[vidx];
+            record_busy(st, victim->cls, st->srv_busy_since[worst_idx], t);
+            double rem = st->srv_completion[worst_idx] - t;
+            victim->remaining = rem > 0.0 ? rem : 0.0;
+            st->srv_job[worst_idx] = -1;
+            st->n_busy--;
+            if (dq_push_front(&st->queues[victim->cls], vidx)) return -1;
+            if (start_service(c, st, jidx, worst_idx, t)) return -1;
+            if (resync(c, st)) return -1;
+            return 1;
+        }
+    }
+    if (st->discipline == DISC_FCFS) {
+        if (dq_push_back(&st->fifo, jidx)) return -1;
+    } else {
+        if (dq_push_back(&st->queues[j->cls], jidx)) return -1;
+    }
+    return 1;
+}
+
+/* Mirror of SimStation.complete; returns the finished job index, or -2
+ * on error.  The stale-epoch check happens in the caller. */
+static int station_complete(ctx_t *c, station_t *st, double t) {
+    int idx = -1;
+    double best_t = INFINITY;
+    long long best_seq = 0;
+    double runner_up = INFINITY;
+    for (int i = 0; i < st->n_servers; i++) {
+        if (st->srv_job[i] >= 0) {
+            double ci = st->srv_completion[i];
+            if (idx < 0) {
+                idx = i;
+                best_t = ci;
+                best_seq = st->srv_seq[i];
+            } else if (ci < best_t || (ci == best_t && st->srv_seq[i] < best_seq)) {
+                if (best_t < runner_up) runner_up = best_t;
+                idx = i;
+                best_t = ci;
+                best_seq = st->srv_seq[i];
+            } else if (ci < runner_up) {
+                runner_up = ci;
+            }
+        }
+    }
+    if (idx < 0) return -2;
+    int jidx = st->srv_job[idx];
+    job_t *j = &c->jobs.pool[jidx];
+    record_busy(st, j->cls, st->srv_busy_since[idx], t);
+    st->srv_job[idx] = -1;
+    st->n_busy--;
+    int nxt = -1;
+    if (st->discipline == DISC_FCFS) {
+        if (st->fifo.len) nxt = dq_pop_front(&st->fifo);
+    } else if (st->queues != NULL) {
+        for (int k = 0; k < c->K; k++) {
+            if (st->queues[k].len) {
+                nxt = dq_pop_front(&st->queues[k]);
+                break;
+            }
+        }
+    }
+    double new_min = runner_up;
+    if (nxt >= 0) {
+        if (start_service(c, st, nxt, idx, t)) return -2;
+        if (st->srv_completion[idx] < new_min) new_min = st->srv_completion[idx];
+    }
+    st->sched_epoch++;
+    st->sched_time = new_min;
+    if (new_min != INFINITY) {
+        if (heap_push(&c->heap, new_min, c->next_seq++, EV_COMPLETION, st->index, st->sched_epoch))
+            return -2;
+    }
+    return jidx;
+}
+
+static void free_ctx(ctx_t *c) {
+    if (c->stations != NULL) {
+        for (int i = 0; i < c->M; i++) {
+            station_t *st = &c->stations[i];
+            free(st->srv_job);
+            free(st->srv_busy_since);
+            free(st->srv_completion);
+            free(st->srv_seq);
+            free(st->fifo.buf);
+            if (st->queues != NULL) {
+                for (int k = 0; k < c->K; k++) free(st->queues[k].buf);
+                free(st->queues);
+            }
+        }
+        free(c->stations);
+    }
+    free(c->heap.buf);
+    free(c->jobs.pool);
+    free(c->jobs.free_list);
+    /* delay/log buffers are handed to the caller on success and freed
+     * via k_free; on failure they are freed here */
+}
+
+void k_free(void *p) { free(p); }
+
+int run_kernel(
+    int K, int M, double horizon, double warmup,
+    StationDesc *station_desc, SamplerDesc *samplers, ArrivalDesc *arrivals,
+    int has_routing,
+    void **routes_v, int *route_len,
+    void **entry_cum_v, void **trans_cum_v, void **routing_bg,
+    int collect_log,
+    service_cb_t service_cb, arrival_cb_t arrival_cb, int *abort_flag,
+    double *wait_sum, double *sojourn_sum, long long *visit_count,
+    long long *n_blocked, long long *offered,
+    double *busy_total, double *class_busy,
+    long long *out_scalars,
+    void **delay_ptrs, long long *delay_counts,
+    void **log_ptrs, long long *log_count)
+{
+    ctx_t c;
+    memset(&c, 0, sizeof(c));
+    c.K = K;
+    c.M = M;
+    c.horizon = horizon;
+    c.warmup = warmup;
+    c.samplers = samplers;
+    c.arrivals = arrivals;
+    c.has_routing = has_routing;
+    c.routes = (int **)routes_v;
+    c.route_len = route_len;
+    c.entry_cum = (double **)entry_cum_v;
+    c.trans_cum = (double **)trans_cum_v;
+    c.routing_bg = routing_bg;
+    c.service_cb = service_cb;
+    c.arrival_cb = arrival_cb;
+    c.abort_flag = abort_flag;
+    c.wait_sum = wait_sum;
+    c.sojourn_sum = sojourn_sum;
+    c.visit_count = visit_count;
+    c.n_blocked = n_blocked;
+    c.offered = offered;
+    c.collect_log = collect_log;
+    c.next_seq = 1;
+
+    int rc = RC_NOMEM;
+    dbuf_t *delay_buf = (dbuf_t *)calloc(K, sizeof(dbuf_t));
+    logbuf_t logb;
+    memset(&logb, 0, sizeof(logb));
+    c.delay_buf = delay_buf;
+    if (delay_buf == NULL) return RC_NOMEM;
+
+    c.heap.cap = 256;
+    c.heap.buf = (ev_t *)malloc(sizeof(ev_t) * c.heap.cap);
+    if (c.heap.buf == NULL || jp_init(&c.jobs)) goto fail;
+
+    c.stations = (station_t *)calloc(M, sizeof(station_t));
+    if (c.stations == NULL) goto fail;
+    for (int i = 0; i < M; i++) {
+        station_t *st = &c.stations[i];
+        st->index = i;
+        st->n_servers = station_desc[i].servers;
+        st->discipline = station_desc[i].discipline;
+        st->capacity = station_desc[i].capacity;
+        st->srv_job = (int *)malloc(sizeof(int) * st->n_servers);
+        st->srv_busy_since = (double *)calloc(st->n_servers, sizeof(double));
+        st->srv_completion = (double *)calloc(st->n_servers, sizeof(double));
+        st->srv_seq = (long long *)calloc(st->n_servers, sizeof(long long));
+        if (st->srv_job == NULL || st->srv_busy_since == NULL ||
+            st->srv_completion == NULL || st->srv_seq == NULL)
+            goto fail;
+        for (int s = 0; s < st->n_servers; s++) st->srv_job[s] = -1;
+        st->sched_time = INFINITY;
+        if (dq_init(&st->fifo)) goto fail;
+        if (st->discipline != DISC_FCFS) {
+            st->queues = (dq_t *)calloc(K, sizeof(dq_t));
+            if (st->queues == NULL) goto fail;
+            for (int k = 0; k < K; k++)
+                if (dq_init(&st->queues[k])) goto fail;
+        }
+        st->t0 = warmup;
+        st->t1 = horizon;
+        st->class_busy = class_busy + (long long)i * K;
+    }
+
+    /* Seed initial arrivals (class order, like the Python setup). */
+    long long jid = 0;
+    for (int k = 0; k < K; k++) {
+        double gap;
+        long long batch = 1;
+        if (arrivals[k].kind == SK_EXPO) {
+            gap = random_exponential((bitgen_t *)arrivals[k].bg, arrivals[k].scale);
+        } else {
+            gap = arrival_cb(k, &batch);
+            if (*abort_flag) { rc = RC_ABORT; goto fail; }
+        }
+        if (heap_push(&c.heap, gap, c.next_seq++, EV_ARRIVAL, k, batch)) goto fail;
+    }
+
+    long long n_warmup_discarded = 0;
+    int hit_horizon = 0;
+
+    while (c.heap.len) {
+        ev_t ev = heap_pop(&c.heap);
+        double t = ev.t;
+        if (t > horizon) {
+            hit_horizon = 1;
+            break;
+        }
+        if (ev.kind == EV_COMPLETION) {
+            station_t *st = &c.stations[ev.a];
+            if (ev.b != st->sched_epoch) continue; /* stale, re-armed */
+            int jidx = station_complete(&c, st, t);
+            if (jidx == -2) { rc = *abort_flag ? RC_ABORT : RC_INVARIANT; goto fail; }
+            job_t *j = &c.jobs.pool[jidx];
+            int counted = j->arrival >= warmup;
+            int here = j->cur;
+            int k = j->cls;
+            if (counted) {
+                double sj = t - j->station_arrival;
+                long long cell = (long long)k * M + here;
+                wait_sum[cell] += sj - j->service_total;
+                sojourn_sum[cell] += sj;
+                visit_count[cell] += 1;
+            }
+            int nxt_station;
+            int continuing;
+            if (has_routing) {
+                double u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
+                const double *row = c.trans_cum[k] + (long long)here * M;
+                int nxt = -1;
+                if (u <= row[M - 1]) {
+                    nxt = 0;
+                    while (nxt < M && row[nxt] < u) nxt++;
+                }
+                continuing = nxt >= 0;
+                nxt_station = nxt;
+            } else {
+                j->hop++;
+                continuing = j->hop < route_len[k];
+                nxt_station = continuing ? c.routes[k][j->hop] : -1;
+            }
+            if (continuing) {
+                if (nxt_station < 0) nxt_station = M - 1; /* Python's [-1] indexing */
+                j->cur = nxt_station;
+                int accepted = station_arrive(&c, &c.stations[nxt_station], t, jidx);
+                if (accepted < 0) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
+                if (counted) {
+                    offered[(long long)k * M + nxt_station] += 1;
+                    if (!accepted) n_blocked[(long long)k * M + nxt_station] += 1;
+                }
+                if (!accepted && jp_release(&c.jobs, jidx)) goto fail;
+            } else if (counted) {
+                if (dbuf_push(&delay_buf[k], t - j->arrival)) goto fail;
+                if (collect_log && logbuf_push(&logb, j->jid, k, j->arrival, t)) goto fail;
+                if (jp_release(&c.jobs, jidx)) goto fail;
+            } else {
+                n_warmup_discarded++;
+                if (jp_release(&c.jobs, jidx)) goto fail;
+            }
+        } else {
+            int k = ev.a;
+            for (long long i = 0; i < ev.b; i++) {
+                jid++;
+                int entry;
+                int jidx = jp_alloc(&c.jobs);
+                if (jidx < 0) goto fail;
+                job_t *j = &c.jobs.pool[jidx];
+                if (has_routing) {
+                    double u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
+                    const double *cum = c.entry_cum[k];
+                    entry = -1;
+                    if (u <= cum[M - 1]) {
+                        entry = 0;
+                        while (entry < M && cum[entry] < u) entry++;
+                    }
+                    if (entry < 0) entry = M - 1; /* Python's [-1] indexing */
+                } else {
+                    entry = c.routes[k][0];
+                }
+                j->jid = jid;
+                j->cls = k;
+                j->hop = 0;
+                j->cur = entry;
+                j->arrival = t;
+                j->station_arrival = t;
+                j->remaining = NAN;
+                j->service_total = 0.0;
+                int accepted = station_arrive(&c, &c.stations[entry], t, jidx);
+                if (accepted < 0) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
+                if (t >= warmup) {
+                    offered[(long long)k * M + entry] += 1;
+                    if (!accepted) n_blocked[(long long)k * M + entry] += 1;
+                }
+                if (!accepted && jp_release(&c.jobs, jidx)) goto fail;
+            }
+            double gap;
+            long long batch = 1;
+            if (arrivals[k].kind == SK_EXPO) {
+                gap = random_exponential((bitgen_t *)arrivals[k].bg, arrivals[k].scale);
+            } else {
+                gap = arrival_cb(k, &batch);
+                if (*abort_flag) { rc = RC_ABORT; goto fail; }
+            }
+            if (heap_push(&c.heap, t + gap, c.next_seq++, EV_ARRIVAL, k, batch)) goto fail;
+        }
+    }
+
+    /* close open busy intervals at the horizon (server order, like the
+     * Python finalizer) */
+    for (int i = 0; i < M; i++) {
+        station_t *st = &c.stations[i];
+        for (int s = 0; s < st->n_servers; s++) {
+            int ji = st->srv_job[s];
+            if (ji >= 0) {
+                record_busy(st, c.jobs.pool[ji].cls, st->srv_busy_since[s], horizon);
+                st->srv_busy_since[s] = horizon;
+            }
+        }
+        busy_total[i] = st->busy_total;
+    }
+
+    /* processed events = pushes - still-enqueued - the post-horizon pop */
+    long long pushes = c.next_seq - 1;
+    out_scalars[0] = jid;
+    out_scalars[1] = pushes - c.heap.len - (hit_horizon ? 1 : 0);
+    out_scalars[2] = n_warmup_discarded;
+    out_scalars[3] = hit_horizon;
+
+    for (int k = 0; k < K; k++) {
+        delay_ptrs[k] = delay_buf[k].buf; /* caller copies then k_free()s */
+        delay_counts[k] = delay_buf[k].len;
+    }
+    log_ptrs[0] = logb.jid;
+    log_ptrs[1] = logb.cls;
+    log_ptrs[2] = logb.arrival;
+    log_ptrs[3] = logb.exit_t;
+    *log_count = logb.len;
+
+    free(delay_buf);
+    free_ctx(&c);
+    return RC_OK;
+
+fail:
+    if (delay_buf != NULL) {
+        for (int k = 0; k < K; k++) free(delay_buf[k].buf);
+        free(delay_buf);
+    }
+    free(logb.jid);
+    free(logb.cls);
+    free(logb.arrival);
+    free(logb.exit_t);
+    free_ctx(&c);
+    return rc;
+}

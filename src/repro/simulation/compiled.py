@@ -1,0 +1,847 @@
+"""Compiled (C) backend for the discrete-event simulation engine.
+
+The hot event loop of :func:`repro.simulation.simulator.simulate` —
+heap dispatch, array-backed station transitions, per-event statistics
+and the service/arrival/routing variate draws — is reimplemented in
+``_kernel.c``, compiled on demand with the system C compiler, linked
+against NumPy's own ``libnpyrandom`` distribution library, and driven
+through :mod:`ctypes`.
+
+Why C + ctypes rather than Numba: the container this project targets
+ships only the base scientific stack (no Numba, no Cython) but always
+has a C toolchain, and NumPy exports its C distribution functions plus
+per-``Generator`` ``bitgen_t`` pointers precisely for this kind of
+extension.  The kernel draws every variate through the *same* NumPy C
+functions the ``Generator`` methods call, on the *same* per-stream bit
+generators :class:`~repro.simulation.rng.RngStreams` creates — so the
+bit-stream consumption, and therefore every simulated metric, is
+bit-identical to the pure-Python engine (enforced by
+``tests/test_golden_sim_metrics.py`` and
+``tests/test_compiled_backend.py``).
+
+Backend selection (``REPRO_SIM_BACKEND`` environment variable):
+
+``python`` (default)
+    Pure-Python engine, exactly as before.
+``compiled``
+    Use the C kernel; if it cannot be built/loaded or the run's
+    configuration is unsupported, fall back to pure Python with a
+    single visible :class:`~repro.exceptions.CompiledFallbackWarning`
+    per process and reason.
+``auto``
+    Use the C kernel when available and applicable, silently fall
+    back otherwise.
+
+Configurations the kernel does not model fall back to the interpreter
+engine: processor-sharing tiers, dynamic speed control (epoch
+controllers), antithetic seeds, and telemetry queue sampling.
+Distribution families without a native C mapping (e.g. Pareto, whose
+``np.power`` SIMD path is not bit-identical to libm ``pow``) are
+drawn through a per-event Python callback instead — slower, still
+bit-identical — so *any* accepted configuration produces exact
+results.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import sysconfig
+import tempfile
+import warnings
+from ctypes import (
+    CFUNCTYPE,
+    POINTER,
+    c_double,
+    c_int,
+    c_longlong,
+    c_void_p,
+)
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.distributions.base import ScaledDistribution, ShiftedDistribution
+from repro.distributions.deterministic import Deterministic
+from repro.distributions.erlang import Erlang
+from repro.distributions.exponential import Exponential
+from repro.distributions.gamma_dist import Gamma
+from repro.distributions.hyperexponential import HyperExponential
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.uniform_dist import Uniform
+from repro.distributions.weibull import Weibull
+from repro.exceptions import (
+    CompiledFallbackWarning,
+    ModelValidationError,
+    SimulationError,
+    WarmupDiscardWarning,
+)
+from repro.simulation.rng import AntitheticSeed, RngStreams
+from repro.simulation.stats import Welford, confidence_halfwidth
+from repro.workload.arrivals import PoissonProcess
+
+__all__ = [
+    "KernelBuildError",
+    "kernel_available",
+    "kernel_status",
+    "load_kernel",
+    "maybe_simulate_compiled",
+    "resolve_backend",
+    "warm_kernel",
+]
+
+_BACKENDS = ("python", "compiled", "auto")
+
+# ---------------------------------------------------------------------------
+# build & load
+# ---------------------------------------------------------------------------
+
+_KERNEL_SOURCE = Path(__file__).with_name("_kernel.c")
+
+# kind tags (must match _kernel.c)
+_SK_PYCALL = 0
+_SK_DET = 1
+_SK_EXPO = 2
+_SK_GAMMA = 3
+_SK_UNIFORM = 4
+_SK_LOGNORMAL = 5
+_SK_WEIBULL = 6
+_SK_HYPER = 7
+_POST_MUL = 0
+_POST_ADD = 1
+
+_RC_OK = 0
+_RC_NOMEM = 1
+_RC_ABORT = 2
+_RC_INVARIANT = 3
+
+
+class KernelBuildError(RuntimeError):
+    """The C simulation kernel could not be compiled or loaded."""
+
+
+_lib: ctypes.CDLL | None = None
+_load_error: str | None = None
+_warned: set[str] = set()
+
+
+def _warn_fallback(reason: str) -> None:
+    """One visible warning per process and reason, then silence."""
+    if reason in _warned:
+        return
+    _warned.add(reason)
+    warnings.warn(
+        CompiledFallbackWarning(
+            f"REPRO_SIM_BACKEND=compiled requested but falling back to the "
+            f"pure-Python engine: {reason} (results are bit-identical)"
+        ),
+        stacklevel=4,
+    )
+
+
+def resolve_backend(raw: str | None) -> str:
+    """Validate and normalize a backend selector string."""
+    if raw is None:
+        return "python"
+    value = raw.strip().lower()
+    if value not in _BACKENDS:
+        raise ModelValidationError(
+            f"REPRO_SIM_BACKEND must be one of {_BACKENDS}, got {raw!r}"
+        )
+    return value
+
+
+def _source_digest() -> str:
+    payload = _KERNEL_SOURCE.read_bytes()
+    tag = f"|numpy={np.__version__}|py={sys.version_info[:2]}|{platform.machine()}"
+    return hashlib.sha256(payload + tag.encode()).hexdigest()[:16]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-kernels"
+
+
+def _find_compiler() -> str | None:
+    for name in ("gcc", "cc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def build_kernel() -> Path:
+    """Compile ``_kernel.c`` into the cache (no-op when already built).
+
+    The shared object is keyed by a digest of the source, the NumPy and
+    Python versions and the machine architecture, and installed with an
+    atomic rename so concurrent processes (e.g. a fleet's workers) can
+    race the build safely.
+    """
+    cache = _cache_dir()
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        cache = Path(tempfile.gettempdir()) / "repro-kernels"
+        cache.mkdir(parents=True, exist_ok=True)
+    target = cache / f"repro_sim_kernel_{_source_digest()}.so"
+    if target.exists():
+        return target
+    compiler = _find_compiler()
+    if compiler is None:
+        raise KernelBuildError(
+            "no C compiler found (tried gcc, cc, clang); install one or use "
+            "REPRO_SIM_BACKEND=python"
+        )
+    np_dir = Path(np.__file__).parent
+    lib_dir = Path(np.random.__file__).parent / "lib"
+    if not (lib_dir / "libnpyrandom.a").exists():
+        raise KernelBuildError(
+            f"NumPy's static distribution library libnpyrandom.a not found under "
+            f"{lib_dir}; this NumPy build cannot back the compiled kernel"
+        )
+    tmp = target.with_suffix(f".tmp.{os.getpid()}.so")
+    cmd = [
+        compiler,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-o",
+        str(tmp),
+        str(_KERNEL_SOURCE),
+        "-I",
+        sysconfig.get_paths()["include"],
+        "-I",
+        np.get_include(),
+        "-L",
+        str(lib_dir),
+        "-lnpyrandom",
+        "-lm",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        raise KernelBuildError(
+            f"kernel compilation failed ({' '.join(cmd)}):\n{proc.stderr.strip()}"
+        )
+    os.replace(tmp, target)  # atomic: racing builders converge on one file
+    return target
+
+
+_SERVICE_CB = CFUNCTYPE(c_double, c_int)
+_ARRIVAL_CB = CFUNCTYPE(c_double, c_int, POINTER(c_longlong))
+
+
+class _SamplerDesc(ctypes.Structure):
+    _fields_ = [
+        ("kind", c_int),
+        ("n_branches", c_int),
+        ("n_post", c_int),
+        ("py_id", c_int),
+        ("p1", c_double),
+        ("p2", c_double),
+        ("bg", c_void_p),
+        ("cdf", POINTER(c_double)),
+        ("scales", POINTER(c_double)),
+        ("post_op", POINTER(c_int)),
+        ("post_val", POINTER(c_double)),
+    ]
+
+
+class _StationDesc(ctypes.Structure):
+    _fields_ = [("servers", c_int), ("discipline", c_int), ("capacity", c_int)]
+
+
+class _ArrivalDesc(ctypes.Structure):
+    _fields_ = [("kind", c_int), ("py_id", c_int), ("scale", c_double), ("bg", c_void_p)]
+
+
+_DISCIPLINES = {"fcfs": 0, "priority_np": 1, "priority_pr": 2, "loss": 3}
+
+
+def load_kernel() -> ctypes.CDLL:
+    """Build (if needed) and load the kernel; cached per process."""
+    global _lib, _load_error
+    if _lib is not None:
+        return _lib
+    if _load_error is not None:
+        raise KernelBuildError(_load_error)
+    try:
+        path = build_kernel()
+        lib = ctypes.CDLL(str(path))
+        lib.run_kernel.restype = c_int
+        lib.run_kernel.argtypes = [
+            c_int,  # K
+            c_int,  # M
+            c_double,  # horizon
+            c_double,  # warmup
+            POINTER(_StationDesc),
+            POINTER(_SamplerDesc),
+            POINTER(_ArrivalDesc),
+            c_int,  # has_routing
+            POINTER(c_void_p),  # routes
+            POINTER(c_int),  # route_len
+            POINTER(c_void_p),  # entry_cum
+            POINTER(c_void_p),  # trans_cum
+            POINTER(c_void_p),  # routing_bg
+            c_int,  # collect_log
+            _SERVICE_CB,
+            _ARRIVAL_CB,
+            POINTER(c_int),  # abort_flag
+            POINTER(c_double),  # wait_sum
+            POINTER(c_double),  # sojourn_sum
+            POINTER(c_longlong),  # visit_count
+            POINTER(c_longlong),  # n_blocked
+            POINTER(c_longlong),  # offered
+            POINTER(c_double),  # busy_total
+            POINTER(c_double),  # class_busy
+            POINTER(c_longlong),  # out_scalars
+            POINTER(c_void_p),  # delay_ptrs
+            POINTER(c_longlong),  # delay_counts
+            POINTER(c_void_p),  # log_ptrs
+            POINTER(c_longlong),  # log_count
+        ]
+        lib.k_free.restype = None
+        lib.k_free.argtypes = [c_void_p]
+    except KernelBuildError as exc:
+        _load_error = str(exc)
+        raise
+    except OSError as exc:  # dlopen failure
+        _load_error = f"could not load compiled kernel: {exc}"
+        raise KernelBuildError(_load_error) from exc
+    _lib = lib
+    return lib
+
+
+def kernel_available() -> bool:
+    """True when the C kernel is (or can be) built and loaded."""
+    try:
+        load_kernel()
+        return True
+    except KernelBuildError:
+        return False
+
+
+def kernel_status() -> dict[str, Any]:
+    """Diagnostic snapshot for ``repro bench``/docs: availability,
+    cache path and the build error (if any)."""
+    available = kernel_available()
+    return {
+        "available": available,
+        "backend_env": os.environ.get("REPRO_SIM_BACKEND", "python"),
+        "source": str(_KERNEL_SOURCE),
+        "cache_dir": str(_cache_dir()),
+        "error": _load_error,
+    }
+
+
+def warm_kernel() -> bool:
+    """Pre-build/load the kernel (e.g. from a worker initializer or
+    before timing); returns availability without raising."""
+    return kernel_available()
+
+
+# ---------------------------------------------------------------------------
+# configuration support envelope
+# ---------------------------------------------------------------------------
+
+
+def _unsupported_reason(cluster, seed, epoch_controller) -> str | None:
+    if epoch_controller is not None:
+        return "dynamic speed control (epoch controller) runs on the Python engine"
+    if isinstance(seed, AntitheticSeed):
+        return "antithetic seeds use inverse-transform streams the kernel cannot drive"
+    for tier in cluster.tiers:
+        if tier.discipline == "ps":
+            return "processor-sharing tiers are not modeled by the compiled kernel"
+    tel = obs.TELEMETRY
+    if tel.enabled and getattr(tel, "sample_queues", False):
+        return "telemetry queue sampling hooks into the Python event loop"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# descriptor building
+# ---------------------------------------------------------------------------
+
+
+def _bitgen_ptr(rng: np.random.Generator) -> int:
+    return ctypes.cast(rng.bit_generator.ctypes.bit_generator, c_void_p).value
+
+
+def _sampler_descriptor(dist, rng, keep: list, py_samplers: list) -> _SamplerDesc:
+    """Map one (distribution, stream) pair to a kernel descriptor.
+
+    ``Scaled``/``Shifted`` wrappers unwrap into a post-op chain
+    (outermost first; the kernel applies them innermost first, matching
+    the Python nesting).  Families with a native NumPy C counterpart
+    draw inside the kernel; anything else falls back to a per-draw
+    Python callback that performs the engine's exact scalar draw.
+    """
+    post_ops: list[int] = []
+    post_vals: list[float] = []
+    base = dist
+    while isinstance(base, (ScaledDistribution, ShiftedDistribution)):
+        if isinstance(base, ScaledDistribution):
+            post_ops.append(_POST_MUL)
+            post_vals.append(float(base.factor))
+        else:
+            post_ops.append(_POST_ADD)
+            post_vals.append(float(base.offset))
+        base = base.base
+
+    desc = _SamplerDesc()
+    desc.n_post = len(post_ops)
+    if post_ops:
+        op_arr = np.asarray(post_ops, dtype=np.int32)
+        val_arr = np.asarray(post_vals, dtype=np.float64)
+        keep.extend((op_arr, val_arr))
+        desc.post_op = op_arr.ctypes.data_as(POINTER(c_int))
+        desc.post_val = val_arr.ctypes.data_as(POINTER(c_double))
+
+    bt = type(base)
+    if bt is Deterministic:
+        desc.kind = _SK_DET
+        desc.p1 = float(base.value)
+        return desc
+    if bt is Exponential:
+        desc.kind = _SK_EXPO
+        desc.p1 = 1.0 / base.rate
+    elif bt in (Erlang, Gamma):
+        desc.kind = _SK_GAMMA
+        desc.p1 = float(base.k)
+        desc.p2 = 1.0 / base.rate
+    elif bt is Uniform:
+        desc.kind = _SK_UNIFORM
+        desc.p1 = float(base.low)
+        # Generator.uniform computes the range once as high - low.
+        desc.p2 = float(base.high) - float(base.low)
+    elif bt is LogNormal:
+        desc.kind = _SK_LOGNORMAL
+        desc.p1 = float(base.mu)
+        desc.p2 = float(base.sigma)
+    elif bt is Weibull:
+        desc.kind = _SK_WEIBULL
+        desc.p1 = float(base.lam)
+        desc.p2 = float(base.k)
+    elif bt is HyperExponential:
+        desc.kind = _SK_HYPER
+        cdf = np.ascontiguousarray(base._cdf, dtype=np.float64)
+        scales = np.ascontiguousarray(base._scales, dtype=np.float64)
+        keep.extend((cdf, scales))
+        desc.n_branches = cdf.size
+        desc.cdf = cdf.ctypes.data_as(POINTER(c_double))
+        desc.scales = scales.ctypes.data_as(POINTER(c_double))
+    else:
+        # Per-draw Python callback: the engine's own scalar draw (the
+        # block-sampling contract makes it equal to the BlockCursor
+        # path for block-safe families; non-safe families already use
+        # this exact call).
+        desc.kind = _SK_PYCALL
+        desc.n_post = 0  # wrappers sample through dist directly
+        desc.py_id = len(py_samplers)
+
+        def _draw(sample=dist.sample, rng=rng) -> float:
+            return float(sample(rng))
+
+        py_samplers.append(_draw)
+        return desc
+    desc.bg = _bitgen_ptr(rng)
+    return desc
+
+
+# ---------------------------------------------------------------------------
+# the compiled run
+# ---------------------------------------------------------------------------
+
+
+def maybe_simulate_compiled(
+    backend: str,
+    cluster,
+    workload,
+    horizon: float,
+    warmup_fraction: float,
+    seed,
+    arrival_processes,
+    collect_delay_samples: bool,
+    collect_job_log: bool,
+    routing,
+    epoch_controller,
+):
+    """Run the replication on the C kernel, or return ``None`` to make
+    :func:`~repro.simulation.simulator.simulate` fall back to the
+    Python engine.  ``backend`` is ``"compiled"`` or ``"auto"``
+    (validated by the caller); only ``"compiled"`` warns on fallback.
+    """
+    reason = _unsupported_reason(cluster, seed, epoch_controller)
+    if reason is not None:
+        if backend == "compiled":
+            _warn_fallback(reason)
+        return None
+    try:
+        lib = load_kernel()
+    except KernelBuildError as exc:
+        if backend == "compiled":
+            _warn_fallback(str(exc))
+        return None
+    return _simulate_compiled(
+        lib,
+        cluster,
+        workload,
+        horizon,
+        warmup_fraction,
+        seed,
+        arrival_processes,
+        collect_delay_samples,
+        collect_job_log,
+        routing,
+    )
+
+
+def _simulate_compiled(
+    lib,
+    cluster,
+    workload,
+    horizon,
+    warmup_fraction,
+    seed,
+    arrival_processes,
+    collect_delay_samples,
+    collect_job_log,
+    routing,
+):
+    # Import here: simulator imports this module lazily, so a top-level
+    # import would be circular.
+    from repro.simulation.simulator import (
+        SimulationResult,
+        _build_routes,
+        _build_routing_tables,
+    )
+
+    k_classes = workload.num_classes
+    m_stations = cluster.num_tiers
+    warmup = warmup_fraction * horizon
+    keep: list[Any] = []  # keep-alive for every array the kernel reads
+    py_samplers: list[Any] = []
+
+    with obs.span("sim.setup", classes=k_classes, stations=m_stations, horizon=horizon):
+        streams = RngStreams(seed)
+        keep.append(streams)
+
+        if routing is None:
+            routes = _build_routes(cluster)
+            has_routing = 0
+            route_arrays = [np.asarray(r, dtype=np.int32) for r in routes]
+            keep.extend(route_arrays)
+            routes_v = (c_void_p * k_classes)(
+                *[r.ctypes.data_as(c_void_p).value for r in route_arrays]
+            )
+            route_len = (c_int * k_classes)(*[r.size for r in route_arrays])
+            entry_v = trans_v = routing_bg = None
+        else:
+            tables = _build_routing_tables(cluster, routing)
+            has_routing = 1
+            routes_v = route_len = None
+            entry_arrays = [
+                np.ascontiguousarray(tables[k][0], dtype=np.float64)
+                for k in range(k_classes)
+            ]
+            trans_arrays = [
+                np.ascontiguousarray(np.stack(tables[k][1]), dtype=np.float64)
+                for k in range(k_classes)
+            ]
+            keep.extend(entry_arrays)
+            keep.extend(trans_arrays)
+            entry_v = (c_void_p * k_classes)(
+                *[a.ctypes.data_as(c_void_p).value for a in entry_arrays]
+            )
+            trans_v = (c_void_p * k_classes)(
+                *[a.ctypes.data_as(c_void_p).value for a in trans_arrays]
+            )
+            routing_bg = (c_void_p * k_classes)(
+                *[_bitgen_ptr(streams.stream(f"routing/{k}")) for k in range(k_classes)]
+            )
+
+        if arrival_processes is None:
+            arrivals = [PoissonProcess(c.arrival_rate) for c in workload.classes]
+        else:
+            if len(arrival_processes) != k_classes:
+                raise ModelValidationError(
+                    f"expected {k_classes} arrival processes, got {len(arrival_processes)}"
+                )
+            arrivals = [p.fresh() for p in arrival_processes]
+        arrival_desc = (_ArrivalDesc * k_classes)()
+        arrival_pull: list[Any] = [None] * k_classes
+        for k, proc in enumerate(arrivals):
+            rng = streams.stream(f"arrivals/{k}")
+            if type(proc) is PoissonProcess:
+                arrival_desc[k].kind = _SK_EXPO
+                arrival_desc[k].scale = 1.0 / proc.rate
+                arrival_desc[k].bg = _bitgen_ptr(rng)
+            else:
+                arrival_desc[k].kind = _SK_PYCALL
+
+                def _pull(proc=proc, rng=rng):
+                    return proc.next_arrival(rng)
+
+                arrival_pull[k] = _pull
+
+        station_desc = (_StationDesc * m_stations)()
+        sampler_desc = (_SamplerDesc * (m_stations * k_classes))()
+        for i, tier in enumerate(cluster.tiers):
+            station_desc[i].servers = tier.servers
+            station_desc[i].discipline = _DISCIPLINES[tier.discipline]
+            station_desc[i].capacity = -1 if tier.capacity is None else tier.capacity
+            for k in range(k_classes):
+                rng = streams.stream(f"service/{i}/{k}")
+                dist = tier.demands[k].scaled(1.0 / tier.speed)
+                keep.append(dist)
+                sampler_desc[i * k_classes + k] = _sampler_descriptor(
+                    dist, rng, keep, py_samplers
+                )
+
+        # outputs
+        wait_np = np.zeros((k_classes, m_stations))
+        sojourn_np = np.zeros((k_classes, m_stations))
+        visit_np = np.zeros((k_classes, m_stations), dtype=np.int64)
+        blocked_np = np.zeros((k_classes, m_stations), dtype=np.int64)
+        offered_np = np.zeros((k_classes, m_stations), dtype=np.int64)
+        busy_np = np.zeros(m_stations)
+        class_busy_np = np.zeros((m_stations, k_classes))
+        out_scalars = np.zeros(4, dtype=np.int64)
+        delay_ptrs = (c_void_p * k_classes)()
+        delay_counts = (c_longlong * k_classes)()
+        log_ptrs = (c_void_p * 4)()
+        log_count = c_longlong(0)
+        abort = (c_int * 1)(0)
+        cb_error: list[BaseException] = []
+
+        def _service_cb(sampler_id: int) -> float:
+            try:
+                return py_samplers[sampler_id]()
+            except BaseException as exc:  # propagate through the abort flag
+                cb_error.append(exc)
+                abort[0] = 1
+                return 0.0
+
+        def _arrival_cb(cls: int, batch_out) -> float:
+            try:
+                gap, batch = arrival_pull[cls]()
+                batch_out[0] = int(batch)
+                return float(gap)
+            except BaseException as exc:
+                cb_error.append(exc)
+                abort[0] = 1
+                return 0.0
+
+        service_cb = _SERVICE_CB(_service_cb)
+        arrival_cb = _ARRIVAL_CB(_arrival_cb)
+
+    def _as_ll(a):
+        return a.ctypes.data_as(POINTER(c_longlong))
+
+    def _as_d(a):
+        return a.ctypes.data_as(POINTER(c_double))
+
+    with obs.span("sim.event_loop", horizon=horizon, backend="compiled"):
+        rc = lib.run_kernel(
+            k_classes,
+            m_stations,
+            float(horizon),
+            float(warmup),
+            station_desc,
+            sampler_desc,
+            arrival_desc,
+            has_routing,
+            routes_v,
+            route_len,
+            entry_v,
+            trans_v,
+            routing_bg,
+            1 if collect_job_log else 0,
+            service_cb,
+            arrival_cb,
+            abort,
+            _as_d(wait_np),
+            _as_d(sojourn_np),
+            _as_ll(visit_np),
+            _as_ll(blocked_np),
+            _as_ll(offered_np),
+            _as_d(busy_np),
+            _as_d(class_busy_np),
+            _as_ll(out_scalars),
+            delay_ptrs,
+            delay_counts,
+            log_ptrs,
+            ctypes.byref(log_count),
+        )
+    del keep  # the kernel has returned; arrays may be collected now
+    if rc == _RC_ABORT:
+        if cb_error:
+            raise cb_error[0]
+        raise SimulationError("compiled kernel aborted without a recorded error")
+    if rc == _RC_NOMEM:
+        raise MemoryError("compiled simulation kernel ran out of memory")
+    if rc == _RC_INVARIANT:
+        raise SimulationError("completion with no busy server (compiled kernel)")
+
+    with obs.span("sim.finalize"):
+        # Copy the kernel-owned growable buffers, then release them.
+        delay_buf: list[np.ndarray] = []
+        for k in range(k_classes):
+            n = delay_counts[k]
+            if n:
+                src = ctypes.cast(delay_ptrs[k], POINTER(c_double))
+                delay_buf.append(np.ctypeslib.as_array(src, shape=(int(n),)).copy())
+            else:
+                delay_buf.append(np.empty(0))
+            if delay_ptrs[k]:
+                lib.k_free(delay_ptrs[k])
+        job_log = None
+        if collect_job_log:
+            n = int(log_count.value)
+            job_log = np.empty(
+                n,
+                dtype=[
+                    ("jid", np.int64),
+                    ("cls", np.int32),
+                    ("arrival", float),
+                    ("exit", float),
+                ],
+            )
+            if n:
+                job_log["jid"] = np.ctypeslib.as_array(
+                    ctypes.cast(log_ptrs[0], POINTER(c_longlong)), shape=(n,)
+                )
+                job_log["cls"] = np.ctypeslib.as_array(
+                    ctypes.cast(log_ptrs[1], POINTER(c_int)), shape=(n,)
+                )
+                job_log["arrival"] = np.ctypeslib.as_array(
+                    ctypes.cast(log_ptrs[2], POINTER(c_double)), shape=(n,)
+                )
+                job_log["exit"] = np.ctypeslib.as_array(
+                    ctypes.cast(log_ptrs[3], POINTER(c_double)), shape=(n,)
+                )
+        for p in log_ptrs:
+            if p:
+                lib.k_free(p)
+
+        # Welford flush: same scalar recurrence over the same values in
+        # the same order as the Python engine (.tolist() hands the
+        # accumulator the exact Python-float sequence it sees there).
+        e2e = [Welford() for _ in range(k_classes)]
+        for k in range(k_classes):
+            e2e[k].add_batch(delay_buf[k].tolist())
+
+        jid = int(out_scalars[0])
+        n_events = int(out_scalars[1])
+        n_warmup_discarded = int(out_scalars[2])
+
+        window = horizon - warmup
+        busy_list = [float(b) for b in busy_np]
+        class_busy_list = [[float(x) for x in row] for row in class_busy_np]
+        utilizations = np.array(
+            [
+                busy_list[i] / (tier.servers * window)
+                for i, tier in enumerate(cluster.tiers)
+            ]
+        )
+
+        dynamic_power = 0.0
+        per_class_dyn_energy_rate = np.zeros(k_classes)
+        for i, tier in enumerate(cluster.tiers):
+            p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
+            dynamic_power += p_dyn * busy_list[i] / window
+            for k in range(k_classes):
+                per_class_dyn_energy_rate[k] += p_dyn * class_busy_list[i][k] / window
+        idle_power = float(sum(t.servers * t.spec.power.idle for t in cluster.tiers))
+        average_power = idle_power + dynamic_power
+
+        n_completed = np.array([w.n for w in e2e], dtype=np.int64)
+        delays = np.array([w.mean for w in e2e])
+        stds = np.array([w.std for w in e2e])
+        cis = np.array([confidence_halfwidth(w.std, w.n) for w in e2e])
+
+        throughput = n_completed / window
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_class_dyn = np.where(
+                throughput > 0,
+                per_class_dyn_energy_rate / np.maximum(throughput, 1e-300),
+                np.nan,
+            )
+        total_throughput = float(throughput.sum())
+        energy_per_request = (
+            average_power / total_throughput if total_throughput > 0 else float("nan")
+        )
+
+        station_completions = visit_np.copy()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            station_waits = np.where(
+                visit_np > 0, wait_np / np.maximum(visit_np, 1), np.nan
+            )
+            station_sojourns = np.where(
+                visit_np > 0, sojourn_np / np.maximum(visit_np, 1), np.nan
+            )
+
+    n_counted_total = int(n_completed.sum())
+    n_finished_total = n_counted_total + n_warmup_discarded
+    if n_finished_total > 0 and n_warmup_discarded > 0.5 * n_finished_total:
+        discard_fraction = n_warmup_discarded / n_finished_total
+        warnings.warn(
+            WarmupDiscardWarning(
+                f"warmup window ({warmup:g} of horizon {horizon:g}) discarded "
+                f"{n_warmup_discarded} of {n_finished_total} completed jobs "
+                f"({discard_fraction:.0%}); delay statistics rest on only "
+                f"{n_counted_total} jobs — lengthen the horizon or shrink "
+                f"warmup_fraction"
+            ),
+            stacklevel=3,
+        )
+        obs.event(
+            "sim.warmup_discard",
+            warmup=warmup,
+            horizon=horizon,
+            n_discarded=n_warmup_discarded,
+            n_counted=n_counted_total,
+            discard_fraction=discard_fraction,
+        )
+    obs.counter("sim.events").add(n_events)
+    obs.counter("sim.jobs_created").add(jid)
+    obs.counter("sim.jobs_counted").add(n_counted_total)
+
+    meta: dict[str, Any] = {
+        "n_jobs_created": jid,
+        "n_events": n_events,
+        "n_warmup_discarded": n_warmup_discarded,
+        "station_completions": station_completions,
+        "n_blocked": blocked_np.copy(),
+        "n_offered": offered_np.copy(),
+    }
+
+    return SimulationResult(
+        class_names=tuple(workload.names),
+        n_completed=n_completed,
+        delays=delays,
+        delay_std=stds,
+        delay_ci=cis,
+        station_waits=station_waits,
+        station_sojourns=station_sojourns,
+        utilizations=utilizations,
+        average_power=average_power,
+        energy_per_request=energy_per_request,
+        per_class_dynamic_energy=per_class_dyn,
+        horizon=horizon,
+        warmup=warmup,
+        meta=meta,
+        delay_samples=(delay_buf if collect_delay_samples else None),
+        job_log=job_log,
+    )

@@ -1,0 +1,409 @@
+"""Fleet-scale sweep runner: thousands of (scenario × replication) units.
+
+The replication engine in :mod:`repro.simulation.replications` is
+shaped for *one* scenario at a time; a policy-evaluation grid in the
+style of Neely's trace-driven studies is thousands of independent
+units spanning many scenarios, where static per-scenario chunking
+leaves workers idle whenever scenarios have unequal cost (higher load
+⇒ more events ⇒ slower units). :func:`run_fleet` shards the flat unit
+index space across worker processes through a **shared index queue**
+(work stealing: each worker pulls the next unit the moment it goes
+idle), runs one :func:`~repro.simulation.simulator.simulate` call per
+unit, and streams one compact metric row per unit back to the parent,
+which appends it to a columnar :class:`~repro.simulation.results_store.FleetStore`
+— no per-run pickles, one queryable artifact per sweep.
+
+Determinism is scheduling-independent: unit ``(s, r)`` always runs
+under ``SeedSequence(master_seed, spawn_key=(s, r))``, computed inside
+the worker from the indices alone, so the stored rows are bit-identical
+for any worker count or steal order (rows are written in completion
+order; the ``unit`` column recovers the canonical order).
+
+Progress rides the existing telemetry seam: a throttled ``fleet.unit``
+event plus a terminal ``fleet.done`` event flow through the global
+tracer, land in ``progress.jsonl`` when the run is under
+``--telemetry``, and surface in ``repro status``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import ModelValidationError
+from repro.simulation.parallel import resolve_n_jobs
+from repro.simulation.results_store import FleetStore
+
+__all__ = ["FleetScenario", "FleetSummary", "run_fleet", "fleet_columns"]
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One cell of a sweep grid: a cluster + workload + horizon.
+
+    ``params`` carries the grid coordinates (e.g. ``{"load_factor":
+    0.9}``) into the store manifest so queries can join metric rows
+    back to what was swept.
+    """
+
+    label: str
+    cluster: Any
+    workload: Any
+    horizon: float
+    warmup_fraction: float = 0.1
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FleetSummary:
+    """What :func:`run_fleet` returns: the sweep's vital signs."""
+
+    store_path: str
+    n_scenarios: int
+    n_replications: int
+    n_units: int
+    n_done: int
+    n_failed: int
+    n_workers: int
+    wall_time_s: float
+    units_per_sec: float
+
+
+def fleet_columns(n_classes: int) -> tuple[str, ...]:
+    """The store schema for a fleet over ``n_classes``-class scenarios."""
+    return (
+        "unit",
+        "scenario",
+        "replication",
+        "n_events",
+        "n_completed",
+        "mean_delay",
+        *(f"delay_c{k}" for k in range(n_classes)),
+        "average_power",
+        "energy_per_request",
+        "wall_s",
+    )
+
+
+def _unit_seed(master_seed: int, scenario: int, replication: int) -> np.random.SeedSequence:
+    """The deterministic per-unit seed, computable from indices alone."""
+    return np.random.SeedSequence(master_seed, spawn_key=(scenario, replication))
+
+
+def _run_unit(
+    scenarios: list[FleetScenario],
+    master_seed: int,
+    unit: int,
+    n_replications: int,
+) -> dict[str, Any]:
+    """Simulate one unit and distill it into a store row."""
+    from repro.simulation.simulator import simulate
+
+    sid, rep = divmod(unit, n_replications)
+    sc = scenarios[sid]
+    start = time.perf_counter()
+    res = simulate(
+        sc.cluster,
+        sc.workload,
+        horizon=sc.horizon,
+        warmup_fraction=sc.warmup_fraction,
+        seed=_unit_seed(master_seed, sid, rep),
+    )
+    wall = time.perf_counter() - start
+    row: dict[str, Any] = {
+        "unit": unit,
+        "scenario": sid,
+        "replication": rep,
+        "n_events": int(res.meta.get("n_events", 0)),
+        "n_completed": int(res.n_completed.sum()),
+        "mean_delay": float(res.mean_delay),
+        "average_power": float(res.average_power),
+        "energy_per_request": float(res.energy_per_request),
+        "wall_s": wall,
+    }
+    for k in range(len(res.class_names)):
+        row[f"delay_c{k}"] = float(res.delays[k])
+    return row
+
+
+def _fleet_worker(
+    task_queue: Any,
+    result_queue: Any,
+    scenarios: list[FleetScenario],
+    master_seed: int,
+    n_replications: int,
+    backend: str | None,
+) -> None:
+    """Worker loop: steal unit indices until the queue hands a sentinel.
+
+    Runs in a child process; pulls from the shared queue so fast
+    workers automatically absorb slow scenarios' units. Warms the
+    compiled kernel once per process (build/load is cached) before the
+    first unit so its one-time cost never lands inside a unit timing.
+    """
+    if backend is not None:
+        os.environ["REPRO_SIM_BACKEND"] = backend
+    if os.environ.get("REPRO_SIM_BACKEND", "python") != "python":
+        from repro.simulation.compiled import warm_kernel
+
+        warm_kernel()
+    while True:
+        unit = task_queue.get()
+        if unit is None:
+            return
+        try:
+            row = _run_unit(scenarios, master_seed, unit, n_replications)
+        except Exception as exc:  # report, keep stealing
+            result_queue.put(("error", unit, f"{type(exc).__name__}: {exc}"))
+        else:
+            result_queue.put(("row", unit, row))
+
+
+def run_fleet(
+    scenarios: list[FleetScenario],
+    n_replications: int,
+    out: str | os.PathLike,
+    *,
+    seed: int = 0,
+    n_jobs: int | None = None,
+    backend: str | None = None,
+    rows_per_group: int = 4096,
+    store_format: str | None = None,
+    progress: Callable[[int, int, int], None] | None = None,
+    progress_every: float = 0.5,
+) -> FleetSummary:
+    """Run a (scenario × replication) sweep into one columnar store.
+
+    Parameters
+    ----------
+    scenarios:
+        The sweep grid. All scenarios must share one class structure
+        (same class names) — the store schema is rectangular.
+    n_replications:
+        Independent replications per scenario; unit ``u`` maps to
+        ``(scenario, replication) = divmod(u, n_replications)``.
+    out:
+        Directory the :class:`FleetStore` is created in (must not
+        already hold a store).
+    seed:
+        Master seed; unit seeds are ``SeedSequence(seed,
+        spawn_key=(scenario, replication))`` regardless of scheduling.
+    n_jobs:
+        Worker processes (``None``/``1`` serial, ``-1`` all cores),
+        same convention as the replication engine.
+    backend:
+        Simulation backend for the workers (``python`` / ``compiled``
+        / ``auto``); default inherits ``REPRO_SIM_BACKEND``.
+    progress:
+        Optional ``progress(n_done, n_failed, n_units)`` callback,
+        invoked at most every ``progress_every`` seconds plus once at
+        the end.
+
+    Returns a :class:`FleetSummary`; the rows live in the store at
+    ``out``.
+    """
+    if not scenarios:
+        raise ModelValidationError("run_fleet needs at least one scenario")
+    if n_replications < 1:
+        raise ModelValidationError(
+            f"need at least one replication per scenario, got {n_replications}"
+        )
+    class_names = tuple(scenarios[0].workload.names)
+    for sc in scenarios[1:]:
+        if tuple(sc.workload.names) != class_names:
+            raise ModelValidationError(
+                "fleet scenarios must share one class structure "
+                f"({sc.label!r} has {tuple(sc.workload.names)}, "
+                f"expected {class_names})"
+            )
+    n_units = len(scenarios) * n_replications
+    n_workers = resolve_n_jobs(n_jobs)
+    columns = fleet_columns(len(class_names))
+    store = FleetStore.create(
+        out,
+        columns,
+        meta={
+            "seed": seed,
+            "n_replications": n_replications,
+            "class_names": list(class_names),
+            "backend": backend or os.environ.get("REPRO_SIM_BACKEND", "python"),
+            "scenarios": [
+                {
+                    "scenario": i,
+                    "label": sc.label,
+                    "horizon": sc.horizon,
+                    "warmup_fraction": sc.warmup_fraction,
+                    "params": dict(sc.params),
+                }
+                for i, sc in enumerate(scenarios)
+            ],
+        },
+        rows_per_group=rows_per_group,
+        fmt=store_format,
+    )
+
+    start = time.perf_counter()
+    n_done = 0
+    n_failed = 0
+    failures: list[tuple[int, str]] = []
+    last_report = 0.0
+
+    def report(force: bool = False) -> None:
+        nonlocal last_report
+        now = time.perf_counter()
+        if not force and now - last_report < progress_every:
+            return
+        last_report = now
+        obs.event(
+            "fleet.unit",
+            n_done=n_done,
+            n_failed=n_failed,
+            n_total=n_units,
+            units_per_sec=n_done / max(now - start, 1e-9),
+        )
+        if progress is not None:
+            progress(n_done, n_failed, n_units)
+
+    with obs.span("fleet.run", n_units=n_units, n_workers=n_workers):
+        try:
+            if n_workers == 1:
+                prev_backend = os.environ.get("REPRO_SIM_BACKEND")
+                if backend is not None:
+                    os.environ["REPRO_SIM_BACKEND"] = backend
+                try:
+                    for unit in range(n_units):
+                        try:
+                            row = _run_unit(scenarios, seed, unit, n_replications)
+                        except Exception as exc:
+                            n_failed += 1
+                            failures.append((unit, f"{type(exc).__name__}: {exc}"))
+                        else:
+                            store.append(row)
+                            n_done += 1
+                        report()
+                finally:
+                    if backend is not None:
+                        if prev_backend is None:
+                            os.environ.pop("REPRO_SIM_BACKEND", None)
+                        else:
+                            os.environ["REPRO_SIM_BACKEND"] = prev_backend
+            else:
+                n_done, n_failed, failures = _run_fleet_pool(
+                    scenarios,
+                    seed,
+                    n_replications,
+                    n_units,
+                    n_workers,
+                    backend,
+                    store,
+                    report,
+                )
+        finally:
+            wall = time.perf_counter() - start
+            store.close(
+                extra_meta={
+                    "n_done": n_done,
+                    "n_failed": n_failed,
+                    "failures": failures[:32],
+                    "n_workers": n_workers,
+                    "wall_time_s": wall,
+                }
+            )
+    report(force=True)
+    obs.event(
+        "fleet.done",
+        n_done=n_done,
+        n_failed=n_failed,
+        n_total=n_units,
+        wall_s=wall,
+    )
+    obs.counter("fleet.units").add(n_done)
+    return FleetSummary(
+        store_path=str(store.path),
+        n_scenarios=len(scenarios),
+        n_replications=n_replications,
+        n_units=n_units,
+        n_done=n_done,
+        n_failed=n_failed,
+        n_workers=n_workers,
+        wall_time_s=wall,
+        units_per_sec=n_done / max(wall, 1e-9),
+    )
+
+
+def _run_fleet_pool(
+    scenarios: list[FleetScenario],
+    seed: int,
+    n_replications: int,
+    n_units: int,
+    n_workers: int,
+    backend: str | None,
+    store: FleetStore,
+    report: Callable[..., None],
+) -> tuple[int, int, list[tuple[int, str]]]:
+    """The multi-process path: shared index queue + result stream.
+
+    The task queue is loaded with every unit index up front (small:
+    one int each) followed by one ``None`` sentinel per worker; the
+    parent then drains the result queue, appending rows as they
+    arrive. A worker that dies mid-unit is detected by liveness checks
+    on the drain loop so the parent cannot hang on a lost unit.
+    """
+    import multiprocessing as mp
+
+    ctx = mp.get_context()
+    task_queue: Any = ctx.Queue()
+    result_queue: Any = ctx.Queue()
+    for unit in range(n_units):
+        task_queue.put(unit)
+    for _ in range(n_workers):
+        task_queue.put(None)
+    workers = [
+        ctx.Process(
+            target=_fleet_worker,
+            args=(task_queue, result_queue, scenarios, seed, n_replications, backend),
+            daemon=True,
+        )
+        for _ in range(n_workers)
+    ]
+    for w in workers:
+        w.start()
+
+    n_done = 0
+    n_failed = 0
+    failures: list[tuple[int, str]] = []
+    received = 0
+    try:
+        while received < n_units:
+            try:
+                kind, unit, payload = result_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                if not any(w.is_alive() for w in workers):
+                    # All workers gone with units outstanding: crashed
+                    # mid-unit (OOM/kill). Report what's missing.
+                    missing = n_units - received
+                    failures.append((-1, f"{missing} unit(s) lost to dead workers"))
+                    n_failed += missing
+                    break
+                continue
+            received += 1
+            if kind == "row":
+                store.append(payload)
+                n_done += 1
+            else:
+                n_failed += 1
+                failures.append((unit, payload))
+            report()
+    finally:
+        for w in workers:
+            w.join(timeout=5.0)
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+    return n_done, n_failed, failures

@@ -94,6 +94,33 @@ def _run_one(payload: tuple[int, dict[str, Any]]) -> tuple[int, SimulationResult
     return index, result, time.perf_counter() - t0
 
 
+def _warm_worker(backend: str | None = None) -> None:
+    """Process-pool initializer: pay per-process warm-up once, up front.
+
+    A fresh worker's first replication otherwise absorbs every one-time
+    cost inside its timed window: importing the distribution and
+    statistics modules, priming the Student-t quantile memo the CI
+    math uses, and — when ``REPRO_SIM_BACKEND`` selects the compiled
+    backend — building/loading the C kernel shared object. This is
+    pure warm-up: it instantiates no generators and draws no random
+    numbers, so replication results are bit-identical with and without
+    it (``tests/test_compiled_backend.py`` holds it to that).
+
+    ``backend`` pins ``REPRO_SIM_BACKEND`` in the worker explicitly so
+    the selection survives spawn-based start methods that do not
+    inherit the parent's mutated environment.
+    """
+    if backend is not None:
+        os.environ["REPRO_SIM_BACKEND"] = backend
+    import repro.distributions  # noqa: F401  (sampler classes)
+    import repro.simulation.stats  # noqa: F401  (Welford / CI math)
+
+    if os.environ.get("REPRO_SIM_BACKEND", "python") != "python":
+        from repro.simulation.compiled import warm_kernel
+
+        warm_kernel()
+
+
 def payload_is_picklable(payload: Any) -> bool:
     """Whether a replication payload can cross a process boundary.
 
@@ -141,11 +168,16 @@ class PoolSession:
 
     The executor is created lazily on the first non-empty round and
     reused by every subsequent :meth:`run` call, so a multi-round
-    adaptive run pays worker start-up once, not per round.
+    adaptive run pays worker start-up once, not per round. With
+    ``warm_start`` (the default) each worker runs :func:`_warm_worker`
+    on start-up, so one-time import/kernel-build costs never land
+    inside a replication's timed window; results are identical either
+    way.
     """
 
-    def __init__(self, n_workers: int):
+    def __init__(self, n_workers: int, warm_start: bool = True):
         self.n_workers = n_workers
+        self.warm_start = warm_start
         self._pool: ProcessPoolExecutor | None = None
 
     def __enter__(self) -> "PoolSession":
@@ -171,7 +203,14 @@ class PoolSession:
         if not payloads:
             return out
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            if self.warm_start:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    initializer=_warm_worker,
+                    initargs=(os.environ.get("REPRO_SIM_BACKEND"),),
+                )
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
         pending = {self._pool.submit(_run_one, p) for p in payloads}
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -210,10 +249,11 @@ class ProcessPoolBackend:
 
     name = "process"
 
-    def __init__(self, n_workers: int):
+    def __init__(self, n_workers: int, warm_start: bool = True):
         if n_workers < 1:
             raise ModelValidationError(f"need at least one worker, got {n_workers}")
         self.n_workers = n_workers
+        self.warm_start = warm_start
 
     def run(
         self,
@@ -223,12 +263,14 @@ class ProcessPoolBackend:
         """Execute every payload; returns ``{index: (result, wall_s)}``."""
         # One-shot runs know the payload count up front, so the pool is
         # right-sized; a session cannot and always uses n_workers.
-        with PoolSession(min(self.n_workers, max(len(payloads), 1))) as session:
+        with PoolSession(
+            min(self.n_workers, max(len(payloads), 1)), warm_start=self.warm_start
+        ) as session:
             return session.run(payloads, on_done)
 
     def session(self) -> PoolSession:
         """An incremental-dispatch session with a persistent pool."""
-        return PoolSession(self.n_workers)
+        return PoolSession(self.n_workers, warm_start=self.warm_start)
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:

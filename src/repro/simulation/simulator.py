@@ -27,6 +27,7 @@ bit-identical for a given seed:
 from __future__ import annotations
 
 import heapq
+import os
 import warnings
 from bisect import bisect_right
 from collections.abc import Callable, Sequence
@@ -226,6 +227,31 @@ def simulate(
                 f"configuration is unstable (utilizations {np.round(rho, 4).tolist()}); "
                 "pass allow_unstable=True to simulate it anyway"
             )
+
+    # Backend dispatch: REPRO_SIM_BACKEND selects the C event-loop
+    # kernel (repro.simulation.compiled), which produces bit-identical
+    # results for every configuration it accepts and returns None to
+    # fall back to this engine otherwise (PS tiers, epoch controllers,
+    # antithetic seeds, telemetry queue sampling, kernel build failure).
+    backend = _env_backend()
+    if backend != "python":
+        from repro.simulation import compiled as _compiled
+
+        compiled_result = _compiled.maybe_simulate_compiled(
+            backend,
+            cluster,
+            workload,
+            horizon,
+            warmup_fraction,
+            seed,
+            arrival_processes,
+            collect_delay_samples,
+            collect_job_log,
+            routing,
+            epoch_controller,
+        )
+        if compiled_result is not None:
+            return compiled_result
 
     k_classes = workload.num_classes
     m_stations = cluster.num_tiers
@@ -678,6 +704,25 @@ def simulate(
             else None
         ),
     )
+
+
+def _env_backend() -> str:
+    """The ``REPRO_SIM_BACKEND`` selector, validated.
+
+    ``python`` (default) runs this engine; ``compiled`` requires the C
+    kernel (warns once and falls back if unavailable); ``auto`` uses
+    the kernel opportunistically and falls back silently.
+    """
+    raw = os.environ.get("REPRO_SIM_BACKEND")
+    if raw is None:
+        return "python"
+    value = raw.strip().lower()
+    if value not in ("python", "compiled", "auto"):
+        raise ModelValidationError(
+            f"REPRO_SIM_BACKEND must be one of ('python', 'compiled', 'auto'), "
+            f"got {raw!r}"
+        )
+    return value
 
 
 def _build_routes(cluster: ClusterModel) -> list[tuple[int, ...]]:

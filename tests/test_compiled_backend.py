@@ -1,0 +1,275 @@
+"""Backend-parity suite for the compiled event-loop kernel.
+
+The compiled C kernel behind ``REPRO_SIM_BACKEND=compiled`` must be a
+pure performance transform: every number it produces is required to be
+**bit-identical** to the pure-Python engine's, across execution
+backends (serial loop vs process pool) and with the epoch-controller
+hook engaged (which routes to the Python engine by design). This file
+holds it to that with the same golden pins the Python engine answers
+to, plus fallback-semantics tests: a kernel that cannot build/load, or
+a configuration outside the kernel's envelope, degrades to pure Python
+with exactly one visible :class:`CompiledFallbackWarning` per process
+and reason (and silently under ``REPRO_SIM_BACKEND=auto``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CompiledFallbackWarning, ModelValidationError
+from repro.simulation import RngStreams, simulate
+from repro.simulation import compiled as compiled_mod
+from repro.simulation.parallel import ProcessPoolBackend, SerialBackend
+
+import test_golden_sim_metrics as golden_mod
+
+pytestmark = pytest.mark.filterwarnings("ignore::repro.exceptions.WarmupDiscardWarning")
+
+COMPILED_AVAILABLE = compiled_mod.kernel_available()
+
+needs_kernel = pytest.mark.skipif(
+    not COMPILED_AVAILABLE, reason="compiled kernel unavailable (no C toolchain?)"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state(monkeypatch):
+    """Each test starts with the once-per-reason warning memory empty."""
+    monkeypatch.setattr(compiled_mod, "_warned", set())
+
+
+# ---------------------------------------------------------------------------
+# golden bit-identity on the compiled backend
+# ---------------------------------------------------------------------------
+
+
+@needs_kernel
+@pytest.mark.parametrize("name", sorted(golden_mod._scenarios()))
+def test_golden_metrics_bit_identical_compiled(name, monkeypatch):
+    """Every golden scenario pins the same floats under the compiled
+    backend — scenarios outside the kernel's envelope (PS tiers) fall
+    back and must *still* match, by construction."""
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    golden = golden_mod.GOLDEN_PATH
+    pinned = __import__("json").loads(golden.read_text())
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CompiledFallbackWarning)
+        fresh = golden_mod._snapshot(golden_mod._scenarios()[name]())
+    golden_mod._assert_identical(pinned[name], fresh, path=name)
+
+
+def _epoch_controller(t, queues, speeds):
+    """Module-level (picklable) controller: nudge speeds with load."""
+    total = float(np.sum(queues))
+    return np.clip(0.6 + 0.05 * total, 0.6, 1.0) * np.ones_like(speeds)
+
+
+def _replication_numbers(backend_env, n_jobs, with_controller, monkeypatch):
+    """Snapshot of 3 replications run through the requested execution
+    backend (serial loop vs 2-worker process pool) under the requested
+    simulation backend, with the epoch controller optionally engaged
+    (which routes each run to the Python engine by design)."""
+    monkeypatch.setenv("REPRO_SIM_BACKEND", backend_env)
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+    extra = {}
+    if with_controller:
+        extra = {"epoch_times": [20.0, 40.0, 60.0], "epoch_controller": _epoch_controller}
+    payloads = [
+        (i, dict(cluster=cluster, workload=workload, horizon=80.0, seed=child, **extra))
+        for i, child in enumerate(RngStreams.replication_seeds(42, 3))
+    ]
+    backend = SerialBackend() if n_jobs == 1 else ProcessPoolBackend(n_jobs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CompiledFallbackWarning)
+        out = backend.run(payloads)
+    return {i: golden_mod._snapshot(res) for i, (res, _wall) in sorted(out.items())}
+
+
+@needs_kernel
+@pytest.mark.parametrize("backend_env", ["python", "compiled"])
+@pytest.mark.parametrize("n_jobs", [1, 2])
+@pytest.mark.parametrize("with_controller", [False, True])
+def test_replication_matrix_bit_identical(backend_env, n_jobs, with_controller, monkeypatch):
+    """{python, compiled} × {serial, process} × controller on/off all
+    produce the same bits as the python-serial reference."""
+    reference = _replication_numbers("python", 1, with_controller, monkeypatch)
+    probe = _replication_numbers(backend_env, n_jobs, with_controller, monkeypatch)
+    assert sorted(probe) == sorted(reference)
+    for i in reference:
+        golden_mod._assert_identical(reference[i], probe[i], path=f"rep[{i}]")
+
+
+@needs_kernel
+def test_single_run_bit_identical_delay_samples_and_log(monkeypatch):
+    """Delay-sample streams and the structured job log match exactly."""
+    cluster = golden_mod._two_tier("priority_np")
+    workload = golden_mod._workload()
+
+    def run():
+        return simulate(
+            cluster,
+            workload,
+            horizon=120.0,
+            seed=31,
+            collect_delay_samples=True,
+            collect_job_log=True,
+        )
+
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    ref = run()
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    got = run()
+    for a, b in zip(ref.delay_samples, got.delay_samples):
+        assert np.array_equal(a, b)
+    assert np.array_equal(ref.job_log, got.job_log)
+    golden_mod._assert_identical(
+        golden_mod._snapshot(ref), golden_mod._snapshot(got), path="single_run"
+    )
+
+
+# ---------------------------------------------------------------------------
+# backend selection and fallback semantics
+# ---------------------------------------------------------------------------
+
+
+def test_invalid_backend_env_rejected(monkeypatch):
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "turbo")
+    with pytest.raises(ModelValidationError, match="REPRO_SIM_BACKEND"):
+        simulate(canonical_cluster(), canonical_workload(), horizon=5.0, seed=0)
+
+
+def test_build_failure_degrades_with_single_warning(monkeypatch):
+    """A kernel that cannot load falls back to pure Python with exactly
+    one visible warning per process, and the numbers are the Python
+    engine's."""
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    def broken_load():
+        raise compiled_mod.KernelBuildError("simulated toolchain failure")
+
+    monkeypatch.setattr(compiled_mod, "load_kernel", broken_load)
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    ref = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=8)
+
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    with pytest.warns(CompiledFallbackWarning, match="toolchain failure"):
+        first = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=8)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CompiledFallbackWarning)  # second warn would raise
+        second = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=8)
+
+    assert np.array_equal(ref.delays, first.delays)
+    assert np.array_equal(ref.delays, second.delays)
+    assert ref.average_power == first.average_power == second.average_power
+
+
+def test_auto_backend_falls_back_silently(monkeypatch):
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    def broken_load():
+        raise compiled_mod.KernelBuildError("simulated toolchain failure")
+
+    monkeypatch.setattr(compiled_mod, "load_kernel", broken_load)
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "auto")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CompiledFallbackWarning)
+        simulate(canonical_cluster(), canonical_workload(), horizon=20.0, seed=8)
+
+
+def test_unsupported_config_warns_and_matches(monkeypatch):
+    """PS tiers are outside the kernel envelope: warn once, match bits."""
+    cluster = golden_mod._two_tier("ps", servers=(1, 2))
+    workload = golden_mod._workload()
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    ref = simulate(cluster, workload, horizon=60.0, seed=5)
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    with pytest.warns(CompiledFallbackWarning, match="[Pp]rocessor-sharing"):
+        got = simulate(cluster, workload, horizon=60.0, seed=5)
+    assert np.array_equal(ref.delays, got.delays)
+    assert ref.average_power == got.average_power
+
+
+@needs_kernel
+def test_antithetic_seed_falls_back(monkeypatch):
+    """Antithetic (mirrored) streams run on the Python engine — and the
+    compiled selector must not change their numbers."""
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    _primary, mirror = RngStreams.replication_seed_pairs(9, 1)[0]
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    ref = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=mirror)
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    with pytest.warns(CompiledFallbackWarning, match="[Aa]ntithetic"):
+        got = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=mirror)
+    assert np.array_equal(ref.delays, got.delays)
+
+
+# ---------------------------------------------------------------------------
+# process-pool warm-start initializer (regression: identical results)
+# ---------------------------------------------------------------------------
+
+
+def _payloads(n=3, horizon=60.0, seed=77):
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    cluster, workload = canonical_cluster(), canonical_workload()
+    return [
+        (
+            i,
+            {
+                "cluster": cluster,
+                "workload": workload,
+                "horizon": horizon,
+                "warmup_fraction": 0.1,
+                "seed": child,
+            },
+        )
+        for i, child in enumerate(RngStreams.replication_seeds(seed, n))
+    ]
+
+
+def _result_bits(out):
+    return {
+        i: (res.delays.tolist(), res.average_power, res.meta["n_events"])
+        for i, (res, _wall) in out.items()
+    }
+
+
+def test_warm_start_initializer_identical_results():
+    """The per-process warm-up initializer must not change a single bit
+    of any replication, relative to cold workers and the serial loop."""
+    payloads = _payloads()
+    serial = _result_bits(SerialBackend().run(payloads))
+    warm = _result_bits(ProcessPoolBackend(2, warm_start=True).run(payloads))
+    cold = _result_bits(ProcessPoolBackend(2, warm_start=False).run(payloads))
+    assert warm == serial
+    assert cold == serial
+
+
+@needs_kernel
+def test_warm_start_compiled_backend_identical_results(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    payloads = _payloads(n=2, horizon=40.0)
+    warm = _result_bits(ProcessPoolBackend(2, warm_start=True).run(payloads))
+    cold = _result_bits(ProcessPoolBackend(2, warm_start=False).run(payloads))
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    serial = _result_bits(SerialBackend().run(payloads))
+    assert warm == serial
+    assert cold == serial
+
+
+def test_warm_worker_runs_in_process(monkeypatch):
+    """The initializer itself is cheap, import-only and idempotent."""
+    from repro.simulation.parallel import _warm_worker
+
+    monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+    _warm_worker()
+    _warm_worker("python")
+    assert __import__("os").environ["REPRO_SIM_BACKEND"] == "python"
