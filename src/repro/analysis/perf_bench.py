@@ -66,12 +66,22 @@ DEFAULT_HISTORY = "benchmarks/results/BENCH_history.jsonl"
 #: ``fleet_sweep_1k`` gates the fleet runner end to end: 1000
 #: (scenario × replication) units through the work-stealing dispatch
 #: path into a columnar store.
+#: ``a7_epoch_compiled``, ``adaptive_antithetic_compiled`` and
+#: ``sim_ps_h500_compiled`` gate the closed kernel support envelope:
+#: epoch-controlled runs (the yield protocol), antithetic mirrored
+#: streams and PS tiers each *raise* in setup when the compiled path
+#: is less than 5x faster than the pure-Python engine — a silent
+#: fallback for any of these classes re-opens the envelope and must
+#: fail the bench outright, not drift past as a slowdown.
 DEFAULT_GATES = (
     "sim_replication_h500",
     "sim_replication_h500_compiled",
     "fleet_sweep_1k",
     "frontier_sweep_warm",
     "adaptive_vs_fixed",
+    "a7_epoch_compiled",
+    "adaptive_antithetic_compiled",
+    "sim_ps_h500_compiled",
 )
 
 #: Name of the machine-speed calibration kernel.
@@ -156,6 +166,161 @@ def _kernel_sim_replication_h500_compiled() -> Callable[[], object]:
                 os.environ["REPRO_SIM_BACKEND"] = prev
         return {"bench_extra": extra}
 
+    return run
+
+
+def _compiled_floor_setup(
+    once: Callable[[], object], floor: float, label: str
+) -> tuple[dict, Callable[[], object]]:
+    """Shared setup for the compiled-envelope gate kernels.
+
+    Times ``once`` (min over 3) under each backend, **raises** when the
+    compiled path is less than ``floor``x faster than the pure-Python
+    engine — for these kernels a silent fallback is a correctness-of-
+    claim regression, not a slowdown — and returns the ``bench_extra``
+    speedup record plus a closure running ``once`` compiled. Hosts
+    without a C toolchain skip via :class:`BenchSkip`.
+    """
+    import os
+
+    from repro.simulation.compiled import kernel_available, kernel_status
+
+    if not kernel_available():
+        raise BenchSkip(f"compiled kernel unavailable: {kernel_status()['error']}")
+
+    def timed(backend: str) -> float:
+        prev = os.environ.get("REPRO_SIM_BACKEND")
+        os.environ["REPRO_SIM_BACKEND"] = backend
+        try:
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                once()
+                best = min(best, time.perf_counter() - t0)
+            return best
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_SIM_BACKEND", None)
+            else:
+                os.environ["REPRO_SIM_BACKEND"] = prev
+
+    t_compiled = timed("compiled")  # first call also pays the one-time build
+    t_python = timed("python")
+    speedup = t_python / t_compiled if t_compiled > 0 else float("inf")
+    if speedup < floor:
+        raise RuntimeError(
+            f"{label}: compiled speedup {speedup:.1f}x below the {floor:g}x "
+            f"acceptance floor (python {t_python * 1e3:.2f} ms, "
+            f"compiled {t_compiled * 1e3:.2f} ms)"
+        )
+    extra = {"speedup_vs_python": round(speedup, 2)}
+
+    def run() -> dict:
+        prev = os.environ.get("REPRO_SIM_BACKEND")
+        os.environ["REPRO_SIM_BACKEND"] = "compiled"
+        try:
+            once()
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_SIM_BACKEND", None)
+            else:
+                os.environ["REPRO_SIM_BACKEND"] = prev
+        return {"bench_extra": extra}
+
+    return extra, run
+
+
+def _kernel_a7_epoch_compiled() -> Callable[[], object]:
+    """The A7 controller-in-the-loop run on the compiled kernel.
+
+    Same scenario as ``controller_epoch`` (drift-plus-penalty speed
+    decisions on a diurnal trace; 100 epoch boundaries at epoch length
+    2.0), but through the kernel's epoch-boundary yield protocol: the
+    C loop pauses at each boundary, surfaces queue backlogs and
+    segmented energy to the Python controller, applies the returned
+    speeds via the work-preserving rescale, and resumes. The per-epoch
+    controller work runs in Python under *both* backends, so finer
+    epochs shrink the measurable gap (Amdahl); length 2.0 keeps the
+    yield protocol hot while the event loop still dominates. Setup
+    raises below the 5x acceptance floor vs the pure-Python engine.
+    """
+    from repro.control import DriftPlusPenaltyController, run_controlled
+    from repro.experiments.common import CLASS_NAMES, canonical_cluster, canonical_workload
+    from repro.workload.timevarying import diurnal_trace
+
+    cluster = canonical_cluster()
+    base = canonical_workload().arrival_rates
+    horizon = 200.0
+    trace = diurnal_trace(
+        base, horizon, period=horizon, trough=0.5, peak=1.3, seed=17,
+        class_names=CLASS_NAMES,
+    )
+    policy = DriftPlusPenaltyController(cluster, v_param=5e-4)
+
+    def once() -> object:
+        return run_controlled(
+            cluster, trace, policy, 2.0, max_mean_delay=0.35, seed=17
+        )
+
+    _extra, run = _compiled_floor_setup(once, 5.0, "a7_epoch_compiled")
+    return run
+
+
+def _kernel_adaptive_antithetic_compiled() -> Callable[[], object]:
+    """The adaptive precision engine's antithetic estimator on the
+    compiled kernel.
+
+    One precision-targeted run (5% relative CI on mean delay) with
+    ``estimator="antithetic"``: every replication is a mirrored-stream
+    pair, exercising the kernel's pre-drawn coupled uniform blocks.
+    Setup raises below the 5x acceptance floor vs the pure-Python
+    engine, and the timed closure raises if the run stops certifying
+    its target.
+    """
+    from repro.experiments.common import small_cluster, small_workload
+    from repro.simulation import PrecisionTarget, simulate_replications_adaptive
+
+    cluster, workload = small_cluster(), small_workload()
+    target = PrecisionTarget(
+        estimator="antithetic",
+        rel_ci={"mean_delay": 0.05},
+        min_replications=4,
+        max_replications=32,
+        round_size=2,
+    )
+
+    def once() -> object:
+        rep = simulate_replications_adaptive(
+            cluster, workload, horizon=500.0, target=target, seed=123
+        )
+        if not rep.meta["adaptive"]["target_met"]:
+            raise RuntimeError(
+                "antithetic adaptive run missed the precision target it is "
+                f"benched on (n_simulated={rep.meta['adaptive']['n_simulated']})"
+            )
+        return rep
+
+    _extra, run = _compiled_floor_setup(once, 5.0, "adaptive_antithetic_compiled")
+    return run
+
+
+def _kernel_sim_ps_h500_compiled() -> Callable[[], object]:
+    """One h=500 replication of the canonical cluster with PS tiers on
+    the compiled kernel (the C processor-sharing service law: equal
+    shares above capacity, remaining-work rescheduling on every
+    arrival/departure). Setup raises below the 5x acceptance floor vs
+    the pure-Python engine.
+    """
+    from repro.experiments.common import canonical_cluster, canonical_workload
+    from repro.simulation import simulate
+
+    cluster = canonical_cluster(discipline="ps")
+    workload = canonical_workload()
+
+    def once() -> object:
+        return simulate(cluster, workload, horizon=500.0, seed=99)
+
+    _extra, run = _compiled_floor_setup(once, 5.0, "sim_ps_h500_compiled")
     return run
 
 
@@ -485,6 +650,9 @@ KERNELS: dict[str, Callable[[], Callable[[], object]]] = {
     CALIBRATION: _kernel_calibration_spin,
     "sim_replication_h500": _kernel_sim_replication_h500,
     "sim_replication_h500_compiled": _kernel_sim_replication_h500_compiled,
+    "a7_epoch_compiled": _kernel_a7_epoch_compiled,
+    "adaptive_antithetic_compiled": _kernel_adaptive_antithetic_compiled,
+    "sim_ps_h500_compiled": _kernel_sim_ps_h500_compiled,
     "fleet_sweep_1k": _kernel_fleet_sweep_1k,
     "analytic_eval_x100": _kernel_analytic_eval_x100,
     "batch_eval_100": _kernel_batch_eval_100,

@@ -277,6 +277,14 @@ def _section_runs(store: Any, runs: list[dict[str, Any]]) -> str:
         cmd_s = " ".join(cmd) if isinstance(cmd, list) else (cmd or "–")
         fp = (r.get("config_fingerprint") or "")[:12] or "–"
         dropped = r.get("n_dropped") or 0
+        backend = r.get("sim_backend") or "–"
+        fallback = r.get("sim_backend_fallback")
+        if fallback:
+            backend = (
+                f'<span class="warn" title="{_esc(str(fallback))}">{_esc(backend)}*</span>'
+            )
+        else:
+            backend = _esc(backend)
         rows.append(
             [
                 r["id"],
@@ -285,6 +293,7 @@ def _section_runs(store: Any, runs: list[dict[str, Any]]) -> str:
                 f'<span class="mono">{_esc(cmd_s[:60])}</span>',
                 r.get("seed"),
                 f'<span class="mono">{_esc(fp)}</span>',
+                backend,
                 r.get("n_events"),
                 f'<span class="warn">{dropped}</span>' if dropped else "0",
                 r.get("wall_s"),
@@ -292,7 +301,7 @@ def _section_runs(store: Any, runs: list[dict[str, Any]]) -> str:
         )
     return "<h2>Runs</h2>" + _table(
         ["id", "created", "version", "command", "seed", "fingerprint",
-         "events", "dropped", "wall s"],
+         "backend", "events", "dropped", "wall s"],
         rows,
         num_from=4,
     )

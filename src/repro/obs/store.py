@@ -63,6 +63,8 @@ CREATE TABLE IF NOT EXISTS runs (
     n_events INTEGER NOT NULL DEFAULT 0,
     n_dropped INTEGER NOT NULL DEFAULT 0,
     wall_s REAL,
+    sim_backend TEXT,
+    sim_backend_fallback TEXT,
     manifest TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_runs_fingerprint ON runs (config_fingerprint, seed);
@@ -195,6 +197,7 @@ class RunStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._conn.execute(
             "INSERT OR IGNORE INTO store_meta (key, value) VALUES ('schema_version', ?)",
             (str(STORE_SCHEMA_VERSION),),
@@ -210,6 +213,20 @@ class RunStore:
     def close(self) -> None:
         self._conn.commit()
         self._conn.close()
+
+    def _migrate(self) -> None:
+        """Bring a store created by an older schema up to date.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves pre-existing tables
+        untouched, so columns added after a store was first created
+        must be grafted on here; SQLite's ``ADD COLUMN`` defaults the
+        backfill to NULL, which every reader treats as "unknown".
+        """
+        have = {row[1] for row in self._conn.execute("PRAGMA table_info(runs)")}
+        for column in ("sim_backend", "sim_backend_fallback"):
+            if column not in have:
+                self._conn.execute(f"ALTER TABLE runs ADD COLUMN {column} TEXT")
+        self._conn.commit()
 
     # -- ingest ----------------------------------------------------------
     def ingest(self, run_dir: str | Path) -> int:
@@ -235,6 +252,7 @@ class RunStore:
         host = manifest.get("host") or {}
         events_info = manifest.get("events") or {}
         command = manifest.get("command")
+        extra = manifest.get("extra") or {}
         cur = self._conn.cursor()
         cur.execute("BEGIN")
         try:
@@ -243,8 +261,9 @@ class RunStore:
             cur.execute("DELETE FROM runs WHERE run_dir = ?", (str(root),))
             cur.execute(
                 "INSERT INTO runs (run_dir, ingested_unix, created_unix, version, command,"
-                " seed, config_fingerprint, hostname, n_events, n_dropped, wall_s, manifest)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " seed, config_fingerprint, hostname, n_events, n_dropped, wall_s,"
+                " sim_backend, sim_backend_fallback, manifest)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     str(root),
                     time.time(),
@@ -257,6 +276,8 @@ class RunStore:
                     int(events_info.get("emitted", len(events))),
                     int(events_info.get("dropped", 0)),
                     _span_walls(events, manifest),
+                    extra.get("sim_backend"),
+                    extra.get("sim_backend_fallback"),
                     json.dumps(manifest, sort_keys=True),
                 ),
             )
@@ -498,7 +519,8 @@ class RunStore:
         out = _rows(
             self._conn.execute(
                 "SELECT id, run_dir, ingested_unix, created_unix, version, command, seed,"
-                " config_fingerprint, hostname, n_events, n_dropped, wall_s FROM runs"
+                " config_fingerprint, hostname, n_events, n_dropped, wall_s,"
+                " sim_backend, sim_backend_fallback FROM runs"
                 " ORDER BY created_unix, id"
             )
         )

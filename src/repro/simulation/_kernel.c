@@ -4,10 +4,10 @@
  * or cc, linked against NumPy's libnpyrandom) and driven through
  * ctypes.  It reimplements the hot loop of
  * repro/simulation/simulator.py -- the (time, seq) event heap, the
- * array-backed SimStation state machine and the per-event statistics
- * tallies -- in C, while drawing every random variate through NumPy's
- * own C distribution functions on the *same* per-stream bit
- * generators the pure-Python engine uses.
+ * array-backed SimStation state machine, the processor-sharing station
+ * and the per-event statistics tallies -- in C, while drawing every
+ * random variate through NumPy's own C distribution functions on the
+ * *same* per-stream bit generators the pure-Python engine uses.
  *
  * Bit-identity contract: for any configuration this kernel accepts,
  * the produced metrics are bit-identical to the pure-Python engine
@@ -17,8 +17,9 @@
  *  - the heap is ordered by the same unique (time, push-sequence) key,
  *    so pop order is a total order independent of heap internals;
  *  - every floating-point update (busy-time clipping, wait/sojourn
- *    sums, completion times) mirrors the Python expression shape and
- *    evaluation order exactly (IEEE doubles are deterministic);
+ *    sums, completion times, PS share decrements, DVFS remaining-work
+ *    rescales) mirrors the Python expression shape and evaluation
+ *    order exactly (IEEE doubles are deterministic);
  *  - service and arrival variates are drawn by the exact NumPy C
  *    functions (random_exponential, random_gamma, ziggurat
  *    standard-exponential, ...) on the stream's own bitgen_t, which
@@ -26,13 +27,32 @@
  *    block-sampling contract (tests/test_block_rng.py) makes one
  *    scalar draw per event equal to the Python engine's
  *    block-pregenerated draws;
+ *  - streams the kernel cannot drive natively (antithetic coupled
+ *    generators, whose inverse transforms go through np.log and are
+ *    not bitwise libm log) are consumed through SK_PYBLOCK buffers: a
+ *    Python refill callback pre-draws 4096 variates with the engine's
+ *    own sampling code, so the value sequence is identical by
+ *    construction;
  *  - distribution families without a native mapping fall back to a
  *    per-draw Python callback that performs the same scalar draw.
  *
- * Configurations the kernel does not model (PS tiers, epoch
- * controllers, antithetic streams, telemetry queue sampling) are
- * rejected at the Python layer, which falls back to the interpreter
- * engine.
+ * Beyond the plain event loop the kernel models:
+ *
+ *  - DISC_PS processor-sharing stations (lazy remaining-time elapse,
+ *    first-minimal completion pick, epoch-cancelled re-arm) mirroring
+ *    repro/simulation/ps_station.py;
+ *  - an epoch-boundary yield protocol for online speed control: at
+ *    each scheduled boundary the kernel closes busy intervals,
+ *    publishes per-tier queue counts and busy totals, flushes queue
+ *    samples, and calls epoch_cb; when the callback reports new
+ *    speeds (written into the shared speeds array) the kernel applies
+ *    them with the engine's work-preserving remaining-time rescale
+ *    and re-arms affected stations;
+ *  - SK_TRACE arrivals replaying a recorded timestamp array without
+ *    any RNG or callback round trip;
+ *  - buffered per-tier queue-length sampling, batch-flushed through
+ *    sample_cb at epoch boundaries and at the end of the run instead
+ *    of hooking every sample into Python.
  */
 
 #include <math.h>
@@ -50,6 +70,7 @@
 #define DISC_PRIORITY_NP 1
 #define DISC_PRIORITY_PR 2
 #define DISC_LOSS 3
+#define DISC_PS 4
 
 #define SK_PYCALL 0
 #define SK_DET 1
@@ -59,6 +80,8 @@
 #define SK_LOGNORMAL 5
 #define SK_WEIBULL 6
 #define SK_HYPER 7
+#define SK_PYBLOCK 8
+#define SK_TRACE 9
 
 #define POST_MUL 0
 #define POST_ADD 1
@@ -70,6 +93,9 @@
 
 typedef double (*service_cb_t)(int sampler_id);
 typedef double (*arrival_cb_t)(int cls, long long *batch_out);
+typedef long long (*refill_cb_t)(int block_id, double *buf, long long cap);
+typedef int (*epoch_cb_t)(double t);
+typedef int (*sample_cb_t)(const double *ts, const long long *vals, long long n_rows);
 
 /* ---- descriptors passed from Python (layout mirrored in ctypes) ---- */
 
@@ -77,10 +103,10 @@ typedef struct {
     int kind;
     int n_branches;
     int n_post;
-    int py_id;
+    int py_id;         /* callback id (PYCALL) or block id (PYBLOCK) */
     double p1;
     double p2;
-    void *bg;          /* bitgen_t*, NULL for DET / PYCALL */
+    void *bg;          /* bitgen_t*, NULL for DET / PYCALL / PYBLOCK */
     double *cdf;       /* hyperexponential branch CDF */
     double *scales;    /* hyperexponential branch scales */
     int *post_op;      /* POST_MUL / POST_ADD, innermost last */
@@ -94,10 +120,14 @@ typedef struct {
 } StationDesc;
 
 typedef struct {
-    int kind;          /* SK_PYCALL or SK_EXPO */
-    int py_id;
+    int kind;          /* SK_PYCALL, SK_EXPO, SK_PYBLOCK or SK_TRACE */
+    int py_id;         /* callback slot (PYCALL) or block id (PYBLOCK) */
     double scale;
     void *bg;
+    const double *ts;  /* SK_TRACE: sorted arrival timestamps */
+    long long n_ts;
+    long long cursor;  /* SK_TRACE replay state (starts at 0) */
+    double clock;      /* SK_TRACE replay state (starts at 0.0) */
 } ArrivalDesc;
 
 /* ------------------------------- deque ------------------------------ */
@@ -285,6 +315,24 @@ static int dbuf_push(dbuf_t *b, double v) {
 }
 
 typedef struct {
+    long long *buf;
+    long long cap;
+    long long len;
+} llbuf_t;
+
+static int llbuf_push(llbuf_t *b, long long v) {
+    if (b->len == b->cap) {
+        long long ncap = b->cap ? b->cap * 2 : 256;
+        long long *nb = (long long *)realloc(b->buf, sizeof(long long) * ncap);
+        if (nb == NULL) return 1;
+        b->buf = nb;
+        b->cap = ncap;
+    }
+    b->buf[b->len++] = v;
+    return 0;
+}
+
+typedef struct {
     long long *jid;
     int *cls;
     double *arrival;
@@ -315,6 +363,15 @@ static int logbuf_push(logbuf_t *b, long long jid, int cls, double arrival, doub
     return 0;
 }
 
+/* ------------------------ python block buffers ----------------------- */
+
+typedef struct {
+    double *buf;
+    long long cap;
+    long long len;
+    long long pos;
+} blockbuf_t;
+
 /* ------------------------------ station ----------------------------- */
 
 typedef struct {
@@ -336,6 +393,11 @@ typedef struct {
     double t1;
     double busy_total;
     double *class_busy; /* K, points into the caller's output array */
+    /* processor-sharing pool (DISC_PS only) */
+    int *ps_jobs;      /* job pool indices in arrival order */
+    int ps_len;
+    int ps_cap;
+    double ps_last_t;
 } station_t;
 
 /* ------------------------------ context ----------------------------- */
@@ -353,9 +415,31 @@ typedef struct {
     double **entry_cum;      /* K x M (routing mode) */
     double **trans_cum;      /* K x (M*M) row-major cumulative rows */
     void **routing_bg;       /* K bitgen_t* (routing mode) */
+    int *routing_block;      /* K block ids (antithetic routing), or NULL */
     service_cb_t service_cb;
     arrival_cb_t arrival_cb;
+    refill_cb_t refill_cb;
     volatile int *abort_flag;
+
+    blockbuf_t *blocks;      /* n_blocks pre-drawn variate buffers */
+    int n_blocks;
+
+    /* dynamic speed control (epoch yield protocol) */
+    int dynamic;
+    double *cur_speed;       /* M, current per-tier speeds */
+    double *speeds;          /* M, shared channel written by epoch_cb */
+    long long *counts_out;   /* M*K queue counts published per epoch */
+    double *busy_out;        /* M busy totals (the caller's output) */
+    epoch_cb_t epoch_cb;
+
+    /* buffered queue sampling */
+    double sample_interval;
+    double next_sample_t;
+    sample_cb_t sample_cb;
+    dbuf_t sample_ts;
+    llbuf_t sample_vals;     /* per row: M populations then M busy */
+
+    int *scratch_counts;     /* K ints for PS per-class busy accrual */
 
     station_t *stations;
     heap_t heap;
@@ -373,6 +457,25 @@ typedef struct {
     int collect_log;
     int oom;
 } ctx_t;
+
+/* Next value from a Python-refilled variate buffer.  The refill
+ * callback fills the whole buffer with the engine's own sampling code
+ * (block-sampling contract: one size-n block draw consumes the stream
+ * exactly like n scalar draws), so handing the values out one at a
+ * time is bit-identical to the Python engine's draw sequence. */
+static double block_next(ctx_t *c, int id) {
+    blockbuf_t *b = &c->blocks[id];
+    if (b->pos >= b->len) {
+        long long n = c->refill_cb(id, b->buf, b->cap);
+        if (n <= 0 || n > b->cap) {
+            *c->abort_flag = 1; /* refill raised (or misbehaved) */
+            return 0.0;
+        }
+        b->len = n;
+        b->pos = 0;
+    }
+    return b->buf[b->pos++];
+}
 
 static double draw_sampler(ctx_t *c, const SamplerDesc *sd) {
     double v;
@@ -410,6 +513,9 @@ static double draw_sampler(ctx_t *c, const SamplerDesc *sd) {
         v = sd->scales[b] * random_standard_exponential(bg);
         break;
     }
+    case SK_PYBLOCK:
+        v = block_next(c, sd->py_id);
+        break;
     default: /* SK_PYCALL */
         v = c->service_cb(sd->py_id);
         break;
@@ -422,6 +528,42 @@ static double draw_sampler(ctx_t *c, const SamplerDesc *sd) {
         else v = v + sd->post_val[i];
     }
     return v;
+}
+
+/* One service draw for (station, class).  Under dynamic speed control
+ * the sampler yields the *demand* (work at speed 1) and the division
+ * by the current speed happens at pull time -- the same expression
+ * simulator._make_dynamic_sampler evaluates. */
+static double draw_service(ctx_t *c, station_t *st, int cls) {
+    double v = draw_sampler(c, &c->samplers[st->index * c->K + cls]);
+    if (c->dynamic) v = v / c->cur_speed[st->index];
+    return v;
+}
+
+/* Next arrival gap for class k (batch defaults to 1). */
+static double next_gap(ctx_t *c, int k, long long *batch) {
+    ArrivalDesc *ad = &c->arrivals[k];
+    *batch = 1;
+    switch (ad->kind) {
+    case SK_EXPO:
+        return random_exponential((bitgen_t *)ad->bg, ad->scale);
+    case SK_PYBLOCK:
+        return block_next(c, ad->py_id);
+    case SK_TRACE: {
+        /* TraceArrivalProcess.next_arrival: silent (infinite gap) when
+         * exhausted; gap clipped at zero with Python max(gap, 0.0)
+         * semantics (which keeps -0.0: max returns the first maximal,
+         * and so does skipping the branch below). */
+        if (ad->cursor >= ad->n_ts) return INFINITY;
+        double tt = ad->ts[ad->cursor++];
+        double gap = tt - ad->clock;
+        ad->clock = tt;
+        if (gap < 0.0) gap = 0.0;
+        return gap;
+    }
+    default: /* SK_PYCALL */
+        return c->arrival_cb(k, batch);
+    }
 }
 
 static int in_system_full(const station_t *st, int K) {
@@ -445,7 +587,7 @@ static int start_service(ctx_t *c, station_t *st, int jidx, int server_idx, doub
     job_t *j = &c->jobs.pool[jidx];
     double r = j->remaining;
     if (isnan(r)) {
-        r = draw_sampler(c, &c->samplers[st->index * c->K + j->cls]);
+        r = draw_service(c, st, j->cls);
         if (*c->abort_flag) return 1;
         j->remaining = r;
         j->service_total = r;
@@ -470,8 +612,112 @@ static int resync(ctx_t *c, station_t *st) {
     return 0;
 }
 
+/* ------------------------ processor sharing ------------------------- */
+
+/* Mirror of PSStation._elapse: decrement every job's remaining time by
+ * the elapsed share and accrue windowed busy time. */
+static void ps_elapse(ctx_t *c, station_t *st, double t) {
+    double dt = t - st->ps_last_t;
+    if (dt > 0.0 && st->ps_len > 0) {
+        int n = st->ps_len;
+        int cap = st->n_servers;
+        double rate = n <= cap ? 1.0 : (double)cap / (double)n;
+        double lo = st->ps_last_t > st->t0 ? st->ps_last_t : st->t0;
+        double hi = t < st->t1 ? t : st->t1;
+        if (hi > lo) {
+            double w = hi - lo;
+            st->busy_total += w * (double)(n < cap ? n : cap);
+            /* Per-class busy shares: one add per present class into a
+             * distinct accumulator element, so the Python dict's
+             * insertion order and this ascending-class order produce
+             * identical floats. */
+            int *counts = c->scratch_counts;
+            for (int k = 0; k < c->K; k++) counts[k] = 0;
+            for (int idx = 0; idx < n; idx++)
+                counts[c->jobs.pool[st->ps_jobs[idx]].cls]++;
+            for (int k = 0; k < c->K; k++)
+                if (counts[k] > 0)
+                    st->class_busy[k] += w * ((double)counts[k] * rate);
+        }
+        double dec = dt * rate;
+        for (int idx = 0; idx < n; idx++) {
+            job_t *j = &c->jobs.pool[st->ps_jobs[idx]];
+            double r = j->remaining - dec;
+            j->remaining = r > 0.0 ? r : 0.0;
+        }
+    }
+    st->ps_last_t = t;
+}
+
+/* Mirror of PSStation._reschedule. */
+static int ps_reschedule(ctx_t *c, station_t *st, double t) {
+    st->sched_epoch++;
+    if (st->ps_len > 0) {
+        int n = st->ps_len;
+        int cap = st->n_servers;
+        double rate = n <= cap ? 1.0 : (double)cap / (double)n;
+        double mn = c->jobs.pool[st->ps_jobs[0]].remaining;
+        for (int idx = 1; idx < n; idx++) {
+            double r = c->jobs.pool[st->ps_jobs[idx]].remaining;
+            if (r < mn) mn = r;
+        }
+        double t_next = mn / rate;
+        st->sched_time = t + t_next;
+        return heap_push(&c->heap, t + t_next, c->next_seq++, EV_COMPLETION,
+                         st->index, st->sched_epoch);
+    }
+    st->sched_time = INFINITY;
+    return 0;
+}
+
+/* Mirror of PSStation.arrive (PS never rejects); 1 ok, -1 error. */
+static int ps_arrive(ctx_t *c, station_t *st, double t, int jidx) {
+    ps_elapse(c, st, t);
+    job_t *j = &c->jobs.pool[jidx];
+    j->station_arrival = t;
+    double r = draw_service(c, st, j->cls);
+    if (*c->abort_flag) return -1;
+    j->remaining = r;
+    j->service_total = r;
+    if (st->ps_len == st->ps_cap) {
+        int ncap = st->ps_cap * 2;
+        int *nb = (int *)realloc(st->ps_jobs, sizeof(int) * ncap);
+        if (nb == NULL) return -1;
+        st->ps_jobs = nb;
+        st->ps_cap = ncap;
+    }
+    st->ps_jobs[st->ps_len++] = jidx;
+    if (ps_reschedule(c, st, t)) return -1;
+    return 1;
+}
+
+/* Mirror of PSStation.complete (epoch staleness checked by the
+ * caller); returns the finished job index, or -2 on error. */
+static int ps_complete(ctx_t *c, station_t *st, double t) {
+    ps_elapse(c, st, t);
+    if (st->ps_len == 0) return -2;
+    int best = 0;
+    double br = c->jobs.pool[st->ps_jobs[0]].remaining;
+    for (int idx = 1; idx < st->ps_len; idx++) {
+        double r = c->jobs.pool[st->ps_jobs[idx]].remaining;
+        if (r < br) { /* strict <: first minimal, like Python min() */
+            br = r;
+            best = idx;
+        }
+    }
+    int jidx = st->ps_jobs[best];
+    memmove(&st->ps_jobs[best], &st->ps_jobs[best + 1],
+            sizeof(int) * (size_t)(st->ps_len - best - 1));
+    st->ps_len--;
+    if (ps_reschedule(c, st, t)) return -2;
+    return jidx;
+}
+
+/* --------------------------- head-of-line --------------------------- */
+
 /* Mirror of SimStation.arrive; returns 1 accepted, 0 rejected, -1 error. */
 static int station_arrive(ctx_t *c, station_t *st, double t, int jidx) {
+    if (st->discipline == DISC_PS) return ps_arrive(c, st, t, jidx);
     job_t *j = &c->jobs.pool[jidx];
     j->station_arrival = t;
     j->remaining = NAN;
@@ -479,7 +725,7 @@ static int station_arrive(ctx_t *c, station_t *st, double t, int jidx) {
     if (st->n_busy < st->n_servers) {
         int idx = 0;
         while (st->srv_job[idx] >= 0) idx++;
-        double r = draw_sampler(c, &c->samplers[st->index * c->K + j->cls]);
+        double r = draw_service(c, st, j->cls);
         if (*c->abort_flag) return -1;
         j->remaining = r;
         j->service_total = r;
@@ -586,6 +832,126 @@ static int station_complete(ctx_t *c, station_t *st, double t) {
     return jidx;
 }
 
+/* ------------------------ sampling & epochs ------------------------- */
+
+/* Buffer one queue-length sample row (mirror of simulator._sample_queues
+ * state reads; the telemetry emission is replayed by the flush). */
+static int sample_queues_c(ctx_t *c, double t) {
+    if (dbuf_push(&c->sample_ts, t)) return 1;
+    for (int i = 0; i < c->M; i++) {
+        station_t *st = &c->stations[i];
+        long long n = (st->discipline == DISC_PS)
+                          ? (long long)st->ps_len
+                          : (long long)in_system_full(st, c->K);
+        if (llbuf_push(&c->sample_vals, n)) return 1;
+    }
+    for (int i = 0; i < c->M; i++) {
+        station_t *st = &c->stations[i];
+        long long busy;
+        if (st->discipline == DISC_PS)
+            busy = st->ps_len < st->n_servers ? st->ps_len : st->n_servers;
+        else
+            busy = st->n_busy;
+        if (llbuf_push(&c->sample_vals, busy)) return 1;
+    }
+    return 0;
+}
+
+static int flush_samples(ctx_t *c) {
+    if (c->sample_cb == NULL || c->sample_ts.len == 0) return 0;
+    int rc = c->sample_cb(c->sample_ts.buf, c->sample_vals.buf, c->sample_ts.len);
+    c->sample_ts.len = 0;
+    c->sample_vals.len = 0;
+    if (rc < 0 || *c->abort_flag) return 1;
+    return 0;
+}
+
+/* One epoch boundary: close busy intervals at tb (exactly like the
+ * engine's _accrue_segments call to close_open_intervals), publish the
+ * per-tier busy totals and queue counts, flush buffered samples, yield
+ * to the Python controller, and -- when it reports new speeds -- apply
+ * the engine's work-preserving remaining-time rescale.  Returns
+ * non-zero on error (abort flag distinguishes callback exceptions). */
+static int fire_epoch(ctx_t *c, double tb) {
+    for (int i = 0; i < c->M; i++) {
+        station_t *st = &c->stations[i];
+        if (st->discipline == DISC_PS) {
+            ps_elapse(c, st, tb);
+        } else {
+            for (int s = 0; s < st->n_servers; s++) {
+                int ji = st->srv_job[s];
+                if (ji >= 0) {
+                    record_busy(st, c->jobs.pool[ji].cls, st->srv_busy_since[s], tb);
+                    st->srv_busy_since[s] = tb;
+                }
+            }
+        }
+        c->busy_out[i] = st->busy_total;
+        /* Queue counts in SimStation.class_counts order (servers, then
+         * FIFO, then priority queues) -- integer adds, order-free. */
+        long long *row = c->counts_out + (long long)i * c->K;
+        for (int k = 0; k < c->K; k++) row[k] = 0;
+        if (st->discipline == DISC_PS) {
+            for (int idx = 0; idx < st->ps_len; idx++)
+                row[c->jobs.pool[st->ps_jobs[idx]].cls]++;
+        } else {
+            for (int s = 0; s < st->n_servers; s++)
+                if (st->srv_job[s] >= 0)
+                    row[c->jobs.pool[st->srv_job[s]].cls]++;
+            for (int q = 0; q < st->fifo.len; q++) {
+                int ji = st->fifo.buf[(st->fifo.head + q) % st->fifo.cap];
+                row[c->jobs.pool[ji].cls]++;
+            }
+            if (st->queues != NULL)
+                for (int k = 0; k < c->K; k++)
+                    for (int q = 0; q < st->queues[k].len; q++) {
+                        dq_t *dq = &st->queues[k];
+                        row[c->jobs.pool[dq->buf[(dq->head + q) % dq->cap]].cls]++;
+                    }
+        }
+    }
+    /* Samples recorded before this boundary reach the sink before the
+     * epoch's own telemetry event, matching the engine's inline order. */
+    if (flush_samples(c)) return 1;
+    int decision = c->epoch_cb(tb);
+    if (decision < 0 || *c->abort_flag) return 1;
+    if (decision > 0) {
+        /* The callback wrote the full clipped speed vector into the
+         * shared array; apply SimStation.rescale_remaining per tier.
+         * (PS tiers cannot occur here: dynamic+PS is rejected at
+         * validation.)  ratio > 0 was checked on the Python side. */
+        for (int i = 0; i < c->M; i++) {
+            station_t *st = &c->stations[i];
+            double s_new = c->speeds[i];
+            double s_old = c->cur_speed[i];
+            if (s_new != s_old) {
+                double ratio = s_old / s_new;
+                /* rescale_remaining early-returns on an exact 1.0 ratio
+                 * (possible for distinct speeds only through rounding)
+                 * without re-arming the station. */
+                if (ratio != 1.0) {
+                    int changed = 0;
+                    for (int s = 0; s < st->n_servers; s++) {
+                        int ji = st->srv_job[s];
+                        if (ji >= 0) {
+                            double rem = st->srv_completion[s] - tb;
+                            if (rem > 0.0) {
+                                double new_rem = rem * ratio;
+                                st->srv_completion[s] = tb + new_rem;
+                                c->jobs.pool[ji].service_total += new_rem - rem;
+                                changed = 1;
+                            }
+                        }
+                    }
+                    if (changed && resync(c, st)) return 1;
+                }
+                c->cur_speed[i] = s_new;
+            }
+        }
+    }
+    return 0;
+}
+
 static void free_ctx(ctx_t *c) {
     if (c->stations != NULL) {
         for (int i = 0; i < c->M; i++) {
@@ -595,6 +961,7 @@ static void free_ctx(ctx_t *c) {
             free(st->srv_completion);
             free(st->srv_seq);
             free(st->fifo.buf);
+            free(st->ps_jobs);
             if (st->queues != NULL) {
                 for (int k = 0; k < c->K; k++) free(st->queues[k].buf);
                 free(st->queues);
@@ -602,6 +969,14 @@ static void free_ctx(ctx_t *c) {
         }
         free(c->stations);
     }
+    if (c->blocks != NULL) {
+        for (int b = 0; b < c->n_blocks; b++) free(c->blocks[b].buf);
+        free(c->blocks);
+    }
+    free(c->cur_speed);
+    free(c->scratch_counts);
+    free(c->sample_ts.buf);
+    free(c->sample_vals.buf);
     free(c->heap.buf);
     free(c->jobs.pool);
     free(c->jobs.free_list);
@@ -617,6 +992,11 @@ int run_kernel(
     int has_routing,
     void **routes_v, int *route_len,
     void **entry_cum_v, void **trans_cum_v, void **routing_bg,
+    int *routing_block,
+    refill_cb_t refill_cb, int n_blocks, long long block_size,
+    int dynamic, long long n_epochs, const double *epoch_times,
+    double *speeds, long long *counts_out, epoch_cb_t epoch_cb,
+    double sample_interval, sample_cb_t sample_cb,
     int collect_log,
     service_cb_t service_cb, arrival_cb_t arrival_cb, int *abort_flag,
     double *wait_sum, double *sojourn_sum, long long *visit_count,
@@ -640,9 +1020,19 @@ int run_kernel(
     c.entry_cum = (double **)entry_cum_v;
     c.trans_cum = (double **)trans_cum_v;
     c.routing_bg = routing_bg;
+    c.routing_block = routing_block;
     c.service_cb = service_cb;
     c.arrival_cb = arrival_cb;
+    c.refill_cb = refill_cb;
     c.abort_flag = abort_flag;
+    c.n_blocks = n_blocks;
+    c.dynamic = dynamic;
+    c.speeds = speeds;
+    c.counts_out = counts_out;
+    c.busy_out = busy_total;
+    c.epoch_cb = epoch_cb;
+    c.sample_interval = sample_interval;
+    c.sample_cb = sample_cb;
     c.wait_sum = wait_sum;
     c.sojourn_sum = sojourn_sum;
     c.visit_count = visit_count;
@@ -662,6 +1052,25 @@ int run_kernel(
     c.heap.buf = (ev_t *)malloc(sizeof(ev_t) * c.heap.cap);
     if (c.heap.buf == NULL || jp_init(&c.jobs)) goto fail;
 
+    c.scratch_counts = (int *)malloc(sizeof(int) * K);
+    if (c.scratch_counts == NULL) goto fail;
+
+    if (n_blocks > 0) {
+        c.blocks = (blockbuf_t *)calloc(n_blocks, sizeof(blockbuf_t));
+        if (c.blocks == NULL) goto fail;
+        for (int b = 0; b < n_blocks; b++) {
+            c.blocks[b].cap = block_size;
+            c.blocks[b].buf = (double *)malloc(sizeof(double) * block_size);
+            if (c.blocks[b].buf == NULL) goto fail;
+        }
+    }
+
+    if (dynamic) {
+        c.cur_speed = (double *)malloc(sizeof(double) * M);
+        if (c.cur_speed == NULL) goto fail;
+        for (int i = 0; i < M; i++) c.cur_speed[i] = speeds[i];
+    }
+
     c.stations = (station_t *)calloc(M, sizeof(station_t));
     if (c.stations == NULL) goto fail;
     for (int i = 0; i < M; i++) {
@@ -680,7 +1089,13 @@ int run_kernel(
         for (int s = 0; s < st->n_servers; s++) st->srv_job[s] = -1;
         st->sched_time = INFINITY;
         if (dq_init(&st->fifo)) goto fail;
-        if (st->discipline != DISC_FCFS) {
+        if (st->discipline == DISC_PS) {
+            st->ps_cap = 16;
+            st->ps_jobs = (int *)malloc(sizeof(int) * st->ps_cap);
+            if (st->ps_jobs == NULL) goto fail;
+            st->ps_len = 0;
+            st->ps_last_t = 0.0;
+        } else if (st->discipline != DISC_FCFS) {
             st->queues = (dq_t *)calloc(K, sizeof(dq_t));
             if (st->queues == NULL) goto fail;
             for (int k = 0; k < K; k++)
@@ -694,19 +1109,17 @@ int run_kernel(
     /* Seed initial arrivals (class order, like the Python setup). */
     long long jid = 0;
     for (int k = 0; k < K; k++) {
-        double gap;
-        long long batch = 1;
-        if (arrivals[k].kind == SK_EXPO) {
-            gap = random_exponential((bitgen_t *)arrivals[k].bg, arrivals[k].scale);
-        } else {
-            gap = arrival_cb(k, &batch);
-            if (*abort_flag) { rc = RC_ABORT; goto fail; }
-        }
+        long long batch;
+        double gap = next_gap(&c, k, &batch);
+        if (*abort_flag) { rc = RC_ABORT; goto fail; }
         if (heap_push(&c.heap, gap, c.next_seq++, EV_ARRIVAL, k, batch)) goto fail;
     }
 
     long long n_warmup_discarded = 0;
     int hit_horizon = 0;
+    long long epoch_idx = 0;
+    double next_epoch = (dynamic && n_epochs > 0) ? epoch_times[0] : INFINITY;
+    c.next_sample_t = sample_interval > 0.0 ? warmup : INFINITY;
 
     while (c.heap.len) {
         ev_t ev = heap_pop(&c.heap);
@@ -715,10 +1128,29 @@ int run_kernel(
             hit_horizon = 1;
             break;
         }
+        if (t >= c.next_sample_t) {
+            if (sample_queues_c(&c, t)) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
+            while (c.next_sample_t <= t) c.next_sample_t += sample_interval;
+        }
+        if (t >= next_epoch) {
+            /* Fire at the boundary's nominal time (no event lies in
+             * (previous event, t), so the state is valid there); a
+             * rescaled completion popped this iteration is caught by
+             * the sched_epoch staleness check below. */
+            while (next_epoch <= t) {
+                if (fire_epoch(&c, next_epoch)) {
+                    rc = *abort_flag ? RC_ABORT : RC_NOMEM;
+                    goto fail;
+                }
+                epoch_idx++;
+                next_epoch = epoch_idx < n_epochs ? epoch_times[epoch_idx] : INFINITY;
+            }
+        }
         if (ev.kind == EV_COMPLETION) {
             station_t *st = &c.stations[ev.a];
             if (ev.b != st->sched_epoch) continue; /* stale, re-armed */
-            int jidx = station_complete(&c, st, t);
+            int jidx = (st->discipline == DISC_PS) ? ps_complete(&c, st, t)
+                                                   : station_complete(&c, st, t);
             if (jidx == -2) { rc = *abort_flag ? RC_ABORT : RC_INVARIANT; goto fail; }
             job_t *j = &c.jobs.pool[jidx];
             int counted = j->arrival >= warmup;
@@ -734,7 +1166,13 @@ int run_kernel(
             int nxt_station;
             int continuing;
             if (has_routing) {
-                double u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
+                double u;
+                if (c.routing_block != NULL) {
+                    u = block_next(&c, c.routing_block[k]);
+                    if (*abort_flag) { rc = RC_ABORT; goto fail; }
+                } else {
+                    u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
+                }
                 const double *row = c.trans_cum[k] + (long long)here * M;
                 int nxt = -1;
                 if (u <= row[M - 1]) {
@@ -775,7 +1213,13 @@ int run_kernel(
                 if (jidx < 0) goto fail;
                 job_t *j = &c.jobs.pool[jidx];
                 if (has_routing) {
-                    double u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
+                    double u;
+                    if (c.routing_block != NULL) {
+                        u = block_next(&c, c.routing_block[k]);
+                        if (*abort_flag) { rc = RC_ABORT; goto fail; }
+                    } else {
+                        u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
+                    }
                     const double *cum = c.entry_cum[k];
                     entry = -1;
                     if (u <= cum[M - 1]) {
@@ -802,27 +1246,30 @@ int run_kernel(
                 }
                 if (!accepted && jp_release(&c.jobs, jidx)) goto fail;
             }
-            double gap;
-            long long batch = 1;
-            if (arrivals[k].kind == SK_EXPO) {
-                gap = random_exponential((bitgen_t *)arrivals[k].bg, arrivals[k].scale);
-            } else {
-                gap = arrival_cb(k, &batch);
-                if (*abort_flag) { rc = RC_ABORT; goto fail; }
-            }
+            long long batch;
+            double gap = next_gap(&c, k, &batch);
+            if (*abort_flag) { rc = RC_ABORT; goto fail; }
             if (heap_push(&c.heap, t + gap, c.next_seq++, EV_ARRIVAL, k, batch)) goto fail;
         }
     }
+
+    /* Samples buffered since the last epoch boundary (or the whole run
+     * when no controller is attached) flush once, after the loop. */
+    if (flush_samples(&c)) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
 
     /* close open busy intervals at the horizon (server order, like the
      * Python finalizer) */
     for (int i = 0; i < M; i++) {
         station_t *st = &c.stations[i];
-        for (int s = 0; s < st->n_servers; s++) {
-            int ji = st->srv_job[s];
-            if (ji >= 0) {
-                record_busy(st, c.jobs.pool[ji].cls, st->srv_busy_since[s], horizon);
-                st->srv_busy_since[s] = horizon;
+        if (st->discipline == DISC_PS) {
+            ps_elapse(&c, st, horizon);
+        } else {
+            for (int s = 0; s < st->n_servers; s++) {
+                int ji = st->srv_job[s];
+                if (ji >= 0) {
+                    record_busy(st, c.jobs.pool[ji].cls, st->srv_busy_since[s], horizon);
+                    st->srv_busy_since[s] = horizon;
+                }
             }
         }
         busy_total[i] = st->busy_total;

@@ -32,14 +32,23 @@ Backend selection (``REPRO_SIM_BACKEND`` environment variable):
     Use the C kernel when available and applicable, silently fall
     back otherwise.
 
-Configurations the kernel does not model fall back to the interpreter
-engine: processor-sharing tiers, dynamic speed control (epoch
-controllers), antithetic seeds, and telemetry queue sampling.
-Distribution families without a native C mapping (e.g. Pareto, whose
-``np.power`` SIMD path is not bit-identical to libm ``pow``) are
-drawn through a per-event Python callback instead — slower, still
-bit-identical — so *any* accepted configuration produces exact
-results.
+The support envelope is closed: processor-sharing tiers run natively
+(the kernel mirrors :mod:`repro.simulation.ps_station`'s share law),
+dynamic speed control yields to the Python controller at every epoch
+boundary (queue counts and segmented energy out, clipped speeds back
+in, work-preserving rescale applied in C), antithetic seeds pre-draw
+their mirrored inverse-transform variates through per-stream Python
+refill buffers (``np.log`` is not bitwise libm ``log``, so the coupled
+streams cannot be reproduced natively), trace-driven arrivals replay
+their timestamp arrays in C, and telemetry queue sampling is buffered
+kernel-side and batch-flushed to the sink at epoch/end-of-run
+boundaries in the engine's exact event order.  Distribution families
+without a native C mapping (e.g. Pareto, whose ``np.power`` SIMD path
+is not bit-identical to libm ``pow``) are drawn through a per-event
+Python callback instead — slower, still bit-identical — so *any*
+accepted configuration produces exact results.  Only tiers with a
+discipline the kernel does not know fall back to the interpreter
+engine.
 """
 
 from __future__ import annotations
@@ -84,8 +93,10 @@ from repro.exceptions import (
     WarmupDiscardWarning,
 )
 from repro.simulation.rng import AntitheticSeed, RngStreams
+from repro.simulation.rng import _TINY as _RNG_TINY
 from repro.simulation.stats import Welford, confidence_halfwidth
 from repro.workload.arrivals import PoissonProcess
+from repro.workload.traces import TraceArrivalProcess
 
 __all__ = [
     "KernelBuildError",
@@ -114,8 +125,15 @@ _SK_UNIFORM = 4
 _SK_LOGNORMAL = 5
 _SK_WEIBULL = 6
 _SK_HYPER = 7
+_SK_PYBLOCK = 8
+_SK_TRACE = 9
 _POST_MUL = 0
 _POST_ADD = 1
+
+# Python-refilled variate buffers hand out values in chunks of exactly
+# the BlockCursor block size, so one vectorized refill draw consumes a
+# stream identically to the Python engine's pregenerated blocks.
+_BLOCK_SIZE = 4096
 
 _RC_OK = 0
 _RC_NOMEM = 1
@@ -239,6 +257,12 @@ def build_kernel() -> Path:
 
 _SERVICE_CB = CFUNCTYPE(c_double, c_int)
 _ARRIVAL_CB = CFUNCTYPE(c_double, c_int, POINTER(c_longlong))
+# (block_id, buf, cap) -> number of variates written (0 = error/abort)
+_REFILL_CB = CFUNCTYPE(c_longlong, c_int, POINTER(c_double), c_longlong)
+# (t_boundary) -> -1 error, 0 keep speeds, 1 apply the shared speeds array
+_EPOCH_CB = CFUNCTYPE(c_int, c_double)
+# (ts[n], vals[n*2M], n) -> 0 ok, -1 error
+_SAMPLE_CB = CFUNCTYPE(c_int, POINTER(c_double), POINTER(c_longlong), c_longlong)
 
 
 class _SamplerDesc(ctypes.Structure):
@@ -262,10 +286,19 @@ class _StationDesc(ctypes.Structure):
 
 
 class _ArrivalDesc(ctypes.Structure):
-    _fields_ = [("kind", c_int), ("py_id", c_int), ("scale", c_double), ("bg", c_void_p)]
+    _fields_ = [
+        ("kind", c_int),
+        ("py_id", c_int),
+        ("scale", c_double),
+        ("bg", c_void_p),
+        ("ts", POINTER(c_double)),  # SK_TRACE: sorted timestamps
+        ("n_ts", c_longlong),
+        ("cursor", c_longlong),  # SK_TRACE replay state
+        ("clock", c_double),
+    ]
 
 
-_DISCIPLINES = {"fcfs": 0, "priority_np": 1, "priority_pr": 2, "loss": 3}
+_DISCIPLINES = {"fcfs": 0, "priority_np": 1, "priority_pr": 2, "loss": 3, "ps": 4}
 
 
 def load_kernel() -> ctypes.CDLL:
@@ -293,6 +326,18 @@ def load_kernel() -> ctypes.CDLL:
             POINTER(c_void_p),  # entry_cum
             POINTER(c_void_p),  # trans_cum
             POINTER(c_void_p),  # routing_bg
+            POINTER(c_int),  # routing_block (antithetic uniforms)
+            _REFILL_CB,
+            c_int,  # n_blocks
+            c_longlong,  # block_size
+            c_int,  # dynamic (epoch-yield protocol active)
+            c_longlong,  # n_epochs
+            POINTER(c_double),  # epoch_times
+            POINTER(c_double),  # speeds (shared decision channel)
+            POINTER(c_longlong),  # counts_out (M*K queue counts)
+            _EPOCH_CB,
+            c_double,  # sample_interval
+            _SAMPLE_CB,
             c_int,  # collect_log
             _SERVICE_CB,
             _ARRIVAL_CB,
@@ -356,17 +401,41 @@ def warm_kernel() -> bool:
 
 
 def _unsupported_reason(cluster, seed, epoch_controller) -> str | None:
-    if epoch_controller is not None:
-        return "dynamic speed control (epoch controller) runs on the Python engine"
-    if isinstance(seed, AntitheticSeed):
-        return "antithetic seeds use inverse-transform streams the kernel cannot drive"
+    """Why this configuration cannot run on the C kernel (``None`` =
+    supported).
+
+    Epoch controllers, antithetic seeds, PS tiers and telemetry queue
+    sampling are all inside the envelope now; the remaining exclusion
+    is a tier discipline the kernel has no state machine for.  The
+    ``seed``/``epoch_controller`` parameters stay in the signature so
+    the decision matrix is explicit at the call site (and future
+    exclusions slot in without touching callers).
+    """
+    del seed, epoch_controller  # fully supported; kept for the call-site contract
     for tier in cluster.tiers:
-        if tier.discipline == "ps":
-            return "processor-sharing tiers are not modeled by the compiled kernel"
-    tel = obs.TELEMETRY
-    if tel.enabled and getattr(tel, "sample_queues", False):
-        return "telemetry queue sampling hooks into the Python event loop"
+        if tier.discipline not in _DISCIPLINES:
+            return (
+                f"tier discipline {tier.discipline!r} is not modeled by the "
+                "compiled kernel"
+            )
     return None
+
+
+def _annotate_backend(resolved: str, requested: str, fallback: str | None = None) -> None:
+    """Record the resolved simulation backend (and any fallback reason)
+    in the telemetry run context, so the manifest / run store / dashboard
+    can attribute perf differences across runs.  No-op when telemetry is
+    disabled."""
+    tel = obs.TELEMETRY
+    if not tel.enabled:
+        return
+    context: dict[str, str] = {
+        "sim_backend": resolved,
+        "sim_backend_requested": requested,
+    }
+    if fallback is not None:
+        context["sim_backend_fallback"] = fallback
+    tel.annotate(**context)
 
 
 # ---------------------------------------------------------------------------
@@ -475,6 +544,7 @@ def maybe_simulate_compiled(
     collect_delay_samples: bool,
     collect_job_log: bool,
     routing,
+    epoch_times,
     epoch_controller,
 ):
     """Run the replication on the C kernel, or return ``None`` to make
@@ -486,13 +556,16 @@ def maybe_simulate_compiled(
     if reason is not None:
         if backend == "compiled":
             _warn_fallback(reason)
+        _annotate_backend("python", backend, fallback=reason)
         return None
     try:
         lib = load_kernel()
     except KernelBuildError as exc:
         if backend == "compiled":
             _warn_fallback(str(exc))
+        _annotate_backend("python", backend, fallback=str(exc))
         return None
+    _annotate_backend("compiled", backend)
     return _simulate_compiled(
         lib,
         cluster,
@@ -504,6 +577,8 @@ def maybe_simulate_compiled(
         collect_delay_samples,
         collect_job_log,
         routing,
+        epoch_times,
+        epoch_controller,
     )
 
 
@@ -518,6 +593,8 @@ def _simulate_compiled(
     collect_delay_samples,
     collect_job_log,
     routing,
+    epoch_times,
+    epoch_controller,
 ):
     # Import here: simulator imports this module lazily, so a top-level
     # import would be circular.
@@ -525,18 +602,83 @@ def _simulate_compiled(
         SimulationResult,
         _build_routes,
         _build_routing_tables,
+        _make_sampler,
     )
 
     k_classes = workload.num_classes
     m_stations = cluster.num_tiers
     warmup = warmup_fraction * horizon
+    antithetic = isinstance(seed, AntitheticSeed)
+    dynamic = epoch_controller is not None
     keep: list[Any] = []  # keep-alive for every array the kernel reads
     py_samplers: list[Any] = []
+    abort = (c_int * 1)(0)
+    cb_error: list[BaseException] = []
+
+    # Python-refilled variate buffers.  Antithetic (coupled) streams go
+    # through ``np.log``/``np.minimum``, which are not bitwise libm, so
+    # the kernel cannot draw them natively; instead each stream gets a
+    # block id whose fill(n) closure pre-draws n variates with the
+    # engine's own sampling code.  Streams are consumer-private, so
+    # drawing ahead yields the exact sequence the engine would see.
+    block_fills: list[Any] = []
+
+    def _new_block(fill) -> int:
+        block_fills.append(fill)
+        return len(block_fills) - 1
+
+    def _refill(block_id: int, buf, cap: int) -> int:
+        try:
+            arr = np.ascontiguousarray(block_fills[block_id](int(cap)), dtype=np.float64)
+            ctypes.memmove(buf, arr.ctypes.data, arr.size * 8)
+            return arr.size
+        except BaseException as exc:  # propagate through the abort flag
+            cb_error.append(exc)
+            abort[0] = 1
+            return 0
+
+    def _pump_fill(dist, rng):
+        """fill(n) for one service stream: block-safe families draw one
+        vectorized block (n == the BlockCursor block size, so the draw
+        equals the engine's pregenerated chunk exactly); everything else
+        pumps the engine's own scalar sampler n times.
+
+        HyperExponential — the canonical high-variability demand, so
+        the hot unsafe family — is vectorized with interleaved
+        uniforms: the scalar sampler consumes (u_select, u_expo) per
+        draw, so one ``random(2n)`` batch sliced even/odd reproduces
+        the exact stream consumption and values (``random(2n)``
+        advances the bit generator identically to 2n scalar calls,
+        and ``searchsorted(side="right")`` matches ``bisect_right``).
+        """
+        if dist.block_sampling_safe:
+
+            def fill(n, sample=dist.sample, rng=rng):
+                return sample(rng, n)
+
+        elif isinstance(dist, HyperExponential):
+            cdf = np.asarray(dist._cdf, dtype=np.float64)
+            hyper_scales = np.asarray(dist._scales, dtype=np.float64)
+
+            def fill(n, cdf=cdf, hyper_scales=hyper_scales, rng=rng):
+                u = rng.random(2 * n)
+                idx = np.searchsorted(cdf, u[0::2], side="right")
+                w = 1.0 - u[1::2]
+                return hyper_scales[idx] * -np.log(np.maximum(w, _RNG_TINY))
+
+        else:
+            scalar = _make_sampler(dist, rng)
+
+            def fill(n, scalar=scalar):
+                return [scalar() for _ in range(n)]
+
+        return fill
 
     with obs.span("sim.setup", classes=k_classes, stations=m_stations, horizon=horizon):
         streams = RngStreams(seed)
         keep.append(streams)
 
+        routing_block = None
         if routing is None:
             routes = _build_routes(cluster)
             has_routing = 0
@@ -567,9 +709,25 @@ def _simulate_compiled(
             trans_v = (c_void_p * k_classes)(
                 *[a.ctypes.data_as(c_void_p).value for a in trans_arrays]
             )
-            routing_bg = (c_void_p * k_classes)(
-                *[_bitgen_ptr(streams.stream(f"routing/{k}")) for k in range(k_classes)]
-            )
+            if antithetic:
+                # Mirrored uniforms (min(1-u, 1^-) per draw) cannot come
+                # off the raw bit generator; pre-draw them through the
+                # coupled generators instead (Generator.random is the
+                # engine's _draw_uniform block draw).
+                routing_bg = None
+                block_ids = []
+                for k in range(k_classes):
+                    rng = streams.stream(f"routing/{k}")
+
+                    def _uniform_fill(n, rng=rng):
+                        return rng.random(n)
+
+                    block_ids.append(_new_block(_uniform_fill))
+                routing_block = (c_int * k_classes)(*block_ids)
+            else:
+                routing_bg = (c_void_p * k_classes)(
+                    *[_bitgen_ptr(streams.stream(f"routing/{k}")) for k in range(k_classes)]
+                )
 
         if arrival_processes is None:
             arrivals = [PoissonProcess(c.arrival_rate) for c in workload.classes]
@@ -583,10 +741,28 @@ def _simulate_compiled(
         arrival_pull: list[Any] = [None] * k_classes
         for k, proc in enumerate(arrivals):
             rng = streams.stream(f"arrivals/{k}")
-            if type(proc) is PoissonProcess:
+            if type(proc) is PoissonProcess and not antithetic:
                 arrival_desc[k].kind = _SK_EXPO
                 arrival_desc[k].scale = 1.0 / proc.rate
                 arrival_desc[k].bg = _bitgen_ptr(rng)
+            elif type(proc) is PoissonProcess:
+                # Coupled exponential gaps: same vectorized draw the
+                # engine's BlockCursor makes, one block per refill.
+                arrival_desc[k].kind = _SK_PYBLOCK
+
+                def _gap_fill(n, rng=rng, scale=1.0 / proc.rate):
+                    return rng.exponential(scale, n)
+
+                arrival_desc[k].py_id = _new_block(_gap_fill)
+            elif type(proc) is TraceArrivalProcess:
+                # RNG-free timestamp replay runs natively in C.
+                ts = np.ascontiguousarray(proc.timestamps, dtype=np.float64)
+                keep.append(ts)
+                arrival_desc[k].kind = _SK_TRACE
+                arrival_desc[k].ts = ts.ctypes.data_as(POINTER(c_double))
+                arrival_desc[k].n_ts = ts.size
+                arrival_desc[k].cursor = 0
+                arrival_desc[k].clock = 0.0
             else:
                 arrival_desc[k].kind = _SK_PYCALL
 
@@ -598,16 +774,36 @@ def _simulate_compiled(
         station_desc = (_StationDesc * m_stations)()
         sampler_desc = (_SamplerDesc * (m_stations * k_classes))()
         for i, tier in enumerate(cluster.tiers):
+            if tier.discipline == "ps" and tier.capacity is not None:
+                # The Python engine rejects this during station setup —
+                # after backend dispatch — so the compiled path must
+                # raise the identical error itself.
+                raise ModelValidationError(
+                    f"tier {tier.name!r}: finite buffers are not supported for PS tiers"
+                )
             station_desc[i].servers = tier.servers
             station_desc[i].discipline = _DISCIPLINES[tier.discipline]
             station_desc[i].capacity = -1 if tier.capacity is None else tier.capacity
             for k in range(k_classes):
                 rng = streams.stream(f"service/{i}/{k}")
-                dist = tier.demands[k].scaled(1.0 / tier.speed)
+                # Under dynamic speed control the sampler yields the
+                # *demand* (work at speed 1) and the kernel divides by
+                # the current speed at pull time, mirroring
+                # _make_dynamic_sampler's base()/cell[0].
+                if dynamic:
+                    dist = tier.demands[k]
+                else:
+                    dist = tier.demands[k].scaled(1.0 / tier.speed)
                 keep.append(dist)
-                sampler_desc[i * k_classes + k] = _sampler_descriptor(
-                    dist, rng, keep, py_samplers
-                )
+                if antithetic:
+                    desc = _SamplerDesc()
+                    desc.kind = _SK_PYBLOCK
+                    desc.py_id = _new_block(_pump_fill(dist, rng))
+                    sampler_desc[i * k_classes + k] = desc
+                else:
+                    sampler_desc[i * k_classes + k] = _sampler_descriptor(
+                        dist, rng, keep, py_samplers
+                    )
 
         # outputs
         wait_np = np.zeros((k_classes, m_stations))
@@ -622,8 +818,148 @@ def _simulate_compiled(
         delay_counts = (c_longlong * k_classes)()
         log_ptrs = (c_void_p * 4)()
         log_count = c_longlong(0)
-        abort = (c_int * 1)(0)
-        cb_error: list[BaseException] = []
+
+        # --- epoch-boundary yield protocol (dynamic speed control) ---
+        # The kernel pauses at each scheduled boundary, publishes the
+        # per-tier queue counts (counts_np) and closed busy totals
+        # (busy_np / class_busy_np), and calls _epoch_decide; a positive
+        # return applies the clipped speeds written into speeds_arr via
+        # the work-preserving remaining-time rescale, in C.
+        epoch_sched = None
+        counts_np = None
+        speeds_arr = None
+        epoch_cb = _EPOCH_CB()  # NULL function pointer when static
+        n_epochs = 0
+        if dynamic:
+            epoch_sched = np.ascontiguousarray(epoch_times, dtype=np.float64)
+            n_epochs = int(epoch_sched.size)
+            counts_np = np.zeros((m_stations, k_classes), dtype=np.int64)
+            cur_speeds = [float(tier.speed) for tier in cluster.tiers]
+            speeds_arr = np.array(cur_speeds)
+            tier_power = [(t.spec.power.kappa, t.spec.power.alpha) for t in cluster.tiers]
+            speed_bounds = [(t.spec.min_speed, t.spec.max_speed) for t in cluster.tiers]
+            busy_mark = [0.0] * m_stations
+            class_busy_mark = [[0.0] * k_classes for _ in range(m_stations)]
+            epoch_trace: list[dict[str, Any]] = []
+            energy = {"dyn": 0.0}
+            per_class_dyn_energy = np.zeros(k_classes)
+
+            def _accrue_segments(tb: float) -> None:
+                """Bill busy time closed at ``tb`` (already flushed into
+                busy_np/class_busy_np by the kernel) at each segment's
+                current speed — the engine's exact accumulation order
+                and expression shapes."""
+                for i in range(m_stations):
+                    kappa, alpha = tier_power[i]
+                    p_dyn = kappa * cur_speeds[i] ** alpha
+                    bt = float(busy_np[i])
+                    delta = bt - busy_mark[i]
+                    if delta > 0.0:
+                        energy["dyn"] += p_dyn * delta
+                        busy_mark[i] = bt
+                    mark = class_busy_mark[i]
+                    for k in range(k_classes):
+                        cbk = float(class_busy_np[i, k])
+                        dk = cbk - mark[k]
+                        if dk > 0.0:
+                            per_class_dyn_energy[k] += p_dyn * dk
+                            mark[k] = cbk
+
+            def _epoch_decide(tb: float) -> int:
+                try:
+                    _accrue_segments(tb)
+                    # One counts array per epoch, shared between the
+                    # controller and the trace row (the engine passes
+                    # the trace's own array to the controller).
+                    counts = counts_np.copy()
+                    speeds_now = np.array(cur_speeds)
+                    new_speeds = epoch_controller(tb, counts, speeds_now.copy())
+                    apply = 0
+                    if new_speeds is not None:
+                        new_arr = np.asarray(new_speeds, dtype=float)
+                        if new_arr.shape != (m_stations,):
+                            raise ModelValidationError(
+                                f"epoch controller must return {m_stations} speeds, "
+                                f"got shape {new_arr.shape}"
+                            )
+                        for i in range(m_stations):
+                            lo, hi = speed_bounds[i]
+                            s_new = min(max(float(new_arr[i]), lo), hi)
+                            s_old = cur_speeds[i]
+                            if s_new != s_old:
+                                ratio = s_old / s_new
+                                if ratio <= 0.0:
+                                    raise SimulationError(
+                                        f"speed rescale ratio must be positive, got {ratio}"
+                                    )
+                                cur_speeds[i] = s_new
+                                speeds_now[i] = s_new
+                                apply = 1
+                            speeds_arr[i] = s_new
+                    epoch_trace.append(
+                        {
+                            "t": tb,
+                            "queues": counts,
+                            "speeds": speeds_now,
+                            "dynamic_energy": energy["dyn"],
+                        }
+                    )
+                    obs.event(
+                        "sim.epoch",
+                        epoch=len(epoch_trace) - 1,
+                        t=tb,
+                        queues=counts,
+                        speeds=speeds_now,
+                        dynamic_energy=energy["dyn"],
+                    )
+                    return apply
+                except BaseException as exc:
+                    cb_error.append(exc)
+                    abort[0] = 1
+                    return -1
+
+            epoch_cb = _EPOCH_CB(_epoch_decide)
+
+        # --- buffered queue-length sampling -------------------------
+        # The kernel records (t, populations, busy) rows and batch-
+        # flushes them here at epoch boundaries and at end of run; the
+        # replay preserves the engine's exact gauge/event emission
+        # order, so telemetry output is byte-identical.
+        tel = obs.TELEMETRY
+        sample_interval = (
+            tel.queue_sample_interval if (tel.enabled and tel.sample_queues) else 0.0
+        )
+        sample_cb = _SAMPLE_CB()  # NULL function pointer when sampling is off
+        if sample_interval > 0.0:
+            gauge = tel.metrics.gauge
+            tracer_event = tel.tracer.event
+
+            def _flush_samples(ts_ptr, vals_ptr, n_rows: int) -> int:
+                try:
+                    for r in range(int(n_rows)):
+                        base = r * 2 * m_stations
+                        pops = [int(vals_ptr[base + i]) for i in range(m_stations)]
+                        busy = [
+                            int(vals_ptr[base + m_stations + i]) for i in range(m_stations)
+                        ]
+                        for i in range(m_stations):
+                            gauge(f"sim.tier.{i}.population").set(pops[i])
+                            gauge(f"sim.tier.{i}.busy_servers").set(busy[i])
+                        tracer_event(
+                            "sim.queue_sample",
+                            t=float(ts_ptr[r]),
+                            population=pops,
+                            busy=busy,
+                        )
+                    return 0
+                except BaseException as exc:
+                    cb_error.append(exc)
+                    abort[0] = 1
+                    return -1
+
+            sample_cb = _SAMPLE_CB(_flush_samples)
+
+        refill_cb = _REFILL_CB(_refill) if block_fills else _REFILL_CB()
 
         def _service_cb(sampler_id: int) -> float:
             try:
@@ -667,6 +1003,18 @@ def _simulate_compiled(
             entry_v,
             trans_v,
             routing_bg,
+            routing_block,
+            refill_cb,
+            len(block_fills),
+            _BLOCK_SIZE,
+            1 if dynamic else 0,
+            n_epochs,
+            None if epoch_sched is None else epoch_sched.ctypes.data_as(POINTER(c_double)),
+            None if speeds_arr is None else speeds_arr.ctypes.data_as(POINTER(c_double)),
+            None if counts_np is None else counts_np.ctypes.data_as(POINTER(c_longlong)),
+            epoch_cb,
+            float(sample_interval),
+            sample_cb,
             1 if collect_job_log else 0,
             service_cb,
             arrival_cb,
@@ -756,13 +1104,22 @@ def _simulate_compiled(
             ]
         )
 
-        dynamic_power = 0.0
-        per_class_dyn_energy_rate = np.zeros(k_classes)
-        for i, tier in enumerate(cluster.tiers):
-            p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
-            dynamic_power += p_dyn * busy_list[i] / window
-            for k in range(k_classes):
-                per_class_dyn_energy_rate[k] += p_dyn * class_busy_list[i][k] / window
+        if dynamic:
+            # The kernel wrote horizon-closed busy totals into
+            # busy_np/class_busy_np; billing them closes the last
+            # constant-speed segment exactly like the engine's final
+            # _accrue_segments(horizon).
+            _accrue_segments(horizon)
+            dynamic_power = energy["dyn"] / window
+            per_class_dyn_energy_rate = per_class_dyn_energy / window
+        else:
+            dynamic_power = 0.0
+            per_class_dyn_energy_rate = np.zeros(k_classes)
+            for i, tier in enumerate(cluster.tiers):
+                p_dyn = tier.spec.power.kappa * tier.speed**tier.spec.power.alpha
+                dynamic_power += p_dyn * busy_list[i] / window
+                for k in range(k_classes):
+                    per_class_dyn_energy_rate[k] += p_dyn * class_busy_list[i][k] / window
         idle_power = float(sum(t.servers * t.spec.power.idle for t in cluster.tiers))
         average_power = idle_power + dynamic_power
 
@@ -826,6 +1183,10 @@ def _simulate_compiled(
         "n_blocked": blocked_np.copy(),
         "n_offered": offered_np.copy(),
     }
+    if dynamic:
+        meta["epoch_trace"] = epoch_trace
+        meta["final_speeds"] = np.array(cur_speeds)
+        meta["dynamic_energy"] = float(energy["dyn"])
 
     return SimulationResult(
         class_names=tuple(workload.names),

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -94,7 +95,7 @@ def _run_one(payload: tuple[int, dict[str, Any]]) -> tuple[int, SimulationResult
     return index, result, time.perf_counter() - t0
 
 
-def _warm_worker(backend: str | None = None) -> None:
+def _warm_worker(backend: str | None = None, warned: tuple[str, ...] = ()) -> None:
     """Process-pool initializer: pay per-process warm-up once, up front.
 
     A fresh worker's first replication otherwise absorbs every one-time
@@ -109,16 +110,35 @@ def _warm_worker(backend: str | None = None) -> None:
     ``backend`` pins ``REPRO_SIM_BACKEND`` in the worker explicitly so
     the selection survives spawn-based start methods that do not
     inherit the parent's mutated environment.
+
+    ``warned`` seeds the worker's :class:`CompiledFallbackWarning`
+    dedup memory with the fallback reasons the parent process already
+    surfaced, so a pool does not re-emit one warning per worker for a
+    condition the user has already been told about (once per *pool*,
+    not once per worker).
     """
     if backend is not None:
         os.environ["REPRO_SIM_BACKEND"] = backend
     import repro.distributions  # noqa: F401  (sampler classes)
     import repro.simulation.stats  # noqa: F401  (Welford / CI math)
 
+    if warned:
+        from repro.simulation import compiled
+
+        compiled._warned.update(warned)
     if os.environ.get("REPRO_SIM_BACKEND", "python") != "python":
         from repro.simulation.compiled import warm_kernel
 
         warm_kernel()
+
+
+def _warned_snapshot() -> tuple[str, ...]:
+    """The parent's already-surfaced fallback reasons, for worker
+    inheritance — without forcing the compiled module to import."""
+    compiled = sys.modules.get("repro.simulation.compiled")
+    if compiled is None:
+        return ()
+    return tuple(sorted(compiled._warned))
 
 
 def payload_is_picklable(payload: Any) -> bool:
@@ -207,7 +227,10 @@ class PoolSession:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.n_workers,
                     initializer=_warm_worker,
-                    initargs=(os.environ.get("REPRO_SIM_BACKEND"),),
+                    initargs=(
+                        os.environ.get("REPRO_SIM_BACKEND"),
+                        _warned_snapshot(),
+                    ),
                 )
             else:
                 self._pool = ProcessPoolExecutor(max_workers=self.n_workers)

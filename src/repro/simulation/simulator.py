@@ -230,9 +230,11 @@ def simulate(
 
     # Backend dispatch: REPRO_SIM_BACKEND selects the C event-loop
     # kernel (repro.simulation.compiled), which produces bit-identical
-    # results for every configuration it accepts and returns None to
-    # fall back to this engine otherwise (PS tiers, epoch controllers,
-    # antithetic seeds, telemetry queue sampling, kernel build failure).
+    # results for every configuration it accepts — including epoch
+    # controllers (Python decisions at kernel-yielded boundaries),
+    # antithetic seeds (Python-refilled variate blocks), PS tiers and
+    # telemetry queue sampling — and returns None to fall back to this
+    # engine otherwise (unknown tier disciplines, kernel build failure).
     backend = _env_backend()
     if backend != "python":
         from repro.simulation import compiled as _compiled
@@ -248,10 +250,15 @@ def simulate(
             collect_delay_samples,
             collect_job_log,
             routing,
+            epoch_times,
             epoch_controller,
         )
         if compiled_result is not None:
             return compiled_result
+    elif obs.TELEMETRY.enabled:
+        # Attribute the run's engine in telemetry (the compiled selector
+        # annotates its own resolution, including fallbacks).
+        obs.TELEMETRY.annotate(sim_backend="python", sim_backend_requested="python")
 
     k_classes = workload.num_classes
     m_stations = cluster.num_tiers

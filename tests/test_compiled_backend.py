@@ -3,11 +3,13 @@
 The compiled C kernel behind ``REPRO_SIM_BACKEND=compiled`` must be a
 pure performance transform: every number it produces is required to be
 **bit-identical** to the pure-Python engine's, across execution
-backends (serial loop vs process pool) and with the epoch-controller
-hook engaged (which routes to the Python engine by design). This file
-holds it to that with the same golden pins the Python engine answers
-to, plus fallback-semantics tests: a kernel that cannot build/load, or
-a configuration outside the kernel's envelope, degrades to pure Python
+backends (serial loop vs process pool) and across the full support
+envelope — epoch controllers (the kernel yields at each boundary for
+the Python control decision), antithetic mirrored streams, PS tiers,
+and queue-sampling telemetry all run compiled. This file holds it to
+that with the same golden pins the Python engine answers to, plus
+fallback-semantics tests: a kernel that cannot build/load, or a
+configuration outside the kernel's envelope, degrades to pure Python
 with exactly one visible :class:`CompiledFallbackWarning` per process
 and reason (and silently under ``REPRO_SIM_BACKEND=auto``).
 """
@@ -183,32 +185,209 @@ def test_auto_backend_falls_back_silently(monkeypatch):
         simulate(canonical_cluster(), canonical_workload(), horizon=20.0, seed=8)
 
 
-def test_unsupported_config_warns_and_matches(monkeypatch):
-    """PS tiers are outside the kernel envelope: warn once, match bits."""
+@needs_kernel
+def test_ps_tiers_run_compiled_bit_identical(monkeypatch):
+    """PS tiers are inside the kernel envelope: no warning, same bits,
+    same event count (the heap orders match exactly)."""
     cluster = golden_mod._two_tier("ps", servers=(1, 2))
     workload = golden_mod._workload()
     monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
     ref = simulate(cluster, workload, horizon=60.0, seed=5)
     monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
-    with pytest.warns(CompiledFallbackWarning, match="[Pp]rocessor-sharing"):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CompiledFallbackWarning)
         got = simulate(cluster, workload, horizon=60.0, seed=5)
     assert np.array_equal(ref.delays, got.delays)
     assert ref.average_power == got.average_power
+    assert ref.meta["n_events"] == got.meta["n_events"]
 
 
 @needs_kernel
-def test_antithetic_seed_falls_back(monkeypatch):
-    """Antithetic (mirrored) streams run on the Python engine — and the
-    compiled selector must not change their numbers."""
+def test_ps_with_finite_buffer_rejected_compiled(monkeypatch):
+    """The engine's PS+capacity validation error surfaces identically
+    through the compiled path (it is a model error, not a fallback)."""
+    from repro.cluster.tier import Tier
     from repro.experiments.common import canonical_cluster, canonical_workload
 
-    _primary, mirror = RngStreams.replication_seed_pairs(9, 1)[0]
-    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
-    ref = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=mirror)
+    base = canonical_cluster(discipline="ps")
+    tiers = list(base.tiers)
+    spec = tiers[0].spec
+    tiers[0] = Tier(
+        tiers[0].name,
+        tiers[0].demands,
+        spec,
+        servers=tiers[0].servers,
+        speed=tiers[0].speed,
+        discipline="ps",
+        capacity=tiers[0].servers + 2,
+    )
+    cluster = type(base)(tuple(tiers))
     monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
-    with pytest.warns(CompiledFallbackWarning, match="[Aa]ntithetic"):
-        got = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=mirror)
+    with pytest.raises(ModelValidationError, match="finite buffers"):
+        simulate(cluster, canonical_workload(), horizon=10.0, seed=0)
+
+
+@needs_kernel
+def test_antithetic_seed_runs_compiled_bit_identical(monkeypatch):
+    """Both members of an antithetic pair run compiled via mirrored
+    pre-drawn uniform blocks — no warning, bits match the Python
+    engine's coupled streams exactly."""
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    for member in RngStreams.replication_seed_pairs(9, 1)[0]:
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+        ref = simulate(canonical_cluster(), canonical_workload(), horizon=40.0, seed=member)
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CompiledFallbackWarning)
+            got = simulate(
+                canonical_cluster(), canonical_workload(), horizon=40.0, seed=member
+            )
+        assert np.array_equal(ref.delays, got.delays)
+        assert ref.average_power == got.average_power
+        assert ref.meta["n_events"] == got.meta["n_events"]
+
+
+@needs_kernel
+def test_epoch_controller_trace_bit_identical(monkeypatch):
+    """The epoch-yield protocol reproduces the engine's full per-epoch
+    record — boundary times, queue snapshots, applied speeds, segmented
+    energy — not just the end-of-run aggregates."""
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    kwargs = dict(
+        horizon=80.0,
+        seed=42,
+        epoch_times=[20.0, 40.0, 60.0],
+        epoch_controller=_epoch_controller,
+    )
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    ref = simulate(canonical_cluster(), canonical_workload(), **kwargs)
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CompiledFallbackWarning)
+        got = simulate(canonical_cluster(), canonical_workload(), **kwargs)
     assert np.array_equal(ref.delays, got.delays)
+    assert ref.meta["dynamic_energy"] == got.meta["dynamic_energy"]
+    assert np.array_equal(ref.meta["final_speeds"], got.meta["final_speeds"])
+    ta, tb = ref.meta["epoch_trace"], got.meta["epoch_trace"]
+    assert len(ta) == len(tb)
+    for ra, rb in zip(ta, tb):
+        assert ra["t"] == rb["t"]
+        assert np.array_equal(ra["queues"], rb["queues"])
+        assert np.array_equal(ra["speeds"], rb["speeds"])
+        assert ra["dynamic_energy"] == rb["dynamic_energy"]
+
+
+@needs_kernel
+def test_queue_sampling_telemetry_identical(monkeypatch, tmp_path):
+    """Buffered C-side queue sampling batch-flushes the exact gauge
+    values and ``sim.queue_sample`` event rows the Python loop emits."""
+    import json
+
+    from repro.experiments.common import canonical_cluster, canonical_workload
+    from repro.obs import telemetry_session
+
+    def rows(out_dir):
+        found = []
+        for path in sorted(out_dir.glob("*.jsonl")):
+            for line in path.read_text().splitlines():
+                rec = json.loads(line)
+                if rec.get("name") == "sim.queue_sample":
+                    rec.pop("ts", None)  # wall-clock stamp, not simulated time
+                    found.append(rec)
+        return found
+
+    def run(backend, out_dir):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", backend)
+        with telemetry_session(out_dir, sample_queues=True, queue_sample_interval=2.0):
+            return simulate(
+                canonical_cluster(), canonical_workload(), horizon=60.0, seed=11
+            )
+
+    ref = run("python", tmp_path / "py")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CompiledFallbackWarning)
+        got = run("compiled", tmp_path / "c")
+    ref_rows, got_rows = rows(tmp_path / "py"), rows(tmp_path / "c")
+    assert len(ref_rows) > 0
+    assert ref_rows == got_rows
+    assert np.array_equal(ref.delays, got.delays)
+
+
+# ---------------------------------------------------------------------------
+# the _unsupported_reason decision matrix
+# ---------------------------------------------------------------------------
+
+
+def _decision(cluster, seed=0, epoch_controller=None):
+    return compiled_mod._unsupported_reason(cluster, seed, epoch_controller)
+
+
+def test_unsupported_reason_none_for_epoch_controller():
+    from repro.experiments.common import canonical_cluster
+
+    assert _decision(canonical_cluster(), epoch_controller=_epoch_controller) is None
+
+
+def test_unsupported_reason_none_for_antithetic_seed():
+    from repro.experiments.common import canonical_cluster
+
+    for member in RngStreams.replication_seed_pairs(3, 1)[0]:
+        assert _decision(canonical_cluster(), seed=member) is None
+
+
+def test_unsupported_reason_none_for_ps_tiers():
+    from repro.experiments.common import canonical_cluster
+
+    assert _decision(canonical_cluster(discipline="ps")) is None
+
+
+def test_unsupported_reason_none_for_queue_sampling(monkeypatch, tmp_path):
+    """Queue sampling is a telemetry mode, not a config knob — the
+    decision must stay None while it is active."""
+    from repro.experiments.common import canonical_cluster
+    from repro.obs import telemetry_session
+
+    with telemetry_session(tmp_path, sample_queues=True):
+        assert _decision(canonical_cluster()) is None
+
+
+def test_unsupported_reason_exact_string_for_unknown_discipline():
+    """A discipline outside the kernel's dispatch table is the one
+    remaining fallback class, with a stable reason string."""
+    from types import SimpleNamespace
+
+    tier = SimpleNamespace(discipline="edf")
+    cluster = SimpleNamespace(tiers=[tier])
+    assert (
+        _decision(cluster)
+        == "tier discipline 'edf' is not modeled by the compiled kernel"
+    )
+
+
+def test_unsupported_reason_fallback_matches_and_auto_silent(monkeypatch):
+    """A forced out-of-envelope config degrades to the Python engine
+    bit-identically; ``compiled`` warns once, ``auto`` stays silent."""
+    from repro.experiments.common import canonical_cluster, canonical_workload
+
+    monkeypatch.setattr(
+        compiled_mod,
+        "_unsupported_reason",
+        lambda cluster, seed, epoch_controller: "synthetic out-of-envelope reason",
+    )
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    ref = simulate(canonical_cluster(), canonical_workload(), horizon=30.0, seed=4)
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "compiled")
+    with pytest.warns(CompiledFallbackWarning, match="synthetic out-of-envelope"):
+        got = simulate(canonical_cluster(), canonical_workload(), horizon=30.0, seed=4)
+    assert np.array_equal(ref.delays, got.delays)
+    assert ref.average_power == got.average_power
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "auto")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CompiledFallbackWarning)
+        silent = simulate(canonical_cluster(), canonical_workload(), horizon=30.0, seed=4)
+    assert np.array_equal(ref.delays, silent.delays)
 
 
 # ---------------------------------------------------------------------------
@@ -273,3 +452,50 @@ def test_warm_worker_runs_in_process(monkeypatch):
     _warm_worker()
     _warm_worker("python")
     assert __import__("os").environ["REPRO_SIM_BACKEND"] == "python"
+
+
+def test_warm_worker_inherits_warned_reasons(monkeypatch):
+    """Regression: the once-per-process CompiledFallbackWarning dedup
+    must carry into warm-started pool workers — a reason the parent
+    already surfaced is seeded into the worker's memory, so a pool
+    warns once per pool, not once per worker."""
+    from repro.simulation.parallel import _warm_worker, _warned_snapshot
+
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+    compiled_mod._warned.add("synthetic reason already shown")
+    assert _warned_snapshot() == ("synthetic reason already shown",)
+
+    # Simulate a fresh worker: empty dedup memory, then the initializer
+    # runs with the parent's snapshot (in-process stand-in for the
+    # spawned child; the seeding path is identical).
+    monkeypatch.setattr(compiled_mod, "_warned", set())
+    _warm_worker("python", ("synthetic reason already shown",))
+    assert "synthetic reason already shown" in compiled_mod._warned
+
+    # And the warning machinery honors the inherited entry: no re-emit.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CompiledFallbackWarning)
+        compiled_mod._warn_fallback("synthetic reason already shown")
+
+
+def test_pool_initargs_carry_warned_snapshot(monkeypatch):
+    """The live pool wires the snapshot through initargs."""
+    from repro.simulation import parallel as parallel_mod
+
+    compiled_mod._warned.add("pool-visible reason")
+    captured = {}
+
+    class _FakeExecutor:
+        def __init__(self, max_workers=None, initializer=None, initargs=()):
+            captured["initargs"] = initargs
+
+        def shutdown(self):
+            pass
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _FakeExecutor)
+    session = parallel_mod.PoolSession(2, warm_start=True)
+    try:
+        session.run([(0, {})])
+    except Exception:
+        pass  # the fake executor cannot run payloads; pool creation is the point
+    assert captured["initargs"][1] == ("pool-visible reason",)
