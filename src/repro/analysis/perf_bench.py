@@ -66,6 +66,11 @@ DEFAULT_HISTORY = "benchmarks/results/BENCH_history.jsonl"
 #: ``fleet_sweep_1k`` gates the fleet runner end to end: 1000
 #: (scenario × replication) units through the work-stealing dispatch
 #: path into a columnar store.
+#: ``fleet_sweep_batched`` gates batched kernel dispatch: the same
+#: 1000-unit sweep with multi-replication C calls must sustain at
+#: least 3x the ``batch_size=1`` unit-at-a-time throughput (its setup
+#: *raises* below the floor — losing the batch path is a regression
+#: of the fleet throughput claim).
 #: ``a7_epoch_compiled``, ``adaptive_antithetic_compiled`` and
 #: ``sim_ps_h500_compiled`` gate the closed kernel support envelope:
 #: epoch-controlled runs (the yield protocol), antithetic mirrored
@@ -77,6 +82,7 @@ DEFAULT_GATES = (
     "sim_replication_h500",
     "sim_replication_h500_compiled",
     "fleet_sweep_1k",
+    "fleet_sweep_batched",
     "frontier_sweep_warm",
     "adaptive_vs_fixed",
     "a7_epoch_compiled",
@@ -381,6 +387,90 @@ def _kernel_fleet_sweep_1k() -> Callable[[], object]:
     return run
 
 
+def _kernel_fleet_sweep_batched() -> Callable[[], object]:
+    """The ``fleet_sweep_1k`` workload through batched kernel dispatch.
+
+    Same 1000-unit grid as ``fleet_sweep_1k``, compiled backend,
+    serial: each replication chunk is one multi-replication C call
+    (kernel state and RNG arenas allocated once per chunk, reset
+    between replications) with chunk results appended columnar. Setup
+    times the same sweep at ``batch_size=1`` (the unit-at-a-time
+    dispatch path) and **raises** when batching is less than 3x the
+    unbatched units/sec — losing the batch path is a regression of the
+    fleet throughput claim, not a slowdown. Hosts without a C
+    toolchain skip. Rows are bit-identical either way (covered by
+    ``tests/test_fleet_batch.py``); this kernel gates only the
+    throughput.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.common import small_cluster, small_workload
+    from repro.simulation import FleetScenario, run_fleet
+    from repro.simulation.compiled import kernel_available, kernel_status, warm_kernel
+
+    if not kernel_available():
+        raise BenchSkip(f"compiled kernel unavailable: {kernel_status()['error']}")
+    warm_kernel()
+
+    cluster = small_cluster()
+    scenarios = [
+        FleetScenario(
+            label=f"load={f:g}",
+            cluster=cluster,
+            workload=small_workload(f),
+            horizon=10.0,
+            params={"load_factor": f},
+        )
+        for f in (0.5, 0.7, 0.9, 1.1)
+    ]
+
+    def sweep(batch_size: int | str) -> float:
+        tmp = tempfile.mkdtemp(prefix="repro-fleet-batch-bench-")
+        try:
+            summary = run_fleet(
+                scenarios,
+                250,
+                f"{tmp}/store",
+                seed=7,
+                n_jobs=1,
+                backend="compiled",
+                batch_size=batch_size,
+                store_format="npz",
+                progress_every=1e9,
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        if summary.n_done != 1000 or summary.n_failed:
+            raise RuntimeError(
+                f"batched fleet sweep completed {summary.n_done}/1000 units "
+                f"({summary.n_failed} failed)"
+            )
+        return summary.wall_time_s
+
+    t_unbatched = min(sweep(1) for _ in range(2))
+    t_batched = min(sweep("auto") for _ in range(2))
+    speedup = t_unbatched / t_batched if t_batched > 0 else float("inf")
+    if speedup < 3.0:
+        raise RuntimeError(
+            f"fleet_sweep_batched: batched dispatch {speedup:.1f}x below the 3x "
+            f"acceptance floor vs batch_size=1 (unbatched {t_unbatched * 1e3:.0f} ms, "
+            f"batched {t_batched * 1e3:.0f} ms)"
+        )
+    extra = {"speedup_vs_unbatched": round(speedup, 2)}
+
+    def run() -> dict:
+        wall = sweep("auto")
+        return {
+            "bench_extra": {
+                **extra,
+                "units_per_sec": round(1000.0 / wall, 1),
+            }
+        }
+
+    return run
+
+
 def _kernel_analytic_eval_x100() -> Callable[[], object]:
     from repro.core.delay import end_to_end_delays
     from repro.core.energy import average_power
@@ -654,6 +744,7 @@ KERNELS: dict[str, Callable[[], Callable[[], object]]] = {
     "adaptive_antithetic_compiled": _kernel_adaptive_antithetic_compiled,
     "sim_ps_h500_compiled": _kernel_sim_ps_h500_compiled,
     "fleet_sweep_1k": _kernel_fleet_sweep_1k,
+    "fleet_sweep_batched": _kernel_fleet_sweep_batched,
     "analytic_eval_x100": _kernel_analytic_eval_x100,
     "batch_eval_100": _kernel_batch_eval_100,
     "percentile_batch_x50": _kernel_percentile_batch_x50,

@@ -197,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes pulling units off the shared queue (-1 = all cores)",
     )
     fleet_p.add_argument(
+        "--batch-size",
+        default="auto",
+        help="replications per kernel call / work-stealing chunk "
+        "(positive int, or 'auto' to size from the grid and worker count; "
+        "rows are bit-identical for every value)",
+    )
+    fleet_p.add_argument(
         "--telemetry",
         metavar="DIR",
         default=None,
@@ -560,6 +567,7 @@ def _cmd_fleet(
     backend: str | None,
     store_format: str | None,
     jobs: int | None,
+    batch_size: str = "auto",
 ) -> int:
     """Sweep the canonical cluster over a load-factor grid into one
     columnar store — the CLI surface of the fleet runner."""
@@ -577,6 +585,16 @@ def _cmd_fleet(
     if not factors:
         print("error: --load-factors produced an empty grid")
         return 1
+    batch: int | str = batch_size
+    if batch != "auto":
+        try:
+            batch = int(batch)
+        except (TypeError, ValueError):
+            print(f"error: --batch-size must be a positive integer or 'auto', got {batch_size!r}")
+            return 1
+        if batch < 1:
+            print(f"error: --batch-size must be a positive integer or 'auto', got {batch_size!r}")
+            return 1
     cluster = canonical_cluster()
     scenarios = [
         FleetScenario(
@@ -613,6 +631,7 @@ def _cmd_fleet(
         seed=seed,
         n_jobs=jobs,
         backend=backend,
+        batch_size=batch,
         store_format=store_format,
         progress=progress,
     )
@@ -1116,6 +1135,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.backend,
             args.format,
             args.jobs,
+            args.batch_size,
         )
     if args.command == "solve":
         return _cmd_solve(args.problem, args.load_factor, args.budget_fraction, args.delay_slack)

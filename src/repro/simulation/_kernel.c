@@ -446,13 +446,25 @@ typedef struct {
     jobpool_t jobs;
     long long next_seq;      /* next push sequence number (starts at 1) */
 
+    /* epoch schedule (dynamic mode) */
+    long long n_epochs;
+    const double *epoch_times;
+
     /* outputs (all row-major [class][station] like the Python lists) */
     double *wait_sum;
     double *sojourn_sum;
     long long *visit_count;
     long long *n_blocked;
     long long *offered;
+    long long *out_scalars;  /* jid, n_events, n_warmup_discarded, hit_horizon */
     dbuf_t *delay_buf;       /* K growable buffers */
+    /* inline per-class delay accumulation (batch mode): the scalar
+     * Welford recurrence on doubles, bitwise identical to
+     * stats.Welford.add_batch replaying the same values. */
+    int use_welford;
+    long long *wf_n;         /* K */
+    double *wf_mean;         /* K */
+    double *wf_m2;           /* K */
     logbuf_t log;
     int collect_log;
     int oom;
@@ -986,6 +998,300 @@ static void free_ctx(ctx_t *c) {
 
 void k_free(void *p) { free(p); }
 
+/* ------------------- allocation / reset / core loop ------------------ */
+
+/* One-time arena allocation: event heap, job pool, scratch, Python
+ * block buffers and the per-station server arrays / queues / PS pools.
+ * Station geometry comes from the descriptors and never changes across
+ * the replications of a batch; ctx_reset() rewinds the mutable state
+ * between runs without touching any of these allocations.  Returns
+ * non-zero on OOM (free_ctx cleans up whatever was allocated). */
+static int ctx_alloc(ctx_t *c, const StationDesc *station_desc,
+                     int n_blocks, long long block_size) {
+    c->heap.cap = 256;
+    c->heap.buf = (ev_t *)malloc(sizeof(ev_t) * c->heap.cap);
+    if (c->heap.buf == NULL || jp_init(&c->jobs)) return 1;
+
+    c->scratch_counts = (int *)malloc(sizeof(int) * c->K);
+    if (c->scratch_counts == NULL) return 1;
+
+    c->n_blocks = n_blocks;
+    if (n_blocks > 0) {
+        c->blocks = (blockbuf_t *)calloc(n_blocks, sizeof(blockbuf_t));
+        if (c->blocks == NULL) return 1;
+        for (int b = 0; b < n_blocks; b++) {
+            c->blocks[b].cap = block_size;
+            c->blocks[b].buf = (double *)malloc(sizeof(double) * block_size);
+            if (c->blocks[b].buf == NULL) return 1;
+        }
+    }
+
+    c->stations = (station_t *)calloc(c->M, sizeof(station_t));
+    if (c->stations == NULL) return 1;
+    for (int i = 0; i < c->M; i++) {
+        station_t *st = &c->stations[i];
+        st->index = i;
+        st->n_servers = station_desc[i].servers;
+        st->discipline = station_desc[i].discipline;
+        st->capacity = station_desc[i].capacity;
+        st->srv_job = (int *)malloc(sizeof(int) * st->n_servers);
+        st->srv_busy_since = (double *)calloc(st->n_servers, sizeof(double));
+        st->srv_completion = (double *)calloc(st->n_servers, sizeof(double));
+        st->srv_seq = (long long *)calloc(st->n_servers, sizeof(long long));
+        if (st->srv_job == NULL || st->srv_busy_since == NULL ||
+            st->srv_completion == NULL || st->srv_seq == NULL)
+            return 1;
+        if (dq_init(&st->fifo)) return 1;
+        if (st->discipline == DISC_PS) {
+            st->ps_cap = 16;
+            st->ps_jobs = (int *)malloc(sizeof(int) * st->ps_cap);
+            if (st->ps_jobs == NULL) return 1;
+        } else if (st->discipline != DISC_FCFS) {
+            st->queues = (dq_t *)calloc(c->K, sizeof(dq_t));
+            if (st->queues == NULL) return 1;
+            for (int k = 0; k < c->K; k++)
+                if (dq_init(&st->queues[k])) return 1;
+        }
+    }
+    return 0;
+}
+
+/* Rewind every piece of mutable state to time zero.  Callers point the
+ * per-run outputs (class_busy, wait_sum, ..., wf_*) at the right
+ * slices before run_core; allocations made by ctx_alloc are reused. */
+static void ctx_reset(ctx_t *c) {
+    c->next_seq = 1;
+    c->heap.len = 0;
+    c->jobs.used = 0;
+    c->jobs.free_len = 0;
+    for (int i = 0; i < c->M; i++) {
+        station_t *st = &c->stations[i];
+        for (int s = 0; s < st->n_servers; s++) {
+            st->srv_job[s] = -1;
+            st->srv_busy_since[s] = 0.0;
+            st->srv_completion[s] = 0.0;
+            st->srv_seq[s] = 0;
+        }
+        st->n_busy = 0;
+        st->start_counter = 0;
+        st->sched_epoch = 0;
+        st->sched_time = INFINITY;
+        st->fifo.head = 0;
+        st->fifo.len = 0;
+        if (st->queues != NULL)
+            for (int k = 0; k < c->K; k++) {
+                st->queues[k].head = 0;
+                st->queues[k].len = 0;
+            }
+        st->ps_len = 0;
+        st->ps_last_t = 0.0;
+        st->t0 = c->warmup;
+        st->t1 = c->horizon;
+        st->busy_total = 0.0;
+    }
+    for (int b = 0; b < c->n_blocks; b++) {
+        c->blocks[b].len = 0;
+        c->blocks[b].pos = 0;
+    }
+}
+
+/* Seed the initial arrivals, run the event loop to the horizon, flush
+ * buffered samples, close open busy intervals and write the four out
+ * scalars.  Identical control flow to the pre-batch monolith -- the
+ * refactor only moved state into ctx_t so a batch can reuse it.  All
+ * error paths leave buffers owned by the ctx (the caller frees). */
+static int run_core(ctx_t *c) {
+    double horizon = c->horizon;
+    double warmup = c->warmup;
+    int M = c->M;
+
+    /* Seed initial arrivals (class order, like the Python setup). */
+    long long jid = 0;
+    for (int k = 0; k < c->K; k++) {
+        long long batch;
+        double gap = next_gap(c, k, &batch);
+        if (*c->abort_flag) return RC_ABORT;
+        if (heap_push(&c->heap, gap, c->next_seq++, EV_ARRIVAL, k, batch)) return RC_NOMEM;
+    }
+
+    long long n_warmup_discarded = 0;
+    int hit_horizon = 0;
+    long long epoch_idx = 0;
+    double next_epoch = (c->dynamic && c->n_epochs > 0) ? c->epoch_times[0] : INFINITY;
+    c->next_sample_t = c->sample_interval > 0.0 ? warmup : INFINITY;
+
+    while (c->heap.len) {
+        ev_t ev = heap_pop(&c->heap);
+        double t = ev.t;
+        if (t > horizon) {
+            hit_horizon = 1;
+            break;
+        }
+        if (t >= c->next_sample_t) {
+            if (sample_queues_c(c, t)) return *c->abort_flag ? RC_ABORT : RC_NOMEM;
+            while (c->next_sample_t <= t) c->next_sample_t += c->sample_interval;
+        }
+        if (t >= next_epoch) {
+            /* Fire at the boundary's nominal time (no event lies in
+             * (previous event, t), so the state is valid there); a
+             * rescaled completion popped this iteration is caught by
+             * the sched_epoch staleness check below. */
+            while (next_epoch <= t) {
+                if (fire_epoch(c, next_epoch))
+                    return *c->abort_flag ? RC_ABORT : RC_NOMEM;
+                epoch_idx++;
+                next_epoch = epoch_idx < c->n_epochs ? c->epoch_times[epoch_idx] : INFINITY;
+            }
+        }
+        if (ev.kind == EV_COMPLETION) {
+            station_t *st = &c->stations[ev.a];
+            if (ev.b != st->sched_epoch) continue; /* stale, re-armed */
+            int jidx = (st->discipline == DISC_PS) ? ps_complete(c, st, t)
+                                                   : station_complete(c, st, t);
+            if (jidx == -2) return *c->abort_flag ? RC_ABORT : RC_INVARIANT;
+            job_t *j = &c->jobs.pool[jidx];
+            int counted = j->arrival >= warmup;
+            int here = j->cur;
+            int k = j->cls;
+            if (counted) {
+                double sj = t - j->station_arrival;
+                long long cell = (long long)k * M + here;
+                c->wait_sum[cell] += sj - j->service_total;
+                c->sojourn_sum[cell] += sj;
+                c->visit_count[cell] += 1;
+            }
+            int nxt_station;
+            int continuing;
+            if (c->has_routing) {
+                double u;
+                if (c->routing_block != NULL) {
+                    u = block_next(c, c->routing_block[k]);
+                    if (*c->abort_flag) return RC_ABORT;
+                } else {
+                    u = random_standard_uniform((bitgen_t *)c->routing_bg[k]);
+                }
+                const double *row = c->trans_cum[k] + (long long)here * M;
+                int nxt = -1;
+                if (u <= row[M - 1]) {
+                    nxt = 0;
+                    while (nxt < M && row[nxt] < u) nxt++;
+                }
+                continuing = nxt >= 0;
+                nxt_station = nxt;
+            } else {
+                j->hop++;
+                continuing = j->hop < c->route_len[k];
+                nxt_station = continuing ? c->routes[k][j->hop] : -1;
+            }
+            if (continuing) {
+                if (nxt_station < 0) nxt_station = M - 1; /* Python's [-1] indexing */
+                j->cur = nxt_station;
+                int accepted = station_arrive(c, &c->stations[nxt_station], t, jidx);
+                if (accepted < 0) return *c->abort_flag ? RC_ABORT : RC_NOMEM;
+                if (counted) {
+                    c->offered[(long long)k * M + nxt_station] += 1;
+                    if (!accepted) c->n_blocked[(long long)k * M + nxt_station] += 1;
+                }
+                if (!accepted && jp_release(&c->jobs, jidx)) return RC_NOMEM;
+            } else if (counted) {
+                if (c->use_welford) {
+                    /* stats.Welford.add: n += 1; delta = x - mean;
+                     * mean += delta / n; m2 += delta * (x - mean). */
+                    double x = t - j->arrival;
+                    long long n = ++c->wf_n[k];
+                    double delta = x - c->wf_mean[k];
+                    c->wf_mean[k] += delta / (double)n;
+                    c->wf_m2[k] += delta * (x - c->wf_mean[k]);
+                } else {
+                    if (dbuf_push(&c->delay_buf[k], t - j->arrival)) return RC_NOMEM;
+                }
+                if (c->collect_log && logbuf_push(&c->log, j->jid, k, j->arrival, t))
+                    return RC_NOMEM;
+                if (jp_release(&c->jobs, jidx)) return RC_NOMEM;
+            } else {
+                n_warmup_discarded++;
+                if (jp_release(&c->jobs, jidx)) return RC_NOMEM;
+            }
+        } else {
+            int k = ev.a;
+            for (long long i = 0; i < ev.b; i++) {
+                jid++;
+                int entry;
+                int jidx = jp_alloc(&c->jobs);
+                if (jidx < 0) return RC_NOMEM;
+                job_t *j = &c->jobs.pool[jidx];
+                if (c->has_routing) {
+                    double u;
+                    if (c->routing_block != NULL) {
+                        u = block_next(c, c->routing_block[k]);
+                        if (*c->abort_flag) return RC_ABORT;
+                    } else {
+                        u = random_standard_uniform((bitgen_t *)c->routing_bg[k]);
+                    }
+                    const double *cum = c->entry_cum[k];
+                    entry = -1;
+                    if (u <= cum[M - 1]) {
+                        entry = 0;
+                        while (entry < M && cum[entry] < u) entry++;
+                    }
+                    if (entry < 0) entry = M - 1; /* Python's [-1] indexing */
+                } else {
+                    entry = c->routes[k][0];
+                }
+                j->jid = jid;
+                j->cls = k;
+                j->hop = 0;
+                j->cur = entry;
+                j->arrival = t;
+                j->station_arrival = t;
+                j->remaining = NAN;
+                j->service_total = 0.0;
+                int accepted = station_arrive(c, &c->stations[entry], t, jidx);
+                if (accepted < 0) return *c->abort_flag ? RC_ABORT : RC_NOMEM;
+                if (t >= warmup) {
+                    c->offered[(long long)k * M + entry] += 1;
+                    if (!accepted) c->n_blocked[(long long)k * M + entry] += 1;
+                }
+                if (!accepted && jp_release(&c->jobs, jidx)) return RC_NOMEM;
+            }
+            long long batch;
+            double gap = next_gap(c, k, &batch);
+            if (*c->abort_flag) return RC_ABORT;
+            if (heap_push(&c->heap, t + gap, c->next_seq++, EV_ARRIVAL, k, batch)) return RC_NOMEM;
+        }
+    }
+
+    /* Samples buffered since the last epoch boundary (or the whole run
+     * when no controller is attached) flush once, after the loop. */
+    if (flush_samples(c)) return *c->abort_flag ? RC_ABORT : RC_NOMEM;
+
+    /* close open busy intervals at the horizon (server order, like the
+     * Python finalizer) */
+    for (int i = 0; i < M; i++) {
+        station_t *st = &c->stations[i];
+        if (st->discipline == DISC_PS) {
+            ps_elapse(c, st, horizon);
+        } else {
+            for (int s = 0; s < st->n_servers; s++) {
+                int ji = st->srv_job[s];
+                if (ji >= 0) {
+                    record_busy(st, c->jobs.pool[ji].cls, st->srv_busy_since[s], horizon);
+                    st->srv_busy_since[s] = horizon;
+                }
+            }
+        }
+        c->busy_out[i] = st->busy_total;
+    }
+
+    /* processed events = pushes - still-enqueued - the post-horizon pop */
+    long long pushes = c->next_seq - 1;
+    c->out_scalars[0] = jid;
+    c->out_scalars[1] = pushes - c->heap.len - (hit_horizon ? 1 : 0);
+    c->out_scalars[2] = n_warmup_discarded;
+    c->out_scalars[3] = hit_horizon;
+    return RC_OK;
+}
+
 int run_kernel(
     int K, int M, double horizon, double warmup,
     StationDesc *station_desc, SamplerDesc *samplers, ArrivalDesc *arrivals,
@@ -1025,8 +1331,9 @@ int run_kernel(
     c.arrival_cb = arrival_cb;
     c.refill_cb = refill_cb;
     c.abort_flag = abort_flag;
-    c.n_blocks = n_blocks;
     c.dynamic = dynamic;
+    c.n_epochs = n_epochs;
+    c.epoch_times = epoch_times;
     c.speeds = speeds;
     c.counts_out = counts_out;
     c.busy_out = busy_total;
@@ -1038,32 +1345,15 @@ int run_kernel(
     c.visit_count = visit_count;
     c.n_blocked = n_blocked;
     c.offered = offered;
+    c.out_scalars = out_scalars;
     c.collect_log = collect_log;
-    c.next_seq = 1;
 
     int rc = RC_NOMEM;
     dbuf_t *delay_buf = (dbuf_t *)calloc(K, sizeof(dbuf_t));
-    logbuf_t logb;
-    memset(&logb, 0, sizeof(logb));
     c.delay_buf = delay_buf;
     if (delay_buf == NULL) return RC_NOMEM;
 
-    c.heap.cap = 256;
-    c.heap.buf = (ev_t *)malloc(sizeof(ev_t) * c.heap.cap);
-    if (c.heap.buf == NULL || jp_init(&c.jobs)) goto fail;
-
-    c.scratch_counts = (int *)malloc(sizeof(int) * K);
-    if (c.scratch_counts == NULL) goto fail;
-
-    if (n_blocks > 0) {
-        c.blocks = (blockbuf_t *)calloc(n_blocks, sizeof(blockbuf_t));
-        if (c.blocks == NULL) goto fail;
-        for (int b = 0; b < n_blocks; b++) {
-            c.blocks[b].cap = block_size;
-            c.blocks[b].buf = (double *)malloc(sizeof(double) * block_size);
-            if (c.blocks[b].buf == NULL) goto fail;
-        }
-    }
+    if (ctx_alloc(&c, station_desc, n_blocks, block_size)) goto fail;
 
     if (dynamic) {
         c.cur_speed = (double *)malloc(sizeof(double) * M);
@@ -1071,226 +1361,22 @@ int run_kernel(
         for (int i = 0; i < M; i++) c.cur_speed[i] = speeds[i];
     }
 
-    c.stations = (station_t *)calloc(M, sizeof(station_t));
-    if (c.stations == NULL) goto fail;
-    for (int i = 0; i < M; i++) {
-        station_t *st = &c.stations[i];
-        st->index = i;
-        st->n_servers = station_desc[i].servers;
-        st->discipline = station_desc[i].discipline;
-        st->capacity = station_desc[i].capacity;
-        st->srv_job = (int *)malloc(sizeof(int) * st->n_servers);
-        st->srv_busy_since = (double *)calloc(st->n_servers, sizeof(double));
-        st->srv_completion = (double *)calloc(st->n_servers, sizeof(double));
-        st->srv_seq = (long long *)calloc(st->n_servers, sizeof(long long));
-        if (st->srv_job == NULL || st->srv_busy_since == NULL ||
-            st->srv_completion == NULL || st->srv_seq == NULL)
-            goto fail;
-        for (int s = 0; s < st->n_servers; s++) st->srv_job[s] = -1;
-        st->sched_time = INFINITY;
-        if (dq_init(&st->fifo)) goto fail;
-        if (st->discipline == DISC_PS) {
-            st->ps_cap = 16;
-            st->ps_jobs = (int *)malloc(sizeof(int) * st->ps_cap);
-            if (st->ps_jobs == NULL) goto fail;
-            st->ps_len = 0;
-            st->ps_last_t = 0.0;
-        } else if (st->discipline != DISC_FCFS) {
-            st->queues = (dq_t *)calloc(K, sizeof(dq_t));
-            if (st->queues == NULL) goto fail;
-            for (int k = 0; k < K; k++)
-                if (dq_init(&st->queues[k])) goto fail;
-        }
-        st->t0 = warmup;
-        st->t1 = horizon;
-        st->class_busy = class_busy + (long long)i * K;
-    }
+    for (int i = 0; i < M; i++)
+        c.stations[i].class_busy = class_busy + (long long)i * K;
+    ctx_reset(&c);
 
-    /* Seed initial arrivals (class order, like the Python setup). */
-    long long jid = 0;
-    for (int k = 0; k < K; k++) {
-        long long batch;
-        double gap = next_gap(&c, k, &batch);
-        if (*abort_flag) { rc = RC_ABORT; goto fail; }
-        if (heap_push(&c.heap, gap, c.next_seq++, EV_ARRIVAL, k, batch)) goto fail;
-    }
-
-    long long n_warmup_discarded = 0;
-    int hit_horizon = 0;
-    long long epoch_idx = 0;
-    double next_epoch = (dynamic && n_epochs > 0) ? epoch_times[0] : INFINITY;
-    c.next_sample_t = sample_interval > 0.0 ? warmup : INFINITY;
-
-    while (c.heap.len) {
-        ev_t ev = heap_pop(&c.heap);
-        double t = ev.t;
-        if (t > horizon) {
-            hit_horizon = 1;
-            break;
-        }
-        if (t >= c.next_sample_t) {
-            if (sample_queues_c(&c, t)) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
-            while (c.next_sample_t <= t) c.next_sample_t += sample_interval;
-        }
-        if (t >= next_epoch) {
-            /* Fire at the boundary's nominal time (no event lies in
-             * (previous event, t), so the state is valid there); a
-             * rescaled completion popped this iteration is caught by
-             * the sched_epoch staleness check below. */
-            while (next_epoch <= t) {
-                if (fire_epoch(&c, next_epoch)) {
-                    rc = *abort_flag ? RC_ABORT : RC_NOMEM;
-                    goto fail;
-                }
-                epoch_idx++;
-                next_epoch = epoch_idx < n_epochs ? epoch_times[epoch_idx] : INFINITY;
-            }
-        }
-        if (ev.kind == EV_COMPLETION) {
-            station_t *st = &c.stations[ev.a];
-            if (ev.b != st->sched_epoch) continue; /* stale, re-armed */
-            int jidx = (st->discipline == DISC_PS) ? ps_complete(&c, st, t)
-                                                   : station_complete(&c, st, t);
-            if (jidx == -2) { rc = *abort_flag ? RC_ABORT : RC_INVARIANT; goto fail; }
-            job_t *j = &c.jobs.pool[jidx];
-            int counted = j->arrival >= warmup;
-            int here = j->cur;
-            int k = j->cls;
-            if (counted) {
-                double sj = t - j->station_arrival;
-                long long cell = (long long)k * M + here;
-                wait_sum[cell] += sj - j->service_total;
-                sojourn_sum[cell] += sj;
-                visit_count[cell] += 1;
-            }
-            int nxt_station;
-            int continuing;
-            if (has_routing) {
-                double u;
-                if (c.routing_block != NULL) {
-                    u = block_next(&c, c.routing_block[k]);
-                    if (*abort_flag) { rc = RC_ABORT; goto fail; }
-                } else {
-                    u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
-                }
-                const double *row = c.trans_cum[k] + (long long)here * M;
-                int nxt = -1;
-                if (u <= row[M - 1]) {
-                    nxt = 0;
-                    while (nxt < M && row[nxt] < u) nxt++;
-                }
-                continuing = nxt >= 0;
-                nxt_station = nxt;
-            } else {
-                j->hop++;
-                continuing = j->hop < route_len[k];
-                nxt_station = continuing ? c.routes[k][j->hop] : -1;
-            }
-            if (continuing) {
-                if (nxt_station < 0) nxt_station = M - 1; /* Python's [-1] indexing */
-                j->cur = nxt_station;
-                int accepted = station_arrive(&c, &c.stations[nxt_station], t, jidx);
-                if (accepted < 0) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
-                if (counted) {
-                    offered[(long long)k * M + nxt_station] += 1;
-                    if (!accepted) n_blocked[(long long)k * M + nxt_station] += 1;
-                }
-                if (!accepted && jp_release(&c.jobs, jidx)) goto fail;
-            } else if (counted) {
-                if (dbuf_push(&delay_buf[k], t - j->arrival)) goto fail;
-                if (collect_log && logbuf_push(&logb, j->jid, k, j->arrival, t)) goto fail;
-                if (jp_release(&c.jobs, jidx)) goto fail;
-            } else {
-                n_warmup_discarded++;
-                if (jp_release(&c.jobs, jidx)) goto fail;
-            }
-        } else {
-            int k = ev.a;
-            for (long long i = 0; i < ev.b; i++) {
-                jid++;
-                int entry;
-                int jidx = jp_alloc(&c.jobs);
-                if (jidx < 0) goto fail;
-                job_t *j = &c.jobs.pool[jidx];
-                if (has_routing) {
-                    double u;
-                    if (c.routing_block != NULL) {
-                        u = block_next(&c, c.routing_block[k]);
-                        if (*abort_flag) { rc = RC_ABORT; goto fail; }
-                    } else {
-                        u = random_standard_uniform((bitgen_t *)c.routing_bg[k]);
-                    }
-                    const double *cum = c.entry_cum[k];
-                    entry = -1;
-                    if (u <= cum[M - 1]) {
-                        entry = 0;
-                        while (entry < M && cum[entry] < u) entry++;
-                    }
-                    if (entry < 0) entry = M - 1; /* Python's [-1] indexing */
-                } else {
-                    entry = c.routes[k][0];
-                }
-                j->jid = jid;
-                j->cls = k;
-                j->hop = 0;
-                j->cur = entry;
-                j->arrival = t;
-                j->station_arrival = t;
-                j->remaining = NAN;
-                j->service_total = 0.0;
-                int accepted = station_arrive(&c, &c.stations[entry], t, jidx);
-                if (accepted < 0) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
-                if (t >= warmup) {
-                    offered[(long long)k * M + entry] += 1;
-                    if (!accepted) n_blocked[(long long)k * M + entry] += 1;
-                }
-                if (!accepted && jp_release(&c.jobs, jidx)) goto fail;
-            }
-            long long batch;
-            double gap = next_gap(&c, k, &batch);
-            if (*abort_flag) { rc = RC_ABORT; goto fail; }
-            if (heap_push(&c.heap, t + gap, c.next_seq++, EV_ARRIVAL, k, batch)) goto fail;
-        }
-    }
-
-    /* Samples buffered since the last epoch boundary (or the whole run
-     * when no controller is attached) flush once, after the loop. */
-    if (flush_samples(&c)) { rc = *abort_flag ? RC_ABORT : RC_NOMEM; goto fail; }
-
-    /* close open busy intervals at the horizon (server order, like the
-     * Python finalizer) */
-    for (int i = 0; i < M; i++) {
-        station_t *st = &c.stations[i];
-        if (st->discipline == DISC_PS) {
-            ps_elapse(&c, st, horizon);
-        } else {
-            for (int s = 0; s < st->n_servers; s++) {
-                int ji = st->srv_job[s];
-                if (ji >= 0) {
-                    record_busy(st, c.jobs.pool[ji].cls, st->srv_busy_since[s], horizon);
-                    st->srv_busy_since[s] = horizon;
-                }
-            }
-        }
-        busy_total[i] = st->busy_total;
-    }
-
-    /* processed events = pushes - still-enqueued - the post-horizon pop */
-    long long pushes = c.next_seq - 1;
-    out_scalars[0] = jid;
-    out_scalars[1] = pushes - c.heap.len - (hit_horizon ? 1 : 0);
-    out_scalars[2] = n_warmup_discarded;
-    out_scalars[3] = hit_horizon;
+    rc = run_core(&c);
+    if (rc != RC_OK) goto fail;
 
     for (int k = 0; k < K; k++) {
         delay_ptrs[k] = delay_buf[k].buf; /* caller copies then k_free()s */
         delay_counts[k] = delay_buf[k].len;
     }
-    log_ptrs[0] = logb.jid;
-    log_ptrs[1] = logb.cls;
-    log_ptrs[2] = logb.arrival;
-    log_ptrs[3] = logb.exit_t;
-    *log_count = logb.len;
+    log_ptrs[0] = c.log.jid;
+    log_ptrs[1] = c.log.cls;
+    log_ptrs[2] = c.log.arrival;
+    log_ptrs[3] = c.log.exit_t;
+    *log_count = c.log.len;
 
     free(delay_buf);
     free_ctx(&c);
@@ -1301,10 +1387,90 @@ fail:
         for (int k = 0; k < K; k++) free(delay_buf[k].buf);
         free(delay_buf);
     }
-    free(logb.jid);
-    free(logb.cls);
-    free(logb.arrival);
-    free(logb.exit_t);
+    free(c.log.jid);
+    free(c.log.cls);
+    free(c.log.arrival);
+    free(c.log.exit_t);
     free_ctx(&c);
     return rc;
+}
+
+/* Batched entry point for fleet sweeps: run n_reps independent static
+ * replications of one scenario back to back on a single arena.  Each
+ * replication brings its own sampler/arrival descriptors (fresh
+ * per-seed bit generator pointers) and its own output slices; the
+ * event heap, job pool and station arrays are allocated once by
+ * ctx_alloc and rewound by ctx_reset between runs, so the Python->C
+ * boundary is crossed once per batch instead of once per replication.
+ * End-to-end delays accumulate inline through the scalar Welford
+ * recurrence (use_welford) -- the exact IEEE expression sequence
+ * stats.Welford.add_batch replays -- so no per-job delay buffers cross
+ * the boundary either.
+ *
+ * On failure the index of the failing replication goes to *fail_index
+ * and its RC_* code is returned; outputs for replications before it
+ * are complete and valid, and the caller may re-invoke with offset
+ * arrays to resume at fail_index + 1.  Dynamic speed control, routing
+ * matrices, Python block buffers, job logs and queue sampling are
+ * unit-path features: batch callers fall back to run_kernel for those
+ * (enforced on the Python side). */
+int run_kernel_batch(
+    int n_reps, int K, int M, double horizon, double warmup,
+    StationDesc *station_desc,
+    SamplerDesc *samplers,       /* n_reps blocks of M*K */
+    ArrivalDesc *arrivals,       /* n_reps blocks of K */
+    void **routes_v, int *route_len,
+    service_cb_t service_cb, arrival_cb_t arrival_cb, int *abort_flag,
+    double *wait_sum, double *sojourn_sum, long long *visit_count,
+    long long *n_blocked, long long *offered,
+    double *busy_total,          /* n_reps blocks of M */
+    double *class_busy,          /* n_reps blocks of M*K */
+    long long *out_scalars,      /* n_reps blocks of 4 */
+    long long *wf_n, double *wf_mean, double *wf_m2, /* n_reps blocks of K */
+    long long *fail_index)
+{
+    ctx_t c;
+    memset(&c, 0, sizeof(c));
+    c.K = K;
+    c.M = M;
+    c.horizon = horizon;
+    c.warmup = warmup;
+    c.routes = (int **)routes_v;
+    c.route_len = route_len;
+    c.service_cb = service_cb;
+    c.arrival_cb = arrival_cb;
+    c.abort_flag = abort_flag;
+    c.use_welford = 1;
+    *fail_index = -1;
+
+    if (ctx_alloc(&c, station_desc, 0, 0)) {
+        free_ctx(&c);
+        return RC_NOMEM;
+    }
+    size_t km = (size_t)K * M;
+    for (int b = 0; b < n_reps; b++) {
+        c.samplers = samplers + (size_t)b * km;
+        c.arrivals = arrivals + (size_t)b * K;
+        c.wait_sum = wait_sum + (size_t)b * km;
+        c.sojourn_sum = sojourn_sum + (size_t)b * km;
+        c.visit_count = visit_count + (size_t)b * km;
+        c.n_blocked = n_blocked + (size_t)b * km;
+        c.offered = offered + (size_t)b * km;
+        c.busy_out = busy_total + (size_t)b * M;
+        c.out_scalars = out_scalars + (size_t)b * 4;
+        c.wf_n = wf_n + (size_t)b * K;
+        c.wf_mean = wf_mean + (size_t)b * K;
+        c.wf_m2 = wf_m2 + (size_t)b * K;
+        for (int i = 0; i < M; i++)
+            c.stations[i].class_busy = class_busy + ((size_t)b * M + i) * K;
+        ctx_reset(&c);
+        int rc = run_core(&c);
+        if (rc != RC_OK) {
+            *fail_index = b;
+            free_ctx(&c);
+            return rc;
+        }
+    }
+    free_ctx(&c);
+    return RC_OK;
 }

@@ -92,7 +92,7 @@ from repro.exceptions import (
     SimulationError,
     WarmupDiscardWarning,
 )
-from repro.simulation.rng import AntitheticSeed, RngStreams
+from repro.simulation.rng import AntitheticSeed, RngStreams, fnv1a64
 from repro.simulation.rng import _TINY as _RNG_TINY
 from repro.simulation.stats import Welford, confidence_halfwidth
 from repro.workload.arrivals import PoissonProcess
@@ -104,6 +104,7 @@ __all__ = [
     "kernel_status",
     "load_kernel",
     "maybe_simulate_compiled",
+    "maybe_simulate_fleet_batch",
     "resolve_backend",
     "warm_kernel",
 ]
@@ -354,6 +355,34 @@ def load_kernel() -> ctypes.CDLL:
             POINTER(c_longlong),  # delay_counts
             POINTER(c_void_p),  # log_ptrs
             POINTER(c_longlong),  # log_count
+        ]
+        lib.run_kernel_batch.restype = c_int
+        lib.run_kernel_batch.argtypes = [
+            c_int,  # n_reps
+            c_int,  # K
+            c_int,  # M
+            c_double,  # horizon
+            c_double,  # warmup
+            POINTER(_StationDesc),
+            POINTER(_SamplerDesc),  # n_reps blocks of M*K
+            POINTER(_ArrivalDesc),  # n_reps blocks of K
+            POINTER(c_void_p),  # routes
+            POINTER(c_int),  # route_len
+            _SERVICE_CB,
+            _ARRIVAL_CB,
+            POINTER(c_int),  # abort_flag
+            POINTER(c_double),  # wait_sum
+            POINTER(c_double),  # sojourn_sum
+            POINTER(c_longlong),  # visit_count
+            POINTER(c_longlong),  # n_blocked
+            POINTER(c_longlong),  # offered
+            POINTER(c_double),  # busy_total
+            POINTER(c_double),  # class_busy
+            POINTER(c_longlong),  # out_scalars (n_reps blocks of 4)
+            POINTER(c_longlong),  # wf_n
+            POINTER(c_double),  # wf_mean
+            POINTER(c_double),  # wf_m2
+            POINTER(c_longlong),  # fail_index
         ]
         lib.k_free.restype = None
         lib.k_free.argtypes = [c_void_p]
@@ -1206,3 +1235,346 @@ def _simulate_compiled(
         delay_samples=(delay_buf if collect_delay_samples else None),
         job_log=job_log,
     )
+
+
+# ---------------------------------------------------------------------------
+# batched fleet dispatch
+# ---------------------------------------------------------------------------
+
+
+def maybe_simulate_fleet_batch(
+    backend: str,
+    cluster,
+    workload,
+    horizon: float,
+    warmup_fraction: float,
+    seeds: list,
+):
+    """Run a batch of static replications in one kernel call, or return
+    ``None`` so the fleet runner falls back to unit-at-a-time dispatch
+    (which itself picks the best available engine and emits the usual
+    fallback warnings).
+
+    The batch path covers exactly the fleet configuration space: fixed
+    routes, default Poisson arrivals, no epoch controller, no
+    antithetic seeds, no per-job delay samples or job logs.  Telemetry
+    queue sampling needs the unit path (the batch kernel skips the
+    sampling tap), so it returns ``None`` there too.
+
+    Returns ``(rows, failures)``: ``rows[b]`` is the metric dict for
+    ``seeds[b]`` (the fleet row minus the unit/scenario/replication/
+    wall_s bookkeeping columns) or ``None`` if that replication failed;
+    ``failures`` lists ``(index, "ExcType: message")`` pairs formatted
+    exactly like the fleet's per-unit failure records.
+    """
+    if _unsupported_reason(cluster, None, None) is not None:
+        return None
+    if any(isinstance(s, AntitheticSeed) for s in seeds):
+        return None
+    tel = obs.TELEMETRY
+    if tel.enabled and tel.sample_queues and tel.queue_sample_interval > 0.0:
+        return None
+    try:
+        lib = load_kernel()
+    except KernelBuildError:
+        return None
+    _annotate_backend("compiled", backend)
+    return _simulate_fleet_batch(lib, cluster, workload, horizon, warmup_fraction, seeds)
+
+
+def _simulate_fleet_batch(lib, cluster, workload, horizon, warmup_fraction, seeds):
+    from repro.simulation.simulator import (
+        _build_routes,
+        _validate_basic_inputs,
+        _validate_stability,
+    )
+
+    # The same validation gate simulate() applies per unit, with the
+    # same messages — deterministic in the scenario, so raising once
+    # for the whole batch is observably identical to raising per unit
+    # (the fleet runner fans the message out to every unit).
+    _validate_basic_inputs(cluster, workload, horizon, warmup_fraction)
+    _validate_stability(cluster, workload)
+
+    k_classes = workload.num_classes
+    m_stations = cluster.num_tiers
+    warmup = warmup_fraction * horizon
+    n_reps = len(seeds)
+    keep: list[Any] = []  # keep-alive for every object the kernel reads
+    py_samplers: list[Any] = []
+    abort = (c_int * 1)(0)
+    cb_error: list[BaseException] = []
+
+    def _as_ll(a):
+        return a.ctypes.data_as(POINTER(c_longlong))
+
+    def _as_d(a):
+        return a.ctypes.data_as(POINTER(c_double))
+
+    with obs.span(
+        "sim.batch_setup", classes=k_classes, stations=m_stations, reps=n_reps
+    ):
+        routes = _build_routes(cluster)
+        route_arrays = [np.asarray(r, dtype=np.int32) for r in routes]
+        keep.extend(route_arrays)
+        routes_v = (c_void_p * k_classes)(
+            *[r.ctypes.data_as(c_void_p).value for r in route_arrays]
+        )
+        route_len = (c_int * k_classes)(*[r.size for r in route_arrays])
+
+        # Station geometry and the speed-scaled demand distributions are
+        # shared by every replication; only the per-seed bit generators
+        # differ, so the descriptor template work happens once.
+        station_desc = (_StationDesc * m_stations)()
+        dists: list[list[Any]] = []
+        for i, tier in enumerate(cluster.tiers):
+            if tier.discipline == "ps" and tier.capacity is not None:
+                raise ModelValidationError(
+                    f"tier {tier.name!r}: finite buffers are not supported for PS tiers"
+                )
+            station_desc[i].servers = tier.servers
+            station_desc[i].discipline = _DISCIPLINES[tier.discipline]
+            station_desc[i].capacity = -1 if tier.capacity is None else tier.capacity
+            row = [tier.demands[k].scaled(1.0 / tier.speed) for k in range(k_classes)]
+            dists.append(row)
+            keep.extend(row)
+
+        arrival_procs = [PoissonProcess(c.arrival_rate) for c in workload.classes]
+        arrival_scales = [1.0 / p.rate for p in arrival_procs]
+
+        # Per-stream bit generators, derived exactly as
+        # RngStreams.stream does — SeedSequence(entropy, spawn_key +
+        # (fnv1a64(name),)) feeding PCG64 — but without the Generator
+        # wrapper or per-call hashing: the name digests are fixed
+        # across the batch, and the kernel only needs the bitgen_t
+        # pointer. Descriptor *templates* (distribution parameters,
+        # post-op chains) are built once per (station, class) and
+        # struct-copied per replication with only the stream pointer
+        # patched; families needing the per-draw Python callback get a
+        # fresh closure per replication over that replication's stream.
+        arrival_hashes = [fnv1a64(f"arrivals/{k}") for k in range(k_classes)]
+        service_hashes = [
+            [fnv1a64(f"service/{i}/{k}") for k in range(k_classes)]
+            for i in range(m_stations)
+        ]
+        template_rng = np.random.Generator(np.random.PCG64(0))
+        templates: list[list[_SamplerDesc | None]] = []
+        for i in range(m_stations):
+            row_t: list[_SamplerDesc | None] = []
+            for k in range(k_classes):
+                t = _sampler_descriptor(dists[i][k], template_rng, keep, [])
+                row_t.append(None if t.kind == _SK_PYCALL else t)
+            templates.append(row_t)
+
+        def _stream_bg(entropy, spawn_key: tuple, name_hash: int):
+            child = np.random.SeedSequence(
+                entropy=entropy, spawn_key=spawn_key + (name_hash,)
+            )
+            bg = np.random.PCG64(child)
+            keep.append(bg)
+            return bg, ctypes.cast(bg.ctypes.bit_generator, c_void_p).value
+
+        sampler_desc = (_SamplerDesc * (n_reps * m_stations * k_classes))()
+        arrival_desc = (_ArrivalDesc * (n_reps * k_classes))()
+        for b, seed in enumerate(seeds):
+            if isinstance(seed, np.random.SeedSequence):
+                entropy = seed.entropy
+                spawn_key = tuple(seed.spawn_key)
+            else:
+                if not isinstance(seed, (int, np.integer)) or seed < 0:
+                    raise ModelValidationError(
+                        f"seed must be a non-negative integer, got {seed}"
+                    )
+                entropy = int(seed)
+                spawn_key = ()
+            base_a = b * k_classes
+            for k in range(k_classes):
+                _bg, ptr = _stream_bg(entropy, spawn_key, arrival_hashes[k])
+                arrival_desc[base_a + k].kind = _SK_EXPO
+                arrival_desc[base_a + k].scale = arrival_scales[k]
+                arrival_desc[base_a + k].bg = ptr
+            base_s = b * m_stations * k_classes
+            for i in range(m_stations):
+                for k in range(k_classes):
+                    bg, ptr = _stream_bg(entropy, spawn_key, service_hashes[i][k])
+                    idx = base_s + i * k_classes + k
+                    template = templates[i][k]
+                    if template is None:
+                        sampler_desc[idx] = _sampler_descriptor(
+                            dists[i][k], np.random.Generator(bg), keep, py_samplers
+                        )
+                    else:
+                        sampler_desc[idx] = template
+                        sampler_desc[idx].bg = ptr
+
+        wait_np = np.zeros((n_reps, k_classes, m_stations))
+        sojourn_np = np.zeros((n_reps, k_classes, m_stations))
+        visit_np = np.zeros((n_reps, k_classes, m_stations), dtype=np.int64)
+        blocked_np = np.zeros((n_reps, k_classes, m_stations), dtype=np.int64)
+        offered_np = np.zeros((n_reps, k_classes, m_stations), dtype=np.int64)
+        busy_np = np.zeros((n_reps, m_stations))
+        class_busy_np = np.zeros((n_reps, m_stations, k_classes))
+        out_scalars = np.zeros((n_reps, 4), dtype=np.int64)
+        wf_n = np.zeros((n_reps, k_classes), dtype=np.int64)
+        wf_mean = np.zeros((n_reps, k_classes))
+        wf_m2 = np.zeros((n_reps, k_classes))
+        fail_index = (c_longlong * 1)(-1)
+
+        def _service_cb(sampler_id: int) -> float:
+            try:
+                return py_samplers[sampler_id]()
+            except BaseException as exc:  # propagate through the abort flag
+                cb_error.append(exc)
+                abort[0] = 1
+                return 0.0
+
+        service_cb = _SERVICE_CB(_service_cb)
+        arrival_cb = _ARRIVAL_CB()  # NULL: fleet arrivals are all native
+
+    failures: list[tuple[int, str]] = []
+    failed: set[int] = set()
+    base = 0
+    with obs.span("sim.event_loop", horizon=horizon, backend="compiled", batch=n_reps):
+        while base < n_reps:
+            abort[0] = 0
+            sampler_off = base * m_stations * k_classes * ctypes.sizeof(_SamplerDesc)
+            arrival_off = base * k_classes * ctypes.sizeof(_ArrivalDesc)
+            rc = lib.run_kernel_batch(
+                n_reps - base,
+                k_classes,
+                m_stations,
+                float(horizon),
+                float(warmup),
+                station_desc,
+                ctypes.cast(
+                    ctypes.byref(sampler_desc, sampler_off), POINTER(_SamplerDesc)
+                ),
+                ctypes.cast(
+                    ctypes.byref(arrival_desc, arrival_off), POINTER(_ArrivalDesc)
+                ),
+                routes_v,
+                route_len,
+                service_cb,
+                arrival_cb,
+                abort,
+                _as_d(wait_np[base:]),
+                _as_d(sojourn_np[base:]),
+                _as_ll(visit_np[base:]),
+                _as_ll(blocked_np[base:]),
+                _as_ll(offered_np[base:]),
+                _as_d(busy_np[base:]),
+                _as_d(class_busy_np[base:]),
+                _as_ll(out_scalars[base:]),
+                _as_ll(wf_n[base:]),
+                _as_d(wf_mean[base:]),
+                _as_d(wf_m2[base:]),
+                fail_index,
+            )
+            if rc == _RC_OK:
+                break
+            fb = base + int(fail_index[0])
+            if fail_index[0] < 0 or fb >= n_reps:
+                raise SimulationError(
+                    "compiled batch kernel failed without a failing index"
+                )
+            # Mirror the unit path's exception types/messages exactly,
+            # pre-formatted the way the fleet records per-unit failures;
+            # replications after the failing one resume on fresh state
+            # (their streams are per-seed, so results are unaffected).
+            if rc == _RC_ABORT:
+                exc: BaseException = (
+                    cb_error[0]
+                    if cb_error
+                    else SimulationError(
+                        "compiled kernel aborted without a recorded error"
+                    )
+                )
+            elif rc == _RC_NOMEM:
+                exc = MemoryError("compiled simulation kernel ran out of memory")
+            else:
+                exc = SimulationError("completion with no busy server (compiled kernel)")
+            failures.append((fb, f"{type(exc).__name__}: {exc}"))
+            failed.add(fb)
+            cb_error.clear()
+            base = fb + 1
+    del keep  # the kernel has returned; arrays may be collected now
+
+    with obs.span("sim.batch_finalize", reps=n_reps):
+        window = horizon - warmup
+        idle_power = float(sum(t.servers * t.spec.power.idle for t in cluster.tiers))
+        # Same expression as the unit finalize's per-tier p_dyn; hoisted
+        # because it does not depend on the replication.
+        tier_p_dyn = [
+            t.spec.power.kappa * t.speed**t.spec.power.alpha for t in cluster.tiers
+        ]
+        rows: list[dict[str, Any] | None] = [None] * n_reps
+        for b in range(n_reps):
+            if b in failed:
+                continue
+            busy_list = [float(x) for x in busy_np[b]]
+            dynamic_power = 0.0
+            for i in range(m_stations):
+                dynamic_power += tier_p_dyn[i] * busy_list[i] / window
+            average_power = idle_power + dynamic_power
+
+            # wf_* hold the C-side Welford state, bitwise equal to the
+            # Python accumulators the unit path folds delay buffers
+            # into; .mean is NaN on an empty accumulator.
+            ncomp = wf_n[b]
+            delays = np.array(
+                [
+                    float(wf_mean[b, k]) if ncomp[k] else float("nan")
+                    for k in range(k_classes)
+                ]
+            )
+            n_total = ncomp.sum()
+            mean_delay = (
+                float(np.dot(ncomp, delays) / n_total) if n_total else float("nan")
+            )
+            throughput = ncomp / window
+            total_throughput = float(throughput.sum())
+            energy_per_request = (
+                average_power / total_throughput
+                if total_throughput > 0
+                else float("nan")
+            )
+
+            n_events = int(out_scalars[b, 1])
+            n_warmup_discarded = int(out_scalars[b, 2])
+            n_counted_total = int(n_total)
+            n_finished_total = n_counted_total + n_warmup_discarded
+            if n_finished_total > 0 and n_warmup_discarded > 0.5 * n_finished_total:
+                discard_fraction = n_warmup_discarded / n_finished_total
+                warnings.warn(
+                    WarmupDiscardWarning(
+                        f"warmup window ({warmup:g} of horizon {horizon:g}) discarded "
+                        f"{n_warmup_discarded} of {n_finished_total} completed jobs "
+                        f"({discard_fraction:.0%}); delay statistics rest on only "
+                        f"{n_counted_total} jobs — lengthen the horizon or shrink "
+                        f"warmup_fraction"
+                    ),
+                    stacklevel=3,
+                )
+                obs.event(
+                    "sim.warmup_discard",
+                    warmup=warmup,
+                    horizon=horizon,
+                    n_discarded=n_warmup_discarded,
+                    n_counted=n_counted_total,
+                    discard_fraction=discard_fraction,
+                )
+            obs.counter("sim.events").add(n_events)
+            obs.counter("sim.jobs_created").add(int(out_scalars[b, 0]))
+            obs.counter("sim.jobs_counted").add(n_counted_total)
+
+            row: dict[str, Any] = {
+                "n_events": n_events,
+                "n_completed": n_counted_total,
+                "mean_delay": mean_delay,
+                "average_power": average_power,
+                "energy_per_request": energy_per_request,
+            }
+            for k in range(k_classes):
+                row[f"delay_c{k}"] = float(delays[k])
+            rows[b] = row
+    return rows, failures

@@ -6,18 +6,43 @@ style of Neely's trace-driven studies is thousands of independent
 units spanning many scenarios, where static per-scenario chunking
 leaves workers idle whenever scenarios have unequal cost (higher load
 ⇒ more events ⇒ slower units). :func:`run_fleet` shards the flat unit
-index space across worker processes through a **shared index queue**
-(work stealing: each worker pulls the next unit the moment it goes
-idle), runs one :func:`~repro.simulation.simulator.simulate` call per
-unit, and streams one compact metric row per unit back to the parent,
-which appends it to a columnar :class:`~repro.simulation.results_store.FleetStore`
-— no per-run pickles, one queryable artifact per sweep.
+index space across worker processes through a **shared chunk queue**
+(work stealing: each worker pulls the next chunk the moment it goes
+idle), runs each chunk's replications through one batched
+:func:`~repro.simulation.compiled.maybe_simulate_fleet_batch` kernel
+call (falling back to unit-at-a-time
+:func:`~repro.simulation.simulator.simulate` when the batch path does
+not apply), and writes the result rows columnar into a
+:class:`~repro.simulation.results_store.FleetStore` — no per-run
+pickles, one queryable artifact per sweep.
+
+Three layers keep the path batch-native end to end:
+
+* **Chunked dispatch** — work units travel as ``(scenario, rep0,
+  count)`` chunks (never crossing a scenario boundary), auto-sized
+  from the grid shape and worker count or pinned with ``batch_size``;
+  the simulation backend is resolved once in :func:`run_fleet` and
+  threaded explicitly to every worker instead of re-read from the
+  environment per unit.
+* **Batched kernel dispatch** — a chunk of B replications of one
+  scenario is a single C call: kernel state, station arrays and RNG
+  arenas are allocated once and reset between replications, with the
+  per-unit ``SeedSequence(seed, spawn_key=(scenario, replication))``
+  streams preserved so every row is bit-identical to the
+  unit-at-a-time path for any chunk size, worker count or steal order.
+* **Zero-copy result transport** — pool workers write finished rows
+  straight into one preallocated ``multiprocessing.shared_memory``
+  segment (one dtype-correct column block per store column, indexed
+  by absolute unit id); the result queue carries only small control
+  messages (chunk handoff + failures), drained in batches, and the
+  parent slices row groups out of the shared block without pickling a
+  single row dict.
 
 Determinism is scheduling-independent: unit ``(s, r)`` always runs
 under ``SeedSequence(master_seed, spawn_key=(s, r))``, computed inside
 the worker from the indices alone, so the stored rows are bit-identical
-for any worker count or steal order (rows are written in completion
-order; the ``unit`` column recovers the canonical order).
+for any worker count, chunk size or steal order (rows are written in
+completion order; the ``unit`` column recovers the canonical order).
 
 Progress rides the existing telemetry seam: a throttled ``fleet.unit``
 event plus a terminal ``fleet.done`` event flow through the global
@@ -27,6 +52,7 @@ tracer, land in ``progress.jsonl`` when the run is under
 
 from __future__ import annotations
 
+import math
 import os
 import queue as queue_mod
 import time
@@ -37,10 +63,16 @@ import numpy as np
 
 from repro import obs
 from repro.exceptions import ModelValidationError
+from repro.simulation.compiled import resolve_backend
 from repro.simulation.parallel import resolve_n_jobs
-from repro.simulation.results_store import FleetStore
+from repro.simulation.results_store import FleetStore, _column_dtype
 
 __all__ = ["FleetScenario", "FleetSummary", "run_fleet", "fleet_columns"]
+
+#: Largest replication chunk a single kernel call runs; beyond this the
+#: per-call amortization is flat while failure blast radius and latency
+#: to first result keep growing.
+_MAX_BATCH = 64
 
 
 @dataclass(frozen=True)
@@ -96,6 +128,46 @@ def _unit_seed(master_seed: int, scenario: int, replication: int) -> np.random.S
     return np.random.SeedSequence(master_seed, spawn_key=(scenario, replication))
 
 
+def _resolve_batch_size(
+    batch_size: int | str, n_replications: int, n_units: int, n_workers: int
+) -> int:
+    """Pin or auto-size the replication chunk.
+
+    Auto sizing balances two pressures: big chunks amortize the
+    per-call kernel setup (the point of batching), while the pool needs
+    enough chunks in flight that work stealing can still level uneven
+    scenario costs — so the parallel path caps chunks at roughly eight
+    per worker across the whole grid.
+    """
+    if batch_size == "auto":
+        if n_workers == 1:
+            return max(1, min(n_replications, _MAX_BATCH))
+        return max(1, min(n_replications, _MAX_BATCH, math.ceil(n_units / (n_workers * 8))))
+    if not isinstance(batch_size, int) or isinstance(batch_size, bool) or batch_size < 1:
+        raise ModelValidationError(
+            f"batch_size must be a positive integer or 'auto', got {batch_size!r}"
+        )
+    return min(batch_size, n_replications)
+
+
+def _chunk_plan(
+    n_scenarios: int, n_replications: int, batch: int
+) -> list[tuple[int, int, int]]:
+    """Split the unit grid into ``(scenario, rep0, count)`` chunks.
+
+    Chunks never cross a scenario boundary (a batched kernel call runs
+    one scenario), so the last chunk of each scenario may be short.
+    """
+    chunks: list[tuple[int, int, int]] = []
+    for sid in range(n_scenarios):
+        rep0 = 0
+        while rep0 < n_replications:
+            count = min(batch, n_replications - rep0)
+            chunks.append((sid, rep0, count))
+            rep0 += count
+    return chunks
+
+
 def _run_unit(
     scenarios: list[FleetScenario],
     master_seed: int,
@@ -132,37 +204,150 @@ def _run_unit(
     return row
 
 
+def _run_chunk(
+    scenarios: list[FleetScenario],
+    master_seed: int,
+    n_replications: int,
+    sid: int,
+    rep0: int,
+    count: int,
+    backend: str,
+) -> tuple[list[int], dict[str, np.ndarray], list[tuple[int, str]]]:
+    """Run one chunk of replications of one scenario.
+
+    Tries the batched compiled path first (one kernel call for the
+    whole chunk); falls back to unit-at-a-time :func:`simulate` when
+    batching does not apply (python backend, single-unit chunk, kernel
+    unavailable, or telemetry queue sampling on). Either way the rows
+    are bit-identical.
+
+    Returns ``(ok_units, columns, failures)``: the absolute unit ids
+    that succeeded, their rows as schema-dtyped column arrays (row i =
+    ``ok_units[i]``), and ``(unit, "ExcType: message")`` failure pairs.
+    """
+    sc = scenarios[sid]
+    n_classes = len(tuple(sc.workload.names))
+    base_unit = sid * n_replications + rep0
+    rows: list[dict[str, Any] | None] = [None] * count
+    failures: list[tuple[int, str]] = []
+    batched = False
+    if backend != "python" and count > 1:
+        from repro.simulation.compiled import maybe_simulate_fleet_batch
+
+        seeds = [_unit_seed(master_seed, sid, rep0 + j) for j in range(count)]
+        start = time.perf_counter()
+        try:
+            res = maybe_simulate_fleet_batch(
+                backend, sc.cluster, sc.workload, sc.horizon, sc.warmup_fraction, seeds
+            )
+        except Exception as exc:
+            # Scenario-level rejection (validation, instability): every
+            # unit of the chunk fails with the message the unit path
+            # would have raised per unit.
+            msg = f"{type(exc).__name__}: {exc}"
+            return [], {}, [(base_unit + j, msg) for j in range(count)]
+        if res is not None:
+            brows, bfailures = res
+            wall = (time.perf_counter() - start) / count
+            for j, metrics in enumerate(brows):
+                if metrics is None:
+                    continue
+                rows[j] = {
+                    "unit": base_unit + j,
+                    "scenario": sid,
+                    "replication": rep0 + j,
+                    "wall_s": wall,
+                    **metrics,
+                }
+            failures = [(base_unit + j, msg) for j, msg in bfailures]
+            batched = True
+    if not batched:
+        for j in range(count):
+            unit = base_unit + j
+            try:
+                rows[j] = _run_unit(scenarios, master_seed, unit, n_replications)
+            except Exception as exc:
+                failures.append((unit, f"{type(exc).__name__}: {exc}"))
+    ok = [j for j in range(count) if rows[j] is not None]
+    columns = fleet_columns(n_classes)
+    cols = {
+        c: np.array([rows[j][c] for j in ok], dtype=_column_dtype(c)) for c in columns
+    }
+    return [base_unit + j for j in ok], cols, failures
+
+
+def _shm_views(
+    buf: memoryview, columns: tuple[str, ...], n_units: int
+) -> dict[str, np.ndarray]:
+    """Per-column views into the shared result block.
+
+    Column ``j`` owns bytes ``[j*n_units*8, (j+1)*n_units*8)`` — every
+    store dtype is 8 bytes wide, so one flat segment of
+    ``n_columns * n_units * 8`` bytes holds the whole sweep, indexed by
+    absolute unit id.
+    """
+    return {
+        c: np.ndarray(
+            (n_units,), dtype=_column_dtype(c), buffer=buf, offset=j * n_units * 8
+        )
+        for j, c in enumerate(columns)
+    }
+
+
 def _fleet_worker(
     task_queue: Any,
     result_queue: Any,
     scenarios: list[FleetScenario],
     master_seed: int,
     n_replications: int,
-    backend: str | None,
+    backend: str,
+    shm_name: str,
+    n_units: int,
 ) -> None:
-    """Worker loop: steal unit indices until the queue hands a sentinel.
+    """Worker loop: steal chunks until the queue hands a sentinel.
 
     Runs in a child process; pulls from the shared queue so fast
-    workers automatically absorb slow scenarios' units. Warms the
-    compiled kernel once per process (build/load is cached) before the
-    first unit so its one-time cost never lands inside a unit timing.
+    workers automatically absorb slow scenarios' chunks. The backend
+    is pinned once (resolved by the parent — never re-read from the
+    environment per unit) and the compiled kernel is warmed once per
+    process before the first chunk so its one-time cost never lands
+    inside a unit timing. Finished rows go straight into the shared
+    result block at their absolute unit index; only the control tuple
+    ``("chunk", sid, rep0, count, failures)`` rides the queue.
     """
-    if backend is not None:
-        os.environ["REPRO_SIM_BACKEND"] = backend
-    if os.environ.get("REPRO_SIM_BACKEND", "python") != "python":
+    from multiprocessing import shared_memory
+
+    os.environ["REPRO_SIM_BACKEND"] = backend
+    if backend != "python":
         from repro.simulation.compiled import warm_kernel
 
         warm_kernel()
-    while True:
-        unit = task_queue.get()
-        if unit is None:
-            return
-        try:
-            row = _run_unit(scenarios, master_seed, unit, n_replications)
-        except Exception as exc:  # report, keep stealing
-            result_queue.put(("error", unit, f"{type(exc).__name__}: {exc}"))
-        else:
-            result_queue.put(("row", unit, row))
+    columns = fleet_columns(len(tuple(scenarios[0].workload.names)))
+    shm = shared_memory.SharedMemory(name=shm_name)
+    views = _shm_views(shm.buf, columns, n_units)
+    try:
+        while True:
+            chunk = task_queue.get()
+            if chunk is None:
+                return
+            sid, rep0, count = chunk
+            try:
+                ok_units, cols, failures = _run_chunk(
+                    scenarios, master_seed, n_replications, sid, rep0, count, backend
+                )
+            except Exception as exc:  # defensive: the whole chunk is lost
+                ok_units, cols = [], {}
+                msg = f"{type(exc).__name__}: {exc}"
+                base = sid * n_replications + rep0
+                failures = [(base + j, msg) for j in range(count)]
+            if ok_units:
+                idx = np.asarray(ok_units, dtype=np.intp)
+                for c in columns:
+                    views[c][idx] = cols[c]
+            result_queue.put(("chunk", sid, rep0, count, failures))
+    finally:
+        del views
+        shm.close()
 
 
 def run_fleet(
@@ -173,6 +358,7 @@ def run_fleet(
     seed: int = 0,
     n_jobs: int | None = None,
     backend: str | None = None,
+    batch_size: int | str = "auto",
     rows_per_group: int = 4096,
     store_format: str | None = None,
     progress: Callable[[int, int, int], None] | None = None,
@@ -199,7 +385,13 @@ def run_fleet(
         same convention as the replication engine.
     backend:
         Simulation backend for the workers (``python`` / ``compiled``
-        / ``auto``); default inherits ``REPRO_SIM_BACKEND``.
+        / ``auto``); default inherits ``REPRO_SIM_BACKEND``. Resolved
+        once here and threaded explicitly.
+    batch_size:
+        Replications per kernel call / work-stealing chunk (chunks
+        never cross a scenario boundary). ``"auto"`` (default) sizes
+        from the grid shape and worker count; any positive int pins
+        it. Rows are bit-identical for every value.
     progress:
         Optional ``progress(n_done, n_failed, n_units)`` callback,
         invoked at most every ``progress_every`` seconds plus once at
@@ -222,8 +414,13 @@ def run_fleet(
                 f"({sc.label!r} has {tuple(sc.workload.names)}, "
                 f"expected {class_names})"
             )
+    resolved_backend = resolve_backend(
+        backend if backend is not None else os.environ.get("REPRO_SIM_BACKEND")
+    )
     n_units = len(scenarios) * n_replications
     n_workers = resolve_n_jobs(n_jobs)
+    batch = _resolve_batch_size(batch_size, n_replications, n_units, n_workers)
+    chunks = _chunk_plan(len(scenarios), n_replications, batch)
     columns = fleet_columns(len(class_names))
     store = FleetStore.create(
         out,
@@ -232,7 +429,9 @@ def run_fleet(
             "seed": seed,
             "n_replications": n_replications,
             "class_names": list(class_names),
-            "backend": backend or os.environ.get("REPRO_SIM_BACKEND", "python"),
+            "backend": resolved_backend,
+            "batch_size": batch,
+            "transport": "inline" if n_workers == 1 else "shared_memory",
             "scenarios": [
                 {
                     "scenario": i,
@@ -270,29 +469,35 @@ def run_fleet(
         if progress is not None:
             progress(n_done, n_failed, n_units)
 
-    with obs.span("fleet.run", n_units=n_units, n_workers=n_workers):
+    with obs.span(
+        "fleet.run", n_units=n_units, n_workers=n_workers, batch_size=batch
+    ):
         try:
             if n_workers == 1:
                 prev_backend = os.environ.get("REPRO_SIM_BACKEND")
-                if backend is not None:
-                    os.environ["REPRO_SIM_BACKEND"] = backend
+                os.environ["REPRO_SIM_BACKEND"] = resolved_backend
                 try:
-                    for unit in range(n_units):
-                        try:
-                            row = _run_unit(scenarios, seed, unit, n_replications)
-                        except Exception as exc:
-                            n_failed += 1
-                            failures.append((unit, f"{type(exc).__name__}: {exc}"))
-                        else:
-                            store.append(row)
-                            n_done += 1
+                    for sid, rep0, count in chunks:
+                        ok_units, cols, chunk_failures = _run_chunk(
+                            scenarios,
+                            seed,
+                            n_replications,
+                            sid,
+                            rep0,
+                            count,
+                            resolved_backend,
+                        )
+                        if ok_units:
+                            store.append_columns(cols)
+                            n_done += len(ok_units)
+                        n_failed += len(chunk_failures)
+                        failures.extend(chunk_failures)
                         report()
                 finally:
-                    if backend is not None:
-                        if prev_backend is None:
-                            os.environ.pop("REPRO_SIM_BACKEND", None)
-                        else:
-                            os.environ["REPRO_SIM_BACKEND"] = prev_backend
+                    if prev_backend is None:
+                        os.environ.pop("REPRO_SIM_BACKEND", None)
+                    else:
+                        os.environ["REPRO_SIM_BACKEND"] = prev_backend
             else:
                 n_done, n_failed, failures = _run_fleet_pool(
                     scenarios,
@@ -300,7 +505,8 @@ def run_fleet(
                     n_replications,
                     n_units,
                     n_workers,
-                    backend,
+                    resolved_backend,
+                    chunks,
                     store,
                     report,
                 )
@@ -343,31 +549,51 @@ def _run_fleet_pool(
     n_replications: int,
     n_units: int,
     n_workers: int,
-    backend: str | None,
+    backend: str,
+    chunks: list[tuple[int, int, int]],
     store: FleetStore,
     report: Callable[..., None],
 ) -> tuple[int, int, list[tuple[int, str]]]:
-    """The multi-process path: shared index queue + result stream.
+    """The multi-process path: shared chunk queue + shared result block.
 
-    The task queue is loaded with every unit index up front (small:
-    one int each) followed by one ``None`` sentinel per worker; the
-    parent then drains the result queue, appending rows as they
-    arrive. A worker that dies mid-unit is detected by liveness checks
-    on the drain loop so the parent cannot hang on a lost unit.
+    The task queue is loaded with every chunk up front (small: three
+    ints each) followed by one ``None`` sentinel per worker. Result
+    rows never ride the queue — workers write them into one
+    ``SharedMemory`` segment holding a dtype-correct block per store
+    column, indexed by absolute unit id; the queue only carries
+    ``("chunk", sid, rep0, count, failures)`` control tuples, which the
+    parent drains in batches (one blocking ``get`` then ``get_nowait``
+    until empty) and turns into zero-copy column slices appended to the
+    store. A worker that dies mid-chunk is detected by liveness checks
+    on the drain loop so the parent cannot hang on a lost chunk.
     """
     import multiprocessing as mp
+    from multiprocessing import shared_memory
 
     ctx = mp.get_context()
+    columns = store.columns
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(len(columns) * n_units * 8, 8)
+    )
     task_queue: Any = ctx.Queue()
     result_queue: Any = ctx.Queue()
-    for unit in range(n_units):
-        task_queue.put(unit)
+    for chunk in chunks:
+        task_queue.put(chunk)
     for _ in range(n_workers):
         task_queue.put(None)
     workers = [
         ctx.Process(
             target=_fleet_worker,
-            args=(task_queue, result_queue, scenarios, seed, n_replications, backend),
+            args=(
+                task_queue,
+                result_queue,
+                scenarios,
+                seed,
+                n_replications,
+                backend,
+                shm.name,
+                n_units,
+            ),
             daemon=True,
         )
         for _ in range(n_workers)
@@ -378,27 +604,37 @@ def _run_fleet_pool(
     n_done = 0
     n_failed = 0
     failures: list[tuple[int, str]] = []
-    received = 0
+    received_units = 0
+    views = _shm_views(shm.buf, columns, n_units)
     try:
-        while received < n_units:
+        while received_units < n_units:
             try:
-                kind, unit, payload = result_queue.get(timeout=1.0)
+                messages = [result_queue.get(timeout=1.0)]
             except queue_mod.Empty:
                 if not any(w.is_alive() for w in workers):
-                    # All workers gone with units outstanding: crashed
-                    # mid-unit (OOM/kill). Report what's missing.
-                    missing = n_units - received
+                    # All workers gone with chunks outstanding: crashed
+                    # mid-chunk (OOM/kill). Report what's missing.
+                    missing = n_units - received_units
                     failures.append((-1, f"{missing} unit(s) lost to dead workers"))
                     n_failed += missing
                     break
                 continue
-            received += 1
-            if kind == "row":
-                store.append(payload)
-                n_done += 1
-            else:
-                n_failed += 1
-                failures.append((unit, payload))
+            while True:  # batch-drain whatever else already arrived
+                try:
+                    messages.append(result_queue.get_nowait())
+                except queue_mod.Empty:
+                    break
+            for _kind, sid, rep0, count, chunk_failures in messages:
+                received_units += count
+                base = sid * n_replications + rep0
+                failed_units = {u for u, _ in chunk_failures}
+                ok = [base + j for j in range(count) if base + j not in failed_units]
+                if ok:
+                    idx = np.asarray(ok, dtype=np.intp)
+                    store.append_columns({c: views[c][idx].copy() for c in columns})
+                    n_done += len(ok)
+                n_failed += len(chunk_failures)
+                failures.extend(chunk_failures)
             report()
     finally:
         for w in workers:
@@ -406,4 +642,7 @@ def _run_fleet_pool(
         for w in workers:
             if w.is_alive():
                 w.terminate()
+        del views
+        shm.close()
+        shm.unlink()
     return n_done, n_failed, failures

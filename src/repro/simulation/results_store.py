@@ -83,7 +83,11 @@ class FleetStore:
         self.fmt: str = "npz"
         self.meta: dict[str, Any] = {}
         self._groups: list[dict[str, Any]] = []
-        self._buffer: list[tuple] = []
+        # Write buffer: ordered segments of ("rows", list[tuple]) from
+        # append() and ("cols", {name: array}) from append_columns(),
+        # merged at flush() in arrival order.
+        self._segments: list[tuple[str, Any]] = []
+        self._buffered_rows = 0
         self._rows_per_group = 4096
         self._writable = False
         self._closed = False
@@ -148,22 +152,72 @@ class FleetStore:
                 f"row keys do not match store schema "
                 f"(missing {sorted(missing)}, unexpected {sorted(extra)})"
             )
-        self._buffer.append(tuple(row[c] for c in self.columns))
-        if len(self._buffer) >= self._rows_per_group:
+        if self._segments and self._segments[-1][0] == "rows":
+            self._segments[-1][1].append(tuple(row[c] for c in self.columns))
+        else:
+            self._segments.append(("rows", [tuple(row[c] for c in self.columns)]))
+        self._buffered_rows += 1
+        if self._buffered_rows >= self._rows_per_group:
             self.flush()
 
     def append_rows(self, rows: Iterable[Mapping[str, Any]]) -> None:
         for row in rows:
             self.append(row)
 
+    def append_columns(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Buffer a block of rows already in columnar form.
+
+        ``arrays`` must provide exactly the store's columns, all the
+        same length; each is coerced to the schema dtype. This is the
+        zero-copy ingest path the fleet runner's shared-memory
+        transport feeds — a block goes into the buffer as one segment,
+        never exploded into per-row tuples.
+        """
+        self._check_writable()
+        if set(arrays) != set(self.columns):
+            missing = set(self.columns) - set(arrays)
+            extra = set(arrays) - set(self.columns)
+            raise ModelValidationError(
+                f"column block does not match store schema "
+                f"(missing {sorted(missing)}, unexpected {sorted(extra)})"
+            )
+        block = {
+            name: np.asarray(arrays[name], dtype=_column_dtype(name))
+            for name in self.columns
+        }
+        lengths = {name: arr.shape for name, arr in block.items()}
+        sizes = {shape[0] for shape in lengths.values() if len(shape) == 1}
+        if any(len(shape) != 1 for shape in lengths.values()) or len(sizes) > 1:
+            raise ModelValidationError(
+                f"column block arrays must be 1-D and equal-length, got "
+                f"{ {n: s for n, s in lengths.items()} }"
+            )
+        n = next(iter(sizes)) if sizes else 0
+        if n == 0:
+            return
+        self._segments.append(("cols", block))
+        self._buffered_rows += n
+        if self._buffered_rows >= self._rows_per_group:
+            self.flush()
+
     def flush(self) -> None:
         """Seal the buffered rows into an immutable row-group file."""
         self._check_writable()
-        if not self._buffer:
+        if not self._buffered_rows:
             return
+        pieces: dict[str, list[np.ndarray]] = {n: [] for n in self.columns}
+        for kind, payload in self._segments:
+            if kind == "rows":
+                for i, name in enumerate(self.columns):
+                    pieces[name].append(
+                        np.array([r[i] for r in payload], dtype=_column_dtype(name))
+                    )
+            else:
+                for name in self.columns:
+                    pieces[name].append(payload[name])
         arrays = {
-            name: np.array([r[i] for r in self._buffer], dtype=_column_dtype(name))
-            for i, name in enumerate(self.columns)
+            name: parts[0] if len(parts) == 1 else np.concatenate(parts)
+            for name, parts in pieces.items()
         }
         index = len(self._groups)
         ext = "parquet" if self.fmt == "parquet" else "npz"
@@ -180,8 +234,9 @@ class FleetStore:
             # already carries it.
             with open(target, "wb") as fh:
                 np.savez_compressed(fh, **arrays)
-        self._groups.append({"file": filename, "n_rows": len(self._buffer)})
-        self._buffer = []
+        self._groups.append({"file": filename, "n_rows": self._buffered_rows})
+        self._segments = []
+        self._buffered_rows = 0
         self._write_manifest()
 
     def close(self, extra_meta: Mapping[str, Any] | None = None) -> None:
@@ -248,7 +303,7 @@ class FleetStore:
 
     @property
     def n_rows(self) -> int:
-        return int(sum(g["n_rows"] for g in self._groups)) + len(self._buffer)
+        return int(sum(g["n_rows"] for g in self._groups)) + self._buffered_rows
 
     @property
     def final(self) -> bool:
@@ -271,18 +326,9 @@ class FleetStore:
                 f"unknown columns {sorted(unknown)}; store has {list(self.columns)}"
             )
         parts: dict[str, list[np.ndarray]] = {n: [] for n in names}
-        for group in self._groups:
-            target = self.path / group["file"]
-            if self.fmt == "parquet":
-                import pyarrow.parquet as pq
-
-                table = pq.read_table(target, columns=list(names))
-                for n in names:
-                    parts[n].append(table.column(n).to_numpy(zero_copy_only=False))
-            else:
-                with np.load(target) as npz:
-                    for n in names:
-                        parts[n].append(npz[n])
+        for group in self._iter_groups(names):
+            for n in names:
+                parts[n].append(group[n])
         return {
             n: (
                 np.concatenate(parts[n])
@@ -292,12 +338,35 @@ class FleetStore:
             for n in names
         }
 
+    def _iter_groups(self, names: tuple[str, ...]):
+        """Yield the selected columns one row group at a time.
+
+        The streaming substrate under :meth:`read` and
+        :meth:`aggregate`: only one group's arrays are resident at
+        once, so folding a huge store never materializes it.
+        """
+        for group in self._groups:
+            target = self.path / group["file"]
+            if self.fmt == "parquet":
+                import pyarrow.parquet as pq
+
+                table = pq.read_table(target, columns=list(names))
+                yield {n: table.column(n).to_numpy(zero_copy_only=False) for n in names}
+            else:
+                with np.load(target) as npz:
+                    yield {n: npz[n] for n in names}
+
     def aggregate(
         self,
         by: str = "scenario",
         metrics: Iterable[str] | None = None,
     ) -> dict[int, dict[str, Any]]:
         """Per-group summary: mean/std/min/max of each metric column.
+
+        Streams: row groups are folded one at a time into per-group
+        accumulators (count/mean/M2 merged by Chan's parallel update,
+        running min/max), so aggregating a store of any size holds at
+        most one row group in memory.
 
         Parameters
         ----------
@@ -313,21 +382,51 @@ class FleetStore:
         if metrics is None:
             metrics = [c for c in self.columns if c not in _INT_COLUMNS]
         metrics = list(metrics)
-        data = self.read([by, *metrics])
-        keys = data[by]
+        unknown = set([by, *metrics]) - set(self.columns)
+        if unknown:
+            raise ModelValidationError(
+                f"unknown columns {sorted(unknown)}; store has {list(self.columns)}"
+            )
+        # value -> metric -> [n, mean, m2, min, max]
+        acc: dict[int, dict[str, list[float]]] = {}
+        counts: dict[int, int] = {}
+        for data in self._iter_groups((by, *metrics)):
+            keys = data[by]
+            for value in np.unique(keys):
+                mask = keys == value
+                key = int(value)
+                counts[key] = counts.get(key, 0) + int(mask.sum())
+                stats = acc.setdefault(
+                    key,
+                    {m: [0, 0.0, 0.0, float("inf"), float("-inf")] for m in metrics},
+                )
+                for m in metrics:
+                    col = data[m][mask]
+                    nb = col.size
+                    if nb == 0:
+                        continue
+                    mb = float(col.mean())
+                    st = stats[m]
+                    na, ma, m2a = st[0], st[1], st[2]
+                    n = na + nb
+                    delta = mb - ma
+                    st[0] = n
+                    st[1] = ma + delta * nb / n
+                    st[2] = m2a + float(((col - mb) ** 2).sum()) + delta * delta * na * nb / n
+                    st[3] = min(st[3], float(col.min()))
+                    st[4] = max(st[4], float(col.max()))
         out: dict[int, dict[str, Any]] = {}
-        for value in np.unique(keys):
-            mask = keys == value
-            rec: dict[str, Any] = {"n": int(mask.sum())}
+        for key in sorted(acc):
+            rec: dict[str, Any] = {"n": counts[key]}
             for m in metrics:
-                col = data[m][mask]
+                n, mean, m2, lo, hi = acc[key][m]
                 rec[m] = {
-                    "mean": float(col.mean()),
-                    "std": float(col.std(ddof=1)) if col.size > 1 else float("nan"),
-                    "min": float(col.min()),
-                    "max": float(col.max()),
+                    "mean": mean if n else float("nan"),
+                    "std": float(np.sqrt(m2 / (n - 1))) if n > 1 else float("nan"),
+                    "min": lo,
+                    "max": hi,
                 }
-            out[int(value)] = rec
+            out[key] = rec
         return out
 
     def scenario_table(

@@ -189,15 +189,7 @@ def simulate(
         On class-count mismatch, non-integer visit ratios, bad horizon,
         or (unless ``allow_unstable``) a saturated tier.
     """
-    if cluster.num_classes != workload.num_classes:
-        raise ModelValidationError(
-            f"cluster is parameterized for {cluster.num_classes} classes "
-            f"but workload has {workload.num_classes}"
-        )
-    if horizon <= 0.0 or not np.isfinite(horizon):
-        raise ModelValidationError(f"horizon must be positive and finite, got {horizon}")
-    if not 0.0 <= warmup_fraction <= 0.9:
-        raise ModelValidationError(f"warmup fraction must be in [0, 0.9], got {warmup_fraction}")
+    _validate_basic_inputs(cluster, workload, horizon, warmup_fraction)
     if (epoch_controller is None) != (epoch_times is None):
         raise ModelValidationError("epoch_times and epoch_controller must be provided together")
     dynamic_speed = epoch_controller is not None
@@ -216,17 +208,7 @@ def simulate(
                     "tiers (their shared-rate completions cannot be rescaled mid-run)"
                 )
     if not allow_unstable:
-        # Loss and finite-buffer tiers cannot be unstable (nothing
-        # unbounded can accumulate); only open queueing tiers gate.
-        rho = cluster.utilizations(workload.arrival_rates)
-        queueing = np.array(
-            [t.discipline != "loss" and t.capacity is None for t in cluster.tiers]
-        )
-        if np.any(rho[queueing] >= 1.0):
-            raise ModelValidationError(
-                f"configuration is unstable (utilizations {np.round(rho, 4).tolist()}); "
-                "pass allow_unstable=True to simulate it anyway"
-            )
+        _validate_stability(cluster, workload)
 
     # Backend dispatch: REPRO_SIM_BACKEND selects the C event-loop
     # kernel (repro.simulation.compiled), which produces bit-identical
@@ -730,6 +712,38 @@ def _env_backend() -> str:
             f"got {raw!r}"
         )
     return value
+
+
+def _validate_basic_inputs(
+    cluster: ClusterModel, workload: Workload, horizon: float, warmup_fraction: float
+) -> None:
+    """Shared input gate for :func:`simulate` and the batched fleet path."""
+    if cluster.num_classes != workload.num_classes:
+        raise ModelValidationError(
+            f"cluster is parameterized for {cluster.num_classes} classes "
+            f"but workload has {workload.num_classes}"
+        )
+    if horizon <= 0.0 or not np.isfinite(horizon):
+        raise ModelValidationError(f"horizon must be positive and finite, got {horizon}")
+    if not 0.0 <= warmup_fraction <= 0.9:
+        raise ModelValidationError(f"warmup fraction must be in [0, 0.9], got {warmup_fraction}")
+
+
+def _validate_stability(cluster: ClusterModel, workload: Workload) -> None:
+    """Reject saturated open queueing tiers (``allow_unstable`` bypass).
+
+    Loss and finite-buffer tiers cannot be unstable (nothing unbounded
+    can accumulate); only open queueing tiers gate.
+    """
+    rho = cluster.utilizations(workload.arrival_rates)
+    queueing = np.array(
+        [t.discipline != "loss" and t.capacity is None for t in cluster.tiers]
+    )
+    if np.any(rho[queueing] >= 1.0):
+        raise ModelValidationError(
+            f"configuration is unstable (utilizations {np.round(rho, 4).tolist()}); "
+            "pass allow_unstable=True to simulate it anyway"
+        )
 
 
 def _build_routes(cluster: ClusterModel) -> list[tuple[int, ...]]:

@@ -1,0 +1,373 @@
+"""Batched fleet execution tests.
+
+The batched path's contract is the same as the fleet runner's overall
+contract — *bit-identical rows for any scheduling* — extended over a
+new axis: chunk size. Every (batch_size, jobs, backend) combination
+must reproduce the PR 8 unit-at-a-time rows exactly, a replication
+failing mid-batch must cost exactly one unit (the rest of the chunk
+survives on fresh kernel state), and the columnar ingest + streaming
+aggregate must hold at most one row group in memory.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterModel, Tier
+from repro.distributions.base import Distribution
+from repro.exceptions import ModelValidationError
+from repro.experiments.common import small_cluster, small_workload
+from repro.simulation import FleetScenario, FleetStore, run_fleet
+from repro.simulation.compiled import kernel_available
+from repro.simulation.fleet import _chunk_plan, _resolve_batch_size
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(), reason="no C toolchain for the compiled kernel"
+)
+
+
+def _scenarios(loads=(0.5, 0.8), horizon=8.0):
+    return [
+        FleetScenario(
+            label=f"load={f}",
+            cluster=small_cluster(),
+            workload=small_workload(f),
+            horizon=horizon,
+            params={"load_factor": f},
+        )
+        for f in loads
+    ]
+
+
+def _canonical_rows(path):
+    """Rows in unit order with the timing column dropped."""
+    data = FleetStore.open(path).read()
+    order = np.argsort(data["unit"])
+    return {k: v[order].tolist() for k, v in data.items() if k != "wall_s"}
+
+
+# ---------------------------------------------------------------------------
+# bit-identity across batch size, scheduling, backend
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64])
+@pytest.mark.parametrize("n_jobs", [1, 2])
+@pytest.mark.parametrize("backend", ["python", "compiled"])
+def test_fleet_batched_rows_bit_identical(tmp_path, batch_size, n_jobs, backend):
+    if backend == "compiled" and not kernel_available():
+        pytest.skip("no C toolchain for the compiled kernel")
+    scenarios = _scenarios()
+    ref = run_fleet(
+        scenarios,
+        10,
+        tmp_path / "ref",
+        seed=11,
+        n_jobs=1,
+        backend="python",
+        batch_size=1,
+        store_format="npz",
+    )
+    got = run_fleet(
+        scenarios,
+        10,
+        tmp_path / "got",
+        seed=11,
+        n_jobs=n_jobs,
+        backend=backend,
+        batch_size=batch_size,
+        store_format="npz",
+    )
+    assert ref.n_done == got.n_done == 20
+    assert ref.n_failed == got.n_failed == 0
+    assert _canonical_rows(tmp_path / "got") == _canonical_rows(tmp_path / "ref")
+
+
+@needs_kernel
+def test_fleet_batched_chunk_boundaries(tmp_path):
+    # 70 replications under batch 64: a full chunk plus a 6-unit tail
+    # per scenario — the resume/reset seams land mid-scenario.
+    scenarios = _scenarios(loads=(0.6,))
+    ref = run_fleet(
+        scenarios,
+        70,
+        tmp_path / "ref",
+        seed=3,
+        n_jobs=1,
+        backend="python",
+        batch_size=1,
+        store_format="npz",
+    )
+    got = run_fleet(
+        scenarios,
+        70,
+        tmp_path / "got",
+        seed=3,
+        n_jobs=1,
+        backend="compiled",
+        batch_size=64,
+        store_format="npz",
+    )
+    assert ref.n_done == got.n_done == 70
+    assert _canonical_rows(tmp_path / "got") == _canonical_rows(tmp_path / "ref")
+
+
+def test_fleet_batch_size_recorded_and_validated(tmp_path):
+    summary = run_fleet(
+        _scenarios(loads=(0.5,)),
+        4,
+        tmp_path / "s",
+        seed=0,
+        n_jobs=1,
+        batch_size=2,
+        store_format="npz",
+    )
+    assert summary.n_done == 4
+    meta = FleetStore.open(tmp_path / "s").meta
+    assert meta["batch_size"] == 2
+    assert meta["transport"] == "inline"
+    for bad in (0, -3, 2.5, "huge", True):
+        with pytest.raises(ModelValidationError):
+            run_fleet(
+                _scenarios(loads=(0.5,)),
+                2,
+                tmp_path / f"bad-{bad}",
+                batch_size=bad,
+            )
+
+
+def test_chunk_plan_and_auto_sizing():
+    assert _chunk_plan(2, 5, 2) == [
+        (0, 0, 2),
+        (0, 2, 2),
+        (0, 4, 1),
+        (1, 0, 2),
+        (1, 2, 2),
+        (1, 4, 1),
+    ]
+    # serial: as large as the scenario allows, capped at 64
+    assert _resolve_batch_size("auto", 250, 1000, 1) == 64
+    assert _resolve_batch_size("auto", 10, 20, 1) == 10
+    # pool: keep ~8 chunks per worker in flight for stealing
+    assert _resolve_batch_size("auto", 250, 1000, 4) == 32
+    assert _resolve_batch_size("auto", 250, 1000, 64) == 2
+    assert _resolve_batch_size(100, 30, 60, 1) == 30  # clamped to scenario
+
+
+# ---------------------------------------------------------------------------
+# failure accounting
+# ---------------------------------------------------------------------------
+
+
+class _FailingNthDraw(Distribution):
+    """Wraps a distribution; the ``fail_at``-th sample call raises."""
+
+    def __init__(self, inner, fail_at: int):
+        self.inner = inner
+        self.fail_at = fail_at
+        self.calls = 0
+
+    @property
+    def mean(self) -> float:
+        return self.inner.mean
+
+    @property
+    def second_moment(self) -> float:
+        return self.inner.second_moment
+
+    def sample(self, rng, size=None):
+        self.calls += 1
+        if self.calls == self.fail_at:
+            raise RuntimeError("injected draw failure")
+        return self.inner.sample(rng, size)
+
+
+def _bombed_scenario(fail_at: int, horizon=8.0) -> FleetScenario:
+    clean = small_cluster()
+    t0 = clean.tiers[0]
+    cluster = ClusterModel(
+        [
+            Tier(
+                t0.name,
+                (_FailingNthDraw(t0.demands[0], fail_at), t0.demands[1]),
+                t0.spec,
+                servers=t0.servers,
+                speed=t0.speed,
+                discipline=t0.discipline,
+            ),
+            clean.tiers[1],
+        ]
+    )
+    return FleetScenario(
+        label="bombed", cluster=cluster, workload=small_workload(0.5), horizon=horizon
+    )
+
+
+@needs_kernel
+def test_mid_batch_failure_costs_one_unit(tmp_path):
+    # One replication's service draw raises partway through a batched
+    # chunk: exactly that unit fails, and the replications after it
+    # complete on reset kernel state with their own streams — rows
+    # bit-identical to a clean unit-at-a-time run.
+    n_reps = 6
+    summary = run_fleet(
+        [_bombed_scenario(fail_at=30)],
+        n_reps,
+        tmp_path / "bombed",
+        seed=4,
+        n_jobs=1,
+        backend="compiled",
+        batch_size=n_reps,
+        store_format="npz",
+    )
+    assert summary.n_failed == 1
+    assert summary.n_done == n_reps - 1
+    store = FleetStore.open(tmp_path / "bombed")
+    (failure,) = store.meta["failures"]
+    failed_unit, message = failure
+    assert "RuntimeError: injected draw failure" in message
+    survivors = sorted(store.read(["unit"])["unit"].tolist())
+    assert survivors == [u for u in range(n_reps) if u != failed_unit]
+
+    ref = run_fleet(
+        [
+            FleetScenario(
+                label="clean",
+                cluster=small_cluster(),
+                workload=small_workload(0.5),
+                horizon=8.0,
+            )
+        ],
+        n_reps,
+        tmp_path / "clean",
+        seed=4,
+        n_jobs=1,
+        backend="python",
+        batch_size=1,
+        store_format="npz",
+    )
+    assert ref.n_failed == 0
+    clean_rows = _canonical_rows(tmp_path / "clean")
+    got_rows = _canonical_rows(tmp_path / "bombed")
+    keep = [i for i, u in enumerate(clean_rows["unit"]) if u != failed_unit]
+    for col, values in clean_rows.items():
+        assert got_rows[col] == [values[i] for i in keep], col
+
+
+@needs_kernel
+def test_unstable_scenario_fails_whole_chunks_batched(tmp_path):
+    # Scenario-level rejection under batching: every unit of the
+    # unstable scenario fails with the validation message, the stable
+    # scenario's rows all land.
+    scenarios = _scenarios(loads=(0.5,)) + [
+        FleetScenario(
+            label="unstable",
+            cluster=small_cluster(),
+            workload=small_workload(load_factor=50.0),
+            horizon=8.0,
+        )
+    ]
+    summary = run_fleet(
+        scenarios,
+        4,
+        tmp_path / "s",
+        seed=1,
+        n_jobs=1,
+        backend="compiled",
+        batch_size=4,
+        store_format="npz",
+    )
+    assert summary.n_failed == 4
+    assert summary.n_done == 4
+    store = FleetStore.open(tmp_path / "s")
+    assert set(store.read(["scenario"])["scenario"].tolist()) == {0}
+    failures = store.meta["failures"]
+    assert len(failures) == 4
+    assert all(u >= 4 for u, _ in failures)
+    assert all("unstable" in msg for _, msg in failures)
+
+
+# ---------------------------------------------------------------------------
+# columnar ingest + streaming aggregate
+# ---------------------------------------------------------------------------
+
+
+def test_append_columns_roundtrip_and_validation(tmp_path):
+    store = FleetStore.create(
+        tmp_path / "s", ("unit", "scenario", "y"), meta={}, rows_per_group=4
+    )
+    store.append({"unit": 0, "scenario": 0, "y": 1.5})
+    store.append_columns(
+        {
+            "unit": np.array([1, 2]),
+            "scenario": np.array([0, 1]),
+            "y": np.array([2.5, 3.5]),
+        }
+    )
+    store.append({"unit": 3, "scenario": 1, "y": 4.5})  # seals a group of 4
+    store.append_columns(
+        {"unit": np.array([4]), "scenario": np.array([1]), "y": np.array([5.5])}
+    )
+    with pytest.raises(ModelValidationError):
+        store.append_columns({"unit": np.array([9])})  # missing columns
+    with pytest.raises(ModelValidationError):
+        store.append_columns(
+            {
+                "unit": np.array([9]),
+                "scenario": np.array([1, 2]),  # ragged lengths
+                "y": np.array([1.0]),
+            }
+        )
+    store.append_columns(
+        {"unit": np.array([], dtype=np.int64), "scenario": np.array([], dtype=np.int64), "y": np.array([])}
+    )  # empty block is a no-op
+    store.close()
+
+    data = FleetStore.open(tmp_path / "s").read()
+    # arrival order preserved across interleaved row/column appends
+    assert data["unit"].tolist() == [0, 1, 2, 3, 4]
+    assert data["y"].tolist() == [1.5, 2.5, 3.5, 4.5, 5.5]
+    assert data["unit"].dtype == np.int64 and data["y"].dtype == np.float64
+
+
+def test_streaming_aggregate_is_memory_bound(tmp_path):
+    # 40 npz row groups; the streaming fold must peak well below the
+    # materialized size of the store (one group resident at a time).
+    n_groups, rows_per_group = 40, 2000
+    rng = np.random.default_rng(0)
+    with FleetStore.create(
+        tmp_path / "s",
+        ("unit", "scenario", "y"),
+        meta={},
+        rows_per_group=rows_per_group,
+    ) as store:
+        for g in range(n_groups):
+            base = g * rows_per_group
+            store.append_columns(
+                {
+                    "unit": np.arange(base, base + rows_per_group, dtype=np.int64),
+                    "scenario": np.full(rows_per_group, g % 4, dtype=np.int64),
+                    "y": rng.normal(size=rows_per_group),
+                }
+            )
+    store = FleetStore.open(tmp_path / "s")
+    total_bytes = n_groups * rows_per_group * 3 * 8
+
+    tracemalloc.start()
+    agg = store.aggregate(metrics=["y"])
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert peak < total_bytes / 4, f"aggregate peaked at {peak} B of {total_bytes} B"
+
+    # and the folded moments still match the materialized computation
+    data = store.read()
+    for sid, rec in agg.items():
+        mask = data["scenario"] == sid
+        col = data["y"][mask]
+        assert rec["n"] == int(mask.sum())
+        assert rec["y"]["mean"] == pytest.approx(col.mean(), rel=1e-12)
+        assert rec["y"]["std"] == pytest.approx(col.std(ddof=1), rel=1e-10)
+        assert rec["y"]["min"] == col.min() and rec["y"]["max"] == col.max()
